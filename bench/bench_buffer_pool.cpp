@@ -1,0 +1,63 @@
+// Ablation: buffer-pool sensitivity of the §5.4 workload.
+//
+// The paper's experiments count raw disk accesses (no cache); a deployed
+// system runs with a buffer pool. This bench replays the Figure 4
+// conjunctive workload through LRU pools of growing capacity and reports
+// actual disk reads and hit rates — showing how much of the joint-index
+// advantage survives caching (upper tree levels cache quickly; the
+// separate strategy's larger leaf footprint keeps missing).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccdb::bench;  // NOLINT
+  using namespace ccdb;        // NOLINT
+  printf("=== Buffer-pool sensitivity (Figure 4 workload) ===\n");
+  printf("(10,000 data rectangles; 100 conjunctive queries; LRU, "
+         "write-through)\n\n");
+
+  WorkloadParams params;
+  auto data = GenerateDataBoxes(1001, params);
+  auto queries = GenerateQueryBoxes(2002, params);
+
+  printf("  %-12s %18s %18s %14s %14s\n", "pool pages", "joint disk reads",
+         "sep. disk reads", "joint hit %", "sep. hit %");
+  for (size_t capacity : {0u, 4u, 16u, 64u, 256u}) {
+    PageManager joint_disk, sep_disk;
+    BufferPool joint_pool(&joint_disk, capacity);
+    BufferPool sep_pool(&sep_disk, capacity);
+    JointIndex joint(&joint_pool, Domain());
+    SeparateIndex separate(&sep_pool);
+    for (uint64_t i = 0; i < data.size(); ++i) {
+      Rect key = KeyFor(data[i], DataVariant::kConstraint);
+      (void)joint.Insert(key, i);
+      (void)separate.Insert(key, i);
+    }
+    joint_disk.ResetStats();
+    sep_disk.ResetStats();
+    joint_pool.ResetStats();
+    sep_pool.ResetStats();
+    for (const geom::Box& q : queries) {
+      BoxQuery query = BoxQuery::Both(
+          Rect::RoundDown(q.x_min), Rect::RoundUp(q.x_max),
+          Rect::RoundDown(q.y_min), Rect::RoundUp(q.y_max));
+      (void)joint.Search(query);
+      (void)separate.Search(query);
+    }
+    auto hit_rate = [](const CacheStats& s) {
+      uint64_t total = s.hits + s.misses;
+      return total == 0 ? 0.0
+                        : 100.0 * static_cast<double>(s.hits) /
+                              static_cast<double>(total);
+    };
+    printf("  %-12zu %18llu %18llu %13.1f%% %13.1f%%\n", capacity,
+           static_cast<unsigned long long>(joint_disk.stats().reads),
+           static_cast<unsigned long long>(sep_disk.stats().reads),
+           hit_rate(joint_pool.stats()), hit_rate(sep_pool.stats()));
+  }
+  printf("\nNote: with a pool big enough to hold the whole index, both "
+         "strategies read\nzero pages after warm-up — the paper's uncached "
+         "counts measure the structural\nadvantage that matters below that "
+         "threshold.\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+#ifndef CCDB_BENCH_BENCH_COMMON_H_
+#define CCDB_BENCH_BENCH_COMMON_H_
+
+/// \file bench_common.h
+/// Shared harness for the §5.4 indexing experiments.
+///
+/// Methodology (matching the paper and the classic R*-tree evaluation
+/// setup):
+///  - data and query rectangles come from `data/workload.h` with the
+///    paper's parameters (10,000 data boxes, 100 or 500 queries, coords in
+///    [0,3000], extents in [1,100]), regenerated from fixed seeds;
+///  - each strategy's index lives on its own simulated disk with no buffer
+///    cache, so a query's *disk accesses* = R*-tree pages touched;
+///  - the joint strategy searches one 2-D tree (an unqueried attribute is
+///    widened to the domain, §5.4); the separate strategy searches both
+///    1-D trees and intersects, paying the sum of the two searches.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "ccdb.h"
+
+namespace ccdb::bench {
+
+/// The experiment domain: data coords in [0,3000], extents up to 100.
+inline Rect Domain() { return Rect::Make2D(-10, 3110, -10, 3110); }
+
+/// How a data box is turned into an index key.
+enum class DataVariant {
+  kConstraint,  ///< x, y constraint attributes: key = the box itself
+  kRelational,  ///< x, y relational attributes: key = the center point
+  kMixed,       ///< x constraint, y relational: x-range x center-y point
+};
+
+inline Rect KeyFor(const geom::Box& box, DataVariant variant) {
+  const double x_lo = Rect::RoundDown(box.x_min);
+  const double x_hi = Rect::RoundUp(box.x_max);
+  const double y_lo = Rect::RoundDown(box.y_min);
+  const double y_hi = Rect::RoundUp(box.y_max);
+  switch (variant) {
+    case DataVariant::kConstraint:
+      return Rect::Make2D(x_lo, x_hi, y_lo, y_hi);
+    case DataVariant::kRelational: {
+      geom::Point c = box.Center();
+      double cx = c.x.ToDouble();
+      double cy = c.y.ToDouble();
+      return Rect::Make2D(cx, cx, cy, cy);
+    }
+    case DataVariant::kMixed: {
+      double cy = box.Center().y.ToDouble();
+      return Rect::Make2D(x_lo, x_hi, cy, cy);
+    }
+  }
+  return Rect::Make2D(0, 0, 0, 0);
+}
+
+/// Both strategies over the same data, each on its own counted disk.
+class StrategyPair {
+ public:
+  StrategyPair(const std::vector<geom::Box>& boxes, DataVariant variant)
+      : joint_pool_(&joint_disk_, 0),
+        separate_pool_(&separate_disk_, 0),
+        joint_(&joint_pool_, Domain()),
+        separate_(&separate_pool_) {
+    for (uint64_t i = 0; i < boxes.size(); ++i) {
+      Rect key = KeyFor(boxes[i], variant);
+      Status s1 = joint_.Insert(key, i);
+      Status s2 = separate_.Insert(key, i);
+      (void)s1;
+      (void)s2;
+    }
+  }
+
+  /// Runs one query against a strategy; returns {disk reads, result count}.
+  struct Cost {
+    uint64_t reads = 0;
+    size_t hits = 0;
+  };
+
+  Cost MeasureJoint(const BoxQuery& query) {
+    joint_disk_.ResetStats();
+    auto hits = joint_.Search(query);
+    return Cost{joint_disk_.stats().reads, hits.ok() ? hits->size() : 0};
+  }
+
+  Cost MeasureSeparate(const BoxQuery& query) {
+    separate_disk_.ResetStats();
+    auto hits = separate_.Search(query);
+    return Cost{separate_disk_.stats().reads, hits.ok() ? hits->size() : 0};
+  }
+
+  JointIndex& joint() { return joint_; }
+  SeparateIndex& separate() { return separate_; }
+
+ private:
+  PageManager joint_disk_;
+  PageManager separate_disk_;
+  BufferPool joint_pool_;
+  BufferPool separate_pool_;
+  JointIndex joint_;
+  SeparateIndex separate_;
+};
+
+/// One measured point of a figure's series.
+struct SeriesPoint {
+  double x = 0;  ///< query area (fig. 4) or query length (fig. 5)
+  uint64_t joint = 0;
+  uint64_t separate = 0;
+};
+
+/// Prints the full scatter (the figure's data) followed by a bucketed
+/// summary, mean ratio, and a least-squares slope of accesses vs. x for
+/// each strategy (the paper's "depends on selectivity a lot less" claim).
+inline void PrintSeries(const char* title, const char* x_label,
+                        std::vector<SeriesPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const SeriesPoint& a, const SeriesPoint& b) {
+              return a.x < b.x;
+            });
+  printf("\n%s\n", title);
+  printf("  %-14s %14s %17s\n", x_label, "joint accesses",
+         "separate accesses");
+  for (const SeriesPoint& p : points) {
+    printf("  %-14.0f %14llu %17llu\n", p.x,
+           static_cast<unsigned long long>(p.joint),
+           static_cast<unsigned long long>(p.separate));
+  }
+
+  const size_t buckets = 5;
+  printf("  -- bucketed means (%zu buckets by %s) --\n", buckets, x_label);
+  size_t per = (points.size() + buckets - 1) / buckets;
+  for (size_t b = 0; b < buckets && b * per < points.size(); ++b) {
+    size_t lo = b * per;
+    size_t hi = std::min(points.size(), lo + per);
+    double jx = 0, sx = 0, xx = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      jx += static_cast<double>(points[i].joint);
+      sx += static_cast<double>(points[i].separate);
+      xx += points[i].x;
+    }
+    double n = static_cast<double>(hi - lo);
+    printf("  %s ~%-10.0f joint %8.1f   separate %8.1f\n", x_label, xx / n,
+           jx / n, sx / n);
+  }
+
+  double mean_j = 0, mean_s = 0, mean_x = 0;
+  for (const SeriesPoint& p : points) {
+    mean_j += static_cast<double>(p.joint);
+    mean_s += static_cast<double>(p.separate);
+    mean_x += p.x;
+  }
+  const double n = static_cast<double>(points.size());
+  mean_j /= n;
+  mean_s /= n;
+  mean_x /= n;
+  double num_j = 0, num_s = 0, den = 0;
+  for (const SeriesPoint& p : points) {
+    double dx = p.x - mean_x;
+    num_j += dx * (static_cast<double>(p.joint) - mean_j);
+    num_s += dx * (static_cast<double>(p.separate) - mean_s);
+    den += dx * dx;
+  }
+  printf("  -- summary --\n");
+  printf("  mean accesses:   joint %.1f, separate %.1f (ratio %.2fx)\n",
+         mean_j, mean_s, mean_s / mean_j);
+  printf("  slope vs %s: joint %.4f, separate %.4f\n", x_label,
+         den > 0 ? num_j / den : 0.0, den > 0 ? num_s / den : 0.0);
+}
+
+}  // namespace ccdb::bench
+
+#endif  // CCDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,107 @@
+// Ablation: the cost of Fourier–Motzkin elimination.
+//
+// §1.1 of the paper motivates restricting CQA/CDB to *linear* constraints
+// "for reasons of query evaluation efficiency". This bench quantifies the
+// engine the projection operator runs on: elimination cost as the number
+// of constraints and eliminated variables grows, plus the satisfiability
+// and redundancy-removal procedures built on it.
+
+#include <benchmark/benchmark.h>
+
+#include "ccdb.h"
+
+namespace ccdb {
+namespace {
+
+LinearExpr V(const std::string& n) { return LinearExpr::Variable(n); }
+
+/// A random conjunction over `vars` variables with `count` constraints.
+Conjunction RandomConjunction(int vars, int count, uint64_t seed) {
+  Rng rng(seed);
+  Conjunction c;
+  for (int i = 0; i < count; ++i) {
+    LinearExpr e;
+    for (int v = 0; v < vars; ++v) {
+      e.AddTerm("v" + std::to_string(v), Rational(rng.UniformInt(-3, 3)));
+    }
+    e.AddConstant(Rational(rng.UniformInt(-20, 20)));
+    c.Add(Constraint(std::move(e), rng.UniformInt(0, 1)
+                                       ? ConstraintOp::kLe
+                                       : ConstraintOp::kLt));
+  }
+  return c;
+}
+
+void BM_EliminateOneVariable(benchmark::State& state) {
+  const int constraints = static_cast<int>(state.range(0));
+  Conjunction c = RandomConjunction(3, constraints, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fm::EliminateVariable(c, "v0"));
+  }
+  state.SetLabel(std::to_string(constraints) + " constraints, 3 vars");
+}
+BENCHMARK(BM_EliminateOneVariable)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ProjectToOneVariable(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  // Box-like constraints keep elimination well-behaved: 2 bounds per var
+  // plus a few diagonal couplings.
+  Conjunction c;
+  Rng rng(11);
+  for (int v = 0; v < vars; ++v) {
+    std::string name = "v" + std::to_string(v);
+    c.Add(Constraint::Ge(V(name), LinearExpr::Constant(
+                                      Rational(rng.UniformInt(-10, 0)))));
+    c.Add(Constraint::Le(V(name), LinearExpr::Constant(
+                                      Rational(rng.UniformInt(1, 10)))));
+    if (v > 0) {
+      c.Add(Constraint::Le(V(name) - V("v" + std::to_string(v - 1)),
+                           LinearExpr::Constant(Rational(5))));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fm::Project(c, {"v0"}));
+  }
+  state.SetLabel(std::to_string(vars) + " vars eliminated to 1");
+}
+BENCHMARK(BM_ProjectToOneVariable)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_Satisfiability(benchmark::State& state) {
+  Conjunction c = RandomConjunction(4, static_cast<int>(state.range(0)), 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fm::IsSatisfiable(c));
+  }
+}
+BENCHMARK(BM_Satisfiability)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_RemoveRedundant(benchmark::State& state) {
+  // Stacked parallel bounds: heavy redundancy to discover.
+  Conjunction c;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    c.Add(Constraint::Le(V("x") + V("y") * Rational(2),
+                         LinearExpr::Constant(Rational(10 + i))));
+    c.Add(Constraint::Ge(V("x"), LinearExpr::Constant(Rational(-i))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fm::RemoveRedundant(c));
+  }
+}
+BENCHMARK(BM_RemoveRedundant)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_TupleBoundingBox(benchmark::State& state) {
+  // The index layer's per-tuple work (§5): intervals of both attributes.
+  Conjunction c;
+  c.Add(Constraint::Ge(V("x") + V("y"), LinearExpr::Constant(Rational(2))));
+  c.Add(Constraint::Le(V("x") - V("y"), LinearExpr::Constant(Rational(8))));
+  c.Add(Constraint::Le(V("x"), LinearExpr::Constant(Rational(20))));
+  c.Add(Constraint::Ge(V("y"), LinearExpr::Constant(Rational(0))));
+  c.Add(Constraint::Le(V("y"), LinearExpr::Constant(Rational(15))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fm::BoundingBox(c, {"x", "y"}));
+  }
+}
+BENCHMARK(BM_TupleBoundingBox);
+
+}  // namespace
+}  // namespace ccdb

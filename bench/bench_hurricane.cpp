@@ -1,0 +1,90 @@
+// End-to-end: the §3.3 Hurricane case-study queries through the full
+// stack (data file -> parser -> step-based language -> CQA evaluation).
+
+#include <benchmark/benchmark.h>
+
+#include "ccdb.h"
+
+namespace ccdb {
+namespace {
+
+Database LoadHurricane() {
+  Database db;
+  Status s = lang::LoadDatabaseFile(
+      std::string(CCDB_DATA_DIR) + "/hurricane/hurricane.cdb", &db);
+  if (!s.ok()) std::abort();
+  return db;
+}
+
+void RunScript(benchmark::State& state, const char* label,
+               const char* script) {
+  Database db = LoadHurricane();
+  for (auto _ : state) {
+    auto out = lang::RunQuery(script, &db);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(label);
+}
+
+void BM_Query1(benchmark::State& state) {
+  RunScript(state, "who owned Land A and when",
+            "R0 = select landId = A from Landownership\n"
+            "R1 = project R0 on name, t\n");
+}
+BENCHMARK(BM_Query1);
+
+void BM_Query2(benchmark::State& state) {
+  RunScript(state, "parcels the hurricane passed",
+            "R0 = join Hurricane and Land\n"
+            "R1 = project R0 on landId\n");
+}
+BENCHMARK(BM_Query2);
+
+void BM_Query3(benchmark::State& state) {
+  RunScript(state, "owners hit between t=4 and t=9",
+            "R0 = join Landownership and Land\n"
+            "R1 = select t >= 4, t <= 9 from Hurricane\n"
+            "R2 = join R0 and R1\n"
+            "R3 = project R2 on name\n");
+}
+BENCHMARK(BM_Query3);
+
+void BM_Query4(benchmark::State& state) {
+  RunScript(state, "hurricane position at t=6",
+            "R0 = select t = 6 from Hurricane\n"
+            "R1 = project R0 on x, y\n");
+}
+BENCHMARK(BM_Query4);
+
+void BM_Query5BufferJoin(benchmark::State& state) {
+  RunScript(state, "parcels within 1/2 of the trajectory",
+            "R0 = buffer-join LandFeatures and HurricanePath within 1/2\n");
+}
+BENCHMARK(BM_Query5BufferJoin);
+
+void BM_Query6KNearest(benchmark::State& state) {
+  RunScript(state, "2 parcels nearest the trajectory",
+            "R0 = k-nearest HurricanePath and LandFeatures k 2\n");
+}
+BENCHMARK(BM_Query6KNearest);
+
+void BM_LoadDataFile(benchmark::State& state) {
+  for (auto _ : state) {
+    Database db;
+    Status s = lang::LoadDatabaseFile(
+        std::string(CCDB_DATA_DIR) + "/hurricane/hurricane.cdb", &db);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(db);
+  }
+}
+BENCHMARK(BM_LoadDataFile);
+
+}  // namespace
+}  // namespace ccdb

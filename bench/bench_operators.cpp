@@ -1,0 +1,113 @@
+// Ablation: CQA operator evaluation cost.
+//
+// The paper positions CQA as the evaluation layer (Figure 1). This bench
+// measures each operator on synthetic constraint relations, plus the
+// optimizer's effect (select pushdown) on a join pipeline — the paper's
+// "operator reordering".
+
+#include <benchmark/benchmark.h>
+
+#include "ccdb.h"
+
+namespace ccdb {
+namespace {
+
+LinearExpr V(const std::string& n) { return LinearExpr::Variable(n); }
+LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+
+/// `n` unit boxes along the diagonal, as constraint tuples over (x, y).
+Relation DiagonalRelation(int n, const std::string& xattr,
+                          const std::string& yattr) {
+  Relation rel(Schema::Make({Schema::ConstraintRational(xattr),
+                             Schema::ConstraintRational(yattr)})
+                   .value());
+  for (int i = 0; i < n; ++i) {
+    Tuple t;
+    t.AddConstraint(Constraint::Ge(V(xattr), C(i)));
+    t.AddConstraint(Constraint::Le(V(xattr), C(i + 1)));
+    t.AddConstraint(Constraint::Ge(V(yattr), C(i)));
+    t.AddConstraint(Constraint::Le(V(yattr), C(i + 1)));
+    Status s = rel.Insert(std::move(t));
+    (void)s;
+  }
+  return rel;
+}
+
+void BM_Select(benchmark::State& state) {
+  Relation rel = DiagonalRelation(static_cast<int>(state.range(0)), "x", "y");
+  Predicate pred;
+  pred.linear.push_back(Constraint::Le(V("x") + V("y"), C(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cqa::Select(rel, pred));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Select)->Arg(100)->Arg(400);
+
+void BM_ProjectEliminates(benchmark::State& state) {
+  Relation rel = DiagonalRelation(static_cast<int>(state.range(0)), "x", "y");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cqa::Project(rel, {"x"}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProjectEliminates)->Arg(100)->Arg(400);
+
+void BM_NaturalJoin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Relation lhs = DiagonalRelation(n, "x", "y");
+  Relation rhs = DiagonalRelation(n, "y", "z");  // shares y
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cqa::NaturalJoin(lhs, rhs));
+  }
+  state.SetLabel(std::to_string(n) + "x" + std::to_string(n) + " pairs");
+}
+BENCHMARK(BM_NaturalJoin)->Arg(30)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_Difference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Relation lhs = DiagonalRelation(n, "x", "y");
+  // Subtract every other tuple, slightly shifted: forces DNF splitting.
+  Relation rhs(lhs.schema());
+  for (int i = 0; i < n; i += 2) {
+    Tuple t;
+    t.AddConstraint(Constraint::Ge(V("x"), C(i)));
+    t.AddConstraint(Constraint::Le(V("x"), C(i + 1)));
+    t.AddConstraint(Constraint::Ge(V("y") * Rational(2), C(2 * i + 1)));
+    t.AddConstraint(Constraint::Le(V("y"), C(i + 1)));
+    Status s = rhs.Insert(std::move(t));
+    (void)s;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cqa::Difference(lhs, rhs));
+  }
+  state.SetLabel(std::to_string(n) + " minus " + std::to_string(n / 2));
+}
+BENCHMARK(BM_Difference)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_JoinPipelineOptimized(benchmark::State& state) {
+  const bool optimize = state.range(0) != 0;
+  Database db;
+  Status s1 = db.Create("R", DiagonalRelation(60, "a", "shared"));
+  Status s2 = db.Create("S", DiagonalRelation(60, "shared", "b"));
+  (void)s1;
+  (void)s2;
+  Predicate pred;
+  pred.linear.push_back(Constraint::Ge(V("a"), C(55)));
+  pred.linear.push_back(Constraint::Le(V("b"), C(5)));
+  auto plan = cqa::PlanNode::Select(
+      cqa::PlanNode::Join(cqa::PlanNode::Scan("R"), cqa::PlanNode::Scan("S")),
+      pred);
+  if (optimize) plan = cqa::Optimize(std::move(plan), db);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cqa::Execute(*plan, db));
+  }
+  state.SetLabel(optimize ? "with select pushdown" : "naive plan");
+}
+BENCHMARK(BM_JoinPipelineOptimized)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,130 @@
+// Ablation: constraint vs vector representation of spatial data (§6).
+//
+// The paper argues that for spatial features the vector (geometric)
+// representation can beat constraints: it avoids per-piece duplication and
+// boundary redundancy, and operations like projection read straight off
+// the vertices ("a region's projection onto either of the dimensions can
+// be obtained by taking the appropriate coordinate of each point and
+// finding the extrema", Example 8). This bench measures the same logical
+// operations both ways:
+//   - projection of a region onto x,
+//   - point-in-region tests,
+//   - pairwise feature distance,
+// and reports the representation sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "ccdb.h"
+
+namespace ccdb {
+namespace {
+
+/// A jagged (concave) polygon with `teeth` notches — decomposes into many
+/// convex pieces.
+geom::Polygon Comb(int teeth) {
+  std::vector<geom::Point> ring;
+  ring.emplace_back(0, 0);
+  ring.emplace_back(4 * teeth, 0);
+  ring.emplace_back(4 * teeth, 10);
+  // Teeth along the top, right to left.
+  for (int i = teeth; i-- > 0;) {
+    ring.emplace_back(4 * i + 3, 10);
+    ring.emplace_back(4 * i + 3, 6);
+    ring.emplace_back(4 * i + 1, 6);
+    ring.emplace_back(4 * i + 1, 10);
+  }
+  ring.emplace_back(0, 10);
+  auto polygon = geom::Polygon::Make(std::move(ring));
+  return polygon.value();
+}
+
+void BM_ProjectionVector(benchmark::State& state) {
+  geom::Polygon polygon = Comb(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    // Example 8: extrema of vertex coordinates.
+    geom::Box box = polygon.BoundingBox();
+    benchmark::DoNotOptimize(box);
+  }
+  state.SetLabel(std::to_string(polygon.size()) + " vertices");
+}
+BENCHMARK(BM_ProjectionVector)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ProjectionConstraint(benchmark::State& state) {
+  geom::Polygon polygon = Comb(static_cast<int>(state.range(0)));
+  auto tuples = geom::PolygonToConstraintTuples(polygon, "x", "y");
+  for (auto _ : state) {
+    // Projection of the union: x-interval of every constraint tuple.
+    fm::Interval total;
+    bool first = true;
+    for (const Conjunction& tuple : tuples) {
+      fm::Interval iv = fm::VariableInterval(tuple, "x");
+      if (first) {
+        total = iv;
+        first = false;
+      } else {
+        if (iv.lower && total.lower &&
+            iv.lower->value < total.lower->value) {
+          total.lower = iv.lower;
+        }
+        if (iv.upper && total.upper &&
+            iv.upper->value > total.upper->value) {
+          total.upper = iv.upper;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetLabel(std::to_string(tuples.size()) + " constraint tuples");
+}
+BENCHMARK(BM_ProjectionConstraint)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ContainmentVector(benchmark::State& state) {
+  geom::Polygon polygon = Comb(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    geom::Point p(Rational(rng.UniformInt(0, 4 * state.range(0))),
+                  Rational(rng.UniformInt(0, 10)));
+    benchmark::DoNotOptimize(polygon.Contains(p));
+  }
+}
+BENCHMARK(BM_ContainmentVector)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ContainmentConstraint(benchmark::State& state) {
+  geom::Polygon polygon = Comb(static_cast<int>(state.range(0)));
+  auto tuples = geom::PolygonToConstraintTuples(polygon, "x", "y");
+  Rng rng(1);
+  for (auto _ : state) {
+    Assignment p{{"x", Rational(rng.UniformInt(0, 4 * state.range(0)))},
+                 {"y", Rational(rng.UniformInt(0, 10))}};
+    bool inside = false;
+    for (const Conjunction& tuple : tuples) {
+      if (tuple.IsSatisfiedBy(p)) {
+        inside = true;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(inside);
+  }
+}
+BENCHMARK(BM_ContainmentConstraint)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RepresentationSize(benchmark::State& state) {
+  geom::Polygon polygon = Comb(static_cast<int>(state.range(0)));
+  auto tuples = geom::PolygonToConstraintTuples(polygon, "x", "y");
+  size_t constraint_count = 0;
+  for (const Conjunction& tuple : tuples) {
+    constraint_count += tuple.size();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::PolygonToConstraintTuples(polygon, "x",
+                                                             "y"));
+  }
+  // §6.2's redundancy claim in numbers: vertices vs constraints.
+  state.counters["vertices"] = static_cast<double>(polygon.size());
+  state.counters["convex_pieces"] = static_cast<double>(tuples.size());
+  state.counters["constraints"] = static_cast<double>(constraint_count);
+}
+BENCHMARK(BM_RepresentationSize)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace ccdb

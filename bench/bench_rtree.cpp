@@ -1,0 +1,122 @@
+// Ablation: the R*-tree itself (the index substrate of §5).
+//
+// Throughput of insert/search/delete at both dimensionalities, plus the
+// motivating comparison: indexed box selection vs heap-file scan on the
+// paper's 10,000-rectangle workload.
+
+#include <benchmark/benchmark.h>
+
+#include "ccdb.h"
+
+namespace ccdb {
+namespace {
+
+Rect RandomBox(Rng* rng, int dims) {
+  double x = static_cast<double>(rng->UniformInt(0, 3000));
+  double w = static_cast<double>(rng->UniformInt(1, 100));
+  if (dims == 1) return Rect::Make1D(x, x + w);
+  double y = static_cast<double>(rng->UniformInt(0, 3000));
+  double h = static_cast<double>(rng->UniformInt(1, 100));
+  return Rect::Make2D(x, x + w, y, y + h);
+}
+
+void BM_Insert(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    PageManager disk;
+    BufferPool pool(&disk, 0);
+    RStarTree tree(&pool, dims);
+    Rng rng(1);
+    state.ResumeTiming();
+    for (uint64_t i = 0; i < 2000; ++i) {
+      benchmark::DoNotOptimize(tree.Insert(RandomBox(&rng, dims), i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+  state.SetLabel(std::to_string(dims) + "-D");
+}
+BENCHMARK(BM_Insert)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_Search(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  PageManager disk;
+  BufferPool pool(&disk, 0);
+  RStarTree tree(&pool, dims);
+  Rng rng(2);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    Status s = tree.Insert(RandomBox(&rng, dims), i);
+    (void)s;
+  }
+  uint64_t accesses = 0;
+  uint64_t searches = 0;
+  for (auto _ : state) {
+    disk.ResetStats();
+    benchmark::DoNotOptimize(tree.Search(RandomBox(&rng, dims)));
+    accesses += disk.stats().reads;
+    ++searches;
+  }
+  state.SetLabel(std::to_string(dims) + "-D over 10k entries");
+  state.counters["pages/query"] =
+      static_cast<double>(accesses) / static_cast<double>(searches);
+}
+BENCHMARK(BM_Search)->Arg(1)->Arg(2);
+
+void BM_Delete(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    PageManager disk;
+    BufferPool pool(&disk, 0);
+    RStarTree tree(&pool, 2);
+    Rng rng(3);
+    std::vector<Rect> boxes;
+    for (uint64_t i = 0; i < 2000; ++i) {
+      boxes.push_back(RandomBox(&rng, 2));
+      Status s = tree.Insert(boxes.back(), i);
+      (void)s;
+    }
+    state.ResumeTiming();
+    for (uint64_t i = 0; i < 2000; ++i) {
+      benchmark::DoNotOptimize(tree.Delete(boxes[i], i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_Delete)->Unit(benchmark::kMillisecond);
+
+void BM_BoxSelectIndexedVsScan(benchmark::State& state) {
+  const bool indexed = state.range(0) != 0;
+  auto boxes = GenerateDataBoxes(99);
+  Relation rel = BoxesToConstraintRelation(boxes);
+  PageManager disk;
+  BufferPool pool(&disk, 0);
+  auto stored = cqa::StoredRelation::Create(
+      &pool, rel,
+      indexed ? cqa::AccessIndexKind::kJoint : cqa::AccessIndexKind::kNone,
+      "x", "y", Rect::Make2D(-10, 3110, -10, 3110));
+  if (!stored.ok()) {
+    state.SkipWithError(stored.status().ToString().c_str());
+    return;
+  }
+  Rng rng(4);
+  uint64_t reads = 0, queries = 0;
+  for (auto _ : state) {
+    double x = static_cast<double>(rng.UniformInt(0, 3000));
+    double y = static_cast<double>(rng.UniformInt(0, 3000));
+    disk.ResetStats();
+    benchmark::DoNotOptimize(
+        (*stored)->BoxSelect(BoxQuery::Both(x, x + 50, y, y + 50)));
+    reads += disk.stats().reads;
+    ++queries;
+  }
+  state.SetLabel(indexed ? "joint index + refine" : "heap scan + refine");
+  state.counters["pages/query"] =
+      static_cast<double>(reads) / static_cast<double>(queries);
+}
+BENCHMARK(BM_BoxSelectIndexedVsScan)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ccdb

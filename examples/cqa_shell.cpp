@@ -1,0 +1,143 @@
+// An interactive CQA/CDB shell.
+//
+// Loads .cdb data files and evaluates the step-based ASCII query language
+// interactively — the "user interface layer" slot of the paper's Figure 1.
+//
+// Usage:  cqa_shell [file.cdb ...]
+// Commands:
+//   <step> = <operator> ...     evaluate a CQA step (see `help`)
+//   show <relation>             print a relation
+//   schema <relation>           print a schema
+//   list                        list relations
+//   load <path>                 load a .cdb file
+//   save <path>                 export the database as a .cdb file
+//   plan <relation>             advisor: joint vs separate indexing hints
+//   help                        syntax summary
+//   quit
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "ccdb.h"
+
+using namespace ccdb;  // NOLINT: example brevity
+
+namespace {
+
+void PrintHelp() {
+  std::cout <<
+      R"(CQA statements (each defines/overwrites a named step):
+  R1 = select t >= 4, t <= 9, landId = A from R0
+  R2 = project R1 on name, t
+  R3 = join A and B            (natural join; also: product, intersect)
+  R4 = union A and B
+  R5 = minus A and B           (difference)
+  R6 = rename x to t in R5
+  R7 = buffer-join L and P within 5 [using fid]
+  R8 = k-nearest L and P k 3 [using fid]
+Shell commands: show/schema/list/load/save/plan/help/quit
+)";
+}
+
+void ShowRelation(Database* db, const std::string& name) {
+  auto rel = db->Get(name);
+  if (!rel.ok()) {
+    std::cout << rel.status().ToString() << "\n";
+    return;
+  }
+  std::cout << (*rel)->ToString() << "\n";
+}
+
+void AdvisePlan(Database* db, const std::string& name) {
+  auto rel = db->Get(name);
+  if (!rel.ok()) {
+    std::cout << rel.status().ToString() << "\n";
+    return;
+  }
+  // A default conjunctive probe workload over the relation's extent.
+  std::vector<BoxQuery> workload;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    double x = static_cast<double>(rng.UniformInt(0, 2900));
+    double y = static_cast<double>(rng.UniformInt(0, 2900));
+    workload.push_back(BoxQuery::Both(x, x + 100, y, y + 100));
+  }
+  auto report = cqa::AdviseIndexing(**rel, workload, "x", "y",
+                                    Rect::Make2D(-10, 3110, -10, 3110));
+  if (!report.ok()) {
+    std::cout << report.status().ToString() << "\n";
+    return;
+  }
+  std::cout << report->ToString() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+  for (int i = 1; i < argc; ++i) {
+    Status s = lang::LoadDatabaseFile(argv[i], &db);
+    if (!s.ok()) {
+      std::cerr << "error loading " << argv[i] << ": " << s.ToString()
+                << "\n";
+      return 1;
+    }
+    std::cout << "loaded " << argv[i] << "\n";
+  }
+  std::cout << "CCDB shell — 'help' for syntax, 'quit' to exit.\n";
+
+  std::string line;
+  while (std::cout << "cqa> " << std::flush, std::getline(std::cin, line)) {
+    std::istringstream words(line);
+    std::string command;
+    words >> command;
+    if (command.empty() || command[0] == '#') continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (command == "list") {
+      for (const std::string& name : db.Names()) {
+        std::cout << "  " << name << " ("
+                  << db.Get(name).value()->size() << " tuples)\n";
+      }
+      continue;
+    }
+    if (command == "show" || command == "schema" || command == "plan" ||
+        command == "load" || command == "save") {
+      std::string arg;
+      words >> arg;
+      if (arg.empty()) {
+        std::cout << command << " needs an argument\n";
+        continue;
+      }
+      if (command == "show") {
+        ShowRelation(&db, arg);
+      } else if (command == "schema") {
+        auto rel = db.Get(arg);
+        std::cout << (rel.ok() ? (*rel)->schema().ToString()
+                               : rel.status().ToString())
+                  << "\n";
+      } else if (command == "plan") {
+        AdvisePlan(&db, arg);
+      } else if (command == "load") {
+        Status s = lang::LoadDatabaseFile(arg, &db);
+        std::cout << (s.ok() ? "ok" : s.ToString()) << "\n";
+      } else {
+        Status s = lang::SaveDatabaseFile(arg, db);
+        std::cout << (s.ok() ? "saved" : s.ToString()) << "\n";
+      }
+      continue;
+    }
+    // Otherwise: a CQA statement.
+    auto step = lang::ExecuteStatement(line, &db);
+    if (!step.ok()) {
+      std::cout << step.status().ToString() << "\n";
+      continue;
+    }
+    ShowRelation(&db, *step);
+  }
+  return 0;
+}

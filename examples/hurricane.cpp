@@ -1,0 +1,87 @@
+// The Hurricane case study (§3.3 of the paper), end to end.
+//
+// Loads the heterogeneous Hurricane database from its .cdb data file and
+// runs the case study's queries in the step-based ASCII CQA language —
+// exactly the workflow the paper demonstrates, including the two
+// whole-feature operators of §4.
+//
+// Usage: hurricane [path-to-hurricane.cdb]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "ccdb.h"
+
+using namespace ccdb;  // NOLINT: example brevity
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return EXIT_FAILURE;
+}
+
+void RunQuery(Database* db, const std::string& title,
+              const std::string& script) {
+  std::cout << "=== " << title << "\n" << script;
+  auto result = lang::RunQuery(script, db);
+  if (!result.ok()) {
+    std::cout << "error: " << result.status().ToString() << "\n\n";
+    return;
+  }
+  std::cout << "result:\n" << result->ToString() << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = argc > 1 ? argv[1] : std::string(CCDB_DATA_DIR) +
+                                              "/hurricane/hurricane.cdb";
+  Database db;
+  if (Status s = lang::LoadDatabaseFile(path, &db); !s.ok()) return Fail(s);
+
+  std::cout << "Loaded Hurricane database from " << path << "\n";
+  for (const std::string& name : db.Names()) {
+    std::cout << "  " << name << ": " << db.Get(name).value()->size()
+              << " tuples, schema "
+              << db.Get(name).value()->schema().ToString() << "\n";
+  }
+  std::cout << "\n";
+
+  RunQuery(&db, "Query 1: who owned Land A, and when",
+           "R0 = select landId = A from Landownership\n"
+           "R1 = project R0 on name, t\n");
+
+  RunQuery(&db, "Query 2: all land parcels the hurricane passed",
+           "R0 = join Hurricane and Land\n"
+           "R1 = project R0 on landId\n");
+
+  RunQuery(&db,
+           "Query 3: names of those whose land was hit by the hurricane "
+           "between time 4 and 9",
+           "R0 = join Landownership and Land\n"
+           "R1 = select t >= 4, t <= 9 from Hurricane\n"
+           "R2 = join R0 and R1\n"
+           "R3 = project R2 on name\n");
+
+  RunQuery(&db, "Query 4: where was the hurricane at time 6",
+           "R0 = select t = 6 from Hurricane\n"
+           "R1 = project R0 on x, y\n");
+
+  RunQuery(&db,
+           "Query 5 (whole-feature, §4): parcels within distance 1/2 of "
+           "the hurricane trajectory",
+           "R0 = buffer-join LandFeatures and HurricanePath within 1/2\n");
+
+  RunQuery(&db,
+           "Query 6 (whole-feature, §4): the 2 parcels nearest the "
+           "trajectory",
+           "R0 = k-nearest HurricanePath and LandFeatures k 2\n");
+
+  std::cout << "Note (§4): a raw distance *value* is not representable with "
+               "linear\nconstraints (its boundary is circular), so queries "
+               "returning distances are\nunsafe; Buffer-Join and k-Nearest "
+               "return feature-ID relations instead,\nwhich keeps every "
+               "query closed under the algebra.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,136 @@
+// Joint vs separate multi-attribute indexing (§5 of the paper).
+//
+// Recreates the paper's §5.3 worked example on the full workload of §5.4:
+// a selection `x < a AND y > b` where each attribute alone has ~50%
+// selectivity but the conjunction selects almost nothing. A joint 2-D
+// R*-tree answers it in a handful of page reads; two separate 1-D indexes
+// must each scan half the relation and intersect.
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+#include <iostream>
+
+#include "ccdb.h"
+
+using namespace ccdb;  // NOLINT: example brevity
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return EXIT_FAILURE;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CCDB: one joint index vs one index per attribute (§5)\n\n";
+
+  // Data that realizes the paper's §5.3 scenario: rectangles hugging the
+  // main diagonal (y ~ x), so "x small" matches half the data and
+  // "y large" matches half the data, but their conjunction matches almost
+  // nothing. Same counts/extents as the paper's recipe otherwise.
+  std::vector<geom::Box> boxes;
+  {
+    Rng rng(2003);
+    WorkloadParams params;
+    for (size_t i = 0; i < params.data_count; ++i) {
+      int64_t x = rng.UniformInt(0, 3000);
+      int64_t y = std::clamp<int64_t>(x + rng.UniformInt(-150, 150), 0, 3000);
+      int64_t w = rng.UniformInt(1, 100);
+      int64_t h = rng.UniformInt(1, 100);
+      boxes.push_back(geom::Box{Rational(x), Rational(x + w), Rational(y),
+                                Rational(y + h)});
+    }
+  }
+  Relation rel = BoxesToConstraintRelation(boxes);
+  std::cout << "data: " << rel.size()
+            << " constraint tuples (rectangles along the diagonal y ~ x)\n";
+
+  PageManager disk;
+  BufferPool pool(&disk, /*capacity=*/0);  // count every page touch
+  const Rect domain = Rect::Make2D(-100, 3200, -100, 3200);
+
+  auto joint = cqa::StoredRelation::Create(
+      &pool, rel, cqa::AccessIndexKind::kJoint, "x", "y", domain);
+  if (!joint.ok()) return Fail(joint.status());
+  auto separate = cqa::StoredRelation::Create(
+      &pool, rel, cqa::AccessIndexKind::kSeparate, "x", "y", domain);
+  if (!separate.ok()) return Fail(separate.status());
+  auto unindexed = cqa::StoredRelation::Create(
+      &pool, rel, cqa::AccessIndexKind::kNone, "x", "y", domain);
+  if (!unindexed.ok()) return Fail(unindexed.status());
+
+  // §5.3: x < 1500 AND y > 1500 — each half selective alone; their
+  // conjunction is the top-left quadrant only.
+  BoxQuery query = BoxQuery::Both(-100, 1500, 1500, 3200);
+  std::cout << "query: x <= 1500 AND y >= 1500 (conjunctively selective)\n\n";
+
+  struct Row {
+    const char* name;
+    cqa::StoredRelation* stored;
+  };
+  Row rows[] = {{"joint 2-D R*-tree", joint->get()},
+                {"two separate 1-D R*-trees", separate->get()},
+                {"heap-file scan", unindexed->get()}};
+  std::cout << "  access path                     disk reads   result tuples\n";
+  for (Row& row : rows) {
+    disk.ResetStats();
+    auto result = row.stored->BoxSelect(query);
+    if (!result.ok()) return Fail(result.status());
+    printf("  %-30s  %10llu   %13zu\n", row.name,
+           static_cast<unsigned long long>(disk.stats().reads),
+           result->size());
+  }
+
+  std::cout << "\nSingle-attribute query (x only): the separate index wins "
+               "mildly —\nthe joint index must widen y to the whole domain "
+               "(§5.4, Fig. 5).\n\n";
+  BoxQuery xonly = BoxQuery::XOnly(1000, 1100);
+  std::cout << "  access path                     disk reads   result tuples\n";
+  for (Row& row : rows) {
+    disk.ResetStats();
+    auto result = row.stored->BoxSelect(xonly);
+    if (!result.ok()) return Fail(result.status());
+    printf("  %-30s  %10llu   %13zu\n", row.name,
+           static_cast<unsigned long long>(disk.stats().reads),
+           result->size());
+  }
+
+  // Index-only accounting (the paper's metric): count pages the index
+  // itself touches, excluding the heap fetches of qualifying records that
+  // both strategies pay identically.
+  std::cout << "\nIndex-only page reads for the conjunctive query (the "
+               "paper's metric —\nthe separate strategy must enumerate "
+               "every id matching EACH attribute\nbefore intersecting):\n\n";
+  {
+    PageManager index_disk;
+    BufferPool index_pool(&index_disk, 0);
+    JointIndex ji(&index_pool, domain);
+    SeparateIndex si(&index_pool);
+    for (uint64_t i = 0; i < boxes.size(); ++i) {
+      Rect rect = Rect::Make2D(
+          Rect::RoundDown(boxes[i].x_min), Rect::RoundUp(boxes[i].x_max),
+          Rect::RoundDown(boxes[i].y_min), Rect::RoundUp(boxes[i].y_max));
+      if (Status s = ji.Insert(rect, i); !s.ok()) return Fail(s);
+      if (Status s = si.Insert(rect, i); !s.ok()) return Fail(s);
+    }
+    index_disk.ResetStats();
+    auto jr = ji.Search(query);
+    if (!jr.ok()) return Fail(jr.status());
+    uint64_t joint_reads = index_disk.stats().reads;
+    index_disk.ResetStats();
+    auto sr = si.Search(query);
+    if (!sr.ok()) return Fail(sr.status());
+    uint64_t separate_reads = index_disk.stats().reads;
+    printf("  joint 2-D R*-tree               %10llu  (%zu hits)\n",
+           static_cast<unsigned long long>(joint_reads), jr->size());
+    printf("  two separate 1-D R*-trees       %10llu  (%zu hits)\n",
+           static_cast<unsigned long long>(separate_reads), sr->size());
+  }
+
+  std::cout << "\nSee bench/bench_fig4_two_attr and bench/bench_fig5_one_attr "
+               "for the\nfull reproduction of the paper's Figures 4 and 5.\n";
+  return EXIT_SUCCESS;
+}

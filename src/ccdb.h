@@ -1,0 +1,48 @@
+#ifndef CCDB_CCDB_H_
+#define CCDB_CCDB_H_
+
+/// \file ccdb.h
+/// Umbrella header: the public API of CCDB.
+///
+/// CCDB is a rational linear constraint database — a from-scratch C++
+/// reproduction of the CQA/CDB system of "The Constraint Database
+/// Framework: Lessons Learned from CQA/CDB" (ICDE 2003). See README.md for
+/// the architecture overview and DESIGN.md for the paper-to-code map.
+
+#include "constraint/conjunction.h"        // constraint tuples' formulas
+#include "constraint/constraint.h"         // atomic linear constraints
+#include "constraint/fourier_motzkin.h"    // projection / satisfiability
+#include "constraint/linear_expr.h"        // rational linear expressions
+#include "constraint/independence.h"       // variable independence (§3.2)
+#include "core/access.h"                   // stored relations + access paths
+#include "core/advisor.h"                  // the §5.4 index advisor
+#include "core/calculus.h"                 // CQC: declarative layer over CQA
+#include "core/operators.h"                // the CQA operator set
+#include "core/plan.h"                     // logical plans + optimizer
+#include "core/predicate.h"                // selection predicates
+#include "core/spatial.h"                  // Buffer-Join / k-Nearest
+#include "data/database.h"                 // the catalog
+#include "data/relation.h"                 // heterogeneous relations
+#include "data/schema.h"                   // schemas with the C/R flag
+#include "data/tuple.h"                    // heterogeneous tuples
+#include "data/value.h"                    // relational values
+#include "data/workload.h"                 // the paper's workload generator
+#include "geom/convert.h"                  // constraint <-> vector (§6)
+#include "geom/decompose.h"                // convex decomposition
+#include "geom/clip.h"                     // exact convex clipping
+#include "geom/minkowski.h"                // buffers via Minkowski sums
+#include "geom/polygon.h"                  // vector geometry
+#include "index/rstar_tree.h"              // the R*-tree
+#include "index/strategy.h"                // joint vs separate indexing
+#include "lang/data_parser.h"              // .cdb data files
+#include "lang/query.h"                    // the step-based query language
+#include "num/bigint.h"                    // arbitrary-precision integers
+#include "num/rational.h"                  // exact rationals
+#include "storage/buffer_pool.h"           // LRU cache
+#include "storage/catalog.h"               // database persistence
+#include "storage/heap_file.h"             // slotted heap files
+#include "storage/serde.h"                 // tuple/schema codecs
+#include "storage/pager.h"                 // the simulated disk
+#include "util/status.h"                   // Status / Result error model
+
+#endif  // CCDB_CCDB_H_

@@ -1,0 +1,99 @@
+#include "constraint/conjunction.h"
+
+namespace ccdb {
+
+Conjunction::Conjunction(const std::vector<Constraint>& constraints) {
+  for (const Constraint& c : constraints) Add(c);
+}
+
+Conjunction Conjunction::False() {
+  Conjunction out;
+  out.known_false_ = true;
+  return out;
+}
+
+void Conjunction::Add(Constraint constraint) {
+  if (known_false_) return;
+  if (constraint.IsTriviallyTrue()) return;
+  if (constraint.IsTriviallyFalse()) {
+    known_false_ = true;
+    constraints_.clear();
+    return;
+  }
+  constraints_.insert(std::move(constraint));
+}
+
+void Conjunction::AddAll(const Conjunction& other) {
+  if (other.known_false_) {
+    known_false_ = true;
+    constraints_.clear();
+    return;
+  }
+  for (const Constraint& c : other.constraints_) Add(c);
+}
+
+Conjunction Conjunction::And(const Conjunction& a, const Conjunction& b) {
+  Conjunction out = a;
+  out.AddAll(b);
+  return out;
+}
+
+std::set<std::string> Conjunction::Variables() const {
+  std::set<std::string> vars;
+  for (const Constraint& c : constraints_) {
+    auto cv = c.Variables();
+    vars.insert(cv.begin(), cv.end());
+  }
+  return vars;
+}
+
+bool Conjunction::Mentions(const std::string& var) const {
+  for (const Constraint& c : constraints_) {
+    if (c.Mentions(var)) return true;
+  }
+  return false;
+}
+
+bool Conjunction::IsSatisfiedBy(const Assignment& point) const {
+  if (known_false_) return false;
+  for (const Constraint& c : constraints_) {
+    if (!c.IsSatisfiedBy(point)) return false;
+  }
+  return true;
+}
+
+Conjunction Conjunction::Substitute(const std::string& var,
+                                    const LinearExpr& replacement) const {
+  if (known_false_) return *this;
+  Conjunction out;
+  for (const Constraint& c : constraints_) {
+    out.Add(c.Substitute(var, replacement));
+    if (out.known_false_) break;
+  }
+  return out;
+}
+
+Conjunction Conjunction::RenameVariable(const std::string& from,
+                                        const std::string& to) const {
+  if (known_false_) return *this;
+  Conjunction out;
+  for (const Constraint& c : constraints_) {
+    out.Add(c.RenameVariable(from, to));
+  }
+  return out;
+}
+
+std::string Conjunction::ToString() const {
+  if (known_false_) return "false";
+  if (constraints_.empty()) return "true";
+  std::string out;
+  bool first = true;
+  for (const Constraint& c : constraints_) {
+    if (!first) out += " AND ";
+    out += c.ToPrettyString();
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace ccdb

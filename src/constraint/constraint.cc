@@ -1,0 +1,141 @@
+#include "constraint/constraint.h"
+
+#include <cassert>
+
+namespace ccdb {
+
+const char* ConstraintOpName(ConstraintOp op) {
+  switch (op) {
+    case ConstraintOp::kEq:
+      return "=";
+    case ConstraintOp::kLe:
+      return "<=";
+    case ConstraintOp::kLt:
+      return "<";
+  }
+  return "?";
+}
+
+Constraint::Constraint(LinearExpr expr, ConstraintOp op)
+    : expr_(std::move(expr)), op_(op) {
+  Canonicalize();
+}
+
+Result<Constraint> Constraint::Make(const LinearExpr& lhs,
+                                    const std::string& cmp,
+                                    const LinearExpr& rhs) {
+  if (cmp == "=" || cmp == "==") return Eq(lhs, rhs);
+  if (cmp == "<=") return Le(lhs, rhs);
+  if (cmp == "<") return Lt(lhs, rhs);
+  if (cmp == ">=") return Ge(lhs, rhs);
+  if (cmp == ">") return Gt(lhs, rhs);
+  if (cmp == "!=" || cmp == "<>") {
+    return Status::Unsupported(
+        "'!=' is a disjunction, not an atomic constraint; split the tuple");
+  }
+  return Status::ParseError("unknown comparison operator '" + cmp + "'");
+}
+
+void Constraint::Canonicalize() {
+  if (expr_.IsConstant()) return;
+  // Scale so all coefficients (and the constant) become coprime integers:
+  // multiply by lcm of denominators, divide by gcd of numerators. For
+  // equalities additionally force the leading (first in term order)
+  // coefficient positive — both sides of `= 0` are equivalent.
+  BigInt denom_lcm(1);
+  for (const auto& [var, coeff] : expr_.terms()) {
+    const BigInt& d = coeff.denominator();
+    denom_lcm = denom_lcm / BigInt::Gcd(denom_lcm, d) * d;
+  }
+  {
+    const BigInt& d = expr_.constant().denominator();
+    denom_lcm = denom_lcm / BigInt::Gcd(denom_lcm, d) * d;
+  }
+  LinearExpr scaled = expr_ * Rational(denom_lcm);
+  BigInt num_gcd(0);
+  for (const auto& [var, coeff] : scaled.terms()) {
+    num_gcd = BigInt::Gcd(num_gcd, coeff.numerator());
+  }
+  num_gcd = BigInt::Gcd(num_gcd, scaled.constant().numerator());
+  if (!num_gcd.IsZero() && !num_gcd.IsOne()) {
+    scaled = scaled * Rational(BigInt(1), num_gcd);
+  }
+  if (op_ == ConstraintOp::kEq &&
+      scaled.terms().begin()->second.Sign() < 0) {
+    scaled = -scaled;
+  }
+  expr_ = std::move(scaled);
+}
+
+bool Constraint::IsTriviallyTrue() const {
+  if (!expr_.IsConstant()) return false;
+  int sign = expr_.constant().Sign();
+  switch (op_) {
+    case ConstraintOp::kEq:
+      return sign == 0;
+    case ConstraintOp::kLe:
+      return sign <= 0;
+    case ConstraintOp::kLt:
+      return sign < 0;
+  }
+  return false;
+}
+
+bool Constraint::IsTriviallyFalse() const {
+  return expr_.IsConstant() && !IsTriviallyTrue();
+}
+
+bool Constraint::IsSatisfiedBy(const Assignment& point) const {
+  int sign = expr_.Evaluate(point).Sign();
+  switch (op_) {
+    case ConstraintOp::kEq:
+      return sign == 0;
+    case ConstraintOp::kLe:
+      return sign <= 0;
+    case ConstraintOp::kLt:
+      return sign < 0;
+  }
+  return false;
+}
+
+Constraint Constraint::Substitute(const std::string& var,
+                                  const LinearExpr& replacement) const {
+  return Constraint(expr_.Substitute(var, replacement), op_);
+}
+
+Constraint Constraint::RenameVariable(const std::string& from,
+                                      const std::string& to) const {
+  return Constraint(expr_.RenameVariable(from, to), op_);
+}
+
+std::vector<Constraint> Constraint::Negate() const {
+  switch (op_) {
+    case ConstraintOp::kLe:
+      return {Constraint(-expr_, ConstraintOp::kLt)};
+    case ConstraintOp::kLt:
+      return {Constraint(-expr_, ConstraintOp::kLe)};
+    case ConstraintOp::kEq:
+      return {Constraint(expr_, ConstraintOp::kLt),
+              Constraint(-expr_, ConstraintOp::kLt)};
+  }
+  return {};
+}
+
+bool Constraint::operator<(const Constraint& other) const {
+  if (op_ != other.op_) return static_cast<int>(op_) < static_cast<int>(other.op_);
+  return expr_ < other.expr_;
+}
+
+std::string Constraint::ToString() const {
+  return expr_.ToString() + " " + ConstraintOpName(op_) + " 0";
+}
+
+std::string Constraint::ToPrettyString() const {
+  LinearExpr lhs = expr_;
+  Rational rhs = -expr_.constant();
+  LinearExpr vars_only = lhs - LinearExpr::Constant(lhs.constant());
+  return vars_only.ToString() + " " + ConstraintOpName(op_) + " " +
+         rhs.ToString();
+}
+
+}  // namespace ccdb

@@ -1,0 +1,250 @@
+#include "constraint/fourier_motzkin.h"
+
+#include <cassert>
+#include <vector>
+
+namespace ccdb::fm {
+
+namespace {
+
+/// Picks an equality mentioning `var`, if any.
+const Constraint* FindEqualityWith(const Conjunction& input,
+                                   const std::string& var) {
+  for (const Constraint& c : input.constraints()) {
+    if (c.op() == ConstraintOp::kEq && c.Mentions(var)) return &c;
+  }
+  return nullptr;
+}
+
+/// Cost heuristic for eliminating `var`: number of pairings FM would create.
+/// Equality substitution is always preferred (cost 0).
+size_t EliminationCost(const Conjunction& input, const std::string& var) {
+  if (FindEqualityWith(input, var) != nullptr) return 0;
+  size_t lowers = 0;
+  size_t uppers = 0;
+  for (const Constraint& c : input.constraints()) {
+    int sign = c.expr().Coeff(var).Sign();
+    if (sign > 0) ++uppers;  // a·v + r <= 0, a > 0  =>  v <= -r/a
+    if (sign < 0) ++lowers;
+  }
+  return lowers * uppers;
+}
+
+}  // namespace
+
+bool Interval::Contains(const Rational& v) const {
+  if (empty) return false;
+  if (lower) {
+    int cmp = v.Compare(lower->value);
+    if (cmp < 0 || (cmp == 0 && lower->strict)) return false;
+  }
+  if (upper) {
+    int cmp = v.Compare(upper->value);
+    if (cmp > 0 || (cmp == 0 && upper->strict)) return false;
+  }
+  return true;
+}
+
+std::string Interval::ToString() const {
+  if (empty) return "empty";
+  std::string out;
+  out += lower ? (lower->strict ? "(" : "[") + lower->value.ToString()
+               : "(-inf";
+  out += ", ";
+  out += upper ? upper->value.ToString() + (upper->strict ? ")" : "]")
+               : "+inf)";
+  return out;
+}
+
+Conjunction EliminateVariable(const Conjunction& input,
+                              const std::string& var) {
+  if (input.IsKnownFalse()) return Conjunction::False();
+  if (!input.Mentions(var)) return input;
+
+  // Gaussian step: if an equality a·v + r = 0 mentions v, substitute
+  // v := -r/a into every other member and drop the equality.
+  if (const Constraint* eq = FindEqualityWith(input, var)) {
+    const Rational& a = eq->expr().Coeff(var);
+    assert(!a.IsZero());
+    LinearExpr rest = eq->expr() - LinearExpr::Term(var, a);
+    LinearExpr replacement = rest * (-a.Inverse());
+    Conjunction out;
+    for (const Constraint& c : input.constraints()) {
+      if (&c == eq) continue;
+      out.Add(c.Substitute(var, replacement));
+      if (out.IsKnownFalse()) return Conjunction::False();
+    }
+    return out;
+  }
+
+  // FM pairing step over inequalities.
+  std::vector<const Constraint*> lowers;  // coeff(v) < 0: bound v from below
+  std::vector<const Constraint*> uppers;  // coeff(v) > 0: bound v from above
+  Conjunction out;
+  for (const Constraint& c : input.constraints()) {
+    int sign = c.expr().Coeff(var).Sign();
+    if (sign == 0) {
+      out.Add(c);
+    } else if (sign > 0) {
+      uppers.push_back(&c);
+    } else {
+      lowers.push_back(&c);
+    }
+  }
+  for (const Constraint* lo : lowers) {
+    const Rational& b = lo->expr().Coeff(var);  // b < 0
+    for (const Constraint* hi : uppers) {
+      const Rational& a = hi->expr().Coeff(var);  // a > 0
+      // From a·v + s <= 0 and b·v + r <= 0 derive a·r - b·s <= 0
+      // (scale the upper by -b > 0 and the lower by a > 0, then add;
+      // the v terms cancel exactly).
+      LinearExpr combined = hi->expr() * (-b) + lo->expr() * a;
+      bool strict = hi->op() == ConstraintOp::kLt ||
+                    lo->op() == ConstraintOp::kLt;
+      out.Add(Constraint(std::move(combined),
+                         strict ? ConstraintOp::kLt : ConstraintOp::kLe));
+      if (out.IsKnownFalse()) return Conjunction::False();
+    }
+  }
+  return out;
+}
+
+Conjunction Project(const Conjunction& input,
+                    const std::set<std::string>& keep) {
+  Conjunction current = input;
+  while (true) {
+    if (current.IsKnownFalse()) return Conjunction::False();
+    std::set<std::string> vars = current.Variables();
+    std::string best;
+    size_t best_cost = 0;
+    bool found = false;
+    for (const std::string& var : vars) {
+      if (keep.count(var)) continue;
+      size_t cost = EliminationCost(current, var);
+      if (!found || cost < best_cost) {
+        best = var;
+        best_cost = cost;
+        found = true;
+      }
+    }
+    if (!found) return current;
+    current = EliminateVariable(current, best);
+  }
+}
+
+bool IsSatisfiable(const Conjunction& input) {
+  Conjunction residual = Project(input, {});
+  // After eliminating every variable, members would be ground constraints;
+  // Conjunction::Add resolves those to true/false on insertion, so the
+  // residual is either known-false or empty.
+  assert(residual.IsKnownFalse() || residual.constraints().empty());
+  return !residual.IsKnownFalse();
+}
+
+bool Entails(const Conjunction& premise, const Constraint& claim) {
+  if (premise.IsKnownFalse()) return true;  // vacuous
+  for (const Constraint& negated : claim.Negate()) {
+    Conjunction test = premise;
+    test.Add(negated);
+    if (IsSatisfiable(test)) return false;
+  }
+  return true;
+}
+
+bool AreEquivalent(const Conjunction& a, const Conjunction& b) {
+  const bool a_sat = IsSatisfiable(a);
+  const bool b_sat = IsSatisfiable(b);
+  if (a_sat != b_sat) return false;
+  if (!a_sat) return true;
+  for (const Constraint& c : b.constraints()) {
+    if (!Entails(a, c)) return false;
+  }
+  for (const Constraint& c : a.constraints()) {
+    if (!Entails(b, c)) return false;
+  }
+  return true;
+}
+
+Conjunction RemoveRedundant(const Conjunction& input) {
+  if (input.IsKnownFalse()) return Conjunction::False();
+  if (!IsSatisfiable(input)) return Conjunction::False();
+  std::vector<Constraint> kept(input.constraints().begin(),
+                               input.constraints().end());
+  // Greedy: try dropping each member; keep it only if the rest do not
+  // entail it. Iterating over a shrinking set keeps the result equivalent.
+  for (size_t i = 0; i < kept.size();) {
+    Conjunction rest;
+    for (size_t j = 0; j < kept.size(); ++j) {
+      if (j != i) rest.Add(kept[j]);
+    }
+    if (Entails(rest, kept[i])) {
+      kept.erase(kept.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return Conjunction(kept);
+}
+
+Interval VariableInterval(const Conjunction& input, const std::string& var) {
+  Interval interval;
+  Conjunction onto = Project(input, {var});
+  if (onto.IsKnownFalse()) {
+    interval.empty = true;
+    return interval;
+  }
+  for (const Constraint& c : onto.constraints()) {
+    const Rational& a = c.expr().Coeff(var);
+    assert(!a.IsZero() && "projection left a ground constraint");
+    // a·v + k op 0  =>  v op' -k/a  (op' flips direction when a < 0).
+    Rational bound = -c.expr().constant() / a;
+    if (c.op() == ConstraintOp::kEq) {
+      // v = bound: acts as both bounds.
+      if (!interval.lower || bound > interval.lower->value ||
+          (bound == interval.lower->value && interval.lower->strict)) {
+        interval.lower = Bound{bound, false};
+      }
+      if (!interval.upper || bound < interval.upper->value ||
+          (bound == interval.upper->value && interval.upper->strict)) {
+        interval.upper = Bound{bound, false};
+      }
+      continue;
+    }
+    bool strict = c.op() == ConstraintOp::kLt;
+    if (a.Sign() > 0) {
+      // v <(=) bound: upper bound.
+      if (!interval.upper || bound < interval.upper->value ||
+          (bound == interval.upper->value && strict &&
+           !interval.upper->strict)) {
+        interval.upper = Bound{bound, strict};
+      }
+    } else {
+      // v >(=) bound: lower bound.
+      if (!interval.lower || bound > interval.lower->value ||
+          (bound == interval.lower->value && strict &&
+           !interval.lower->strict)) {
+        interval.lower = Bound{bound, strict};
+      }
+    }
+  }
+  if (interval.lower && interval.upper) {
+    int cmp = interval.lower->value.Compare(interval.upper->value);
+    if (cmp > 0 ||
+        (cmp == 0 && (interval.lower->strict || interval.upper->strict))) {
+      interval = Interval{};
+      interval.empty = true;
+    }
+  }
+  return interval;
+}
+
+std::map<std::string, Interval> BoundingBox(
+    const Conjunction& input, const std::set<std::string>& vars) {
+  std::map<std::string, Interval> box;
+  for (const std::string& var : vars) {
+    box.emplace(var, VariableInterval(input, var));
+  }
+  return box;
+}
+
+}  // namespace ccdb::fm

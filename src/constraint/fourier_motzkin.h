@@ -1,0 +1,102 @@
+#ifndef CCDB_CONSTRAINT_FOURIER_MOTZKIN_H_
+#define CCDB_CONSTRAINT_FOURIER_MOTZKIN_H_
+
+/// \file fourier_motzkin.h
+/// Fourier–Motzkin variable elimination and derived decision procedures.
+///
+/// This is the constraint-solving core that makes CQA's closure principle
+/// (§2.5 of the paper) executable for rational linear constraints:
+///
+///  - `EliminateVariable` / `Project` implement the existential quantifier —
+///    the engine behind the CQA *project* operator.
+///  - `IsSatisfiable` decides emptiness of a constraint tuple (eliminate
+///    every variable, inspect the residual ground constraints); it is sound
+///    and complete over the rationals (a dense order), including strict
+///    inequalities.
+///  - `Entails` reduces to unsatisfiability of the conjunction with the
+///    negated constraint.
+///  - `RemoveRedundant` minimizes a tuple's representation, keeping query
+///    outputs small (important after joins, whose naive outputs accumulate
+///    redundant members).
+///  - `VariableInterval` / `BoundingBox` extract the attribute ranges that
+///    the index layer (§5) uses as R*-tree keys.
+///
+/// Equalities are eliminated by Gaussian substitution before inequality
+/// pairing, which both preserves exactness and avoids the quadratic blowup
+/// of translating `=` into `<= ∧ >=`.
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "constraint/conjunction.h"
+
+namespace ccdb::fm {
+
+/// One-sided bound on a variable.
+struct Bound {
+  Rational value;
+  bool strict = false;  ///< true for <, false for <=
+
+  bool operator==(const Bound& other) const {
+    return value == other.value && strict == other.strict;
+  }
+};
+
+/// A (possibly unbounded / empty) interval of rationals.
+struct Interval {
+  std::optional<Bound> lower;  ///< absent = unbounded below
+  std::optional<Bound> upper;  ///< absent = unbounded above
+  bool empty = false;          ///< true when no value satisfies the bounds
+
+  /// True when the interval pins exactly one value.
+  bool IsPoint() const {
+    return !empty && lower && upper && !lower->strict && !upper->strict &&
+           lower->value == upper->value;
+  }
+
+  /// True if `v` lies inside the interval.
+  bool Contains(const Rational& v) const;
+
+  /// Renders like "[1, 3)" / "(-inf, 2]" / "empty".
+  std::string ToString() const;
+};
+
+/// Existentially eliminates `var`: the result is satisfied by exactly the
+/// assignments (to the remaining variables) that extend to a satisfying
+/// assignment of `input`. Returns `input` unchanged if `var` is absent.
+Conjunction EliminateVariable(const Conjunction& input,
+                              const std::string& var);
+
+/// Projects onto `keep`: eliminates every variable of `input` not in
+/// `keep`, cheapest-first (fewest lower×upper products).
+Conjunction Project(const Conjunction& input,
+                    const std::set<std::string>& keep);
+
+/// Decides satisfiability over the rationals (exact).
+bool IsSatisfiable(const Conjunction& input);
+
+/// True when every rational point satisfying `premise` satisfies `claim`.
+bool Entails(const Conjunction& premise, const Constraint& claim);
+
+/// True when the two conjunctions have identical rational solution sets.
+bool AreEquivalent(const Conjunction& a, const Conjunction& b);
+
+/// Removes members entailed by the remaining members. The result is
+/// equivalent to the input; an unsatisfiable input collapses to `False()`.
+Conjunction RemoveRedundant(const Conjunction& input);
+
+/// Tightest interval containing the projection of `input`'s solution set
+/// onto `var`. An unsatisfiable input yields an empty interval; a variable
+/// that is unconstrained yields (-inf, +inf).
+Interval VariableInterval(const Conjunction& input, const std::string& var);
+
+/// `VariableInterval` for each of `vars` in one call (the per-attribute
+/// bounding box used for R*-tree keys, §5 of the paper).
+std::map<std::string, Interval> BoundingBox(const Conjunction& input,
+                                            const std::set<std::string>& vars);
+
+}  // namespace ccdb::fm
+
+#endif  // CCDB_CONSTRAINT_FOURIER_MOTZKIN_H_

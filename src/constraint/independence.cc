@@ -1,0 +1,53 @@
+#include "constraint/independence.h"
+
+#include "constraint/fourier_motzkin.h"
+
+namespace ccdb::fm {
+
+IndependenceSplit SplitByVariables(const Conjunction& input,
+                                   const std::string& x,
+                                   const std::string& y) {
+  IndependenceSplit split;
+  if (input.IsKnownFalse()) {
+    split.coupled = Conjunction::False();
+    return split;
+  }
+  for (const Constraint& c : input.constraints()) {
+    const bool has_x = c.Mentions(x);
+    const bool has_y = c.Mentions(y);
+    if (has_x && has_y) {
+      split.coupled.Add(c);
+    } else if (has_x) {
+      split.x_only.Add(c);
+    } else if (has_y) {
+      split.y_only.Add(c);
+    } else {
+      // Variable-free-of-{x,y} members constrain the context either way;
+      // keep them with both sides via the x-part (they must hold
+      // regardless of the split).
+      split.x_only.Add(c);
+      split.y_only.Add(c);
+    }
+  }
+  return split;
+}
+
+bool AreIndependent(const Conjunction& input, const std::string& x,
+                    const std::string& y) {
+  if (input.IsKnownFalse()) return true;  // empty set is a trivial product
+  if (!input.Mentions(x) || !input.Mentions(y)) return true;
+  if (!IsSatisfiable(input)) return true;
+  // φ is x⊥y iff φ ≡ (∃y. φ) ∧ (∃x. φ): the product of its projections.
+  // (⊆ always holds; equality fails exactly when some implicit coupling
+  // survives projection recombination.)
+  Conjunction without_y = EliminateVariable(input, y);
+  Conjunction without_x = EliminateVariable(input, x);
+  Conjunction product = Conjunction::And(without_y, without_x);
+  // product ⊇ input always; independence iff product entails input.
+  for (const Constraint& c : input.constraints()) {
+    if (!Entails(product, c)) return false;
+  }
+  return true;
+}
+
+}  // namespace ccdb::fm

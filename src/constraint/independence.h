@@ -1,0 +1,48 @@
+#ifndef CCDB_CONSTRAINT_INDEPENDENCE_H_
+#define CCDB_CONSTRAINT_INDEPENDENCE_H_
+
+/// \file independence.h
+/// Variable independence analysis.
+///
+/// §3.2 of the paper notes a side benefit of the C/R flag: "Attribute type
+/// plays a role, for example, in establishing variable independence [5];
+/// if an attribute is known to be relational, it is automatically
+/// independent of all other attributes." (Chomicki, Goldin, Kuper, Toman,
+/// "Variable Independence in Constraint Databases".)
+///
+/// Two variables x, y are *independent* in a conjunction φ when φ's
+/// solution set is a product of its projections — equivalently, when φ is
+/// equivalent to (∃y φ) ∧ (∃x φ) restricted to the two variables. CCDB
+/// decides this exactly with Fourier–Motzkin machinery. Independence
+/// matters operationally: independent attributes lose nothing under
+/// separate 1-D indexing, while coupled attributes are exactly the case
+/// where §5's joint index wins.
+
+#include <set>
+#include <string>
+
+#include "constraint/conjunction.h"
+
+namespace ccdb::fm {
+
+/// True when `x` and `y` are independent in `input`: the conjunction's
+/// solution set equals the conjunction of its x-only and y-only parts
+/// (no constraint couples the two, even implicitly).
+bool AreIndependent(const Conjunction& input, const std::string& x,
+                    const std::string& y);
+
+/// Decomposes `input` into (x-part, y-part, coupled-part) syntactically:
+/// members mentioning only x, only y, and both. (Other variables are left
+/// in whichever member they appear.)
+struct IndependenceSplit {
+  Conjunction x_only;
+  Conjunction y_only;
+  Conjunction coupled;
+};
+IndependenceSplit SplitByVariables(const Conjunction& input,
+                                   const std::string& x,
+                                   const std::string& y);
+
+}  // namespace ccdb::fm
+
+#endif  // CCDB_CONSTRAINT_INDEPENDENCE_H_

@@ -1,0 +1,265 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+
+#include "constraint/independence.h"
+#include "storage/serde.h"
+
+namespace ccdb::cqa {
+
+const char* IndexChoiceName(IndexChoice choice) {
+  switch (choice) {
+    case IndexChoice::kJoint:
+      return "joint(x,y)";
+    case IndexChoice::kSeparate:
+      return "separate(x)+separate(y)";
+    case IndexChoice::kXOnly:
+      return "x-only";
+    case IndexChoice::kYOnly:
+      return "y-only";
+  }
+  return "?";
+}
+
+std::string AdvisorReport::ToString() const {
+  std::string out = "recommendation: ";
+  out += IndexChoiceName(recommendation);
+  out += "\nworkload: " + std::to_string(queries_both) + " conjunctive, " +
+         std::to_string(queries_x_only) + " x-only, " +
+         std::to_string(queries_y_only) + " y-only";
+  out += "\nattributes independent: ";
+  out += attributes_independent ? "yes" : "no";
+  out += "\ncosts (page accesses over the replayed workload):";
+  for (const Candidate& c : candidates) {
+    out += "\n  " + std::string(IndexChoiceName(c.choice)) + ": " +
+           std::to_string(c.total_accesses);
+  }
+  return out;
+}
+
+namespace {
+
+/// Cost of replaying the workload against one configuration.
+struct Replayer {
+  virtual ~Replayer() = default;
+  /// Returns page accesses for the query: index reads + candidate
+  /// fetches, or a full heap scan when the config cannot serve it.
+  virtual Result<uint64_t> Cost(const BoxQuery& query) = 0;
+};
+
+class JointReplayer final : public Replayer {
+ public:
+  JointReplayer(const std::vector<Rect>& keys, const Rect& domain,
+                size_t outliers)
+      : pool_(&disk_, 0), index_(&pool_, domain), outliers_(outliers) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      Status s = index_.Insert(keys[i], i);
+      (void)s;
+    }
+  }
+  Result<uint64_t> Cost(const BoxQuery& query) override {
+    disk_.ResetStats();
+    CCDB_ASSIGN_OR_RETURN(auto hits, index_.Search(query));
+    return disk_.stats().reads + hits.size() + outliers_;
+  }
+
+ private:
+  PageManager disk_;
+  BufferPool pool_;
+  JointIndex index_;
+  size_t outliers_;
+};
+
+class SeparateReplayer final : public Replayer {
+ public:
+  SeparateReplayer(const std::vector<Rect>& keys, size_t outliers)
+      : pool_(&disk_, 0), index_(&pool_), outliers_(outliers) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      Status s = index_.Insert(keys[i], i);
+      (void)s;
+    }
+  }
+  Result<uint64_t> Cost(const BoxQuery& query) override {
+    disk_.ResetStats();
+    CCDB_ASSIGN_OR_RETURN(auto hits, index_.Search(query));
+    return disk_.stats().reads + hits.size() + outliers_;
+  }
+
+ private:
+  PageManager disk_;
+  BufferPool pool_;
+  SeparateIndex index_;
+  size_t outliers_;
+};
+
+class SingleAxisReplayer final : public Replayer {
+ public:
+  SingleAxisReplayer(const std::vector<Rect>& keys, int axis,
+                     size_t outliers, uint64_t heap_pages)
+      : pool_(&disk_, 0),
+        tree_(&pool_, 1),
+        axis_(axis),
+        outliers_(outliers),
+        heap_pages_(heap_pages) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      Status s = tree_.Insert(
+          Rect::Make1D(keys[i].lo[axis], keys[i].hi[axis]), i);
+      (void)s;
+    }
+  }
+  Result<uint64_t> Cost(const BoxQuery& query) override {
+    const auto& range = axis_ == 0 ? query.x : query.y;
+    if (!range) return heap_pages_;  // unsupported: full scan
+    disk_.ResetStats();
+    CCDB_ASSIGN_OR_RETURN(
+        auto hits, tree_.Search(Rect::Make1D(range->first, range->second)));
+    // Candidates matching one attribute still need fetching + refining.
+    return disk_.stats().reads + hits.size() + outliers_;
+  }
+
+ private:
+  PageManager disk_;
+  BufferPool pool_;
+  RStarTree tree_;
+  int axis_;
+  size_t outliers_;
+  uint64_t heap_pages_;
+};
+
+}  // namespace
+
+bool AreAttributesIndependent(const Relation& rel, const std::string& x,
+                              const std::string& y) {
+  const Attribute* ax = rel.schema().Find(x);
+  const Attribute* ay = rel.schema().Find(y);
+  if (ax == nullptr || ay == nullptr) return false;
+  // A relational attribute holds one concrete value per tuple: it is
+  // independent of everything (the paper's §3.2 observation).
+  if (ax->kind == AttributeKind::kRelational ||
+      ay->kind == AttributeKind::kRelational) {
+    return true;
+  }
+  for (const Tuple& t : rel.tuples()) {
+    if (!fm::AreIndependent(t.constraints(), x, y)) return false;
+  }
+  return true;
+}
+
+Result<AdvisorReport> AdviseIndexing(const Relation& rel,
+                                     const std::vector<BoxQuery>& workload,
+                                     const std::string& xattr,
+                                     const std::string& yattr,
+                                     const Rect& domain,
+                                     size_t sample_tuples) {
+  const Attribute* x = rel.schema().Find(xattr);
+  const Attribute* y = rel.schema().Find(yattr);
+  if (x == nullptr || y == nullptr ||
+      x->domain != AttributeDomain::kRational ||
+      y->domain != AttributeDomain::kRational) {
+    return Status::InvalidArgument(
+        "advisor needs rational attributes '" + xattr + "' and '" + yattr +
+        "'");
+  }
+  if (workload.empty()) {
+    return Status::InvalidArgument("advisor needs a non-empty workload");
+  }
+
+  AdvisorReport report;
+  for (const BoxQuery& q : workload) {
+    if (q.x && q.y) {
+      ++report.queries_both;
+    } else if (q.x) {
+      ++report.queries_x_only;
+    } else if (q.y) {
+      ++report.queries_y_only;
+    } else {
+      return Status::InvalidArgument("workload query constrains nothing");
+    }
+  }
+
+  // Index keys for every tuple; null relational values become outliers
+  // that every configuration must re-check.
+  std::vector<Rect> keys;
+  size_t outliers = 0;
+  for (const Tuple& t : rel.tuples()) {
+    CCDB_ASSIGN_OR_RETURN(auto key, TupleIndexKey(t, *x, *y, domain));
+    if (key) {
+      keys.push_back(*key);
+    } else {
+      ++outliers;
+    }
+  }
+
+  // Heap size (the full-scan cost unit) measured on a scratch heap file.
+  PageManager heap_disk;
+  BufferPool heap_pool(&heap_disk, 0);
+  HeapFile heap(&heap_pool);
+  for (const Tuple& t : rel.tuples()) {
+    CCDB_RETURN_IF_ERROR(heap.Append(SerializeTuple(t)).status());
+  }
+  const uint64_t heap_pages = heap.num_pages();
+
+  // §3.2 independence probe over a sample of tuples.
+  if (x->kind == AttributeKind::kRelational ||
+      y->kind == AttributeKind::kRelational) {
+    report.attributes_independent = true;
+  } else {
+    report.attributes_independent = true;
+    size_t checked = 0;
+    for (const Tuple& t : rel.tuples()) {
+      if (checked++ >= sample_tuples) break;
+      if (!fm::AreIndependent(t.constraints(), xattr, yattr)) {
+        report.attributes_independent = false;
+        break;
+      }
+    }
+  }
+
+  // Replay the workload against each configuration.
+  JointReplayer joint(keys, domain, outliers);
+  SeparateReplayer separate(keys, outliers);
+  SingleAxisReplayer x_only(keys, 0, outliers, heap_pages);
+  SingleAxisReplayer y_only(keys, 1, outliers, heap_pages);
+  struct Entry {
+    IndexChoice choice;
+    Replayer* replayer;
+  };
+  Entry entries[] = {{IndexChoice::kJoint, &joint},
+                     {IndexChoice::kSeparate, &separate},
+                     {IndexChoice::kXOnly, &x_only},
+                     {IndexChoice::kYOnly, &y_only}};
+  for (const Entry& entry : entries) {
+    AdvisorReport::Candidate candidate;
+    candidate.choice = entry.choice;
+    for (const BoxQuery& q : workload) {
+      CCDB_ASSIGN_OR_RETURN(uint64_t cost, entry.replayer->Cost(q));
+      candidate.total_accesses += cost;
+    }
+    report.candidates.push_back(candidate);
+  }
+  // Ties break toward lower maintenance cost: one small 1-D tree beats one
+  // 2-D tree beats two trees.
+  auto maintenance_rank = [](IndexChoice c) {
+    switch (c) {
+      case IndexChoice::kXOnly:
+      case IndexChoice::kYOnly:
+        return 0;
+      case IndexChoice::kJoint:
+        return 1;
+      case IndexChoice::kSeparate:
+        return 2;
+    }
+    return 3;
+  };
+  std::sort(report.candidates.begin(), report.candidates.end(),
+            [&](const auto& a, const auto& b) {
+              if (a.total_accesses != b.total_accesses) {
+                return a.total_accesses < b.total_accesses;
+              }
+              return maintenance_rank(a.choice) < maintenance_rank(b.choice);
+            });
+  report.recommendation = report.candidates.front().choice;
+  return report;
+}
+
+}  // namespace ccdb::cqa

@@ -1,0 +1,388 @@
+#include "core/calculus.h"
+
+#include <algorithm>
+
+namespace ccdb::cqc {
+
+FormulaPtr Formula::Atom(Constraint constraint) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kAtom;
+  f->constraint_ = std::make_shared<const Constraint>(std::move(constraint));
+  return f;
+}
+
+FormulaPtr Formula::StrAtom(StringAtom atom) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kStrAtom;
+  f->string_atom_ = std::make_shared<const StringAtom>(std::move(atom));
+  return f;
+}
+
+FormulaPtr Formula::Rel(std::string relation,
+                        std::vector<std::string> vars) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kRelation;
+  f->relation_ = std::move(relation);
+  f->vars_ = std::move(vars);
+  return f;
+}
+
+FormulaPtr Formula::And(FormulaPtr lhs, FormulaPtr rhs) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kAnd;
+  f->lhs_ = std::move(lhs);
+  f->rhs_ = std::move(rhs);
+  return f;
+}
+
+FormulaPtr Formula::Or(FormulaPtr lhs, FormulaPtr rhs) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kOr;
+  f->lhs_ = std::move(lhs);
+  f->rhs_ = std::move(rhs);
+  return f;
+}
+
+FormulaPtr Formula::Not(FormulaPtr inner) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kNot;
+  f->lhs_ = std::move(inner);
+  return f;
+}
+
+FormulaPtr Formula::Exists(std::string var, FormulaPtr inner) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kExists;
+  f->bound_var_ = std::move(var);
+  f->lhs_ = std::move(inner);
+  return f;
+}
+
+FormulaPtr Formula::ExistsAll(const std::vector<std::string>& vars,
+                              FormulaPtr inner) {
+  FormulaPtr f = std::move(inner);
+  for (size_t i = vars.size(); i-- > 0;) {
+    f = Exists(vars[i], std::move(f));
+  }
+  return f;
+}
+
+std::set<std::string> Formula::FreeVariables() const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return constraint_->Variables();
+    case Kind::kStrAtom: {
+      std::set<std::string> out{string_atom_->attribute};
+      if (string_atom_->kind == StringAtom::Kind::kAttrEqualsAttr) {
+        out.insert(string_atom_->attribute2);
+      }
+      return out;
+    }
+    case Kind::kRelation:
+      return std::set<std::string>(vars_.begin(), vars_.end());
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::set<std::string> out = lhs_->FreeVariables();
+      auto r = rhs_->FreeVariables();
+      out.insert(r.begin(), r.end());
+      return out;
+    }
+    case Kind::kNot:
+      return lhs_->FreeVariables();
+    case Kind::kExists: {
+      std::set<std::string> out = lhs_->FreeVariables();
+      out.erase(bound_var_);
+      return out;
+    }
+  }
+  return {};
+}
+
+std::string Formula::ToString() const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return constraint_->ToPrettyString();
+    case Kind::kStrAtom:
+      return string_atom_->ToString();
+    case Kind::kRelation: {
+      std::string out = relation_ + "(";
+      for (size_t i = 0; i < vars_.size(); ++i) {
+        if (i) out += ", ";
+        out += vars_[i];
+      }
+      return out + ")";
+    }
+    case Kind::kAnd:
+      return "(" + lhs_->ToString() + " AND " + rhs_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + lhs_->ToString() + " OR " + rhs_->ToString() + ")";
+    case Kind::kNot:
+      return "NOT " + lhs_->ToString();
+    case Kind::kExists:
+      return "EXISTS " + bound_var_ + ". " + lhs_->ToString();
+  }
+  return "?";
+}
+
+namespace {
+
+/// The universal relation over constraint-rational variables: one tuple
+/// with an empty store (broad semantics = every assignment).
+Result<Relation> Universe(const std::set<std::string>& vars) {
+  std::vector<Attribute> attrs;
+  for (const std::string& var : vars) {
+    attrs.push_back(Schema::ConstraintRational(var));
+  }
+  CCDB_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+  Relation rel(std::move(schema));
+  CCDB_RETURN_IF_ERROR(rel.Insert(Tuple()));
+  return rel;
+}
+
+/// Evaluates a database atom R(v1, ..., vk): positional rename with
+/// repeated-variable equality handling.
+Result<Relation> EvalRelationAtom(const Formula& f, const Database& db) {
+  CCDB_ASSIGN_OR_RETURN(const Relation* base, db.Get(f.relation()));
+  if (f.vars().size() != base->schema().arity()) {
+    return Status::InvalidArgument(
+        f.relation() + " has arity " + std::to_string(base->schema().arity()) +
+        ", got " + std::to_string(f.vars().size()) + " variables");
+  }
+  // Rename every attribute to a unique placeholder first (the relation's
+  // own attribute names must not collide with the target variables).
+  Relation current = *base;
+  std::vector<std::string> temps;
+  for (size_t i = 0; i < f.vars().size(); ++i) {
+    std::string temp = "#cqc" + std::to_string(i);
+    CCDB_ASSIGN_OR_RETURN(
+        current,
+        cqa::Rename(current, current.schema().attributes()[i].name, temp));
+    temps.push_back(std::move(temp));
+  }
+  // Repeated variables become equality selections on the placeholders.
+  Predicate equalities;
+  std::map<std::string, size_t> first_position;
+  std::vector<std::string> keep;
+  for (size_t i = 0; i < f.vars().size(); ++i) {
+    auto [it, inserted] = first_position.emplace(f.vars()[i], i);
+    if (inserted) {
+      keep.push_back(temps[i]);
+      continue;
+    }
+    const Attribute& attr = current.schema().attributes()[i];
+    if (attr.domain == AttributeDomain::kString) {
+      equalities.strings.push_back(
+          StringAtom::EqualsAttr(temps[it->second], temps[i]));
+    } else {
+      equalities.linear.push_back(
+          Constraint::Eq(LinearExpr::Variable(temps[it->second]),
+                         LinearExpr::Variable(temps[i])));
+    }
+  }
+  if (!equalities.empty()) {
+    CCDB_ASSIGN_OR_RETURN(current, cqa::Select(current, equalities));
+    CCDB_ASSIGN_OR_RETURN(current, cqa::Project(current, keep));
+  }
+  // Placeholders -> variables.
+  for (const auto& [var, position] : first_position) {
+    CCDB_ASSIGN_OR_RETURN(current,
+                          cqa::Rename(current, temps[position], var));
+  }
+  return current;
+}
+
+Result<Relation> Eval(const Formula& f, const Database& db);
+
+/// Flattens an AND tree into conjuncts.
+void CollectConjuncts(const FormulaPtr& f, std::vector<const Formula*>* out) {
+  if (f->kind() == Formula::Kind::kAnd) {
+    CollectConjuncts(f->lhs(), out);
+    CollectConjuncts(f->rhs(), out);
+    return;
+  }
+  out->push_back(f.get());
+}
+
+/// Evaluates a conjunction: join the relation-valued conjuncts, extend
+/// with universal variables for uncovered atom variables, then select.
+Result<Relation> EvalConjunction(const std::vector<const Formula*>& conjuncts,
+                                 const Database& db) {
+  Predicate atoms;
+  std::vector<const Formula*> relational;
+  std::set<std::string> atom_vars;
+  for (const Formula* c : conjuncts) {
+    switch (c->kind()) {
+      case Formula::Kind::kAtom: {
+        atoms.linear.push_back(c->constraint());
+        auto vars = c->constraint().Variables();
+        atom_vars.insert(vars.begin(), vars.end());
+        break;
+      }
+      case Formula::Kind::kStrAtom: {
+        atoms.strings.push_back(c->string_atom());
+        atom_vars.insert(c->string_atom().attribute);
+        if (c->string_atom().kind == StringAtom::Kind::kAttrEqualsAttr) {
+          atom_vars.insert(c->string_atom().attribute2);
+        }
+        break;
+      }
+      default:
+        relational.push_back(c);
+    }
+  }
+
+  std::optional<Relation> joined;
+  for (const Formula* c : relational) {
+    CCDB_ASSIGN_OR_RETURN(Relation rel, Eval(*c, db));
+    if (!joined) {
+      joined = std::move(rel);
+    } else {
+      CCDB_ASSIGN_OR_RETURN(joined, cqa::NaturalJoin(*joined, rel));
+    }
+  }
+
+  // Variables the atoms mention but no relation binds.
+  std::set<std::string> missing;
+  for (const std::string& var : atom_vars) {
+    if (!joined || !joined->schema().Has(var)) missing.insert(var);
+  }
+  // String atoms need bound string attributes — except a positive literal
+  // equality, which denotes a singleton we can materialize.
+  for (auto it = atoms.strings.begin(); it != atoms.strings.end();) {
+    const StringAtom& atom = *it;
+    bool bound = joined && joined->schema().Has(atom.attribute);
+    if (!bound) {
+      if (atom.kind == StringAtom::Kind::kAttrEqualsLiteral &&
+          !atom.negated) {
+        CCDB_ASSIGN_OR_RETURN(
+            Schema schema,
+            Schema::Make({Schema::RelationalString(atom.attribute)}));
+        Relation singleton(schema);
+        Tuple t;
+        t.SetValue(atom.attribute, Value::String(atom.literal));
+        CCDB_RETURN_IF_ERROR(singleton.Insert(std::move(t)));
+        if (!joined) {
+          joined = std::move(singleton);
+        } else {
+          CCDB_ASSIGN_OR_RETURN(joined, cqa::NaturalJoin(*joined, singleton));
+        }
+        missing.erase(atom.attribute);
+        it = atoms.strings.erase(it);
+        continue;
+      }
+      return Status::Unsupported(
+          "string variable '" + atom.attribute +
+          "' is not bound by any relation atom (unsafe)");
+    }
+    ++it;
+  }
+  // Any leftover missing variable is rational: cover it with the universe.
+  if (!missing.empty()) {
+    CCDB_ASSIGN_OR_RETURN(Relation universe, Universe(missing));
+    if (!joined) {
+      joined = std::move(universe);
+    } else {
+      CCDB_ASSIGN_OR_RETURN(joined, cqa::NaturalJoin(*joined, universe));
+    }
+  }
+  if (!joined) {
+    // Conjunction of nothing: the zero-ary TRUE relation.
+    Relation truth{Schema()};
+    CCDB_RETURN_IF_ERROR(truth.Insert(Tuple()));
+    joined = std::move(truth);
+  }
+  if (atoms.empty()) return *joined;
+  return cqa::Select(*joined, atoms);
+}
+
+/// Pads `rel` to `target` (a superset schema): missing constraint
+/// attributes are broad; missing relational attributes stay null.
+Result<Relation> PadToSchema(const Relation& rel, const Schema& target) {
+  Relation out(target);
+  for (const Tuple& t : rel.tuples()) {
+    CCDB_RETURN_IF_ERROR(out.Insert(t));
+  }
+  return out;
+}
+
+Result<Relation> EvalOr(const Formula& f, const Database& db) {
+  CCDB_ASSIGN_OR_RETURN(Relation lhs, Eval(*f.lhs(), db));
+  CCDB_ASSIGN_OR_RETURN(Relation rhs, Eval(*f.rhs(), db));
+  // Target schema: union of attributes, name-sorted for determinism.
+  std::map<std::string, Attribute> merged;
+  for (const Relation* side : {&lhs, &rhs}) {
+    for (const Attribute& attr : side->schema().attributes()) {
+      auto [it, inserted] = merged.emplace(attr.name, attr);
+      if (!inserted && it->second != attr) {
+        return Status::InvalidArgument(
+            "variable '" + attr.name +
+            "' has conflicting kinds across OR branches");
+      }
+    }
+  }
+  std::vector<Attribute> attrs;
+  for (auto& [name, attr] : merged) attrs.push_back(attr);
+  CCDB_ASSIGN_OR_RETURN(Schema target, Schema::Make(std::move(attrs)));
+  CCDB_ASSIGN_OR_RETURN(Relation padded_lhs, PadToSchema(lhs, target));
+  CCDB_ASSIGN_OR_RETURN(Relation padded_rhs, PadToSchema(rhs, target));
+  return cqa::Union(padded_lhs, padded_rhs);
+}
+
+Result<Relation> EvalNot(const Formula& f, const Database& db) {
+  CCDB_ASSIGN_OR_RETURN(Relation inner, Eval(*f.lhs(), db));
+  for (const Attribute& attr : inner.schema().attributes()) {
+    if (attr.kind != AttributeKind::kConstraint) {
+      return Status::Unsupported(
+          "negation over relational variable '" + attr.name +
+          "' is unsafe (infinite uninterpreted domain)");
+    }
+  }
+  Relation universe(inner.schema());
+  CCDB_RETURN_IF_ERROR(universe.Insert(Tuple()));
+  return cqa::Difference(universe, inner);
+}
+
+Result<Relation> Eval(const Formula& f, const Database& db) {
+  switch (f.kind()) {
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kStrAtom:
+    case Formula::Kind::kRelation:
+    case Formula::Kind::kAnd: {
+      if (f.kind() == Formula::Kind::kRelation) {
+        return EvalRelationAtom(f, db);
+      }
+      std::vector<const Formula*> conjuncts;
+      if (f.kind() == Formula::Kind::kAnd) {
+        CollectConjuncts(f.lhs(), &conjuncts);
+        CollectConjuncts(f.rhs(), &conjuncts);
+      } else {
+        conjuncts.push_back(&f);
+      }
+      return EvalConjunction(conjuncts, db);
+    }
+    case Formula::Kind::kOr:
+      return EvalOr(f, db);
+    case Formula::Kind::kNot:
+      return EvalNot(f, db);
+    case Formula::Kind::kExists: {
+      CCDB_ASSIGN_OR_RETURN(Relation inner, Eval(*f.lhs(), db));
+      if (!inner.schema().Has(f.bound_var())) {
+        return inner;  // vacuous quantification
+      }
+      std::vector<std::string> keep;
+      for (const Attribute& attr : inner.schema().attributes()) {
+        if (attr.name != f.bound_var()) keep.push_back(attr.name);
+      }
+      return cqa::Project(inner, keep);
+    }
+  }
+  return Status::Internal("unknown formula kind");
+}
+
+}  // namespace
+
+Result<Relation> Evaluate(const Formula& formula, const Database& db) {
+  return Eval(formula, db);
+}
+
+}  // namespace ccdb::cqc

@@ -1,0 +1,294 @@
+#include "core/operators.h"
+
+#include <set>
+
+#include "constraint/fourier_motzkin.h"
+
+namespace ccdb::cqa {
+
+namespace {
+
+/// Validates that a predicate is well-typed against a schema.
+Status ValidatePredicate(const Schema& schema, const Predicate& pred) {
+  for (const StringAtom& atom : pred.strings) {
+    const Attribute* attr = schema.Find(atom.attribute);
+    if (attr == nullptr) {
+      return Status::NotFound("selection on unknown attribute '" +
+                              atom.attribute + "'");
+    }
+    if (attr->domain != AttributeDomain::kString ||
+        attr->kind != AttributeKind::kRelational) {
+      return Status::InvalidArgument("string atom on non-string attribute '" +
+                                     atom.attribute + "'");
+    }
+    if (atom.kind == StringAtom::Kind::kAttrEqualsAttr) {
+      const Attribute* attr2 = schema.Find(atom.attribute2);
+      if (attr2 == nullptr || attr2->domain != AttributeDomain::kString ||
+          attr2->kind != AttributeKind::kRelational) {
+        return Status::InvalidArgument(
+            "string atom on non-string attribute '" + atom.attribute2 + "'");
+      }
+    }
+  }
+  for (const Constraint& c : pred.linear) {
+    for (const std::string& var : c.Variables()) {
+      const Attribute* attr = schema.Find(var);
+      if (attr == nullptr) {
+        return Status::NotFound("selection on unknown attribute '" + var +
+                                "'");
+      }
+      if (attr->domain != AttributeDomain::kRational) {
+        return Status::InvalidArgument(
+            "arithmetic constraint on string attribute '" + var + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Narrow evaluation of one string atom against a tuple.
+bool StringAtomHolds(const StringAtom& atom, const Tuple& tuple) {
+  const Value& lhs = tuple.GetValue(atom.attribute);
+  bool equal;
+  if (atom.kind == StringAtom::Kind::kAttrEqualsLiteral) {
+    equal = lhs.EqualsForQuery(Value::String(atom.literal));
+  } else {
+    equal = lhs.EqualsForQuery(tuple.GetValue(atom.attribute2));
+  }
+  if (atom.negated) {
+    // Narrow semantics for != as well: null is not unequal to anything —
+    // it simply fails the atom (SQL three-valued logic collapsed to false).
+    if (lhs.IsNull()) return false;
+    if (atom.kind == StringAtom::Kind::kAttrEqualsAttr &&
+        tuple.GetValue(atom.attribute2).IsNull()) {
+      return false;
+    }
+    return !equal;
+  }
+  return equal;
+}
+
+}  // namespace
+
+Result<Relation> Select(const Relation& input, const Predicate& pred) {
+  CCDB_RETURN_IF_ERROR(ValidatePredicate(input.schema(), pred));
+  Relation out(input.schema());
+  for (const Tuple& tuple : input.tuples()) {
+    bool keep = true;
+    for (const StringAtom& atom : pred.strings) {
+      if (!StringAtomHolds(atom, tuple)) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+
+    Conjunction store = tuple.constraints();
+    for (const Constraint& c : pred.linear) {
+      // Substitute values of relational rational attributes (narrow: a
+      // mentioned-but-null attribute fails the tuple).
+      Constraint grounded = c;
+      for (const std::string& var : c.Variables()) {
+        const Attribute* attr = input.schema().Find(var);
+        if (attr->kind != AttributeKind::kRelational) continue;
+        const Value& value = tuple.GetValue(var);
+        if (value.IsNull()) {
+          keep = false;
+          break;
+        }
+        grounded = grounded.Substitute(
+            var, LinearExpr::Constant(value.AsNumber()));
+      }
+      if (!keep) break;
+      store.Add(std::move(grounded));
+      if (store.IsKnownFalse()) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep || !fm::IsSatisfiable(store)) continue;
+    Tuple result = tuple;
+    result.SetConstraints(std::move(store));
+    CCDB_RETURN_IF_ERROR(out.Insert(std::move(result)));
+  }
+  return out;
+}
+
+Result<Relation> Project(const Relation& input,
+                         const std::vector<std::string>& names) {
+  CCDB_ASSIGN_OR_RETURN(Schema schema, input.schema().Project(names));
+  std::set<std::string> kept_constraint_attrs;
+  std::set<std::string> kept(names.begin(), names.end());
+  for (const Attribute& attr : schema.attributes()) {
+    if (attr.kind == AttributeKind::kConstraint) {
+      kept_constraint_attrs.insert(attr.name);
+    }
+  }
+  Relation out(schema);
+  for (const Tuple& tuple : input.tuples()) {
+    Tuple projected;
+    for (const auto& [name, value] : tuple.values()) {
+      if (kept.count(name)) projected.SetValue(name, value);
+    }
+    Conjunction store = fm::Project(tuple.constraints(),
+                                    kept_constraint_attrs);
+    if (store.IsKnownFalse()) continue;  // tuple was unsatisfiable
+    projected.SetConstraints(std::move(store));
+    CCDB_RETURN_IF_ERROR(out.Insert(std::move(projected)));
+  }
+  out.Deduplicate();
+  return out;
+}
+
+Result<Relation> NaturalJoin(const Relation& lhs, const Relation& rhs) {
+  CCDB_ASSIGN_OR_RETURN(Schema schema,
+                        lhs.schema().NaturalJoin(rhs.schema()));
+  // Shared relational attributes must match with non-null values.
+  std::vector<std::string> shared_relational;
+  for (const Attribute& attr : lhs.schema().attributes()) {
+    if (rhs.schema().Has(attr.name) &&
+        attr.kind == AttributeKind::kRelational) {
+      shared_relational.push_back(attr.name);
+    }
+  }
+  Relation out(schema);
+  for (const Tuple& left : lhs.tuples()) {
+    for (const Tuple& right : rhs.tuples()) {
+      bool match = true;
+      for (const std::string& attr : shared_relational) {
+        if (!left.GetValue(attr).EqualsForQuery(right.GetValue(attr))) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      Conjunction store =
+          Conjunction::And(left.constraints(), right.constraints());
+      if (store.IsKnownFalse() || !fm::IsSatisfiable(store)) continue;
+      Tuple joined;
+      for (const auto& [name, value] : left.values()) {
+        joined.SetValue(name, value);
+      }
+      for (const auto& [name, value] : right.values()) {
+        joined.SetValue(name, value);
+      }
+      joined.SetConstraints(std::move(store));
+      CCDB_RETURN_IF_ERROR(out.Insert(std::move(joined)));
+    }
+  }
+  return out;
+}
+
+Result<Relation> CrossProduct(const Relation& lhs, const Relation& rhs) {
+  for (const Attribute& attr : lhs.schema().attributes()) {
+    if (rhs.schema().Has(attr.name)) {
+      return Status::InvalidArgument(
+          "cross product requires disjoint schemas; shared attribute '" +
+          attr.name + "' (use NaturalJoin or Rename)");
+    }
+  }
+  return NaturalJoin(lhs, rhs);
+}
+
+Result<Relation> Intersect(const Relation& lhs, const Relation& rhs) {
+  if (lhs.schema() != rhs.schema()) {
+    return Status::InvalidArgument("intersection requires identical schemas");
+  }
+  return NaturalJoin(lhs, rhs);
+}
+
+Result<Relation> Union(const Relation& lhs, const Relation& rhs) {
+  if (lhs.schema() != rhs.schema()) {
+    return Status::InvalidArgument("union requires identical schemas: " +
+                                   lhs.schema().ToString() + " vs " +
+                                   rhs.schema().ToString());
+  }
+  Relation out(lhs.schema());
+  CCDB_RETURN_IF_ERROR(out.InsertAll(lhs));
+  CCDB_RETURN_IF_ERROR(out.InsertAll(rhs));
+  out.Deduplicate();
+  return out;
+}
+
+Result<Relation> Rename(const Relation& input, const std::string& from,
+                        const std::string& to) {
+  CCDB_ASSIGN_OR_RETURN(Schema schema, input.schema().Rename(from, to));
+  const bool is_relational =
+      input.schema().Find(from)->kind == AttributeKind::kRelational;
+  Relation out(schema);
+  for (const Tuple& tuple : input.tuples()) {
+    Tuple renamed = tuple;
+    if (is_relational) {
+      Value value = renamed.GetValue(from);
+      renamed.SetValue(from, Value::Null());
+      renamed.SetValue(to, std::move(value));
+    } else {
+      renamed.SetConstraints(tuple.constraints().RenameVariable(from, to));
+    }
+    CCDB_RETURN_IF_ERROR(out.Insert(std::move(renamed)));
+  }
+  return out;
+}
+
+Result<Relation> Difference(const Relation& lhs, const Relation& rhs) {
+  if (lhs.schema() != rhs.schema()) {
+    return Status::InvalidArgument("difference requires identical schemas: " +
+                                   lhs.schema().ToString() + " vs " +
+                                   rhs.schema().ToString());
+  }
+  std::vector<std::string> relational_attrs;
+  for (const Attribute& attr : lhs.schema().attributes()) {
+    if (attr.kind == AttributeKind::kRelational) {
+      relational_attrs.push_back(attr.name);
+    }
+  }
+  Relation out(lhs.schema());
+  for (const Tuple& left : lhs.tuples()) {
+    // Pieces of `left`'s constraint store not yet covered by rhs tuples.
+    std::vector<Conjunction> pieces{left.constraints()};
+    for (const Tuple& right : rhs.tuples()) {
+      // Only rhs tuples whose relational part matches can subtract.
+      bool matches = true;
+      for (const std::string& attr : relational_attrs) {
+        if (!left.GetValue(attr).EqualsForQuery(right.GetValue(attr))) {
+          matches = false;
+          break;
+        }
+      }
+      if (!matches) continue;
+      // Subtract: piece ∧ ¬(c1 ∧ ... ∧ cn), as the disjoint expansion
+      //   (piece ∧ ¬c1) ∨ (piece ∧ c1 ∧ ¬c2) ∨ ...
+      std::vector<Conjunction> next;
+      for (const Conjunction& piece : pieces) {
+        Conjunction accumulated = piece;  // piece ∧ c1 ∧ ... ∧ c_{i-1}
+        for (const Constraint& c : right.constraints().constraints()) {
+          for (const Constraint& negated : c.Negate()) {
+            Conjunction candidate = accumulated;
+            candidate.Add(negated);
+            if (!candidate.IsKnownFalse() && fm::IsSatisfiable(candidate)) {
+              next.push_back(std::move(candidate));
+            }
+          }
+          accumulated.Add(c);
+          if (accumulated.IsKnownFalse()) break;
+        }
+        // An empty rhs store is `true`: it swallows the piece entirely
+        // (no disjuncts were produced, and the loop above adds none).
+      }
+      pieces = std::move(next);
+      if (pieces.empty()) break;
+    }
+    for (Conjunction& piece : pieces) {
+      Tuple survivor;
+      for (const auto& [name, value] : left.values()) {
+        survivor.SetValue(name, value);
+      }
+      survivor.SetConstraints(fm::RemoveRedundant(piece));
+      CCDB_RETURN_IF_ERROR(out.Insert(std::move(survivor)));
+    }
+  }
+  out.Deduplicate();
+  return out;
+}
+
+}  // namespace ccdb::cqa

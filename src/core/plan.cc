@@ -1,0 +1,451 @@
+#include "core/plan.h"
+
+#include <set>
+
+namespace ccdb::cqa {
+
+std::unique_ptr<PlanNode> PlanNode::Scan(std::string relation) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = Op::kScan;
+  node->relation_name = std::move(relation);
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Select(std::unique_ptr<PlanNode> child,
+                                           Predicate predicate) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = Op::kSelect;
+  node->predicate = std::move(predicate);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Project(std::unique_ptr<PlanNode> child,
+                                            std::vector<std::string> attrs) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = Op::kProject;
+  node->attrs = std::move(attrs);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Join(std::unique_ptr<PlanNode> lhs,
+                                         std::unique_ptr<PlanNode> rhs) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = Op::kJoin;
+  node->children.push_back(std::move(lhs));
+  node->children.push_back(std::move(rhs));
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::UnionOf(std::unique_ptr<PlanNode> lhs,
+                                            std::unique_ptr<PlanNode> rhs) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = Op::kUnion;
+  node->children.push_back(std::move(lhs));
+  node->children.push_back(std::move(rhs));
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::DifferenceOf(
+    std::unique_ptr<PlanNode> lhs, std::unique_ptr<PlanNode> rhs) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = Op::kDifference;
+  node->children.push_back(std::move(lhs));
+  node->children.push_back(std::move(rhs));
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::RenameAttr(
+    std::unique_ptr<PlanNode> child, std::string from, std::string to) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = Op::kRename;
+  node->rename_from = std::move(from);
+  node->rename_to = std::move(to);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto node = std::make_unique<PlanNode>();
+  node->op = op;
+  node->relation_name = relation_name;
+  node->predicate = predicate;
+  node->attrs = attrs;
+  node->rename_from = rename_from;
+  node->rename_to = rename_to;
+  for (const auto& child : children) {
+    node->children.push_back(child->Clone());
+  }
+  return node;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad;
+  switch (op) {
+    case Op::kScan:
+      out += "Scan " + relation_name;
+      break;
+    case Op::kSelect:
+      out += "Select [" + predicate.ToString() + "]";
+      break;
+    case Op::kProject: {
+      out += "Project [";
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        if (i) out += ", ";
+        out += attrs[i];
+      }
+      out += "]";
+      break;
+    }
+    case Op::kJoin:
+      out += "Join";
+      break;
+    case Op::kUnion:
+      out += "Union";
+      break;
+    case Op::kDifference:
+      out += "Difference";
+      break;
+    case Op::kRename:
+      out += "Rename " + rename_from + " -> " + rename_to;
+      break;
+  }
+  for (const auto& child : children) {
+    out += "\n" + child->ToString(indent + 1);
+  }
+  return out;
+}
+
+Result<Schema> InferSchema(const PlanNode& plan, const Database& db) {
+  switch (plan.op) {
+    case PlanNode::Op::kScan: {
+      CCDB_ASSIGN_OR_RETURN(const Relation* rel, db.Get(plan.relation_name));
+      return rel->schema();
+    }
+    case PlanNode::Op::kSelect:
+      return InferSchema(*plan.children[0], db);
+    case PlanNode::Op::kProject: {
+      CCDB_ASSIGN_OR_RETURN(Schema child, InferSchema(*plan.children[0], db));
+      return child.Project(plan.attrs);
+    }
+    case PlanNode::Op::kJoin: {
+      CCDB_ASSIGN_OR_RETURN(Schema lhs, InferSchema(*plan.children[0], db));
+      CCDB_ASSIGN_OR_RETURN(Schema rhs, InferSchema(*plan.children[1], db));
+      return lhs.NaturalJoin(rhs);
+    }
+    case PlanNode::Op::kUnion:
+    case PlanNode::Op::kDifference: {
+      CCDB_ASSIGN_OR_RETURN(Schema lhs, InferSchema(*plan.children[0], db));
+      CCDB_ASSIGN_OR_RETURN(Schema rhs, InferSchema(*plan.children[1], db));
+      if (lhs != rhs) {
+        return Status::InvalidArgument("schema mismatch under set operator");
+      }
+      return lhs;
+    }
+    case PlanNode::Op::kRename: {
+      CCDB_ASSIGN_OR_RETURN(Schema child, InferSchema(*plan.children[0], db));
+      return child.Rename(plan.rename_from, plan.rename_to);
+    }
+  }
+  return Status::Internal("unknown plan op");
+}
+
+Result<Relation> Execute(const PlanNode& plan, const Database& db,
+                         ExecStats* stats) {
+  auto note = [&](const Relation& rel) {
+    if (stats != nullptr) {
+      ++stats->nodes_evaluated;
+      stats->intermediate_tuples += rel.size();
+    }
+  };
+  switch (plan.op) {
+    case PlanNode::Op::kScan: {
+      CCDB_ASSIGN_OR_RETURN(const Relation* rel, db.Get(plan.relation_name));
+      note(*rel);
+      return *rel;
+    }
+    case PlanNode::Op::kSelect: {
+      CCDB_ASSIGN_OR_RETURN(Relation child,
+                            Execute(*plan.children[0], db, stats));
+      CCDB_ASSIGN_OR_RETURN(Relation out, Select(child, plan.predicate));
+      note(out);
+      return out;
+    }
+    case PlanNode::Op::kProject: {
+      CCDB_ASSIGN_OR_RETURN(Relation child,
+                            Execute(*plan.children[0], db, stats));
+      CCDB_ASSIGN_OR_RETURN(Relation out, Project(child, plan.attrs));
+      note(out);
+      return out;
+    }
+    case PlanNode::Op::kJoin: {
+      CCDB_ASSIGN_OR_RETURN(Relation lhs,
+                            Execute(*plan.children[0], db, stats));
+      CCDB_ASSIGN_OR_RETURN(Relation rhs,
+                            Execute(*plan.children[1], db, stats));
+      CCDB_ASSIGN_OR_RETURN(Relation out, NaturalJoin(lhs, rhs));
+      note(out);
+      return out;
+    }
+    case PlanNode::Op::kUnion: {
+      CCDB_ASSIGN_OR_RETURN(Relation lhs,
+                            Execute(*plan.children[0], db, stats));
+      CCDB_ASSIGN_OR_RETURN(Relation rhs,
+                            Execute(*plan.children[1], db, stats));
+      CCDB_ASSIGN_OR_RETURN(Relation out, Union(lhs, rhs));
+      note(out);
+      return out;
+    }
+    case PlanNode::Op::kDifference: {
+      CCDB_ASSIGN_OR_RETURN(Relation lhs,
+                            Execute(*plan.children[0], db, stats));
+      CCDB_ASSIGN_OR_RETURN(Relation rhs,
+                            Execute(*plan.children[1], db, stats));
+      CCDB_ASSIGN_OR_RETURN(Relation out, Difference(lhs, rhs));
+      note(out);
+      return out;
+    }
+    case PlanNode::Op::kRename: {
+      CCDB_ASSIGN_OR_RETURN(Relation child,
+                            Execute(*plan.children[0], db, stats));
+      CCDB_ASSIGN_OR_RETURN(Relation out,
+                            Rename(child, plan.rename_from, plan.rename_to));
+      note(out);
+      return out;
+    }
+  }
+  return Status::Internal("unknown plan op");
+}
+
+namespace {
+
+/// Attributes mentioned by one linear atom.
+std::set<std::string> AtomAttrs(const Constraint& c) { return c.Variables(); }
+
+std::set<std::string> AtomAttrs(const StringAtom& atom) {
+  std::set<std::string> attrs{atom.attribute};
+  if (atom.kind == StringAtom::Kind::kAttrEqualsAttr) {
+    attrs.insert(atom.attribute2);
+  }
+  return attrs;
+}
+
+bool CoveredBy(const std::set<std::string>& attrs, const Schema& schema) {
+  for (const std::string& attr : attrs) {
+    if (!schema.Has(attr)) return false;
+  }
+  return true;
+}
+
+/// Renames attribute `to` back to `from` inside a predicate (for pushing a
+/// selection through ρ_{to|from}).
+Predicate RenamePredicate(const Predicate& pred, const std::string& to,
+                          const std::string& from) {
+  Predicate out;
+  for (const Constraint& c : pred.linear) {
+    out.linear.push_back(c.Mentions(to) ? c.RenameVariable(to, from) : c);
+  }
+  for (StringAtom atom : pred.strings) {
+    if (atom.attribute == to) atom.attribute = from;
+    if (atom.kind == StringAtom::Kind::kAttrEqualsAttr &&
+        atom.attribute2 == to) {
+      atom.attribute2 = from;
+    }
+    out.strings.push_back(std::move(atom));
+  }
+  return out;
+}
+
+/// Projection-specific rewrites. Returns the (possibly replaced) node.
+std::unique_ptr<PlanNode> RewriteProject(std::unique_ptr<PlanNode> node,
+                                         const Database& db, bool* changed) {
+  PlanNode& child = *node->children[0];
+
+  // Rule: identity projection vanishes.
+  if (auto child_schema = InferSchema(child, db); child_schema.ok()) {
+    if (node->attrs == child_schema->Names()) {
+      *changed = true;
+      return std::move(node->children[0]);
+    }
+  }
+
+  // Rule: compose adjacent projections (π_X ∘ π_Y = π_X when X ⊆ Y,
+  // which schema validity guarantees).
+  if (child.op == PlanNode::Op::kProject) {
+    auto composed = PlanNode::Project(std::move(child.children[0]),
+                                      node->attrs);
+    *changed = true;
+    return composed;
+  }
+
+  // Rule: push projection below union.
+  if (child.op == PlanNode::Op::kUnion) {
+    auto lhs = PlanNode::Project(std::move(child.children[0]), node->attrs);
+    auto rhs = PlanNode::Project(std::move(child.children[1]), node->attrs);
+    *changed = true;
+    return PlanNode::UnionOf(std::move(lhs), std::move(rhs));
+  }
+
+  // NOTE: no π/ς swap here — the select-side rule canonicalizes to
+  // "selection below projection" (selection first shrinks the input of
+  // the expensive FM projection); a mirror rule would oscillate.
+
+  // Rule: narrow join inputs — π_X(A ⋈ B) keeps only X plus the join
+  // attributes on each side. Fire only when a side actually loses
+  // attributes (otherwise this oscillates).
+  if (child.op == PlanNode::Op::kJoin) {
+    auto lhs_schema = InferSchema(*child.children[0], db);
+    auto rhs_schema = InferSchema(*child.children[1], db);
+    if (!lhs_schema.ok() || !rhs_schema.ok()) return node;
+    std::set<std::string> shared;
+    for (const Attribute& attr : lhs_schema->attributes()) {
+      if (rhs_schema->Has(attr.name)) shared.insert(attr.name);
+    }
+    std::set<std::string> kept(node->attrs.begin(), node->attrs.end());
+    auto narrow = [&](const Schema& schema,
+                      std::unique_ptr<PlanNode> side) {
+      std::vector<std::string> keep;
+      for (const Attribute& attr : schema.attributes()) {
+        if (kept.count(attr.name) || shared.count(attr.name)) {
+          keep.push_back(attr.name);
+        }
+      }
+      if (keep.size() == schema.arity()) return side;  // nothing to drop
+      *changed = true;
+      return PlanNode::Project(std::move(side), std::move(keep));
+    };
+    bool fired_before = *changed;
+    (void)fired_before;
+    bool local_change = false;
+    bool saved = *changed;
+    *changed = false;
+    auto lhs = narrow(*lhs_schema, std::move(child.children[0]));
+    auto rhs = narrow(*rhs_schema, std::move(child.children[1]));
+    local_change = *changed;
+    *changed = saved || local_change;
+    auto join = PlanNode::Join(std::move(lhs), std::move(rhs));
+    if (!local_change) {
+      node->children[0] = std::move(join);
+      return node;
+    }
+    return PlanNode::Project(std::move(join), node->attrs);
+  }
+  return node;
+}
+
+/// One pass of local rewrites; sets `changed` when anything fired.
+std::unique_ptr<PlanNode> RewriteOnce(std::unique_ptr<PlanNode> node,
+                                      const Database& db, bool* changed) {
+  for (auto& child : node->children) {
+    child = RewriteOnce(std::move(child), db, changed);
+  }
+  if (node->op == PlanNode::Op::kProject) {
+    return RewriteProject(std::move(node), db, changed);
+  }
+  if (node->op != PlanNode::Op::kSelect) return node;
+
+  // Rule: empty selection vanishes.
+  if (node->predicate.empty()) {
+    *changed = true;
+    return std::move(node->children[0]);
+  }
+  PlanNode& child = *node->children[0];
+
+  // Rule: merge adjacent selections.
+  if (child.op == PlanNode::Op::kSelect) {
+    child.predicate = Predicate::And(std::move(node->predicate),
+                                     child.predicate);
+    *changed = true;
+    return std::move(node->children[0]);
+  }
+
+  // Rule: push selection below union (both branches).
+  if (child.op == PlanNode::Op::kUnion) {
+    auto lhs = PlanNode::Select(std::move(child.children[0]),
+                                node->predicate);
+    auto rhs = PlanNode::Select(std::move(child.children[1]),
+                                node->predicate);
+    *changed = true;
+    return PlanNode::UnionOf(std::move(lhs), std::move(rhs));
+  }
+
+  // Rule: push selection below projection — always valid (a well-typed
+  // predicate only mentions surviving attributes) and always beneficial
+  // (selection shrinks the input of the expensive FM projection).
+  if (child.op == PlanNode::Op::kProject) {
+    auto selected = PlanNode::Select(std::move(child.children[0]),
+                                     std::move(node->predicate));
+    *changed = true;
+    return PlanNode::Project(std::move(selected), child.attrs);
+  }
+
+  // Rule: push selection through rename (rewrite the predicate).
+  if (child.op == PlanNode::Op::kRename) {
+    Predicate rewritten = RenamePredicate(node->predicate, child.rename_to,
+                                          child.rename_from);
+    auto inner = PlanNode::Select(std::move(child.children[0]),
+                                  std::move(rewritten));
+    *changed = true;
+    return PlanNode::RenameAttr(std::move(inner), child.rename_from,
+                                child.rename_to);
+  }
+
+  // Rule: partition selection atoms across a join.
+  if (child.op == PlanNode::Op::kJoin) {
+    auto lhs_schema = InferSchema(*child.children[0], db);
+    auto rhs_schema = InferSchema(*child.children[1], db);
+    if (!lhs_schema.ok() || !rhs_schema.ok()) return node;  // let Execute report
+    Predicate lhs_pred, rhs_pred, rest;
+    for (const Constraint& c : node->predicate.linear) {
+      auto attrs = AtomAttrs(c);
+      if (CoveredBy(attrs, *lhs_schema)) {
+        lhs_pred.linear.push_back(c);
+      } else if (CoveredBy(attrs, *rhs_schema)) {
+        rhs_pred.linear.push_back(c);
+      } else {
+        rest.linear.push_back(c);
+      }
+    }
+    for (const StringAtom& atom : node->predicate.strings) {
+      auto attrs = AtomAttrs(atom);
+      if (CoveredBy(attrs, *lhs_schema)) {
+        lhs_pred.strings.push_back(atom);
+      } else if (CoveredBy(attrs, *rhs_schema)) {
+        rhs_pred.strings.push_back(atom);
+      } else {
+        rest.strings.push_back(atom);
+      }
+    }
+    if (lhs_pred.empty() && rhs_pred.empty()) return node;  // nothing to push
+    *changed = true;
+    auto lhs = std::move(child.children[0]);
+    auto rhs = std::move(child.children[1]);
+    if (!lhs_pred.empty()) {
+      lhs = PlanNode::Select(std::move(lhs), std::move(lhs_pred));
+    }
+    if (!rhs_pred.empty()) {
+      rhs = PlanNode::Select(std::move(rhs), std::move(rhs_pred));
+    }
+    auto join = PlanNode::Join(std::move(lhs), std::move(rhs));
+    if (rest.empty()) return join;
+    return PlanNode::Select(std::move(join), std::move(rest));
+  }
+  return node;
+}
+
+}  // namespace
+
+std::unique_ptr<PlanNode> Optimize(std::unique_ptr<PlanNode> plan,
+                                   const Database& db) {
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 32) {
+    changed = false;
+    plan = RewriteOnce(std::move(plan), db, &changed);
+  }
+  return plan;
+}
+
+}  // namespace ccdb::cqa

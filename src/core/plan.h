@@ -1,0 +1,99 @@
+#ifndef CCDB_CORE_PLAN_H_
+#define CCDB_CORE_PLAN_H_
+
+/// \file plan.h
+/// Logical CQA plans, rule-based optimization, and evaluation.
+///
+/// Figure 1 of the paper places CQA as the middle layer of a constraint
+/// database system: user queries are translated into algebra expressions,
+/// *optimized* ("through the use of indexing and through operator
+/// reordering"), and then evaluated bottom-up. `PlanNode` is that algebra
+/// expression tree; `Optimize` applies the classical reorderings
+/// reinterpreted for constraint relations:
+///
+///  - adjacent selections merge (ς_a(ς_b(R)) = ς_{a∧b}(R));
+///  - selections push below unions and through renames;
+///  - selection atoms push below a join to whichever side covers their
+///    attributes (atoms spanning both sides stay above);
+///  - empty selections vanish.
+///
+/// `Execute` evaluates any plan against a `Database`; optimization never
+/// changes results (verified by randomized tests), only the amount of
+/// intermediate work.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/operators.h"
+#include "data/database.h"
+
+namespace ccdb::cqa {
+
+/// One node of a logical CQA plan.
+struct PlanNode {
+  enum class Op {
+    kScan,        ///< leaf: a named relation
+    kSelect,      ///< predicate over the child
+    kProject,     ///< attribute list over the child
+    kJoin,        ///< natural join of two children
+    kUnion,       ///< union of two children
+    kDifference,  ///< difference of two children
+    kRename,      ///< attribute rename over the child
+  };
+
+  Op op;
+  std::string relation_name;        ///< kScan
+  Predicate predicate;              ///< kSelect
+  std::vector<std::string> attrs;   ///< kProject
+  std::string rename_from;          ///< kRename
+  std::string rename_to;            ///< kRename
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// Leaf scanning a stored relation.
+  static std::unique_ptr<PlanNode> Scan(std::string relation);
+  static std::unique_ptr<PlanNode> Select(std::unique_ptr<PlanNode> child,
+                                          Predicate predicate);
+  static std::unique_ptr<PlanNode> Project(std::unique_ptr<PlanNode> child,
+                                           std::vector<std::string> attrs);
+  static std::unique_ptr<PlanNode> Join(std::unique_ptr<PlanNode> lhs,
+                                        std::unique_ptr<PlanNode> rhs);
+  static std::unique_ptr<PlanNode> UnionOf(std::unique_ptr<PlanNode> lhs,
+                                           std::unique_ptr<PlanNode> rhs);
+  static std::unique_ptr<PlanNode> DifferenceOf(
+      std::unique_ptr<PlanNode> lhs, std::unique_ptr<PlanNode> rhs);
+  static std::unique_ptr<PlanNode> RenameAttr(std::unique_ptr<PlanNode> child,
+                                              std::string from,
+                                              std::string to);
+
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Indented one-node-per-line rendering, e.g.
+  ///   Project [name]
+  ///     Select [t >= 4]
+  ///       Scan Hurricane
+  std::string ToString(int indent = 0) const;
+};
+
+/// The output schema the plan would produce against `db` (errors on
+/// unknown relations / ill-typed operators — the same checks evaluation
+/// performs, usable for validation before execution).
+Result<Schema> InferSchema(const PlanNode& plan, const Database& db);
+
+/// Per-evaluation statistics (filled by Execute when non-null).
+struct ExecStats {
+  size_t nodes_evaluated = 0;
+  size_t intermediate_tuples = 0;  ///< summed over all operator outputs
+};
+
+/// Evaluates the plan bottom-up.
+Result<Relation> Execute(const PlanNode& plan, const Database& db,
+                         ExecStats* stats = nullptr);
+
+/// Applies the rewrite rules to a fixpoint. Semantics-preserving.
+std::unique_ptr<PlanNode> Optimize(std::unique_ptr<PlanNode> plan,
+                                   const Database& db);
+
+}  // namespace ccdb::cqa
+
+#endif  // CCDB_CORE_PLAN_H_

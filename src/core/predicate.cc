@@ -1,0 +1,32 @@
+#include "core/predicate.h"
+
+namespace ccdb {
+
+std::string StringAtom::ToString() const {
+  std::string op = negated ? " != " : " = ";
+  if (kind == Kind::kAttrEqualsLiteral) {
+    return attribute + op + "\"" + literal + "\"";
+  }
+  return attribute + op + attribute2;
+}
+
+Predicate Predicate::And(Predicate a, const Predicate& b) {
+  a.linear.insert(a.linear.end(), b.linear.begin(), b.linear.end());
+  a.strings.insert(a.strings.end(), b.strings.begin(), b.strings.end());
+  return a;
+}
+
+std::string Predicate::ToString() const {
+  std::string out;
+  for (const Constraint& c : linear) {
+    if (!out.empty()) out += ", ";
+    out += c.ToPrettyString();
+  }
+  for (const StringAtom& s : strings) {
+    if (!out.empty()) out += ", ";
+    out += s.ToString();
+  }
+  return out.empty() ? "true" : out;
+}
+
+}  // namespace ccdb

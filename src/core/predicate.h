@@ -1,0 +1,75 @@
+#ifndef CCDB_CORE_PREDICATE_H_
+#define CCDB_CORE_PREDICATE_H_
+
+/// \file predicate.h
+/// Selection predicates over heterogeneous relations.
+///
+/// A CQA selection condition ξ is a conjunction of constraints over α(R)
+/// (§2.4). In the heterogeneous model the attributes mentioned can be:
+///  - constraint attributes — the constraint is conjoined with the tuple's
+///    store (broad semantics);
+///  - relational rational attributes — the stored value is substituted into
+///    the constraint, which then must hold (narrow: a null value satisfies
+///    nothing);
+///  - relational string attributes — only (in)equality against a string
+///    literal or another string attribute is meaningful; expressed as
+///    `StringAtom`s.
+
+#include <string>
+#include <vector>
+
+#include "constraint/constraint.h"
+
+namespace ccdb {
+
+/// An equality/inequality test on string-valued relational attributes.
+struct StringAtom {
+  enum class Kind {
+    kAttrEqualsLiteral,  ///< attr = "literal"
+    kAttrEqualsAttr,     ///< attr = attr2
+  };
+
+  Kind kind = Kind::kAttrEqualsLiteral;
+  std::string attribute;
+  std::string literal;     ///< for kAttrEqualsLiteral
+  std::string attribute2;  ///< for kAttrEqualsAttr
+  bool negated = false;    ///< != instead of =
+
+  static StringAtom EqualsLiteral(std::string attr, std::string lit) {
+    StringAtom a;
+    a.attribute = std::move(attr);
+    a.literal = std::move(lit);
+    return a;
+  }
+  static StringAtom NotEqualsLiteral(std::string attr, std::string lit) {
+    StringAtom a = EqualsLiteral(std::move(attr), std::move(lit));
+    a.negated = true;
+    return a;
+  }
+  static StringAtom EqualsAttr(std::string attr, std::string attr2) {
+    StringAtom a;
+    a.kind = Kind::kAttrEqualsAttr;
+    a.attribute = std::move(attr);
+    a.attribute2 = std::move(attr2);
+    return a;
+  }
+
+  std::string ToString() const;
+};
+
+/// A conjunctive selection condition.
+struct Predicate {
+  std::vector<Constraint> linear;    ///< arithmetic atoms
+  std::vector<StringAtom> strings;   ///< string atoms
+
+  bool empty() const { return linear.empty() && strings.empty(); }
+
+  /// And-composition of two predicates.
+  static Predicate And(Predicate a, const Predicate& b);
+
+  std::string ToString() const;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_CORE_PREDICATE_H_

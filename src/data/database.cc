@@ -1,0 +1,39 @@
+#include "data/database.h"
+
+namespace ccdb {
+
+Status Database::Create(const std::string& name, Relation relation) {
+  if (relations_.count(name)) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  relations_.emplace(name, std::move(relation));
+  return Status::OK();
+}
+
+void Database::CreateOrReplace(const std::string& name, Relation relation) {
+  relations_[name] = std::move(relation);
+}
+
+Result<const Relation*> Database::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status Database::Drop(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ccdb

@@ -1,0 +1,50 @@
+#ifndef CCDB_DATA_DATABASE_H_
+#define CCDB_DATA_DATABASE_H_
+
+/// \file database.h
+/// The catalog: a named collection of relations.
+///
+/// "A Constraint Database is a finite set of constraint relations"
+/// (Definition 2 of the paper). `Database` is that set plus the naming that
+/// the step-based query language (§3.3's `R0 = select ... from Land`) needs.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+/// A catalog of named heterogeneous relations.
+class Database {
+ public:
+  /// Registers a relation; fails if the name is taken.
+  Status Create(const std::string& name, Relation relation);
+
+  /// Replaces or registers (used by the query language for step results).
+  void CreateOrReplace(const std::string& name, Relation relation);
+
+  /// Looks up a relation.
+  Result<const Relation*> Get(const std::string& name) const;
+
+  /// Removes a relation; fails if absent.
+  Status Drop(const std::string& name);
+
+  bool Has(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  /// Names in sorted order.
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return relations_.size(); }
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_DATA_DATABASE_H_

@@ -1,0 +1,124 @@
+#include "data/relation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "constraint/fourier_motzkin.h"
+
+namespace ccdb {
+
+Status Relation::Insert(Tuple tuple) {
+  for (const auto& [name, value] : tuple.values()) {
+    const Attribute* attr = schema_.Find(name);
+    if (attr == nullptr) {
+      return Status::InvalidArgument("tuple value for unknown attribute '" +
+                                     name + "'");
+    }
+    if (attr->kind != AttributeKind::kRelational) {
+      return Status::InvalidArgument(
+          "tuple value for constraint attribute '" + name +
+          "'; use the constraint store");
+    }
+    if (!value.MatchesDomain(attr->domain)) {
+      return Status::InvalidArgument("value " + value.ToString() +
+                                     " does not match domain of '" + name +
+                                     "'");
+    }
+  }
+  for (const std::string& var : tuple.constraints().Variables()) {
+    const Attribute* attr = schema_.Find(var);
+    if (attr == nullptr) {
+      return Status::InvalidArgument("constraint on unknown attribute '" +
+                                     var + "'");
+    }
+    if (attr->kind != AttributeKind::kConstraint) {
+      return Status::InvalidArgument(
+          "constraint on relational attribute '" + var +
+          "'; relational attributes take values");
+    }
+  }
+  if (tuple.constraints().IsKnownFalse()) {
+    return Status::OK();  // denotes the empty set; nothing to store
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status Relation::InsertAll(const Relation& other) {
+  if (schema_ != other.schema_) {
+    return Status::InvalidArgument("InsertAll: schema mismatch " +
+                                   schema_.ToString() + " vs " +
+                                   other.schema_.ToString());
+  }
+  for (const Tuple& t : other.tuples_) {
+    CCDB_RETURN_IF_ERROR(Insert(t));
+  }
+  return Status::OK();
+}
+
+void Relation::Deduplicate() {
+  std::set<Tuple> seen;
+  std::vector<Tuple> unique;
+  unique.reserve(tuples_.size());
+  for (Tuple& t : tuples_) {
+    if (seen.insert(t).second) unique.push_back(std::move(t));
+  }
+  tuples_ = std::move(unique);
+}
+
+void Relation::Normalize() {
+  std::vector<Tuple> kept;
+  kept.reserve(tuples_.size());
+  for (Tuple& t : tuples_) {
+    if (!fm::IsSatisfiable(t.constraints())) continue;
+    t.SetConstraints(fm::RemoveRedundant(t.constraints()));
+    kept.push_back(std::move(t));
+  }
+  tuples_ = std::move(kept);
+  Deduplicate();
+}
+
+void Relation::RemoveSubsumed() {
+  // t is subsumed by s when their relational parts are identical and every
+  // constraint of s's store is entailed by t's store (s's region contains
+  // t's region). Ties (mutual subsumption = equivalence) keep the earlier
+  // tuple.
+  std::vector<bool> dead(tuples_.size(), false);
+  auto subsumes = [&](const Tuple& big, const Tuple& small) {
+    if (big.values() != small.values()) return false;
+    for (const Constraint& c : big.constraints().constraints()) {
+      if (!fm::Entails(small.constraints(), c)) return false;
+    }
+    return true;
+  };
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (dead[i]) continue;
+    for (size_t j = 0; j < tuples_.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (subsumes(tuples_[i], tuples_[j])) dead[j] = true;
+    }
+  }
+  std::vector<Tuple> kept;
+  kept.reserve(tuples_.size());
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(tuples_[i]));
+  }
+  tuples_ = std::move(kept);
+}
+
+bool Relation::ContainsPoint(const PointRow& point) const {
+  return std::any_of(tuples_.begin(), tuples_.end(), [&](const Tuple& t) {
+    return t.MatchesPoint(schema_, point);
+  });
+}
+
+std::string Relation::ToString() const {
+  std::string out = schema_.ToString() + " {";
+  for (const Tuple& t : tuples_) {
+    out += "\n  " + t.ToString();
+  }
+  out += tuples_.empty() ? "}" : "\n}";
+  return out;
+}
+
+}  // namespace ccdb

@@ -1,0 +1,77 @@
+#ifndef CCDB_DATA_RELATION_H_
+#define CCDB_DATA_RELATION_H_
+
+/// \file relation.h
+/// Heterogeneous constraint relations.
+///
+/// A constraint relation (Definition 2 of the paper) is a finite set of
+/// constraint tuples over the same attributes; its formula is the DNF
+/// disjunction of the tuples' conjunctions, and its semantics the possibly
+/// infinite set of points satisfying that formula. CCDB relations carry a
+/// heterogeneous `Schema` (§3) so tuples mix relational values with
+/// constraint stores.
+
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/tuple.h"
+
+namespace ccdb {
+
+/// A finite set of heterogeneous tuples under one schema.
+class Relation {
+ public:
+  /// The empty zero-ary relation.
+  Relation() = default;
+
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Validates and appends a tuple:
+  ///  - relational values only for relational attributes, matching domains;
+  ///  - constraint-store variables only over constraint attributes.
+  /// A tuple whose constraint store is *syntactically* false is dropped
+  /// (it denotes the empty point set); deep unsatisfiability is left to
+  /// `Normalize`. Duplicate representations are kept (set semantics are
+  /// restored by `Deduplicate`).
+  Status Insert(Tuple tuple);
+
+  /// Appends all tuples of `other` (schemas must match).
+  Status InsertAll(const Relation& other);
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Removes tuples with identical representation (set semantics).
+  void Deduplicate();
+
+  /// Semantic cleanup: drops unsatisfiable tuples (Fourier–Motzkin check),
+  /// minimizes each store (`fm::RemoveRedundant`), then deduplicates.
+  /// The result is equivalent (same point-set semantics).
+  void Normalize();
+
+  /// DNF minimization across tuples: removes any tuple whose semantics are
+  /// contained in another single tuple's (equal relational part and an
+  /// entailed constraint store). Quadratic with an entailment check per
+  /// pair — use after `Difference`/`Union` when compact output matters.
+  /// The result is equivalent (same point-set semantics).
+  void RemoveSubsumed();
+
+  /// True when some tuple's semantics contain `point` (see
+  /// Tuple::MatchesPoint). This is the reference semantics used by tests.
+  bool ContainsPoint(const PointRow& point) const;
+
+  /// Multi-line rendering: schema, then one tuple per line.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_DATA_RELATION_H_

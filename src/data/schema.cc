@@ -1,0 +1,127 @@
+#include "data/schema.h"
+
+#include <set>
+
+namespace ccdb {
+
+const char* AttributeKindName(AttributeKind kind) {
+  switch (kind) {
+    case AttributeKind::kRelational:
+      return "relational";
+    case AttributeKind::kConstraint:
+      return "constraint";
+  }
+  return "?";
+}
+
+const char* AttributeDomainName(AttributeDomain domain) {
+  switch (domain) {
+    case AttributeDomain::kString:
+      return "string";
+    case AttributeDomain::kRational:
+      return "rational";
+  }
+  return "?";
+}
+
+std::string Attribute::ToString() const {
+  return name + ": " + AttributeDomainName(domain) + ", " +
+         AttributeKindName(kind);
+}
+
+Result<Schema> Schema::Make(std::vector<Attribute> attributes) {
+  std::set<std::string> seen;
+  for (const Attribute& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute with empty name");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute '" + attr.name +
+                                     "'");
+    }
+    if (attr.kind == AttributeKind::kConstraint &&
+        attr.domain != AttributeDomain::kRational) {
+      return Status::InvalidArgument(
+          "constraint attribute '" + attr.name +
+          "' must have rational domain (constraints are arithmetic)");
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+const Attribute* Schema::Find(const std::string& name) const {
+  for (const Attribute& attr : attributes_) {
+    if (attr.name == name) return &attr;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Schema::Names() const {
+  std::vector<std::string> names;
+  names.reserve(attributes_.size());
+  for (const Attribute& attr : attributes_) names.push_back(attr.name);
+  return names;
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Attribute> kept;
+  std::set<std::string> seen;
+  for (const std::string& name : names) {
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate projection attribute '" +
+                                     name + "'");
+    }
+    const Attribute* attr = Find(name);
+    if (attr == nullptr) {
+      return Status::NotFound("projection attribute '" + name +
+                              "' not in schema " + ToString());
+    }
+    kept.push_back(*attr);
+  }
+  return Schema(std::move(kept));
+}
+
+Result<Schema> Schema::NaturalJoin(const Schema& other) const {
+  std::vector<Attribute> merged = attributes_;
+  for (const Attribute& attr : other.attributes_) {
+    const Attribute* mine = Find(attr.name);
+    if (mine == nullptr) {
+      merged.push_back(attr);
+      continue;
+    }
+    if (mine->domain != attr.domain || mine->kind != attr.kind) {
+      return Status::InvalidArgument(
+          "natural join: shared attribute '" + attr.name +
+          "' differs in domain or C/R kind (" + mine->ToString() + " vs " +
+          attr.ToString() + ")");
+    }
+  }
+  return Schema(std::move(merged));
+}
+
+Result<Schema> Schema::Rename(const std::string& from,
+                              const std::string& to) const {
+  if (Find(from) == nullptr) {
+    return Status::NotFound("rename: no attribute '" + from + "'");
+  }
+  if (Find(to) != nullptr) {
+    return Status::AlreadyExists("rename: attribute '" + to +
+                                 "' already exists");
+  }
+  std::vector<Attribute> renamed = attributes_;
+  for (Attribute& attr : renamed) {
+    if (attr.name == from) attr.name = to;
+  }
+  return Schema(std::move(renamed));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i) out += "; ";
+    out += attributes_[i].ToString();
+  }
+  return out + "]";
+}
+
+}  // namespace ccdb

@@ -1,0 +1,121 @@
+#ifndef CCDB_DATA_SCHEMA_H_
+#define CCDB_DATA_SCHEMA_H_
+
+/// \file schema.h
+/// Heterogeneous relation schemas with the C/R flag.
+///
+/// §3 of the paper shows that pure constraint semantics are inconsistent
+/// with relational semantics for missing attributes (Proposition 1): a
+/// missing *constraint* attribute admits all domain values (broad), while a
+/// missing *relational* attribute must behave as null and match nothing
+/// (narrow). CQA/CDB's fix — adopted here — is a per-attribute flag in the
+/// schema marking each attribute as "constraint" or "relational", yielding
+/// the *heterogeneous data model*, which is fully upward-compatible with
+/// relational databases.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ccdb {
+
+/// The C/R flag: how missing values of the attribute are interpreted.
+enum class AttributeKind {
+  kRelational,  ///< narrow semantics: missing = null, matches nothing
+  kConstraint,  ///< broad semantics: unconstrained = all domain values
+};
+
+/// Value domain of an attribute.
+enum class AttributeDomain {
+  kString,    ///< finite uninterpreted constants (names, feature IDs)
+  kRational,  ///< the rationals (constraint-capable)
+};
+
+const char* AttributeKindName(AttributeKind kind);
+const char* AttributeDomainName(AttributeDomain domain);
+
+/// One schema column.
+struct Attribute {
+  std::string name;
+  AttributeDomain domain = AttributeDomain::kRational;
+  AttributeKind kind = AttributeKind::kRelational;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && domain == other.domain &&
+           kind == other.kind;
+  }
+  bool operator!=(const Attribute& other) const { return !(*this == other); }
+
+  /// e.g. "x: rational, constraint" (the paper's §3.3 style).
+  std::string ToString() const;
+};
+
+/// An ordered list of uniquely-named attributes.
+///
+/// Invariants enforced by `Make`: names unique and non-empty; constraint
+/// attributes have rational domain (constraints are arithmetic).
+class Schema {
+ public:
+  /// Empty schema (zero-ary relation).
+  Schema() = default;
+
+  static Result<Schema> Make(std::vector<Attribute> attributes);
+
+  /// Shorthand builders used widely in tests and examples.
+  static Attribute RelationalString(const std::string& name) {
+    return Attribute{name, AttributeDomain::kString,
+                     AttributeKind::kRelational};
+  }
+  static Attribute RelationalRational(const std::string& name) {
+    return Attribute{name, AttributeDomain::kRational,
+                     AttributeKind::kRelational};
+  }
+  static Attribute ConstraintRational(const std::string& name) {
+    return Attribute{name, AttributeDomain::kRational,
+                     AttributeKind::kConstraint};
+  }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  /// The attribute named `name`, if present.
+  const Attribute* Find(const std::string& name) const;
+  bool Has(const std::string& name) const { return Find(name) != nullptr; }
+
+  /// All attribute names in schema order.
+  std::vector<std::string> Names() const;
+
+  /// Schema of a projection onto `names` (kept in `names` order).
+  /// Fails on unknown names or duplicates.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  /// Schema of the natural join with `other`: shared names must agree on
+  /// domain and kind; result lists this schema's attributes then `other`'s
+  /// new ones.
+  Result<Schema> NaturalJoin(const Schema& other) const;
+
+  /// Schema with `from` renamed to `to`. Fails if `from` is missing or
+  /// `to` already exists.
+  Result<Schema> Rename(const std::string& from, const std::string& to) const;
+
+  /// True when the schemas are identical (required by union/difference).
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  /// e.g. "[landId: string, relational; x: rational, constraint]".
+  std::string ToString() const;
+
+ private:
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_DATA_SCHEMA_H_

@@ -1,0 +1,58 @@
+#include "data/tuple.h"
+
+namespace ccdb {
+
+namespace {
+const Value kNull;
+}  // namespace
+
+void Tuple::SetValue(const std::string& attribute, Value value) {
+  if (value.IsNull()) {
+    values_.erase(attribute);
+    return;
+  }
+  values_[attribute] = std::move(value);
+}
+
+const Value& Tuple::GetValue(const std::string& attribute) const {
+  auto it = values_.find(attribute);
+  return it == values_.end() ? kNull : it->second;
+}
+
+bool Tuple::MatchesPoint(const Schema& schema, const PointRow& point) const {
+  for (const Attribute& attr : schema.attributes()) {
+    if (attr.kind == AttributeKind::kRelational) {
+      const Value& stored = GetValue(attr.name);
+      auto it = point.relational.find(attr.name);
+      const Value& asked = it == point.relational.end() ? kNull : it->second;
+      // Narrow semantics: a null on either side matches nothing.
+      if (!stored.EqualsForQuery(asked)) return false;
+    }
+  }
+  // Broad semantics: the constraint store constrains only the attributes it
+  // mentions; all others are free.
+  Assignment assignment;
+  for (const std::string& var : constraints_.Variables()) {
+    auto it = point.constraint.find(var);
+    if (it == point.constraint.end()) return false;  // underspecified point
+    assignment.emplace(var, it->second);
+  }
+  return constraints_.IsSatisfiedBy(assignment);
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) out += ", ";
+    out += name + " = " + value.ToString();
+    first = false;
+  }
+  if (!constraints_.IsTriviallyTrue() || first) {
+    if (!first) out += ", ";
+    out += constraints_.ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace ccdb

@@ -1,0 +1,11 @@
+#include "data/value.h"
+
+namespace ccdb {
+
+std::string Value::ToString() const {
+  if (IsNull()) return "null";
+  if (IsString()) return "\"" + AsString() + "\"";
+  return AsNumber().ToString();
+}
+
+}  // namespace ccdb

@@ -1,0 +1,78 @@
+#ifndef CCDB_DATA_VALUE_H_
+#define CCDB_DATA_VALUE_H_
+
+/// \file value.h
+/// Values of relational attributes.
+///
+/// Relational attributes hold concrete values (or null). Constraint
+/// attributes never hold a `Value`; their content lives in the tuple's
+/// constraint store. Null follows the narrow semantics of §3.1: it is
+/// distinct from every domain value, so a selection or join on a null
+/// attribute matches nothing.
+
+#include <string>
+#include <variant>
+
+#include "data/schema.h"
+#include "num/rational.h"
+
+namespace ccdb {
+
+/// A relational attribute value: null, a string constant, or a rational.
+class Value {
+ public:
+  /// Null.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value String(std::string s) {
+    Value v;
+    v.data_ = std::move(s);
+    return v;
+  }
+  static Value Number(Rational r) {
+    Value v;
+    v.data_ = std::move(r);
+    return v;
+  }
+  static Value Number(int64_t n) { return Number(Rational(n)); }
+
+  bool IsNull() const { return std::holds_alternative<std::monostate>(data_); }
+  bool IsString() const { return std::holds_alternative<std::string>(data_); }
+  bool IsNumber() const { return std::holds_alternative<Rational>(data_); }
+
+  /// Requires IsString().
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  /// Requires IsNumber().
+  const Rational& AsNumber() const { return std::get<Rational>(data_); }
+
+  /// True when the value's type matches the attribute domain (null matches
+  /// any domain).
+  bool MatchesDomain(AttributeDomain domain) const {
+    if (IsNull()) return true;
+    return domain == AttributeDomain::kString ? IsString() : IsNumber();
+  }
+
+  /// Narrow-semantics equality: null equals nothing, not even null.
+  /// (Used by selection and join predicates.)
+  bool EqualsForQuery(const Value& other) const {
+    if (IsNull() || other.IsNull()) return false;
+    return data_ == other.data_;
+  }
+
+  /// Representation identity: null == null here. (Used by set operations —
+  /// union/difference deduplicate identical representations.)
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+
+  /// "null", a quoted string, or the exact rational.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, std::string, Rational> data_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_DATA_VALUE_H_

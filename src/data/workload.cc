@@ -1,0 +1,101 @@
+#include "data/workload.h"
+
+#include <cassert>
+
+namespace ccdb {
+
+geom::Box RandomRectangle(Rng* rng, const WorkloadParams& params) {
+  // The paper generates the upper-left corner and the extents. With y up,
+  // "upper-left" is (x_min, y_max).
+  Rational x_min(rng->UniformInt(params.coord_min, params.coord_max));
+  Rational y_max(rng->UniformInt(params.coord_min, params.coord_max));
+  Rational width(rng->UniformInt(params.extent_min, params.extent_max));
+  Rational height(rng->UniformInt(params.extent_min, params.extent_max));
+  return geom::Box{x_min, x_min + width, y_max - height, y_max};
+}
+
+std::vector<geom::Box> GenerateRectangles(size_t count, uint64_t seed,
+                                          const WorkloadParams& params) {
+  Rng rng(seed);
+  std::vector<geom::Box> boxes;
+  boxes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    boxes.push_back(RandomRectangle(&rng, params));
+  }
+  return boxes;
+}
+
+std::vector<geom::Box> GenerateDataBoxes(uint64_t seed,
+                                         const WorkloadParams& params) {
+  return GenerateRectangles(params.data_count, seed, params);
+}
+
+std::vector<geom::Box> GenerateQueryBoxes(uint64_t seed,
+                                          const WorkloadParams& params) {
+  return GenerateRectangles(params.query_count, seed, params);
+}
+
+namespace {
+
+LinearExpr X() { return LinearExpr::Variable("x"); }
+LinearExpr Y() { return LinearExpr::Variable("y"); }
+
+void AddBoxConstraints(const geom::Box& box, Tuple* tuple) {
+  tuple->AddConstraint(Constraint::Ge(X(), LinearExpr::Constant(box.x_min)));
+  tuple->AddConstraint(Constraint::Le(X(), LinearExpr::Constant(box.x_max)));
+  tuple->AddConstraint(Constraint::Ge(Y(), LinearExpr::Constant(box.y_min)));
+  tuple->AddConstraint(Constraint::Le(Y(), LinearExpr::Constant(box.y_max)));
+}
+
+}  // namespace
+
+Relation BoxesToConstraintRelation(const std::vector<geom::Box>& boxes) {
+  Schema schema = Schema::Make({Schema::ConstraintRational("x"),
+                                Schema::ConstraintRational("y")})
+                      .value();
+  Relation rel(schema);
+  for (const geom::Box& box : boxes) {
+    Tuple t;
+    AddBoxConstraints(box, &t);
+    Status s = rel.Insert(std::move(t));
+    assert(s.ok());
+    (void)s;
+  }
+  return rel;
+}
+
+Relation BoxesToRelationalRelation(const std::vector<geom::Box>& boxes) {
+  Schema schema = Schema::Make({Schema::RelationalRational("x"),
+                                Schema::RelationalRational("y")})
+                      .value();
+  Relation rel(schema);
+  for (const geom::Box& box : boxes) {
+    geom::Point center = box.Center();
+    Tuple t;
+    t.SetValue("x", Value::Number(center.x));
+    t.SetValue("y", Value::Number(center.y));
+    Status s = rel.Insert(std::move(t));
+    assert(s.ok());
+    (void)s;
+  }
+  return rel;
+}
+
+Relation BoxesToMixedRelation(const std::vector<geom::Box>& boxes) {
+  Schema schema = Schema::Make({Schema::ConstraintRational("x"),
+                                Schema::RelationalRational("y")})
+                      .value();
+  Relation rel(schema);
+  for (const geom::Box& box : boxes) {
+    Tuple t;
+    t.AddConstraint(Constraint::Ge(X(), LinearExpr::Constant(box.x_min)));
+    t.AddConstraint(Constraint::Le(X(), LinearExpr::Constant(box.x_max)));
+    t.SetValue("y", Value::Number(box.Center().y));
+    Status s = rel.Insert(std::move(t));
+    assert(s.ok());
+    (void)s;
+  }
+  return rel;
+}
+
+}  // namespace ccdb

@@ -1,0 +1,70 @@
+#ifndef CCDB_DATA_WORKLOAD_H_
+#define CCDB_DATA_WORKLOAD_H_
+
+/// \file workload.h
+/// The paper's experimental workload generator (§5.4).
+///
+/// "Prior to running the experiments, we randomly generated a data file and
+///  a query file as follows:
+///   1. Randomly generate 10,000 bounding boxes representing data tuples,
+///      with height and width in [1,100]; ...
+///   2. Randomly generate 100 queries, which are rectangles of height and
+///      width in [1,100]; ... For experiment 3, generate 500 queries.
+///   3. All rectangles are obtained by randomly generating (a) the
+///      upper-left coordinates, and (b) the height and width of each
+///      rectangle. All coordinates are between [0, 3000]."
+///
+/// The authors' random files are not published; CCDB regenerates
+/// statistically identical workloads from fixed seeds (documented
+/// substitution, see DESIGN.md).
+
+#include <vector>
+
+#include "data/relation.h"
+#include "geom/box.h"
+#include "util/random.h"
+
+namespace ccdb {
+
+/// Workload parameters, defaulting to the paper's values.
+struct WorkloadParams {
+  int64_t coord_min = 0;
+  int64_t coord_max = 3000;   ///< upper-left coordinates in [0, 3000]
+  int64_t extent_min = 1;     ///< width/height lower bound
+  int64_t extent_max = 100;   ///< width/height upper bound
+  size_t data_count = 10000;  ///< data rectangles
+  size_t query_count = 100;   ///< query rectangles (500 for experiment 3)
+};
+
+/// One random rectangle per the paper's recipe: upper-left corner uniform
+/// in [coord_min, coord_max]^2, extents uniform in [extent_min, extent_max].
+geom::Box RandomRectangle(Rng* rng, const WorkloadParams& params);
+
+/// `count` random rectangles.
+std::vector<geom::Box> GenerateRectangles(size_t count, uint64_t seed,
+                                          const WorkloadParams& params = {});
+
+/// The data file: `params.data_count` rectangles.
+std::vector<geom::Box> GenerateDataBoxes(uint64_t seed,
+                                         const WorkloadParams& params = {});
+
+/// The query file: `params.query_count` rectangles.
+std::vector<geom::Box> GenerateQueryBoxes(uint64_t seed,
+                                          const WorkloadParams& params = {});
+
+/// Materializes boxes as a heterogeneous relation over attributes (x, y):
+///  - constraint variant (experiments 1-A, 2-A): x, y are constraint
+///    attributes; each tuple is the box's four bound constraints;
+///  - relational variant (experiments 1-B, 2-B): x, y are relational
+///    attributes holding the box center (a point per tuple — relational
+///    attributes have "a single value for any given tuple").
+Relation BoxesToConstraintRelation(const std::vector<geom::Box>& boxes);
+Relation BoxesToRelationalRelation(const std::vector<geom::Box>& boxes);
+
+/// Heterogeneous variant (experiment 3 assumption, see DESIGN.md):
+/// x constraint (the box's x-range), y relational (the center's y).
+Relation BoxesToMixedRelation(const std::vector<geom::Box>& boxes);
+
+}  // namespace ccdb
+
+#endif  // CCDB_DATA_WORKLOAD_H_

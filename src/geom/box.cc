@@ -1,0 +1,96 @@
+#include "geom/box.h"
+
+namespace ccdb::geom {
+
+Box Box::Empty() {
+  Box b;
+  b.x_min = Rational(1);
+  b.x_max = Rational(0);
+  b.y_min = Rational(1);
+  b.y_max = Rational(0);
+  return b;
+}
+
+Box Box::FromPoint(const Point& p) {
+  return Box{p.x, p.x, p.y, p.y};
+}
+
+Box Box::FromCorners(const Point& a, const Point& b) {
+  return Box{Rational::Min(a.x, b.x), Rational::Max(a.x, b.x),
+             Rational::Min(a.y, b.y), Rational::Max(a.y, b.y)};
+}
+
+bool Box::Contains(const Point& p) const {
+  return p.x >= x_min && p.x <= x_max && p.y >= y_min && p.y <= y_max;
+}
+
+bool Box::ContainsBox(const Box& other) const {
+  if (other.IsEmpty()) return true;
+  if (IsEmpty()) return false;
+  return other.x_min >= x_min && other.x_max <= x_max &&
+         other.y_min >= y_min && other.y_max <= y_max;
+}
+
+bool Box::Intersects(const Box& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return x_min <= other.x_max && other.x_min <= x_max &&
+         y_min <= other.y_max && other.y_min <= y_max;
+}
+
+Box Box::ExpandedBy(const Box& other) const {
+  if (IsEmpty()) return other;
+  if (other.IsEmpty()) return *this;
+  return Box{Rational::Min(x_min, other.x_min),
+             Rational::Max(x_max, other.x_max),
+             Rational::Min(y_min, other.y_min),
+             Rational::Max(y_max, other.y_max)};
+}
+
+Box Box::IntersectedWith(const Box& other) const {
+  if (IsEmpty() || other.IsEmpty()) return Empty();
+  Box out{Rational::Max(x_min, other.x_min),
+          Rational::Min(x_max, other.x_max),
+          Rational::Max(y_min, other.y_min),
+          Rational::Min(y_max, other.y_max)};
+  if (out.IsEmpty()) return Empty();
+  return out;
+}
+
+Box Box::GrownBy(const Rational& margin) const {
+  if (IsEmpty()) return *this;
+  return Box{x_min - margin, x_max + margin, y_min - margin, y_max + margin};
+}
+
+Rational Box::Area() const {
+  if (IsEmpty()) return Rational(0);
+  return Width() * Height();
+}
+
+Point Box::Center() const {
+  Rational half(1, 2);
+  return Point((x_min + x_max) * half, (y_min + y_max) * half);
+}
+
+Rational Box::SquaredDistance(const Box& a, const Box& b) {
+  Rational dx(0);
+  if (a.x_max < b.x_min) {
+    dx = b.x_min - a.x_max;
+  } else if (b.x_max < a.x_min) {
+    dx = a.x_min - b.x_max;
+  }
+  Rational dy(0);
+  if (a.y_max < b.y_min) {
+    dy = b.y_min - a.y_max;
+  } else if (b.y_max < a.y_min) {
+    dy = a.y_min - b.y_max;
+  }
+  return dx * dx + dy * dy;
+}
+
+std::string Box::ToString() const {
+  if (IsEmpty()) return "[empty box]";
+  return "[" + x_min.ToString() + ", " + x_max.ToString() + "] x [" +
+         y_min.ToString() + ", " + y_max.ToString() + "]";
+}
+
+}  // namespace ccdb::geom

@@ -1,0 +1,72 @@
+#ifndef CCDB_GEOM_BOX_H_
+#define CCDB_GEOM_BOX_H_
+
+/// \file box.h
+/// Axis-aligned rectangles with exact rational bounds.
+///
+/// Boxes are the common currency between the geometry substrate and the
+/// index layer: constraint tuples and features are summarized by their
+/// bounding boxes (§5 of the paper), which become R*-tree keys.
+
+#include <string>
+
+#include "geom/point.h"
+
+namespace ccdb::geom {
+
+/// A closed axis-aligned rectangle [x_min, x_max] × [y_min, y_max].
+/// Degenerate boxes (points, segments) are allowed; an "empty" box is
+/// represented by inverted bounds via `Box::Empty()`.
+struct Box {
+  Rational x_min;
+  Rational x_max;
+  Rational y_min;
+  Rational y_max;
+
+  /// A degenerate inverted box that behaves as the identity for ExpandedBy.
+  static Box Empty();
+
+  /// The box covering a single point.
+  static Box FromPoint(const Point& p);
+
+  /// The box with the given corners (any order).
+  static Box FromCorners(const Point& a, const Point& b);
+
+  /// True when bounds are inverted (no point is contained).
+  bool IsEmpty() const { return x_min > x_max || y_min > y_max; }
+
+  bool Contains(const Point& p) const;
+  /// True if `other` lies entirely inside this box.
+  bool ContainsBox(const Box& other) const;
+  /// Closed-box intersection test (shared boundary counts).
+  bool Intersects(const Box& other) const;
+
+  /// The smallest box containing both (empty boxes act as identity).
+  Box ExpandedBy(const Box& other) const;
+  /// The intersection (possibly empty).
+  Box IntersectedWith(const Box& other) const;
+  /// This box grown by `margin` on every side.
+  Box GrownBy(const Rational& margin) const;
+
+  Rational Width() const { return x_max - x_min; }
+  Rational Height() const { return y_max - y_min; }
+  Rational Area() const;
+  /// Half-perimeter (the R*-tree "margin" measure).
+  Rational Margin() const { return Width() + Height(); }
+  Point Center() const;
+
+  /// Exact squared distance between two boxes (0 when intersecting).
+  static Rational SquaredDistance(const Box& a, const Box& b);
+
+  bool operator==(const Box& other) const {
+    return x_min == other.x_min && x_max == other.x_max &&
+           y_min == other.y_min && y_max == other.y_max;
+  }
+  bool operator!=(const Box& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+};
+
+}  // namespace ccdb::geom
+
+#endif  // CCDB_GEOM_BOX_H_

@@ -1,0 +1,178 @@
+#include "geom/clip.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "geom/decompose.h"
+
+namespace ccdb::geom {
+
+namespace {
+
+/// Signed side of `r` relative to the directed line p->q (cross product;
+/// > 0 strictly left / inside for a CCW clip ring).
+Rational Side(const Point& p, const Point& q, const Point& r) {
+  return Cross(p, q, r);
+}
+
+/// Intersection of segment (a, b) with the line through p->q, given the
+/// (nonzero, opposite-signed) side values of a and b.
+Point LineCut(const Point& a, const Point& b, const Rational& side_a,
+              const Rational& side_b) {
+  Rational t = side_a / (side_a - side_b);
+  return a + (b - a) * t;
+}
+
+}  // namespace
+
+std::vector<Point> ClipConvex(const std::vector<Point>& subject,
+                              const std::vector<Point>& clip) {
+  assert(clip.size() >= 3);
+  std::vector<Point> output = subject;
+  const size_t m = clip.size();
+  for (size_t e = 0; e < m && !output.empty(); ++e) {
+    const Point& p = clip[e];
+    const Point& q = clip[(e + 1) % m];
+    std::vector<Point> input = std::move(output);
+    output.clear();
+    const size_t n = input.size();
+    for (size_t i = 0; i < n; ++i) {
+      const Point& cur = input[i];
+      const Point& next = input[(i + 1) % n];
+      Rational side_cur = Side(p, q, cur);
+      Rational side_next = Side(p, q, next);
+      if (side_cur.Sign() >= 0) {
+        output.push_back(cur);
+      }
+      if ((side_cur.Sign() > 0 && side_next.Sign() < 0) ||
+          (side_cur.Sign() < 0 && side_next.Sign() > 0)) {
+        output.push_back(LineCut(cur, next, side_cur, side_next));
+      }
+    }
+  }
+  // Canonicalize: dedupe, drop collinear vertices, enforce CCW. The hull
+  // of the (convex) result is the result itself.
+  return ConvexHull(output);
+}
+
+namespace {
+
+/// Clips the closed segment to the inside of a convex CCW ring.
+/// Returns the surviving parameter interval's endpoints (possibly equal),
+/// or nothing.
+std::optional<std::pair<Point, Point>> ClipSegmentToConvex(
+    const Segment& segment, const std::vector<Point>& ring) {
+  // Parametric clipping: point(t) = a + t(b-a), t in [0, 1]; each clip
+  // edge imposes side(a) + t*(side(b) - side(a)) >= 0.
+  Rational t_lo(0);
+  Rational t_hi(1);
+  const size_t m = ring.size();
+  for (size_t e = 0; e < m; ++e) {
+    const Point& p = ring[e];
+    const Point& q = ring[(e + 1) % m];
+    Rational side_a = Side(p, q, segment.a);
+    Rational side_b = Side(p, q, segment.b);
+    Rational delta = side_b - side_a;
+    if (delta.IsZero()) {
+      if (side_a.Sign() < 0) return std::nullopt;  // fully outside
+      continue;
+    }
+    Rational t_cross = -side_a / delta;
+    if (delta.Sign() > 0) {
+      // Entering: t >= t_cross.
+      if (t_cross > t_lo) t_lo = t_cross;
+    } else {
+      // Leaving: t <= t_cross.
+      if (t_cross < t_hi) t_hi = t_cross;
+    }
+    if (t_lo > t_hi) return std::nullopt;
+  }
+  Point lo = segment.a + (segment.b - segment.a) * t_lo;
+  Point hi = segment.a + (segment.b - segment.a) * t_hi;
+  return std::make_pair(std::move(lo), std::move(hi));
+}
+
+/// Intersection of two closed segments as a region (point or segment).
+std::optional<ConvexRegion> IntersectSegments(const Segment& s,
+                                              const Segment& t) {
+  if (!SegmentsIntersect(s, t)) return std::nullopt;
+  Point ds = s.b - s.a;
+  Point dt = t.b - t.a;
+  Rational denom = ds.x * dt.y - ds.y * dt.x;
+  if (!denom.IsZero()) {
+    // Proper (single-point) intersection.
+    Point diff = t.a - s.a;
+    Rational u = (diff.x * dt.y - diff.y * dt.x) / denom;
+    return ConvexRegion::MakePoint(s.a + ds * u);
+  }
+  // Collinear overlap: order the four endpoints along the line and take
+  // the middle two.
+  auto key = [&](const Point& p) {
+    // Project onto the dominant axis of ds (or dt if s degenerate).
+    Point d = s.IsDegenerate() ? dt : ds;
+    return (d.x.Abs() >= d.y.Abs()) ? p.x : p.y;
+  };
+  Point lo_s = key(s.a) <= key(s.b) ? s.a : s.b;
+  Point hi_s = key(s.a) <= key(s.b) ? s.b : s.a;
+  Point lo_t = key(t.a) <= key(t.b) ? t.a : t.b;
+  Point hi_t = key(t.a) <= key(t.b) ? t.b : t.a;
+  Point lo = key(lo_s) >= key(lo_t) ? lo_s : lo_t;
+  Point hi = key(hi_s) <= key(hi_t) ? hi_s : hi_t;
+  if (lo == hi) return ConvexRegion::MakePoint(lo);
+  return ConvexRegion::MakeSegment(Segment(lo, hi));
+}
+
+std::optional<ConvexRegion> FromClippedRing(std::vector<Point> ring) {
+  if (ring.empty()) return std::nullopt;
+  if (ring.size() == 1) return ConvexRegion::MakePoint(ring[0]);
+  if (ring.size() == 2) {
+    return ConvexRegion::MakeSegment(Segment(ring[0], ring[1]));
+  }
+  auto polygon = Polygon::Make(std::move(ring));
+  if (!polygon.ok()) return std::nullopt;  // fully degenerate
+  return ConvexRegion::MakePolygon(std::move(polygon).value());
+}
+
+}  // namespace
+
+std::optional<ConvexRegion> IntersectRegions(const ConvexRegion& a,
+                                             const ConvexRegion& b) {
+  using Kind = ConvexRegion::Kind;
+  // Normalize order: point <= segment <= polygon.
+  if (static_cast<int>(a.kind()) > static_cast<int>(b.kind())) {
+    return IntersectRegions(b, a);
+  }
+  switch (a.kind()) {
+    case Kind::kPoint:
+      if (b.Contains(a.point())) return a;
+      return std::nullopt;
+    case Kind::kSegment:
+      if (b.kind() == Kind::kSegment) {
+        return IntersectSegments(a.segment(), b.segment());
+      }
+      // segment ∧ polygon.
+      {
+        auto clipped =
+            ClipSegmentToConvex(a.segment(), b.polygon().vertices());
+        if (!clipped) return std::nullopt;
+        if (clipped->first == clipped->second) {
+          return ConvexRegion::MakePoint(clipped->first);
+        }
+        return ConvexRegion::MakeSegment(
+            Segment(clipped->first, clipped->second));
+      }
+    case Kind::kPolygon:
+      return FromClippedRing(
+          ClipConvex(a.polygon().vertices(), b.polygon().vertices()));
+  }
+  return std::nullopt;
+}
+
+Rational IntersectionArea(const std::vector<Point>& a,
+                          const std::vector<Point>& b) {
+  std::vector<Point> region = ClipConvex(a, b);
+  if (region.size() < 3) return Rational(0);
+  return TwiceSignedArea(region) * Rational(1, 2);
+}
+
+}  // namespace ccdb::geom

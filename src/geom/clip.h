@@ -1,0 +1,46 @@
+#ifndef CCDB_GEOM_CLIP_H_
+#define CCDB_GEOM_CLIP_H_
+
+/// \file clip.h
+/// Exact intersection of convex regions (Sutherland–Hodgman clipping).
+///
+/// §6's representation-neutrality cuts both ways: the intersection of two
+/// spatial extents can be computed in the constraint representation (CQA
+/// natural join conjoins the stores) or in the vector representation
+/// (polygon clipping). CCDB implements both and cross-validates them in
+/// tests — same input regions, same output region, two algorithms.
+///
+/// `ClipConvex` clips a convex CCW subject ring against a convex CCW clip
+/// ring entirely in rational arithmetic; the result is the exact
+/// intersection (possibly empty, a point, a segment, or a polygon).
+
+#include <vector>
+
+#include "geom/convert.h"
+#include "geom/polygon.h"
+
+namespace ccdb::geom {
+
+/// Exact intersection of two convex CCW rings. The returned vertex list
+/// is the convex intersection region:
+///  - empty vector: disjoint interiors and boundaries;
+///  - 1 vertex: they touch at a point;
+///  - 2 vertices: they share a segment;
+///  - >= 3 vertices: a convex polygon (CCW, no collinear vertices).
+std::vector<Point> ClipConvex(const std::vector<Point>& subject,
+                              const std::vector<Point>& clip);
+
+/// Exact intersection of two convex regions of any kind (point, segment,
+/// polygon). Returns the intersection as a ConvexRegion, or nullopt when
+/// they do not intersect.
+std::optional<ConvexRegion> IntersectRegions(const ConvexRegion& a,
+                                             const ConvexRegion& b);
+
+/// Exact area of the intersection of two convex rings (0 for lower-
+/// dimensional or empty intersections).
+Rational IntersectionArea(const std::vector<Point>& a,
+                          const std::vector<Point>& b);
+
+}  // namespace ccdb::geom
+
+#endif  // CCDB_GEOM_CLIP_H_

@@ -1,0 +1,261 @@
+#include "geom/convert.h"
+
+#include <cassert>
+
+#include "constraint/fourier_motzkin.h"
+
+namespace ccdb::geom {
+
+ConvexRegion ConvexRegion::MakePoint(Point p) {
+  ConvexRegion r;
+  r.kind_ = Kind::kPoint;
+  r.point_ = std::move(p);
+  return r;
+}
+
+ConvexRegion ConvexRegion::MakeSegment(Segment s) {
+  ConvexRegion r;
+  r.kind_ = Kind::kSegment;
+  r.segment_ = std::move(s);
+  return r;
+}
+
+ConvexRegion ConvexRegion::MakePolygon(Polygon p) {
+  ConvexRegion r;
+  r.kind_ = Kind::kPolygon;
+  r.polygon_ = std::move(p);
+  return r;
+}
+
+Box ConvexRegion::BoundingBox() const {
+  switch (kind_) {
+    case Kind::kPoint:
+      return Box::FromPoint(point_);
+    case Kind::kSegment:
+      return segment_.BoundingBox();
+    case Kind::kPolygon:
+      return polygon_->BoundingBox();
+  }
+  return Box::Empty();
+}
+
+bool ConvexRegion::Contains(const Point& p) const {
+  switch (kind_) {
+    case Kind::kPoint:
+      return point_ == p;
+    case Kind::kSegment:
+      return segment_.Contains(p);
+    case Kind::kPolygon:
+      return polygon_->Contains(p);
+  }
+  return false;
+}
+
+std::string ConvexRegion::ToString() const {
+  switch (kind_) {
+    case Kind::kPoint:
+      return point_.ToString();
+    case Kind::kSegment:
+      return segment_.ToString();
+    case Kind::kPolygon:
+      return polygon_->ToString();
+  }
+  return "?";
+}
+
+Rational SquaredDistance(const ConvexRegion& a, const ConvexRegion& b) {
+  using Kind = ConvexRegion::Kind;
+  // Dispatch so that the "larger" shape is handled by the specialized
+  // overloads in polygon.cc / segment.cc.
+  if (a.kind() == Kind::kPolygon) {
+    switch (b.kind()) {
+      case Kind::kPoint:
+        return SquaredDistance(b.point(), a.polygon());
+      case Kind::kSegment:
+        return SquaredDistance(b.segment(), a.polygon());
+      case Kind::kPolygon:
+        return SquaredDistance(a.polygon(), b.polygon());
+    }
+  }
+  if (a.kind() == Kind::kSegment) {
+    switch (b.kind()) {
+      case Kind::kPoint:
+        return SquaredDistance(b.point(), a.segment());
+      case Kind::kSegment:
+        return SquaredDistance(a.segment(), b.segment());
+      case Kind::kPolygon:
+        return SquaredDistance(a.segment(), b.polygon());
+    }
+  }
+  switch (b.kind()) {
+    case Kind::kPoint:
+      return SquaredDistance(a.point(), b.point());
+    case Kind::kSegment:
+      return SquaredDistance(a.point(), b.segment());
+    case Kind::kPolygon:
+      return SquaredDistance(a.point(), b.polygon());
+  }
+  return Rational(0);
+}
+
+Conjunction ConvexRingToConjunction(const std::vector<Point>& ring,
+                                    const std::string& xvar,
+                                    const std::string& yvar) {
+  Conjunction out;
+  const size_t n = ring.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& p = ring[i];
+    const Point& q = ring[(i + 1) % n];
+    // Interior on the left of p->q: cross(q-p, r-p) >= 0, i.e.
+    // -(q.y-p.y)·x + (q.x-p.x)·y + ((q.y-p.y)p.x - (q.x-p.x)p.y) >= 0.
+    Rational dy = q.y - p.y;
+    Rational dx = q.x - p.x;
+    LinearExpr expr = LinearExpr::Term(xvar, -dy) + LinearExpr::Term(yvar, dx) +
+                      LinearExpr::Constant(dy * p.x - dx * p.y);
+    out.Add(Constraint::Ge(expr, LinearExpr()));
+  }
+  return out;
+}
+
+std::vector<Conjunction> PolygonToConstraintTuples(const Polygon& polygon,
+                                                   const std::string& xvar,
+                                                   const std::string& yvar) {
+  std::vector<Conjunction> tuples;
+  for (const std::vector<Point>& piece : DecomposeConvex(polygon)) {
+    tuples.push_back(ConvexRingToConjunction(piece, xvar, yvar));
+  }
+  return tuples;
+}
+
+Conjunction SegmentToConjunction(const Segment& segment,
+                                 const std::string& xvar,
+                                 const std::string& yvar) {
+  if (segment.IsDegenerate()) {
+    return PointToConjunction(segment.a, xvar, yvar);
+  }
+  Conjunction out;
+  // Collinear line: cross(b-a, r-a) = 0.
+  Rational dy = segment.b.y - segment.a.y;
+  Rational dx = segment.b.x - segment.a.x;
+  LinearExpr line = LinearExpr::Term(xvar, -dy) + LinearExpr::Term(yvar, dx) +
+                    LinearExpr::Constant(dy * segment.a.x - dx * segment.a.y);
+  out.Add(Constraint(line, ConstraintOp::kEq));
+  // Endpoint bounds.
+  Box box = segment.BoundingBox();
+  LinearExpr x = LinearExpr::Variable(xvar);
+  LinearExpr y = LinearExpr::Variable(yvar);
+  out.Add(Constraint::Ge(x, LinearExpr::Constant(box.x_min)));
+  out.Add(Constraint::Le(x, LinearExpr::Constant(box.x_max)));
+  out.Add(Constraint::Ge(y, LinearExpr::Constant(box.y_min)));
+  out.Add(Constraint::Le(y, LinearExpr::Constant(box.y_max)));
+  return out;
+}
+
+std::vector<Conjunction> PolylineToConstraintTuples(const Polyline& line,
+                                                    const std::string& xvar,
+                                                    const std::string& yvar) {
+  std::vector<Conjunction> tuples;
+  for (size_t i = 0; i < line.NumSegments(); ++i) {
+    tuples.push_back(SegmentToConjunction(line.SegmentAt(i), xvar, yvar));
+  }
+  if (line.NumSegments() == 0 && !line.vertices().empty()) {
+    tuples.push_back(PointToConjunction(line.vertices()[0], xvar, yvar));
+  }
+  return tuples;
+}
+
+Conjunction PointToConjunction(const Point& p, const std::string& xvar,
+                               const std::string& yvar) {
+  Conjunction out;
+  out.Add(Constraint::Eq(LinearExpr::Variable(xvar),
+                         LinearExpr::Constant(p.x)));
+  out.Add(Constraint::Eq(LinearExpr::Variable(yvar),
+                         LinearExpr::Constant(p.y)));
+  return out;
+}
+
+namespace {
+
+/// Coefficients of a constraint's boundary line a·x + b·y + c = 0.
+struct Line {
+  Rational a;
+  Rational b;
+  Rational c;
+};
+
+/// Satisfaction against the *closure* of a constraint.
+bool SatisfiesClosure(const Constraint& constraint, const Assignment& point) {
+  int sign = constraint.expr().Evaluate(point).Sign();
+  if (constraint.op() == ConstraintOp::kEq) return sign == 0;
+  return sign <= 0;  // both <= and < close to <=
+}
+
+}  // namespace
+
+Result<ConvexRegion> ConjunctionToRegion(const Conjunction& conjunction,
+                                         const std::string& xvar,
+                                         const std::string& yvar) {
+  for (const std::string& var : conjunction.Variables()) {
+    if (var != xvar && var != yvar) {
+      return Status::InvalidArgument(
+          "conjunction mentions non-spatial variable '" + var + "'");
+    }
+  }
+  if (conjunction.IsKnownFalse() || !fm::IsSatisfiable(conjunction)) {
+    return Status::InvalidArgument("conjunction is unsatisfiable");
+  }
+  fm::Interval xi = fm::VariableInterval(conjunction, xvar);
+  fm::Interval yi = fm::VariableInterval(conjunction, yvar);
+  if (!xi.lower || !xi.upper || !yi.lower || !yi.upper) {
+    return Status::Unsupported(
+        "conjunction describes an unbounded region; vector form requires "
+        "bounded spatial extents");
+  }
+
+  std::vector<Line> lines;
+  for (const Constraint& c : conjunction.constraints()) {
+    lines.push_back(Line{c.expr().Coeff(xvar), c.expr().Coeff(yvar),
+                         c.expr().constant()});
+  }
+  // Vertex candidates: pairwise boundary-line intersections.
+  std::vector<Point> candidates;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (size_t j = i + 1; j < lines.size(); ++j) {
+      Rational det = lines[i].a * lines[j].b - lines[j].a * lines[i].b;
+      if (det.IsZero()) continue;
+      // Solve a1 x + b1 y = -c1, a2 x + b2 y = -c2 by Cramer's rule.
+      Rational x = (lines[j].b * (-lines[i].c) - lines[i].b * (-lines[j].c)) / det;
+      Rational y = (lines[i].a * (-lines[j].c) - lines[j].a * (-lines[i].c)) / det;
+      candidates.emplace_back(std::move(x), std::move(y));
+    }
+  }
+  std::vector<Point> feasible;
+  for (const Point& p : candidates) {
+    Assignment point{{xvar, p.x}, {yvar, p.y}};
+    bool ok = true;
+    for (const Constraint& c : conjunction.constraints()) {
+      if (!SatisfiesClosure(c, point)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) feasible.push_back(p);
+  }
+  if (feasible.empty()) {
+    // A bounded nonempty closed polyhedron always has a vertex; reaching
+    // here means the closure differs from the (strictly open) input in a
+    // degenerate way.
+    return Status::Unsupported(
+        "region has no vertices after closing strict constraints");
+  }
+  std::vector<Point> hull = ConvexHull(std::move(feasible));
+  if (hull.size() == 1) return ConvexRegion::MakePoint(hull[0]);
+  if (hull.size() == 2) {
+    return ConvexRegion::MakeSegment(Segment(hull[0], hull[1]));
+  }
+  auto polygon = Polygon::Make(std::move(hull));
+  if (!polygon.ok()) return polygon.status();
+  return ConvexRegion::MakePolygon(std::move(polygon).value());
+}
+
+}  // namespace ccdb::geom

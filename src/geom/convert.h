@@ -1,0 +1,103 @@
+#ifndef CCDB_GEOM_CONVERT_H_
+#define CCDB_GEOM_CONVERT_H_
+
+/// \file convert.h
+/// Lossless conversion between the constraint and vector representations.
+///
+/// §6 of the paper observes that the CDB middle layer is representation-
+/// neutral: a spatial extent can be stored either as linear constraints or
+/// as vector geometry, and a practical system should support both plus
+/// conversions. CCDB's conversions are exact in both directions for closed
+/// bounded regions:
+///
+///   geometry → constraints:  convex pieces become conjunctions of
+///       half-plane constraints; concave polygons are decomposed first
+///       (one constraint tuple per convex piece); a segment becomes the
+///       paper's "collinear line + two endpoint bounds" triple.
+///   constraints → geometry:  2-D vertex enumeration (intersect boundary
+///       lines pairwise, keep feasible points, hull) classifies each
+///       conjunction as a point, a segment, or a convex polygon.
+///
+/// Strict inequalities are converted to their topological closure; for the
+/// spatial workloads of the paper (closed regions digitized from maps) this
+/// is an identity, and it never changes distances between regions.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraint/conjunction.h"
+#include "geom/decompose.h"
+#include "geom/polygon.h"
+#include "util/status.h"
+
+namespace ccdb::geom {
+
+/// A bounded convex region: a point, a segment, or a convex polygon.
+class ConvexRegion {
+ public:
+  enum class Kind { kPoint, kSegment, kPolygon };
+
+  static ConvexRegion MakePoint(Point p);
+  static ConvexRegion MakeSegment(Segment s);
+  static ConvexRegion MakePolygon(Polygon p);
+
+  Kind kind() const { return kind_; }
+  const Point& point() const { return point_; }
+  const Segment& segment() const { return segment_; }
+  const Polygon& polygon() const { return *polygon_; }
+
+  Box BoundingBox() const;
+  bool Contains(const Point& p) const;
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kPoint;
+  Point point_;
+  Segment segment_;
+  std::optional<Polygon> polygon_;
+};
+
+/// Exact squared distance between two convex regions (0 on overlap).
+Rational SquaredDistance(const ConvexRegion& a, const ConvexRegion& b);
+
+/// Half-plane constraints of a convex CCW ring over variables (xvar, yvar):
+/// one `ax + by <= c` per edge, interior on the left.
+Conjunction ConvexRingToConjunction(const std::vector<Point>& ring,
+                                    const std::string& xvar,
+                                    const std::string& yvar);
+
+/// Constraint tuples of a simple polygon: convex decomposition, one
+/// conjunction per piece (§6.2's "union of convex polyhedra").
+std::vector<Conjunction> PolygonToConstraintTuples(const Polygon& polygon,
+                                                   const std::string& xvar,
+                                                   const std::string& yvar);
+
+/// Constraint tuple of one segment: the collinear-line equality plus the
+/// endpoint bounding constraints (the paper's three-constraint encoding).
+Conjunction SegmentToConjunction(const Segment& segment,
+                                 const std::string& xvar,
+                                 const std::string& yvar);
+
+/// One constraint tuple per segment of the polyline.
+std::vector<Conjunction> PolylineToConstraintTuples(const Polyline& line,
+                                                    const std::string& xvar,
+                                                    const std::string& yvar);
+
+/// Constraint tuple of a single point: two equalities.
+Conjunction PointToConjunction(const Point& p, const std::string& xvar,
+                               const std::string& yvar);
+
+/// Classifies a satisfiable conjunction over {xvar, yvar} as a bounded
+/// convex region by exact vertex enumeration. Fails with:
+///  - kInvalidArgument if the conjunction mentions other variables or is
+///    unsatisfiable;
+///  - kUnsupported if the solution set is unbounded.
+/// Strict inequalities are closed (see file comment).
+Result<ConvexRegion> ConjunctionToRegion(const Conjunction& conjunction,
+                                         const std::string& xvar,
+                                         const std::string& yvar);
+
+}  // namespace ccdb::geom
+
+#endif  // CCDB_GEOM_CONVERT_H_

@@ -1,0 +1,155 @@
+#include "geom/decompose.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+namespace ccdb::geom {
+
+namespace {
+
+/// True if `p` is inside the closed triangle (a, b, c) given CCW order.
+bool InClosedTriangle(const Point& a, const Point& b, const Point& c,
+                      const Point& p) {
+  return Orientation(a, b, p) >= 0 && Orientation(b, c, p) >= 0 &&
+         Orientation(c, a, p) >= 0;
+}
+
+/// Merges two convex CCW rings sharing the directed edge (a, b) in `lhs`
+/// (appearing as (b, a) in `rhs`); returns the merged ring if it is convex.
+std::optional<std::vector<Point>> TryMerge(const std::vector<Point>& lhs,
+                                           const std::vector<Point>& rhs) {
+  const size_t n = lhs.size();
+  const size_t m = rhs.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = lhs[i];
+    const Point& b = lhs[(i + 1) % n];
+    for (size_t j = 0; j < m; ++j) {
+      if (rhs[j] == b && rhs[(j + 1) % m] == a) {
+        // Splice: walk lhs from b around to a (all n vertices), then the
+        // rhs interior from a's successor around to b's predecessor.
+        std::vector<Point> merged;
+        merged.reserve(n + m - 2);
+        for (size_t k = 1; k <= n; ++k) merged.push_back(lhs[(i + k) % n]);
+        for (size_t k = 1; k + 1 < m; ++k) {
+          merged.push_back(rhs[(j + 1 + k) % m]);
+        }
+        // Drop collinear vertices, then verify convexity.
+        std::vector<Point> cleaned;
+        const size_t t = merged.size();
+        for (size_t k = 0; k < t; ++k) {
+          const Point& prev = merged[(k + t - 1) % t];
+          const Point& cur = merged[k];
+          const Point& next = merged[(k + 1) % t];
+          if (Orientation(prev, cur, next) != 0) cleaned.push_back(cur);
+        }
+        if (cleaned.size() < 3) return std::nullopt;
+        const size_t c = cleaned.size();
+        for (size_t k = 0; k < c; ++k) {
+          if (Orientation(cleaned[k], cleaned[(k + 1) % c],
+                          cleaned[(k + 2) % c]) <= 0) {
+            return std::nullopt;
+          }
+        }
+        return cleaned;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<std::vector<Point>> Triangulate(const Polygon& polygon) {
+  std::vector<Point> ring = polygon.vertices();  // CCW by construction
+  std::vector<std::vector<Point>> triangles;
+  while (ring.size() > 3) {
+    const size_t n = ring.size();
+    bool clipped = false;
+    for (size_t i = 0; i < n; ++i) {
+      const Point& prev = ring[(i + n - 1) % n];
+      const Point& cur = ring[i];
+      const Point& next = ring[(i + 1) % n];
+      int turn = Orientation(prev, cur, next);
+      if (turn < 0) continue;  // reflex vertex: not an ear
+      if (turn == 0) {
+        // Collinear vertex: remove it (zero-area ear).
+        ring.erase(ring.begin() + static_cast<ptrdiff_t>(i));
+        clipped = true;
+        break;
+      }
+      bool blocked = false;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i || j == (i + 1) % n || j == (i + n - 1) % n) continue;
+        if (InClosedTriangle(prev, cur, next, ring[j])) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+      triangles.push_back({prev, cur, next});
+      ring.erase(ring.begin() + static_cast<ptrdiff_t>(i));
+      clipped = true;
+      break;
+    }
+    assert(clipped && "simple polygon must always have an ear");
+    if (!clipped) break;  // defensive: avoid infinite loop in release builds
+  }
+  if (ring.size() == 3 && Orientation(ring[0], ring[1], ring[2]) > 0) {
+    triangles.push_back(ring);
+  }
+  return triangles;
+}
+
+std::vector<std::vector<Point>> DecomposeConvex(const Polygon& polygon) {
+  if (polygon.IsConvex()) {
+    return {polygon.vertices()};
+  }
+  std::vector<std::vector<Point>> pieces = Triangulate(polygon);
+  // Greedy Hertel–Mehlhorn style merging: repeatedly merge any pair of
+  // pieces whose union across a shared diagonal is convex.
+  bool merged_any = true;
+  while (merged_any) {
+    merged_any = false;
+    for (size_t i = 0; i < pieces.size() && !merged_any; ++i) {
+      for (size_t j = i + 1; j < pieces.size() && !merged_any; ++j) {
+        if (auto merged = TryMerge(pieces[i], pieces[j])) {
+          pieces[i] = std::move(*merged);
+          pieces.erase(pieces.begin() + static_cast<ptrdiff_t>(j));
+          merged_any = true;
+        }
+      }
+    }
+  }
+  return pieces;
+}
+
+std::vector<Point> ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.size() <= 2) return points;
+  std::vector<Point> hull(points.size() * 2);
+  size_t k = 0;
+  // Lower hull.
+  for (const Point& p : points) {
+    while (k >= 2 && Orientation(hull[k - 2], hull[k - 1], p) <= 0) --k;
+    hull[k++] = p;
+  }
+  // Upper hull.
+  const size_t lower_size = k + 1;
+  for (size_t i = points.size() - 1; i-- > 0;) {
+    while (k >= lower_size &&
+           Orientation(hull[k - 2], hull[k - 1], points[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // last point repeats the first
+  if (hull.size() < 3) {
+    // All input points collinear: return the two extremes.
+    return {points.front(), points.back()};
+  }
+  return hull;
+}
+
+}  // namespace ccdb::geom

@@ -1,0 +1,35 @@
+#ifndef CCDB_GEOM_DECOMPOSE_H_
+#define CCDB_GEOM_DECOMPOSE_H_
+
+/// \file decompose.h
+/// Convex decomposition of simple polygons.
+///
+/// The constraint data model represents a (possibly concave) region as a
+/// union of convex polyhedra, one constraint tuple each (§6.2 of the paper).
+/// CCDB decomposes with exact ear-clipping triangulation followed by
+/// Hertel–Mehlhorn merging, which yields at most 4× the optimal number of
+/// convex pieces while staying simple and fully exact.
+
+#include <vector>
+
+#include "geom/polygon.h"
+
+namespace ccdb::geom {
+
+/// Exact ear-clipping triangulation of a simple polygon.
+/// Returns triangles as CCW vertex triples covering the polygon exactly.
+std::vector<std::vector<Point>> Triangulate(const Polygon& polygon);
+
+/// Convex decomposition: triangulate, then greedily merge triangles across
+/// shared diagonals while the union remains convex (Hertel–Mehlhorn).
+/// Each returned ring is CCW and convex; their union is the input polygon.
+std::vector<std::vector<Point>> DecomposeConvex(const Polygon& polygon);
+
+/// Andrew monotone-chain convex hull. Returns the hull as a CCW ring
+/// without collinear interior vertices; a single point or a pair of points
+/// is returned as-is (size 1 or 2).
+std::vector<Point> ConvexHull(std::vector<Point> points);
+
+}  // namespace ccdb::geom
+
+#endif  // CCDB_GEOM_DECOMPOSE_H_

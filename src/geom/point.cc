@@ -1,0 +1,23 @@
+#include "geom/point.h"
+
+namespace ccdb::geom {
+
+Rational Cross(const Point& o, const Point& a, const Point& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+Rational Dot(const Point& a, const Point& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+int Orientation(const Point& o, const Point& a, const Point& b) {
+  return Cross(o, a, b).Sign();
+}
+
+Rational SquaredDistance(const Point& a, const Point& b) {
+  Rational dx = a.x - b.x;
+  Rational dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace ccdb::geom

@@ -1,0 +1,64 @@
+#ifndef CCDB_GEOM_POINT_H_
+#define CCDB_GEOM_POINT_H_
+
+/// \file point.h
+/// Exact rational points in the plane.
+///
+/// §6 of the paper argues the CDB framework's middle layer is
+/// representation-neutral and that spatial data is often better served by a
+/// *vector* (geometric) representation than by constraints. CCDB's geometry
+/// substrate is built on exact rational coordinates so conversions between
+/// the two representations are lossless, preserving the closure principle.
+
+#include <string>
+
+#include "num/rational.h"
+
+namespace ccdb::geom {
+
+/// A point (x, y) with exact rational coordinates.
+struct Point {
+  Rational x;
+  Rational y;
+
+  Point() = default;
+  Point(Rational x_in, Rational y_in)
+      : x(std::move(x_in)), y(std::move(y_in)) {}
+  Point(int64_t x_in, int64_t y_in) : x(x_in), y(y_in) {}
+
+  bool operator==(const Point& other) const {
+    return x == other.x && y == other.y;
+  }
+  bool operator!=(const Point& other) const { return !(*this == other); }
+  bool operator<(const Point& other) const {
+    int cmp = x.Compare(other.x);
+    if (cmp != 0) return cmp < 0;
+    return y < other.y;
+  }
+
+  Point operator+(const Point& o) const { return Point(x + o.x, y + o.y); }
+  Point operator-(const Point& o) const { return Point(x - o.x, y - o.y); }
+  Point operator*(const Rational& s) const { return Point(x * s, y * s); }
+
+  std::string ToString() const {
+    return "(" + x.ToString() + ", " + y.ToString() + ")";
+  }
+};
+
+/// 2-D cross product (o->a) × (o->b): positive iff a->b turns left at o.
+Rational Cross(const Point& o, const Point& a, const Point& b);
+
+/// Dot product of vectors a and b.
+Rational Dot(const Point& a, const Point& b);
+
+/// Orientation of the ordered triple: +1 counter-clockwise, 0 collinear,
+/// -1 clockwise. Exact (no epsilon).
+int Orientation(const Point& o, const Point& a, const Point& b);
+
+/// Squared Euclidean distance (exact; distances themselves need sqrt and
+/// are irrational in general, so CCDB compares squared values).
+Rational SquaredDistance(const Point& a, const Point& b);
+
+}  // namespace ccdb::geom
+
+#endif  // CCDB_GEOM_POINT_H_

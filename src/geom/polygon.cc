@@ -1,0 +1,219 @@
+#include "geom/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccdb::geom {
+
+Box Polyline::BoundingBox() const {
+  Box box = Box::Empty();
+  for (const Point& p : vertices_) box = box.ExpandedBy(Box::FromPoint(p));
+  return box;
+}
+
+double Polyline::Length() const {
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < vertices_.size(); ++i) {
+    total += std::sqrt(
+        geom::SquaredDistance(vertices_[i], vertices_[i + 1]).ToDouble());
+  }
+  return total;
+}
+
+std::string Polyline::ToString() const {
+  std::string out = "Polyline[";
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (i) out += ", ";
+    out += vertices_[i].ToString();
+  }
+  return out + "]";
+}
+
+Rational TwiceSignedArea(const std::vector<Point>& ring) {
+  Rational sum(0);
+  const size_t n = ring.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& p = ring[i];
+    const Point& q = ring[(i + 1) % n];
+    sum += p.x * q.y - q.x * p.y;
+  }
+  return sum;
+}
+
+Result<Polygon> Polygon::Make(std::vector<Point> ring) {
+  // Drop a duplicated closing vertex if the caller supplied one.
+  if (ring.size() >= 2 && ring.front() == ring.back()) ring.pop_back();
+  if (ring.size() < 3) {
+    return Status::InvalidArgument("polygon needs at least 3 vertices");
+  }
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (ring[i] == ring[(i + 1) % ring.size()]) {
+      return Status::InvalidArgument("polygon has repeated adjacent vertices");
+    }
+  }
+  Rational area2 = TwiceSignedArea(ring);
+  if (area2.IsZero()) {
+    return Status::InvalidArgument("polygon has zero area");
+  }
+  if (area2.Sign() < 0) std::reverse(ring.begin(), ring.end());
+
+  // Simplicity: non-adjacent edges must not intersect; adjacent edges only
+  // at their shared vertex (no spikes — ruled out by the repeated-vertex and
+  // collinearity-with-overlap checks below).
+  const size_t n = ring.size();
+  for (size_t i = 0; i < n; ++i) {
+    Segment ei(ring[i], ring[(i + 1) % n]);
+    for (size_t j = i + 1; j < n; ++j) {
+      Segment ej(ring[j], ring[(j + 1) % n]);
+      bool adjacent = (j == i + 1) || (i == 0 && j == n - 1);
+      if (adjacent) {
+        // Shared endpoint only; a spike would make them overlap collinearly.
+        const Point& shared = (j == i + 1) ? ring[j] : ring[0];
+        const Point& before = (j == i + 1) ? ring[i] : ring[j];
+        const Point& after = (j == i + 1) ? ring[(j + 1) % n] : ring[1];
+        if (Orientation(shared, before, after) == 0 &&
+            Dot(before - shared, after - shared).Sign() > 0) {
+          return Status::InvalidArgument("polygon has a degenerate spike");
+        }
+        continue;
+      }
+      if (SegmentsIntersect(ei, ej)) {
+        return Status::InvalidArgument("polygon is self-intersecting");
+      }
+    }
+  }
+  return Polygon(std::move(ring));
+}
+
+Polygon Polygon::Rectangle(const Box& box) {
+  std::vector<Point> ring{
+      Point(box.x_min, box.y_min), Point(box.x_max, box.y_min),
+      Point(box.x_max, box.y_max), Point(box.x_min, box.y_max)};
+  return Polygon(std::move(ring));  // already CCW and simple
+}
+
+Rational Polygon::Area() const {
+  return TwiceSignedArea(ring_) * Rational(1, 2);
+}
+
+Box Polygon::BoundingBox() const {
+  Box box = Box::Empty();
+  for (const Point& p : ring_) box = box.ExpandedBy(Box::FromPoint(p));
+  return box;
+}
+
+bool Polygon::IsConvex() const {
+  const size_t n = ring_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (Orientation(ring_[i], ring_[(i + 1) % n], ring_[(i + 2) % n]) < 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Polygon::Contains(const Point& p) const {
+  const size_t n = ring_.size();
+  // Boundary counts as inside.
+  for (size_t i = 0; i < n; ++i) {
+    if (EdgeAt(i).Contains(p)) return true;
+  }
+  // Exact crossing-number test with a ray in +x direction; the half-open
+  // vertex rule (count an edge iff exactly one endpoint is strictly above p)
+  // handles ray-through-vertex cases.
+  bool inside = false;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % n];
+    bool a_above = a.y > p.y;
+    bool b_above = b.y > p.y;
+    if (a_above == b_above) continue;
+    // Edge crosses the horizontal line y = p.y. x-coordinate of crossing
+    // vs p.x, exactly: sign of (a + t(b-a)).x - p.x with t = (p.y-a.y)/(b.y-a.y).
+    Rational dy = b.y - a.y;  // non-zero here
+    Rational cross_x_num = a.x * dy + (p.y - a.y) * (b.x - a.x);
+    // Compare cross_x_num / dy > p.x without dividing (dy sign matters).
+    Rational diff = cross_x_num - p.x * dy;
+    if ((dy.Sign() > 0 && diff.Sign() > 0) ||
+        (dy.Sign() < 0 && diff.Sign() < 0)) {
+      inside = !inside;
+    }
+  }
+  return inside;
+}
+
+std::string Polygon::ToString() const {
+  std::string out = "Polygon[";
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (i) out += ", ";
+    out += ring_[i].ToString();
+  }
+  return out + "]";
+}
+
+Rational SquaredDistance(const Point& p, const Polygon& poly) {
+  if (poly.Contains(p)) return Rational(0);
+  Rational best = SquaredDistance(p, poly.EdgeAt(0));
+  for (size_t i = 1; i < poly.size(); ++i) {
+    best = Rational::Min(best, SquaredDistance(p, poly.EdgeAt(i)));
+  }
+  return best;
+}
+
+Rational SquaredDistance(const Segment& s, const Polygon& poly) {
+  if (poly.Contains(s.a) || poly.Contains(s.b)) return Rational(0);
+  Rational best = SquaredDistance(s, poly.EdgeAt(0));
+  for (size_t i = 1; i < poly.size(); ++i) {
+    if (best.IsZero()) return best;
+    best = Rational::Min(best, SquaredDistance(s, poly.EdgeAt(i)));
+  }
+  return best;
+}
+
+Rational SquaredDistance(const Polygon& a, const Polygon& b) {
+  // Containment either way gives distance zero.
+  if (a.Contains(b.vertices()[0]) || b.Contains(a.vertices()[0])) {
+    return Rational(0);
+  }
+  Rational best = SquaredDistance(a.EdgeAt(0), b);
+  for (size_t i = 1; i < a.size(); ++i) {
+    if (best.IsZero()) return best;
+    best = Rational::Min(best, SquaredDistance(a.EdgeAt(i), b));
+  }
+  return best;
+}
+
+Rational SquaredDistance(const Polyline& a, const Polyline& b) {
+  if (a.vertices().empty() || b.vertices().empty()) return Rational(0);
+  if (a.NumSegments() == 0 && b.NumSegments() == 0) {
+    return SquaredDistance(a.vertices()[0], b.vertices()[0]);
+  }
+  Rational best(-1);
+  for (size_t i = 0; i < std::max<size_t>(a.NumSegments(), 1); ++i) {
+    Segment sa = a.NumSegments() ? a.SegmentAt(i)
+                                 : Segment(a.vertices()[0], a.vertices()[0]);
+    for (size_t j = 0; j < std::max<size_t>(b.NumSegments(), 1); ++j) {
+      Segment sb = b.NumSegments() ? b.SegmentAt(j)
+                                   : Segment(b.vertices()[0], b.vertices()[0]);
+      Rational d = SquaredDistance(sa, sb);
+      if (best.Sign() < 0 || d < best) best = d;
+      if (best.IsZero()) return best;
+    }
+  }
+  return best;
+}
+
+Rational SquaredDistance(const Polyline& line, const Polygon& poly) {
+  if (line.vertices().empty()) return Rational(0);
+  if (line.NumSegments() == 0) {
+    return SquaredDistance(line.vertices()[0], poly);
+  }
+  Rational best = SquaredDistance(line.SegmentAt(0), poly);
+  for (size_t i = 1; i < line.NumSegments(); ++i) {
+    if (best.IsZero()) return best;
+    best = Rational::Min(best, SquaredDistance(line.SegmentAt(i), poly));
+  }
+  return best;
+}
+
+}  // namespace ccdb::geom

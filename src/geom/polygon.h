@@ -1,0 +1,97 @@
+#ifndef CCDB_GEOM_POLYGON_H_
+#define CCDB_GEOM_POLYGON_H_
+
+/// \file polygon.h
+/// Simple polygons and polylines with exact predicates.
+///
+/// Non-linear spatial features (lakes, towns, temperature zones — §6.2 of
+/// the paper) are regions bounded by a simple (possibly concave) ring.
+/// The constraint data model requires decomposing such a region into convex
+/// polyhedra (one constraint tuple each); `polygon.h` supplies the region
+/// type and `decompose.h` the decomposition.
+
+#include <string>
+#include <vector>
+
+#include "geom/segment.h"
+#include "util/status.h"
+
+namespace ccdb::geom {
+
+/// An open chain of vertices (e.g. a road or hurricane track).
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t NumSegments() const {
+    return vertices_.size() < 2 ? 0 : vertices_.size() - 1;
+  }
+  Segment SegmentAt(size_t i) const {
+    return Segment(vertices_[i], vertices_[i + 1]);
+  }
+
+  Box BoundingBox() const;
+
+  /// Euclidean length (double: lengths are irrational in general).
+  double Length() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// A simple polygon stored as a counter-clockwise ring (no repeated last
+/// vertex). Use `Make` to validate and normalize input.
+class Polygon {
+ public:
+  /// Validates: >= 3 vertices, non-zero area, no self-intersection, no
+  /// repeated vertices. Reverses clockwise input into CCW order.
+  static Result<Polygon> Make(std::vector<Point> ring);
+
+  /// The convenience axis-aligned rectangle polygon.
+  static Polygon Rectangle(const Box& box);
+
+  const std::vector<Point>& vertices() const { return ring_; }
+  size_t size() const { return ring_.size(); }
+
+  Segment EdgeAt(size_t i) const {
+    return Segment(ring_[i], ring_[(i + 1) % ring_.size()]);
+  }
+
+  /// Exact area (positive: the ring is CCW by construction).
+  Rational Area() const;
+
+  Box BoundingBox() const;
+
+  /// True when every vertex is convex (the constraint representation of a
+  /// convex polygon is a single conjunction of half-planes).
+  bool IsConvex() const;
+
+  /// Exact point-in-polygon (boundary counts as inside).
+  bool Contains(const Point& p) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit Polygon(std::vector<Point> ring) : ring_(std::move(ring)) {}
+
+  std::vector<Point> ring_;  // CCW, no duplicate closing vertex
+};
+
+/// Exact signed area ×2 of a ring (positive = CCW).
+Rational TwiceSignedArea(const std::vector<Point>& ring);
+
+/// Exact squared distances between features (0 on overlap/containment).
+Rational SquaredDistance(const Point& p, const Polygon& poly);
+Rational SquaredDistance(const Segment& s, const Polygon& poly);
+Rational SquaredDistance(const Polygon& a, const Polygon& b);
+Rational SquaredDistance(const Polyline& a, const Polyline& b);
+Rational SquaredDistance(const Polyline& line, const Polygon& poly);
+
+}  // namespace ccdb::geom
+
+#endif  // CCDB_GEOM_POLYGON_H_

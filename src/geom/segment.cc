@@ -1,0 +1,55 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+
+namespace ccdb::geom {
+
+bool Segment::Contains(const Point& p) const {
+  if (Orientation(a, b, p) != 0) return false;
+  return p.x >= Rational::Min(a.x, b.x) && p.x <= Rational::Max(a.x, b.x) &&
+         p.y >= Rational::Min(a.y, b.y) && p.y <= Rational::Max(a.y, b.y);
+}
+
+bool SegmentsIntersect(const Segment& s, const Segment& t) {
+  if (s.IsDegenerate()) {
+    return t.IsDegenerate() ? s.a == t.a : t.Contains(s.a);
+  }
+  if (t.IsDegenerate()) return s.Contains(t.a);
+
+  int o1 = Orientation(s.a, s.b, t.a);
+  int o2 = Orientation(s.a, s.b, t.b);
+  int o3 = Orientation(t.a, t.b, s.a);
+  int o4 = Orientation(t.a, t.b, s.b);
+  if (o1 != o2 && o3 != o4) return true;
+
+  // Collinear/touching cases.
+  if (o1 == 0 && s.Contains(t.a)) return true;
+  if (o2 == 0 && s.Contains(t.b)) return true;
+  if (o3 == 0 && t.Contains(s.a)) return true;
+  if (o4 == 0 && t.Contains(s.b)) return true;
+  return false;
+}
+
+Rational SquaredDistance(const Point& p, const Segment& s) {
+  if (s.IsDegenerate()) return SquaredDistance(p, s.a);
+  // Project p onto the supporting line; clamp the parameter to [0, 1].
+  Point d = s.b - s.a;
+  Rational len2 = Dot(d, d);
+  Rational t = Dot(p - s.a, d) / len2;
+  if (t.Sign() < 0) t = Rational(0);
+  if (t > Rational(1)) t = Rational(1);
+  Point closest = s.a + d * t;
+  return SquaredDistance(p, closest);
+}
+
+Rational SquaredDistance(const Segment& s, const Segment& t) {
+  if (SegmentsIntersect(s, t)) return Rational(0);
+  // Non-intersecting segments: the minimum is attained endpoint-to-segment.
+  Rational best = SquaredDistance(s.a, t);
+  best = Rational::Min(best, SquaredDistance(s.b, t));
+  best = Rational::Min(best, SquaredDistance(t.a, s));
+  best = Rational::Min(best, SquaredDistance(t.b, s));
+  return best;
+}
+
+}  // namespace ccdb::geom

@@ -1,0 +1,51 @@
+#ifndef CCDB_GEOM_SEGMENT_H_
+#define CCDB_GEOM_SEGMENT_H_
+
+/// \file segment.h
+/// Exact line segments and segment predicates.
+///
+/// Linear spatial features (roads, rivers, hurricane trajectories — §6.2 of
+/// the paper) are chains of segments; the constraint representation of one
+/// segment is "the line collinear with it plus its two endpoint bounds".
+/// All predicates here are exact (rational arithmetic, no epsilons).
+
+#include <string>
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace ccdb::geom {
+
+/// A closed line segment from `a` to `b` (possibly degenerate: a == b).
+struct Segment {
+  Point a;
+  Point b;
+
+  Segment() = default;
+  Segment(Point a_in, Point b_in) : a(std::move(a_in)), b(std::move(b_in)) {}
+
+  bool IsDegenerate() const { return a == b; }
+
+  Box BoundingBox() const { return Box::FromCorners(a, b); }
+
+  /// True if `p` lies on the closed segment (exact).
+  bool Contains(const Point& p) const;
+
+  std::string ToString() const {
+    return a.ToString() + "-" + b.ToString();
+  }
+};
+
+/// True if the closed segments share at least one point (handles all
+/// collinear/touching/degenerate cases exactly).
+bool SegmentsIntersect(const Segment& s, const Segment& t);
+
+/// Exact squared distance from a point to a closed segment.
+Rational SquaredDistance(const Point& p, const Segment& s);
+
+/// Exact squared distance between two closed segments (0 if intersecting).
+Rational SquaredDistance(const Segment& s, const Segment& t);
+
+}  // namespace ccdb::geom
+
+#endif  // CCDB_GEOM_SEGMENT_H_

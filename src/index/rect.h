@@ -1,0 +1,147 @@
+#ifndef CCDB_INDEX_RECT_H_
+#define CCDB_INDEX_RECT_H_
+
+/// \file rect.h
+/// Index keys: low-dimensional rectangles with double endpoints.
+///
+/// R*-tree keys are *filters*: the index returns a superset of the true
+/// answer and the relation layer refines with exact rational predicates
+/// (the filter-refine paradigm of Brinkhoff et al., which the paper cites
+/// as [3]). Keys therefore use hardware doubles — conversions from exact
+/// rationals round conservatively outward (`MakeConservative*`), so the
+/// filter can produce false positives but never false negatives.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "num/rational.h"
+
+namespace ccdb {
+
+/// Maximum dimensionality of index keys (1-D intervals, 2-D boxes,
+/// 3-D spatiotemporal boxes such as (t, x, y) trajectory envelopes).
+inline constexpr int kMaxIndexDims = 3;
+
+/// A closed box in 1, 2, or 3 dimensions with double endpoints.
+struct Rect {
+  int dims = 2;
+  double lo[kMaxIndexDims] = {0, 0, 0};
+  double hi[kMaxIndexDims] = {0, 0, 0};
+
+  static Rect Make1D(double lo0, double hi0) {
+    Rect r;
+    r.dims = 1;
+    r.lo[0] = lo0;
+    r.hi[0] = hi0;
+    return r;
+  }
+  static Rect Make2D(double lo0, double hi0, double lo1, double hi1) {
+    Rect r;
+    r.dims = 2;
+    r.lo[0] = lo0;
+    r.hi[0] = hi0;
+    r.lo[1] = lo1;
+    r.hi[1] = hi1;
+    return r;
+  }
+  static Rect Make3D(double lo0, double hi0, double lo1, double hi1,
+                     double lo2, double hi2) {
+    Rect r;
+    r.dims = 3;
+    r.lo[0] = lo0;
+    r.hi[0] = hi0;
+    r.lo[1] = lo1;
+    r.hi[1] = hi1;
+    r.lo[2] = lo2;
+    r.hi[2] = hi2;
+    return r;
+  }
+
+  /// Conservative (outward-rounded) conversion from exact rational bounds.
+  static double RoundDown(const Rational& v) {
+    // ToDouble may round either way; step one ulp outward to stay below.
+    return std::nextafter(v.ToDouble(), -HUGE_VAL);
+  }
+  static double RoundUp(const Rational& v) {
+    return std::nextafter(v.ToDouble(), HUGE_VAL);
+  }
+
+  bool Intersects(const Rect& other) const {
+    for (int d = 0; d < dims; ++d) {
+      if (lo[d] > other.hi[d] || other.lo[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  bool Contains(const Rect& other) const {
+    for (int d = 0; d < dims; ++d) {
+      if (other.lo[d] < lo[d] || other.hi[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  double Area() const {
+    double area = 1.0;
+    for (int d = 0; d < dims; ++d) area *= (hi[d] - lo[d]);
+    return area;
+  }
+
+  /// Sum of extents (the R* "margin" measure).
+  double Margin() const {
+    double margin = 0.0;
+    for (int d = 0; d < dims; ++d) margin += (hi[d] - lo[d]);
+    return margin;
+  }
+
+  Rect ExpandedBy(const Rect& other) const {
+    Rect out = *this;
+    for (int d = 0; d < dims; ++d) {
+      out.lo[d] = std::min(lo[d], other.lo[d]);
+      out.hi[d] = std::max(hi[d], other.hi[d]);
+    }
+    return out;
+  }
+
+  /// Area of the intersection (0 when disjoint).
+  double OverlapArea(const Rect& other) const {
+    double area = 1.0;
+    for (int d = 0; d < dims; ++d) {
+      double span = std::min(hi[d], other.hi[d]) -
+                    std::max(lo[d], other.lo[d]);
+      if (span <= 0) return 0.0;
+      area *= span;
+    }
+    return area;
+  }
+
+  /// Growth in area needed to cover `other`.
+  double Enlargement(const Rect& other) const {
+    return ExpandedBy(other).Area() - Area();
+  }
+
+  /// Squared distance between centers (forced-reinsert ordering).
+  double CenterDistance2(const Rect& other) const {
+    double sum = 0.0;
+    for (int d = 0; d < dims; ++d) {
+      double diff = (lo[d] + hi[d]) / 2 - (other.lo[d] + other.hi[d]) / 2;
+      sum += diff * diff;
+    }
+    return sum;
+  }
+
+  bool operator==(const Rect& other) const {
+    if (dims != other.dims) return false;
+    for (int d = 0; d < dims; ++d) {
+      if (lo[d] != other.lo[d] || hi[d] != other.hi[d]) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_INDEX_RECT_H_

@@ -1,0 +1,516 @@
+#include "index/rstar_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+namespace ccdb {
+
+namespace {
+
+constexpr size_t kNodeHeaderSize = 4;  // u16 level + u16 count
+
+size_t EntrySize(int dims) {
+  return static_cast<size_t>(dims) * 2 * sizeof(double) + sizeof(uint64_t);
+}
+
+}  // namespace
+
+std::string Rect::ToString() const {
+  std::string out = "[";
+  for (int d = 0; d < dims; ++d) {
+    if (d) out += " x ";
+    out += "(" + std::to_string(lo[d]) + ", " + std::to_string(hi[d]) + ")";
+  }
+  return out + "]";
+}
+
+Rect RStarTree::Node::Mbr(int dims) const {
+  assert(!entries.empty());
+  Rect mbr = entries[0].rect;
+  mbr.dims = dims;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    mbr = mbr.ExpandedBy(entries[i].rect);
+  }
+  return mbr;
+}
+
+RStarTree::RStarTree(BufferPool* pool, int dims) : pool_(pool), dims_(dims) {
+  assert(dims >= 1 && dims <= kMaxIndexDims);
+  max_entries_ = (kPageSize - kNodeHeaderSize) / EntrySize(dims);
+  min_entries_ = std::max<size_t>(2, max_entries_ * 2 / 5);  // 40% fill
+  reinsert_count_ = std::max<size_t>(1, max_entries_ * 3 / 10);  // 30%
+  root_ = pool_->disk()->Allocate();
+  Node empty_root;
+  Status s = StoreNode(root_, empty_root);
+  assert(s.ok());
+  (void)s;
+}
+
+Result<RStarTree::Node> RStarTree::LoadNode(PageId id) {
+  Page page;
+  CCDB_RETURN_IF_ERROR(pool_->Get(id, &page));
+  Node node;
+  uint16_t level, count;
+  std::memcpy(&level, page.bytes(), 2);
+  std::memcpy(&count, page.bytes() + 2, 2);
+  node.level = level;
+  node.entries.resize(count);
+  const uint8_t* p = page.bytes() + kNodeHeaderSize;
+  for (uint16_t i = 0; i < count; ++i) {
+    Entry& e = node.entries[i];
+    e.rect.dims = dims_;
+    for (int d = 0; d < dims_; ++d) {
+      std::memcpy(&e.rect.lo[d], p, sizeof(double));
+      p += sizeof(double);
+      std::memcpy(&e.rect.hi[d], p, sizeof(double));
+      p += sizeof(double);
+    }
+    std::memcpy(&e.id, p, sizeof(uint64_t));
+    p += sizeof(uint64_t);
+  }
+  return node;
+}
+
+Status RStarTree::StoreNode(PageId id, const Node& node) {
+  assert(node.entries.size() <= max_entries_);
+  Page page;
+  page.Zero();
+  uint16_t level = node.level;
+  uint16_t count = static_cast<uint16_t>(node.entries.size());
+  std::memcpy(page.bytes(), &level, 2);
+  std::memcpy(page.bytes() + 2, &count, 2);
+  uint8_t* p = page.bytes() + kNodeHeaderSize;
+  for (const Entry& e : node.entries) {
+    for (int d = 0; d < dims_; ++d) {
+      std::memcpy(p, &e.rect.lo[d], sizeof(double));
+      p += sizeof(double);
+      std::memcpy(p, &e.rect.hi[d], sizeof(double));
+      p += sizeof(double);
+    }
+    std::memcpy(p, &e.id, sizeof(uint64_t));
+    p += sizeof(uint64_t);
+  }
+  return pool_->Put(id, page);
+}
+
+size_t RStarTree::ChooseSubtree(const Node& node, const Rect& rect) {
+  assert(!node.entries.empty());
+  const bool children_are_leaves = node.level == 1;
+  size_t best = 0;
+  if (children_are_leaves) {
+    // R*: minimize overlap enlargement; ties by area enlargement, then area.
+    double best_overlap = std::numeric_limits<double>::infinity();
+    double best_enlarge = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      Rect grown = node.entries[i].rect.ExpandedBy(rect);
+      double overlap_before = 0, overlap_after = 0;
+      for (size_t j = 0; j < node.entries.size(); ++j) {
+        if (j == i) continue;
+        overlap_before += node.entries[i].rect.OverlapArea(node.entries[j].rect);
+        overlap_after += grown.OverlapArea(node.entries[j].rect);
+      }
+      double overlap_delta = overlap_after - overlap_before;
+      double enlarge = node.entries[i].rect.Enlargement(rect);
+      double area = node.entries[i].rect.Area();
+      if (overlap_delta < best_overlap ||
+          (overlap_delta == best_overlap &&
+           (enlarge < best_enlarge ||
+            (enlarge == best_enlarge && area < best_area)))) {
+        best_overlap = overlap_delta;
+        best_enlarge = enlarge;
+        best_area = area;
+        best = i;
+      }
+    }
+    return best;
+  }
+  // Internal: minimize area enlargement; ties by area.
+  double best_enlarge = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    double enlarge = node.entries[i].rect.Enlargement(rect);
+    double area = node.entries[i].rect.Area();
+    if (enlarge < best_enlarge ||
+        (enlarge == best_enlarge && area < best_area)) {
+      best_enlarge = enlarge;
+      best_area = area;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Result<PageId> RStarTree::ChoosePath(const Rect& rect, uint16_t target_level,
+                                     std::vector<PathStep>* path) {
+  PageId page = root_;
+  CCDB_ASSIGN_OR_RETURN(Node node, LoadNode(page));
+  while (node.level > target_level) {
+    size_t idx = ChooseSubtree(node, rect);
+    path->push_back(PathStep{page, idx});
+    page = node.entries[idx].id;
+    CCDB_ASSIGN_OR_RETURN(node, LoadNode(page));
+  }
+  return page;
+}
+
+Status RStarTree::AdjustPathMbrs(const std::vector<PathStep>& path) {
+  for (size_t i = path.size(); i-- > 0;) {
+    CCDB_ASSIGN_OR_RETURN(Node parent, LoadNode(path[i].page));
+    PageId child_page = parent.entries[path[i].child_index].id;
+    CCDB_ASSIGN_OR_RETURN(Node child, LoadNode(child_page));
+    parent.entries[path[i].child_index].rect = child.Mbr(dims_);
+    CCDB_RETURN_IF_ERROR(StoreNode(path[i].page, parent));
+  }
+  return Status::OK();
+}
+
+Status RStarTree::Insert(const Rect& rect, uint64_t id) {
+  assert(rect.dims == dims_);
+  std::set<uint16_t> reinserted_levels;
+  CCDB_RETURN_IF_ERROR(
+      InsertAtLevel(Entry{rect, id}, 0, &reinserted_levels));
+  ++size_;
+  return Status::OK();
+}
+
+Status RStarTree::InsertAtLevel(Entry entry, uint16_t target_level,
+                                std::set<uint16_t>* reinserted_levels) {
+  std::vector<PathStep> path;
+  CCDB_ASSIGN_OR_RETURN(PageId page, ChoosePath(entry.rect, target_level,
+                                                &path));
+  CCDB_ASSIGN_OR_RETURN(Node node, LoadNode(page));
+  node.entries.push_back(std::move(entry));
+  if (node.entries.size() <= max_entries_) {
+    CCDB_RETURN_IF_ERROR(StoreNode(page, node));
+    return AdjustPathMbrs(path);
+  }
+  return OverflowTreatment(page, std::move(node), std::move(path),
+                           reinserted_levels);
+}
+
+Status RStarTree::OverflowTreatment(PageId page, Node node,
+                                    std::vector<PathStep> path,
+                                    std::set<uint16_t>* reinserted_levels) {
+  const uint16_t level = node.level;
+  if (page != root_ && !reinserted_levels->count(level)) {
+    // Forced reinsert: pull the 30% of entries farthest from the node's
+    // center and insert them again at this level.
+    reinserted_levels->insert(level);
+    Rect mbr = node.Mbr(dims_);
+    std::vector<std::pair<double, size_t>> by_distance;
+    by_distance.reserve(node.entries.size());
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      by_distance.emplace_back(mbr.CenterDistance2(node.entries[i].rect), i);
+    }
+    std::sort(by_distance.begin(), by_distance.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::vector<Entry> removed;
+    std::vector<bool> take(node.entries.size(), false);
+    for (size_t k = 0; k < reinsert_count_; ++k) {
+      take[by_distance[k].second] = true;
+    }
+    std::vector<Entry> remaining;
+    remaining.reserve(node.entries.size() - reinsert_count_);
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      (take[i] ? removed : remaining).push_back(std::move(node.entries[i]));
+    }
+    node.entries = std::move(remaining);
+    CCDB_RETURN_IF_ERROR(StoreNode(page, node));
+    CCDB_RETURN_IF_ERROR(AdjustPathMbrs(path));
+    // Reinsert closest-first ("reinsert in increasing distance" variant).
+    for (size_t k = removed.size(); k-- > 0;) {
+      CCDB_RETURN_IF_ERROR(
+          InsertAtLevel(std::move(removed[k]), level, reinserted_levels));
+    }
+    return Status::OK();
+  }
+
+  // Split.
+  std::vector<Entry> sibling_entries;
+  SplitEntries(&node.entries, &sibling_entries);
+  Node sibling;
+  sibling.level = level;
+  sibling.entries = std::move(sibling_entries);
+  PageId sibling_page = pool_->disk()->Allocate();
+  CCDB_RETURN_IF_ERROR(StoreNode(page, node));
+  CCDB_RETURN_IF_ERROR(StoreNode(sibling_page, sibling));
+
+  if (page == root_) {
+    Node new_root;
+    new_root.level = static_cast<uint16_t>(level + 1);
+    new_root.entries.push_back(Entry{node.Mbr(dims_), page});
+    new_root.entries.push_back(Entry{sibling.Mbr(dims_), sibling_page});
+    PageId new_root_page = pool_->disk()->Allocate();
+    CCDB_RETURN_IF_ERROR(StoreNode(new_root_page, new_root));
+    root_ = new_root_page;
+    root_level_ = new_root.level;
+    return Status::OK();
+  }
+
+  PathStep parent_step = path.back();
+  path.pop_back();
+  CCDB_ASSIGN_OR_RETURN(Node parent, LoadNode(parent_step.page));
+  parent.entries[parent_step.child_index].rect = node.Mbr(dims_);
+  parent.entries.push_back(Entry{sibling.Mbr(dims_), sibling_page});
+  if (parent.entries.size() <= max_entries_) {
+    CCDB_RETURN_IF_ERROR(StoreNode(parent_step.page, parent));
+    return AdjustPathMbrs(path);
+  }
+  return OverflowTreatment(parent_step.page, std::move(parent),
+                           std::move(path), reinserted_levels);
+}
+
+void RStarTree::SplitEntries(std::vector<Entry>* entries,
+                             std::vector<Entry>* sibling_out) {
+  const size_t total = entries->size();
+  const size_t m = min_entries_;
+  assert(total == max_entries_ + 1);
+
+  // ChooseSplitAxis: minimize total margin over all distributions of both
+  // sortings (by lo and by hi) per axis.
+  int best_axis = 0;
+  bool best_axis_by_hi = false;
+  double best_axis_margin = std::numeric_limits<double>::infinity();
+  // Remember the best distribution within the chosen axis (ChooseSplitIndex).
+  size_t best_split = m;
+  bool best_split_by_hi = false;
+
+  for (int axis = 0; axis < dims_; ++axis) {
+    double axis_margin = 0;
+    double axis_best_overlap = std::numeric_limits<double>::infinity();
+    double axis_best_area = std::numeric_limits<double>::infinity();
+    size_t axis_best_split = m;
+    bool axis_best_by_hi = false;
+    for (int by_hi = 0; by_hi < 2; ++by_hi) {
+      std::vector<Entry> sorted = *entries;
+      std::sort(sorted.begin(), sorted.end(),
+                [axis, by_hi](const Entry& a, const Entry& b) {
+                  double ka = by_hi ? a.rect.hi[axis] : a.rect.lo[axis];
+                  double kb = by_hi ? b.rect.hi[axis] : b.rect.lo[axis];
+                  if (ka != kb) return ka < kb;
+                  return (by_hi ? a.rect.lo[axis] : a.rect.hi[axis]) <
+                         (by_hi ? b.rect.lo[axis] : b.rect.hi[axis]);
+                });
+      // Prefix and suffix MBRs.
+      std::vector<Rect> prefix(total), suffix(total);
+      prefix[0] = sorted[0].rect;
+      for (size_t i = 1; i < total; ++i) {
+        prefix[i] = prefix[i - 1].ExpandedBy(sorted[i].rect);
+      }
+      suffix[total - 1] = sorted[total - 1].rect;
+      for (size_t i = total - 1; i-- > 0;) {
+        suffix[i] = suffix[i + 1].ExpandedBy(sorted[i].rect);
+      }
+      for (size_t k = m; k + m <= total; ++k) {
+        const Rect& g1 = prefix[k - 1];
+        const Rect& g2 = suffix[k];
+        axis_margin += g1.Margin() + g2.Margin();
+        double overlap = g1.OverlapArea(g2);
+        double area = g1.Area() + g2.Area();
+        if (overlap < axis_best_overlap ||
+            (overlap == axis_best_overlap && area < axis_best_area)) {
+          axis_best_overlap = overlap;
+          axis_best_area = area;
+          axis_best_split = k;
+          axis_best_by_hi = by_hi != 0;
+        }
+      }
+    }
+    if (axis_margin < best_axis_margin) {
+      best_axis_margin = axis_margin;
+      best_axis = axis;
+      best_split = axis_best_split;
+      best_split_by_hi = axis_best_by_hi;
+      best_axis_by_hi = axis_best_by_hi;
+    }
+  }
+  (void)best_axis_by_hi;
+
+  std::sort(entries->begin(), entries->end(),
+            [best_axis, best_split_by_hi](const Entry& a, const Entry& b) {
+              double ka = best_split_by_hi ? a.rect.hi[best_axis]
+                                           : a.rect.lo[best_axis];
+              double kb = best_split_by_hi ? b.rect.hi[best_axis]
+                                           : b.rect.lo[best_axis];
+              if (ka != kb) return ka < kb;
+              return (best_split_by_hi ? a.rect.lo[best_axis]
+                                       : a.rect.hi[best_axis]) <
+                     (best_split_by_hi ? b.rect.lo[best_axis]
+                                       : b.rect.hi[best_axis]);
+            });
+  sibling_out->assign(entries->begin() + static_cast<ptrdiff_t>(best_split),
+                      entries->end());
+  entries->resize(best_split);
+}
+
+Result<std::vector<uint64_t>> RStarTree::Search(const Rect& query) {
+  CCDB_ASSIGN_OR_RETURN(std::vector<Hit> hits, SearchHits(query));
+  std::vector<uint64_t> ids;
+  ids.reserve(hits.size());
+  for (const Hit& hit : hits) ids.push_back(hit.id);
+  return ids;
+}
+
+Result<std::vector<RStarTree::Hit>> RStarTree::SearchHits(const Rect& query) {
+  std::vector<Hit> hits;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    PageId page = stack.back();
+    stack.pop_back();
+    CCDB_ASSIGN_OR_RETURN(Node node, LoadNode(page));
+    for (const Entry& e : node.entries) {
+      if (!e.rect.Intersects(query)) continue;
+      if (node.IsLeaf()) {
+        hits.push_back(Hit{e.rect, e.id});
+      } else {
+        stack.push_back(e.id);
+      }
+    }
+  }
+  return hits;
+}
+
+Result<bool> RStarTree::FindLeaf(PageId page, const Rect& rect, uint64_t id,
+                                 std::vector<PathStep>* path) {
+  CCDB_ASSIGN_OR_RETURN(Node node, LoadNode(page));
+  if (node.IsLeaf()) {
+    for (const Entry& e : node.entries) {
+      if (e.id == id && e.rect == rect) return true;
+    }
+    return false;
+  }
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    if (!node.entries[i].rect.Contains(rect)) continue;
+    path->push_back(PathStep{page, i});
+    CCDB_ASSIGN_OR_RETURN(bool found,
+                          FindLeaf(node.entries[i].id, rect, id, path));
+    if (found) return true;
+    path->pop_back();
+  }
+  return false;
+}
+
+Status RStarTree::Delete(const Rect& rect, uint64_t id) {
+  std::vector<PathStep> path;
+  CCDB_ASSIGN_OR_RETURN(bool found, FindLeaf(root_, rect, id, &path));
+  if (!found) {
+    return Status::NotFound("no index entry for id " + std::to_string(id));
+  }
+  PageId leaf_page = root_;
+  if (!path.empty()) {
+    CCDB_ASSIGN_OR_RETURN(Node last_parent, LoadNode(path.back().page));
+    leaf_page = last_parent.entries[path.back().child_index].id;
+  }
+  CCDB_ASSIGN_OR_RETURN(Node node, LoadNode(leaf_page));
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    if (node.entries[i].id == id && node.entries[i].rect == rect) {
+      node.entries.erase(node.entries.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+
+  // Condense: walk upward collecting underfull nodes as orphans.
+  std::vector<Node> orphans;
+  PageId current_page = leaf_page;
+  Node current = std::move(node);
+  for (size_t i = path.size(); i-- > 0;) {
+    CCDB_ASSIGN_OR_RETURN(Node parent, LoadNode(path[i].page));
+    if (current.entries.size() < min_entries_) {
+      orphans.push_back(std::move(current));
+      parent.entries.erase(parent.entries.begin() +
+                           static_cast<ptrdiff_t>(path[i].child_index));
+    } else {
+      CCDB_RETURN_IF_ERROR(StoreNode(current_page, current));
+      parent.entries[path[i].child_index].rect = current.Mbr(dims_);
+    }
+    current_page = path[i].page;
+    current = std::move(parent);
+  }
+  CCDB_RETURN_IF_ERROR(StoreNode(current_page, current));
+
+  // Shrink the root while it is internal with a single child.
+  while (root_level_ > 0) {
+    CCDB_ASSIGN_OR_RETURN(Node root_node, LoadNode(root_));
+    if (root_node.entries.size() != 1) break;
+    root_ = root_node.entries[0].id;
+    --root_level_;
+  }
+
+  --size_;
+  // Reinsert orphaned entries at their original levels.
+  for (Node& orphan : orphans) {
+    for (Entry& e : orphan.entries) {
+      std::set<uint16_t> reinserted;
+      CCDB_RETURN_IF_ERROR(InsertAtLevel(std::move(e), orphan.level,
+                                         &reinserted));
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> RStarTree::CountNodes() {
+  size_t count = 0;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    PageId page = stack.back();
+    stack.pop_back();
+    ++count;
+    CCDB_ASSIGN_OR_RETURN(Node node, LoadNode(page));
+    if (!node.IsLeaf()) {
+      for (const Entry& e : node.entries) stack.push_back(e.id);
+    }
+  }
+  return count;
+}
+
+Status RStarTree::CheckNode(PageId page, uint16_t expected_level,
+                            bool is_root, size_t* leaf_entries) {
+  CCDB_ASSIGN_OR_RETURN(Node node, LoadNode(page));
+  if (node.level != expected_level) {
+    return Status::Internal("node level mismatch: expected " +
+                            std::to_string(expected_level) + ", got " +
+                            std::to_string(node.level));
+  }
+  if (!is_root && node.entries.size() < min_entries_) {
+    return Status::Internal("underfull non-root node (" +
+                            std::to_string(node.entries.size()) + " < " +
+                            std::to_string(min_entries_) + ")");
+  }
+  if (is_root && node.level > 0 && node.entries.size() < 2) {
+    return Status::Internal("internal root with fewer than 2 children");
+  }
+  if (node.entries.size() > max_entries_) {
+    return Status::Internal("overfull node");
+  }
+  if (node.IsLeaf()) {
+    *leaf_entries += node.entries.size();
+    return Status::OK();
+  }
+  for (const Entry& e : node.entries) {
+    CCDB_ASSIGN_OR_RETURN(Node child, LoadNode(e.id));
+    Rect child_mbr = child.Mbr(dims_);
+    if (!(e.rect == child_mbr)) {
+      return Status::Internal("stale parent MBR: " + e.rect.ToString() +
+                              " vs child " + child_mbr.ToString());
+    }
+    CCDB_RETURN_IF_ERROR(CheckNode(
+        e.id, static_cast<uint16_t>(node.level - 1), false, leaf_entries));
+  }
+  return Status::OK();
+}
+
+Status RStarTree::CheckInvariants() {
+  size_t leaf_entries = 0;
+  CCDB_RETURN_IF_ERROR(CheckNode(root_, root_level_, true, &leaf_entries));
+  if (leaf_entries != size_) {
+    return Status::Internal("entry count mismatch: counted " +
+                            std::to_string(leaf_entries) + ", size() says " +
+                            std::to_string(size_));
+  }
+  return Status::OK();
+}
+
+}  // namespace ccdb

@@ -1,0 +1,136 @@
+#ifndef CCDB_INDEX_STRATEGY_H_
+#define CCDB_INDEX_STRATEGY_H_
+
+/// \file strategy.h
+/// The two multi-attribute indexing strategies compared in §5.4:
+///
+///  - *joint* index: one 2-dimensional R*-tree over both attributes.
+///    When a query constrains only one attribute, "the bound of the other
+///    attribute is set from minimum to maximum" (of the data domain).
+///  - *separate* index: one 1-dimensional R*-tree per attribute. A query
+///    over both attributes searches each index and intersects the
+///    resulting tuple-id sets; its cost is the *sum* of the two searches.
+///
+/// Both implement `AttributeIndex` so experiments and the query layer can
+/// swap strategies freely.
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "index/rstar_tree.h"
+
+namespace ccdb {
+
+/// A (possibly partial) rectangular query over attributes x and y.
+/// An absent side leaves that attribute unconstrained.
+struct BoxQuery {
+  std::optional<std::pair<double, double>> x;  ///< [lo, hi] on x
+  std::optional<std::pair<double, double>> y;  ///< [lo, hi] on y
+
+  static BoxQuery Both(double xlo, double xhi, double ylo, double yhi) {
+    return BoxQuery{{{xlo, xhi}}, {{ylo, yhi}}};
+  }
+  static BoxQuery XOnly(double lo, double hi) {
+    return BoxQuery{{{lo, hi}}, std::nullopt};
+  }
+  static BoxQuery YOnly(double lo, double hi) {
+    return BoxQuery{std::nullopt, {{lo, hi}}};
+  }
+};
+
+/// Common interface of the two strategies.
+class AttributeIndex {
+ public:
+  virtual ~AttributeIndex() = default;
+
+  /// Indexes a tuple's bounding box (a point for relational attributes).
+  virtual Status Insert(const Rect& box, uint64_t id) = 0;
+
+  /// Ids of all indexed boxes intersecting the query window.
+  virtual Result<std::vector<uint64_t>> Search(const BoxQuery& query) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// One 2-D R*-tree over both attributes.
+class JointIndex final : public AttributeIndex {
+ public:
+  /// `domain` supplies the min/max substituted for an unqueried attribute.
+  JointIndex(BufferPool* pool, const Rect& domain)
+      : tree_(pool, 2), domain_(domain) {}
+
+  Status Insert(const Rect& box, uint64_t id) override {
+    return tree_.Insert(box, id);
+  }
+
+  Result<std::vector<uint64_t>> Search(const BoxQuery& query) override {
+    Rect window = domain_;
+    if (query.x) {
+      window.lo[0] = query.x->first;
+      window.hi[0] = query.x->second;
+    }
+    if (query.y) {
+      window.lo[1] = query.y->first;
+      window.hi[1] = query.y->second;
+    }
+    return tree_.Search(window);
+  }
+
+  const char* name() const override { return "joint"; }
+  RStarTree& tree() { return tree_; }
+
+ private:
+  RStarTree tree_;
+  Rect domain_;
+};
+
+/// Two 1-D R*-trees, one per attribute; conjunctive queries intersect the
+/// per-attribute result sets (the paper's "separate" strategy).
+class SeparateIndex final : public AttributeIndex {
+ public:
+  explicit SeparateIndex(BufferPool* pool)
+      : x_tree_(pool, 1), y_tree_(pool, 1) {}
+
+  Status Insert(const Rect& box, uint64_t id) override {
+    CCDB_RETURN_IF_ERROR(x_tree_.Insert(Rect::Make1D(box.lo[0], box.hi[0]), id));
+    return y_tree_.Insert(Rect::Make1D(box.lo[1], box.hi[1]), id);
+  }
+
+  Result<std::vector<uint64_t>> Search(const BoxQuery& query) override {
+    if (query.x && !query.y) {
+      return x_tree_.Search(Rect::Make1D(query.x->first, query.x->second));
+    }
+    if (query.y && !query.x) {
+      return y_tree_.Search(Rect::Make1D(query.y->first, query.y->second));
+    }
+    if (!query.x && !query.y) {
+      return Status::InvalidArgument("BoxQuery constrains no attribute");
+    }
+    CCDB_ASSIGN_OR_RETURN(
+        std::vector<uint64_t> xs,
+        x_tree_.Search(Rect::Make1D(query.x->first, query.x->second)));
+    CCDB_ASSIGN_OR_RETURN(
+        std::vector<uint64_t> ys,
+        y_tree_.Search(Rect::Make1D(query.y->first, query.y->second)));
+    std::sort(xs.begin(), xs.end());
+    std::sort(ys.begin(), ys.end());
+    std::vector<uint64_t> both;
+    std::set_intersection(xs.begin(), xs.end(), ys.begin(), ys.end(),
+                          std::back_inserter(both));
+    return both;
+  }
+
+  const char* name() const override { return "separate"; }
+  RStarTree& x_tree() { return x_tree_; }
+  RStarTree& y_tree() { return y_tree_; }
+
+ private:
+  RStarTree x_tree_;
+  RStarTree y_tree_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_INDEX_STRATEGY_H_

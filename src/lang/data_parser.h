@@ -1,0 +1,56 @@
+#ifndef CCDB_LANG_DATA_PARSER_H_
+#define CCDB_LANG_DATA_PARSER_H_
+
+/// \file data_parser.h
+/// The `.cdb` relation data file format.
+///
+/// A text format for heterogeneous constraint databases, line-based:
+///
+///   # comment
+///   relation Land
+///   schema landId: string relational; x: rational constraint;
+///          y: rational constraint         # (one logical line)
+///   tuple landId = "A", x >= 0, x <= 2, y >= 0, y <= 2
+///   tuple landId = "B", x >= 2, x <= 3, y >= 1, y <= 2
+///
+///   relation Hurricane
+///   schema t: rational constraint; x: rational constraint; ...
+///   tuple t >= 0, t <= 1, x = 10t, y = 5t
+///
+/// Relational attributes take `attr = value` items (quoted strings or bare
+/// identifiers for string attributes, numeric constants for rational
+/// ones); constraint attributes take linear constraint items. A file may
+/// hold many relations.
+
+#include <string>
+
+#include "data/database.h"
+#include "util/status.h"
+
+namespace ccdb::lang {
+
+/// Parses a `.cdb` document and registers each relation into `db`.
+/// Fails (without partial registration of the failing relation) on the
+/// first syntax or schema error, identifying the line number.
+Status LoadDatabaseText(const std::string& text, Database* db);
+
+/// Reads a file from disk and parses it.
+Status LoadDatabaseFile(const std::string& path, Database* db);
+
+/// Renders a schema declaration in the data-file syntax.
+std::string FormatSchemaDeclaration(const Schema& schema);
+
+/// Renders one tuple as a `tuple ...` line in the data-file syntax.
+std::string FormatTupleLine(const Tuple& tuple);
+
+/// Renders a whole database as a parseable `.cdb` document — the exact
+/// inverse of `LoadDatabaseText` (round-trips bit-exactly thanks to the
+/// rational text encoding).
+std::string FormatDatabaseText(const Database& db);
+
+/// Writes `FormatDatabaseText(db)` to `path`.
+Status SaveDatabaseFile(const std::string& path, const Database& db);
+
+}  // namespace ccdb::lang
+
+#endif  // CCDB_LANG_DATA_PARSER_H_

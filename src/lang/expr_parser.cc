@@ -1,0 +1,290 @@
+#include "lang/expr_parser.h"
+
+namespace ccdb::lang {
+
+std::string ParsedComparison::ToString() const {
+  auto side = [](const ParsedSide& s) {
+    return s.is_string ? "\"" + s.string_literal + "\"" : s.expr.ToString();
+  };
+  return side(lhs) + " " + op + " " + side(rhs);
+}
+
+Result<Rational> ParseCoefficient(TokenStream* ts) {
+  if (!ts->Peek().Is(TokenKind::kNumber)) {
+    return Status::ParseError("expected number, got '" + ts->Peek().text +
+                              "'");
+  }
+  std::string text = ts->Next().text;
+  // Fraction: NUMBER '/' NUMBER (both plain).
+  if (ts->Peek().IsSymbol("/") && ts->Peek(1).Is(TokenKind::kNumber)) {
+    ts->Next();  // '/'
+    text += "/" + ts->Next().text;
+  }
+  return Rational::FromString(text);
+}
+
+namespace {
+
+/// term := coeff ['*'] ident | coeff | ident
+///
+/// Juxtaposed multiplication (`2x`, `3/2y`) requires the tokens to be
+/// adjacent in the input: `select t = 6 from R` must NOT read `6 from` as
+/// a coefficient times a variable named "from". With whitespace, use `*`.
+Result<LinearExpr> ParseTerm(TokenStream* ts) {
+  if (ts->Peek().Is(TokenKind::kNumber)) {
+    Token first = ts->Next();
+    std::string text = first.text;
+    size_t end = first.position + first.text.size();
+    // Adjacent fraction: NUMBER '/' NUMBER with no spaces (3/2).
+    if (ts->Peek().IsSymbol("/") && ts->Peek().position == end &&
+        ts->Peek(1).Is(TokenKind::kNumber) &&
+        ts->Peek(1).position == end + 1) {
+      ts->Next();  // '/'
+      Token denom = ts->Next();
+      text += "/" + denom.text;
+      end = denom.position + denom.text.size();
+    }
+    CCDB_ASSIGN_OR_RETURN(Rational coeff, Rational::FromString(text));
+    // Optional '*' before the variable, or adjacent juxtaposition.
+    if (ts->TrySymbol("*")) {
+      CCDB_ASSIGN_OR_RETURN(std::string var,
+                            ts->ExpectIdentifier("variable after '*'"));
+      return LinearExpr::Term(var, std::move(coeff));
+    }
+    if (ts->Peek().Is(TokenKind::kIdentifier) &&
+        ts->Peek().position == end) {
+      return LinearExpr::Term(ts->Next().text, std::move(coeff));
+    }
+    return LinearExpr::Constant(std::move(coeff));
+  }
+  if (ts->Peek().Is(TokenKind::kIdentifier)) {
+    return LinearExpr::Variable(ts->Next().text);
+  }
+  return Status::ParseError("expected term, got '" + ts->Peek().text + "'");
+}
+
+}  // namespace
+
+Result<LinearExpr> ParseLinearExpr(TokenStream* ts) {
+  LinearExpr expr;
+  bool negate = ts->TrySymbol("-");
+  if (!negate) ts->TrySymbol("+");
+  CCDB_ASSIGN_OR_RETURN(LinearExpr first, ParseTerm(ts));
+  expr = negate ? -first : first;
+  while (true) {
+    bool minus;
+    if (ts->TrySymbol("+")) {
+      minus = false;
+    } else if (ts->TrySymbol("-")) {
+      minus = true;
+    } else {
+      break;
+    }
+    CCDB_ASSIGN_OR_RETURN(LinearExpr term, ParseTerm(ts));
+    expr = minus ? expr - term : expr + term;
+  }
+  return expr;
+}
+
+namespace {
+
+Result<ParsedSide> ParseSide(TokenStream* ts) {
+  ParsedSide side;
+  if (ts->Peek().Is(TokenKind::kString)) {
+    side.is_string = true;
+    side.string_literal = ts->Next().text;
+    return side;
+  }
+  CCDB_ASSIGN_OR_RETURN(side.expr, ParseLinearExpr(ts));
+  return side;
+}
+
+bool IsComparisonOp(const Token& t) {
+  return t.Is(TokenKind::kSymbol) &&
+         (t.text == "=" || t.text == "==" || t.text == "<=" ||
+          t.text == "<" || t.text == ">=" || t.text == ">" ||
+          t.text == "!=");
+}
+
+/// True when the expression is exactly one bare attribute `1·name`.
+std::optional<std::string> AsBareAttribute(const ParsedSide& side) {
+  if (side.is_string) return std::nullopt;
+  if (!side.expr.constant().IsZero()) return std::nullopt;
+  if (side.expr.terms().size() != 1) return std::nullopt;
+  const auto& [name, coeff] = *side.expr.terms().begin();
+  if (coeff != Rational(1)) return std::nullopt;
+  return name;
+}
+
+/// True when the expression is a constant (no variables).
+std::optional<Rational> AsConstant(const ParsedSide& side) {
+  if (side.is_string || !side.expr.IsConstant()) return std::nullopt;
+  return side.expr.constant();
+}
+
+}  // namespace
+
+Result<ParsedComparison> ParseComparison(TokenStream* ts) {
+  ParsedComparison cmp;
+  CCDB_ASSIGN_OR_RETURN(cmp.lhs, ParseSide(ts));
+  if (!IsComparisonOp(ts->Peek())) {
+    return Status::ParseError("expected comparison operator, got '" +
+                              ts->Peek().text + "'");
+  }
+  cmp.op = ts->Next().text;
+  if (cmp.op == "==") cmp.op = "=";
+  CCDB_ASSIGN_OR_RETURN(cmp.rhs, ParseSide(ts));
+  return cmp;
+}
+
+Result<std::vector<ParsedComparison>> ParseComparisonList(
+    const std::string& text) {
+  CCDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  TokenStream ts(std::move(tokens));
+  std::vector<ParsedComparison> out;
+  if (ts.AtEnd()) return out;
+  while (true) {
+    CCDB_ASSIGN_OR_RETURN(ParsedComparison cmp, ParseComparison(&ts));
+    out.push_back(std::move(cmp));
+    if (!ts.TrySymbol(",")) break;
+  }
+  if (!ts.AtEnd()) {
+    return Status::ParseError("trailing input after comparisons: '" +
+                              ts.Peek().text + "'");
+  }
+  return out;
+}
+
+namespace {
+
+/// Is `name` a string-typed relational attribute of `schema`?
+bool IsStringAttr(const Schema& schema, const std::string& name) {
+  const Attribute* attr = schema.Find(name);
+  return attr != nullptr && attr->domain == AttributeDomain::kString;
+}
+
+}  // namespace
+
+Result<Predicate> BindPredicate(const Schema& schema,
+                                const std::vector<ParsedComparison>& parsed) {
+  Predicate pred;
+  for (const ParsedComparison& cmp : parsed) {
+    const bool is_eq = cmp.op == "=";
+    const bool is_ne = cmp.op == "!=";
+    auto lhs_attr = AsBareAttribute(cmp.lhs);
+    auto rhs_attr = AsBareAttribute(cmp.rhs);
+
+    // Quoted string on either side: string atom.
+    if (cmp.lhs.is_string || cmp.rhs.is_string) {
+      if (!is_eq && !is_ne) {
+        return Status::ParseError("strings only compare with = or !=: " +
+                                  cmp.ToString());
+      }
+      if (cmp.lhs.is_string && cmp.rhs.is_string) {
+        return Status::ParseError("comparison of two literals: " +
+                                  cmp.ToString());
+      }
+      const ParsedSide& attr_side = cmp.lhs.is_string ? cmp.rhs : cmp.lhs;
+      const ParsedSide& lit_side = cmp.lhs.is_string ? cmp.lhs : cmp.rhs;
+      auto attr = AsBareAttribute(attr_side);
+      if (!attr) {
+        return Status::ParseError("string compared to non-attribute: " +
+                                  cmp.ToString());
+      }
+      StringAtom atom =
+          StringAtom::EqualsLiteral(*attr, lit_side.string_literal);
+      atom.negated = is_ne;
+      pred.strings.push_back(std::move(atom));
+      continue;
+    }
+
+    // attr (=|!=) attr where either is a string attribute: string atom
+    // (e.g. the paper's `LandID = A` with A as a bare literal is handled
+    // below, since `A` is usually not an attribute of the schema).
+    if ((is_eq || is_ne) && lhs_attr && rhs_attr) {
+      bool lhs_string = IsStringAttr(schema, *lhs_attr);
+      bool rhs_string = IsStringAttr(schema, *rhs_attr);
+      if (lhs_string && rhs_string) {
+        StringAtom atom = StringAtom::EqualsAttr(*lhs_attr, *rhs_attr);
+        atom.negated = is_ne;
+        pred.strings.push_back(std::move(atom));
+        continue;
+      }
+      if (lhs_string != rhs_string) {
+        // One side is a string attribute, the other a bare identifier that
+        // is not in the schema: treat it as an unquoted literal (§3.3
+        // style `select LandID=A`).
+        const std::string& attr = lhs_string ? *lhs_attr : *rhs_attr;
+        const std::string& literal = lhs_string ? *rhs_attr : *lhs_attr;
+        if (schema.Has(literal)) {
+          return Status::InvalidArgument(
+              "cannot compare string attribute '" + attr +
+              "' with non-string attribute '" + literal + "'");
+        }
+        StringAtom atom = StringAtom::EqualsLiteral(attr, literal);
+        atom.negated = is_ne;
+        pred.strings.push_back(std::move(atom));
+        continue;
+      }
+    }
+    // Bare `stringattr = ident` where ident is not an attribute at all is
+    // covered above. Everything else must be a linear constraint.
+    if (is_ne) {
+      return Status::Unsupported(
+          "numeric '!=' is not an atomic linear constraint: " +
+          cmp.ToString());
+    }
+    CCDB_ASSIGN_OR_RETURN(Constraint c,
+                          Constraint::Make(cmp.lhs.expr, cmp.op,
+                                           cmp.rhs.expr));
+    pred.linear.push_back(std::move(c));
+  }
+  return pred;
+}
+
+Result<Tuple> BindTuple(const Schema& schema,
+                        const std::vector<ParsedComparison>& parsed) {
+  Tuple tuple;
+  for (const ParsedComparison& cmp : parsed) {
+    auto lhs_attr = AsBareAttribute(cmp.lhs);
+    // Relational assignment: attr = literal / constant.
+    if (cmp.op == "=" && lhs_attr) {
+      const Attribute* attr = schema.Find(*lhs_attr);
+      if (attr != nullptr && attr->kind == AttributeKind::kRelational) {
+        if (attr->domain == AttributeDomain::kString) {
+          std::string literal;
+          if (cmp.rhs.is_string) {
+            literal = cmp.rhs.string_literal;
+          } else if (auto bare = AsBareAttribute(cmp.rhs);
+                     bare && !schema.Has(*bare)) {
+            literal = *bare;  // unquoted literal
+          } else {
+            return Status::ParseError("expected string value for '" +
+                                      *lhs_attr + "': " + cmp.ToString());
+          }
+          tuple.SetValue(*lhs_attr, Value::String(std::move(literal)));
+          continue;
+        }
+        auto constant = AsConstant(cmp.rhs);
+        if (!constant) {
+          return Status::ParseError("expected numeric constant for '" +
+                                    *lhs_attr + "': " + cmp.ToString());
+        }
+        tuple.SetValue(*lhs_attr, Value::Number(std::move(*constant)));
+        continue;
+      }
+    }
+    // Otherwise: a constraint over constraint attributes.
+    if (cmp.lhs.is_string || cmp.rhs.is_string) {
+      return Status::ParseError("string comparison outside relational "
+                                "assignment: " +
+                                cmp.ToString());
+    }
+    CCDB_ASSIGN_OR_RETURN(
+        Constraint c, Constraint::Make(cmp.lhs.expr, cmp.op, cmp.rhs.expr));
+    tuple.AddConstraint(std::move(c));
+  }
+  return tuple;
+}
+
+}  // namespace ccdb::lang

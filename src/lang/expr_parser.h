@@ -1,0 +1,77 @@
+#ifndef CCDB_LANG_EXPR_PARSER_H_
+#define CCDB_LANG_EXPR_PARSER_H_
+
+/// \file expr_parser.h
+/// Parsing of linear expressions and comparison atoms.
+///
+/// Grammar (coefficients are non-negative rational literals; signs come
+/// from +/- operators):
+///
+///   comparison-list := comparison (',' comparison)*
+///   comparison      := side op side         op ∈ {=, ==, <=, <, >=, >, !=}
+///   side            := "string literal" | expr
+///   expr            := ['-'] term (('+'|'-') term)*
+///   term            := coeff ['*'] ident | coeff | ident
+///   coeff           := NUMBER ['/' NUMBER]      e.g. 2, 2.5, 3/2
+///
+/// Comparisons are parsed *unbound*: `LandID = A` could be a string
+/// equality (if LandID is a string attribute; `A` a bare literal, matching
+/// the paper's unquoted style in Query 1 of §3.3) or a linear constraint
+/// over two rational attributes. `Bind*` resolves against a schema.
+
+#include <optional>
+#include <vector>
+
+#include "constraint/constraint.h"
+#include "core/predicate.h"
+#include "data/tuple.h"
+#include "lang/lexer.h"
+
+namespace ccdb::lang {
+
+/// One side of a comparison before schema binding.
+struct ParsedSide {
+  LinearExpr expr;                  ///< when !is_string
+  bool is_string = false;           ///< quoted literal
+  std::string string_literal;       ///< when is_string
+};
+
+/// A schema-unbound comparison.
+struct ParsedComparison {
+  ParsedSide lhs;
+  std::string op;  ///< "=", "<=", "<", ">=", ">", "!="
+  ParsedSide rhs;
+
+  std::string ToString() const;
+};
+
+/// Parses a non-negative rational literal (NUMBER ['/' NUMBER]).
+Result<Rational> ParseCoefficient(TokenStream* ts);
+
+/// Parses a linear expression.
+Result<LinearExpr> ParseLinearExpr(TokenStream* ts);
+
+/// Parses one comparison.
+Result<ParsedComparison> ParseComparison(TokenStream* ts);
+
+/// Parses a comma-separated comparison list from text (entire input).
+Result<std::vector<ParsedComparison>> ParseComparisonList(
+    const std::string& text);
+
+/// Resolves comparisons into a selection predicate under `schema`:
+///  - quoted literals and string attributes become StringAtoms
+///    (`a = "x"`, `a = b`, and their != forms);
+///  - everything over rational attributes becomes linear constraints
+///    (numeric != is rejected: it is not an atomic linear constraint).
+Result<Predicate> BindPredicate(const Schema& schema,
+                                const std::vector<ParsedComparison>& parsed);
+
+/// Resolves comparisons into a data tuple under `schema`: `attr = value`
+/// over relational attributes become stored values; the rest must be
+/// constraints over constraint attributes.
+Result<Tuple> BindTuple(const Schema& schema,
+                        const std::vector<ParsedComparison>& parsed);
+
+}  // namespace ccdb::lang
+
+#endif  // CCDB_LANG_EXPR_PARSER_H_

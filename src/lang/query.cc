@@ -1,0 +1,220 @@
+#include "lang/query.h"
+
+#include <sstream>
+
+#include "core/operators.h"
+#include "core/spatial.h"
+#include "lang/expr_parser.h"
+#include "util/string_util.h"
+
+namespace ccdb::lang {
+
+namespace {
+
+Result<const Relation*> GetRelation(Database* db, const std::string& name) {
+  return db->Get(name);
+}
+
+/// Parses comparisons until (and consuming) the keyword `stop`.
+Result<std::vector<ParsedComparison>> ParseComparisonsUntil(
+    TokenStream* ts, const std::string& stop) {
+  std::vector<ParsedComparison> out;
+  while (true) {
+    CCDB_ASSIGN_OR_RETURN(ParsedComparison cmp, ParseComparison(ts));
+    out.push_back(std::move(cmp));
+    if (ts->TrySymbol(",")) continue;
+    CCDB_RETURN_IF_ERROR(ts->ExpectKeyword(stop));
+    break;
+  }
+  return out;
+}
+
+/// Recognizes hyphenated operator keywords at the cursor:
+/// "buffer-join" and "k-nearest".
+bool TryHyphenKeyword(TokenStream* ts, const std::string& first,
+                      const std::string& second) {
+  if (ts->Peek().IsKeyword(first) && ts->Peek(1).IsSymbol("-") &&
+      ts->Peek(2).IsKeyword(second)) {
+    ts->Next();
+    ts->Next();
+    ts->Next();
+    return true;
+  }
+  return false;
+}
+
+Result<Relation> EvalSelect(TokenStream* ts, Database* db) {
+  CCDB_ASSIGN_OR_RETURN(std::vector<ParsedComparison> comparisons,
+                        ParseComparisonsUntil(ts, "from"));
+  CCDB_ASSIGN_OR_RETURN(std::string rel_name,
+                        ts->ExpectIdentifier("relation name"));
+  CCDB_ASSIGN_OR_RETURN(const Relation* rel, GetRelation(db, rel_name));
+  CCDB_ASSIGN_OR_RETURN(Predicate pred,
+                        BindPredicate(rel->schema(), comparisons));
+  return cqa::Select(*rel, pred);
+}
+
+Result<Relation> EvalProject(TokenStream* ts, Database* db) {
+  CCDB_ASSIGN_OR_RETURN(std::string rel_name,
+                        ts->ExpectIdentifier("relation name"));
+  CCDB_RETURN_IF_ERROR(ts->ExpectKeyword("on"));
+  std::vector<std::string> attrs;
+  while (true) {
+    CCDB_ASSIGN_OR_RETURN(std::string attr,
+                          ts->ExpectIdentifier("attribute name"));
+    attrs.push_back(std::move(attr));
+    if (!ts->TrySymbol(",")) break;
+  }
+  CCDB_ASSIGN_OR_RETURN(const Relation* rel, GetRelation(db, rel_name));
+  return cqa::Project(*rel, attrs);
+}
+
+/// `<lhs> and <rhs>` for the binary operators.
+Result<std::pair<const Relation*, const Relation*>> ParseBinaryOperands(
+    TokenStream* ts, Database* db) {
+  CCDB_ASSIGN_OR_RETURN(std::string lhs_name,
+                        ts->ExpectIdentifier("relation name"));
+  CCDB_RETURN_IF_ERROR(ts->ExpectKeyword("and"));
+  CCDB_ASSIGN_OR_RETURN(std::string rhs_name,
+                        ts->ExpectIdentifier("relation name"));
+  CCDB_ASSIGN_OR_RETURN(const Relation* lhs, GetRelation(db, lhs_name));
+  CCDB_ASSIGN_OR_RETURN(const Relation* rhs, GetRelation(db, rhs_name));
+  return std::make_pair(lhs, rhs);
+}
+
+Result<Relation> EvalRename(TokenStream* ts, Database* db) {
+  CCDB_ASSIGN_OR_RETURN(std::string from,
+                        ts->ExpectIdentifier("attribute name"));
+  CCDB_RETURN_IF_ERROR(ts->ExpectKeyword("to"));
+  CCDB_ASSIGN_OR_RETURN(std::string to,
+                        ts->ExpectIdentifier("attribute name"));
+  CCDB_RETURN_IF_ERROR(ts->ExpectKeyword("in"));
+  CCDB_ASSIGN_OR_RETURN(std::string rel_name,
+                        ts->ExpectIdentifier("relation name"));
+  CCDB_ASSIGN_OR_RETURN(const Relation* rel, GetRelation(db, rel_name));
+  return cqa::Rename(*rel, from, to);
+}
+
+Result<Relation> EvalBufferJoin(TokenStream* ts, Database* db) {
+  CCDB_ASSIGN_OR_RETURN(auto operands, ParseBinaryOperands(ts, db));
+  CCDB_RETURN_IF_ERROR(ts->ExpectKeyword("within"));
+  CCDB_ASSIGN_OR_RETURN(Rational distance, ParseCoefficient(ts));
+  std::string id_attr = "fid";
+  if (ts->TryKeyword("using")) {
+    CCDB_ASSIGN_OR_RETURN(id_attr, ts->ExpectIdentifier("id attribute"));
+  }
+  CCDB_ASSIGN_OR_RETURN(cqa::FeatureSet lhs,
+                        cqa::FeatureSet::FromRelation(*operands.first,
+                                                      id_attr));
+  CCDB_ASSIGN_OR_RETURN(cqa::FeatureSet rhs,
+                        cqa::FeatureSet::FromRelation(*operands.second,
+                                                      id_attr));
+  return cqa::BufferJoin(lhs, rhs, distance);
+}
+
+Result<Relation> EvalKNearest(TokenStream* ts, Database* db) {
+  CCDB_ASSIGN_OR_RETURN(auto operands, ParseBinaryOperands(ts, db));
+  CCDB_RETURN_IF_ERROR(ts->ExpectKeyword("k"));
+  CCDB_ASSIGN_OR_RETURN(Rational k_value, ParseCoefficient(ts));
+  if (!k_value.IsInteger() || k_value.Sign() < 0) {
+    return Status::ParseError("k must be a non-negative integer");
+  }
+  CCDB_ASSIGN_OR_RETURN(int64_t k, k_value.numerator().ToInt64());
+  std::string id_attr = "fid";
+  if (ts->TryKeyword("using")) {
+    CCDB_ASSIGN_OR_RETURN(id_attr, ts->ExpectIdentifier("id attribute"));
+  }
+  CCDB_ASSIGN_OR_RETURN(cqa::FeatureSet lhs,
+                        cqa::FeatureSet::FromRelation(*operands.first,
+                                                      id_attr));
+  CCDB_ASSIGN_OR_RETURN(cqa::FeatureSet rhs,
+                        cqa::FeatureSet::FromRelation(*operands.second,
+                                                      id_attr));
+  return cqa::KNearest(lhs, rhs, static_cast<size_t>(k));
+}
+
+}  // namespace
+
+Result<std::string> ExecuteStatement(const std::string& statement,
+                                     Database* db) {
+  CCDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  TokenStream ts(std::move(tokens));
+  CCDB_ASSIGN_OR_RETURN(std::string step_name,
+                        ts.ExpectIdentifier("step name"));
+  CCDB_RETURN_IF_ERROR(ts.ExpectSymbol("="));
+
+  Result<Relation> result = Status::Internal("unset");
+  if (ts.TryKeyword("select")) {
+    result = EvalSelect(&ts, db);
+  } else if (ts.TryKeyword("project")) {
+    result = EvalProject(&ts, db);
+  } else if (ts.TryKeyword("join")) {
+    CCDB_ASSIGN_OR_RETURN(auto operands, ParseBinaryOperands(&ts, db));
+    result = cqa::NaturalJoin(*operands.first, *operands.second);
+  } else if (ts.TryKeyword("product")) {
+    CCDB_ASSIGN_OR_RETURN(auto operands, ParseBinaryOperands(&ts, db));
+    result = cqa::CrossProduct(*operands.first, *operands.second);
+  } else if (ts.TryKeyword("intersect")) {
+    CCDB_ASSIGN_OR_RETURN(auto operands, ParseBinaryOperands(&ts, db));
+    result = cqa::Intersect(*operands.first, *operands.second);
+  } else if (ts.TryKeyword("union")) {
+    CCDB_ASSIGN_OR_RETURN(auto operands, ParseBinaryOperands(&ts, db));
+    result = cqa::Union(*operands.first, *operands.second);
+  } else if (ts.TryKeyword("minus") || ts.TryKeyword("difference")) {
+    CCDB_ASSIGN_OR_RETURN(auto operands, ParseBinaryOperands(&ts, db));
+    result = cqa::Difference(*operands.first, *operands.second);
+  } else if (ts.TryKeyword("rename")) {
+    result = EvalRename(&ts, db);
+  } else if (ts.TryKeyword("normalize")) {
+    CCDB_ASSIGN_OR_RETURN(std::string rel_name,
+                          ts.ExpectIdentifier("relation name"));
+    CCDB_ASSIGN_OR_RETURN(const Relation* rel, GetRelation(db, rel_name));
+    Relation normalized = *rel;
+    normalized.Normalize();
+    normalized.RemoveSubsumed();
+    result = std::move(normalized);
+  } else if (TryHyphenKeyword(&ts, "buffer", "join")) {
+    result = EvalBufferJoin(&ts, db);
+  } else if (TryHyphenKeyword(&ts, "k", "nearest")) {
+    result = EvalKNearest(&ts, db);
+  } else {
+    return Status::ParseError("unknown operator '" + ts.Peek().text + "'");
+  }
+  if (!result.ok()) return result.status();
+  if (!ts.AtEnd()) {
+    return Status::ParseError("trailing input: '" + ts.Peek().text + "'");
+  }
+  db->CreateOrReplace(step_name, std::move(result).value());
+  return step_name;
+}
+
+Result<std::string> ExecuteScript(const std::string& script, Database* db) {
+  std::istringstream in(script);
+  std::string line;
+  size_t line_no = 0;
+  std::string last_step;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto step = ExecuteStatement(trimmed, db);
+    if (!step.ok()) {
+      return Status(step.status().code(),
+                    "line " + std::to_string(line_no) + ": " +
+                        step.status().message());
+    }
+    last_step = *step;
+  }
+  if (last_step.empty()) {
+    return Status::InvalidArgument("script contains no statements");
+  }
+  return last_step;
+}
+
+Result<Relation> RunQuery(const std::string& script, Database* db) {
+  CCDB_ASSIGN_OR_RETURN(std::string last, ExecuteScript(script, db));
+  CCDB_ASSIGN_OR_RETURN(const Relation* rel, db->Get(last));
+  return *rel;
+}
+
+}  // namespace ccdb::lang

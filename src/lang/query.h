@@ -1,0 +1,56 @@
+#ifndef CCDB_LANG_QUERY_H_
+#define CCDB_LANG_QUERY_H_
+
+/// \file query.h
+/// The step-based CQA query language and its executor.
+///
+/// Queries are sequences of named steps, exactly the style of the paper's
+/// §3.3 Hurricane case study ("CQA/CDB queries are broken up into multiple
+/// steps"):
+///
+///   # Query 3: whose land was hit between time 4 and 9
+///   R0 = join Landownership and Land
+///   R1 = select t >= 4, t <= 9 from Hurricane
+///   R2 = join R0 and R1
+///   R3 = project R2 on name
+///
+/// Statement forms (keywords case-insensitive):
+///   <name> = select <comparisons> from <rel>
+///   <name> = project <rel> on <attr>, <attr>, ...
+///   <name> = join <rel> and <rel>
+///   <name> = product <rel> and <rel>
+///   <name> = intersect <rel> and <rel>
+///   <name> = union <rel> and <rel>
+///   <name> = minus <rel> and <rel>            (also: difference)
+///   <name> = rename <attr> to <attr> in <rel>
+///   <name> = normalize <rel>                   (drop unsat/redundant/subsumed)
+///   <name> = buffer-join <rel> and <rel> within <number> [using <idattr>]
+///   <name> = k-nearest <rel> and <rel> k <count> [using <idattr>]
+///
+/// Each step's result is registered in the database under its name
+/// (replacing any previous step of the same name), so later steps can
+/// reference it; the last step is the query result.
+
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+#include "util/status.h"
+
+namespace ccdb::lang {
+
+/// Executes one statement against `db`; returns the step name it defined.
+Result<std::string> ExecuteStatement(const std::string& statement,
+                                     Database* db);
+
+/// Executes a multi-line script (blank lines and # comments ignored).
+/// Returns the name of the last step; fails on the first error with its
+/// line number.
+Result<std::string> ExecuteScript(const std::string& script, Database* db);
+
+/// Executes a script and returns the final relation (by value).
+Result<Relation> RunQuery(const std::string& script, Database* db);
+
+}  // namespace ccdb::lang
+
+#endif  // CCDB_LANG_QUERY_H_

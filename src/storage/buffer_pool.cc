@@ -1,0 +1,56 @@
+#include "storage/buffer_pool.h"
+
+namespace ccdb {
+
+Status BufferPool::Get(PageId id, Page* out) {
+  if (capacity_ == 0) {
+    ++stats_.misses;
+    return disk_->Read(id, out);
+  }
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    *out = it->second->second;
+    Touch(id);
+    return Status::OK();
+  }
+  ++stats_.misses;
+  CCDB_RETURN_IF_ERROR(disk_->Read(id, out));
+  InsertCached(id, *out);
+  return Status::OK();
+}
+
+Status BufferPool::Put(PageId id, const Page& page) {
+  CCDB_RETURN_IF_ERROR(disk_->Write(id, page));
+  if (capacity_ == 0) return Status::OK();
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    it->second->second = page;
+    Touch(id);
+  } else {
+    InsertCached(id, page);
+  }
+  return Status::OK();
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+void BufferPool::Touch(PageId id) {
+  auto it = index_.find(id);
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+}
+
+void BufferPool::InsertCached(PageId id, const Page& page) {
+  lru_.emplace_front(id, page);
+  index_[id] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace ccdb

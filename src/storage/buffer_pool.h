@@ -1,0 +1,64 @@
+#ifndef CCDB_STORAGE_BUFFER_POOL_H_
+#define CCDB_STORAGE_BUFFER_POOL_H_
+
+/// \file buffer_pool.h
+/// LRU page cache over the simulated disk.
+///
+/// The §5.4 experiments count *structural* disk accesses per query, so the
+/// benchmark harness runs with `capacity == 0` (pass-through: every page
+/// touch is a disk access, as in the classic R-tree evaluation
+/// methodology). A non-zero capacity turns caching on for the system's
+/// normal operation and for the cache-sensitivity ablation.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/pager.h"
+
+namespace ccdb {
+
+/// Cache statistics.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+/// Write-through LRU buffer pool.
+class BufferPool {
+ public:
+  /// `capacity` pages of cache; 0 disables caching entirely.
+  BufferPool(PageManager* disk, size_t capacity)
+      : disk_(disk), capacity_(capacity) {}
+
+  /// Reads a page through the cache.
+  Status Get(PageId id, Page* out);
+
+  /// Writes a page through the cache (write-through: the disk write always
+  /// happens; the cached copy is refreshed).
+  Status Put(PageId id, const Page& page);
+
+  /// Drops all cached pages (does not touch the disk or disk stats).
+  void Clear();
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+  size_t capacity() const { return capacity_; }
+  PageManager* disk() const { return disk_; }
+
+ private:
+  void Touch(PageId id);
+  void InsertCached(PageId id, const Page& page);
+
+  PageManager* disk_;
+  size_t capacity_;
+  // LRU list: front = most recent. Map gives O(1) lookup into the list.
+  std::list<std::pair<PageId, Page>> lru_;
+  std::unordered_map<PageId, std::list<std::pair<PageId, Page>>::iterator>
+      index_;
+  CacheStats stats_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_STORAGE_BUFFER_POOL_H_

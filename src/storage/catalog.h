@@ -1,0 +1,28 @@
+#ifndef CCDB_STORAGE_CATALOG_H_
+#define CCDB_STORAGE_CATALOG_H_
+
+/// \file catalog.h
+/// Database persistence on the simulated disk.
+///
+/// A persisted database is a *catalog heap file* whose records are
+/// (relation name, serialized schema, first page of the relation's tuple
+/// heap, tuple count); each relation's tuples live in their own chained
+/// heap file. `SaveDatabase` returns the catalog's first page id — the
+/// single root from which `LoadDatabase` reconstructs everything after a
+/// "restart" (a fresh process over the same PageManager).
+
+#include "data/database.h"
+#include "storage/heap_file.h"
+
+namespace ccdb {
+
+/// Writes `db` to `pool`'s disk; returns the catalog root page id.
+Result<PageId> SaveDatabase(BufferPool* pool, const Database& db);
+
+/// Reconstructs a database from a catalog root written by SaveDatabase.
+/// Every tuple is re-validated against its schema on the way in.
+Result<Database> LoadDatabase(BufferPool* pool, PageId catalog_root);
+
+}  // namespace ccdb
+
+#endif  // CCDB_STORAGE_CATALOG_H_

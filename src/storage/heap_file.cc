@@ -1,0 +1,153 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+#include <set>
+
+namespace ccdb {
+
+namespace {
+
+uint16_t LoadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+void StoreU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v & 0xff);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void StoreU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+struct SlotRef {
+  uint16_t offset;
+  uint16_t length;
+};
+
+SlotRef LoadSlot(const Page& page, uint16_t slot) {
+  const uint8_t* base =
+      page.bytes() + kPageSize - (static_cast<size_t>(slot) + 1) * 4;
+  return SlotRef{LoadU16(base), LoadU16(base + 2)};
+}
+
+void StoreSlot(Page* page, uint16_t slot, SlotRef ref) {
+  uint8_t* base =
+      page->bytes() + kPageSize - (static_cast<size_t>(slot) + 1) * 4;
+  StoreU16(base, ref.offset);
+  StoreU16(base + 2, ref.length);
+}
+
+void InitPage(Page* page) {
+  page->Zero();
+  StoreU16(page->bytes(), 0);      // slot_count
+  StoreU16(page->bytes() + 2, 12); // free_offset (== kHeaderSize)
+  StoreU64(page->bytes() + 4, kInvalidPageId);
+}
+
+}  // namespace
+
+HeapFile::HeapFile(BufferPool* pool) : pool_(pool) {
+  PageId first = pool_->disk()->Allocate();
+  Page page;
+  InitPage(&page);
+  Status s = pool_->Put(first, page);
+  (void)s;  // writes to a freshly allocated page cannot fail
+  pages_.push_back(first);
+}
+
+Result<HeapFile> HeapFile::Open(BufferPool* pool, PageId first_page) {
+  HeapFile heap;
+  heap.pool_ = pool;
+  PageId current = first_page;
+  std::set<PageId> visited;
+  while (current != kInvalidPageId) {
+    if (!visited.insert(current).second) {
+      return Status::IoError("heap page chain contains a cycle at page " +
+                             std::to_string(current));
+    }
+    Page page;
+    CCDB_RETURN_IF_ERROR(pool->Get(current, &page));
+    heap.pages_.push_back(current);
+    heap.num_records_ += LoadU16(page.bytes());
+    current = LoadU64(page.bytes() + 4);
+  }
+  if (heap.pages_.empty()) {
+    return Status::InvalidArgument("heap file must have a first page");
+  }
+  return heap;
+}
+
+Result<RecordId> HeapFile::Append(const std::vector<uint8_t>& record) {
+  if (record.size() > MaxRecordSize()) {
+    return Status::InvalidArgument(
+        "record of " + std::to_string(record.size()) +
+        " bytes exceeds page capacity " + std::to_string(MaxRecordSize()));
+  }
+  Page page;
+  PageId pid = pages_.back();
+  CCDB_RETURN_IF_ERROR(pool_->Get(pid, &page));
+  uint16_t slot_count = LoadU16(page.bytes());
+  uint16_t free_offset = LoadU16(page.bytes() + 2);
+  size_t needed = record.size() + kSlotSize;
+  size_t available =
+      kPageSize - free_offset - static_cast<size_t>(slot_count) * kSlotSize;
+  if (needed > available) {
+    // Chain a fresh page after the current tail.
+    PageId fresh = pool_->disk()->Allocate();
+    StoreU64(page.bytes() + 4, fresh);
+    CCDB_RETURN_IF_ERROR(pool_->Put(pid, page));
+    pid = fresh;
+    InitPage(&page);
+    slot_count = 0;
+    free_offset = kHeaderSize;
+    pages_.push_back(pid);
+  }
+  std::memcpy(page.bytes() + free_offset, record.data(), record.size());
+  StoreSlot(&page, slot_count,
+            SlotRef{free_offset, static_cast<uint16_t>(record.size())});
+  StoreU16(page.bytes(), static_cast<uint16_t>(slot_count + 1));
+  StoreU16(page.bytes() + 2,
+           static_cast<uint16_t>(free_offset + record.size()));
+  CCDB_RETURN_IF_ERROR(pool_->Put(pid, page));
+  ++num_records_;
+  return RecordId{pid, slot_count};
+}
+
+Result<std::vector<uint8_t>> HeapFile::Read(RecordId id) {
+  Page page;
+  CCDB_RETURN_IF_ERROR(pool_->Get(id.page, &page));
+  uint16_t slot_count = LoadU16(page.bytes());
+  if (id.slot >= slot_count) {
+    return Status::NotFound("no slot " + std::to_string(id.slot) +
+                            " in page " + std::to_string(id.page));
+  }
+  SlotRef ref = LoadSlot(page, id.slot);
+  return std::vector<uint8_t>(page.bytes() + ref.offset,
+                              page.bytes() + ref.offset + ref.length);
+}
+
+Status HeapFile::Scan(
+    const std::function<bool(RecordId, const std::vector<uint8_t>&)>&
+        visitor) {
+  for (PageId pid : pages_) {
+    Page page;
+    CCDB_RETURN_IF_ERROR(pool_->Get(pid, &page));
+    uint16_t slot_count = LoadU16(page.bytes());
+    for (uint16_t slot = 0; slot < slot_count; ++slot) {
+      SlotRef ref = LoadSlot(page, slot);
+      std::vector<uint8_t> record(page.bytes() + ref.offset,
+                                  page.bytes() + ref.offset + ref.length);
+      if (!visitor(RecordId{pid, slot}, record)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ccdb

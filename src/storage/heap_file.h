@@ -1,0 +1,94 @@
+#ifndef CCDB_STORAGE_HEAP_FILE_H_
+#define CCDB_STORAGE_HEAP_FILE_H_
+
+/// \file heap_file.h
+/// Slotted-page heap files over the simulated disk.
+///
+/// A heap file is the unindexed base storage for a relation: the
+/// sequential-scan baseline that §5's index structures are compared
+/// against. Records are stored in slotted pages (slot directory grows from
+/// the page tail) and addressed by stable `RecordId`s, which the R*-tree
+/// stores as its leaf payloads. Pages are chained on disk (each header
+/// holds the next page id), so a heap file can be *reopened* from its
+/// first page — the mechanism catalog persistence builds on.
+
+#include <functional>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace ccdb {
+
+/// Stable address of a record: page + slot.
+struct RecordId {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool operator==(const RecordId& other) const {
+    return page == other.page && slot == other.slot;
+  }
+  bool operator!=(const RecordId& other) const { return !(*this == other); }
+  bool operator<(const RecordId& other) const {
+    if (page != other.page) return page < other.page;
+    return slot < other.slot;
+  }
+
+  /// Packs into a u64 (page in the high 48 bits) for index payloads.
+  uint64_t Pack() const {
+    return (page << 16) | slot;
+  }
+  static RecordId Unpack(uint64_t packed) {
+    return RecordId{packed >> 16, static_cast<uint16_t>(packed & 0xffff)};
+  }
+};
+
+/// An append-only slotted-page heap file.
+///
+/// Page layout:
+///   [u16 slot_count][u16 free_offset][u64 next_page][records ...][slots]
+/// where each slot (from the page end, backwards) is [u16 offset][u16 len]
+/// and next_page is kInvalidPageId on the last page.
+class HeapFile {
+ public:
+  /// Creates an empty heap file (allocates its first page).
+  explicit HeapFile(BufferPool* pool);
+
+  /// Reopens an existing heap file from its first page, following the
+  /// on-disk page chain.
+  static Result<HeapFile> Open(BufferPool* pool, PageId first_page);
+
+  /// Appends a record; fails if it cannot fit in a fresh page.
+  Result<RecordId> Append(const std::vector<uint8_t>& record);
+
+  /// Reads one record.
+  Result<std::vector<uint8_t>> Read(RecordId id);
+
+  /// Full scan in storage order; the visitor returns false to stop early.
+  Status Scan(
+      const std::function<bool(RecordId, const std::vector<uint8_t>&)>&
+          visitor);
+
+  size_t num_records() const { return num_records_; }
+  size_t num_pages() const { return pages_.size(); }
+  PageId first_page() const { return pages_.front(); }
+
+  /// Largest record a fresh page can hold.
+  static constexpr size_t MaxRecordSize() {
+    return kPageSize - kHeaderSize - kSlotSize;
+  }
+
+ private:
+  HeapFile() = default;
+
+  static constexpr size_t kHeaderSize = 12;  // slot_count+free_offset+next
+  static constexpr size_t kSlotSize = 4;     // offset + len
+
+  BufferPool* pool_ = nullptr;
+  std::vector<PageId> pages_;  // in append order
+  size_t num_records_ = 0;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,29 @@
+#include "storage/pager.h"
+
+namespace ccdb {
+
+PageId PageManager::Allocate() {
+  pages_.push_back(std::make_unique<Page>());
+  ++stats_.allocations;
+  return pages_.size() - 1;
+}
+
+Status PageManager::Read(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return Status::IoError("read of unallocated page " + std::to_string(id));
+  }
+  *out = *pages_[id];
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status PageManager::Write(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::IoError("write to unallocated page " + std::to_string(id));
+  }
+  *pages_[id] = page;
+  ++stats_.writes;
+  return Status::OK();
+}
+
+}  // namespace ccdb

@@ -1,0 +1,52 @@
+#ifndef CCDB_STORAGE_PAGER_H_
+#define CCDB_STORAGE_PAGER_H_
+
+/// \file pager.h
+/// The simulated disk: a growable array of pages with access counters.
+
+#include <memory>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+/// I/O statistics of a PageManager.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+
+  uint64_t total_accesses() const { return reads + writes; }
+};
+
+/// A simulated disk: page-granular reads and writes, each one counted.
+/// Not thread-safe (CCDB is a single-threaded prototype, like CQA/CDB).
+/// Read/Write are virtual so tests can inject I/O failures.
+class PageManager {
+ public:
+  PageManager() = default;
+  virtual ~PageManager() = default;
+
+  /// Allocates a new zeroed page and returns its id.
+  virtual PageId Allocate();
+
+  /// Copies page `id` into `*out`; counts one disk read.
+  virtual Status Read(PageId id, Page* out);
+
+  /// Stores `page` at `id`; counts one disk write.
+  virtual Status Write(PageId id, const Page& page);
+
+  size_t num_pages() const { return pages_.size(); }
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+  IoStats stats_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_STORAGE_PAGER_H_

@@ -1,0 +1,221 @@
+#include "storage/serde.h"
+
+#include <cstring>
+
+namespace ccdb {
+
+void Writer::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v & 0xff));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void Writer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void Writer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void Writer::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+void Writer::PutRational(const Rational& r) {
+  PutString(r.numerator().ToString());
+  PutString(r.denominator().ToString());
+}
+
+void Writer::PutBytes(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+Status Reader::Need(size_t n) const {
+  if (pos_ + n > len_) {
+    return Status::IoError("record truncated: need " + std::to_string(n) +
+                           " bytes, have " + std::to_string(len_ - pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> Reader::GetU8() {
+  CCDB_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint16_t> Reader::GetU16() {
+  CCDB_RETURN_IF_ERROR(Need(2));
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> Reader::GetU32() {
+  CCDB_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Reader::GetU64() {
+  CCDB_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> Reader::GetString() {
+  CCDB_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  CCDB_RETURN_IF_ERROR(Need(len));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Result<Rational> Reader::GetRational() {
+  CCDB_ASSIGN_OR_RETURN(std::string num, GetString());
+  CCDB_ASSIGN_OR_RETURN(std::string den, GetString());
+  CCDB_ASSIGN_OR_RETURN(BigInt n, BigInt::FromString(num));
+  CCDB_ASSIGN_OR_RETURN(BigInt d, BigInt::FromString(den));
+  if (d.IsZero()) return Status::IoError("corrupt rational: zero denominator");
+  return Rational(std::move(n), std::move(d));
+}
+
+namespace {
+
+// Value tags.
+constexpr uint8_t kValueNull = 0;
+constexpr uint8_t kValueString = 1;
+constexpr uint8_t kValueNumber = 2;
+
+void PutValue(Writer* w, const Value& v) {
+  if (v.IsNull()) {
+    w->PutU8(kValueNull);
+  } else if (v.IsString()) {
+    w->PutU8(kValueString);
+    w->PutString(v.AsString());
+  } else {
+    w->PutU8(kValueNumber);
+    w->PutRational(v.AsNumber());
+  }
+}
+
+Result<Value> GetValue(Reader* r) {
+  CCDB_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  switch (tag) {
+    case kValueNull:
+      return Value::Null();
+    case kValueString: {
+      CCDB_ASSIGN_OR_RETURN(std::string s, r->GetString());
+      return Value::String(std::move(s));
+    }
+    case kValueNumber: {
+      CCDB_ASSIGN_OR_RETURN(Rational q, r->GetRational());
+      return Value::Number(std::move(q));
+    }
+    default:
+      return Status::IoError("corrupt value tag " + std::to_string(tag));
+  }
+}
+
+void PutConstraint(Writer* w, const Constraint& c) {
+  w->PutU8(static_cast<uint8_t>(c.op()));
+  w->PutRational(c.expr().constant());
+  w->PutU32(static_cast<uint32_t>(c.expr().terms().size()));
+  for (const auto& [var, coeff] : c.expr().terms()) {
+    w->PutString(var);
+    w->PutRational(coeff);
+  }
+}
+
+Result<Constraint> GetConstraint(Reader* r) {
+  CCDB_ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
+  if (op > static_cast<uint8_t>(ConstraintOp::kLt)) {
+    return Status::IoError("corrupt constraint op " + std::to_string(op));
+  }
+  CCDB_ASSIGN_OR_RETURN(Rational constant, r->GetRational());
+  LinearExpr expr = LinearExpr::Constant(std::move(constant));
+  CCDB_ASSIGN_OR_RETURN(uint32_t nterms, r->GetU32());
+  for (uint32_t i = 0; i < nterms; ++i) {
+    CCDB_ASSIGN_OR_RETURN(std::string var, r->GetString());
+    CCDB_ASSIGN_OR_RETURN(Rational coeff, r->GetRational());
+    expr.AddTerm(var, coeff);
+  }
+  return Constraint(std::move(expr), static_cast<ConstraintOp>(op));
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeTuple(const Tuple& tuple) {
+  Writer w;
+  w.PutU32(static_cast<uint32_t>(tuple.values().size()));
+  for (const auto& [name, value] : tuple.values()) {
+    w.PutString(name);
+    PutValue(&w, value);
+  }
+  w.PutU8(tuple.constraints().IsKnownFalse() ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(tuple.constraints().constraints().size()));
+  for (const Constraint& c : tuple.constraints().constraints()) {
+    PutConstraint(&w, c);
+  }
+  return w.TakeBuffer();
+}
+
+Result<Tuple> DeserializeTuple(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  Tuple tuple;
+  CCDB_ASSIGN_OR_RETURN(uint32_t nvalues, r.GetU32());
+  for (uint32_t i = 0; i < nvalues; ++i) {
+    CCDB_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    CCDB_ASSIGN_OR_RETURN(Value value, GetValue(&r));
+    tuple.SetValue(name, std::move(value));
+  }
+  CCDB_ASSIGN_OR_RETURN(uint8_t known_false, r.GetU8());
+  if (known_false) {
+    tuple.SetConstraints(Conjunction::False());
+  }
+  CCDB_ASSIGN_OR_RETURN(uint32_t nconstraints, r.GetU32());
+  for (uint32_t i = 0; i < nconstraints; ++i) {
+    CCDB_ASSIGN_OR_RETURN(Constraint c, GetConstraint(&r));
+    tuple.AddConstraint(std::move(c));
+  }
+  return tuple;
+}
+
+std::vector<uint8_t> SerializeSchema(const Schema& schema) {
+  Writer w;
+  w.PutU32(static_cast<uint32_t>(schema.arity()));
+  for (const Attribute& attr : schema.attributes()) {
+    w.PutString(attr.name);
+    w.PutU8(static_cast<uint8_t>(attr.domain));
+    w.PutU8(static_cast<uint8_t>(attr.kind));
+  }
+  return w.TakeBuffer();
+}
+
+Result<Schema> DeserializeSchema(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  CCDB_ASSIGN_OR_RETURN(uint32_t arity, r.GetU32());
+  std::vector<Attribute> attrs;
+  attrs.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    Attribute attr;
+    CCDB_ASSIGN_OR_RETURN(attr.name, r.GetString());
+    CCDB_ASSIGN_OR_RETURN(uint8_t domain, r.GetU8());
+    CCDB_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+    if (domain > static_cast<uint8_t>(AttributeDomain::kRational) ||
+        kind > static_cast<uint8_t>(AttributeKind::kConstraint)) {
+      return Status::IoError("corrupt schema attribute");
+    }
+    attr.domain = static_cast<AttributeDomain>(domain);
+    attr.kind = static_cast<AttributeKind>(kind);
+    attrs.push_back(std::move(attr));
+  }
+  return Schema::Make(std::move(attrs));
+}
+
+}  // namespace ccdb

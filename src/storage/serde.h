@@ -1,0 +1,77 @@
+#ifndef CCDB_STORAGE_SERDE_H_
+#define CCDB_STORAGE_SERDE_H_
+
+/// \file serde.h
+/// Binary serialization primitives plus tuple/schema codecs.
+///
+/// Rationals serialize as decimal strings of numerator and denominator —
+/// exact at any magnitude (BigInt coefficients grow without bound under
+/// query evaluation, so fixed-width encodings would be lossy). Layout is
+/// little-endian length-prefixed fields; records are self-describing
+/// enough to round-trip without consulting the schema.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+/// Append-only byte sink.
+class Writer {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutString(const std::string& s);  // u32 length + bytes
+  void PutRational(const Rational& r);   // numerator + denominator strings
+  void PutBytes(const uint8_t* data, size_t len);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked byte source.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit Reader(const std::vector<uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<std::string> GetString();
+  Result<Rational> GetRational();
+
+  size_t remaining() const { return len_ - pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+/// Serializes a heterogeneous tuple (relational values + constraint store).
+std::vector<uint8_t> SerializeTuple(const Tuple& tuple);
+/// Inverse of SerializeTuple.
+Result<Tuple> DeserializeTuple(const std::vector<uint8_t>& bytes);
+
+/// Serializes a schema (for catalog persistence).
+std::vector<uint8_t> SerializeSchema(const Schema& schema);
+Result<Schema> DeserializeSchema(const std::vector<uint8_t>& bytes);
+
+}  // namespace ccdb
+
+#endif  // CCDB_STORAGE_SERDE_H_

@@ -1,0 +1,72 @@
+#ifndef CCDB_UTIL_RANDOM_H_
+#define CCDB_UTIL_RANDOM_H_
+
+/// \file random.h
+/// Deterministic pseudo-random source for workload generation.
+///
+/// The paper's indexing experiments (§5.4) use randomly generated data and
+/// query rectangles. The original random files are not published, so CCDB
+/// regenerates them from fixed seeds; a self-contained splitmix64/
+/// xoshiro256** generator keeps the streams identical across platforms and
+/// standard-library versions (std::mt19937 would too, but distributions are
+/// not portable).
+
+#include <cstdint>
+
+namespace ccdb {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams on any platform.
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) state_[i] = SplitMix64(&x);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    // Unbiased rejection sampling (Lemire-style bound check kept simple:
+    // span is tiny relative to 2^64 in all CCDB workloads).
+    const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % span);
+    uint64_t v = Next();
+    while (v >= limit) v = Next();
+    return lo + static_cast<int64_t>(v % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  static uint64_t Rotl(uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_RANDOM_H_

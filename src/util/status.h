@@ -1,0 +1,159 @@
+#ifndef CCDB_UTIL_STATUS_H_
+#define CCDB_UTIL_STATUS_H_
+
+/// \file status.h
+/// Error-handling primitives for CCDB.
+///
+/// Library boundaries never throw: fallible operations return a `Status`
+/// (when there is no payload) or a `Result<T>` (when there is). This mirrors
+/// the Status/Result idiom of production database codebases and keeps the
+/// query-evaluation hot path exception-free.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ccdb {
+
+/// Machine-readable error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< named entity (relation, attribute, ...) absent
+  kAlreadyExists,     ///< uniqueness violated (e.g. duplicate relation name)
+  kOutOfRange,        ///< index/position outside valid bounds
+  kUnsupported,       ///< operation valid in general, not for these inputs
+  kParseError,        ///< query/data text did not parse
+  kIoError,           ///< simulated-storage failure
+  kInternal,          ///< invariant violation; indicates a CCDB bug
+};
+
+/// Human-readable name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation with no payload.
+///
+/// `Status::OK()` is the success value; every other status carries a code
+/// and a message. Statuses are cheap to copy (success carries no allocation).
+class Status {
+ public:
+  /// Constructs a success status.
+  Status() = default;
+
+  /// Constructs a failure status; `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  /// Returns the success status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Outcome of a fallible operation that yields a `T` on success.
+///
+/// A `Result<T>` holds either a value or a non-OK `Status`. Accessing the
+/// value of a failed result is a programming error (assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Success: wraps a value. Implicit by design so functions can
+  /// `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure: wraps a non-OK status. Implicit so functions can
+  /// `return Status::...;`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a failure status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK if a value is present.
+  const Status& status() const { return status_; }
+
+  /// The value; requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates a failure status from an expression producing `Status`.
+#define CCDB_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::ccdb::Status _ccdb_status = (expr);         \
+    if (!_ccdb_status.ok()) return _ccdb_status;  \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>), propagating failure or binding the
+/// value into `lhs`.
+#define CCDB_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  CCDB_ASSIGN_OR_RETURN_IMPL_(                         \
+      CCDB_STATUS_CONCAT_(_ccdb_result, __LINE__), lhs, rexpr)
+
+#define CCDB_STATUS_CONCAT_INNER_(a, b) a##b
+#define CCDB_STATUS_CONCAT_(a, b) CCDB_STATUS_CONCAT_INNER_(a, b)
+#define CCDB_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_STATUS_H_

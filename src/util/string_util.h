@@ -1,0 +1,40 @@
+#ifndef CCDB_UTIL_STRING_UTIL_H_
+#define CCDB_UTIL_STRING_UTIL_H_
+
+/// \file string_util.h
+/// Small string helpers shared by the parsers and printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccdb {
+
+/// Returns `s` with ASCII whitespace removed from both ends.
+std::string_view TrimView(std::string_view s);
+
+/// Returns a trimmed copy of `s`.
+std::string Trim(std::string_view s);
+
+/// Splits `s` on `sep`, trimming each piece; empty pieces are kept.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Splits `s` on `sep` without trimming.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// True if `s` begins with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `a` equals `b` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_STRING_UTIL_H_

@@ -1,0 +1,232 @@
+#include "core/calculus.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/data_parser.h"
+#include "lang/query.h"
+#include "util/random.h"
+
+namespace ccdb::cqc {
+namespace {
+
+LinearExpr V(const std::string& n) { return LinearExpr::Variable(n); }
+LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+
+class CalculusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Status s = lang::LoadDatabaseFile(
+        std::string(CCDB_DATA_DIR) + "/hurricane/hurricane.cdb", &db_);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+  Database db_;
+};
+
+TEST_F(CalculusTest, PureAtomIsAnInfiniteRelation) {
+  // The CDB framework's core move: `x + y <= 2` alone is a relation.
+  auto rel = Evaluate(*Formula::Atom(Constraint::Le(V("x") + V("y"), C(2))),
+                      db_);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->size(), 1u);
+  EXPECT_TRUE(rel->ContainsPoint({{}, {{"x", Rational(1)}, {"y", Rational(1)}}}));
+  EXPECT_FALSE(rel->ContainsPoint({{}, {{"x", Rational(2)}, {"y", Rational(1)}}}));
+}
+
+TEST_F(CalculusTest, RelationAtomBindsPositionally) {
+  // Hurricane(when, ex, wy): attributes renamed to the formula's variables.
+  auto rel = Evaluate(*Formula::Rel("Hurricane", {"when", "ex", "wy"}), db_);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_TRUE(rel->schema().Has("when"));
+  EXPECT_TRUE(rel->schema().Has("ex"));
+  EXPECT_EQ(rel->size(), 2u);
+  EXPECT_TRUE(rel->ContainsPoint(
+      {{}, {{"when", Rational(4)}, {"ex", Rational(1)},
+            {"wy", Rational(3, 2)}}}));
+}
+
+TEST_F(CalculusTest, RelationAtomArityChecked) {
+  EXPECT_FALSE(Evaluate(*Formula::Rel("Hurricane", {"t"}), db_).ok());
+  EXPECT_FALSE(Evaluate(*Formula::Rel("NoSuch", {"a"}), db_).ok());
+}
+
+TEST_F(CalculusTest, RepeatedVariableMeansEquality) {
+  // Hurricane(t, v, v): positions where the hurricane's x equals its y —
+  // segment 2 is y = x for x in [2, 4].
+  auto rel = Evaluate(*Formula::Rel("Hurricane", {"t", "v", "v"}), db_);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_TRUE(rel->ContainsPoint(
+      {{}, {{"t", Rational(6)}, {"v", Rational(8, 3)}}}));
+  EXPECT_FALSE(rel->ContainsPoint(
+      {{}, {{"t", Rational(4)}, {"v", Rational(1)}}}))
+      << "at t=4 the hurricane is at (1, 3/2): x != y";
+}
+
+TEST_F(CalculusTest, PaperQuery2AsCalculus) {
+  // "all landIds the hurricane passed":
+  //   { id | ∃t ∃x ∃y. Hurricane(t, x, y) AND Land(id, x, y) }
+  FormulaPtr body = Formula::And(Formula::Rel("Hurricane", {"t", "x", "y"}),
+                                 Formula::Rel("Land", {"id", "x", "y"}));
+  FormulaPtr query = Formula::ExistsAll({"t", "x", "y"}, body);
+  auto rel = Evaluate(*query, db_);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  std::set<std::string> ids;
+  for (const Tuple& t : rel->tuples()) {
+    ids.insert(t.GetValue("id").AsString());
+  }
+  EXPECT_EQ(ids, (std::set<std::string>{"A", "B", "C", "D"}));
+}
+
+TEST_F(CalculusTest, PaperQuery3AsCalculus) {
+  // "names of those whose land was hit between t=4 and t=9":
+  //   { n | ∃t ∃x ∃y ∃id. Owns(n, t, id) AND Land(id, x, y) AND
+  //                        Hurricane(t, x, y) AND 4 <= t AND t <= 9 }
+  FormulaPtr body = Formula::And(
+      Formula::And(Formula::Rel("Landownership", {"n", "t", "id"}),
+                   Formula::Rel("Land", {"id", "x", "y"})),
+      Formula::And(
+          Formula::Rel("Hurricane", {"t", "x", "y"}),
+          Formula::And(Formula::Atom(Constraint::Ge(V("t"), C(4))),
+                       Formula::Atom(Constraint::Le(V("t"), C(9))))));
+  auto rel = Evaluate(*Formula::ExistsAll({"t", "x", "y", "id"}, body), db_);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  std::set<std::string> names;
+  for (const Tuple& t : rel->tuples()) {
+    names.insert(t.GetValue("n").AsString());
+  }
+  EXPECT_EQ(names,
+            (std::set<std::string>{"Smith", "Jones", "Brown", "Davis"}));
+}
+
+TEST_F(CalculusTest, StringAtomsBindOrMaterialize) {
+  // Bound: Owns(n, t, id) AND id = "A".
+  FormulaPtr bound = Formula::And(
+      Formula::Rel("Landownership", {"n", "t", "id"}),
+      Formula::StrAtom(StringAtom::EqualsLiteral("id", "A")));
+  auto rel = Evaluate(*Formula::ExistsAll({"t", "id"}, bound), db_);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->size(), 2u);  // Smith and Jones
+
+  // Unbound positive literal materializes a singleton.
+  auto singleton = Evaluate(
+      *Formula::StrAtom(StringAtom::EqualsLiteral("who", "Ada")), db_);
+  ASSERT_TRUE(singleton.ok());
+  EXPECT_EQ(singleton->size(), 1u);
+  EXPECT_EQ(singleton->tuples()[0].GetValue("who").AsString(), "Ada");
+
+  // Unbound negated literal is unsafe.
+  auto unsafe = Evaluate(
+      *Formula::StrAtom(StringAtom::NotEqualsLiteral("who", "Ada")), db_);
+  EXPECT_FALSE(unsafe.ok());
+  EXPECT_EQ(unsafe.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(CalculusTest, OrPadsMissingVariablesBroadly) {
+  // x < 1 OR y < 1 over {x, y}: CDB broad semantics on the absent side.
+  FormulaPtr f = Formula::Or(Formula::Atom(Constraint::Lt(V("x"), C(1))),
+                             Formula::Atom(Constraint::Lt(V("y"), C(1))));
+  auto rel = Evaluate(*f, db_);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_TRUE(rel->ContainsPoint({{}, {{"x", Rational(0)}, {"y", Rational(9)}}}));
+  EXPECT_TRUE(rel->ContainsPoint({{}, {{"x", Rational(9)}, {"y", Rational(0)}}}));
+  EXPECT_FALSE(rel->ContainsPoint({{}, {{"x", Rational(9)}, {"y", Rational(9)}}}));
+}
+
+TEST_F(CalculusTest, NegationClosedForConstraintVariables) {
+  // NOT (0 <= x AND x <= 1): the complement of an interval.
+  FormulaPtr inner = Formula::And(Formula::Atom(Constraint::Ge(V("x"), C(0))),
+                                  Formula::Atom(Constraint::Le(V("x"), C(1))));
+  auto rel = Evaluate(*Formula::Not(inner), db_);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_TRUE(rel->ContainsPoint({{}, {{"x", Rational(-1)}}}));
+  EXPECT_TRUE(rel->ContainsPoint({{}, {{"x", Rational(2)}}}));
+  EXPECT_FALSE(rel->ContainsPoint({{}, {{"x", Rational(1, 2)}}}));
+  EXPECT_FALSE(rel->ContainsPoint({{}, {{"x", Rational(0)}}}));
+  EXPECT_FALSE(rel->ContainsPoint({{}, {{"x", Rational(1)}}}));
+}
+
+TEST_F(CalculusTest, NegationOverRelationalVariablesRejected) {
+  auto rel = Evaluate(*Formula::Not(Formula::Rel("Land", {"id", "x", "y"})),
+                      db_);
+  EXPECT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(CalculusTest, DoubleNegationRoundTrips) {
+  FormulaPtr interval =
+      Formula::And(Formula::Atom(Constraint::Ge(V("x"), C(0))),
+                   Formula::Atom(Constraint::Le(V("x"), C(1))));
+  auto twice = Evaluate(*Formula::Not(Formula::Not(interval)), db_);
+  ASSERT_TRUE(twice.ok()) << twice.status().ToString();
+  auto once = Evaluate(*interval, db_);
+  ASSERT_TRUE(once.ok());
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    Rational x(rng.UniformInt(-20, 20), rng.UniformInt(1, 4));
+    PointRow p{{}, {{"x", x}}};
+    EXPECT_EQ(once->ContainsPoint(p), twice->ContainsPoint(p))
+        << x.ToString();
+  }
+}
+
+TEST_F(CalculusTest, ExistsOverOnlyVariableYieldsBoolean) {
+  // ∃x. (x >= 0 AND x <= 1) — the zero-ary TRUE relation.
+  FormulaPtr sat = Formula::Exists(
+      "x", Formula::And(Formula::Atom(Constraint::Ge(V("x"), C(0))),
+                        Formula::Atom(Constraint::Le(V("x"), C(1)))));
+  auto truth = Evaluate(*sat, db_);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(truth->schema().arity(), 0u);
+  EXPECT_EQ(truth->size(), 1u) << "TRUE = one empty tuple";
+
+  // ∃x. (x >= 1 AND x <= 0) — FALSE: empty zero-ary relation.
+  FormulaPtr unsat = Formula::Exists(
+      "x", Formula::And(Formula::Atom(Constraint::Ge(V("x"), C(1))),
+                        Formula::Atom(Constraint::Le(V("x"), C(0)))));
+  auto falsity = Evaluate(*unsat, db_);
+  ASSERT_TRUE(falsity.ok());
+  EXPECT_EQ(falsity->size(), 0u);
+}
+
+TEST_F(CalculusTest, ToStringRendersFormula) {
+  FormulaPtr f = Formula::Exists(
+      "t", Formula::And(Formula::Rel("Hurricane", {"t", "x", "y"}),
+                        Formula::Atom(Constraint::Ge(V("t"), C(4)))));
+  std::string text = f->ToString();
+  EXPECT_NE(text.find("EXISTS t."), std::string::npos);
+  EXPECT_NE(text.find("Hurricane(t, x, y)"), std::string::npos);
+  EXPECT_NE(text.find("AND"), std::string::npos);
+  EXPECT_EQ(f->FreeVariables(), (std::set<std::string>{"x", "y"}));
+}
+
+// The paper's equivalence claim, sampled: a calculus query and its
+// hand-translated algebra query produce the same point sets.
+TEST_F(CalculusTest, CalculusMatchesAlgebraOnHurricaneQueries) {
+  // Calculus: ∃x ∃y. Hurricane(t, x, y) AND Land(id, x, y) — keep (t, id).
+  FormulaPtr calculus = Formula::ExistsAll(
+      {"x", "y"},
+      Formula::And(Formula::Rel("Hurricane", {"t", "x", "y"}),
+                   Formula::Rel("Land", {"id", "x", "y"})));
+  auto via_cqc = Evaluate(*calculus, db_);
+  ASSERT_TRUE(via_cqc.ok()) << via_cqc.status().ToString();
+
+  // Algebra, via the step language (same variable names by renaming).
+  auto via_cqa = lang::RunQuery(
+      "R0 = join Hurricane and Land\n"
+      "R1 = project R0 on t, landId\n"
+      "R2 = rename landId to id in R1\n",
+      &db_);
+  ASSERT_TRUE(via_cqa.ok()) << via_cqa.status().ToString();
+
+  const char* ids[] = {"A", "B", "C", "D"};
+  for (const char* id : ids) {
+    for (int numerator = 0; numerator <= 20; ++numerator) {
+      Rational t(numerator, 2);
+      PointRow p{{{"id", Value::String(id)}}, {{"t", t}}};
+      EXPECT_EQ(via_cqc->ContainsPoint(p), via_cqa->ContainsPoint(p))
+          << id << " at t=" << t.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccdb::cqc

@@ -1,0 +1,214 @@
+#include "geom/clip.h"
+
+#include <gtest/gtest.h>
+
+#include "constraint/fourier_motzkin.h"
+#include "core/operators.h"
+#include "util/random.h"
+
+namespace ccdb::geom {
+namespace {
+
+std::vector<Point> Square(int64_t x0, int64_t y0, int64_t size) {
+  return {Point(x0, y0), Point(x0 + size, y0), Point(x0 + size, y0 + size),
+          Point(x0, y0 + size)};
+}
+
+// --- ClipConvex -----------------------------------------------------------------
+
+TEST(ClipTest, OverlappingSquares) {
+  auto out = ClipConvex(Square(0, 0, 4), Square(2, 2, 4));
+  ASSERT_EQ(out.size(), 4u);
+  auto poly = Polygon::Make(out);
+  ASSERT_TRUE(poly.ok());
+  EXPECT_EQ(poly->Area(), Rational(4));
+  EXPECT_EQ(poly->BoundingBox(),
+            Box::FromCorners(Point(2, 2), Point(4, 4)));
+}
+
+TEST(ClipTest, ContainmentGivesInnerPolygon) {
+  auto out = ClipConvex(Square(1, 1, 2), Square(0, 0, 10));
+  auto poly = Polygon::Make(out);
+  ASSERT_TRUE(poly.ok());
+  EXPECT_EQ(poly->Area(), Rational(4));
+  // Symmetric: clipping the big one by the small one gives the small one.
+  auto out2 = ClipConvex(Square(0, 0, 10), Square(1, 1, 2));
+  EXPECT_EQ(Polygon::Make(out2).value().Area(), Rational(4));
+}
+
+TEST(ClipTest, DisjointSquaresGiveEmpty) {
+  EXPECT_TRUE(ClipConvex(Square(0, 0, 2), Square(5, 5, 2)).empty());
+}
+
+TEST(ClipTest, EdgeTouchGivesSegment) {
+  auto out = ClipConvex(Square(0, 0, 2), Square(2, 0, 2));
+  ASSERT_EQ(out.size(), 2u) << "shared edge";
+  EXPECT_EQ(Box::FromCorners(out[0], out[1]),
+            Box::FromCorners(Point(2, 0), Point(2, 2)));
+}
+
+TEST(ClipTest, CornerTouchGivesPoint) {
+  auto out = ClipConvex(Square(0, 0, 2), Square(2, 2, 2));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Point(2, 2));
+}
+
+TEST(ClipTest, TriangleThroughSquare) {
+  // Big triangle clipped by unit-ish square: exact rational cuts.
+  std::vector<Point> tri{Point(-2, 0), Point(6, 0), Point(2, 6)};
+  auto out = ClipConvex(tri, Square(0, 0, 4));
+  auto poly = Polygon::Make(out);
+  ASSERT_TRUE(poly.ok()) << poly.status().ToString();
+  // Every vertex of the result is in both regions (closed).
+  auto tri_poly = Polygon::Make(tri).value();
+  auto sq_poly = Polygon::Make(Square(0, 0, 4)).value();
+  for (const Point& v : out) {
+    EXPECT_TRUE(tri_poly.Contains(v)) << v.ToString();
+    EXPECT_TRUE(sq_poly.Contains(v)) << v.ToString();
+  }
+}
+
+TEST(ClipTest, ClipCommutes) {
+  Rng rng(12);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<Point> a = Square(rng.UniformInt(0, 10), rng.UniformInt(0, 10),
+                                  rng.UniformInt(2, 8));
+    std::vector<Point> b = Square(rng.UniformInt(0, 10), rng.UniformInt(0, 10),
+                                  rng.UniformInt(2, 8));
+    EXPECT_EQ(IntersectionArea(a, b), IntersectionArea(b, a));
+  }
+}
+
+TEST(ClipTest, AreaMatchesMonteCarloMembership) {
+  // Exact area vs exact membership on a fine grid.
+  std::vector<Point> a{Point(0, 0), Point(8, 2), Point(6, 8), Point(1, 6)};
+  std::vector<Point> b{Point(3, -1), Point(9, 4), Point(4, 9)};
+  auto pa = Polygon::Make(a).value();
+  auto pb = Polygon::Make(b).value();
+  Rational area = IntersectionArea(a, b);
+  // Count unit-grid cell centers inside both; must be within the area
+  // plus/minus the boundary cells (coarse sanity envelope).
+  int inside = 0;
+  for (int x = -2; x < 12; ++x) {
+    for (int y = -2; y < 12; ++y) {
+      Point p(Rational(2 * x + 1, 2), Rational(2 * y + 1, 2));
+      if (pa.Contains(p) && pb.Contains(p)) ++inside;
+    }
+  }
+  EXPECT_NEAR(area.ToDouble(), inside, 8.0);
+}
+
+// --- IntersectRegions ---------------------------------------------------------------
+
+TEST(ClipTest, RegionKindsIntersections) {
+  ConvexRegion pt = ConvexRegion::MakePoint(Point(1, 1));
+  ConvexRegion seg =
+      ConvexRegion::MakeSegment(Segment(Point(0, 0), Point(4, 4)));
+  ConvexRegion poly = ConvexRegion::MakePolygon(
+      Polygon::Make(Square(0, 0, 2)).value());
+
+  // point ∧ segment / polygon.
+  auto ps = IntersectRegions(pt, seg);
+  ASSERT_TRUE(ps.has_value());
+  EXPECT_EQ(ps->kind(), ConvexRegion::Kind::kPoint);
+  auto pp = IntersectRegions(pt, poly);
+  ASSERT_TRUE(pp.has_value());
+  EXPECT_FALSE(
+      IntersectRegions(ConvexRegion::MakePoint(Point(9, 9)), poly).has_value());
+
+  // segment ∧ polygon: clipped to the square.
+  auto sp = IntersectRegions(seg, poly);
+  ASSERT_TRUE(sp.has_value());
+  ASSERT_EQ(sp->kind(), ConvexRegion::Kind::kSegment);
+  EXPECT_EQ(sp->BoundingBox(),
+            Box::FromCorners(Point(0, 0), Point(2, 2)));
+
+  // segment ∧ segment: proper crossing.
+  ConvexRegion cross =
+      ConvexRegion::MakeSegment(Segment(Point(0, 4), Point(4, 0)));
+  auto ss = IntersectRegions(seg, cross);
+  ASSERT_TRUE(ss.has_value());
+  ASSERT_EQ(ss->kind(), ConvexRegion::Kind::kPoint);
+  EXPECT_EQ(ss->point(), Point(2, 2));
+
+  // segment ∧ segment collinear overlap.
+  ConvexRegion along =
+      ConvexRegion::MakeSegment(Segment(Point(2, 2), Point(6, 6)));
+  auto overlap = IntersectRegions(seg, along);
+  ASSERT_TRUE(overlap.has_value());
+  ASSERT_EQ(overlap->kind(), ConvexRegion::Kind::kSegment);
+  EXPECT_EQ(overlap->BoundingBox(),
+            Box::FromCorners(Point(2, 2), Point(4, 4)));
+
+  // polygon ∧ polygon.
+  ConvexRegion poly2 = ConvexRegion::MakePolygon(
+      Polygon::Make(Square(1, 1, 4)).value());
+  auto pq = IntersectRegions(poly, poly2);
+  ASSERT_TRUE(pq.has_value());
+  ASSERT_EQ(pq->kind(), ConvexRegion::Kind::kPolygon);
+  EXPECT_EQ(pq->polygon().Area(), Rational(1));
+}
+
+// --- Cross-validation: CQA join == geometric clipping -------------------------------
+
+// §6 representation-neutrality, made a theorem of the test suite: for
+// random convex regions, intersecting via the CONSTRAINT path (natural
+// join conjoins stores, then vertex enumeration) equals intersecting via
+// the VECTOR path (Sutherland-Hodgman clipping).
+TEST(ClipTest, JoinEqualsClippingRandomized) {
+  Rng rng(777);
+  int nonempty = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<Point> a = Square(rng.UniformInt(0, 12), rng.UniformInt(0, 12),
+                                  rng.UniformInt(2, 9));
+    // Random convex quad: hull of four random points (retry degenerate).
+    std::vector<Point> b;
+    while (true) {
+      std::vector<Point> pts;
+      for (int i = 0; i < 4; ++i) {
+        pts.emplace_back(rng.UniformInt(0, 16), rng.UniformInt(0, 16));
+      }
+      b = ConvexHull(pts);
+      if (b.size() >= 3) break;
+    }
+
+    // Vector path.
+    std::vector<Point> clipped = ClipConvex(a, b);
+
+    // Constraint path.
+    Conjunction ca = ConvexRingToConjunction(a, "x", "y");
+    Conjunction cb = ConvexRingToConjunction(b, "x", "y");
+    Conjunction both = Conjunction::And(ca, cb);
+    if (!fm::IsSatisfiable(both)) {
+      EXPECT_TRUE(clipped.empty())
+          << "constraint path empty but clipping found "
+          << clipped.size() << " vertices";
+      continue;
+    }
+    auto region = ConjunctionToRegion(both, "x", "y");
+    ASSERT_TRUE(region.ok()) << region.status().ToString();
+    ++nonempty;
+    switch (region->kind()) {
+      case ConvexRegion::Kind::kPoint:
+        ASSERT_EQ(clipped.size(), 1u);
+        EXPECT_EQ(clipped[0], region->point());
+        break;
+      case ConvexRegion::Kind::kSegment:
+        ASSERT_EQ(clipped.size(), 2u);
+        EXPECT_EQ(Box::FromCorners(clipped[0], clipped[1]),
+                  region->segment().BoundingBox());
+        break;
+      case ConvexRegion::Kind::kPolygon: {
+        auto poly = Polygon::Make(clipped);
+        ASSERT_TRUE(poly.ok());
+        EXPECT_EQ(poly->Area(), region->polygon().Area());
+        EXPECT_EQ(poly->size(), region->polygon().size());
+        break;
+      }
+    }
+  }
+  EXPECT_GT(nonempty, 10) << "workload should produce real intersections";
+}
+
+}  // namespace
+}  // namespace ccdb::geom

@@ -1,0 +1,130 @@
+#include "constraint/conjunction.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdb {
+namespace {
+
+LinearExpr X() { return LinearExpr::Variable("x"); }
+LinearExpr Y() { return LinearExpr::Variable("y"); }
+LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+
+TEST(ConjunctionTest, EmptyIsTrue) {
+  Conjunction c;
+  EXPECT_TRUE(c.IsTriviallyTrue());
+  EXPECT_FALSE(c.IsKnownFalse());
+  EXPECT_EQ(c.ToString(), "true");
+  EXPECT_TRUE(c.IsSatisfiedBy({}));
+}
+
+TEST(ConjunctionTest, FalseIsFalse) {
+  Conjunction f = Conjunction::False();
+  EXPECT_TRUE(f.IsKnownFalse());
+  EXPECT_FALSE(f.IsTriviallyTrue());
+  EXPECT_EQ(f.ToString(), "false");
+  EXPECT_FALSE(f.IsSatisfiedBy({}));
+}
+
+TEST(ConjunctionTest, AddDropsTriviallyTrue) {
+  Conjunction c;
+  c.Add(Constraint::Le(C(-1), C(0)));
+  EXPECT_TRUE(c.IsTriviallyTrue());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(ConjunctionTest, AddCollapsesOnTriviallyFalse) {
+  Conjunction c;
+  c.Add(Constraint::Le(X(), C(1)));
+  c.Add(Constraint::Le(C(1), C(0)));
+  EXPECT_TRUE(c.IsKnownFalse());
+  EXPECT_EQ(c.size(), 0u) << "collapse must clear members";
+  // Further adds are ignored.
+  c.Add(Constraint::Le(X(), C(9)));
+  EXPECT_TRUE(c.IsKnownFalse());
+}
+
+TEST(ConjunctionTest, AddDeduplicatesCanonicalForms) {
+  Conjunction c;
+  c.Add(Constraint::Le(X() * Rational(2), C(6)));
+  c.Add(Constraint::Le(X(), C(3)));  // same canonical constraint
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ConjunctionTest, SatisfactionRequiresAllMembers) {
+  Conjunction c;
+  c.Add(Constraint::Le(X(), C(5)));
+  c.Add(Constraint::Ge(X(), C(2)));
+  EXPECT_TRUE(c.IsSatisfiedBy({{"x", Rational(3)}}));
+  EXPECT_TRUE(c.IsSatisfiedBy({{"x", Rational(2)}}));
+  EXPECT_TRUE(c.IsSatisfiedBy({{"x", Rational(5)}}));
+  EXPECT_FALSE(c.IsSatisfiedBy({{"x", Rational(6)}}));
+  EXPECT_FALSE(c.IsSatisfiedBy({{"x", Rational(1)}}));
+}
+
+TEST(ConjunctionTest, AndMergesBoth) {
+  Conjunction a;
+  a.Add(Constraint::Le(X(), C(5)));
+  Conjunction b;
+  b.Add(Constraint::Le(Y(), C(2)));
+  Conjunction both = Conjunction::And(a, b);
+  EXPECT_EQ(both.size(), 2u);
+  EXPECT_EQ(both.Variables(), (std::set<std::string>{"x", "y"}));
+}
+
+TEST(ConjunctionTest, AndWithFalseIsFalse) {
+  Conjunction a;
+  a.Add(Constraint::Le(X(), C(5)));
+  EXPECT_TRUE(Conjunction::And(a, Conjunction::False()).IsKnownFalse());
+  EXPECT_TRUE(Conjunction::And(Conjunction::False(), a).IsKnownFalse());
+}
+
+TEST(ConjunctionTest, SubstituteAllMembers) {
+  Conjunction c;
+  c.Add(Constraint::Le(X() + Y(), C(4)));
+  c.Add(Constraint::Ge(Y(), C(1)));
+  Conjunction sub = c.Substitute("y", X());
+  // Becomes 2x <= 4 AND x >= 1.
+  EXPECT_TRUE(sub.IsSatisfiedBy({{"x", Rational(2)}}));
+  EXPECT_FALSE(sub.IsSatisfiedBy({{"x", Rational(3)}}));
+  EXPECT_FALSE(sub.IsSatisfiedBy({{"x", Rational(0)}}));
+  EXPECT_FALSE(sub.Mentions("y"));
+}
+
+TEST(ConjunctionTest, SubstituteCanCollapseToFalse) {
+  Conjunction c;
+  c.Add(Constraint::Lt(X(), Y()));
+  Conjunction sub = c.Substitute("y", X());  // x < x
+  EXPECT_TRUE(sub.IsKnownFalse());
+}
+
+TEST(ConjunctionTest, RenameVariable) {
+  Conjunction c;
+  c.Add(Constraint::Le(X(), C(5)));
+  Conjunction renamed = c.RenameVariable("x", "t");
+  EXPECT_TRUE(renamed.Mentions("t"));
+  EXPECT_FALSE(renamed.Mentions("x"));
+}
+
+TEST(ConjunctionTest, ConstructorFromVector) {
+  Conjunction c({Constraint::Le(X(), C(5)), Constraint::Ge(X(), C(2))});
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(ConjunctionTest, ToStringJoinsWithAnd) {
+  Conjunction c;
+  c.Add(Constraint::Eq(X(), C(1)));
+  c.Add(Constraint::Le(Y(), C(2)));
+  EXPECT_EQ(c.ToString(), "x = 1 AND y <= 2");
+}
+
+TEST(ConjunctionTest, EqualityAndOrdering) {
+  Conjunction a({Constraint::Le(X(), C(5))});
+  Conjunction b({Constraint::Le(X() * Rational(3), C(15))});
+  EXPECT_EQ(a, b) << "canonicalization makes syntactic equality semantic here";
+  Conjunction c({Constraint::Le(X(), C(6))});
+  EXPECT_NE(a, c);
+  EXPECT_TRUE((a < c) != (c < a));
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,154 @@
+#include "constraint/constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdb {
+namespace {
+
+LinearExpr X() { return LinearExpr::Variable("x"); }
+LinearExpr Y() { return LinearExpr::Variable("y"); }
+LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+
+TEST(ConstraintTest, MakeMapsAllOperators) {
+  // x <= 5 and 5 >= x must canonicalize identically.
+  auto le = Constraint::Make(X(), "<=", C(5));
+  auto ge = Constraint::Make(C(5), ">=", X());
+  ASSERT_TRUE(le.ok());
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ(le.value(), ge.value());
+
+  auto lt = Constraint::Make(X(), "<", C(5));
+  auto gt = Constraint::Make(C(5), ">", X());
+  ASSERT_TRUE(lt.ok());
+  ASSERT_TRUE(gt.ok());
+  EXPECT_EQ(lt.value(), gt.value());
+  EXPECT_NE(le.value(), lt.value());
+
+  EXPECT_TRUE(Constraint::Make(X(), "=", C(5)).ok());
+  EXPECT_TRUE(Constraint::Make(X(), "==", C(5)).ok());
+  EXPECT_FALSE(Constraint::Make(X(), "!=", C(5)).ok());
+  EXPECT_FALSE(Constraint::Make(X(), "~", C(5)).ok());
+}
+
+TEST(ConstraintTest, CanonicalizationScalesToCoprimeIntegers) {
+  // 2x + 4y <= 6  and  x + 2y <= 3  are the same constraint.
+  Constraint a = Constraint::Le(X() * Rational(2) + Y() * Rational(4), C(6));
+  Constraint b = Constraint::Le(X() + Y() * Rational(2), C(3));
+  EXPECT_EQ(a, b);
+
+  // Fractions scale up: x/2 <= 3/4  ==  2x <= 3.
+  Constraint c = Constraint::Le(X() * Rational(1, 2), C(3) * Rational(1, 4));
+  Constraint d = Constraint::Le(X() * Rational(2), C(3));
+  EXPECT_EQ(c, d);
+}
+
+TEST(ConstraintTest, EqualitySignIsCanonical) {
+  // x - y = 0 and y - x = 0 are the same equality.
+  Constraint a = Constraint::Eq(X(), Y());
+  Constraint b = Constraint::Eq(Y(), X());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ConstraintTest, InequalitySignIsNotFlipped) {
+  // x <= y and y <= x are different.
+  EXPECT_NE(Constraint::Le(X(), Y()), Constraint::Le(Y(), X()));
+}
+
+TEST(ConstraintTest, TrivialDetection) {
+  EXPECT_TRUE(Constraint::Le(C(-1), C(0)).IsTriviallyTrue());
+  EXPECT_TRUE(Constraint::Lt(C(0), C(1)).IsTriviallyTrue());
+  EXPECT_TRUE(Constraint::Eq(C(2), C(2)).IsTriviallyTrue());
+  EXPECT_TRUE(Constraint::Le(C(1), C(0)).IsTriviallyFalse());
+  EXPECT_TRUE(Constraint::Lt(C(0), C(0)).IsTriviallyFalse());
+  EXPECT_TRUE(Constraint::Eq(C(1), C(2)).IsTriviallyFalse());
+  EXPECT_FALSE(Constraint::Le(X(), C(0)).IsTriviallyTrue());
+  EXPECT_FALSE(Constraint::Le(X(), C(0)).IsTriviallyFalse());
+}
+
+TEST(ConstraintTest, SatisfactionAtPoint) {
+  Constraint c = Constraint::Le(X() + Y(), C(3));
+  EXPECT_TRUE(c.IsSatisfiedBy({{"x", Rational(1)}, {"y", Rational(2)}}));
+  EXPECT_FALSE(c.IsSatisfiedBy({{"x", Rational(2)}, {"y", Rational(2)}}));
+
+  Constraint strict = Constraint::Lt(X(), C(1));
+  EXPECT_FALSE(strict.IsSatisfiedBy({{"x", Rational(1)}}));
+  EXPECT_TRUE(strict.IsSatisfiedBy({{"x", Rational(99, 100)}}));
+
+  Constraint eq = Constraint::Eq(X(), C(4));
+  EXPECT_TRUE(eq.IsSatisfiedBy({{"x", Rational(4)}}));
+  EXPECT_FALSE(eq.IsSatisfiedBy({{"x", Rational(5)}}));
+}
+
+TEST(ConstraintTest, NegationOfLe) {
+  Constraint c = Constraint::Le(X(), C(5));  // x <= 5
+  auto negated = c.Negate();
+  ASSERT_EQ(negated.size(), 1u);
+  // ¬(x <= 5)  ==  x > 5.
+  Assignment at6{{"x", Rational(6)}};
+  Assignment at5{{"x", Rational(5)}};
+  EXPECT_TRUE(negated[0].IsSatisfiedBy(at6));
+  EXPECT_FALSE(negated[0].IsSatisfiedBy(at5));
+}
+
+TEST(ConstraintTest, NegationOfLt) {
+  Constraint c = Constraint::Lt(X(), C(5));
+  auto negated = c.Negate();
+  ASSERT_EQ(negated.size(), 1u);
+  EXPECT_TRUE(negated[0].IsSatisfiedBy({{"x", Rational(5)}}));
+  EXPECT_FALSE(negated[0].IsSatisfiedBy({{"x", Rational(4)}}));
+}
+
+TEST(ConstraintTest, NegationOfEqIsTwoStrictSides) {
+  Constraint c = Constraint::Eq(X(), C(5));
+  auto negated = c.Negate();
+  ASSERT_EQ(negated.size(), 2u);
+  Assignment at4{{"x", Rational(4)}};
+  Assignment at5{{"x", Rational(5)}};
+  Assignment at6{{"x", Rational(6)}};
+  int satisfied4 = negated[0].IsSatisfiedBy(at4) + negated[1].IsSatisfiedBy(at4);
+  int satisfied5 = negated[0].IsSatisfiedBy(at5) + negated[1].IsSatisfiedBy(at5);
+  int satisfied6 = negated[0].IsSatisfiedBy(at6) + negated[1].IsSatisfiedBy(at6);
+  EXPECT_EQ(satisfied4, 1);
+  EXPECT_EQ(satisfied5, 0);
+  EXPECT_EQ(satisfied6, 1);
+}
+
+TEST(ConstraintTest, DoubleNegationPreservesSemantics) {
+  Constraint c = Constraint::Le(X() * Rational(2) - Y(), C(3));
+  auto once = c.Negate();
+  ASSERT_EQ(once.size(), 1u);
+  auto twice = once[0].Negate();
+  ASSERT_EQ(twice.size(), 1u);
+  EXPECT_EQ(twice[0], c);
+}
+
+TEST(ConstraintTest, SubstituteRecanonicalizes) {
+  // x + y <= 3, y := x  =>  2x <= 3 (canonical: 2x - 3 <= 0).
+  Constraint c = Constraint::Le(X() + Y(), C(3));
+  Constraint sub = c.Substitute("y", X());
+  EXPECT_EQ(sub, Constraint::Le(X() * Rational(2), C(3)));
+}
+
+TEST(ConstraintTest, SubstituteCanCollapseToTrivial) {
+  Constraint c = Constraint::Le(X() - Y(), C(0));
+  Constraint sub = c.Substitute("x", Y());
+  EXPECT_TRUE(sub.IsTriviallyTrue());
+}
+
+TEST(ConstraintTest, RenameVariable) {
+  Constraint c = Constraint::Le(X(), C(5));
+  Constraint renamed = c.RenameVariable("x", "t");
+  EXPECT_TRUE(renamed.Mentions("t"));
+  EXPECT_FALSE(renamed.Mentions("x"));
+  EXPECT_TRUE(renamed.IsSatisfiedBy({{"t", Rational(5)}}));
+}
+
+TEST(ConstraintTest, PrettyStringMovesConstant) {
+  Constraint c = Constraint::Le(X() + Y(), C(3));
+  EXPECT_EQ(c.ToPrettyString(), "x + y <= 3");
+  Constraint eq = Constraint::Eq(X(), C(1));
+  EXPECT_EQ(eq.ToPrettyString(), "x = 1");
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace ccdb::geom {
+namespace {
+
+// --- Point -------------------------------------------------------------------
+
+TEST(PointTest, OrientationSigns) {
+  Point o(0, 0), a(1, 0), left(1, 1), right(1, -1), ahead(2, 0);
+  EXPECT_EQ(Orientation(o, a, left), 1);
+  EXPECT_EQ(Orientation(o, a, right), -1);
+  EXPECT_EQ(Orientation(o, a, ahead), 0);
+}
+
+TEST(PointTest, OrientationIsExactForNearCollinear) {
+  // A classic double-precision failure: tiny rational perturbations.
+  Point o(0, 0);
+  Point a(Rational(1), Rational(1));
+  Point almost(Rational(BigInt::FromString("1000000000000000001").value()),
+               Rational(BigInt::FromString("1000000000000000000").value()));
+  EXPECT_EQ(Orientation(o, a, almost), -1);
+  Point exact(Rational(BigInt::FromString("1000000000000000000").value()),
+              Rational(BigInt::FromString("1000000000000000000").value()));
+  EXPECT_EQ(Orientation(o, a, exact), 0);
+}
+
+TEST(PointTest, CrossAndDot) {
+  EXPECT_EQ(Cross(Point(0, 0), Point(1, 0), Point(0, 1)), Rational(1));
+  EXPECT_EQ(Dot(Point(2, 3), Point(4, 5)), Rational(23));
+}
+
+TEST(PointTest, SquaredDistance) {
+  EXPECT_EQ(SquaredDistance(Point(0, 0), Point(3, 4)), Rational(25));
+  EXPECT_EQ(SquaredDistance(Point(1, 1), Point(1, 1)), Rational(0));
+  EXPECT_EQ(SquaredDistance(Point(Rational(1, 2), Rational(0)),
+                            Point(Rational(0), Rational(1, 2))),
+            Rational(1, 2));
+}
+
+TEST(PointTest, ArithmeticAndOrder) {
+  EXPECT_EQ(Point(1, 2) + Point(3, 4), Point(4, 6));
+  EXPECT_EQ(Point(1, 2) - Point(3, 4), Point(-2, -2));
+  EXPECT_EQ(Point(1, 2) * Rational(3), Point(3, 6));
+  EXPECT_LT(Point(1, 5), Point(2, 0));
+  EXPECT_LT(Point(1, 0), Point(1, 5));
+}
+
+// --- Box ---------------------------------------------------------------------
+
+TEST(BoxTest, EmptyBehaviour) {
+  Box e = Box::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_EQ(e.Area(), Rational(0));
+  EXPECT_FALSE(e.Intersects(e));
+  Box b = Box::FromCorners(Point(0, 0), Point(2, 2));
+  EXPECT_EQ(e.ExpandedBy(b), b);
+  EXPECT_EQ(b.ExpandedBy(e), b);
+  EXPECT_TRUE(b.ContainsBox(e));
+  EXPECT_FALSE(e.ContainsBox(b));
+}
+
+TEST(BoxTest, FromCornersNormalizesOrder) {
+  Box b = Box::FromCorners(Point(5, 1), Point(2, 7));
+  EXPECT_EQ(b.x_min, Rational(2));
+  EXPECT_EQ(b.x_max, Rational(5));
+  EXPECT_EQ(b.y_min, Rational(1));
+  EXPECT_EQ(b.y_max, Rational(7));
+}
+
+TEST(BoxTest, ContainsAndIntersects) {
+  Box b = Box::FromCorners(Point(0, 0), Point(4, 4));
+  EXPECT_TRUE(b.Contains(Point(2, 2)));
+  EXPECT_TRUE(b.Contains(Point(0, 0))) << "closed box includes boundary";
+  EXPECT_TRUE(b.Contains(Point(4, 4)));
+  EXPECT_FALSE(b.Contains(Point(5, 2)));
+
+  Box touching = Box::FromCorners(Point(4, 0), Point(6, 4));
+  EXPECT_TRUE(b.Intersects(touching)) << "shared edge counts";
+  Box disjoint = Box::FromCorners(Point(5, 5), Point(6, 6));
+  EXPECT_FALSE(b.Intersects(disjoint));
+  Box inside = Box::FromCorners(Point(1, 1), Point(2, 2));
+  EXPECT_TRUE(b.ContainsBox(inside));
+  EXPECT_FALSE(inside.ContainsBox(b));
+}
+
+TEST(BoxTest, ExpandIntersectGrow) {
+  Box a = Box::FromCorners(Point(0, 0), Point(2, 2));
+  Box b = Box::FromCorners(Point(1, 1), Point(3, 3));
+  Box u = a.ExpandedBy(b);
+  EXPECT_EQ(u, Box::FromCorners(Point(0, 0), Point(3, 3)));
+  Box i = a.IntersectedWith(b);
+  EXPECT_EQ(i, Box::FromCorners(Point(1, 1), Point(2, 2)));
+  Box far = Box::FromCorners(Point(10, 10), Point(11, 11));
+  EXPECT_TRUE(a.IntersectedWith(far).IsEmpty());
+  Box grown = a.GrownBy(Rational(1));
+  EXPECT_EQ(grown, Box::FromCorners(Point(-1, -1), Point(3, 3)));
+}
+
+TEST(BoxTest, Measures) {
+  Box b = Box::FromCorners(Point(0, 0), Point(3, 2));
+  EXPECT_EQ(b.Area(), Rational(6));
+  EXPECT_EQ(b.Margin(), Rational(5));
+  EXPECT_EQ(b.Center(), Point(Rational(3, 2), Rational(1)));
+}
+
+TEST(BoxTest, SquaredDistanceBetweenBoxes) {
+  Box a = Box::FromCorners(Point(0, 0), Point(1, 1));
+  Box diag = Box::FromCorners(Point(4, 5), Point(6, 7));
+  EXPECT_EQ(Box::SquaredDistance(a, diag), Rational(25));  // dx=3, dy=4
+  Box overlap = Box::FromCorners(Point(1, 1), Point(2, 2));
+  EXPECT_EQ(Box::SquaredDistance(a, overlap), Rational(0));
+  Box beside = Box::FromCorners(Point(3, 0), Point(4, 1));
+  EXPECT_EQ(Box::SquaredDistance(a, beside), Rational(4));
+}
+
+// --- Segment -------------------------------------------------------------------
+
+TEST(SegmentTest, ContainsExact) {
+  Segment s(Point(0, 0), Point(4, 4));
+  EXPECT_TRUE(s.Contains(Point(2, 2)));
+  EXPECT_TRUE(s.Contains(Point(0, 0)));
+  EXPECT_TRUE(s.Contains(Point(4, 4)));
+  EXPECT_TRUE(s.Contains(Point(Rational(1, 2), Rational(1, 2))));
+  EXPECT_FALSE(s.Contains(Point(5, 5))) << "beyond the endpoint";
+  EXPECT_FALSE(s.Contains(Point(2, 3)));
+}
+
+TEST(SegmentTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect(Segment(Point(0, 0), Point(4, 4)),
+                                Segment(Point(0, 4), Point(4, 0))));
+  EXPECT_FALSE(SegmentsIntersect(Segment(Point(0, 0), Point(1, 1)),
+                                 Segment(Point(3, 0), Point(4, 1))));
+}
+
+TEST(SegmentTest, TouchingAtEndpointCounts) {
+  EXPECT_TRUE(SegmentsIntersect(Segment(Point(0, 0), Point(2, 2)),
+                                Segment(Point(2, 2), Point(4, 0))));
+  // T-junction: endpoint on interior.
+  EXPECT_TRUE(SegmentsIntersect(Segment(Point(0, 0), Point(4, 0)),
+                                Segment(Point(2, 0), Point(2, 3))));
+}
+
+TEST(SegmentTest, CollinearCases) {
+  Segment s(Point(0, 0), Point(4, 0));
+  EXPECT_TRUE(SegmentsIntersect(s, Segment(Point(2, 0), Point(6, 0))));
+  EXPECT_TRUE(SegmentsIntersect(s, Segment(Point(4, 0), Point(6, 0))));
+  EXPECT_FALSE(SegmentsIntersect(s, Segment(Point(5, 0), Point(6, 0))));
+  // Parallel non-collinear.
+  EXPECT_FALSE(SegmentsIntersect(s, Segment(Point(0, 1), Point(4, 1))));
+}
+
+TEST(SegmentTest, DegenerateSegments) {
+  Segment pt(Point(1, 1), Point(1, 1));
+  EXPECT_TRUE(pt.IsDegenerate());
+  EXPECT_TRUE(SegmentsIntersect(pt, Segment(Point(0, 0), Point(2, 2))));
+  EXPECT_FALSE(SegmentsIntersect(pt, Segment(Point(0, 0), Point(2, 0))));
+  EXPECT_TRUE(SegmentsIntersect(pt, pt));
+  Segment other(Point(2, 2), Point(2, 2));
+  EXPECT_FALSE(SegmentsIntersect(pt, other));
+}
+
+TEST(SegmentTest, PointToSegmentDistance) {
+  Segment s(Point(0, 0), Point(4, 0));
+  EXPECT_EQ(SquaredDistance(Point(2, 3), s), Rational(9));  // foot inside
+  EXPECT_EQ(SquaredDistance(Point(-3, 4), s), Rational(25));  // clamps to a
+  EXPECT_EQ(SquaredDistance(Point(7, 4), s), Rational(25));   // clamps to b
+  EXPECT_EQ(SquaredDistance(Point(2, 0), s), Rational(0));    // on segment
+}
+
+TEST(SegmentTest, SegmentToSegmentDistance) {
+  Segment s(Point(0, 0), Point(4, 0));
+  EXPECT_EQ(SquaredDistance(s, Segment(Point(0, 2), Point(4, 2))), Rational(4));
+  EXPECT_EQ(SquaredDistance(s, Segment(Point(2, -1), Point(2, 1))), Rational(0));
+  EXPECT_EQ(SquaredDistance(s, Segment(Point(6, 0), Point(8, 0))), Rational(4));
+  // Skew: closest pair is endpoint-to-interior.
+  EXPECT_EQ(SquaredDistance(s, Segment(Point(5, 3), Point(5, -3))), Rational(1));
+}
+
+}  // namespace
+}  // namespace ccdb::geom

@@ -1,0 +1,199 @@
+#include "geom/convert.h"
+
+#include <gtest/gtest.h>
+
+#include "constraint/fourier_motzkin.h"
+#include "util/random.h"
+
+namespace ccdb::geom {
+namespace {
+
+LinearExpr X() { return LinearExpr::Variable("x"); }
+LinearExpr Y() { return LinearExpr::Variable("y"); }
+LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+
+Polygon MustMake(std::vector<Point> ring) {
+  auto p = Polygon::Make(std::move(ring));
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return p.value();
+}
+
+// --- geometry -> constraints ---------------------------------------------------
+
+TEST(ConvertTest, ConvexRingToConjunctionMatchesContainment) {
+  Polygon tri = MustMake({Point(0, 0), Point(4, 0), Point(0, 4)});
+  Conjunction c = ConvexRingToConjunction(tri.vertices(), "x", "y");
+  EXPECT_EQ(c.size(), 3u);
+  Rng rng(21);
+  for (int i = 0; i < 300; ++i) {
+    Point p(Rational(rng.UniformInt(-2, 10), 2),
+            Rational(rng.UniformInt(-2, 10), 2));
+    EXPECT_EQ(tri.Contains(p),
+              c.IsSatisfiedBy({{"x", p.x}, {"y", p.y}}))
+        << p.ToString();
+  }
+}
+
+TEST(ConvertTest, PolygonToConstraintTuplesCoversConcaveShape) {
+  Polygon l = MustMake({Point(0, 0), Point(4, 0), Point(4, 2), Point(2, 2),
+                        Point(2, 4), Point(0, 4)});
+  auto tuples = PolygonToConstraintTuples(l, "x", "y");
+  ASSERT_GE(tuples.size(), 2u);
+  Rng rng(22);
+  for (int i = 0; i < 300; ++i) {
+    Point p(Rational(rng.UniformInt(-4, 20), 4),
+            Rational(rng.UniformInt(-4, 20), 4));
+    bool in_any = false;
+    for (const Conjunction& t : tuples) {
+      if (t.IsSatisfiedBy({{"x", p.x}, {"y", p.y}})) {
+        in_any = true;
+        break;
+      }
+    }
+    EXPECT_EQ(l.Contains(p), in_any) << p.ToString();
+  }
+}
+
+TEST(ConvertTest, SegmentToConjunctionIsThePaperEncoding) {
+  // §6.2: one tuple per segment — the collinear line plus endpoint bounds.
+  Segment s(Point(0, 0), Point(4, 2));
+  Conjunction c = SegmentToConjunction(s, "x", "y");
+  // Exactly the points of the segment satisfy it.
+  EXPECT_TRUE(c.IsSatisfiedBy({{"x", Rational(2)}, {"y", Rational(1)}}));
+  EXPECT_TRUE(c.IsSatisfiedBy({{"x", Rational(0)}, {"y", Rational(0)}}));
+  EXPECT_TRUE(c.IsSatisfiedBy({{"x", Rational(4)}, {"y", Rational(2)}}));
+  EXPECT_FALSE(c.IsSatisfiedBy({{"x", Rational(2)}, {"y", Rational(2)}}));
+  EXPECT_FALSE(c.IsSatisfiedBy({{"x", Rational(6)}, {"y", Rational(3)}}))
+      << "beyond the endpoint";
+  EXPECT_FALSE(c.IsSatisfiedBy({{"x", Rational(-2)}, {"y", Rational(-1)}}));
+}
+
+TEST(ConvertTest, VerticalSegmentConjunction) {
+  Segment s(Point(2, 0), Point(2, 5));
+  Conjunction c = SegmentToConjunction(s, "x", "y");
+  EXPECT_TRUE(c.IsSatisfiedBy({{"x", Rational(2)}, {"y", Rational(3)}}));
+  EXPECT_FALSE(c.IsSatisfiedBy({{"x", Rational(2)}, {"y", Rational(6)}}));
+  EXPECT_FALSE(c.IsSatisfiedBy({{"x", Rational(3)}, {"y", Rational(3)}}));
+}
+
+TEST(ConvertTest, PointToConjunction) {
+  Conjunction c = PointToConjunction(Point(Rational(1, 2), Rational(3)), "x", "y");
+  EXPECT_TRUE(c.IsSatisfiedBy({{"x", Rational(1, 2)}, {"y", Rational(3)}}));
+  EXPECT_FALSE(c.IsSatisfiedBy({{"x", Rational(1, 2)}, {"y", Rational(4)}}));
+}
+
+TEST(ConvertTest, PolylineToConstraintTuplesOnePerSegment) {
+  Polyline line({Point(0, 0), Point(2, 0), Point(2, 3)});
+  auto tuples = PolylineToConstraintTuples(line, "x", "y");
+  EXPECT_EQ(tuples.size(), 2u);
+}
+
+// --- constraints -> geometry -----------------------------------------------------
+
+TEST(ConvertTest, ConjunctionToRegionPolygon) {
+  // Triangle: x >= 0, y >= 0, x + y <= 2.
+  Conjunction tri({Constraint::Ge(X(), C(0)), Constraint::Ge(Y(), C(0)),
+                   Constraint::Le(X() + Y(), C(2))});
+  auto region = ConjunctionToRegion(tri, "x", "y");
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  ASSERT_EQ(region->kind(), ConvexRegion::Kind::kPolygon);
+  EXPECT_EQ(region->polygon().Area(), Rational(2));
+  EXPECT_EQ(region->polygon().size(), 3u);
+}
+
+TEST(ConvertTest, ConjunctionToRegionSegment) {
+  Conjunction seg({Constraint::Eq(X(), C(1)), Constraint::Ge(Y(), C(0)),
+                   Constraint::Le(Y(), C(2))});
+  auto region = ConjunctionToRegion(seg, "x", "y");
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  ASSERT_EQ(region->kind(), ConvexRegion::Kind::kSegment);
+  Box box = region->BoundingBox();
+  EXPECT_EQ(box, Box::FromCorners(Point(1, 0), Point(1, 2)));
+}
+
+TEST(ConvertTest, ConjunctionToRegionPoint) {
+  Conjunction pt({Constraint::Eq(X(), C(3)), Constraint::Eq(Y(), C(4))});
+  auto region = ConjunctionToRegion(pt, "x", "y");
+  ASSERT_TRUE(region.ok());
+  ASSERT_EQ(region->kind(), ConvexRegion::Kind::kPoint);
+  EXPECT_EQ(region->point(), Point(3, 4));
+}
+
+TEST(ConvertTest, ConjunctionToRegionRejectsUnboundedAndUnsat) {
+  Conjunction unbounded({Constraint::Ge(X(), C(0)), Constraint::Ge(Y(), C(0))});
+  auto r1 = ConjunctionToRegion(unbounded, "x", "y");
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kUnsupported);
+
+  Conjunction unsat({Constraint::Le(X(), C(0)), Constraint::Ge(X(), C(1))});
+  auto r2 = ConjunctionToRegion(unsat, "x", "y");
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  Conjunction extra_var({Constraint::Le(X(), C(1)),
+                         Constraint::Ge(X(), C(0)),
+                         Constraint::Eq(LinearExpr::Variable("t"), C(0))});
+  EXPECT_FALSE(ConjunctionToRegion(extra_var, "x", "y").ok());
+}
+
+TEST(ConvertTest, RoundTripPolygonThroughConstraints) {
+  Polygon pentagon = MustMake({Point(0, 0), Point(4, 0), Point(5, 2),
+                               Point(2, 4), Point(-1, 2)});
+  Conjunction c = ConvexRingToConjunction(pentagon.vertices(), "x", "y");
+  auto region = ConjunctionToRegion(c, "x", "y");
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  ASSERT_EQ(region->kind(), ConvexRegion::Kind::kPolygon);
+  EXPECT_EQ(region->polygon().Area(), pentagon.Area());
+  EXPECT_EQ(region->polygon().size(), pentagon.size());
+}
+
+TEST(ConvertTest, RoundTripSegmentThroughConstraints) {
+  Segment s(Point(1, 1), Point(5, 3));
+  auto region = ConjunctionToRegion(SegmentToConjunction(s, "x", "y"), "x", "y");
+  ASSERT_TRUE(region.ok());
+  ASSERT_EQ(region->kind(), ConvexRegion::Kind::kSegment);
+  EXPECT_EQ(region->segment().BoundingBox(), s.BoundingBox());
+}
+
+TEST(ConvertTest, StrictConstraintsAreClosed) {
+  // Open square (0,2)x(0,2): region is its closure.
+  Conjunction open_sq({Constraint::Gt(X(), C(0)), Constraint::Lt(X(), C(2)),
+                       Constraint::Gt(Y(), C(0)), Constraint::Lt(Y(), C(2))});
+  auto region = ConjunctionToRegion(open_sq, "x", "y");
+  ASSERT_TRUE(region.ok());
+  ASSERT_EQ(region->kind(), ConvexRegion::Kind::kPolygon);
+  EXPECT_EQ(region->polygon().Area(), Rational(4));
+}
+
+// --- region distances -------------------------------------------------------------
+
+TEST(ConvertTest, RegionDistancesAllKindPairs) {
+  ConvexRegion p = ConvexRegion::MakePoint(Point(0, 0));
+  ConvexRegion s = ConvexRegion::MakeSegment(Segment(Point(3, 0), Point(3, 4)));
+  ConvexRegion poly = ConvexRegion::MakePolygon(
+      MustMake({Point(5, 0), Point(7, 0), Point(7, 2), Point(5, 2)}));
+  EXPECT_EQ(SquaredDistance(p, p), Rational(0));
+  EXPECT_EQ(SquaredDistance(p, s), Rational(9));
+  EXPECT_EQ(SquaredDistance(s, p), Rational(9));
+  EXPECT_EQ(SquaredDistance(p, poly), Rational(25));
+  EXPECT_EQ(SquaredDistance(poly, p), Rational(25));
+  EXPECT_EQ(SquaredDistance(s, poly), Rational(4));
+  EXPECT_EQ(SquaredDistance(poly, s), Rational(4));
+  EXPECT_EQ(SquaredDistance(poly, poly), Rational(0));
+}
+
+TEST(ConvertTest, ConstraintDistanceMatchesGeometricDistance) {
+  // Distance between two constraint tuples equals the distance between the
+  // regions they denote — the bridge the whole-feature operators rely on.
+  Conjunction a({Constraint::Ge(X(), C(0)), Constraint::Le(X(), C(1)),
+                 Constraint::Ge(Y(), C(0)), Constraint::Le(Y(), C(1))});
+  Conjunction b({Constraint::Ge(X(), C(4)), Constraint::Le(X(), C(5)),
+                 Constraint::Ge(Y(), C(4)), Constraint::Le(Y(), C(5))});
+  auto ra = ConjunctionToRegion(a, "x", "y");
+  auto rb = ConjunctionToRegion(b, "x", "y");
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(SquaredDistance(*ra, *rb), Rational(18));
+}
+
+}  // namespace
+}  // namespace ccdb::geom

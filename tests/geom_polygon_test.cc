@@ -1,0 +1,266 @@
+#include "geom/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/decompose.h"
+#include "util/random.h"
+
+namespace ccdb::geom {
+namespace {
+
+Polygon MustMake(std::vector<Point> ring) {
+  auto p = Polygon::Make(std::move(ring));
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return p.value();
+}
+
+// An L-shaped (concave) hexagon used across tests.
+Polygon LShape() {
+  return MustMake({Point(0, 0), Point(4, 0), Point(4, 2), Point(2, 2),
+                   Point(2, 4), Point(0, 4)});
+}
+
+// --- Polygon::Make validation -------------------------------------------------
+
+TEST(PolygonTest, MakeRejectsDegenerateInput) {
+  EXPECT_FALSE(Polygon::Make({Point(0, 0), Point(1, 1)}).ok());
+  // Zero area (collinear).
+  EXPECT_FALSE(Polygon::Make({Point(0, 0), Point(1, 1), Point(2, 2)}).ok());
+  // Repeated adjacent vertex.
+  EXPECT_FALSE(
+      Polygon::Make({Point(0, 0), Point(0, 0), Point(1, 0), Point(0, 1)}).ok());
+  // Self-intersecting bow-tie.
+  EXPECT_FALSE(Polygon::Make(
+                   {Point(0, 0), Point(2, 2), Point(2, 0), Point(0, 2)})
+                   .ok());
+}
+
+TEST(PolygonTest, MakeNormalizesOrientationAndClosingVertex) {
+  // Clockwise input gets reversed to CCW.
+  Polygon cw = MustMake({Point(0, 0), Point(0, 2), Point(2, 2), Point(2, 0)});
+  EXPECT_GT(TwiceSignedArea(cw.vertices()).Sign(), 0);
+  // Duplicated closing vertex is dropped.
+  Polygon closed = MustMake(
+      {Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2), Point(0, 0)});
+  EXPECT_EQ(closed.size(), 4u);
+}
+
+TEST(PolygonTest, AreaExact) {
+  Polygon square = MustMake(
+      {Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)});
+  EXPECT_EQ(square.Area(), Rational(4));
+  EXPECT_EQ(LShape().Area(), Rational(12));
+  Polygon triangle = MustMake({Point(0, 0), Point(1, 0), Point(0, 1)});
+  EXPECT_EQ(triangle.Area(), Rational(1, 2));
+}
+
+TEST(PolygonTest, ConvexityDetection) {
+  EXPECT_TRUE(
+      MustMake({Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)}).IsConvex());
+  EXPECT_FALSE(LShape().IsConvex());
+  // Convex with a collinear boundary vertex still counts as convex.
+  EXPECT_TRUE(MustMake({Point(0, 0), Point(1, 0), Point(2, 0), Point(2, 2),
+                        Point(0, 2)})
+                  .IsConvex());
+}
+
+TEST(PolygonTest, ContainsInteriorBoundaryExterior) {
+  Polygon l = LShape();
+  EXPECT_TRUE(l.Contains(Point(1, 1)));
+  EXPECT_TRUE(l.Contains(Point(1, 3)));
+  EXPECT_TRUE(l.Contains(Point(3, 1)));
+  EXPECT_FALSE(l.Contains(Point(3, 3))) << "the notch is outside";
+  EXPECT_TRUE(l.Contains(Point(0, 0))) << "vertex on boundary";
+  EXPECT_TRUE(l.Contains(Point(2, 3))) << "edge point";
+  EXPECT_FALSE(l.Contains(Point(5, 1)));
+  EXPECT_FALSE(l.Contains(Point(-1, 0)));
+}
+
+TEST(PolygonTest, ContainsRayThroughVertexIsHandled) {
+  // Diamond: a +x ray from the center passes through vertex (2, 1).
+  Polygon diamond = MustMake(
+      {Point(1, 0), Point(2, 1), Point(1, 2), Point(0, 1)});
+  EXPECT_TRUE(diamond.Contains(Point(1, 1)));
+  EXPECT_FALSE(diamond.Contains(Point(-1, 1)));
+  EXPECT_FALSE(diamond.Contains(Point(3, 1)));
+  EXPECT_TRUE(diamond.Contains(Point(2, 1)));
+  EXPECT_TRUE(diamond.Contains(Point(Rational(1, 2), Rational(1, 2))));
+}
+
+TEST(PolygonTest, BoundingBox) {
+  Box b = LShape().BoundingBox();
+  EXPECT_EQ(b, Box::FromCorners(Point(0, 0), Point(4, 4)));
+}
+
+TEST(PolygonTest, RectangleHelper) {
+  Polygon r = Polygon::Rectangle(Box::FromCorners(Point(1, 2), Point(3, 5)));
+  EXPECT_EQ(r.Area(), Rational(6));
+  EXPECT_TRUE(r.IsConvex());
+}
+
+// --- Distances -----------------------------------------------------------------
+
+TEST(PolygonDistanceTest, PointToPolygon) {
+  Polygon sq = MustMake({Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)});
+  EXPECT_EQ(SquaredDistance(Point(1, 1), sq), Rational(0)) << "inside";
+  EXPECT_EQ(SquaredDistance(Point(2, 1), sq), Rational(0)) << "boundary";
+  EXPECT_EQ(SquaredDistance(Point(4, 1), sq), Rational(4));
+  EXPECT_EQ(SquaredDistance(Point(4, 4), sq), Rational(8)) << "corner gap";
+}
+
+TEST(PolygonDistanceTest, PolygonToPolygon) {
+  Polygon a = MustMake({Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)});
+  Polygon b = MustMake({Point(3, 0), Point(4, 0), Point(4, 1), Point(3, 1)});
+  EXPECT_EQ(SquaredDistance(a, b), Rational(4));
+  Polygon touching = MustMake(
+      {Point(1, 0), Point(2, 0), Point(2, 1), Point(1, 1)});
+  EXPECT_EQ(SquaredDistance(a, touching), Rational(0));
+  // Containment: inner polygon inside outer.
+  Polygon outer = MustMake(
+      {Point(-5, -5), Point(5, -5), Point(5, 5), Point(-5, 5)});
+  EXPECT_EQ(SquaredDistance(a, outer), Rational(0));
+  EXPECT_EQ(SquaredDistance(outer, a), Rational(0));
+}
+
+TEST(PolygonDistanceTest, PolylineToPolyline) {
+  Polyline a({Point(0, 0), Point(4, 0)});
+  Polyline b({Point(0, 3), Point(4, 3)});
+  EXPECT_EQ(SquaredDistance(a, b), Rational(9));
+  Polyline crossing({Point(2, -1), Point(2, 1)});
+  EXPECT_EQ(SquaredDistance(a, crossing), Rational(0));
+  // Multi-segment: closest approach on the second leg.
+  Polyline bent({Point(0, 5), Point(4, 5), Point(4, 1)});
+  EXPECT_EQ(SquaredDistance(a, bent), Rational(1));
+}
+
+TEST(PolygonDistanceTest, PolylineToPolygon) {
+  Polygon sq = MustMake({Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)});
+  Polyline through({Point(-1, 1), Point(3, 1)});
+  EXPECT_EQ(SquaredDistance(through, sq), Rational(0));
+  Polyline above({Point(0, 5), Point(2, 5)});
+  EXPECT_EQ(SquaredDistance(above, sq), Rational(9));
+}
+
+TEST(PolylineTest, LengthAndBox) {
+  Polyline line({Point(0, 0), Point(3, 4), Point(3, 6)});
+  EXPECT_DOUBLE_EQ(line.Length(), 7.0);
+  EXPECT_EQ(line.BoundingBox(), Box::FromCorners(Point(0, 0), Point(3, 6)));
+  EXPECT_EQ(line.NumSegments(), 2u);
+}
+
+// --- Triangulation / decomposition ----------------------------------------------
+
+TEST(DecomposeTest, TriangulateCountsAndArea) {
+  Polygon l = LShape();
+  auto triangles = Triangulate(l);
+  EXPECT_EQ(triangles.size(), l.size() - 2);
+  Rational total(0);
+  for (const auto& t : triangles) {
+    Rational area2 = TwiceSignedArea(t);
+    EXPECT_GT(area2.Sign(), 0) << "triangles must be CCW";
+    total += area2;
+  }
+  EXPECT_EQ(total * Rational(1, 2), l.Area());
+}
+
+TEST(DecomposeTest, TriangulateConvexPolygon) {
+  Polygon hex = MustMake({Point(2, 0), Point(4, 1), Point(4, 3), Point(2, 4),
+                          Point(0, 3), Point(0, 1)});
+  auto triangles = Triangulate(hex);
+  EXPECT_EQ(triangles.size(), 4u);
+}
+
+TEST(DecomposeTest, ConvexPolygonStaysWhole) {
+  Polygon sq = MustMake({Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)});
+  auto pieces = DecomposeConvex(sq);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], sq.vertices());
+}
+
+TEST(DecomposeTest, LShapeDecomposesIntoFewConvexPieces) {
+  auto pieces = DecomposeConvex(LShape());
+  ASSERT_GE(pieces.size(), 2u);
+  EXPECT_LE(pieces.size(), 3u) << "Hertel-Mehlhorn should merge triangles";
+  Rational total(0);
+  for (const auto& piece : pieces) {
+    // Every piece is convex and CCW.
+    const size_t n = piece.size();
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_GE(Orientation(piece[i], piece[(i + 1) % n], piece[(i + 2) % n]),
+                0);
+    }
+    total += TwiceSignedArea(piece);
+  }
+  EXPECT_EQ(total * Rational(1, 2), LShape().Area())
+      << "pieces must partition the polygon";
+}
+
+TEST(DecomposeTest, SpiralPolygonDecomposes) {
+  // A polygon with several reflex vertices.
+  Polygon spiral = MustMake({Point(0, 0), Point(6, 0), Point(6, 6),
+                             Point(1, 6), Point(1, 2), Point(3, 2),
+                             Point(3, 4), Point(2, 4), Point(2, 5),
+                             Point(5, 5), Point(5, 1), Point(0, 1)});
+  auto pieces = DecomposeConvex(spiral);
+  Rational total(0);
+  for (const auto& piece : pieces) total += TwiceSignedArea(piece);
+  EXPECT_EQ(total * Rational(1, 2), spiral.Area());
+}
+
+TEST(DecomposeTest, PiecesCoverSamplePoints) {
+  Polygon l = LShape();
+  auto pieces = DecomposeConvex(l);
+  std::vector<Polygon> piece_polys;
+  for (auto& ring : pieces) {
+    auto p = Polygon::Make(ring);
+    ASSERT_TRUE(p.ok());
+    piece_polys.push_back(p.value());
+  }
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    Point p(Rational(rng.UniformInt(-8, 80), 16),
+            Rational(rng.UniformInt(-8, 80), 16));
+    bool in_l = l.Contains(p);
+    bool in_pieces = false;
+    for (const Polygon& piece : piece_polys) {
+      if (piece.Contains(p)) {
+        in_pieces = true;
+        break;
+      }
+    }
+    EXPECT_EQ(in_l, in_pieces) << "at " << p.ToString();
+  }
+}
+
+// --- Convex hull -----------------------------------------------------------------
+
+TEST(ConvexHullTest, BasicHull) {
+  auto hull = ConvexHull({Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4),
+                          Point(2, 2), Point(1, 3)});
+  EXPECT_EQ(hull.size(), 4u);
+  Rational area2 = TwiceSignedArea(hull);
+  EXPECT_EQ(area2, Rational(32));
+}
+
+TEST(ConvexHullTest, CollinearInputsGiveExtremes) {
+  auto hull = ConvexHull({Point(0, 0), Point(1, 1), Point(2, 2), Point(3, 3)});
+  ASSERT_EQ(hull.size(), 2u);
+  EXPECT_EQ(hull[0], Point(0, 0));
+  EXPECT_EQ(hull[1], Point(3, 3));
+}
+
+TEST(ConvexHullTest, DuplicatesAndSmallInputs) {
+  EXPECT_EQ(ConvexHull({Point(1, 1), Point(1, 1)}).size(), 1u);
+  EXPECT_EQ(ConvexHull({Point(1, 1)}).size(), 1u);
+  auto hull = ConvexHull({Point(0, 0), Point(2, 0), Point(1, 1), Point(2, 0)});
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHullTest, HullDropsCollinearBoundaryPoints) {
+  auto hull = ConvexHull(
+      {Point(0, 0), Point(2, 0), Point(4, 0), Point(4, 4), Point(0, 4)});
+  EXPECT_EQ(hull.size(), 4u) << "midpoint of bottom edge is not a vertex";
+}
+
+}  // namespace
+}  // namespace ccdb::geom

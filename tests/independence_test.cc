@@ -1,0 +1,96 @@
+#include "constraint/independence.h"
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+
+namespace ccdb {
+namespace {
+
+LinearExpr V(const std::string& n) { return LinearExpr::Variable(n); }
+LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+
+TEST(IndependenceTest, BoxIsIndependent) {
+  Conjunction box({Constraint::Ge(V("x"), C(0)), Constraint::Le(V("x"), C(2)),
+                   Constraint::Ge(V("y"), C(0)), Constraint::Le(V("y"), C(3))});
+  EXPECT_TRUE(fm::AreIndependent(box, "x", "y"));
+}
+
+TEST(IndependenceTest, DiagonalCouplingIsDetected) {
+  Conjunction diag({Constraint::Eq(V("x"), V("y"))});
+  EXPECT_FALSE(fm::AreIndependent(diag, "x", "y"));
+
+  Conjunction halfplane({Constraint::Le(V("x") + V("y"), C(2)),
+                         Constraint::Ge(V("x"), C(0)),
+                         Constraint::Ge(V("y"), C(0))});
+  EXPECT_FALSE(fm::AreIndependent(halfplane, "x", "y"));
+}
+
+TEST(IndependenceTest, ImplicitProductIsIndependent) {
+  // x+y <= 2, x >= 1, y >= 1 pins the single point (1,1): a product of
+  // singletons, hence independent despite the coupled-looking syntax.
+  Conjunction point({Constraint::Le(V("x") + V("y"), C(2)),
+                     Constraint::Ge(V("x"), C(1)),
+                     Constraint::Ge(V("y"), C(1))});
+  EXPECT_TRUE(fm::AreIndependent(point, "x", "y"));
+}
+
+TEST(IndependenceTest, MissingVariableIsIndependent) {
+  Conjunction only_x({Constraint::Le(V("x"), C(1))});
+  EXPECT_TRUE(fm::AreIndependent(only_x, "x", "y"));
+  EXPECT_TRUE(fm::AreIndependent(Conjunction(), "x", "y"));
+  EXPECT_TRUE(fm::AreIndependent(Conjunction::False(), "x", "y"));
+}
+
+TEST(IndependenceTest, UnsatisfiableIsTriviallyIndependent) {
+  Conjunction unsat({Constraint::Le(V("x") + V("y"), C(0)),
+                     Constraint::Ge(V("x"), C(1)),
+                     Constraint::Ge(V("y"), C(1))});
+  EXPECT_TRUE(fm::AreIndependent(unsat, "x", "y"));
+}
+
+TEST(IndependenceTest, SplitByVariables) {
+  Conjunction c({Constraint::Le(V("x"), C(1)), Constraint::Ge(V("y"), C(0)),
+                 Constraint::Le(V("x") + V("y"), C(5)),
+                 Constraint::Le(V("z"), C(9))});
+  auto split = fm::SplitByVariables(c, "x", "y");
+  EXPECT_EQ(split.x_only.size(), 2u) << "x bound + the z member";
+  EXPECT_EQ(split.y_only.size(), 2u) << "y bound + the z member";
+  EXPECT_EQ(split.coupled.size(), 1u);
+}
+
+TEST(IndependenceTest, RelationLevelCheck) {
+  Schema schema = Schema::Make({Schema::ConstraintRational("x"),
+                                Schema::ConstraintRational("y")})
+                      .value();
+  Relation boxes(schema);
+  Tuple box;
+  box.AddConstraint(Constraint::Ge(V("x"), C(0)));
+  box.AddConstraint(Constraint::Le(V("x"), C(1)));
+  box.AddConstraint(Constraint::Ge(V("y"), C(0)));
+  box.AddConstraint(Constraint::Le(V("y"), C(1)));
+  ASSERT_TRUE(boxes.Insert(box).ok());
+  EXPECT_TRUE(cqa::AreAttributesIndependent(boxes, "x", "y"));
+
+  Tuple diagonal;
+  diagonal.AddConstraint(Constraint::Eq(V("x"), V("y")));
+  diagonal.AddConstraint(Constraint::Ge(V("x"), C(0)));
+  diagonal.AddConstraint(Constraint::Le(V("x"), C(1)));
+  ASSERT_TRUE(boxes.Insert(diagonal).ok());
+  EXPECT_FALSE(cqa::AreAttributesIndependent(boxes, "x", "y"))
+      << "one coupled tuple breaks relation-level independence";
+}
+
+TEST(IndependenceTest, RelationalAttributeAlwaysIndependent) {
+  // §3.2: "if an attribute is known to be relational, it is automatically
+  // independent of all other attributes."
+  Schema schema = Schema::Make({Schema::RelationalRational("x"),
+                                Schema::ConstraintRational("y")})
+                      .value();
+  Relation rel(schema);
+  EXPECT_TRUE(cqa::AreAttributesIndependent(rel, "x", "y"));
+  EXPECT_FALSE(cqa::AreAttributesIndependent(rel, "x", "nope"));
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,172 @@
+// System-level integration: the full stack exercised in one scenario —
+// geometry -> constraint conversion -> relations -> text export/import ->
+// disk persistence -> stored+indexed relations -> language queries ->
+// whole-feature operators — with cross-path consistency assertions.
+
+#include <gtest/gtest.h>
+
+#include "ccdb.h"
+
+namespace ccdb {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema spatial = Schema::Make({Schema::RelationalString("fid"),
+                                   Schema::ConstraintRational("x"),
+                                   Schema::ConstraintRational("y")})
+                         .value();
+    // A 4x4 grid of 100x100 parcels...
+    parcels_ = Relation(spatial);
+    for (int gx = 0; gx < 4; ++gx) {
+      for (int gy = 0; gy < 4; ++gy) {
+        geom::Polygon cell = geom::Polygon::Rectangle(geom::Box::FromCorners(
+            geom::Point(gx * 100, gy * 100),
+            geom::Point(gx * 100 + 100, gy * 100 + 100)));
+        Tuple t;
+        t.SetValue("fid", Value::String("p" + std::to_string(gx) + "_" +
+                                        std::to_string(gy)));
+        t.SetConstraints(
+            geom::ConvexRingToConjunction(cell.vertices(), "x", "y"));
+        ASSERT_TRUE(parcels_.Insert(std::move(t)).ok());
+      }
+    }
+    // ...and a diagonal path crossing them.
+    geom::Polyline path({geom::Point(-50, -50), geom::Point(450, 450)});
+    trail_ = Relation(spatial);
+    for (const Conjunction& seg :
+         geom::PolylineToConstraintTuples(path, "x", "y")) {
+      Tuple t;
+      t.SetValue("fid", Value::String("trail"));
+      t.SetConstraints(seg);
+      ASSERT_TRUE(trail_.Insert(std::move(t)).ok());
+    }
+    db_.CreateOrReplace("Parcels", parcels_);
+    db_.CreateOrReplace("Trail", trail_);
+  }
+
+  Relation parcels_;
+  Relation trail_;
+  Database db_;
+};
+
+TEST_F(IntegrationTest, TextAndDiskPersistenceAgree) {
+  // Text round trip.
+  std::string text = lang::FormatDatabaseText(db_);
+  Database from_text;
+  ASSERT_TRUE(lang::LoadDatabaseText(text, &from_text).ok());
+  // Disk round trip.
+  PageManager disk;
+  BufferPool pool(&disk, 8);
+  auto root = SaveDatabase(&pool, db_);
+  ASSERT_TRUE(root.ok());
+  auto from_disk = LoadDatabase(&pool, *root);
+  ASSERT_TRUE(from_disk.ok());
+  // All three copies identical.
+  for (const std::string& name : db_.Names()) {
+    const Relation* original = db_.Get(name).value();
+    const Relation* text_copy = from_text.Get(name).value();
+    const Relation* disk_copy = from_disk->Get(name).value();
+    ASSERT_EQ(original->size(), text_copy->size()) << name;
+    ASSERT_EQ(original->size(), disk_copy->size()) << name;
+    for (size_t i = 0; i < original->size(); ++i) {
+      EXPECT_EQ(original->tuples()[i], text_copy->tuples()[i]);
+      EXPECT_EQ(original->tuples()[i], disk_copy->tuples()[i]);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, DiagonalTrailCrossesExactlyTheDiagonalParcels) {
+  auto crossed = lang::RunQuery(
+      "R0 = buffer-join Trail and Parcels within 0\n", &db_);
+  ASSERT_TRUE(crossed.ok()) << crossed.status().ToString();
+  // The diagonal from (-50,-50) to (450,450) passes through the four
+  // diagonal parcels' interiors and touches the corners of the six
+  // adjacent off-diagonal parcels (closed regions: touching counts).
+  std::set<std::string> ids;
+  for (const Tuple& t : crossed->tuples()) {
+    ids.insert(t.GetValue("fid2").AsString());
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ids.count("p" + std::to_string(i) + "_" + std::to_string(i)))
+        << "diagonal parcel " << i;
+  }
+  EXPECT_EQ(ids.size(), 4u + 6u) << "4 crossed + 6 corner-touched";
+}
+
+TEST_F(IntegrationTest, LanguagePipelineMatchesDirectApi) {
+  // Language path.
+  auto via_lang = lang::RunQuery(
+      "R0 = select x >= 100, x <= 200 from Parcels\n"
+      "R1 = project R0 on fid\n",
+      &db_);
+  ASSERT_TRUE(via_lang.ok());
+  // Direct API path.
+  Predicate pred;
+  pred.linear.push_back(Constraint::Ge(LinearExpr::Variable("x"),
+                                       LinearExpr::Constant(Rational(100))));
+  pred.linear.push_back(Constraint::Le(LinearExpr::Variable("x"),
+                                       LinearExpr::Constant(Rational(200))));
+  auto selected = cqa::Select(parcels_, pred);
+  ASSERT_TRUE(selected.ok());
+  auto via_api = cqa::Project(*selected, {"fid"});
+  ASSERT_TRUE(via_api.ok());
+  EXPECT_EQ(via_lang->size(), via_api->size());
+  // Columns 1 and 2 of the grid qualify (x ranges [100,200] and [200,300]
+  // intersect the band [100,200]); column 0 touches at x=100 too.
+  EXPECT_EQ(via_api->size(), 12u) << via_api->ToString();
+}
+
+TEST_F(IntegrationTest, StoredRelationMatchesInMemorySelect) {
+  PageManager disk;
+  BufferPool pool(&disk, 0);
+  auto stored = cqa::StoredRelation::Create(
+      &pool, parcels_, cqa::AccessIndexKind::kJoint, "x", "y",
+      Rect::Make2D(-100, 600, -100, 600));
+  ASSERT_TRUE(stored.ok());
+  BoxQuery window = BoxQuery::Both(150, 250, 150, 250);
+  auto from_disk = (*stored)->BoxSelect(window);
+  ASSERT_TRUE(from_disk.ok());
+
+  Predicate pred;
+  for (auto [attr, lo, hi] :
+       {std::tuple{"x", 150, 250}, std::tuple{"y", 150, 250}}) {
+    pred.linear.push_back(Constraint::Ge(LinearExpr::Variable(attr),
+                                         LinearExpr::Constant(Rational(lo))));
+    pred.linear.push_back(Constraint::Le(LinearExpr::Variable(attr),
+                                         LinearExpr::Constant(Rational(hi))));
+  }
+  auto in_memory = cqa::Select(parcels_, pred);
+  ASSERT_TRUE(in_memory.ok());
+  EXPECT_EQ(from_disk->size(), in_memory->size());
+}
+
+TEST_F(IntegrationTest, GeometricAndConstraintIntersectionAgree) {
+  // Clip every pair of adjacent parcels geometrically and compare with
+  // the constraint-path join region (shared edges -> segments).
+  auto features = cqa::FeatureSet::FromRelation(parcels_);
+  ASSERT_TRUE(features.ok());
+  int shared_edges = 0;
+  const auto& fs = features->features();
+  for (size_t i = 0; i < fs.size(); ++i) {
+    for (size_t j = i + 1; j < fs.size(); ++j) {
+      auto geo = geom::IntersectRegions(fs[i].parts[0], fs[j].parts[0]);
+      Conjunction both = Conjunction::And(
+          geom::ConvexRingToConjunction(fs[i].parts[0].polygon().vertices(),
+                                        "x", "y"),
+          geom::ConvexRingToConjunction(fs[j].parts[0].polygon().vertices(),
+                                        "x", "y"));
+      bool constraint_nonempty = fm::IsSatisfiable(both);
+      EXPECT_EQ(geo.has_value(), constraint_nonempty)
+          << fs[i].id << " vs " << fs[j].id;
+      if (geo && geo->kind() == geom::ConvexRegion::Kind::kSegment) {
+        ++shared_edges;
+      }
+    }
+  }
+  EXPECT_EQ(shared_edges, 24) << "4x4 grid has 2*4*3 = 24 interior edges";
+}
+
+}  // namespace
+}  // namespace ccdb

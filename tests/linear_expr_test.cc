@@ -1,0 +1,112 @@
+#include "constraint/linear_expr.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdb {
+namespace {
+
+TEST(LinearExprTest, ZeroByDefault) {
+  LinearExpr e;
+  EXPECT_TRUE(e.IsZero());
+  EXPECT_TRUE(e.IsConstant());
+  EXPECT_EQ(e.ToString(), "0");
+}
+
+TEST(LinearExprTest, VariableAndTerm) {
+  LinearExpr x = LinearExpr::Variable("x");
+  EXPECT_EQ(x.Coeff("x"), Rational(1));
+  EXPECT_EQ(x.Coeff("y"), Rational(0));
+  EXPECT_TRUE(x.Mentions("x"));
+  EXPECT_FALSE(x.Mentions("y"));
+
+  LinearExpr t = LinearExpr::Term("y", Rational(3, 2));
+  EXPECT_EQ(t.Coeff("y"), Rational(3, 2));
+
+  // A zero-coefficient term must not be stored.
+  LinearExpr z = LinearExpr::Term("z", Rational(0));
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_FALSE(z.Mentions("z"));
+}
+
+TEST(LinearExprTest, AdditionMergesAndCancels) {
+  LinearExpr a = LinearExpr::Term("x", Rational(2)) +
+                 LinearExpr::Term("y", Rational(1)) +
+                 LinearExpr::Constant(Rational(5));
+  LinearExpr b = LinearExpr::Term("x", Rational(-2)) +
+                 LinearExpr::Term("y", Rational(3));
+  LinearExpr sum = a + b;
+  EXPECT_FALSE(sum.Mentions("x")) << "cancelled coefficient must be erased";
+  EXPECT_EQ(sum.Coeff("y"), Rational(4));
+  EXPECT_EQ(sum.constant(), Rational(5));
+}
+
+TEST(LinearExprTest, ScalarMultiplication) {
+  LinearExpr e = LinearExpr::Term("x", Rational(2)) +
+                 LinearExpr::Constant(Rational(3));
+  LinearExpr half = e * Rational(1, 2);
+  EXPECT_EQ(half.Coeff("x"), Rational(1));
+  EXPECT_EQ(half.constant(), Rational(3, 2));
+  EXPECT_TRUE((e * Rational(0)).IsZero());
+}
+
+TEST(LinearExprTest, SubstituteReplacesVariable) {
+  // x + 2y, substitute y := 3x - 1  =>  7x - 2.
+  LinearExpr e = LinearExpr::Variable("x") + LinearExpr::Term("y", Rational(2));
+  LinearExpr repl = LinearExpr::Term("x", Rational(3)) -
+                    LinearExpr::Constant(Rational(1));
+  LinearExpr out = e.Substitute("y", repl);
+  EXPECT_EQ(out.Coeff("x"), Rational(7));
+  EXPECT_FALSE(out.Mentions("y"));
+  EXPECT_EQ(out.constant(), Rational(-2));
+}
+
+TEST(LinearExprTest, SubstituteAbsentVariableIsIdentity) {
+  LinearExpr e = LinearExpr::Variable("x");
+  EXPECT_EQ(e.Substitute("q", LinearExpr::Constant(Rational(9))), e);
+}
+
+TEST(LinearExprTest, RenameVariable) {
+  LinearExpr e = LinearExpr::Term("x", Rational(5)) +
+                 LinearExpr::Variable("y");
+  LinearExpr renamed = e.RenameVariable("x", "z");
+  EXPECT_EQ(renamed.Coeff("z"), Rational(5));
+  EXPECT_FALSE(renamed.Mentions("x"));
+  EXPECT_EQ(renamed.Coeff("y"), Rational(1));
+}
+
+TEST(LinearExprTest, EvaluateAtPoint) {
+  LinearExpr e = LinearExpr::Term("x", Rational(2)) +
+                 LinearExpr::Term("y", Rational(-1)) +
+                 LinearExpr::Constant(Rational(1, 2));
+  Assignment p{{"x", Rational(3)}, {"y", Rational(1, 2)}};
+  EXPECT_EQ(e.Evaluate(p), Rational(6));
+}
+
+TEST(LinearExprTest, VariablesSet) {
+  LinearExpr e = LinearExpr::Variable("b") + LinearExpr::Variable("a");
+  auto vars = e.Variables();
+  EXPECT_EQ(vars, (std::set<std::string>{"a", "b"}));
+}
+
+TEST(LinearExprTest, ToStringReadable) {
+  LinearExpr e = LinearExpr::Term("x", Rational(2)) +
+                 LinearExpr::Term("y", Rational(3, 2)) -
+                 LinearExpr::Constant(Rational(7));
+  EXPECT_EQ(e.ToString(), "2x + 3/2y - 7");
+
+  LinearExpr neg = LinearExpr::Term("x", Rational(-1)) +
+                   LinearExpr::Variable("y");
+  EXPECT_EQ(neg.ToString(), "-x + y");
+}
+
+TEST(LinearExprTest, TotalOrderIsConsistent) {
+  LinearExpr a = LinearExpr::Variable("x");
+  LinearExpr b = LinearExpr::Variable("y");
+  LinearExpr c = LinearExpr::Term("x", Rational(2));
+  EXPECT_TRUE((a < b) != (b < a));
+  EXPECT_TRUE((a < c) != (c < a));
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace ccdb

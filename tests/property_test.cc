@@ -1,0 +1,411 @@
+// Parameterized property suites: randomized invariants swept over sizes,
+// dimensions, and seeds with INSTANTIATE_TEST_SUITE_P.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ccdb.h"
+
+namespace ccdb {
+namespace {
+
+LinearExpr V(const std::string& n) { return LinearExpr::Variable(n); }
+LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+
+// --- BigInt: division identities over magnitude ranges -------------------------
+
+class BigIntDivisionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(BigIntDivisionProperty, QuotientRemainderIdentity) {
+  auto [dividend_digits, divisor_digits, seed] = GetParam();
+  Rng rng(seed);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::string a_text, b_text;
+    for (int i = 0; i < dividend_digits; ++i) {
+      a_text += static_cast<char>('0' + rng.UniformInt(i ? 0 : 1, 9));
+    }
+    for (int i = 0; i < divisor_digits; ++i) {
+      b_text += static_cast<char>('0' + rng.UniformInt(i ? 0 : 1, 9));
+    }
+    if (rng.UniformInt(0, 1)) a_text.insert(0, "-");
+    if (rng.UniformInt(0, 1)) b_text.insert(0, "-");
+    BigInt a = BigInt::FromString(a_text).value();
+    BigInt b = BigInt::FromString(b_text).value();
+    ASSERT_FALSE(b.IsZero());
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    // Euclid: a = qb + r, |r| < |b|, sign(r) in {0, sign(a)}.
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.Abs().Compare(b.Abs()), 0);
+    if (!r.IsZero()) EXPECT_EQ(r.Sign(), a.Sign());
+    // Gcd divides both.
+    BigInt g = BigInt::Gcd(a, b);
+    EXPECT_TRUE((a % g).IsZero());
+    EXPECT_TRUE((b % g).IsZero());
+    // String round-trip.
+    EXPECT_EQ(BigInt::FromString(a.ToString()).value(), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MagnitudeSweep, BigIntDivisionProperty,
+    ::testing::Values(std::tuple{5, 3, 1}, std::tuple{12, 9, 2},
+                      std::tuple{25, 10, 3}, std::tuple{40, 20, 4},
+                      std::tuple{60, 35, 5}, std::tuple{30, 30, 6}),
+    [](const auto& info) {
+      return "a" + std::to_string(std::get<0>(info.param)) + "_b" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// --- Fourier-Motzkin: projection soundness/completeness over shapes -------------
+
+struct FmCase {
+  int vars;
+  int constraints;
+  uint64_t seed;
+};
+
+class FmProjectionProperty : public ::testing::TestWithParam<FmCase> {};
+
+TEST_P(FmProjectionProperty, ProjectionIsExact) {
+  const FmCase param = GetParam();
+  Rng rng(param.seed);
+  std::vector<std::string> names;
+  for (int v = 0; v < param.vars; ++v) {
+    names.push_back("v" + std::to_string(v));
+  }
+  for (int iter = 0; iter < 25; ++iter) {
+    Conjunction c;
+    for (int i = 0; i < param.constraints; ++i) {
+      LinearExpr e;
+      for (const std::string& name : names) {
+        e.AddTerm(name, Rational(rng.UniformInt(-2, 2)));
+      }
+      e.AddConstant(Rational(rng.UniformInt(-8, 8)));
+      int op = static_cast<int>(rng.UniformInt(0, 2));
+      c.Add(Constraint(std::move(e), op == 0   ? ConstraintOp::kLe
+                                      : op == 1 ? ConstraintOp::kLt
+                                                : ConstraintOp::kEq));
+    }
+    // Project away the last variable.
+    const std::string& gone = names.back();
+    std::set<std::string> keep(names.begin(), names.end() - 1);
+    Conjunction projected = fm::Project(c, keep);
+    EXPECT_FALSE(projected.Mentions(gone));
+
+    for (int s = 0; s < 10; ++s) {
+      Assignment full, partial;
+      for (const std::string& name : names) {
+        Rational value(rng.UniformInt(-10, 10), rng.UniformInt(1, 3));
+        full[name] = value;
+        if (name != gone) partial[name] = value;
+      }
+      // Soundness: a satisfying full point restricts to a satisfying
+      // partial point.
+      if (c.IsSatisfiedBy(full)) {
+        EXPECT_TRUE(projected.IsSatisfiedBy(partial));
+      }
+      // Completeness: a satisfying partial point extends to some value of
+      // the eliminated variable.
+      if (projected.IsSatisfiedBy(partial)) {
+        Conjunction pinned = c;
+        for (const auto& [name, value] : partial) {
+          pinned = pinned.Substitute(name, LinearExpr::Constant(value));
+        }
+        EXPECT_TRUE(fm::IsSatisfiable(pinned));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, FmProjectionProperty,
+    ::testing::Values(FmCase{2, 3, 11}, FmCase{2, 6, 12}, FmCase{3, 4, 13},
+                      FmCase{3, 8, 14}, FmCase{4, 5, 15}, FmCase{4, 9, 16}),
+    [](const auto& info) {
+      return "v" + std::to_string(info.param.vars) + "_c" +
+             std::to_string(info.param.constraints) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// --- RemoveRedundant: equivalence preserved over shapes --------------------------
+
+class FmRedundancyProperty : public ::testing::TestWithParam<FmCase> {};
+
+TEST_P(FmRedundancyProperty, MinimizationPreservesSemantics) {
+  const FmCase param = GetParam();
+  Rng rng(param.seed * 7919);
+  for (int iter = 0; iter < 15; ++iter) {
+    Conjunction c;
+    for (int i = 0; i < param.constraints; ++i) {
+      LinearExpr e;
+      for (int v = 0; v < param.vars; ++v) {
+        e.AddTerm("v" + std::to_string(v), Rational(rng.UniformInt(-2, 2)));
+      }
+      e.AddConstant(Rational(rng.UniformInt(-8, 8)));
+      c.Add(Constraint(std::move(e), rng.UniformInt(0, 1)
+                                         ? ConstraintOp::kLe
+                                         : ConstraintOp::kLt));
+    }
+    Conjunction reduced = fm::RemoveRedundant(c);
+    EXPECT_LE(reduced.size(), c.size());
+    EXPECT_TRUE(fm::AreEquivalent(c, reduced))
+        << c.ToString() << "  vs  " << reduced.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeSweep, FmRedundancyProperty,
+                         ::testing::Values(FmCase{2, 4, 1}, FmCase{2, 8, 2},
+                                           FmCase{3, 6, 3}, FmCase{3, 10, 4}),
+                         [](const auto& info) {
+                           return "v" + std::to_string(info.param.vars) +
+                                  "_c" +
+                                  std::to_string(info.param.constraints) +
+                                  "_s" + std::to_string(info.param.seed);
+                         });
+
+// --- R*-tree: invariants + exactness over dims / sizes / caches ------------------
+
+struct TreeCase {
+  int dims;
+  int entries;
+  size_t cache_pages;
+  uint64_t seed;
+};
+
+class RTreeProperty : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(RTreeProperty, InvariantsAndExactSearch) {
+  const TreeCase param = GetParam();
+  PageManager disk;
+  BufferPool pool(&disk, param.cache_pages);
+  RStarTree tree(&pool, param.dims);
+  Rng rng(param.seed);
+  auto random_box = [&]() {
+    double x = static_cast<double>(rng.UniformInt(0, 3000));
+    double w = static_cast<double>(rng.UniformInt(1, 100));
+    if (param.dims == 1) return Rect::Make1D(x, x + w);
+    double y = static_cast<double>(rng.UniformInt(0, 3000));
+    double h = static_cast<double>(rng.UniformInt(1, 100));
+    if (param.dims == 2) return Rect::Make2D(x, x + w, y, y + h);
+    double z = static_cast<double>(rng.UniformInt(0, 3000));
+    double d = static_cast<double>(rng.UniformInt(1, 100));
+    return Rect::Make3D(x, x + w, y, y + h, z, z + d);
+  };
+  std::vector<Rect> boxes;
+  for (int i = 0; i < param.entries; ++i) {
+    boxes.push_back(random_box());
+    ASSERT_TRUE(tree.Insert(boxes.back(), static_cast<uint64_t>(i)).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int q = 0; q < 20; ++q) {
+    Rect query = random_box();
+    auto hits = tree.Search(query);
+    ASSERT_TRUE(hits.ok());
+    std::vector<uint64_t> got = *hits;
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> expected;
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].Intersects(query)) expected.push_back(i);
+    }
+    EXPECT_EQ(got, expected);
+  }
+  // Delete a third, re-verify.
+  for (int i = 0; i < param.entries; i += 3) {
+    ASSERT_TRUE(tree.Delete(boxes[static_cast<size_t>(i)],
+                            static_cast<uint64_t>(i))
+                    .ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsSizesCaches, RTreeProperty,
+    ::testing::Values(TreeCase{1, 300, 0, 1}, TreeCase{1, 1500, 8, 2},
+                      TreeCase{2, 300, 0, 3}, TreeCase{2, 1500, 8, 4},
+                      TreeCase{2, 3000, 0, 5}, TreeCase{2, 800, 2, 6},
+                      TreeCase{3, 400, 0, 7}, TreeCase{3, 1500, 8, 8}),
+    [](const auto& info) {
+      return std::to_string(info.param.dims) + "d_n" +
+             std::to_string(info.param.entries) + "_c" +
+             std::to_string(info.param.cache_pages) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// --- CQA operators: closure semantics over seeds ---------------------------------
+
+class OperatorClosureProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OperatorClosureProperty, AlgebraMatchesPointSemantics) {
+  Rng rng(GetParam());
+  Schema schema = Schema::Make({Schema::ConstraintRational("x"),
+                                Schema::ConstraintRational("y")})
+                      .value();
+  auto random_relation = [&]() {
+    Relation rel(schema);
+    int n = static_cast<int>(rng.UniformInt(1, 4));
+    for (int i = 0; i < n; ++i) {
+      Tuple t;
+      int m = static_cast<int>(rng.UniformInt(1, 3));
+      for (int j = 0; j < m; ++j) {
+        LinearExpr e = V("x") * Rational(rng.UniformInt(-2, 2)) +
+                       V("y") * Rational(rng.UniformInt(-2, 2)) +
+                       C(rng.UniformInt(-5, 5));
+        t.AddConstraint(Constraint(
+            std::move(e), rng.UniformInt(0, 1) ? ConstraintOp::kLe
+                                               : ConstraintOp::kLt));
+      }
+      EXPECT_TRUE(rel.Insert(std::move(t)).ok());
+    }
+    return rel;
+  };
+  for (int iter = 0; iter < 15; ++iter) {
+    Relation r1 = random_relation();
+    Relation r2 = random_relation();
+    auto joined = cqa::NaturalJoin(r1, r2);
+    auto united = cqa::Union(r1, r2);
+    auto diffed = cqa::Difference(r1, r2);
+    ASSERT_TRUE(joined.ok() && united.ok() && diffed.ok());
+    for (int s = 0; s < 20; ++s) {
+      PointRow p{{},
+                 {{"x", Rational(rng.UniformInt(-7, 7), rng.UniformInt(1, 2))},
+                  {"y", Rational(rng.UniformInt(-7, 7),
+                                 rng.UniformInt(1, 2))}}};
+      bool in1 = r1.ContainsPoint(p);
+      bool in2 = r2.ContainsPoint(p);
+      EXPECT_EQ(joined->ContainsPoint(p), in1 && in2);
+      EXPECT_EQ(united->ContainsPoint(p), in1 || in2);
+      EXPECT_EQ(diffed->ContainsPoint(p), in1 && !in2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, OperatorClosureProperty,
+                         ::testing::Values(101, 202, 303, 404, 505),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// --- Geometry: conversion round-trips over polygon families ----------------------
+
+class ConvexRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvexRoundTripProperty, RingThroughConstraintsAndBack) {
+  const int sides = GetParam();
+  // A convex polygon on a circle of radius 100 with exact rational-ish
+  // vertices (rounded to integers, deduplicated by construction).
+  std::vector<geom::Point> ring;
+  for (int i = 0; i < sides; ++i) {
+    double angle = 2.0 * 3.14159265358979 * i / sides;
+    int64_t x = static_cast<int64_t>(100.0 * std::cos(angle) * 100);
+    int64_t y = static_cast<int64_t>(100.0 * std::sin(angle) * 100);
+    ring.emplace_back(x, y);
+  }
+  auto hull = geom::ConvexHull(ring);
+  ASSERT_GE(hull.size(), 3u);
+  auto polygon = geom::Polygon::Make(hull);
+  ASSERT_TRUE(polygon.ok()) << polygon.status().ToString();
+
+  Conjunction c = geom::ConvexRingToConjunction(polygon->vertices(), "x", "y");
+  auto back = geom::ConjunctionToRegion(c, "x", "y");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->kind(), geom::ConvexRegion::Kind::kPolygon);
+  EXPECT_EQ(back->polygon().Area(), polygon->Area());
+  EXPECT_EQ(back->polygon().size(), polygon->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(SideCounts, ConvexRoundTripProperty,
+                         ::testing::Values(3, 4, 5, 6, 8, 12, 20),
+                         [](const auto& info) {
+                           return "sides" + std::to_string(info.param);
+                         });
+
+// --- Storage: serialization fuzz over record shapes -------------------------------
+
+class SerdeFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerdeFuzzProperty, RandomTuplesRoundTrip) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    Tuple t;
+    int values = static_cast<int>(rng.UniformInt(0, 3));
+    for (int i = 0; i < values; ++i) {
+      std::string name = "a" + std::to_string(i);
+      if (rng.UniformInt(0, 1)) {
+        std::string s;
+        int len = static_cast<int>(rng.UniformInt(0, 20));
+        for (int k = 0; k < len; ++k) {
+          s += static_cast<char>(rng.UniformInt(32, 126));
+        }
+        t.SetValue(name, Value::String(s));
+      } else {
+        t.SetValue(name, Value::Number(Rational(rng.UniformInt(-1000, 1000),
+                                                rng.UniformInt(1, 999))));
+      }
+    }
+    int constraints = static_cast<int>(rng.UniformInt(0, 4));
+    for (int i = 0; i < constraints; ++i) {
+      LinearExpr e = V("x") * Rational(rng.UniformInt(-9, 9),
+                                       rng.UniformInt(1, 9)) +
+                     V("y") * Rational(rng.UniformInt(-9, 9)) +
+                     C(rng.UniformInt(-100, 100));
+      int op = static_cast<int>(rng.UniformInt(0, 2));
+      t.AddConstraint(Constraint(std::move(e), op == 0 ? ConstraintOp::kLe
+                                               : op == 1 ? ConstraintOp::kLt
+                                                         : ConstraintOp::kEq));
+    }
+    auto back = DeserializeTuple(SerializeTuple(t));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, SerdeFuzzProperty,
+                         ::testing::Values(9001, 9002, 9003, 9004),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// --- Truncation fuzz: corrupt records must fail cleanly, never crash -------------
+
+class SerdeTruncationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerdeTruncationProperty, TruncatedAndCorruptedRecordsFailCleanly) {
+  Rng rng(GetParam());
+  Tuple t;
+  t.SetValue("name", Value::String("truncate-me"));
+  t.AddConstraint(Constraint::Le(V("x") + V("y"), C(10)));
+  auto bytes = SerializeTuple(t);
+  // Every strict prefix either fails or (rarely) parses to some tuple —
+  // but must never crash or loop.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> prefix(bytes.begin(),
+                                bytes.begin() + static_cast<ptrdiff_t>(len));
+    auto result = DeserializeTuple(prefix);
+    if (result.ok()) {
+      // Acceptable only if a shorter valid encoding exists; record it.
+      SUCCEED();
+    }
+  }
+  // Random single-byte corruptions.
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<uint8_t> corrupt = bytes;
+    size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(corrupt.size()) - 1));
+    corrupt[pos] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
+    auto result = DeserializeTuple(corrupt);  // must not crash
+    (void)result;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, SerdeTruncationProperty,
+                         ::testing::Values(31, 32),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,137 @@
+#include "num/rational.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ccdb {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_TRUE(zero.IsInteger());
+  EXPECT_EQ(zero.ToString(), "0");
+}
+
+TEST(RationalTest, NormalizesOnConstruction) {
+  Rational half(2, 4);
+  EXPECT_EQ(half.numerator(), BigInt(1));
+  EXPECT_EQ(half.denominator(), BigInt(2));
+
+  Rational negative(3, -6);
+  EXPECT_EQ(negative.numerator(), BigInt(-1));
+  EXPECT_EQ(negative.denominator(), BigInt(2));
+
+  Rational zero(0, -7);
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.denominator(), BigInt(1));
+}
+
+TEST(RationalTest, ParsesIntegerFractionAndDecimal) {
+  EXPECT_EQ(Rational::FromString("-3").value(), Rational(-3));
+  EXPECT_EQ(Rational::FromString("3/4").value(), Rational(3, 4));
+  EXPECT_EQ(Rational::FromString("-6/8").value(), Rational(-3, 4));
+  EXPECT_EQ(Rational::FromString("2.5").value(), Rational(5, 2));
+  EXPECT_EQ(Rational::FromString("-0.125").value(), Rational(-1, 8));
+  EXPECT_EQ(Rational::FromString(".5").value(), Rational(1, 2));
+  EXPECT_EQ(Rational::FromString("-.5").value(), Rational(-1, 2));
+  EXPECT_EQ(Rational::FromString(" 7/2 ").value(), Rational(7, 2));
+}
+
+TEST(RationalTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Rational::FromString("").ok());
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("2.").ok());
+  EXPECT_FALSE(Rational::FromString("a/b").ok());
+  EXPECT_FALSE(Rational::FromString("1.2.3").ok());
+  EXPECT_FALSE(Rational::FromString("1.-5").ok());
+}
+
+TEST(RationalTest, ToStringIntegerVsFraction) {
+  EXPECT_EQ(Rational(4, 2).ToString(), "2");
+  EXPECT_EQ(Rational(1, 3).ToString(), "1/3");
+  EXPECT_EQ(Rational(-5, 10).ToString(), "-1/2");
+}
+
+TEST(RationalTest, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+  EXPECT_EQ(Rational(-7, 3).Abs(), Rational(7, 3));
+}
+
+TEST(RationalTest, InverseSwapsAndFixesSign) {
+  EXPECT_EQ(Rational(2, 3).Inverse(), Rational(3, 2));
+  EXPECT_EQ(Rational(-2, 3).Inverse(), Rational(-3, 2));
+  EXPECT_EQ(Rational(-2, 3).Inverse().denominator(), BigInt(2));
+}
+
+TEST(RationalTest, ComparisonIsExact) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4).Compare(Rational(1, 2)), 0);
+  // A comparison a double would get wrong: 1/3 vs 33333.../100000...
+  Rational third(1, 3);
+  Rational close(BigInt::FromString("3333333333333333").value(),
+                 BigInt::FromString("10000000000000000").value());
+  EXPECT_GT(third, close);
+}
+
+TEST(RationalTest, FieldAxiomsRandomized) {
+  Rng rng(20030608);
+  for (int iter = 0; iter < 500; ++iter) {
+    Rational a(rng.UniformInt(-50, 50), rng.UniformInt(1, 20));
+    Rational b(rng.UniformInt(-50, 50), rng.UniformInt(1, 20));
+    Rational c(rng.UniformInt(-50, 50), rng.UniformInt(1, 20));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.IsZero()) EXPECT_EQ(a / b * b, a);
+  }
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).Floor(), BigInt(3));
+  EXPECT_EQ(Rational(7, 2).Ceil(), BigInt(4));
+  EXPECT_EQ(Rational(-7, 2).Floor(), BigInt(-4));
+  EXPECT_EQ(Rational(-7, 2).Ceil(), BigInt(-3));
+  EXPECT_EQ(Rational(4).Floor(), BigInt(4));
+  EXPECT_EQ(Rational(4).Ceil(), BigInt(4));
+  EXPECT_EQ(Rational(0).Floor(), BigInt(0));
+}
+
+TEST(RationalTest, FloorCeilBracketRandomized) {
+  Rng rng(5);
+  for (int iter = 0; iter < 500; ++iter) {
+    Rational v(rng.UniformInt(-10000, 10000), rng.UniformInt(1, 97));
+    Rational floor{Rational(v.Floor())};
+    Rational ceil{Rational(v.Ceil())};
+    EXPECT_LE(floor, v);
+    EXPECT_GE(ceil, v);
+    EXPECT_LE(v - floor, Rational(1));
+    EXPECT_LE(ceil - v, Rational(1));
+  }
+}
+
+TEST(RationalTest, MinMax) {
+  EXPECT_EQ(Rational::Min(Rational(1, 2), Rational(1, 3)), Rational(1, 3));
+  EXPECT_EQ(Rational::Max(Rational(1, 2), Rational(1, 3)), Rational(1, 2));
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).ToDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-3, 4).ToDouble(), -0.75);
+  EXPECT_NEAR(Rational(1, 3).ToDouble(), 0.333333333, 1e-9);
+}
+
+TEST(RationalTest, HashEqualValuesAgree) {
+  EXPECT_EQ(Rational(2, 4).Hash(), Rational(1, 2).Hash());
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,387 @@
+#include "index/rstar_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "index/strategy.h"
+#include "util/random.h"
+
+namespace ccdb {
+namespace {
+
+Rect RandomBox2D(Rng* rng) {
+  double x = static_cast<double>(rng->UniformInt(0, 3000));
+  double y = static_cast<double>(rng->UniformInt(0, 3000));
+  double w = static_cast<double>(rng->UniformInt(1, 100));
+  double h = static_cast<double>(rng->UniformInt(1, 100));
+  return Rect::Make2D(x, x + w, y, y + h);
+}
+
+/// Brute-force reference: ids of boxes intersecting the query.
+std::vector<uint64_t> LinearSearch(const std::vector<Rect>& boxes,
+                                   const Rect& query) {
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    if (boxes[i].Intersects(query)) out.push_back(i);
+  }
+  return out;
+}
+
+// --- Rect ------------------------------------------------------------------------
+
+TEST(RectTest, Measures) {
+  Rect r = Rect::Make2D(0, 4, 0, 3);
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 7.0);
+  Rect r1 = Rect::Make1D(2, 5);
+  EXPECT_DOUBLE_EQ(r1.Area(), 3.0);
+  EXPECT_DOUBLE_EQ(r1.Margin(), 3.0);
+}
+
+TEST(RectTest, IntersectsAndContains) {
+  Rect a = Rect::Make2D(0, 2, 0, 2);
+  Rect b = Rect::Make2D(1, 3, 1, 3);
+  Rect c = Rect::Make2D(5, 6, 5, 6);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Intersects(Rect::Make2D(2, 3, 0, 1))) << "touching edge";
+  EXPECT_TRUE(a.Contains(Rect::Make2D(0.5, 1.5, 0.5, 1.5)));
+  EXPECT_FALSE(b.Contains(a));
+}
+
+TEST(RectTest, ExpandOverlapEnlarge) {
+  Rect a = Rect::Make2D(0, 2, 0, 2);
+  Rect b = Rect::Make2D(1, 3, 1, 3);
+  Rect u = a.ExpandedBy(b);
+  EXPECT_DOUBLE_EQ(u.Area(), 9.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect::Make2D(5, 6, 5, 6)), 0.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 5.0);
+}
+
+TEST(RectTest, ConservativeRoundingBracketsRationals) {
+  Rational third(1, 3);
+  EXPECT_LT(Rect::RoundDown(third), third.ToDouble());
+  EXPECT_GT(Rect::RoundUp(third), third.ToDouble());
+}
+
+// --- Basic tree operations ---------------------------------------------------------
+
+TEST(RStarTreeTest, EmptyTreeSearch) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  RStarTree tree(&pool, 2);
+  auto hits = tree.Search(Rect::Make2D(0, 100, 0, 100));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RStarTreeTest, FanoutDerivedFromPageSize) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  RStarTree tree2(&pool, 2);
+  RStarTree tree1(&pool, 1);
+  EXPECT_EQ(tree2.max_entries(), (kPageSize - 4) / 40);
+  EXPECT_EQ(tree1.max_entries(), (kPageSize - 4) / 24);
+  EXPECT_GE(tree2.min_entries(), 2u);
+  EXPECT_LE(tree2.min_entries(), tree2.max_entries() / 2);
+}
+
+TEST(RStarTreeTest, InsertAndFindFew) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  RStarTree tree(&pool, 2);
+  ASSERT_TRUE(tree.Insert(Rect::Make2D(0, 1, 0, 1), 10).ok());
+  ASSERT_TRUE(tree.Insert(Rect::Make2D(5, 6, 5, 6), 20).ok());
+  ASSERT_TRUE(tree.Insert(Rect::Make2D(0.5, 5.5, 0.5, 5.5), 30).ok());
+  EXPECT_EQ(tree.size(), 3u);
+
+  auto hits = tree.Search(Rect::Make2D(0, 1, 0, 1));
+  ASSERT_TRUE(hits.ok());
+  std::set<uint64_t> got(hits->begin(), hits->end());
+  EXPECT_EQ(got, (std::set<uint64_t>{10, 30}));
+
+  auto none = tree.Search(Rect::Make2D(100, 200, 100, 200));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(RStarTreeTest, SplitsGrowTheTree) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  RStarTree tree(&pool, 2);
+  Rng rng(1);
+  const size_t n = tree.max_entries() * 3;  // force several splits
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(RandomBox2D(&rng), i).ok());
+  }
+  EXPECT_GE(tree.height(), 2);
+  EXPECT_EQ(tree.size(), n);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  auto count = tree.CountNodes();
+  ASSERT_TRUE(count.ok());
+  EXPECT_GT(*count, 1u);
+}
+
+TEST(RStarTreeTest, SearchMatchesLinearScanRandomized) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  RStarTree tree(&pool, 2);
+  Rng rng(77);
+  std::vector<Rect> boxes;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    boxes.push_back(RandomBox2D(&rng));
+    ASSERT_TRUE(tree.Insert(boxes.back(), i).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int q = 0; q < 100; ++q) {
+    Rect query = RandomBox2D(&rng);
+    auto hits = tree.Search(query);
+    ASSERT_TRUE(hits.ok());
+    std::vector<uint64_t> got = *hits;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, LinearSearch(boxes, query));
+  }
+}
+
+TEST(RStarTreeTest, OneDimensionalTreeWorks) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  RStarTree tree(&pool, 1);
+  Rng rng(5);
+  std::vector<Rect> intervals;
+  for (uint64_t i = 0; i < 1500; ++i) {
+    double lo = static_cast<double>(rng.UniformInt(0, 3000));
+    double len = static_cast<double>(rng.UniformInt(1, 100));
+    intervals.push_back(Rect::Make1D(lo, lo + len));
+    ASSERT_TRUE(tree.Insert(intervals.back(), i).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int q = 0; q < 50; ++q) {
+    double lo = static_cast<double>(rng.UniformInt(0, 3000));
+    Rect query = Rect::Make1D(lo, lo + 50);
+    auto hits = tree.Search(query);
+    ASSERT_TRUE(hits.ok());
+    std::vector<uint64_t> got = *hits;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, LinearSearch(intervals, query));
+  }
+}
+
+TEST(RStarTreeTest, DuplicateRectsDistinctIds) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  RStarTree tree(&pool, 2);
+  Rect same = Rect::Make2D(10, 20, 10, 20);
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree.Insert(same, i).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  auto hits = tree.Search(same);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 300u);
+}
+
+// --- Delete -------------------------------------------------------------------------
+
+TEST(RStarTreeTest, DeleteBasic) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  RStarTree tree(&pool, 2);
+  Rect a = Rect::Make2D(0, 1, 0, 1);
+  Rect b = Rect::Make2D(5, 6, 5, 6);
+  ASSERT_TRUE(tree.Insert(a, 1).ok());
+  ASSERT_TRUE(tree.Insert(b, 2).ok());
+  ASSERT_TRUE(tree.Delete(a, 1).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  auto hits = tree.Search(Rect::Make2D(0, 10, 0, 10));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(*hits, std::vector<uint64_t>{2});
+  EXPECT_FALSE(tree.Delete(a, 1).ok()) << "second delete must be NotFound";
+}
+
+TEST(RStarTreeTest, DeleteHalfThenSearchStillExact) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  RStarTree tree(&pool, 2);
+  Rng rng(9);
+  std::vector<Rect> boxes;
+  for (uint64_t i = 0; i < 1200; ++i) {
+    boxes.push_back(RandomBox2D(&rng));
+    ASSERT_TRUE(tree.Insert(boxes.back(), i).ok());
+  }
+  // Delete every even id; trigger condensation and root shrinks.
+  for (uint64_t i = 0; i < 1200; i += 2) {
+    ASSERT_TRUE(tree.Delete(boxes[i], i).ok()) << i;
+  }
+  EXPECT_EQ(tree.size(), 600u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int q = 0; q < 50; ++q) {
+    Rect query = RandomBox2D(&rng);
+    auto hits = tree.Search(query);
+    ASSERT_TRUE(hits.ok());
+    std::vector<uint64_t> got = *hits;
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> expected;
+    for (uint64_t i = 1; i < 1200; i += 2) {
+      if (boxes[i].Intersects(query)) expected.push_back(i);
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(RStarTreeTest, DeleteEverythingLeavesEmptyTree) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  RStarTree tree(&pool, 2);
+  Rng rng(13);
+  std::vector<Rect> boxes;
+  for (uint64_t i = 0; i < 500; ++i) {
+    boxes.push_back(RandomBox2D(&rng));
+    ASSERT_TRUE(tree.Insert(boxes[i], i).ok());
+  }
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Delete(boxes[i], i).ok()) << i;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  auto hits = tree.Search(Rect::Make2D(0, 4000, 0, 4000));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(RStarTreeTest, InterleavedInsertDeleteFuzz) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  RStarTree tree(&pool, 2);
+  Rng rng(2718);
+  std::vector<std::pair<Rect, uint64_t>> live;
+  uint64_t next_id = 0;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.UniformInt(0, 2) > 0) {
+      Rect box = RandomBox2D(&rng);
+      ASSERT_TRUE(tree.Insert(box, next_id).ok());
+      live.emplace_back(box, next_id);
+      ++next_id;
+    } else {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(tree.Delete(live[pick].first, live[pick].second).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    }
+    if (step % 500 == 499) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), live.size());
+  // Final exactness check.
+  Rect query = Rect::Make2D(1000, 2000, 1000, 2000);
+  auto hits = tree.Search(query);
+  ASSERT_TRUE(hits.ok());
+  std::set<uint64_t> got(hits->begin(), hits->end());
+  std::set<uint64_t> expected;
+  for (const auto& [box, id] : live) {
+    if (box.Intersects(query)) expected.insert(id);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+// --- Disk-access accounting ------------------------------------------------------------
+
+TEST(RStarTreeTest, SearchCostsLogarithmicNotLinear) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  RStarTree tree(&pool, 2);
+  Rng rng(31);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(tree.Insert(RandomBox2D(&rng), i).ok());
+  }
+  auto nodes = tree.CountNodes();
+  ASSERT_TRUE(nodes.ok());
+  pm.ResetStats();
+  auto hits = tree.Search(Rect::Make2D(1500, 1550, 1500, 1550));
+  ASSERT_TRUE(hits.ok());
+  uint64_t accesses = pm.stats().reads;
+  EXPECT_GT(accesses, 0u);
+  EXPECT_LT(accesses, *nodes / 4)
+      << "a selective query must touch a small fraction of " << *nodes
+      << " nodes";
+}
+
+// --- Strategies --------------------------------------------------------------------------
+
+TEST(StrategyTest, JointAndSeparateAgreeOnResults) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  Rect domain = Rect::Make2D(0, 3100, 0, 3100);
+  JointIndex joint(&pool, domain);
+  SeparateIndex separate(&pool);
+  Rng rng(64);
+  std::vector<Rect> boxes;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    boxes.push_back(RandomBox2D(&rng));
+    ASSERT_TRUE(joint.Insert(boxes.back(), i).ok());
+    ASSERT_TRUE(separate.Insert(boxes.back(), i).ok());
+  }
+  for (int q = 0; q < 40; ++q) {
+    Rect query = RandomBox2D(&rng);
+    BoxQuery both = BoxQuery::Both(query.lo[0], query.hi[0], query.lo[1],
+                                   query.hi[1]);
+    auto joint_hits = joint.Search(both);
+    auto sep_hits = separate.Search(both);
+    ASSERT_TRUE(joint_hits.ok() && sep_hits.ok());
+    std::sort(joint_hits->begin(), joint_hits->end());
+    std::sort(sep_hits->begin(), sep_hits->end());
+    EXPECT_EQ(*joint_hits, *sep_hits);
+    EXPECT_EQ(*joint_hits, LinearSearch(boxes, query));
+
+    BoxQuery xonly = BoxQuery::XOnly(query.lo[0], query.hi[0]);
+    auto jx = joint.Search(xonly);
+    auto sx = separate.Search(xonly);
+    ASSERT_TRUE(jx.ok() && sx.ok());
+    std::sort(jx->begin(), jx->end());
+    std::sort(sx->begin(), sx->end());
+    EXPECT_EQ(*jx, *sx);
+  }
+}
+
+TEST(StrategyTest, SeparateRejectsEmptyQuery) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  SeparateIndex separate(&pool);
+  EXPECT_FALSE(separate.Search(BoxQuery{}).ok());
+}
+
+TEST(StrategyTest, JointWinsOnConjunctiveLowSelectivityQueries) {
+  // The §5.3 worked example: each attribute alone has ~50% selectivity but
+  // the conjunction is tiny. Separate indices pay for both big scans.
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  Rect domain = Rect::Make2D(0, 3100, 0, 3100);
+  JointIndex joint(&pool, domain);
+  SeparateIndex separate(&pool);
+  Rng rng(99);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    Rect box = RandomBox2D(&rng);
+    ASSERT_TRUE(joint.Insert(box, i).ok());
+    ASSERT_TRUE(separate.Insert(box, i).ok());
+  }
+  // x < 1500 AND y > 1500 — half the domain each, a quarter combined.
+  BoxQuery query = BoxQuery::Both(0, 1500, 1500, 3100);
+  pm.ResetStats();
+  ASSERT_TRUE(joint.Search(query).ok());
+  uint64_t joint_cost = pm.stats().reads;
+  pm.ResetStats();
+  ASSERT_TRUE(separate.Search(query).ok());
+  uint64_t separate_cost = pm.stats().reads;
+  EXPECT_LT(joint_cost, separate_cost);
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,115 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdb {
+namespace {
+
+Schema Hurricane() {
+  // The paper's §3.3 Hurricane relation: [t, x, y: rational, constraint].
+  return Schema::Make({Schema::ConstraintRational("t"),
+                       Schema::ConstraintRational("x"),
+                       Schema::ConstraintRational("y")})
+      .value();
+}
+
+Schema Landownership() {
+  return Schema::Make({Schema::RelationalString("name"),
+                       Schema::ConstraintRational("t"),
+                       Schema::RelationalString("landId")})
+      .value();
+}
+
+TEST(SchemaTest, MakeValidatesNames) {
+  EXPECT_FALSE(Schema::Make({Attribute{"", AttributeDomain::kString,
+                                       AttributeKind::kRelational}})
+                   .ok());
+  EXPECT_FALSE(Schema::Make({Schema::RelationalString("a"),
+                             Schema::RelationalString("a")})
+                   .ok());
+}
+
+TEST(SchemaTest, ConstraintAttributesMustBeRational) {
+  // The C/R flag composes with domains: a string constraint attr is invalid.
+  auto bad = Schema::Make({Attribute{"name", AttributeDomain::kString,
+                                     AttributeKind::kConstraint}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, FindAndNames) {
+  Schema s = Landownership();
+  EXPECT_EQ(s.arity(), 3u);
+  ASSERT_NE(s.Find("t"), nullptr);
+  EXPECT_EQ(s.Find("t")->kind, AttributeKind::kConstraint);
+  EXPECT_EQ(s.Find("missing"), nullptr);
+  EXPECT_EQ(s.Names(),
+            (std::vector<std::string>{"name", "t", "landId"}));
+}
+
+TEST(SchemaTest, ProjectKeepsOrderOfRequest) {
+  Schema s = Landownership();
+  auto p = s.Project({"landId", "name"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Names(), (std::vector<std::string>{"landId", "name"}));
+  EXPECT_FALSE(s.Project({"nope"}).ok());
+  EXPECT_FALSE(s.Project({"name", "name"}).ok());
+}
+
+TEST(SchemaTest, NaturalJoinMergesAndChecksConflicts) {
+  Schema land = Schema::Make({Schema::RelationalString("landId"),
+                              Schema::ConstraintRational("x"),
+                              Schema::ConstraintRational("y")})
+                    .value();
+  auto joined = Landownership().NaturalJoin(land);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->Names(),
+            (std::vector<std::string>{"name", "t", "landId", "x", "y"}));
+
+  // Kind conflict on shared attribute: t constraint vs t relational.
+  Schema conflicting =
+      Schema::Make({Schema::RelationalRational("t")}).value();
+  EXPECT_FALSE(Landownership().NaturalJoin(conflicting).ok());
+}
+
+TEST(SchemaTest, NaturalJoinWithDisjointIsCrossProductSchema) {
+  Schema a = Schema::Make({Schema::RelationalString("a")}).value();
+  Schema b = Schema::Make({Schema::RelationalString("b")}).value();
+  auto j = a.NaturalJoin(b);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->arity(), 2u);
+}
+
+TEST(SchemaTest, Rename) {
+  Schema s = Hurricane();
+  auto r = s.Rename("t", "time");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Has("time"));
+  EXPECT_FALSE(r->Has("t"));
+  EXPECT_EQ(r->Find("time")->kind, AttributeKind::kConstraint);
+  EXPECT_FALSE(s.Rename("missing", "z").ok());
+  EXPECT_FALSE(s.Rename("t", "x").ok()) << "target exists";
+}
+
+TEST(SchemaTest, EqualityIsExact) {
+  EXPECT_EQ(Hurricane(), Hurricane());
+  EXPECT_NE(Hurricane(), Landownership());
+  // Same names, different kind: not equal.
+  Schema relational_t =
+      Schema::Make({Schema::RelationalRational("t"),
+                    Schema::ConstraintRational("x"),
+                    Schema::ConstraintRational("y")})
+          .value();
+  EXPECT_NE(Hurricane(), relational_t);
+}
+
+TEST(SchemaTest, ToStringMatchesPaperStyle) {
+  Schema s = Schema::Make({Schema::RelationalString("landId"),
+                           Schema::ConstraintRational("x")})
+                 .value();
+  EXPECT_EQ(s.ToString(),
+            "[landId: string, relational; x: rational, constraint]");
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,307 @@
+#include "core/spatial.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ccdb::cqa {
+namespace {
+
+LinearExpr V(const std::string& n) { return LinearExpr::Variable(n); }
+LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+
+Schema SpatialSchema() {
+  return Schema::Make({Schema::RelationalString("fid"),
+                       Schema::ConstraintRational("x"),
+                       Schema::ConstraintRational("y")})
+      .value();
+}
+
+/// Adds one axis-aligned box tuple for feature `fid`.
+void AddBoxFeature(Relation* rel, const std::string& fid, int64_t x0,
+                   int64_t x1, int64_t y0, int64_t y1) {
+  Tuple t;
+  t.SetValue("fid", Value::String(fid));
+  t.AddConstraint(Constraint::Ge(V("x"), C(x0)));
+  t.AddConstraint(Constraint::Le(V("x"), C(x1)));
+  t.AddConstraint(Constraint::Ge(V("y"), C(y0)));
+  t.AddConstraint(Constraint::Le(V("y"), C(y1)));
+  ASSERT_TRUE(rel->Insert(std::move(t)).ok());
+}
+
+/// Adds a segment tuple (the paper's trajectory encoding).
+void AddSegmentFeature(Relation* rel, const std::string& fid,
+                       const geom::Point& a, const geom::Point& b) {
+  Tuple t;
+  t.SetValue("fid", Value::String(fid));
+  t.SetConstraints(geom::SegmentToConjunction(geom::Segment(a, b), "x", "y"));
+  ASSERT_TRUE(rel->Insert(std::move(t)).ok());
+}
+
+std::set<std::pair<std::string, std::string>> PairsOf(const Relation& rel) {
+  std::set<std::pair<std::string, std::string>> out;
+  for (const Tuple& t : rel.tuples()) {
+    out.emplace(t.GetValue("fid1").AsString(), t.GetValue("fid2").AsString());
+  }
+  return out;
+}
+
+// --- FeatureSet -----------------------------------------------------------------
+
+TEST(FeatureSetTest, GroupsTuplesByFeatureId) {
+  Relation rel(SpatialSchema());
+  AddBoxFeature(&rel, "lake", 0, 2, 0, 2);
+  AddBoxFeature(&rel, "lake", 2, 4, 0, 1);  // second convex piece
+  AddBoxFeature(&rel, "town", 10, 12, 10, 12);
+  auto set = FeatureSet::FromRelation(rel);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set->size(), 2u);
+  const Feature& lake = set->features()[0];
+  EXPECT_EQ(lake.id, "lake");
+  EXPECT_EQ(lake.parts.size(), 2u);
+  EXPECT_EQ(lake.bounds, geom::Box::FromCorners(geom::Point(0, 0),
+                                                geom::Point(4, 2)));
+}
+
+TEST(FeatureSetTest, ValidatesSchemaShape) {
+  // Missing fid.
+  Relation no_fid(Schema::Make({Schema::ConstraintRational("x"),
+                                Schema::ConstraintRational("y")})
+                      .value());
+  EXPECT_FALSE(FeatureSet::FromRelation(no_fid).ok());
+  // x relational instead of constraint.
+  Relation bad_x(Schema::Make({Schema::RelationalString("fid"),
+                               Schema::RelationalRational("x"),
+                               Schema::ConstraintRational("y")})
+                     .value());
+  EXPECT_FALSE(FeatureSet::FromRelation(bad_x).ok());
+}
+
+TEST(FeatureSetTest, RejectsUnboundedAndNullId) {
+  Relation rel(SpatialSchema());
+  Tuple unbounded;
+  unbounded.SetValue("fid", Value::String("f"));
+  unbounded.AddConstraint(Constraint::Ge(V("x"), C(0)));
+  unbounded.AddConstraint(Constraint::Ge(V("y"), C(0)));
+  ASSERT_TRUE(rel.Insert(unbounded).ok());
+  EXPECT_FALSE(FeatureSet::FromRelation(rel).ok());
+
+  Relation rel2(SpatialSchema());
+  Tuple no_id;
+  no_id.AddConstraint(Constraint::Eq(V("x"), C(0)));
+  no_id.AddConstraint(Constraint::Eq(V("y"), C(0)));
+  ASSERT_TRUE(rel2.Insert(no_id).ok());
+  EXPECT_FALSE(FeatureSet::FromRelation(rel2).ok());
+}
+
+TEST(FeatureSetTest, MultiPartDistanceTakesMinimum) {
+  Relation rel(SpatialSchema());
+  AddBoxFeature(&rel, "a", 0, 1, 0, 1);
+  AddBoxFeature(&rel, "a", 100, 101, 0, 1);  // far second part
+  AddBoxFeature(&rel, "b", 3, 4, 0, 1);
+  auto set = FeatureSet::FromRelation(rel);
+  ASSERT_TRUE(set.ok());
+  // dist(a, b) = min(dist(part1, b)=2, dist(part2, b)=96) = 2.
+  EXPECT_EQ(FeatureSet::SquaredDistance(set->features()[0],
+                                        set->features()[1]),
+            Rational(4));
+}
+
+// --- BufferJoin -----------------------------------------------------------------
+
+TEST(BufferJoinTest, BasicPairsWithinDistance) {
+  Relation r(SpatialSchema());
+  AddBoxFeature(&r, "A", 0, 1, 0, 1);
+  Relation s(SpatialSchema());
+  AddBoxFeature(&s, "near", 2, 3, 0, 1);    // distance 1
+  AddBoxFeature(&s, "far", 10, 11, 0, 1);   // distance 9
+  AddBoxFeature(&s, "touch", 1, 2, 0, 1);   // distance 0
+
+  auto rf = FeatureSet::FromRelation(r);
+  auto sf = FeatureSet::FromRelation(s);
+  ASSERT_TRUE(rf.ok() && sf.ok());
+
+  auto out = BufferJoin(*rf, *sf, Rational(1));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(PairsOf(*out),
+            (std::set<std::pair<std::string, std::string>>{
+                {"A", "near"}, {"A", "touch"}}));
+}
+
+TEST(BufferJoinTest, DistanceZeroMeansTouchingOnly) {
+  Relation r(SpatialSchema());
+  AddBoxFeature(&r, "A", 0, 1, 0, 1);
+  Relation s(SpatialSchema());
+  AddBoxFeature(&s, "touch", 1, 2, 1, 2);   // corner touch
+  AddBoxFeature(&s, "near", 2, 3, 0, 1);
+  auto rf = FeatureSet::FromRelation(r);
+  auto sf = FeatureSet::FromRelation(s);
+  auto out = BufferJoin(*rf, *sf, Rational(0));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(PairsOf(*out), (std::set<std::pair<std::string, std::string>>{
+                               {"A", "touch"}}));
+  EXPECT_FALSE(BufferJoin(*rf, *sf, Rational(-1)).ok());
+}
+
+TEST(BufferJoinTest, SegmentFeaturesExactDistance) {
+  // Two diagonal segments at exact rational distance.
+  Relation r(SpatialSchema());
+  AddSegmentFeature(&r, "road", geom::Point(0, 0), geom::Point(10, 0));
+  Relation s(SpatialSchema());
+  AddSegmentFeature(&s, "river", geom::Point(0, 3), geom::Point(10, 3));
+  AddSegmentFeature(&s, "creek", geom::Point(0, 5), geom::Point(10, 5));
+  auto rf = FeatureSet::FromRelation(r);
+  auto sf = FeatureSet::FromRelation(s);
+  ASSERT_TRUE(rf.ok() && sf.ok()) << rf.status().ToString();
+
+  // d = 3 reaches the river exactly, not the creek.
+  auto out = BufferJoin(*rf, *sf, Rational(3));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(PairsOf(*out), (std::set<std::pair<std::string, std::string>>{
+                               {"road", "river"}}));
+}
+
+TEST(BufferJoinTest, IndexedMatchesNestedLoopRandomized) {
+  Rng rng(4242);
+  Relation r(SpatialSchema());
+  Relation s(SpatialSchema());
+  for (int i = 0; i < 60; ++i) {
+    int64_t x = rng.UniformInt(0, 500), y = rng.UniformInt(0, 500);
+    AddBoxFeature(&r, "r" + std::to_string(i), x, x + rng.UniformInt(1, 30),
+                  y, y + rng.UniformInt(1, 30));
+    int64_t u = rng.UniformInt(0, 500), v = rng.UniformInt(0, 500);
+    AddBoxFeature(&s, "s" + std::to_string(i), u, u + rng.UniformInt(1, 30),
+                  v, v + rng.UniformInt(1, 30));
+  }
+  auto rf = FeatureSet::FromRelation(r);
+  auto sf = FeatureSet::FromRelation(s);
+  ASSERT_TRUE(rf.ok() && sf.ok());
+  for (int64_t d : {0, 5, 25, 100}) {
+    SpatialOptions indexed;
+    indexed.use_index = true;
+    SpatialOptions naive;
+    naive.use_index = false;
+    auto a = BufferJoin(*rf, *sf, Rational(d), indexed);
+    auto b = BufferJoin(*rf, *sf, Rational(d), naive);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(PairsOf(*a), PairsOf(*b)) << "d=" << d;
+  }
+}
+
+TEST(BufferJoinTest, SelfJoinExcludesSameId) {
+  Relation r(SpatialSchema());
+  AddBoxFeature(&r, "A", 0, 1, 0, 1);
+  AddBoxFeature(&r, "B", 1, 2, 0, 1);
+  auto rf = FeatureSet::FromRelation(r);
+  SpatialOptions opts;
+  opts.exclude_same_id = true;
+  auto out = BufferJoin(*rf, *rf, Rational(0), opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(PairsOf(*out), (std::set<std::pair<std::string, std::string>>{
+                               {"A", "B"}, {"B", "A"}}));
+}
+
+// --- KNearest -----------------------------------------------------------------
+
+TEST(KNearestTest, OrdersByDistance) {
+  Relation r(SpatialSchema());
+  AddBoxFeature(&r, "Q", 0, 1, 0, 1);
+  Relation s(SpatialSchema());
+  AddBoxFeature(&s, "d2", 3, 4, 0, 1);
+  AddBoxFeature(&s, "d1", 2, 3, 0, 1);
+  AddBoxFeature(&s, "d5", 6, 7, 0, 1);
+  auto rf = FeatureSet::FromRelation(r);
+  auto sf = FeatureSet::FromRelation(s);
+
+  auto k1 = KNearest(*rf, *sf, 1);
+  ASSERT_TRUE(k1.ok());
+  EXPECT_EQ(PairsOf(*k1), (std::set<std::pair<std::string, std::string>>{
+                              {"Q", "d1"}}));
+  auto k2 = KNearest(*rf, *sf, 2);
+  ASSERT_TRUE(k2.ok());
+  EXPECT_EQ(PairsOf(*k2), (std::set<std::pair<std::string, std::string>>{
+                              {"Q", "d1"}, {"Q", "d2"}}));
+  // k larger than |S| returns all.
+  auto k9 = KNearest(*rf, *sf, 9);
+  ASSERT_TRUE(k9.ok());
+  EXPECT_EQ(k9->size(), 3u);
+  // k = 0 returns nothing.
+  auto k0 = KNearest(*rf, *sf, 0);
+  ASSERT_TRUE(k0.ok());
+  EXPECT_EQ(k0->size(), 0u);
+}
+
+TEST(KNearestTest, TieBrokenByFeatureId) {
+  Relation r(SpatialSchema());
+  AddBoxFeature(&r, "Q", 0, 1, 0, 1);
+  Relation s(SpatialSchema());
+  AddBoxFeature(&s, "beta", 3, 4, 0, 1);   // distance 2
+  AddBoxFeature(&s, "alpha", 0, 1, 3, 4);  // distance 2
+  auto rf = FeatureSet::FromRelation(r);
+  auto sf = FeatureSet::FromRelation(s);
+  auto out = KNearest(*rf, *sf, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(PairsOf(*out), (std::set<std::pair<std::string, std::string>>{
+                               {"Q", "alpha"}}));
+}
+
+TEST(KNearestTest, IndexedMatchesNestedLoopRandomized) {
+  Rng rng(31337);
+  Relation r(SpatialSchema());
+  Relation s(SpatialSchema());
+  for (int i = 0; i < 40; ++i) {
+    int64_t x = rng.UniformInt(0, 2000), y = rng.UniformInt(0, 2000);
+    AddBoxFeature(&r, "r" + std::to_string(i), x, x + 10, y, y + 10);
+    int64_t u = rng.UniformInt(0, 2000), v = rng.UniformInt(0, 2000);
+    AddBoxFeature(&s, "s" + std::to_string(i), u, u + 10, v, v + 10);
+  }
+  auto rf = FeatureSet::FromRelation(r);
+  auto sf = FeatureSet::FromRelation(s);
+  ASSERT_TRUE(rf.ok() && sf.ok());
+  for (size_t k : {1u, 3u, 7u}) {
+    SpatialOptions indexed;
+    indexed.use_index = true;
+    SpatialOptions naive;
+    naive.use_index = false;
+    auto a = KNearest(*rf, *sf, k, indexed);
+    auto b = KNearest(*rf, *sf, k, naive);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(PairsOf(*a), PairsOf(*b)) << "k=" << k;
+  }
+}
+
+TEST(KNearestTest, OutputIsSafeTraditionalRelation) {
+  // §4: whole-feature operators return a traditional relation — both
+  // attributes relational strings, no constraint store.
+  Relation r(SpatialSchema());
+  AddBoxFeature(&r, "Q", 0, 1, 0, 1);
+  auto rf = FeatureSet::FromRelation(r);
+  auto out = KNearest(*rf, *rf, 1);
+  ASSERT_TRUE(out.ok());
+  for (const Attribute& attr : out->schema().attributes()) {
+    EXPECT_EQ(attr.kind, AttributeKind::kRelational);
+    EXPECT_EQ(attr.domain, AttributeDomain::kString);
+  }
+  for (const Tuple& t : out->tuples()) {
+    EXPECT_TRUE(t.constraints().IsTriviallyTrue());
+  }
+}
+
+TEST(KNearestTest, CustomOutputAttributeNames) {
+  Relation r(SpatialSchema());
+  AddBoxFeature(&r, "A", 0, 1, 0, 1);
+  auto rf = FeatureSet::FromRelation(r);
+  SpatialOptions opts;
+  opts.out_left = "land";
+  opts.out_right = "nearest";
+  auto out = KNearest(*rf, *rf, 1, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->schema().Has("land"));
+  EXPECT_TRUE(out->schema().Has("nearest"));
+}
+
+}  // namespace
+}  // namespace ccdb::cqa

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/pager.h"
+#include "storage/serde.h"
+#include "util/random.h"
+
+namespace ccdb {
+namespace {
+
+// --- PageManager ----------------------------------------------------------------
+
+TEST(PageManagerTest, AllocateReadWrite) {
+  PageManager pm;
+  PageId a = pm.Allocate();
+  PageId b = pm.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pm.num_pages(), 2u);
+
+  Page page;
+  page.bytes()[0] = 0xAB;
+  ASSERT_TRUE(pm.Write(a, page).ok());
+  Page read;
+  ASSERT_TRUE(pm.Read(a, &read).ok());
+  EXPECT_EQ(read.bytes()[0], 0xAB);
+  Page fresh;
+  ASSERT_TRUE(pm.Read(b, &fresh).ok());
+  EXPECT_EQ(fresh.bytes()[0], 0) << "new pages are zeroed";
+}
+
+TEST(PageManagerTest, CountsAccesses) {
+  PageManager pm;
+  PageId a = pm.Allocate();
+  Page page;
+  ASSERT_TRUE(pm.Read(a, &page).ok());
+  ASSERT_TRUE(pm.Read(a, &page).ok());
+  ASSERT_TRUE(pm.Write(a, page).ok());
+  EXPECT_EQ(pm.stats().reads, 2u);
+  EXPECT_EQ(pm.stats().writes, 1u);
+  EXPECT_EQ(pm.stats().allocations, 1u);
+  pm.ResetStats();
+  EXPECT_EQ(pm.stats().total_accesses(), 0u);
+}
+
+TEST(PageManagerTest, RejectsUnallocatedAccess) {
+  PageManager pm;
+  Page page;
+  EXPECT_FALSE(pm.Read(0, &page).ok());
+  EXPECT_FALSE(pm.Write(5, page).ok());
+}
+
+// --- BufferPool -----------------------------------------------------------------
+
+TEST(BufferPoolTest, PassThroughWhenCapacityZero) {
+  PageManager pm;
+  BufferPool pool(&pm, 0);
+  PageId a = pm.Allocate();
+  Page page;
+  ASSERT_TRUE(pool.Get(a, &page).ok());
+  ASSERT_TRUE(pool.Get(a, &page).ok());
+  EXPECT_EQ(pm.stats().reads, 2u) << "no caching at capacity 0";
+  EXPECT_EQ(pool.stats().misses, 2u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(BufferPoolTest, CachesAndEvictsLru) {
+  PageManager pm;
+  BufferPool pool(&pm, 2);
+  PageId a = pm.Allocate(), b = pm.Allocate(), c = pm.Allocate();
+  Page page;
+  ASSERT_TRUE(pool.Get(a, &page).ok());  // miss
+  ASSERT_TRUE(pool.Get(a, &page).ok());  // hit
+  ASSERT_TRUE(pool.Get(b, &page).ok());  // miss
+  ASSERT_TRUE(pool.Get(c, &page).ok());  // miss, evicts a (LRU)
+  ASSERT_TRUE(pool.Get(b, &page).ok());  // hit
+  ASSERT_TRUE(pool.Get(a, &page).ok());  // miss again
+  EXPECT_EQ(pool.stats().hits, 2u);
+  EXPECT_EQ(pool.stats().misses, 4u);
+  EXPECT_EQ(pm.stats().reads, 4u);
+}
+
+TEST(BufferPoolTest, WriteThroughKeepsCacheCoherent) {
+  PageManager pm;
+  BufferPool pool(&pm, 4);
+  PageId a = pm.Allocate();
+  Page page;
+  ASSERT_TRUE(pool.Get(a, &page).ok());
+  page.bytes()[7] = 42;
+  ASSERT_TRUE(pool.Put(a, page).ok());
+  EXPECT_EQ(pm.stats().writes, 1u) << "write-through hits the disk";
+  Page reread;
+  ASSERT_TRUE(pool.Get(a, &reread).ok());
+  EXPECT_EQ(reread.bytes()[7], 42);
+  EXPECT_EQ(pm.stats().reads, 1u) << "second read served from cache";
+}
+
+// --- Serde ----------------------------------------------------------------------
+
+TEST(SerdeTest, PrimitivesRoundTrip) {
+  Writer w;
+  w.PutU8(7);
+  w.PutU16(65535);
+  w.PutU32(123456789);
+  w.PutU64(0xDEADBEEFCAFEBABEULL);
+  w.PutString("hello");
+  w.PutRational(Rational(-22, 7));
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.GetU8().value(), 7);
+  EXPECT_EQ(r.GetU16().value(), 65535);
+  EXPECT_EQ(r.GetU32().value(), 123456789u);
+  EXPECT_EQ(r.GetU64().value(), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_EQ(r.GetRational().value(), Rational(-22, 7));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, ReaderRejectsTruncation) {
+  Writer w;
+  w.PutU32(100);  // claims a 100-byte string follows
+  Reader r(w.buffer());
+  EXPECT_FALSE(r.GetString().ok());
+  Reader r2(w.buffer().data(), 2);
+  EXPECT_FALSE(r2.GetU32().ok());
+}
+
+TEST(SerdeTest, TupleRoundTripsExactly) {
+  Tuple t;
+  t.SetValue("name", Value::String("Khalid"));
+  t.SetValue("score", Value::Number(Rational(-7, 3)));
+  t.AddConstraint(Constraint::Le(
+      LinearExpr::Term("x", Rational(2)) + LinearExpr::Variable("y"),
+      LinearExpr::Constant(Rational(5, 2))));
+  t.AddConstraint(Constraint::Eq(LinearExpr::Variable("t"),
+                                 LinearExpr::Constant(Rational(4))));
+
+  auto bytes = SerializeTuple(t);
+  auto back = DeserializeTuple(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, t);
+}
+
+TEST(SerdeTest, TupleWithHugeCoefficientsRoundTrips) {
+  // BigInt coefficients beyond 64 bits must survive storage exactly.
+  Rational huge(BigInt::FromString("123456789012345678901234567890").value(),
+                BigInt::FromString("98765432109876543210987").value());
+  Tuple t;
+  t.AddConstraint(Constraint::Le(LinearExpr::Term("x", huge),
+                                 LinearExpr::Constant(Rational(1))));
+  auto back = DeserializeTuple(SerializeTuple(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(SerdeTest, KnownFalseTupleRoundTrips) {
+  Tuple t;
+  t.SetConstraints(Conjunction::False());
+  auto back = DeserializeTuple(SerializeTuple(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->constraints().IsKnownFalse());
+}
+
+TEST(SerdeTest, SchemaRoundTrips) {
+  Schema s = Schema::Make({Schema::RelationalString("landId"),
+                           Schema::ConstraintRational("x"),
+                           Schema::RelationalRational("pop")})
+                 .value();
+  auto back = DeserializeSchema(SerializeSchema(s));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, s);
+}
+
+TEST(SerdeTest, RejectsCorruptTags) {
+  Writer w;
+  w.PutU32(1);
+  w.PutString("a");
+  w.PutU8(99);  // invalid value tag
+  EXPECT_FALSE(DeserializeTuple(w.buffer()).ok());
+}
+
+// --- HeapFile -------------------------------------------------------------------
+
+TEST(HeapFileTest, AppendReadRoundTrip) {
+  PageManager pm;
+  BufferPool pool(&pm, 8);
+  HeapFile heap(&pool);
+  std::vector<uint8_t> rec1{1, 2, 3};
+  std::vector<uint8_t> rec2{9, 8, 7, 6};
+  auto id1 = heap.Append(rec1);
+  auto id2 = heap.Append(rec2);
+  ASSERT_TRUE(id1.ok() && id2.ok());
+  EXPECT_NE(*id1, *id2);
+  EXPECT_EQ(heap.Read(*id1).value(), rec1);
+  EXPECT_EQ(heap.Read(*id2).value(), rec2);
+  EXPECT_EQ(heap.num_records(), 2u);
+}
+
+TEST(HeapFileTest, SpillsToNewPages) {
+  PageManager pm;
+  BufferPool pool(&pm, 8);
+  HeapFile heap(&pool);
+  std::vector<uint8_t> big(1000, 0xCD);
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 20; ++i) {
+    big[0] = static_cast<uint8_t>(i);
+    auto id = heap.Append(big);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  EXPECT_GT(heap.num_pages(), 1u);
+  for (int i = 0; i < 20; ++i) {
+    auto rec = heap.Read(ids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ((*rec)[0], static_cast<uint8_t>(i));
+    EXPECT_EQ(rec->size(), 1000u);
+  }
+}
+
+TEST(HeapFileTest, RejectsOversizedRecord) {
+  PageManager pm;
+  BufferPool pool(&pm, 8);
+  HeapFile heap(&pool);
+  std::vector<uint8_t> huge(HeapFile::MaxRecordSize() + 1);
+  EXPECT_FALSE(heap.Append(huge).ok());
+  std::vector<uint8_t> max(HeapFile::MaxRecordSize());
+  EXPECT_TRUE(heap.Append(max).ok());
+}
+
+TEST(HeapFileTest, ScanVisitsAllInOrder) {
+  PageManager pm;
+  BufferPool pool(&pm, 8);
+  HeapFile heap(&pool);
+  for (uint8_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(heap.Append(std::vector<uint8_t>{i}).ok());
+  }
+  std::vector<uint8_t> seen;
+  ASSERT_TRUE(heap.Scan([&](RecordId, const std::vector<uint8_t>& rec) {
+                    seen.push_back(rec[0]);
+                    return true;
+                  })
+                  .ok());
+  ASSERT_EQ(seen.size(), 50u);
+  for (uint8_t i = 0; i < 50; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(HeapFileTest, ScanEarlyStop) {
+  PageManager pm;
+  BufferPool pool(&pm, 8);
+  HeapFile heap(&pool);
+  for (uint8_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(heap.Append(std::vector<uint8_t>{i}).ok());
+  }
+  int visits = 0;
+  ASSERT_TRUE(heap.Scan([&](RecordId, const std::vector<uint8_t>&) {
+                    return ++visits < 3;
+                  })
+                  .ok());
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(RecordIdTest, PackUnpackRoundTrip) {
+  RecordId id{123456, 789};
+  EXPECT_EQ(RecordId::Unpack(id.Pack()), id);
+}
+
+}  // namespace
+}  // namespace ccdb
