@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffer_pool.dir/bench_buffer_pool.cpp.o"
+  "CMakeFiles/bench_buffer_pool.dir/bench_buffer_pool.cpp.o.d"
+  "bench_buffer_pool"
+  "bench_buffer_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffer_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_two_attr.dir/bench_fig4_two_attr.cpp.o"
+  "CMakeFiles/bench_fig4_two_attr.dir/bench_fig4_two_attr.cpp.o.d"
+  "bench_fig4_two_attr"
+  "bench_fig4_two_attr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_two_attr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

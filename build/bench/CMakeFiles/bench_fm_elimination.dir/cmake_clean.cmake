@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fm_elimination.dir/bench_fm_elimination.cpp.o"
+  "CMakeFiles/bench_fm_elimination.dir/bench_fm_elimination.cpp.o.d"
+  "bench_fm_elimination"
+  "bench_fm_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fm_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

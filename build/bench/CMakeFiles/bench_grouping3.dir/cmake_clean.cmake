@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grouping3.dir/bench_grouping3.cpp.o"
+  "CMakeFiles/bench_grouping3.dir/bench_grouping3.cpp.o.d"
+  "bench_grouping3"
+  "bench_grouping3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grouping3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hurricane.dir/bench_hurricane.cpp.o"
+  "CMakeFiles/bench_hurricane.dir/bench_hurricane.cpp.o.d"
+  "bench_hurricane"
+  "bench_hurricane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hurricane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_representation.cpp" "bench/CMakeFiles/bench_representation.dir/bench_representation.cpp.o" "gcc" "bench/CMakeFiles/bench_representation.dir/bench_representation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/ccdb_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ccdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ccdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ccdb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ccdb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/ccdb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/ccdb_num.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

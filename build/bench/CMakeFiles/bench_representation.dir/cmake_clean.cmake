@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_representation.dir/bench_representation.cpp.o"
+  "CMakeFiles/bench_representation.dir/bench_representation.cpp.o.d"
+  "bench_representation"
+  "bench_representation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_representation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

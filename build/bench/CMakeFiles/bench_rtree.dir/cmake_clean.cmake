@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rtree.dir/bench_rtree.cpp.o"
+  "CMakeFiles/bench_rtree.dir/bench_rtree.cpp.o.d"
+  "bench_rtree"
+  "bench_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

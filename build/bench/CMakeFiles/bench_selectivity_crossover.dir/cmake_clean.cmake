@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selectivity_crossover.dir/bench_selectivity_crossover.cpp.o"
+  "CMakeFiles/bench_selectivity_crossover.dir/bench_selectivity_crossover.cpp.o.d"
+  "bench_selectivity_crossover"
+  "bench_selectivity_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selectivity_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

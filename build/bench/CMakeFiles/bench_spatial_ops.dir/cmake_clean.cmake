@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spatial_ops.dir/bench_spatial_ops.cpp.o"
+  "CMakeFiles/bench_spatial_ops.dir/bench_spatial_ops.cpp.o.d"
+  "bench_spatial_ops"
+  "bench_spatial_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

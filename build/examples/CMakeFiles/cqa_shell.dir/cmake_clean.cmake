@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_shell.dir/cqa_shell.cpp.o"
+  "CMakeFiles/cqa_shell.dir/cqa_shell.cpp.o.d"
+  "cqa_shell"
+  "cqa_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

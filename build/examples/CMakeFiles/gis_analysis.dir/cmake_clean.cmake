@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_analysis.dir/gis_analysis.cpp.o"
+  "CMakeFiles/gis_analysis.dir/gis_analysis.cpp.o.d"
+  "gis_analysis"
+  "gis_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous.dir/heterogeneous.cpp.o"
+  "CMakeFiles/heterogeneous.dir/heterogeneous.cpp.o.d"
+  "heterogeneous"
+  "heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

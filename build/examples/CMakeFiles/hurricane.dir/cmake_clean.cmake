@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hurricane.dir/hurricane.cpp.o"
+  "CMakeFiles/hurricane.dir/hurricane.cpp.o.d"
+  "hurricane"
+  "hurricane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hurricane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

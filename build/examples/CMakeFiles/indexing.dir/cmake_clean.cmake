@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexing.dir/indexing.cpp.o"
+  "CMakeFiles/indexing.dir/indexing.cpp.o.d"
+  "indexing"
+  "indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

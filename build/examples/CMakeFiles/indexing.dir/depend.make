@@ -1,0 +1,2 @@
+# Empty dependencies file for indexing.
+# This may be replaced when dependencies are built.

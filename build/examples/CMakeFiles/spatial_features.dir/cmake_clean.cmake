@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_features.dir/spatial_features.cpp.o"
+  "CMakeFiles/spatial_features.dir/spatial_features.cpp.o.d"
+  "spatial_features"
+  "spatial_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

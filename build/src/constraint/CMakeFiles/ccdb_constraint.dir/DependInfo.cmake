@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraint/conjunction.cc" "src/constraint/CMakeFiles/ccdb_constraint.dir/conjunction.cc.o" "gcc" "src/constraint/CMakeFiles/ccdb_constraint.dir/conjunction.cc.o.d"
+  "/root/repo/src/constraint/constraint.cc" "src/constraint/CMakeFiles/ccdb_constraint.dir/constraint.cc.o" "gcc" "src/constraint/CMakeFiles/ccdb_constraint.dir/constraint.cc.o.d"
+  "/root/repo/src/constraint/fourier_motzkin.cc" "src/constraint/CMakeFiles/ccdb_constraint.dir/fourier_motzkin.cc.o" "gcc" "src/constraint/CMakeFiles/ccdb_constraint.dir/fourier_motzkin.cc.o.d"
+  "/root/repo/src/constraint/independence.cc" "src/constraint/CMakeFiles/ccdb_constraint.dir/independence.cc.o" "gcc" "src/constraint/CMakeFiles/ccdb_constraint.dir/independence.cc.o.d"
+  "/root/repo/src/constraint/linear_expr.cc" "src/constraint/CMakeFiles/ccdb_constraint.dir/linear_expr.cc.o" "gcc" "src/constraint/CMakeFiles/ccdb_constraint.dir/linear_expr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/num/CMakeFiles/ccdb_num.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_constraint.dir/conjunction.cc.o"
+  "CMakeFiles/ccdb_constraint.dir/conjunction.cc.o.d"
+  "CMakeFiles/ccdb_constraint.dir/constraint.cc.o"
+  "CMakeFiles/ccdb_constraint.dir/constraint.cc.o.d"
+  "CMakeFiles/ccdb_constraint.dir/fourier_motzkin.cc.o"
+  "CMakeFiles/ccdb_constraint.dir/fourier_motzkin.cc.o.d"
+  "CMakeFiles/ccdb_constraint.dir/independence.cc.o"
+  "CMakeFiles/ccdb_constraint.dir/independence.cc.o.d"
+  "CMakeFiles/ccdb_constraint.dir/linear_expr.cc.o"
+  "CMakeFiles/ccdb_constraint.dir/linear_expr.cc.o.d"
+  "libccdb_constraint.a"
+  "libccdb_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

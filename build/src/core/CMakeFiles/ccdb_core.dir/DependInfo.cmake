@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access.cc" "src/core/CMakeFiles/ccdb_core.dir/access.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/access.cc.o.d"
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/ccdb_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/calculus.cc" "src/core/CMakeFiles/ccdb_core.dir/calculus.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/calculus.cc.o.d"
+  "/root/repo/src/core/operators.cc" "src/core/CMakeFiles/ccdb_core.dir/operators.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/operators.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/ccdb_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/predicate.cc" "src/core/CMakeFiles/ccdb_core.dir/predicate.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/predicate.cc.o.d"
+  "/root/repo/src/core/spatial.cc" "src/core/CMakeFiles/ccdb_core.dir/spatial.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/spatial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/ccdb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ccdb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ccdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ccdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/ccdb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/ccdb_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

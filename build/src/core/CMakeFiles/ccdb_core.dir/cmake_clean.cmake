@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_core.dir/access.cc.o"
+  "CMakeFiles/ccdb_core.dir/access.cc.o.d"
+  "CMakeFiles/ccdb_core.dir/advisor.cc.o"
+  "CMakeFiles/ccdb_core.dir/advisor.cc.o.d"
+  "CMakeFiles/ccdb_core.dir/calculus.cc.o"
+  "CMakeFiles/ccdb_core.dir/calculus.cc.o.d"
+  "CMakeFiles/ccdb_core.dir/operators.cc.o"
+  "CMakeFiles/ccdb_core.dir/operators.cc.o.d"
+  "CMakeFiles/ccdb_core.dir/plan.cc.o"
+  "CMakeFiles/ccdb_core.dir/plan.cc.o.d"
+  "CMakeFiles/ccdb_core.dir/predicate.cc.o"
+  "CMakeFiles/ccdb_core.dir/predicate.cc.o.d"
+  "CMakeFiles/ccdb_core.dir/spatial.cc.o"
+  "CMakeFiles/ccdb_core.dir/spatial.cc.o.d"
+  "libccdb_core.a"
+  "libccdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/database.cc" "src/data/CMakeFiles/ccdb_data.dir/database.cc.o" "gcc" "src/data/CMakeFiles/ccdb_data.dir/database.cc.o.d"
+  "/root/repo/src/data/relation.cc" "src/data/CMakeFiles/ccdb_data.dir/relation.cc.o" "gcc" "src/data/CMakeFiles/ccdb_data.dir/relation.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/ccdb_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/ccdb_data.dir/schema.cc.o.d"
+  "/root/repo/src/data/tuple.cc" "src/data/CMakeFiles/ccdb_data.dir/tuple.cc.o" "gcc" "src/data/CMakeFiles/ccdb_data.dir/tuple.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/data/CMakeFiles/ccdb_data.dir/value.cc.o" "gcc" "src/data/CMakeFiles/ccdb_data.dir/value.cc.o.d"
+  "/root/repo/src/data/workload.cc" "src/data/CMakeFiles/ccdb_data.dir/workload.cc.o" "gcc" "src/data/CMakeFiles/ccdb_data.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraint/CMakeFiles/ccdb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ccdb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/ccdb_num.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_data.dir/database.cc.o"
+  "CMakeFiles/ccdb_data.dir/database.cc.o.d"
+  "CMakeFiles/ccdb_data.dir/relation.cc.o"
+  "CMakeFiles/ccdb_data.dir/relation.cc.o.d"
+  "CMakeFiles/ccdb_data.dir/schema.cc.o"
+  "CMakeFiles/ccdb_data.dir/schema.cc.o.d"
+  "CMakeFiles/ccdb_data.dir/tuple.cc.o"
+  "CMakeFiles/ccdb_data.dir/tuple.cc.o.d"
+  "CMakeFiles/ccdb_data.dir/value.cc.o"
+  "CMakeFiles/ccdb_data.dir/value.cc.o.d"
+  "CMakeFiles/ccdb_data.dir/workload.cc.o"
+  "CMakeFiles/ccdb_data.dir/workload.cc.o.d"
+  "libccdb_data.a"
+  "libccdb_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/box.cc" "src/geom/CMakeFiles/ccdb_geom.dir/box.cc.o" "gcc" "src/geom/CMakeFiles/ccdb_geom.dir/box.cc.o.d"
+  "/root/repo/src/geom/clip.cc" "src/geom/CMakeFiles/ccdb_geom.dir/clip.cc.o" "gcc" "src/geom/CMakeFiles/ccdb_geom.dir/clip.cc.o.d"
+  "/root/repo/src/geom/convert.cc" "src/geom/CMakeFiles/ccdb_geom.dir/convert.cc.o" "gcc" "src/geom/CMakeFiles/ccdb_geom.dir/convert.cc.o.d"
+  "/root/repo/src/geom/decompose.cc" "src/geom/CMakeFiles/ccdb_geom.dir/decompose.cc.o" "gcc" "src/geom/CMakeFiles/ccdb_geom.dir/decompose.cc.o.d"
+  "/root/repo/src/geom/minkowski.cc" "src/geom/CMakeFiles/ccdb_geom.dir/minkowski.cc.o" "gcc" "src/geom/CMakeFiles/ccdb_geom.dir/minkowski.cc.o.d"
+  "/root/repo/src/geom/point.cc" "src/geom/CMakeFiles/ccdb_geom.dir/point.cc.o" "gcc" "src/geom/CMakeFiles/ccdb_geom.dir/point.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/geom/CMakeFiles/ccdb_geom.dir/polygon.cc.o" "gcc" "src/geom/CMakeFiles/ccdb_geom.dir/polygon.cc.o.d"
+  "/root/repo/src/geom/segment.cc" "src/geom/CMakeFiles/ccdb_geom.dir/segment.cc.o" "gcc" "src/geom/CMakeFiles/ccdb_geom.dir/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraint/CMakeFiles/ccdb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/ccdb_num.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_geom.dir/box.cc.o"
+  "CMakeFiles/ccdb_geom.dir/box.cc.o.d"
+  "CMakeFiles/ccdb_geom.dir/clip.cc.o"
+  "CMakeFiles/ccdb_geom.dir/clip.cc.o.d"
+  "CMakeFiles/ccdb_geom.dir/convert.cc.o"
+  "CMakeFiles/ccdb_geom.dir/convert.cc.o.d"
+  "CMakeFiles/ccdb_geom.dir/decompose.cc.o"
+  "CMakeFiles/ccdb_geom.dir/decompose.cc.o.d"
+  "CMakeFiles/ccdb_geom.dir/minkowski.cc.o"
+  "CMakeFiles/ccdb_geom.dir/minkowski.cc.o.d"
+  "CMakeFiles/ccdb_geom.dir/point.cc.o"
+  "CMakeFiles/ccdb_geom.dir/point.cc.o.d"
+  "CMakeFiles/ccdb_geom.dir/polygon.cc.o"
+  "CMakeFiles/ccdb_geom.dir/polygon.cc.o.d"
+  "CMakeFiles/ccdb_geom.dir/segment.cc.o"
+  "CMakeFiles/ccdb_geom.dir/segment.cc.o.d"
+  "libccdb_geom.a"
+  "libccdb_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_index.dir/rstar_tree.cc.o"
+  "CMakeFiles/ccdb_index.dir/rstar_tree.cc.o.d"
+  "libccdb_index.a"
+  "libccdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_lang.dir/data_parser.cc.o"
+  "CMakeFiles/ccdb_lang.dir/data_parser.cc.o.d"
+  "CMakeFiles/ccdb_lang.dir/expr_parser.cc.o"
+  "CMakeFiles/ccdb_lang.dir/expr_parser.cc.o.d"
+  "CMakeFiles/ccdb_lang.dir/lexer.cc.o"
+  "CMakeFiles/ccdb_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/ccdb_lang.dir/query.cc.o"
+  "CMakeFiles/ccdb_lang.dir/query.cc.o.d"
+  "libccdb_lang.a"
+  "libccdb_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

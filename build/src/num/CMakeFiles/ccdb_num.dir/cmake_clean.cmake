@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_num.dir/bigint.cc.o"
+  "CMakeFiles/ccdb_num.dir/bigint.cc.o.d"
+  "CMakeFiles/ccdb_num.dir/rational.cc.o"
+  "CMakeFiles/ccdb_num.dir/rational.cc.o.d"
+  "libccdb_num.a"
+  "libccdb_num.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_num.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

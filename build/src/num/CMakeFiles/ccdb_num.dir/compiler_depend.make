@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ccdb_num.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/ccdb_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/ccdb_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/ccdb_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/ccdb_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/storage/CMakeFiles/ccdb_storage.dir/heap_file.cc.o" "gcc" "src/storage/CMakeFiles/ccdb_storage.dir/heap_file.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/storage/CMakeFiles/ccdb_storage.dir/pager.cc.o" "gcc" "src/storage/CMakeFiles/ccdb_storage.dir/pager.cc.o.d"
+  "/root/repo/src/storage/serde.cc" "src/storage/CMakeFiles/ccdb_storage.dir/serde.cc.o" "gcc" "src/storage/CMakeFiles/ccdb_storage.dir/serde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/ccdb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ccdb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/ccdb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/ccdb_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/ccdb_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/ccdb_storage.dir/catalog.cc.o"
+  "CMakeFiles/ccdb_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/ccdb_storage.dir/heap_file.cc.o"
+  "CMakeFiles/ccdb_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/ccdb_storage.dir/pager.cc.o"
+  "CMakeFiles/ccdb_storage.dir/pager.cc.o.d"
+  "CMakeFiles/ccdb_storage.dir/serde.cc.o"
+  "CMakeFiles/ccdb_storage.dir/serde.cc.o.d"
+  "libccdb_storage.a"
+  "libccdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_util.dir/status.cc.o"
+  "CMakeFiles/ccdb_util.dir/status.cc.o.d"
+  "CMakeFiles/ccdb_util.dir/string_util.cc.o"
+  "CMakeFiles/ccdb_util.dir/string_util.cc.o.d"
+  "libccdb_util.a"
+  "libccdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

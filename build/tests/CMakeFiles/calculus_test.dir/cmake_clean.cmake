@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calculus_test.dir/calculus_test.cc.o"
+  "CMakeFiles/calculus_test.dir/calculus_test.cc.o.d"
+  "calculus_test"
+  "calculus_test.pdb"
+  "calculus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calculus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clip_test.dir/clip_test.cc.o"
+  "CMakeFiles/clip_test.dir/clip_test.cc.o.d"
+  "clip_test"
+  "clip_test.pdb"
+  "clip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

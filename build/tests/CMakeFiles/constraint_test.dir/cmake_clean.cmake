@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_test.dir/constraint_test.cc.o"
+  "CMakeFiles/constraint_test.dir/constraint_test.cc.o.d"
+  "constraint_test"
+  "constraint_test.pdb"
+  "constraint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourier_motzkin_test.dir/fourier_motzkin_test.cc.o"
+  "CMakeFiles/fourier_motzkin_test.dir/fourier_motzkin_test.cc.o.d"
+  "fourier_motzkin_test"
+  "fourier_motzkin_test.pdb"
+  "fourier_motzkin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourier_motzkin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_basic_test.dir/geom_basic_test.cc.o"
+  "CMakeFiles/geom_basic_test.dir/geom_basic_test.cc.o.d"
+  "geom_basic_test"
+  "geom_basic_test.pdb"
+  "geom_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_polygon_test.dir/geom_polygon_test.cc.o"
+  "CMakeFiles/geom_polygon_test.dir/geom_polygon_test.cc.o.d"
+  "geom_polygon_test"
+  "geom_polygon_test.pdb"
+  "geom_polygon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_polygon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

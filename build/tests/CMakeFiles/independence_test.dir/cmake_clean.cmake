@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/independence_test.dir/independence_test.cc.o"
+  "CMakeFiles/independence_test.dir/independence_test.cc.o.d"
+  "independence_test"
+  "independence_test.pdb"
+  "independence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/independence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_expr_test.dir/linear_expr_test.cc.o"
+  "CMakeFiles/linear_expr_test.dir/linear_expr_test.cc.o.d"
+  "linear_expr_test"
+  "linear_expr_test.pdb"
+  "linear_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minkowski_test.dir/minkowski_test.cc.o"
+  "CMakeFiles/minkowski_test.dir/minkowski_test.cc.o.d"
+  "minkowski_test"
+  "minkowski_test.pdb"
+  "minkowski_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minkowski_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstar_tree_test.dir/rstar_tree_test.cc.o"
+  "CMakeFiles/rstar_tree_test.dir/rstar_tree_test.cc.o.d"
+  "rstar_tree_test"
+  "rstar_tree_test.pdb"
+  "rstar_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstar_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
