@@ -18,12 +18,82 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ccdb.h"
 
 namespace ccdb::bench {
+
+// --- Machine-readable output (--json) ---------------------------------------------
+//
+// Every non-gbench harness accepts a `--json` flag. With it, results are
+// emitted via `EmitResult` as one JSON object per line —
+//   {"bench":"bench_service","name":"throughput_w4","value":123.4,
+//    "unit":"qps","params":{"workers":4}}
+// — so CI can append them to the BENCH_*.json trajectory files without
+// scraping tables.
+
+/// Whether --json output is on (set by ParseBenchFlags).
+inline bool& JsonOutputEnabled() {
+  static bool enabled = false;
+  return enabled;
+}
+
+/// Scans argv for benchmark-harness flags (currently just --json).
+inline void ParseBenchFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) JsonOutputEnabled() = true;
+  }
+}
+
+/// One (key, numeric value) parameter attached to a result.
+struct BenchParam {
+  const char* key;
+  double value;
+};
+
+/// Reports one measured result. In --json mode prints a single JSON line;
+/// otherwise a human-readable one.
+inline void EmitResult(const char* bench, const char* name, double value,
+                       const char* unit,
+                       const std::vector<BenchParam>& params = {}) {
+  if (JsonOutputEnabled()) {
+    std::string line = "{\"bench\":\"";
+    line += bench;
+    line += "\",\"name\":\"";
+    line += name;
+    line += "\",\"value\":";
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.6g", value);
+    line += num;
+    line += ",\"unit\":\"";
+    line += unit;
+    line += "\"";
+    if (!params.empty()) {
+      line += ",\"params\":{";
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (i) line += ',';
+        line += '"';
+        line += params[i].key;
+        line += "\":";
+        std::snprintf(num, sizeof(num), "%.6g", params[i].value);
+        line += num;
+      }
+      line += '}';
+    }
+    line += '}';
+    std::printf("%s\n", line.c_str());
+  } else {
+    std::printf("  %-28s %12.4g %s", name, value, unit);
+    for (const BenchParam& p : params) {
+      std::printf("  [%s=%g]", p.key, p.value);
+    }
+    std::printf("\n");
+  }
+}
 
 /// The experiment domain: data coords in [0,3000], extents up to 100.
 inline Rect Domain() { return Rect::Make2D(-10, 3110, -10, 3110); }

@@ -1,0 +1,166 @@
+// Throughput of the concurrent query service.
+//
+// Measures end-to-end queries/second of `service::QueryService` on a mixed
+// read-only CQA workload (selections, projections, small joins over the
+// §5.4 box data):
+//   1. worker-pool scaling at 1/2/4/8 workers with the result cache off
+//      (every query executes), and
+//   2. cache-on vs cache-off at 4 workers (repeated hot scripts hit the
+//      LRU result cache and skip parse/optimize/execute entirely).
+//
+// With --json each result is one machine-readable line (see
+// bench_common.h), recorded in CI as the BENCH_* trajectory.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace ccdb::bench {
+namespace {
+
+constexpr const char* kBench = "bench_service";
+
+/// Distinct read-only scripts over the shared "Boxes" relation.
+std::vector<std::string> MakeScripts(size_t count) {
+  std::vector<std::string> scripts;
+  for (size_t i = 0; i < count; ++i) {
+    const int lo = static_cast<int>((i * 157) % 2400);
+    const int lo2 = static_cast<int>((i * 311 + 500) % 2400);
+    switch (i % 3) {
+      case 0:
+        scripts.push_back("R0 = select x >= " + std::to_string(lo) +
+                          ", x <= " + std::to_string(lo + 400) +
+                          " from Boxes\nR1 = project R0 on y");
+        break;
+      case 1:
+        scripts.push_back("R0 = select y >= " + std::to_string(lo) +
+                          ", y <= " + std::to_string(lo + 300) +
+                          " from Boxes");
+        break;
+      default:
+        scripts.push_back("R0 = select x >= " + std::to_string(lo) +
+                          ", x <= " + std::to_string(lo + 250) +
+                          " from Boxes\nR1 = select y >= " +
+                          std::to_string(lo2) + ", y <= " +
+                          std::to_string(lo2 + 250) +
+                          " from Boxes\nR2 = join R0 and R1");
+        break;
+    }
+  }
+  return scripts;
+}
+
+struct RunResult {
+  double qps = 0;
+  double mean_us = 0;
+  double p99_us = 0;
+  double hit_rate = 0;
+};
+
+/// `total_queries` spread over one client thread (= session) per worker,
+/// each executing synchronously; returns wall-clock throughput.
+RunResult RunWorkload(Database* base, size_t workers, size_t cache_capacity,
+                      const std::vector<std::string>& scripts,
+                      size_t total_queries) {
+  service::ServiceOptions options;
+  options.num_workers = workers;
+  options.max_queue_depth = 2 * workers + 8;
+  options.cache_capacity = cache_capacity;
+  service::QueryService service(base, options);
+
+  const size_t clients = workers;
+  const size_t per_client = total_queries / clients;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      service::SessionId id = service.OpenSession();
+      for (size_t q = 0; q < per_client; ++q) {
+        auto response =
+            service.Execute(id, scripts[(c * 5 + q) % scripts.size()]);
+        if (!response.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       response.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  service::ServiceMetrics m = service.Metrics();
+  RunResult out;
+  out.qps = static_cast<double>(per_client * clients) / seconds;
+  out.mean_us = m.latency_mean_us;
+  out.p99_us = m.latency_p99_us;
+  const uint64_t lookups = m.cache_hits + m.cache_misses;
+  out.hit_rate = lookups ? static_cast<double>(m.cache_hits) /
+                               static_cast<double>(lookups)
+                         : 0.0;
+  return out;
+}
+
+}  // namespace
+}  // namespace ccdb::bench
+
+int main(int argc, char** argv) {
+  using namespace ccdb;        // NOLINT: benchmark brevity
+  using namespace ccdb::bench;  // NOLINT
+  ParseBenchFlags(argc, argv);
+
+  WorkloadParams params;
+  params.data_count = 300;
+  Database base;
+  Status created = base.Create(
+      "Boxes", BoxesToConstraintRelation(GenerateDataBoxes(7, params)));
+  if (!created.ok()) {
+    std::fprintf(stderr, "%s\n", created.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::string> scripts = bench::MakeScripts(64);
+  const size_t kTotalQueries = 192;
+
+  if (!JsonOutputEnabled()) {
+    std::printf("Query service throughput — %zu queries, %zu distinct "
+                "scripts, 300 data boxes\n",
+                kTotalQueries, scripts.size());
+  }
+
+  // 1. Worker scaling, cache off.
+  double qps_1w = 0;
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    RunResult r = RunWorkload(&base, workers, /*cache_capacity=*/0, scripts,
+                              kTotalQueries);
+    if (workers == 1) qps_1w = r.qps;
+    const std::string name =
+        "throughput_w" + std::to_string(workers) + "_cache_off";
+    EmitResult(kBench, name.c_str(), r.qps, "qps",
+               {{"workers", static_cast<double>(workers)},
+                {"speedup_vs_1w", qps_1w > 0 ? r.qps / qps_1w : 1.0},
+                {"mean_latency_us", r.mean_us},
+                {"p99_latency_us", r.p99_us}});
+  }
+
+  // 2. Cache ablation at 4 workers.
+  for (size_t capacity : {0u, 128u}) {
+    RunResult r = RunWorkload(&base, /*workers=*/4, capacity, scripts,
+                              kTotalQueries);
+    const std::string name = std::string("throughput_w4_cache_") +
+                             (capacity ? "on" : "off");
+    EmitResult(kBench, name.c_str(), r.qps, "qps",
+               {{"workers", 4},
+                {"cache_capacity", static_cast<double>(capacity)},
+                {"cache_hit_rate", r.hit_rate},
+                {"mean_latency_us", r.mean_us},
+                {"p99_latency_us", r.p99_us}});
+  }
+  return 0;
+}

@@ -2,6 +2,9 @@
 //
 // Loads .cdb data files and evaluates the step-based ASCII query language
 // interactively — the "user interface layer" slot of the paper's Figure 1.
+// Statements run through the concurrent `service::QueryService` (one shell
+// = one session), so the shell exercises the same front door as programmatic
+// clients and can report its metrics.
 //
 // Usage:  cqa_shell [file.cdb ...]
 // Commands:
@@ -12,6 +15,7 @@
 //   load <path>                 load a .cdb file
 //   save <path>                 export the database as a .cdb file
 //   plan <relation>             advisor: joint vs separate indexing hints
+//   \metrics                    query-service metrics snapshot
 //   help                        syntax summary
 //   quit
 
@@ -36,21 +40,23 @@ void PrintHelp() {
   R6 = rename x to t in R5
   R7 = buffer-join L and P within 5 [using fid]
   R8 = k-nearest L and P k 3 [using fid]
-Shell commands: show/schema/list/load/save/plan/help/quit
+Shell commands: show/schema/list/load/save/plan/\metrics/help/quit
 )";
 }
 
-void ShowRelation(Database* db, const std::string& name) {
-  auto rel = db->Get(name);
+void ShowRelation(service::QueryService* service, service::SessionId session,
+                  const std::string& name) {
+  auto rel = service->GetRelation(session, name);
   if (!rel.ok()) {
     std::cout << rel.status().ToString() << "\n";
     return;
   }
-  std::cout << (*rel)->ToString() << "\n";
+  std::cout << rel->ToString() << "\n";
 }
 
-void AdvisePlan(Database* db, const std::string& name) {
-  auto rel = db->Get(name);
+void AdvisePlan(service::QueryService* service, service::SessionId session,
+                const std::string& name) {
+  auto rel = service->GetRelation(session, name);
   if (!rel.ok()) {
     std::cout << rel.status().ToString() << "\n";
     return;
@@ -63,13 +69,28 @@ void AdvisePlan(Database* db, const std::string& name) {
     double y = static_cast<double>(rng.UniformInt(0, 2900));
     workload.push_back(BoxQuery::Both(x, x + 100, y, y + 100));
   }
-  auto report = cqa::AdviseIndexing(**rel, workload, "x", "y",
+  auto report = cqa::AdviseIndexing(*rel, workload, "x", "y",
                                     Rect::Make2D(-10, 3110, -10, 3110));
   if (!report.ok()) {
     std::cout << report.status().ToString() << "\n";
     return;
   }
   std::cout << report->ToString() << "\n";
+}
+
+/// Loads a .cdb file and installs its relations through the service (so
+/// versions bump and dependent cache entries invalidate).
+void LoadInto(service::QueryService* service, const std::string& path) {
+  Database staged;
+  Status s = lang::LoadDatabaseFile(path, &staged);
+  if (!s.ok()) {
+    std::cout << s.ToString() << "\n";
+    return;
+  }
+  for (const std::string& name : staged.Names()) {
+    service->ReplaceRelation(name, **staged.Get(name));
+  }
+  std::cout << "ok\n";
 }
 
 }  // namespace
@@ -85,6 +106,13 @@ int main(int argc, char** argv) {
     }
     std::cout << "loaded " << argv[i] << "\n";
   }
+
+  service::ServiceOptions options;
+  options.num_workers = 2;
+  options.cache_capacity = 128;
+  service::QueryService service(&db, options);
+  const service::SessionId session = service.OpenSession();
+
   std::cout << "CCDB shell — 'help' for syntax, 'quit' to exit.\n";
 
   std::string line;
@@ -98,10 +126,15 @@ int main(int argc, char** argv) {
       PrintHelp();
       continue;
     }
+    if (command == "\\metrics" || command == "metrics") {
+      std::cout << service.Metrics().ToString() << "\n";
+      continue;
+    }
     if (command == "list") {
-      for (const std::string& name : db.Names()) {
+      for (const std::string& name : service.VisibleNames(session)) {
+        auto rel = service.GetRelation(session, name);
         std::cout << "  " << name << " ("
-                  << db.Get(name).value()->size() << " tuples)\n";
+                  << (rel.ok() ? rel->size() : 0) << " tuples)\n";
       }
       continue;
     }
@@ -114,30 +147,31 @@ int main(int argc, char** argv) {
         continue;
       }
       if (command == "show") {
-        ShowRelation(&db, arg);
+        ShowRelation(&service, session, arg);
       } else if (command == "schema") {
-        auto rel = db.Get(arg);
-        std::cout << (rel.ok() ? (*rel)->schema().ToString()
+        auto rel = service.GetRelation(session, arg);
+        std::cout << (rel.ok() ? rel->schema().ToString()
                                : rel.status().ToString())
                   << "\n";
       } else if (command == "plan") {
-        AdvisePlan(&db, arg);
+        AdvisePlan(&service, session, arg);
       } else if (command == "load") {
-        Status s = lang::LoadDatabaseFile(arg, &db);
-        std::cout << (s.ok() ? "ok" : s.ToString()) << "\n";
+        LoadInto(&service, arg);
       } else {
-        Status s = lang::SaveDatabaseFile(arg, db);
+        Database snapshot = service.CloneBase();
+        Status s = lang::SaveDatabaseFile(arg, snapshot);
         std::cout << (s.ok() ? "saved" : s.ToString()) << "\n";
       }
       continue;
     }
-    // Otherwise: a CQA statement.
-    auto step = lang::ExecuteStatement(line, &db);
-    if (!step.ok()) {
-      std::cout << step.status().ToString() << "\n";
+    // Otherwise: a CQA statement, executed by the service.
+    auto response = service.Execute(session, line);
+    if (!response.ok()) {
+      std::cout << response.status().ToString() << "\n";
       continue;
     }
-    ShowRelation(&db, *step);
+    if (response->cache_hit) std::cout << "(cached)\n";
+    std::cout << response->relation.ToString() << "\n";
   }
   return 0;
 }

@@ -38,6 +38,9 @@
 #include "lang/query.h"                    // the step-based query language
 #include "num/bigint.h"                    // arbitrary-precision integers
 #include "num/rational.h"                  // exact rationals
+#include "service/metrics.h"               // service observability
+#include "service/plan_cache.h"            // LRU plan/result cache
+#include "service/query_service.h"         // concurrent query front door
 #include "storage/buffer_pool.h"           // LRU cache
 #include "storage/catalog.h"               // database persistence
 #include "storage/heap_file.h"             // slotted heap files

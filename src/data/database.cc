@@ -7,11 +7,13 @@ Status Database::Create(const std::string& name, Relation relation) {
     return Status::AlreadyExists("relation '" + name + "' already exists");
   }
   relations_.emplace(name, std::move(relation));
+  ++versions_[name];
   return Status::OK();
 }
 
 void Database::CreateOrReplace(const std::string& name, Relation relation) {
   relations_[name] = std::move(relation);
+  ++versions_[name];
 }
 
 Result<const Relation*> Database::Get(const std::string& name) const {
@@ -26,7 +28,14 @@ Status Database::Drop(const std::string& name) {
   if (relations_.erase(name) == 0) {
     return Status::NotFound("no relation named '" + name + "'");
   }
+  ++versions_[name];
   return Status::OK();
+}
+
+uint64_t Database::Version(const std::string& name) const {
+  if (relations_.count(name) == 0) return 0;
+  auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second;
 }
 
 std::vector<std::string> Database::Names() const {

@@ -7,7 +7,14 @@
 /// "A Constraint Database is a finite set of constraint relations"
 /// (Definition 2 of the paper). `Database` is that set plus the naming that
 /// the step-based query language (§3.3's `R0 = select ... from Land`) needs.
+///
+/// The accessors are virtual so the service layer can interpose a
+/// session-scoped overlay (see `service/query_service.h`): step results go
+/// to a private per-session catalog while base relations resolve from the
+/// shared one. `Database` itself stays single-threaded; concurrent access
+/// is coordinated by the service layer's reader-writer lock.
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -18,23 +25,39 @@
 namespace ccdb {
 
 /// A catalog of named heterogeneous relations.
+///
+/// Every registration under a name bumps that name's version counter;
+/// versions never repeat for a name, so (name, version) identifies one
+/// immutable relation state — the result cache's key material.
 class Database {
  public:
+  Database() = default;
+  virtual ~Database() = default;
+  Database(const Database&) = default;
+  Database& operator=(const Database&) = default;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
   /// Registers a relation; fails if the name is taken.
-  Status Create(const std::string& name, Relation relation);
+  virtual Status Create(const std::string& name, Relation relation);
 
   /// Replaces or registers (used by the query language for step results).
-  void CreateOrReplace(const std::string& name, Relation relation);
+  virtual void CreateOrReplace(const std::string& name, Relation relation);
 
   /// Looks up a relation.
-  Result<const Relation*> Get(const std::string& name) const;
+  virtual Result<const Relation*> Get(const std::string& name) const;
 
   /// Removes a relation; fails if absent.
-  Status Drop(const std::string& name);
+  virtual Status Drop(const std::string& name);
 
-  bool Has(const std::string& name) const {
+  virtual bool Has(const std::string& name) const {
     return relations_.count(name) > 0;
   }
+
+  /// Version of the relation currently registered under `name`: 0 when the
+  /// name is unbound, otherwise a counter bumped by every Create /
+  /// CreateOrReplace / Drop of that name.
+  uint64_t Version(const std::string& name) const;
 
   /// Names in sorted order.
   std::vector<std::string> Names() const;
@@ -43,6 +66,7 @@ class Database {
 
  private:
   std::map<std::string, Relation> relations_;
+  std::map<std::string, uint64_t> versions_;
 };
 
 }  // namespace ccdb

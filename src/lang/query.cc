@@ -1,5 +1,6 @@
 #include "lang/query.h"
 
+#include <set>
 #include <sstream>
 
 #include "core/operators.h"
@@ -215,6 +216,76 @@ Result<Relation> RunQuery(const std::string& script, Database* db) {
   CCDB_ASSIGN_OR_RETURN(std::string last, ExecuteScript(script, db));
   CCDB_ASSIGN_OR_RETURN(const Relation* rel, db->Get(last));
   return *rel;
+}
+
+namespace {
+
+/// Applies `fn(tokens)` to every non-blank, non-comment statement line.
+template <typename Fn>
+Status ForEachStatement(const std::string& script, Fn fn) {
+  std::istringstream in(script);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto tokens = Tokenize(trimmed);
+    if (!tokens.ok()) {
+      return Status(tokens.status().code(),
+                    "line " + std::to_string(line_no) + ": " +
+                        tokens.status().message());
+    }
+    if (tokens->size() <= 1) continue;  // only the kEnd sentinel
+    fn(*tokens);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> CanonicalizeScript(const std::string& script) {
+  std::string out;
+  Status s = ForEachStatement(script, [&out](const std::vector<Token>& ts) {
+    if (!out.empty()) out += '\n';
+    bool first = true;
+    for (const Token& t : ts) {
+      if (t.Is(TokenKind::kEnd)) break;
+      if (!first) out += ' ';
+      first = false;
+      if (t.Is(TokenKind::kString)) {
+        out += '"';
+        out += t.text;
+        out += '"';
+      } else {
+        out += t.text;
+      }
+    }
+  });
+  CCDB_RETURN_IF_ERROR(s);
+  return out;
+}
+
+Result<std::vector<std::string>> ScriptInputs(const std::string& script) {
+  std::set<std::string> defined;
+  std::set<std::string> inputs;
+  Status s = ForEachStatement(
+      script, [&defined, &inputs](const std::vector<Token>& ts) {
+        // Statement shape: <step> = <body>. Everything after the step name
+        // that is an identifier and not an already-defined step is a
+        // potential catalog read.
+        for (size_t i = 1; i < ts.size(); ++i) {
+          const Token& t = ts[i];
+          if (t.Is(TokenKind::kIdentifier) && !defined.count(t.text)) {
+            inputs.insert(t.text);
+          }
+        }
+        if (!ts.empty() && ts[0].Is(TokenKind::kIdentifier)) {
+          defined.insert(ts[0].text);
+        }
+      });
+  CCDB_RETURN_IF_ERROR(s);
+  return std::vector<std::string>(inputs.begin(), inputs.end());
 }
 
 }  // namespace ccdb::lang

@@ -51,6 +51,23 @@ Result<std::string> ExecuteScript(const std::string& script, Database* db);
 /// Executes a script and returns the final relation (by value).
 Result<Relation> RunQuery(const std::string& script, Database* db);
 
+/// Canonical text of a script: comments and blank lines dropped, every
+/// statement re-emitted as its token texts joined by single spaces (string
+/// literals re-quoted), statements joined by '\n'. Two scripts with equal
+/// canonical text execute identically against equal catalogs — the
+/// service layer's result-cache key. Identifier case is preserved (names
+/// are case-sensitive), so `SELECT` vs `select` canonicalize differently;
+/// that only costs a cache miss, never a wrong hit.
+Result<std::string> CanonicalizeScript(const std::string& script);
+
+/// Over-approximation of the catalog names a script reads but does not
+/// itself define: every identifier token that is not a step name defined
+/// by an earlier (or the same) statement, sorted and deduplicated. The
+/// list includes attribute names and keywords — callers filter by catalog
+/// membership; over-inclusion only widens a cache key, under-inclusion
+/// cannot happen.
+Result<std::vector<std::string>> ScriptInputs(const std::string& script);
+
 }  // namespace ccdb::lang
 
 #endif  // CCDB_LANG_QUERY_H_

@@ -1,0 +1,85 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ccdb::service {
+
+namespace {
+
+/// Nearest-rank percentile of an unsorted copy of `samples`.
+double Percentile(std::vector<double> samples, double fraction) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  size_t rank = static_cast<size_t>(fraction * (samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+}  // namespace
+
+void LatencyRecorder::Record(double micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0 || micros < min_) min_ = micros;
+  sum_ += micros;
+  if (window_.size() < kWindow) {
+    window_.push_back(micros);
+  } else {
+    window_[count_ % kWindow] = micros;
+  }
+  ++count_;
+}
+
+LatencyRecorder::Summary LatencyRecorder::Summarize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Summary out;
+  out.count = count_;
+  if (count_ == 0) return out;
+  out.min_us = min_;
+  out.mean_us = sum_ / static_cast<double>(count_);
+  out.p50_us = Percentile(window_, 0.50);
+  out.p99_us = Percentile(window_, 0.99);
+  return out;
+}
+
+std::string ServiceMetrics::ToString() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "queries:  submitted %llu, completed %llu, failed %llu, "
+                "rejected %llu\n",
+                static_cast<unsigned long long>(submitted),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(rejected));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "service:  %llu workers, %llu sessions, queue depth %llu "
+                "(high water %llu)\n",
+                static_cast<unsigned long long>(workers),
+                static_cast<unsigned long long>(sessions),
+                static_cast<unsigned long long>(queue_depth),
+                static_cast<unsigned long long>(queue_high_water));
+  out += buf;
+  const uint64_t lookups = cache_hits + cache_misses;
+  std::snprintf(buf, sizeof(buf),
+                "cache:    %llu hits / %llu lookups (%.1f%%), %llu entries\n",
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(lookups),
+                lookups ? 100.0 * static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups)
+                        : 0.0,
+                static_cast<unsigned long long>(cache_entries));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "storage:  %llu pages read\n",
+                static_cast<unsigned long long>(pages_read));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "latency:  n=%llu, min %.1fus, mean %.1fus, p50 %.1fus, "
+                "p99 %.1fus",
+                static_cast<unsigned long long>(latency_count), latency_min_us,
+                latency_mean_us, latency_p50_us, latency_p99_us);
+  out += buf;
+  return out;
+}
+
+}  // namespace ccdb::service

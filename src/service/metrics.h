@@ -1,0 +1,79 @@
+#ifndef CCDB_SERVICE_METRICS_H_
+#define CCDB_SERVICE_METRICS_H_
+
+/// \file metrics.h
+/// Observability for the query service.
+///
+/// `ServiceMetrics` is a plain-value snapshot (safe to copy out of the
+/// running service and print, e.g. by the shell's `\metrics` command);
+/// `LatencyRecorder` is the thread-safe accumulator behind its latency
+/// fields.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ccdb::service {
+
+/// Point-in-time view of the service's counters. All latencies are in
+/// microseconds; zero when no query has completed yet.
+struct ServiceMetrics {
+  // Lifecycle counters.
+  uint64_t submitted = 0;       ///< accepted into the queue
+  uint64_t rejected = 0;        ///< refused (queue full or shutting down)
+  uint64_t completed = 0;       ///< finished successfully
+  uint64_t failed = 0;          ///< finished with a non-OK status
+  // Queue.
+  uint64_t queue_depth = 0;     ///< tasks waiting right now
+  uint64_t queue_high_water = 0;  ///< max depth ever observed
+  uint64_t sessions = 0;        ///< currently open sessions
+  uint64_t workers = 0;         ///< worker threads
+  // Result cache.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_entries = 0;
+  // Storage (0 unless the service is wired to a PageManager).
+  uint64_t pages_read = 0;
+  // Per-query latency.
+  uint64_t latency_count = 0;
+  double latency_min_us = 0;
+  double latency_mean_us = 0;
+  double latency_p50_us = 0;
+  double latency_p99_us = 0;
+
+  /// Multi-line human-readable rendering (the `\metrics` output).
+  std::string ToString() const;
+};
+
+/// Thread-safe per-query latency accumulator.
+///
+/// Min and mean are exact over all recorded samples; percentiles are
+/// computed over a sliding window of the most recent `kWindow` samples
+/// (a bounded-memory ring, overwritten oldest-first).
+class LatencyRecorder {
+ public:
+  static constexpr size_t kWindow = 4096;
+
+  void Record(double micros);
+
+  struct Summary {
+    uint64_t count = 0;
+    double min_us = 0;
+    double mean_us = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+  };
+  Summary Summarize() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> window_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+};
+
+}  // namespace ccdb::service
+
+#endif  // CCDB_SERVICE_METRICS_H_

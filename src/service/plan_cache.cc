@@ -1,0 +1,53 @@
+#include "service/plan_cache.h"
+
+namespace ccdb::service {
+
+bool ResultCache::Lookup(const std::string& key, CachedResult* out) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+  *out = lru_.begin()->second;
+  return true;
+}
+
+void ResultCache::Insert(const std::string& key, CachedResult value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second = lru_.begin();
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace ccdb::service

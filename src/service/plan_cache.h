@@ -1,0 +1,76 @@
+#ifndef CCDB_SERVICE_PLAN_CACHE_H_
+#define CCDB_SERVICE_PLAN_CACHE_H_
+
+/// \file plan_cache.h
+/// LRU plan/result cache for the query service.
+///
+/// A cache entry is the *complete* outcome of one script: every step
+/// relation it defined (so a hit can replay the registrations into the
+/// session exactly as execution would have) plus the final step's name.
+/// Keys are built by the service from the script's canonical text
+/// (`lang::CanonicalizeScript`) and the (name, version) pairs of the base
+/// relations it reads — replacing an input relation bumps its version and
+/// silently invalidates every dependent entry (stale keys can never hit;
+/// stale entries age out of the LRU).
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace ccdb::service {
+
+/// The cached outcome of one script execution.
+struct CachedResult {
+  /// Every step the script defined, in registration order (last = result).
+  std::vector<std::pair<std::string, Relation>> steps;
+  /// Name of the final step.
+  std::string final_step;
+};
+
+/// Thread-safe LRU map from cache key to CachedResult.
+class ResultCache {
+ public:
+  /// `capacity` entries; 0 disables the cache (lookups always miss,
+  /// inserts are dropped).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// On hit, copies the entry into `*out` and marks it most-recent.
+  /// Counts a hit or a miss either way.
+  bool Lookup(const std::string& key, CachedResult* out);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recent one when
+  /// over capacity. No-op when disabled.
+  void Insert(const std::string& key, CachedResult value);
+
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  using Entry = std::pair<std::string, CachedResult>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  // LRU list: front = most recent. Map gives O(1) lookup into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ccdb::service
+
+#endif  // CCDB_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,350 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "lang/query.h"
+
+namespace ccdb::service {
+
+namespace {
+
+/// The per-session overlay the query language executes against: step
+/// registrations go to the session's private catalog, lookups resolve
+/// steps first and fall back to the shared base. The caller holds the
+/// session mutex and a shared lock on the base catalog, so the base
+/// pointers handed out stay valid for the whole execution.
+class SessionView : public Database {
+ public:
+  SessionView(const Database* base, Database* steps)
+      : base_(base), steps_(steps) {}
+
+  Status Create(const std::string& name, Relation relation) override {
+    RecordDefinition(name);
+    return steps_->Create(name, std::move(relation));
+  }
+
+  void CreateOrReplace(const std::string& name, Relation relation) override {
+    RecordDefinition(name);
+    steps_->CreateOrReplace(name, std::move(relation));
+  }
+
+  Result<const Relation*> Get(const std::string& name) const override {
+    auto step = steps_->Get(name);
+    if (step.ok()) return step;
+    return base_->Get(name);
+  }
+
+  Status Drop(const std::string& name) override { return steps_->Drop(name); }
+
+  bool Has(const std::string& name) const override {
+    return steps_->Has(name) || base_->Has(name);
+  }
+
+  /// Names this view registered, in first-definition order.
+  const std::vector<std::string>& defined() const { return defined_; }
+
+ private:
+  void RecordDefinition(const std::string& name) {
+    if (seen_.insert(name).second) defined_.push_back(name);
+  }
+
+  const Database* base_;
+  Database* steps_;
+  std::vector<std::string> defined_;
+  std::set<std::string> seen_;
+};
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+/// A session: a private step catalog plus the mutex that serializes the
+/// session's queries (different sessions run in parallel).
+struct QueryService::Session {
+  std::mutex mu;
+  Database steps;
+};
+
+/// One queued script execution.
+struct QueryService::Task {
+  std::shared_ptr<Session> session;
+  std::string script;
+  std::promise<Result<QueryResponse>> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+QueryService::QueryService(Database* base, ServiceOptions options)
+    : base_(base),
+      options_(options),
+      cache_(options.cache_capacity),
+      paused_(options.start_paused) {
+  const size_t workers = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+SessionId QueryService::OpenSession() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  SessionId id = next_session_++;
+  sessions_[id] = std::make_shared<Session>();
+  return id;
+}
+
+Status QueryService::CloseSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound("no session " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<QueryService::Session> QueryService::FindSession(
+    SessionId id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Result<std::future<Result<QueryResponse>>> QueryService::Submit(
+    SessionId id, std::string script) {
+  std::shared_ptr<Session> session = FindSession(id);
+  if (!session) {
+    return Status::NotFound("no session " + std::to_string(id));
+  }
+  auto task = std::make_unique<Task>();
+  task->session = std::move(session);
+  task->script = std::move(script);
+  task->enqueued = std::chrono::steady_clock::now();
+  std::future<Result<QueryResponse>> future = task->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("service is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "request queue full (" + std::to_string(queue_.size()) + " of " +
+          std::to_string(options_.max_queue_depth) + " slots)");
+    }
+    queue_.push_back(std::move(task));
+    queue_high_water_ = std::max<uint64_t>(queue_high_water_, queue_.size());
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+Result<QueryResponse> QueryService::Execute(SessionId id,
+                                            const std::string& script) {
+  CCDB_ASSIGN_OR_RETURN(std::future<Result<QueryResponse>> future,
+                        Submit(id, script));
+  return future.get();
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    std::unique_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return (!paused_ && !queue_.empty()) || (stopping_ && queue_.empty());
+      });
+      if (queue_.empty()) return;  // stopping, fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Result<QueryResponse> result =
+        RunScript(task->session.get(), task->script);
+    const double latency_us = MicrosSince(task->enqueued);
+    latency_.Record(latency_us);
+    if (result.ok()) {
+      result->latency_us = latency_us;
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    task->promise.set_value(std::move(result));
+  }
+}
+
+Result<QueryResponse> QueryService::RunScript(Session* session,
+                                              const std::string& script) {
+  CCDB_ASSIGN_OR_RETURN(std::string canon, lang::CanonicalizeScript(script));
+  CCDB_ASSIGN_OR_RETURN(std::vector<std::string> referenced,
+                        lang::ScriptInputs(canon));
+
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+
+  // Cache key: canonical text + versioned base inputs. A script that reads
+  // a session step is uncacheable (its inputs are not versioned catalog
+  // state shared between sessions).
+  bool cacheable = cache_.enabled();
+  std::string key = canon;
+  for (const std::string& name : referenced) {
+    if (session->steps.Has(name)) {
+      cacheable = false;
+      break;
+    }
+    if (base_->Has(name)) {
+      key += "\n@";
+      key += name;
+      key += '#';
+      key += std::to_string(base_->Version(name));
+    }
+  }
+
+  if (cacheable) {
+    CachedResult hit;
+    if (cache_.Lookup(key, &hit)) {
+      // Replay the registrations so the session sees exactly the state
+      // execution would have produced.
+      for (const auto& [name, relation] : hit.steps) {
+        session->steps.CreateOrReplace(name, relation);
+      }
+      QueryResponse response;
+      response.step = hit.final_step;
+      response.cache_hit = true;
+      for (const auto& [name, relation] : hit.steps) {
+        if (name == hit.final_step) response.relation = relation;
+      }
+      return response;
+    }
+  }
+
+  SessionView view(base_, &session->steps);
+  CCDB_ASSIGN_OR_RETURN(std::string last, lang::ExecuteScript(canon, &view));
+  CCDB_ASSIGN_OR_RETURN(const Relation* final_rel, session->steps.Get(last));
+
+  QueryResponse response;
+  response.step = last;
+  response.relation = *final_rel;
+
+  if (cacheable) {
+    CachedResult outcome;
+    outcome.final_step = last;
+    for (const std::string& name : view.defined()) {
+      auto step = session->steps.Get(name);
+      if (step.ok()) outcome.steps.emplace_back(name, **step);
+    }
+    cache_.Insert(key, std::move(outcome));
+  }
+  return response;
+}
+
+Status QueryService::CreateRelation(const std::string& name,
+                                    Relation relation) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  return base_->Create(name, std::move(relation));
+}
+
+void QueryService::ReplaceRelation(const std::string& name,
+                                   Relation relation) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  base_->CreateOrReplace(name, std::move(relation));
+}
+
+Status QueryService::DropRelation(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  return base_->Drop(name);
+}
+
+Result<Relation> QueryService::GetRelation(SessionId id,
+                                           const std::string& name) const {
+  std::shared_ptr<Session> session = FindSession(id);
+  if (!session) {
+    return Status::NotFound("no session " + std::to_string(id));
+  }
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  auto step = session->steps.Get(name);
+  if (step.ok()) return **step;
+  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+  CCDB_ASSIGN_OR_RETURN(const Relation* relation, base_->Get(name));
+  return *relation;
+}
+
+std::vector<std::string> QueryService::VisibleNames(SessionId id) const {
+  std::set<std::string> names;
+  {
+    std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+    for (const std::string& name : base_->Names()) names.insert(name);
+  }
+  if (std::shared_ptr<Session> session = FindSession(id)) {
+    std::lock_guard<std::mutex> session_lock(session->mu);
+    for (const std::string& name : session->steps.Names()) {
+      names.insert(name);
+    }
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+Database QueryService::CloneBase() const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  return *base_;
+}
+
+void QueryService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void QueryService::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stopping_ = true;
+      paused_ = false;  // a paused service still drains on shutdown
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  });
+}
+
+ServiceMetrics QueryService::Metrics() const {
+  ServiceMetrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.rejected = rejected_.load(std::memory_order_relaxed);
+  m.completed = completed_.load(std::memory_order_relaxed);
+  m.failed = failed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    m.queue_depth = queue_.size();
+    m.queue_high_water = queue_high_water_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    m.sessions = sessions_.size();
+  }
+  m.workers = workers_.size();
+  ResultCache::Stats cache = cache_.stats();
+  m.cache_hits = cache.hits;
+  m.cache_misses = cache.misses;
+  m.cache_entries = cache.entries;
+  if (options_.disk != nullptr) m.pages_read = options_.disk->stats().reads;
+  LatencyRecorder::Summary latency = latency_.Summarize();
+  m.latency_count = latency.count;
+  m.latency_min_us = latency.min_us;
+  m.latency_mean_us = latency.mean_us;
+  m.latency_p50_us = latency.p50_us;
+  m.latency_p99_us = latency.p99_us;
+  return m;
+}
+
+}  // namespace ccdb::service

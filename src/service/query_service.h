@@ -1,0 +1,172 @@
+#ifndef CCDB_SERVICE_QUERY_SERVICE_H_
+#define CCDB_SERVICE_QUERY_SERVICE_H_
+
+/// \file query_service.h
+/// The concurrent front door of CCDB.
+///
+/// The paper's Figure 1 places CQA as the middle layer of a *system*; this
+/// is the layer above it: a `QueryService` that accepts §3.3 step-scripts
+/// from many concurrent sessions and executes them on a fixed worker
+/// thread pool with a bounded queue.
+///
+/// Threading model (lock order: session mutex -> catalog rw-lock; queue
+/// and metrics locks are leaves, never held across execution):
+///  - The *base catalog* (the `Database` the service wraps) is guarded by
+///    a reader-writer lock. Every query holds it shared for its whole
+///    execution, so base relations are immutable while any query runs;
+///    `Create/Replace/DropRelation` take it exclusive and therefore
+///    serialize against the fleet — writes wait for readers to drain.
+///  - *Step results* never touch the base catalog: each session owns a
+///    private step `Database`, and queries execute against an overlay view
+///    (steps first, base second). Queries within one session serialize on
+///    the session's mutex; different sessions run fully in parallel.
+///  - The *result cache* keys on canonical script text plus the
+///    (name, version) of every base relation the script reads, so a
+///    replaced input can never satisfy a stale hit. Scripts that read
+///    session-local steps are executed uncached (their inputs are not
+///    versioned catalog state).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/database.h"
+#include "service/metrics.h"
+#include "service/plan_cache.h"
+#include "storage/pager.h"
+#include "util/status.h"
+
+namespace ccdb::service {
+
+using SessionId = uint64_t;
+
+/// Construction-time knobs of a QueryService.
+struct ServiceOptions {
+  size_t num_workers = 4;       ///< worker threads (min 1)
+  size_t max_queue_depth = 64;  ///< queued (not yet running) task bound
+  size_t cache_capacity = 128;  ///< result-cache entries; 0 disables
+  bool start_paused = false;    ///< workers wait for Resume() (tests)
+  PageManager* disk = nullptr;  ///< optional: pages-read in metrics
+};
+
+/// A successfully executed script.
+struct QueryResponse {
+  std::string step;        ///< name of the final step
+  Relation relation;       ///< the final step's relation
+  bool cache_hit = false;  ///< served from the result cache
+  double latency_us = 0;   ///< execution latency (queue wait included)
+};
+
+/// A concurrent, cached, metered executor of CQA step-scripts.
+///
+/// All public methods are thread-safe. The wrapped base `Database` must
+/// not be mutated behind the service's back while the service is live.
+class QueryService {
+ public:
+  /// Serves queries over `base` (not owned; must outlive the service).
+  explicit QueryService(Database* base, ServiceOptions options = {});
+
+  /// Drains and joins (equivalent to Shutdown()).
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // --- Sessions ---
+
+  /// Opens a session: a private step namespace + FIFO execution context.
+  SessionId OpenSession();
+
+  /// Closes a session; its step results are discarded once in-flight
+  /// queries finish. Fails if the id is unknown.
+  Status CloseSession(SessionId id);
+
+  // --- Query execution ---
+
+  /// Enqueues a script; the future resolves when a worker finishes it.
+  /// Fails immediately with kUnavailable when the queue is full or the
+  /// service is shutting down, and kNotFound for an unknown session.
+  Result<std::future<Result<QueryResponse>>> Submit(SessionId id,
+                                                    std::string script);
+
+  /// Submit + wait. Queries within one session are serialized, so a
+  /// client that alternates Execute calls sees strict program order.
+  Result<QueryResponse> Execute(SessionId id, const std::string& script);
+
+  // --- Base-catalog writes (exclusive; wait for running queries) ---
+
+  Status CreateRelation(const std::string& name, Relation relation);
+  void ReplaceRelation(const std::string& name, Relation relation);
+  Status DropRelation(const std::string& name);
+
+  // --- Reads for front-ends (shell `show`, `list`, ...) ---
+
+  /// Copies a relation, resolving session steps before base relations.
+  Result<Relation> GetRelation(SessionId id, const std::string& name) const;
+
+  /// Sorted names visible to a session (its steps + base relations).
+  std::vector<std::string> VisibleNames(SessionId id) const;
+
+  /// Copy of the base catalog (e.g. for `save`).
+  Database CloneBase() const;
+
+  // --- Lifecycle ---
+
+  /// Releases workers constructed with `start_paused` (no-op otherwise).
+  void Resume();
+
+  /// Graceful shutdown: stop accepting, finish every queued task, join
+  /// the workers. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// Point-in-time metrics snapshot.
+  ServiceMetrics Metrics() const;
+
+ private:
+  struct Session;
+  struct Task;
+
+  void WorkerLoop();
+  Result<QueryResponse> RunScript(Session* session, const std::string& script);
+  std::shared_ptr<Session> FindSession(SessionId id) const;
+
+  Database* base_;
+  ServiceOptions options_;
+  mutable std::shared_mutex catalog_mu_;
+  ResultCache cache_;
+
+  // Task queue.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Task>> queue_;
+  bool stopping_ = false;
+  bool paused_ = false;
+  uint64_t queue_high_water_ = 0;
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+
+  // Sessions.
+  mutable std::mutex sessions_mu_;
+  std::map<SessionId, std::shared_ptr<Session>> sessions_;
+  SessionId next_session_ = 1;
+
+  // Metrics.
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  LatencyRecorder latency_;
+};
+
+}  // namespace ccdb::service
+
+#endif  // CCDB_SERVICE_QUERY_SERVICE_H_

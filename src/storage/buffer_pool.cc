@@ -2,54 +2,74 @@
 
 namespace ccdb {
 
+BufferPool::BufferPool(PageManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity) {
+  const size_t count =
+      capacity >= kShardThreshold ? kMaxShards : static_cast<size_t>(1);
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    // Spread the page budget evenly; the first shards take the remainder.
+    shards_.back()->capacity =
+        capacity / count + (i < capacity % count ? 1 : 0);
+  }
+}
+
 Status BufferPool::Get(PageId id, Page* out) {
   if (capacity_ == 0) {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return disk_->Read(id, out);
   }
-  auto it = index_.find(id);
-  if (it != index_.end()) {
-    ++stats_.hits;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it != shard.index.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     *out = it->second->second;
-    Touch(id);
+    shard.Touch(id);
     return Status::OK();
   }
-  ++stats_.misses;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   CCDB_RETURN_IF_ERROR(disk_->Read(id, out));
-  InsertCached(id, *out);
+  shard.InsertCached(id, *out);
   return Status::OK();
 }
 
 Status BufferPool::Put(PageId id, const Page& page) {
   CCDB_RETURN_IF_ERROR(disk_->Write(id, page));
   if (capacity_ == 0) return Status::OK();
-  auto it = index_.find(id);
-  if (it != index_.end()) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it != shard.index.end()) {
     it->second->second = page;
-    Touch(id);
+    shard.Touch(id);
   } else {
-    InsertCached(id, page);
+    shard.InsertCached(id, page);
   }
   return Status::OK();
 }
 
 void BufferPool::Clear() {
-  lru_.clear();
-  index_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
 }
 
-void BufferPool::Touch(PageId id) {
-  auto it = index_.find(id);
-  lru_.splice(lru_.begin(), lru_, it->second);
-  it->second = lru_.begin();
+void BufferPool::Shard::Touch(PageId id) {
+  auto it = index.find(id);
+  lru.splice(lru.begin(), lru, it->second);
+  it->second = lru.begin();
 }
 
-void BufferPool::InsertCached(PageId id, const Page& page) {
-  lru_.emplace_front(id, page);
-  index_[id] = lru_.begin();
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
+void BufferPool::Shard::InsertCached(PageId id, const Page& page) {
+  lru.emplace_front(id, page);
+  index[id] = lru.begin();
+  if (lru.size() > capacity) {
+    index.erase(lru.back().first);
+    lru.pop_back();
   }
 }
 

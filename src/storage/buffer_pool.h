@@ -9,27 +9,41 @@
 /// touch is a disk access, as in the classic R-tree evaluation
 /// methodology). A non-zero capacity turns caching on for the system's
 /// normal operation and for the cache-sensitivity ablation.
+///
+/// Thread-safety: the pool is sharded by `PageId % shard_count` and each
+/// shard has its own mutex and LRU list, so parallel queries touching
+/// different pages rarely contend. Pools of fewer than `kShardThreshold`
+/// pages keep a single shard — exact global LRU order, which the
+/// §5.4-style eviction-order experiments (and tests) rely on.
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "storage/pager.h"
 
 namespace ccdb {
 
-/// Cache statistics.
+/// Cache statistics snapshot.
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
 };
 
-/// Write-through LRU buffer pool.
+/// Write-through LRU buffer pool with per-shard locking.
 class BufferPool {
  public:
+  /// Capacities below this keep a single shard (exact LRU order).
+  static constexpr size_t kShardThreshold = 64;
+  /// Shard count for large pools.
+  static constexpr size_t kMaxShards = 8;
+
   /// `capacity` pages of cache; 0 disables caching entirely.
-  BufferPool(PageManager* disk, size_t capacity)
-      : disk_(disk), capacity_(capacity) {}
+  BufferPool(PageManager* disk, size_t capacity);
 
   /// Reads a page through the cache.
   Status Get(PageId id, Page* out);
@@ -41,22 +55,44 @@ class BufferPool {
   /// Drops all cached pages (does not touch the disk or disk stats).
   void Clear();
 
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CacheStats{}; }
+  /// A consistent point-in-time copy of the counters.
+  CacheStats stats() const {
+    CacheStats snapshot;
+    snapshot.hits = hits_.load(std::memory_order_relaxed);
+    snapshot.misses = misses_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+
+  void ResetStats() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
   size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shards_.size(); }
   PageManager* disk() const { return disk_; }
 
  private:
-  void Touch(PageId id);
-  void InsertCached(PageId id, const Page& page);
+  /// One independently locked LRU cache over a slice of the page-id space.
+  struct Shard {
+    std::mutex mu;
+    size_t capacity = 0;
+    // LRU list: front = most recent. Map gives O(1) lookup into the list.
+    std::list<std::pair<PageId, Page>> lru;
+    std::unordered_map<PageId, std::list<std::pair<PageId, Page>>::iterator>
+        index;
+
+    void Touch(PageId id);
+    void InsertCached(PageId id, const Page& page);
+  };
+
+  Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
 
   PageManager* disk_;
   size_t capacity_;
-  // LRU list: front = most recent. Map gives O(1) lookup into the list.
-  std::list<std::pair<PageId, Page>> lru_;
-  std::unordered_map<PageId, std::list<std::pair<PageId, Page>>::iterator>
-      index_;
-  CacheStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace ccdb

@@ -1,28 +1,33 @@
 #include "storage/pager.h"
 
+#include <mutex>
+
 namespace ccdb {
 
 PageId PageManager::Allocate() {
+  std::unique_lock lock(mu_);
   pages_.push_back(std::make_unique<Page>());
-  ++stats_.allocations;
+  allocations_.fetch_add(1, std::memory_order_relaxed);
   return pages_.size() - 1;
 }
 
 Status PageManager::Read(PageId id, Page* out) {
+  std::shared_lock lock(mu_);
   if (id >= pages_.size()) {
     return Status::IoError("read of unallocated page " + std::to_string(id));
   }
   *out = *pages_[id];
-  ++stats_.reads;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status PageManager::Write(PageId id, const Page& page) {
+  std::unique_lock lock(mu_);
   if (id >= pages_.size()) {
     return Status::IoError("write to unallocated page " + std::to_string(id));
   }
   *pages_[id] = page;
-  ++stats_.writes;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -4,7 +4,9 @@
 /// \file pager.h
 /// The simulated disk: a growable array of pages with access counters.
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "storage/page.h"
@@ -12,7 +14,7 @@
 
 namespace ccdb {
 
-/// I/O statistics of a PageManager.
+/// I/O statistics snapshot of a PageManager.
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
@@ -22,7 +24,11 @@ struct IoStats {
 };
 
 /// A simulated disk: page-granular reads and writes, each one counted.
-/// Not thread-safe (CCDB is a single-threaded prototype, like CQA/CDB).
+///
+/// Thread-safe: concurrent reads share a lock, writes and allocations are
+/// exclusive, and the access counters are atomic so parallel queries can
+/// be metered without tearing (the service layer runs many read-only
+/// queries at once — see `service/query_service.h`).
 /// Read/Write are virtual so tests can inject I/O failures.
 class PageManager {
  public:
@@ -38,13 +44,32 @@ class PageManager {
   /// Stores `page` at `id`; counts one disk write.
   virtual Status Write(PageId id, const Page& page);
 
-  size_t num_pages() const { return pages_.size(); }
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  size_t num_pages() const {
+    std::shared_lock lock(mu_);
+    return pages_.size();
+  }
+
+  /// A consistent point-in-time copy of the counters.
+  IoStats stats() const {
+    IoStats snapshot;
+    snapshot.reads = reads_.load(std::memory_order_relaxed);
+    snapshot.writes = writes_.load(std::memory_order_relaxed);
+    snapshot.allocations = allocations_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+
+  void ResetStats() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    allocations_.store(0, std::memory_order_relaxed);
+  }
 
  private:
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;
-  IoStats stats_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> allocations_{0};
 };
 
 }  // namespace ccdb

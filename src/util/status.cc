@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

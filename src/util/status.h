@@ -27,6 +27,7 @@ enum class StatusCode {
   kUnsupported,       ///< operation valid in general, not for these inputs
   kParseError,        ///< query/data text did not parse
   kIoError,           ///< simulated-storage failure
+  kUnavailable,       ///< transient refusal (queue full, shutting down)
   kInternal,          ///< invariant violation; indicates a CCDB bug
 };
 
@@ -71,6 +72,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

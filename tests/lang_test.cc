@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "lang/data_parser.h"
 #include "lang/expr_parser.h"
 #include "lang/lexer.h"
@@ -362,6 +364,62 @@ TEST_F(QueryTest, StepsCanBeRedefined) {
   EXPECT_FALSE(rel->ContainsPoint(
       {{}, {{"t", Rational(5)}, {"x", Rational(2, 3)},
             {"y", Rational(2)}}}));
+}
+
+// --- Canonicalization & input analysis (service cache-key support) ---------------
+
+TEST(CanonicalizeTest, NormalizesWhitespaceCommentsAndSymbols) {
+  auto canon = CanonicalizeScript(
+      "# query 3\n"
+      "\n"
+      "  R0   =  select t>=4 ,t<=9 from   Hurricane   # trailing\n"
+      "R1 = select name <> \"Smith\" from R0\n");
+  ASSERT_TRUE(canon.ok()) << canon.status().ToString();
+  EXPECT_EQ(*canon,
+            "R0 = select t >= 4 , t <= 9 from Hurricane\n"
+            "R1 = select name != \"Smith\" from R0");
+
+  // Equal canonical text regardless of the original spacing.
+  auto respaced = CanonicalizeScript(
+      "R0 = select t >= 4, t <= 9 from Hurricane\n"
+      "R1 = select name != \"Smith\" from R0");
+  ASSERT_TRUE(respaced.ok());
+  EXPECT_EQ(*canon, *respaced);
+
+  // Identifier case is preserved (names are case-sensitive).
+  auto cased = CanonicalizeScript("R0 = select t >= 4 from hurricane");
+  ASSERT_TRUE(cased.ok());
+  EXPECT_NE(*canon, *cased);
+
+  EXPECT_FALSE(CanonicalizeScript("R0 = select x @ y").ok());
+}
+
+TEST(ScriptInputsTest, ExcludesStepsDefinedEarlier) {
+  auto inputs = ScriptInputs(
+      "R0 = join Landownership and Land\n"
+      "R1 = select t >= 4, t <= 9 from Hurricane\n"
+      "R2 = join R0 and R1\n"
+      "R3 = project R2 on name\n");
+  ASSERT_TRUE(inputs.ok()) << inputs.status().ToString();
+  auto has = [&](const std::string& name) {
+    return std::find(inputs->begin(), inputs->end(), name) != inputs->end();
+  };
+  EXPECT_TRUE(has("Landownership"));
+  EXPECT_TRUE(has("Land"));
+  EXPECT_TRUE(has("Hurricane"));
+  EXPECT_FALSE(has("R0")) << "steps defined by the script are not inputs";
+  EXPECT_FALSE(has("R1"));
+  EXPECT_FALSE(has("R2"));
+  // Over-approximation: keywords and attributes may appear; callers filter
+  // by catalog membership.
+  EXPECT_TRUE(has("name"));
+}
+
+TEST(ScriptInputsTest, SelfReferenceBeforeDefinitionIsAnInput) {
+  auto inputs = ScriptInputs("R0 = select t >= 7 from R0");
+  ASSERT_TRUE(inputs.ok());
+  EXPECT_NE(std::find(inputs->begin(), inputs->end(), "R0"), inputs->end())
+      << "reading a base relation the step then shadows counts as an input";
 }
 
 }  // namespace

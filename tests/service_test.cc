@@ -1,0 +1,351 @@
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/workload.h"
+#include "lang/query.h"
+#include "service/plan_cache.h"
+
+namespace ccdb::service {
+namespace {
+
+/// A small box dataset as a constraint relation over (x, y).
+Relation BoxRelation(size_t count, uint64_t seed) {
+  WorkloadParams params;
+  params.data_count = count;
+  return BoxesToConstraintRelation(GenerateDataBoxes(seed, params));
+}
+
+/// The mixed read-only workload: per-script selection windows that shift
+/// with `i`, a projection, and a small join of two selections.
+std::vector<std::string> MakeScripts(size_t count) {
+  std::vector<std::string> scripts;
+  for (size_t i = 0; i < count; ++i) {
+    const int lo = static_cast<int>((i * 157) % 2400);
+    const int lo2 = static_cast<int>((i * 311 + 500) % 2400);
+    switch (i % 3) {
+      case 0:
+        scripts.push_back("R0 = select x >= " + std::to_string(lo) +
+                          ", x <= " + std::to_string(lo + 400) +
+                          " from Boxes\n"
+                          "R1 = project R0 on y");
+        break;
+      case 1:
+        scripts.push_back("R0 = select y >= " + std::to_string(lo) +
+                          ", y <= " + std::to_string(lo + 300) +
+                          " from Boxes");
+        break;
+      default:
+        scripts.push_back("R0 = select x >= " + std::to_string(lo) +
+                          ", x <= " + std::to_string(lo + 250) +
+                          " from Boxes\n"
+                          "R1 = select y >= " + std::to_string(lo2) +
+                          ", y <= " + std::to_string(lo2 + 250) +
+                          " from Boxes\n"
+                          "R2 = join R0 and R1");
+        break;
+    }
+  }
+  return scripts;
+}
+
+/// Serial reference: the same per-session script sequence run by the
+/// plain single-threaded executor, steps accumulating like a session.
+std::vector<std::string> SerialResults(const Relation& boxes,
+                                       const std::vector<std::string>& seq) {
+  Database db;
+  EXPECT_TRUE(db.Create("Boxes", boxes).ok());
+  std::vector<std::string> rendered;
+  for (const std::string& script : seq) {
+    auto last = lang::ExecuteScript(script, &db);
+    EXPECT_TRUE(last.ok()) << last.status().ToString();
+    auto rel = db.Get(*last);
+    EXPECT_TRUE(rel.ok());
+    rendered.push_back((*rel)->ToString());
+  }
+  return rendered;
+}
+
+void RunStress(size_t cache_capacity) {
+  const Relation boxes = BoxRelation(150, 7);
+  Database base;
+  ASSERT_TRUE(base.Create("Boxes", boxes).ok());
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.max_queue_depth = 256;
+  options.cache_capacity = cache_capacity;
+  QueryService service(&base, options);
+
+  const size_t kSessions = 4;
+  const size_t kQueriesPerSession = 12;
+  // Sessions share most scripts (so the cache can hit across sessions)
+  // but start at different offsets.
+  const std::vector<std::string> scripts = MakeScripts(16);
+
+  std::vector<std::vector<std::string>> sequences(kSessions);
+  for (size_t s = 0; s < kSessions; ++s) {
+    for (size_t q = 0; q < kQueriesPerSession; ++q) {
+      sequences[s].push_back(scripts[(s * 3 + q) % scripts.size()]);
+    }
+  }
+
+  std::vector<std::vector<std::string>> got(kSessions);
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (size_t s = 0; s < kSessions; ++s) {
+    clients.emplace_back([&, s] {
+      SessionId id = service.OpenSession();
+      for (const std::string& script : sequences[s]) {
+        auto response = service.Execute(id, script);
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        got[s].push_back(response->relation.ToString());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (size_t s = 0; s < kSessions; ++s) {
+    std::vector<std::string> want = SerialResults(boxes, sequences[s]);
+    ASSERT_EQ(got[s].size(), want.size());
+    for (size_t q = 0; q < want.size(); ++q) {
+      EXPECT_EQ(got[s][q], want[q])
+          << "session " << s << " query " << q << " diverged from serial";
+    }
+  }
+
+  ServiceMetrics m = service.Metrics();
+  EXPECT_EQ(m.completed, kSessions * kQueriesPerSession);
+  EXPECT_EQ(m.failed, 0u);
+  EXPECT_EQ(m.rejected, 0u);
+  if (cache_capacity > 0) {
+    EXPECT_GT(m.cache_hits, 0u) << "shared scripts should hit the cache";
+  } else {
+    EXPECT_EQ(m.cache_hits + m.cache_misses, 0u);
+  }
+}
+
+TEST(QueryServiceStressTest, ParallelMatchesSerialCacheOff) { RunStress(0); }
+
+TEST(QueryServiceStressTest, ParallelMatchesSerialCacheOn) { RunStress(64); }
+
+TEST(QueryServiceTest, QueueOverflowRejectsWithUnavailable) {
+  Database base;
+  ASSERT_TRUE(base.Create("Boxes", BoxRelation(20, 3)).ok());
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.max_queue_depth = 2;
+  options.start_paused = true;
+  QueryService service(&base, options);
+  SessionId id = service.OpenSession();
+
+  auto f1 = service.Submit(id, "R0 = select x >= 0 from Boxes");
+  auto f2 = service.Submit(id, "R0 = select x >= 1 from Boxes");
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  auto f3 = service.Submit(id, "R0 = select x >= 2 from Boxes");
+  ASSERT_FALSE(f3.ok());
+  EXPECT_EQ(f3.status().code(), StatusCode::kUnavailable);
+
+  service.Resume();
+  EXPECT_TRUE(f1->get().ok());
+  EXPECT_TRUE(f2->get().ok());
+
+  ServiceMetrics m = service.Metrics();
+  EXPECT_EQ(m.submitted, 2u);
+  EXPECT_EQ(m.rejected, 1u);
+  EXPECT_EQ(m.queue_high_water, 2u);
+}
+
+TEST(QueryServiceTest, ShutdownDrainsInFlightQueries) {
+  Database base;
+  ASSERT_TRUE(base.Create("Boxes", BoxRelation(20, 3)).ok());
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 8;
+  options.start_paused = true;
+  QueryService service(&base, options);
+  SessionId id = service.OpenSession();
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (int i = 0; i < 3; ++i) {
+    auto f = service.Submit(
+        id, "R0 = select x >= " + std::to_string(i) + " from Boxes");
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+
+  service.Shutdown();  // must finish the queued work, not drop it
+  for (auto& f : futures) {
+    auto response = f.get();
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+  }
+
+  auto after = service.Submit(id, "R0 = select x >= 9 from Boxes");
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(QueryServiceTest, CacheHitSkipsExecutionAndReplayRegistersSteps) {
+  Database base;
+  ASSERT_TRUE(base.Create("Boxes", BoxRelation(30, 5)).ok());
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 16;
+  QueryService service(&base, options);
+
+  const std::string script =
+      "R0 = select x >= 100, x <= 900 from Boxes\nR1 = project R0 on y";
+  SessionId a = service.OpenSession();
+  auto first = service.Execute(a, script);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+
+  SessionId b = service.OpenSession();
+  auto second = service.Execute(b, script);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->relation.ToString(), first->relation.ToString());
+
+  // The hit replayed both steps into session b, so a follow-up referencing
+  // the *intermediate* step works exactly as after real execution.
+  auto followup = service.Execute(b, "R2 = project R0 on x");
+  ASSERT_TRUE(followup.ok()) << followup.status().ToString();
+}
+
+TEST(QueryServiceTest, ReplacingInputRelationInvalidatesCache) {
+  Database base;
+  ASSERT_TRUE(base.Create("Boxes", BoxRelation(30, 5)).ok());
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 16;
+  QueryService service(&base, options);
+  SessionId id = service.OpenSession();
+
+  const std::string script = "R0 = select x >= 0 from Boxes";
+  auto v1 = service.Execute(id, script);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_FALSE(v1->cache_hit);
+  auto v2 = service.Execute(id, script);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_TRUE(v2->cache_hit);
+
+  service.ReplaceRelation("Boxes", BoxRelation(10, 11));
+  auto v3 = service.Execute(id, script);
+  ASSERT_TRUE(v3.ok());
+  EXPECT_FALSE(v3->cache_hit) << "version bump must invalidate the entry";
+  EXPECT_NE(v3->relation.ToString(), v2->relation.ToString());
+}
+
+TEST(QueryServiceTest, SessionStepsAreIsolatedAndUncached) {
+  Database base;
+  ASSERT_TRUE(base.Create("Boxes", BoxRelation(30, 5)).ok());
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.cache_capacity = 16;
+  QueryService service(&base, options);
+
+  SessionId a = service.OpenSession();
+  SessionId b = service.OpenSession();
+  ASSERT_TRUE(
+      service.Execute(a, "S0 = select x >= 0, x <= 500 from Boxes").ok());
+  ASSERT_TRUE(
+      service.Execute(b, "S0 = select x >= 2000, x <= 2900 from Boxes").ok());
+
+  const uint64_t lookups_before =
+      service.Metrics().cache_hits + service.Metrics().cache_misses;
+  auto in_a = service.Execute(a, "S1 = project S0 on x");
+  auto in_b = service.Execute(b, "S1 = project S0 on x");
+  ASSERT_TRUE(in_a.ok());
+  ASSERT_TRUE(in_b.ok());
+  EXPECT_NE(in_a->relation.ToString(), in_b->relation.ToString())
+      << "sessions must not see each other's steps";
+  const uint64_t lookups_after =
+      service.Metrics().cache_hits + service.Metrics().cache_misses;
+  EXPECT_EQ(lookups_before, lookups_after)
+      << "step-reading scripts must bypass the cache";
+
+  // Step results are visible to the owning session's front-end reads only.
+  EXPECT_TRUE(service.GetRelation(a, "S1").ok());
+  auto names = service.VisibleNames(a);
+  EXPECT_NE(std::find(names.begin(), names.end(), "S0"), names.end());
+  ASSERT_TRUE(service.CloseSession(b).ok());
+  EXPECT_FALSE(service.GetRelation(b, "S1").ok());
+  EXPECT_EQ(service.Metrics().sessions, 1u);
+}
+
+TEST(QueryServiceTest, UnknownSessionAndBadScriptFail) {
+  Database base;
+  ASSERT_TRUE(base.Create("Boxes", BoxRelation(10, 2)).ok());
+  QueryService service(&base, {});
+  auto bad_session = service.Submit(12345, "R0 = select x >= 0 from Boxes");
+  EXPECT_EQ(bad_session.status().code(), StatusCode::kNotFound);
+
+  SessionId id = service.OpenSession();
+  auto bad_script = service.Execute(id, "R0 = frobnicate Boxes");
+  ASSERT_FALSE(bad_script.ok());
+  EXPECT_EQ(service.Metrics().failed, 1u);
+}
+
+TEST(ResultCacheTest, LruEvictionAndStats) {
+  ResultCache cache(2);
+  CachedResult value;
+  value.final_step = "R0";
+  value.steps.emplace_back("R0", Relation());
+  cache.Insert("k1", value);
+  cache.Insert("k2", value);
+
+  CachedResult out;
+  EXPECT_TRUE(cache.Lookup("k1", &out));  // k1 most recent now
+  cache.Insert("k3", value);              // evicts k2
+  EXPECT_FALSE(cache.Lookup("k2", &out));
+  EXPECT_TRUE(cache.Lookup("k1", &out));
+  EXPECT_TRUE(cache.Lookup("k3", &out));
+  EXPECT_EQ(out.final_step, "R0");
+
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  CachedResult value;
+  cache.Insert("k", value);
+  CachedResult out;
+  EXPECT_FALSE(cache.Lookup("k", &out));
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(LatencyRecorderTest, SummaryOverSamples) {
+  LatencyRecorder recorder;
+  EXPECT_EQ(recorder.Summarize().count, 0u);
+  for (int i = 1; i <= 100; ++i) recorder.Record(static_cast<double>(i));
+  LatencyRecorder::Summary s = recorder.Summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min_us, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_us, 50.5);
+  EXPECT_NEAR(s.p50_us, 50.0, 1.0);
+  EXPECT_NEAR(s.p99_us, 99.0, 1.0);
+}
+
+TEST(ServiceMetricsTest, ToStringMentionsEveryGroup) {
+  ServiceMetrics m;
+  m.submitted = 10;
+  m.workers = 4;
+  std::string text = m.ToString();
+  EXPECT_NE(text.find("queries:"), std::string::npos);
+  EXPECT_NE(text.find("cache:"), std::string::npos);
+  EXPECT_NE(text.find("latency:"), std::string::npos);
+  EXPECT_NE(text.find("storage:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccdb::service

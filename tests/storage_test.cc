@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
 #include "storage/pager.h"
@@ -262,6 +266,49 @@ TEST(HeapFileTest, ScanEarlyStop) {
 TEST(RecordIdTest, PackUnpackRoundTrip) {
   RecordId id{123456, 789};
   EXPECT_EQ(RecordId::Unpack(id.Pack()), id);
+}
+
+// --- Concurrency ----------------------------------------------------------------
+
+TEST(BufferPoolTest, ShardsLargePoolsKeepsSmallOnesExact) {
+  PageManager pm;
+  EXPECT_EQ(BufferPool(&pm, 2).shard_count(), 1u)
+      << "small pools keep exact global LRU order";
+  EXPECT_EQ(BufferPool(&pm, 256).shard_count(), BufferPool::kMaxShards);
+}
+
+TEST(BufferPoolTest, ConcurrentReadersSeeConsistentPages) {
+  PageManager pm;
+  const size_t kPages = 64;
+  for (size_t i = 0; i < kPages; ++i) {
+    PageId id = pm.Allocate();
+    Page page;
+    page.bytes()[0] = static_cast<uint8_t>(i);
+    ASSERT_TRUE(pm.Write(id, page).ok());
+  }
+  BufferPool pool(&pm, 128);
+
+  const size_t kThreads = 8;
+  const size_t kReadsPerThread = 400;
+  std::vector<std::thread> threads;
+  std::atomic<int> corrupt{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kReadsPerThread; ++i) {
+        PageId id = (t * 13 + i * 7) % kPages;
+        Page page;
+        if (!pool.Get(id, &page).ok() ||
+            page.bytes()[0] != static_cast<uint8_t>(id)) {
+          corrupt.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  CacheStats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kReadsPerThread);
+  EXPECT_GT(stats.hits, 0u);
 }
 
 }  // namespace
