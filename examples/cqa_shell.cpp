@@ -16,8 +16,14 @@
 //   save <path>                 export the database as a .cdb file
 //   plan <relation>             advisor: joint vs separate indexing hints
 //   \metrics                    query-service metrics snapshot
+//   \checkpoint                 apply pending pages + truncate the WAL
 //   help                        syntax summary
 //   quit
+//
+// The shell's base catalog is backed by a `DurableStore`: every load and
+// catalog write is journaled to a write-ahead log on the simulated disk
+// before it is acknowledged, and `\checkpoint` truncates the log once its
+// batches are applied.
 
 #include <iostream>
 #include <sstream>
@@ -40,7 +46,7 @@ void PrintHelp() {
   R6 = rename x to t in R5
   R7 = buffer-join L and P within 5 [using fid]
   R8 = k-nearest L and P k 3 [using fid]
-Shell commands: show/schema/list/load/save/plan/\metrics/help/quit
+Shell commands: show/schema/list/load/save/plan/\metrics/\checkpoint/help/quit
 )";
 }
 
@@ -88,7 +94,11 @@ void LoadInto(service::QueryService* service, const std::string& path) {
     return;
   }
   for (const std::string& name : staged.Names()) {
-    service->ReplaceRelation(name, **staged.Get(name));
+    Status replaced = service->ReplaceRelation(name, **staged.Get(name));
+    if (!replaced.ok()) {
+      std::cout << name << ": " << replaced.ToString() << "\n";
+      return;
+    }
   }
   std::cout << "ok\n";
 }
@@ -107,9 +117,29 @@ int main(int argc, char** argv) {
     std::cout << "loaded " << argv[i] << "\n";
   }
 
+  // Durable storage stack: base catalog writes are journaled through a
+  // WAL on the simulated disk before they are acknowledged.
+  PageManager disk;
+  auto store = DurableStore::Create(&disk);
+  if (!store.ok()) {
+    std::cerr << "error creating durable store: " << store.status().ToString()
+              << "\n";
+    return 1;
+  }
+  if (!db.Names().empty()) {
+    Status committed = (*store)->CommitCatalog(db);
+    if (!committed.ok()) {
+      std::cerr << "error persisting initial catalog: "
+                << committed.ToString() << "\n";
+      return 1;
+    }
+  }
+
   service::ServiceOptions options;
   options.num_workers = 2;
   options.cache_capacity = 128;
+  options.disk = &disk;
+  options.store = store->get();
   service::QueryService service(&db, options);
   const service::SessionId session = service.OpenSession();
 
@@ -128,6 +158,11 @@ int main(int argc, char** argv) {
     }
     if (command == "\\metrics" || command == "metrics") {
       std::cout << service.Metrics().ToString() << "\n";
+      continue;
+    }
+    if (command == "\\checkpoint" || command == "checkpoint") {
+      Status s = service.Checkpoint();
+      std::cout << (s.ok() ? "checkpointed" : s.ToString()) << "\n";
       continue;
     }
     if (command == "list") {

@@ -43,9 +43,11 @@
 #include "service/query_service.h"         // concurrent query front door
 #include "storage/buffer_pool.h"           // LRU cache
 #include "storage/catalog.h"               // database persistence
+#include "storage/fault.h"                 // crash/fault injection
 #include "storage/heap_file.h"             // slotted heap files
 #include "storage/serde.h"                 // tuple/schema codecs
 #include "storage/pager.h"                 // the simulated disk
+#include "storage/wal.h"                   // write-ahead log + recovery
 #include "util/status.h"                   // Status / Result error model
 
 #endif  // CCDB_CCDB_H_

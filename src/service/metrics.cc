@@ -1,21 +1,19 @@
 #include "service/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace ccdb::service {
 
-namespace {
-
-/// Nearest-rank percentile of an unsorted copy of `samples`.
-double Percentile(std::vector<double> samples, double fraction) {
+double NearestRankPercentile(std::vector<double> samples, double fraction) {
   if (samples.empty()) return 0;
   std::sort(samples.begin(), samples.end());
-  size_t rank = static_cast<size_t>(fraction * (samples.size() - 1) + 0.5);
-  return samples[std::min(rank, samples.size() - 1)];
+  auto rank = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(samples.size())));
+  rank = std::min(std::max<size_t>(rank, 1), samples.size());
+  return samples[rank - 1];
 }
-
-}  // namespace
 
 void LatencyRecorder::Record(double micros) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -36,8 +34,8 @@ LatencyRecorder::Summary LatencyRecorder::Summarize() const {
   if (count_ == 0) return out;
   out.min_us = min_;
   out.mean_us = sum_ / static_cast<double>(count_);
-  out.p50_us = Percentile(window_, 0.50);
-  out.p99_us = Percentile(window_, 0.99);
+  out.p50_us = NearestRankPercentile(window_, 0.50);
+  out.p99_us = NearestRankPercentile(window_, 0.99);
   return out;
 }
 
@@ -72,6 +70,14 @@ std::string ServiceMetrics::ToString() const {
   out += buf;
   std::snprintf(buf, sizeof(buf), "storage:  %llu pages read\n",
                 static_cast<unsigned long long>(pages_read));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "wal:      %llu batches, %llu bytes, %llu fsyncs, "
+                "%llu checkpoints\n",
+                static_cast<unsigned long long>(wal_batches),
+                static_cast<unsigned long long>(wal_bytes),
+                static_cast<unsigned long long>(wal_fsyncs),
+                static_cast<unsigned long long>(wal_checkpoints));
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "latency:  n=%llu, min %.1fus, mean %.1fus, p50 %.1fus, "

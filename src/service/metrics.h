@@ -35,6 +35,11 @@ struct ServiceMetrics {
   uint64_t cache_entries = 0;
   // Storage (0 unless the service is wired to a PageManager).
   uint64_t pages_read = 0;
+  // Durability (0 unless the service is wired to a DurableStore).
+  uint64_t wal_bytes = 0;        ///< log bytes appended by commits
+  uint64_t wal_batches = 0;      ///< acknowledged logged batches
+  uint64_t wal_fsyncs = 0;       ///< commit-record and header syncs
+  uint64_t wal_checkpoints = 0;  ///< log truncations
   // Per-query latency.
   uint64_t latency_count = 0;
   double latency_min_us = 0;
@@ -45,6 +50,11 @@ struct ServiceMetrics {
   /// Multi-line human-readable rendering (the `\metrics` output).
   std::string ToString() const;
 };
+
+/// Nearest-rank percentile: the value at rank ceil(fraction * N) (1-based)
+/// of the sorted samples — the smallest sample such that at least
+/// `fraction` of all samples are <= it. Returns 0 on an empty set.
+double NearestRankPercentile(std::vector<double> samples, double fraction);
 
 /// Thread-safe per-query latency accumulator.
 ///

@@ -2,32 +2,35 @@
 
 namespace ccdb::service {
 
-bool ResultCache::Lookup(const std::string& key, CachedResult* out) {
-  if (!enabled()) return false;
+std::shared_ptr<const CachedResult> ResultCache::Lookup(
+    const std::string& key) {
+  if (!enabled()) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
-    return false;
+    return nullptr;
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);
   it->second = lru_.begin();
-  *out = lru_.begin()->second;
-  return true;
+  return lru_.begin()->second;
 }
 
 void ResultCache::Insert(const std::string& key, CachedResult value) {
   if (!enabled()) return;
+  // Build the shared entry before taking the lock: the deep move/copy of
+  // the step relations must not happen inside the critical section.
+  auto entry = std::make_shared<const CachedResult>(std::move(value));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(value);
+    it->second->second = std::move(entry);
     lru_.splice(lru_.begin(), lru_, it->second);
     it->second = lru_.begin();
     return;
   }
-  lru_.emplace_front(key, std::move(value));
+  lru_.emplace_front(key, std::move(entry));
   index_[key] = lru_.begin();
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -34,6 +35,12 @@ struct CachedResult {
 };
 
 /// Thread-safe LRU map from cache key to CachedResult.
+///
+/// Entries are immutable and shared: a hit hands out a
+/// `shared_ptr<const CachedResult>`, so only the pointer is copied under
+/// the cache mutex — concurrent hits on large results no longer serialize
+/// on deep copies inside the critical section. Callers copy the relations
+/// they need (if any) outside the lock.
 class ResultCache {
  public:
   /// `capacity` entries; 0 disables the cache (lookups always miss,
@@ -42,9 +49,9 @@ class ResultCache {
 
   bool enabled() const { return capacity_ > 0; }
 
-  /// On hit, copies the entry into `*out` and marks it most-recent.
+  /// On hit, marks the entry most-recent and returns it; nullptr on miss.
   /// Counts a hit or a miss either way.
-  bool Lookup(const std::string& key, CachedResult* out);
+  std::shared_ptr<const CachedResult> Lookup(const std::string& key);
 
   /// Inserts (or refreshes) an entry, evicting the least-recent one when
   /// over capacity. No-op when disabled.
@@ -60,7 +67,7 @@ class ResultCache {
   Stats stats() const;
 
  private:
-  using Entry = std::pair<std::string, CachedResult>;
+  using Entry = std::pair<std::string, std::shared_ptr<const CachedResult>>;
 
   mutable std::mutex mu_;
   size_t capacity_;

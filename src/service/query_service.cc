@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <optional>
 #include <set>
 
 #include "lang/query.h"
+#include "storage/wal.h"
 
 namespace ccdb::service {
 
@@ -165,8 +168,19 @@ void QueryService::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    Result<QueryResponse> result =
-        RunScript(task->session.get(), task->script);
+    // Exception barrier: a throw out of execution (bad_alloc, a parser
+    // edge case, ...) must fail this one request, not terminate the
+    // process — the worker thread stays alive for the next task.
+    Result<QueryResponse> result = [&]() -> Result<QueryResponse> {
+      try {
+        return RunScript(task->session.get(), task->script);
+      } catch (const std::exception& e) {
+        return Status::Internal(std::string("uncaught exception in worker: ") +
+                                e.what());
+      } catch (...) {
+        return Status::Internal("uncaught non-standard exception in worker");
+      }
+    }();
     const double latency_us = MicrosSince(task->enqueued);
     latency_.Record(latency_us);
     if (result.ok()) {
@@ -207,18 +221,18 @@ Result<QueryResponse> QueryService::RunScript(Session* session,
   }
 
   if (cacheable) {
-    CachedResult hit;
-    if (cache_.Lookup(key, &hit)) {
+    if (std::shared_ptr<const CachedResult> hit = cache_.Lookup(key)) {
       // Replay the registrations so the session sees exactly the state
-      // execution would have produced.
-      for (const auto& [name, relation] : hit.steps) {
+      // execution would have produced. The deep copies happen here, on
+      // the shared immutable entry, outside the cache's critical section.
+      for (const auto& [name, relation] : hit->steps) {
         session->steps.CreateOrReplace(name, relation);
       }
       QueryResponse response;
-      response.step = hit.final_step;
+      response.step = hit->final_step;
       response.cache_hit = true;
-      for (const auto& [name, relation] : hit.steps) {
-        if (name == hit.final_step) response.relation = relation;
+      for (const auto& [name, relation] : hit->steps) {
+        if (name == hit->final_step) response.relation = relation;
       }
       return response;
     }
@@ -244,21 +258,63 @@ Result<QueryResponse> QueryService::RunScript(Session* session,
   return response;
 }
 
+Status QueryService::CommitBaseLocked() {
+  if (options_.store == nullptr) return Status::OK();
+  return options_.store->CommitCatalog(*base_);
+}
+
 Status QueryService::CreateRelation(const std::string& name,
                                     Relation relation) {
   std::unique_lock<std::shared_mutex> lock(catalog_mu_);
-  return base_->Create(name, std::move(relation));
+  CCDB_RETURN_IF_ERROR(base_->Create(name, std::move(relation)));
+  Status committed = CommitBaseLocked();
+  if (!committed.ok()) {
+    // The write was never acknowledged — undo it so memory matches disk.
+    (void)base_->Drop(name);
+    return committed;
+  }
+  return Status::OK();
 }
 
-void QueryService::ReplaceRelation(const std::string& name,
-                                   Relation relation) {
+Status QueryService::ReplaceRelation(const std::string& name,
+                                     Relation relation) {
   std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  std::optional<Relation> previous;
+  if (auto old = base_->Get(name); old.ok()) previous = **old;
   base_->CreateOrReplace(name, std::move(relation));
+  Status committed = CommitBaseLocked();
+  if (!committed.ok()) {
+    if (previous.has_value()) {
+      base_->CreateOrReplace(name, std::move(*previous));
+    } else {
+      (void)base_->Drop(name);
+    }
+    return committed;
+  }
+  return Status::OK();
 }
 
 Status QueryService::DropRelation(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(catalog_mu_);
-  return base_->Drop(name);
+  std::optional<Relation> previous;
+  if (auto old = base_->Get(name); old.ok()) previous = **old;
+  CCDB_RETURN_IF_ERROR(base_->Drop(name));
+  Status committed = CommitBaseLocked();
+  if (!committed.ok()) {
+    if (previous.has_value()) {
+      base_->CreateOrReplace(name, std::move(*previous));
+    }
+    return committed;
+  }
+  return Status::OK();
+}
+
+Status QueryService::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  if (options_.store == nullptr) {
+    return Status::Unavailable("service has no durable store attached");
+  }
+  return options_.store->Checkpoint();
 }
 
 Result<Relation> QueryService::GetRelation(SessionId id,
@@ -338,6 +394,13 @@ ServiceMetrics QueryService::Metrics() const {
   m.cache_misses = cache.misses;
   m.cache_entries = cache.entries;
   if (options_.disk != nullptr) m.pages_read = options_.disk->stats().reads;
+  if (options_.store != nullptr) {
+    WalStats wal = options_.store->stats();
+    m.wal_bytes = wal.bytes_appended;
+    m.wal_batches = wal.batches_committed;
+    m.wal_fsyncs = wal.fsyncs;
+    m.wal_checkpoints = wal.checkpoints;
+  }
   LatencyRecorder::Summary latency = latency_.Summarize();
   m.latency_count = latency.count;
   m.latency_min_us = latency.min_us;

@@ -45,6 +45,10 @@
 #include "storage/pager.h"
 #include "util/status.h"
 
+namespace ccdb {
+class DurableStore;
+}
+
 namespace ccdb::service {
 
 using SessionId = uint64_t;
@@ -56,6 +60,11 @@ struct ServiceOptions {
   size_t cache_capacity = 128;  ///< result-cache entries; 0 disables
   bool start_paused = false;    ///< workers wait for Resume() (tests)
   PageManager* disk = nullptr;  ///< optional: pages-read in metrics
+  /// Optional durable catalog. When set, every base-catalog write is
+  /// journaled through the store's WAL and acknowledged only after the
+  /// commit record is on disk; on commit failure the in-memory catalog is
+  /// rolled back, so the caller never observes an unlogged mutation.
+  DurableStore* store = nullptr;
 };
 
 /// A successfully executed script.
@@ -103,10 +112,18 @@ class QueryService {
   Result<QueryResponse> Execute(SessionId id, const std::string& script);
 
   // --- Base-catalog writes (exclusive; wait for running queries) ---
+  //
+  // With a DurableStore attached, OK means the write is durable (its WAL
+  // commit record is on disk); any failure means the catalog is exactly
+  // as it was before the call.
 
   Status CreateRelation(const std::string& name, Relation relation);
-  void ReplaceRelation(const std::string& name, Relation relation);
+  Status ReplaceRelation(const std::string& name, Relation relation);
   Status DropRelation(const std::string& name);
+
+  /// Applies pending page images and truncates the WAL (the shell's
+  /// `\checkpoint`). Fails with kUnavailable when no store is attached.
+  Status Checkpoint();
 
   // --- Reads for front-ends (shell `show`, `list`, ...) ---
 
@@ -138,6 +155,10 @@ class QueryService {
   void WorkerLoop();
   Result<QueryResponse> RunScript(Session* session, const std::string& script);
   std::shared_ptr<Session> FindSession(SessionId id) const;
+
+  /// Journals the base catalog through the attached store (no-op when
+  /// none). Caller holds `catalog_mu_` exclusive.
+  Status CommitBaseLocked();
 
   Database* base_;
   ServiceOptions options_;

@@ -1,0 +1,96 @@
+#include "storage/fault.h"
+
+#include <cstring>
+#include <string>
+
+namespace ccdb {
+
+void FaultInjectingPager::Arm(Fault fault, uint64_t ios_before_fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = fault;
+  remaining_ = ios_before_fault;
+  fired_ = false;
+}
+
+void FaultInjectingPager::ClearFault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = Fault::kNone;
+  crashed_ = false;
+}
+
+bool FaultInjectingPager::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+bool FaultInjectingPager::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultInjectingPager::io_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_count_;
+}
+
+FaultInjectingPager::Decision FaultInjectingPager::Account(bool is_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++io_count_;
+  if (crashed_) return Decision::kFailOp;
+  if (armed_ == Fault::kNone || fired_) return Decision::kProceed;
+  if (remaining_ > 0) {
+    --remaining_;
+    return Decision::kProceed;
+  }
+  fired_ = true;
+  switch (armed_) {
+    case Fault::kFail:
+      armed_ = Fault::kNone;  // transient: only this operation fails
+      return Decision::kFailOp;
+    case Fault::kTornWrite:
+      crashed_ = true;
+      return is_write ? Decision::kTear : Decision::kFailOp;
+    case Fault::kCrash:
+      crashed_ = true;
+      return Decision::kFailOp;
+    case Fault::kNone:
+      break;
+  }
+  return Decision::kProceed;
+}
+
+PageId FaultInjectingPager::Allocate() {
+  if (Account(/*is_write=*/false) != Decision::kProceed) return kInvalidPageId;
+  return PageManager::Allocate();
+}
+
+Status FaultInjectingPager::Read(PageId id, Page* out) {
+  if (Account(/*is_write=*/false) != Decision::kProceed) {
+    return Status::IoError("injected fault: read of page " +
+                           std::to_string(id));
+  }
+  return PageManager::Read(id, out);
+}
+
+Status FaultInjectingPager::Write(PageId id, const Page& page) {
+  switch (Account(/*is_write=*/true)) {
+    case Decision::kProceed:
+      return PageManager::Write(id, page);
+    case Decision::kTear: {
+      // Persist a half-new, half-old image, then report failure.
+      Page mixed;
+      if (PageManager::Read(id, &mixed).ok()) {
+        std::memcpy(mixed.bytes(), page.bytes(), kPageSize / 2);
+        (void)PageManager::Write(id, mixed);
+      }
+      return Status::IoError("injected fault: torn write of page " +
+                             std::to_string(id));
+    }
+    case Decision::kFailOp:
+    default:
+      return Status::IoError("injected fault: write of page " +
+                             std::to_string(id));
+  }
+}
+
+}  // namespace ccdb

@@ -1,0 +1,76 @@
+#ifndef CCDB_STORAGE_FAULT_H_
+#define CCDB_STORAGE_FAULT_H_
+
+/// \file fault.h
+/// Fault injection for crash-safety testing.
+///
+/// `FaultInjectingPager` is a simulated disk (it inherits the real
+/// `PageManager` storage) that can be armed to misbehave at the Nth I/O:
+///
+///  - `kFail`      — that one operation returns an error, then the disk is
+///                   healthy again (a transient I/O error).
+///  - `kTornWrite` — the write persists only the first half of the new
+///                   image over the old page (a torn sector), reports
+///                   failure, and the disk "crashes": every later
+///                   operation fails until `ClearFault()`.
+///  - `kCrash`     — the operation does nothing and fails, and so does
+///                   every later one until `ClearFault()` (power loss:
+///                   whatever was durable before stays, nothing new
+///                   lands).
+///
+/// `ClearFault()` models the reboot: the page array is whatever survived,
+/// and recovery code can be pointed at it. The crash-matrix test in
+/// `tests/wal_test.cc` arms each mode at every I/O index in turn.
+
+#include <cstdint>
+#include <mutex>
+
+#include "storage/page.h"
+#include "storage/pager.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+class FaultInjectingPager : public PageManager {
+ public:
+  enum class Fault { kNone, kFail, kTornWrite, kCrash };
+
+  /// Arms `fault` to fire on the first operation after `ios_before_fault`
+  /// further operations have succeeded (0 = the very next one).
+  void Arm(Fault fault, uint64_t ios_before_fault);
+
+  /// Reboot: clears the crashed state (and any armed fault). Durable pages
+  /// are untouched.
+  void ClearFault();
+
+  /// True once the armed fault has fired (sticky until the next Arm).
+  bool fired() const;
+
+  /// True while the disk is down after a kTornWrite/kCrash fault.
+  bool crashed() const;
+
+  /// Operations seen so far (including failed ones) — the injection-point
+  /// index space used by Arm().
+  uint64_t io_count() const;
+
+  PageId Allocate() override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+
+ private:
+  enum class Decision { kProceed, kFailOp, kTear };
+
+  /// Counts one operation and decides its fate.
+  Decision Account(bool is_write);
+
+  mutable std::mutex mu_;
+  Fault armed_ = Fault::kNone;
+  uint64_t remaining_ = 0;
+  bool fired_ = false;
+  bool crashed_ = false;
+  uint64_t io_count_ = 0;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_STORAGE_FAULT_H_

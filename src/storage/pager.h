@@ -29,7 +29,8 @@ struct IoStats {
 /// exclusive, and the access counters are atomic so parallel queries can
 /// be metered without tearing (the service layer runs many read-only
 /// queries at once — see `service/query_service.h`).
-/// Read/Write are virtual so tests can inject I/O failures.
+/// The accessors are virtual too so wrappers (the WAL's staging pager,
+/// the fault injector) can delegate or override them.
 class PageManager {
  public:
   PageManager() = default;
@@ -44,13 +45,13 @@ class PageManager {
   /// Stores `page` at `id`; counts one disk write.
   virtual Status Write(PageId id, const Page& page);
 
-  size_t num_pages() const {
+  virtual size_t num_pages() const {
     std::shared_lock lock(mu_);
     return pages_.size();
   }
 
   /// A consistent point-in-time copy of the counters.
-  IoStats stats() const {
+  virtual IoStats stats() const {
     IoStats snapshot;
     snapshot.reads = reads_.load(std::memory_order_relaxed);
     snapshot.writes = writes_.load(std::memory_order_relaxed);
@@ -58,7 +59,7 @@ class PageManager {
     return snapshot;
   }
 
-  void ResetStats() {
+  virtual void ResetStats() {
     reads_.store(0, std::memory_order_relaxed);
     writes_.store(0, std::memory_order_relaxed);
     allocations_.store(0, std::memory_order_relaxed);

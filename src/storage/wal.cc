@@ -1,0 +1,452 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <set>
+
+#include "storage/catalog.h"
+
+namespace ccdb {
+
+namespace {
+
+// On-disk framing constants. A batch record is
+//   [u32 kBatchMagic][u64 lsn][u64 catalog_root][u32 n_frames]
+//   n_frames x ([u64 page_id][kPageSize image])
+//   [u32 crc over lsn..frames][u32 kCommitMagic]
+// streamed across log pages of layout [u64 next][payload].
+constexpr uint32_t kHeaderMagic = 0x57414C48;  // "WALH"
+constexpr uint32_t kBatchMagic = 0x57414C42;   // "WALB"
+constexpr uint32_t kCommitMagic = 0x57414C43;  // "WALC"
+constexpr size_t kFrameSize = 8 + kPageSize;
+constexpr size_t kRecordOverhead = 24 + 8;  // header fields + crc + commit
+constexpr uint32_t kMaxFrames = 1u << 20;   // sanity bound while parsing
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void StoreU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void StoreU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+void AppendU32(std::vector<uint8_t>* buf, uint32_t v) {
+  uint8_t tmp[4];
+  StoreU32(tmp, v);
+  buf->insert(buf->end(), tmp, tmp + 4);
+}
+
+void AppendU64(std::vector<uint8_t>* buf, uint64_t v) {
+  uint8_t tmp[8];
+  StoreU64(tmp, v);
+  buf->insert(buf->end(), tmp, tmp + 8);
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// --- WriteAheadLog ----------------------------------------------------------------
+
+Status WriteAheadLog::Create() {
+  header_page_ = disk_->Allocate();
+  if (header_page_ == kInvalidPageId) {
+    return Status::IoError("WAL header page allocation failed");
+  }
+  PageId first = disk_->Allocate();
+  if (first == kInvalidPageId) {
+    return Status::IoError("WAL log page allocation failed");
+  }
+  log_pages_.assign(1, first);
+  append_pos_ = 0;
+  next_lsn_ = 1;
+  recovered_root_ = kInvalidPageId;
+  tail_image_.Zero();
+  StoreU64(tail_image_.bytes(), kInvalidPageId);
+  CCDB_RETURN_IF_ERROR(disk_->Write(first, tail_image_));
+  return WriteHeader(kInvalidPageId, next_lsn_);
+}
+
+Status WriteAheadLog::Open(PageId header_page) {
+  header_page_ = header_page;
+  Page header;
+  CCDB_RETURN_IF_ERROR(disk_->Read(header_page, &header));
+  if (LoadU32(header.bytes()) != kHeaderMagic) {
+    return Status::IoError("page " + std::to_string(header_page) +
+                           " is not a WAL header");
+  }
+  const PageId first = LoadU64(header.bytes() + 4);
+  const PageId header_root = LoadU64(header.bytes() + 12);
+  const uint64_t lsn_floor = LoadU64(header.bytes() + 20);
+
+  // Walk the log chain. An unreadable or repeated next pointer — or one
+  // aimed at the header — ends the chain (a torn tail page cannot corrupt
+  // the links before it).
+  log_pages_.clear();
+  std::vector<Page> images;
+  std::vector<uint8_t> stream;
+  std::set<PageId> visited;
+  PageId current = first;
+  while (current != kInvalidPageId && current != header_page_ &&
+         visited.insert(current).second) {
+    Page page;
+    if (!disk_->Read(current, &page).ok()) break;
+    log_pages_.push_back(current);
+    stream.insert(stream.end(), page.bytes() + 8, page.bytes() + kPageSize);
+    images.push_back(page);
+    current = LoadU64(page.bytes());
+  }
+  if (log_pages_.empty()) {
+    return Status::IoError("WAL log chain is unreadable from page " +
+                           std::to_string(first));
+  }
+
+  // Parse and replay committed batches. Records must be exactly
+  // sequentially numbered starting at the header's LSN floor — anything
+  // else (torn tail, pre-checkpoint leftovers, garbage) ends the log.
+  size_t pos = 0;
+  uint64_t expect = lsn_floor;
+  PageId root = header_root;
+  while (true) {
+    if (stream.size() - pos < kRecordOverhead) break;
+    if (LoadU32(&stream[pos]) != kBatchMagic) break;
+    const uint64_t lsn = LoadU64(&stream[pos + 4]);
+    const PageId record_root = LoadU64(&stream[pos + 12]);
+    const uint32_t n_frames = LoadU32(&stream[pos + 20]);
+    if (n_frames > kMaxFrames) {
+      discarded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    const size_t body = 24 + static_cast<size_t>(n_frames) * kFrameSize;
+    if (stream.size() - pos < body + 8) {
+      discarded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    const uint32_t crc = LoadU32(&stream[pos + body]);
+    const uint32_t commit = LoadU32(&stream[pos + body + 4]);
+    if (commit != kCommitMagic || crc != Crc32(&stream[pos + 4], body - 4) ||
+        lsn != expect) {
+      discarded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    // Committed: redo every page image (idempotent).
+    for (uint32_t f = 0; f < n_frames; ++f) {
+      const size_t frame = pos + 24 + static_cast<size_t>(f) * kFrameSize;
+      const PageId page_id = LoadU64(&stream[frame]);
+      Page image;
+      std::memcpy(image.bytes(), &stream[frame + 8], kPageSize);
+      CCDB_RETURN_IF_ERROR(disk_->Write(page_id, image));
+    }
+    recovered_.fetch_add(1, std::memory_order_relaxed);
+    root = record_root;
+    ++expect;
+    pos += body + 8;
+  }
+
+  next_lsn_ = expect;
+  recovered_root_ = root;
+  append_pos_ = pos;
+  size_t tail_index = pos / kPayloadSize;
+  if (tail_index >= log_pages_.size()) {
+    // The stream ended exactly at a page boundary with no successor (only
+    // possible after unlucky tearing): extend the chain by one page,
+    // persisting the successor before linking it.
+    PageId fresh = disk_->Allocate();
+    if (fresh == kInvalidPageId) {
+      return Status::IoError("WAL log page allocation failed during open");
+    }
+    Page empty;
+    empty.Zero();
+    StoreU64(empty.bytes(), kInvalidPageId);
+    CCDB_RETURN_IF_ERROR(disk_->Write(fresh, empty));
+    StoreU64(images.back().bytes(), fresh);
+    CCDB_RETURN_IF_ERROR(disk_->Write(log_pages_.back(), images.back()));
+    log_pages_.push_back(fresh);
+    images.push_back(empty);
+  }
+  tail_image_ = images[tail_index];
+  return Status::OK();
+}
+
+Status WriteAheadLog::AppendBytes(const std::vector<uint8_t>& bytes) {
+  const size_t pos = append_pos_;
+  size_t i = pos / kPayloadSize;
+  size_t off = pos % kPayloadSize;
+  if (i >= log_pages_.size()) {
+    return Status::Internal("WAL tail position beyond the log chain");
+  }
+  size_t consumed = 0;
+  while (consumed < bytes.size()) {
+    const size_t n = std::min(kPayloadSize - off, bytes.size() - consumed);
+    std::memcpy(tail_image_.bytes() + 8 + off, bytes.data() + consumed, n);
+    consumed += n;
+    off += n;
+    if (off == kPayloadSize) {
+      // Page full: link a successor (reusing the chain when one exists)
+      // before flushing, so a flushed-full page always points onward.
+      if (i + 1 >= log_pages_.size()) {
+        const PageId fresh = disk_->Allocate();
+        if (fresh == kInvalidPageId) {
+          return Status::IoError("WAL log page allocation failed");
+        }
+        // Persist the successor as an explicit end-of-chain page BEFORE
+        // linking it: a linked page must never carry garbage in its next
+        // field (a fresh all-zero page would read as "next = page 0" and
+        // send the recovery walk into the header).
+        Page empty;
+        empty.Zero();
+        StoreU64(empty.bytes(), kInvalidPageId);
+        CCDB_RETURN_IF_ERROR(disk_->Write(fresh, empty));
+        log_pages_.push_back(fresh);
+      }
+      StoreU64(tail_image_.bytes(), log_pages_[i + 1]);
+      CCDB_RETURN_IF_ERROR(disk_->Write(log_pages_[i], tail_image_));
+      ++i;
+      off = 0;
+      tail_image_.Zero();
+      StoreU64(tail_image_.bytes(),
+               i + 1 < log_pages_.size() ? log_pages_[i + 1] : kInvalidPageId);
+    }
+  }
+  if (off > 0) {
+    StoreU64(tail_image_.bytes(),
+             i + 1 < log_pages_.size() ? log_pages_[i + 1] : kInvalidPageId);
+    CCDB_RETURN_IF_ERROR(disk_->Write(log_pages_[i], tail_image_));
+  }
+  append_pos_ = pos + bytes.size();
+  return Status::OK();
+}
+
+Status WriteAheadLog::CommitBatch(const std::vector<WalFrame>& frames,
+                                  PageId catalog_root) {
+  std::vector<uint8_t> record;
+  record.reserve(kRecordOverhead + frames.size() * kFrameSize);
+  AppendU32(&record, kBatchMagic);
+  AppendU64(&record, next_lsn_);
+  AppendU64(&record, catalog_root);
+  AppendU32(&record, static_cast<uint32_t>(frames.size()));
+  for (const WalFrame& frame : frames) {
+    AppendU64(&record, frame.page_id);
+    record.insert(record.end(), frame.image.bytes(),
+                  frame.image.bytes() + kPageSize);
+  }
+  const size_t body = record.size();
+  AppendU32(&record, Crc32(record.data() + 4, body - 4));
+  AppendU32(&record, kCommitMagic);
+
+  // On failure, roll the tail back to the record start so the next commit
+  // overwrites the torn bytes instead of appending after them.
+  const size_t saved_pos = append_pos_;
+  const Page saved_tail = tail_image_;
+  Status appended = AppendBytes(record);
+  if (!appended.ok()) {
+    append_pos_ = saved_pos;
+    tail_image_ = saved_tail;
+    return appended;
+  }
+  ++next_lsn_;
+  bytes_appended_.fetch_add(record.size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status WriteAheadLog::Truncate(PageId catalog_root) {
+  // Header first: once the root and LSN floor are durable, any records
+  // still in the log are below the floor and recovery ignores them. The
+  // reverse order could zero acknowledged batches before the root that
+  // supersedes them is saved.
+  CCDB_RETURN_IF_ERROR(WriteHeader(catalog_root, next_lsn_));
+  recovered_root_ = catalog_root;
+  // Reset the tail before zeroing: even if a zeroing write fails below,
+  // new commits must overwrite from the front (their LSNs are at the
+  // floor, so leftover old records can never be replayed).
+  append_pos_ = 0;
+  tail_image_.Zero();
+  StoreU64(tail_image_.bytes(),
+           log_pages_.size() > 1 ? log_pages_[1] : kInvalidPageId);
+  Page zero;
+  for (size_t i = 0; i < log_pages_.size(); ++i) {
+    zero.Zero();
+    StoreU64(zero.bytes(),
+             i + 1 < log_pages_.size() ? log_pages_[i + 1] : kInvalidPageId);
+    CCDB_RETURN_IF_ERROR(disk_->Write(log_pages_[i], zero));
+  }
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status WriteAheadLog::WriteHeader(PageId catalog_root, uint64_t next_lsn) {
+  Page header;
+  header.Zero();
+  StoreU32(header.bytes(), kHeaderMagic);
+  StoreU64(header.bytes() + 4,
+           log_pages_.empty() ? kInvalidPageId : log_pages_.front());
+  StoreU64(header.bytes() + 12, catalog_root);
+  StoreU64(header.bytes() + 20, next_lsn);
+  CCDB_RETURN_IF_ERROR(disk_->Write(header_page_, header));
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// --- WalPager ---------------------------------------------------------------------
+
+void WalPager::Begin() {
+  assert(!in_batch_ && "WAL batches do not nest");
+  staged_.clear();
+  batch_poisoned_ = false;
+  in_batch_ = true;
+}
+
+Status WalPager::Read(PageId id, Page* out) {
+  if (in_batch_) {
+    auto staged = staged_.find(id);
+    if (staged != staged_.end()) {
+      *out = staged->second;
+      return Status::OK();
+    }
+  }
+  auto pending = unapplied_.find(id);
+  if (pending != unapplied_.end()) {
+    *out = pending->second;
+    return Status::OK();
+  }
+  return base_->Read(id, out);
+}
+
+Status WalPager::Write(PageId id, const Page& page) {
+  if (in_batch_) {
+    // Refuse to stage garbage ids (e.g. after a failed Allocate): a
+    // journaled frame must be applicable to the base disk.
+    if (id == kInvalidPageId) {
+      return Status::IoError("staged write to an invalid page id");
+    }
+    staged_[id] = page;
+    return Status::OK();
+  }
+  return base_->Write(id, page);
+}
+
+Status WalPager::Commit(PageId catalog_root) {
+  in_batch_ = false;
+  if (batch_poisoned_) {
+    staged_.clear();
+    return Status::IoError("page allocation failed during the batch");
+  }
+  std::vector<WalFrame> frames;
+  frames.reserve(staged_.size());
+  for (const auto& [id, image] : staged_) {
+    frames.push_back(WalFrame{id, image});
+  }
+  Status committed = wal_->CommitBatch(frames, catalog_root);
+  if (!committed.ok()) {
+    staged_.clear();
+    return committed;
+  }
+  // Acknowledged. Apply to home pages; failures keep the image in the
+  // overlay (reads stay correct) and recovery re-applies from the log.
+  for (auto& [id, image] : staged_) {
+    unapplied_[id] = std::move(image);
+  }
+  staged_.clear();
+  (void)ApplyUnapplied();
+  return Status::OK();
+}
+
+void WalPager::Abort() {
+  staged_.clear();
+  in_batch_ = false;
+}
+
+Status WalPager::ApplyUnapplied() {
+  Status first_failure = Status::OK();
+  for (auto it = unapplied_.begin(); it != unapplied_.end();) {
+    Status applied = base_->Write(it->first, it->second);
+    if (applied.ok()) {
+      it = unapplied_.erase(it);
+    } else {
+      apply_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (first_failure.ok()) first_failure = applied;
+      ++it;
+    }
+  }
+  return first_failure;
+}
+
+// --- DurableStore -----------------------------------------------------------------
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Create(
+    PageManager* disk, size_t cache_capacity) {
+  std::unique_ptr<DurableStore> store(new DurableStore(disk, cache_capacity));
+  CCDB_RETURN_IF_ERROR(store->wal_.Create());
+  return store;
+}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Open(
+    PageManager* disk, PageId wal_root, size_t cache_capacity) {
+  std::unique_ptr<DurableStore> store(new DurableStore(disk, cache_capacity));
+  CCDB_RETURN_IF_ERROR(store->wal_.Open(wal_root));
+  store->catalog_root_ = store->wal_.recovered_catalog_root();
+  return store;
+}
+
+Status DurableStore::CommitCatalog(const Database& db) {
+  wal_pager_.Begin();
+  Result<PageId> root = SaveDatabase(&pool_, db);
+  if (!root.ok()) {
+    wal_pager_.Abort();
+    pool_.Clear();  // drop cached copies of the aborted pages
+    return root.status();
+  }
+  Status committed = wal_pager_.Commit(*root);
+  if (!committed.ok()) {
+    pool_.Clear();
+    return committed;
+  }
+  catalog_root_ = *root;
+  return Status::OK();
+}
+
+Result<Database> DurableStore::LoadCatalog() {
+  if (catalog_root_ == kInvalidPageId) return Database{};
+  return LoadDatabase(&pool_, catalog_root_);
+}
+
+Status DurableStore::Checkpoint() {
+  // The log is the only redo copy of unapplied images — they must reach
+  // their home pages before the log may be truncated.
+  CCDB_RETURN_IF_ERROR(wal_pager_.ApplyUnapplied());
+  return wal_.Truncate(catalog_root_);
+}
+
+}  // namespace ccdb

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -10,6 +11,8 @@
 #include "data/workload.h"
 #include "lang/query.h"
 #include "service/plan_cache.h"
+#include "storage/fault.h"
+#include "storage/wal.h"
 
 namespace ccdb::service {
 namespace {
@@ -235,7 +238,7 @@ TEST(QueryServiceTest, ReplacingInputRelationInvalidatesCache) {
   ASSERT_TRUE(v2.ok());
   EXPECT_TRUE(v2->cache_hit);
 
-  service.ReplaceRelation("Boxes", BoxRelation(10, 11));
+  ASSERT_TRUE(service.ReplaceRelation("Boxes", BoxRelation(10, 11)).ok());
   auto v3 = service.Execute(id, script);
   ASSERT_TRUE(v3.ok());
   EXPECT_FALSE(v3->cache_hit) << "version bump must invalidate the entry";
@@ -300,13 +303,13 @@ TEST(ResultCacheTest, LruEvictionAndStats) {
   cache.Insert("k1", value);
   cache.Insert("k2", value);
 
-  CachedResult out;
-  EXPECT_TRUE(cache.Lookup("k1", &out));  // k1 most recent now
-  cache.Insert("k3", value);              // evicts k2
-  EXPECT_FALSE(cache.Lookup("k2", &out));
-  EXPECT_TRUE(cache.Lookup("k1", &out));
-  EXPECT_TRUE(cache.Lookup("k3", &out));
-  EXPECT_EQ(out.final_step, "R0");
+  EXPECT_NE(cache.Lookup("k1"), nullptr);  // k1 most recent now
+  cache.Insert("k3", value);               // evicts k2
+  EXPECT_EQ(cache.Lookup("k2"), nullptr);
+  EXPECT_NE(cache.Lookup("k1"), nullptr);
+  auto hit = cache.Lookup("k3");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->final_step, "R0");
 
   ResultCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.hits, 3u);
@@ -319,8 +322,7 @@ TEST(ResultCacheTest, ZeroCapacityDisables) {
   EXPECT_FALSE(cache.enabled());
   CachedResult value;
   cache.Insert("k", value);
-  CachedResult out;
-  EXPECT_FALSE(cache.Lookup("k", &out));
+  EXPECT_EQ(cache.Lookup("k"), nullptr);
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
@@ -345,6 +347,177 @@ TEST(ServiceMetricsTest, ToStringMentionsEveryGroup) {
   EXPECT_NE(text.find("cache:"), std::string::npos);
   EXPECT_NE(text.find("latency:"), std::string::npos);
   EXPECT_NE(text.find("storage:"), std::string::npos);
+  EXPECT_NE(text.find("wal:"), std::string::npos);
+}
+
+TEST(ServiceMetricsTest, NearestRankPercentileIsPinned) {
+  // The classic nearest-rank reference set: rank = ceil(fraction * N).
+  const std::vector<double> samples = {15, 20, 35, 40, 50};
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(samples, 0.05), 15.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(samples, 0.30), 20.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(samples, 0.40), 20.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(samples, 0.50), 35.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(samples, 1.00), 50.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({}, 0.50), 0.0);
+
+  std::vector<double> one_to_hundred;
+  for (int i = 1; i <= 100; ++i) one_to_hundred.push_back(i);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(one_to_hundred, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(one_to_hundred, 0.99), 99.0);
+}
+
+// A base catalog that throws from Get() for one poisoned name — reached
+// from inside a worker thread via the session overlay during execution.
+class ThrowingDatabase : public Database {
+ public:
+  Result<const Relation*> Get(const std::string& name) const override {
+    if (name == "Trap") throw std::runtime_error("deliberate test explosion");
+    return Database::Get(name);
+  }
+};
+
+TEST(QueryServiceTest, ThrowingStatementFailsRequestNotService) {
+  ThrowingDatabase base;
+  ASSERT_TRUE(base.Create("Trap", BoxRelation(5, 1)).ok());
+  ASSERT_TRUE(base.Create("Boxes", BoxRelation(10, 2)).ok());
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(&base, options);
+  SessionId id = service.OpenSession();
+
+  auto boom = service.Execute(id, "R0 = select x >= 0 from Trap");
+  ASSERT_FALSE(boom.ok());
+  EXPECT_EQ(boom.status().code(), StatusCode::kInternal);
+  EXPECT_NE(boom.status().ToString().find("uncaught exception"),
+            std::string::npos)
+      << boom.status().ToString();
+
+  // The worker survived: the same service keeps serving.
+  auto fine = service.Execute(id, "R0 = select x >= 0 from Boxes");
+  EXPECT_TRUE(fine.ok()) << fine.status().ToString();
+  EXPECT_EQ(service.Metrics().failed, 1u);
+  EXPECT_EQ(service.Metrics().completed, 1u);
+}
+
+TEST(QueryServiceTest, DurableCatalogWritesSurviveReopen) {
+  PageManager disk;
+  PageId wal_root = kInvalidPageId;
+  std::vector<std::string> names;
+  std::string kept_text;
+  {
+    auto store = DurableStore::Create(&disk);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    wal_root = (*store)->wal_root();
+    Database base;
+    ServiceOptions options;
+    options.num_workers = 1;
+    options.store = store->get();
+    QueryService service(&base, options);
+
+    ASSERT_TRUE(service.CreateRelation("Kept", BoxRelation(12, 3)).ok());
+    ASSERT_TRUE(service.CreateRelation("Doomed", BoxRelation(6, 4)).ok());
+    ASSERT_TRUE(service.ReplaceRelation("Kept", BoxRelation(20, 5)).ok());
+    ASSERT_TRUE(service.DropRelation("Doomed").ok());
+
+    names = base.Names();
+    kept_text = (*base.Get("Kept"))->ToString();
+
+    ServiceMetrics m = service.Metrics();
+    EXPECT_EQ(m.wal_batches, 4u);
+    EXPECT_GT(m.wal_bytes, 0u);
+    EXPECT_GE(m.wal_fsyncs, 4u);
+  }
+  // "Reboot": reopen the store from the disk and the WAL root alone.
+  auto reopened = DurableStore::Open(&disk, wal_root);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto loaded = (*reopened)->LoadCatalog();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Names(), names);
+  ASSERT_TRUE(loaded->Get("Kept").ok());
+  EXPECT_EQ((*loaded->Get("Kept"))->ToString(), kept_text);
+  EXPECT_FALSE(loaded->Has("Doomed"));
+}
+
+TEST(QueryServiceTest, FailedCommitRollsBackCatalogInMemory) {
+  FaultInjectingPager disk;
+  auto store = DurableStore::Create(&disk);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  Database base;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.store = store->get();
+  QueryService service(&base, options);
+
+  disk.Arm(FaultInjectingPager::Fault::kCrash, 0);
+  Status failed = service.CreateRelation("Boxes", BoxRelation(8, 6));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_FALSE(base.Has("Boxes")) << "unacknowledged create must roll back";
+
+  disk.ClearFault();
+  ASSERT_TRUE(service.CreateRelation("Boxes", BoxRelation(8, 6)).ok());
+  EXPECT_TRUE(base.Has("Boxes"));
+
+  // Failed replace keeps the committed relation.
+  const std::string before = (*base.Get("Boxes"))->ToString();
+  disk.Arm(FaultInjectingPager::Fault::kFail, 0);
+  ASSERT_FALSE(service.ReplaceRelation("Boxes", BoxRelation(3, 7)).ok());
+  EXPECT_EQ((*base.Get("Boxes"))->ToString(), before);
+
+  // Failed drop keeps it too (kFail is transient: no ClearFault needed).
+  disk.Arm(FaultInjectingPager::Fault::kFail, 0);
+  ASSERT_FALSE(service.DropRelation("Boxes").ok());
+  EXPECT_TRUE(base.Has("Boxes"));
+  EXPECT_EQ((*base.Get("Boxes"))->ToString(), before);
+}
+
+TEST(QueryServiceTest, CheckpointRequiresStoreAndCounts) {
+  Database plain;
+  QueryService storeless(&plain, {});
+  EXPECT_EQ(storeless.Checkpoint().code(), StatusCode::kUnavailable);
+
+  PageManager disk;
+  auto store = DurableStore::Create(&disk);
+  ASSERT_TRUE(store.ok());
+  Database base;
+  ServiceOptions options;
+  options.store = store->get();
+  QueryService service(&base, options);
+  ASSERT_TRUE(service.CreateRelation("Boxes", BoxRelation(5, 8)).ok());
+  ASSERT_TRUE(service.Checkpoint().ok());
+  EXPECT_EQ(service.Metrics().wal_checkpoints, 1u);
+}
+
+TEST(ResultCacheTest, ConcurrentHitsShareOneEntry) {
+  ResultCache cache(8);
+  CachedResult value;
+  value.final_step = "R0";
+  value.steps.emplace_back("R0", BoxRelation(200, 9));
+  cache.Insert("big", value);
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kLookups = 200;
+  std::vector<std::shared_ptr<const CachedResult>> first(kThreads);
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      for (size_t i = 0; i < kLookups; ++i) {
+        auto hit = cache.Lookup("big");
+        ASSERT_NE(hit, nullptr);
+        ASSERT_EQ(hit->steps.size(), 1u);
+        if (i == 0) first[t] = hit;
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+
+  // Every thread got the same shared entry — no per-hit deep copies.
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(first[t].get(), first[0].get());
+  }
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, kThreads * kLookups);
+  EXPECT_EQ(stats.misses, 0u);
 }
 
 }  // namespace

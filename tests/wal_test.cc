@@ -1,0 +1,364 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+#include "data/workload.h"
+#include "storage/fault.h"
+
+namespace ccdb {
+namespace {
+
+Relation TinyRelation(size_t count, uint64_t seed) {
+  WorkloadParams params;
+  params.data_count = count;
+  return BoxesToConstraintRelation(GenerateDataBoxes(seed, params));
+}
+
+/// Canonical rendering of a whole database — the crash-matrix oracle.
+std::string Fingerprint(const Database& db) {
+  std::string out;
+  for (const std::string& name : db.Names()) {
+    auto rel = db.Get(name);
+    if (!rel.ok()) return "<error: " + rel.status().ToString() + ">";
+    out += name + "|" + (*rel)->schema().ToString() + "|" +
+           (*rel)->ToString() + "\n";
+  }
+  return out;
+}
+
+// --- CRC ---------------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVectorsAndSensitivity) {
+  // The standard IEEE check value for "123456789".
+  const uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(digits, sizeof(digits)), 0xCBF43926u);
+  EXPECT_EQ(Crc32(digits, 0), 0u);
+  uint8_t flipped[sizeof(digits)];
+  std::memcpy(flipped, digits, sizeof(digits));
+  flipped[4] ^= 1;
+  EXPECT_NE(Crc32(flipped, sizeof(flipped)), Crc32(digits, sizeof(digits)));
+}
+
+// --- FaultInjectingPager -----------------------------------------------------------
+
+TEST(FaultInjectingPagerTest, TransientTornAndCrashModes) {
+  FaultInjectingPager disk;
+  PageId a = disk.Allocate();
+  ASSERT_NE(a, kInvalidPageId);
+  Page before;
+  before.Zero();
+  before.bytes()[0] = 1;
+  before.bytes()[kPageSize - 1] = 2;
+  ASSERT_TRUE(disk.Write(a, before).ok());
+
+  // kFail: exactly one operation fails, then the disk is healthy.
+  disk.Arm(FaultInjectingPager::Fault::kFail, 0);
+  EXPECT_FALSE(disk.Write(a, before).ok());
+  EXPECT_TRUE(disk.fired());
+  EXPECT_FALSE(disk.crashed());
+  EXPECT_TRUE(disk.Write(a, before).ok());
+
+  // kTornWrite: half the new image lands, then the disk is down.
+  Page update;
+  for (size_t i = 0; i < kPageSize; ++i) update.data[i] = 7;
+  disk.Arm(FaultInjectingPager::Fault::kTornWrite, 0);
+  EXPECT_FALSE(disk.Write(a, update).ok());
+  EXPECT_TRUE(disk.crashed());
+  Page out;
+  EXPECT_FALSE(disk.Read(a, &out).ok()) << "disk stays down after tearing";
+  EXPECT_EQ(disk.Allocate(), kInvalidPageId);
+  disk.ClearFault();
+  ASSERT_TRUE(disk.Read(a, &out).ok());
+  EXPECT_EQ(out.bytes()[0], 7) << "new first half";
+  EXPECT_EQ(out.bytes()[kPageSize / 2 - 1], 7);
+  EXPECT_EQ(out.bytes()[kPageSize / 2], 0) << "old second half";
+  EXPECT_EQ(out.bytes()[kPageSize - 1], 2);
+
+  // kCrash: nothing lands, every later operation fails until ClearFault.
+  disk.Arm(FaultInjectingPager::Fault::kCrash, 1);
+  EXPECT_TRUE(disk.Read(a, &out).ok()) << "one op before the fault";
+  EXPECT_FALSE(disk.Write(a, before).ok());
+  EXPECT_FALSE(disk.Read(a, &out).ok());
+  disk.ClearFault();
+  ASSERT_TRUE(disk.Read(a, &out).ok());
+  EXPECT_EQ(out.bytes()[0], 7) << "crashed write must not persist";
+  EXPECT_GT(disk.io_count(), 0u);
+}
+
+// --- WriteAheadLog frame-level protocol --------------------------------------------
+
+TEST(WriteAheadLogTest, CommitThenReplayAppliesFrames) {
+  PageManager disk;
+  PageId a = disk.Allocate();
+  PageId b = disk.Allocate();
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Create().ok());
+
+  WalFrame fa;
+  fa.page_id = a;
+  for (size_t i = 0; i < kPageSize; ++i) fa.image.data[i] = 0xAA;
+  WalFrame fb;
+  fb.page_id = b;
+  for (size_t i = 0; i < kPageSize; ++i) fb.image.data[i] = 0xBB;
+  ASSERT_TRUE(wal.CommitBatch({fa, fb}, a).ok());
+  EXPECT_EQ(wal.next_lsn(), 2u);
+  EXPECT_EQ(wal.stats().batches_committed, 1u);
+  EXPECT_GT(wal.stats().bytes_appended, 2 * kPageSize);
+
+  // CommitBatch journals; it does not touch the home pages.
+  Page out;
+  ASSERT_TRUE(disk.Read(a, &out).ok());
+  EXPECT_NE(out.bytes()[0], 0xAA);
+
+  // A record of two full page images spans multiple log pages.
+  EXPECT_GE(wal.log_page_count(), 3u);
+
+  WriteAheadLog reopened(&disk);
+  ASSERT_TRUE(reopened.Open(wal.header_page()).ok());
+  EXPECT_EQ(reopened.stats().batches_recovered, 1u);
+  EXPECT_EQ(reopened.stats().records_discarded, 0u);
+  EXPECT_EQ(reopened.recovered_catalog_root(), a);
+  EXPECT_EQ(reopened.next_lsn(), 2u);
+  ASSERT_TRUE(disk.Read(a, &out).ok());
+  EXPECT_EQ(out.bytes()[0], 0xAA);
+  ASSERT_TRUE(disk.Read(b, &out).ok());
+  EXPECT_EQ(out.bytes()[0], 0xBB);
+}
+
+TEST(WriteAheadLogTest, TruncateDropsRecordsAndKeepsRoot) {
+  PageManager disk;
+  PageId a = disk.Allocate();
+  WriteAheadLog wal(&disk);
+  ASSERT_TRUE(wal.Create().ok());
+  WalFrame frame;
+  frame.page_id = a;
+  frame.image.data[0] = 0xCC;
+  ASSERT_TRUE(wal.CommitBatch({frame}, a).ok());
+  ASSERT_TRUE(disk.Write(a, frame.image).ok());  // apply by hand
+  ASSERT_TRUE(wal.Truncate(a).ok());
+  EXPECT_EQ(wal.stats().checkpoints, 1u);
+
+  // Reopen: nothing replays, but the root survives via the header.
+  WriteAheadLog reopened(&disk);
+  ASSERT_TRUE(reopened.Open(wal.header_page()).ok());
+  EXPECT_EQ(reopened.stats().batches_recovered, 0u);
+  EXPECT_EQ(reopened.recovered_catalog_root(), a);
+  EXPECT_EQ(reopened.next_lsn(), wal.next_lsn()) << "LSN floor persists";
+
+  // The log chain is reused after a truncate: a new commit still works.
+  frame.image.data[0] = 0xDD;
+  ASSERT_TRUE(reopened.CommitBatch({frame}, a).ok());
+  WriteAheadLog again(&disk);
+  ASSERT_TRUE(again.Open(wal.header_page()).ok());
+  EXPECT_EQ(again.stats().batches_recovered, 1u);
+  Page out;
+  ASSERT_TRUE(disk.Read(a, &out).ok());
+  EXPECT_EQ(out.bytes()[0], 0xDD);
+}
+
+// --- DurableStore round trips ------------------------------------------------------
+
+TEST(DurableStoreTest, CatalogRoundTripAndLatestCommitWins) {
+  PageManager disk;
+  auto store = DurableStore::Create(&disk);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  Database db;
+  ASSERT_TRUE(db.Create("A", TinyRelation(4, 1)).ok());
+  ASSERT_TRUE((*store)->CommitCatalog(db).ok());
+  ASSERT_TRUE(db.Create("B", TinyRelation(3, 2)).ok());
+  db.CreateOrReplace("A", TinyRelation(6, 3));
+  ASSERT_TRUE((*store)->CommitCatalog(db).ok());
+
+  // Live load sees the latest commit.
+  auto live = (*store)->LoadCatalog();
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(Fingerprint(*live), Fingerprint(db));
+
+  // Reopen from disk + root alone: recovery replays both batches.
+  auto reopened = DurableStore::Open(&disk, (*store)->wal_root());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->stats().batches_recovered, 2u);
+  auto loaded = (*reopened)->LoadCatalog();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(Fingerprint(*loaded), Fingerprint(db));
+}
+
+TEST(DurableStoreTest, CheckpointTruncatesAndPreservesState) {
+  PageManager disk;
+  auto store = DurableStore::Create(&disk);
+  ASSERT_TRUE(store.ok());
+  Database db;
+  ASSERT_TRUE(db.Create("A", TinyRelation(5, 4)).ok());
+  ASSERT_TRUE((*store)->CommitCatalog(db).ok());
+  ASSERT_TRUE((*store)->Checkpoint().ok());
+
+  // After the checkpoint the log is empty but the state is intact.
+  auto after_ckpt = DurableStore::Open(&disk, (*store)->wal_root());
+  ASSERT_TRUE(after_ckpt.ok());
+  EXPECT_EQ((*after_ckpt)->stats().batches_recovered, 0u);
+  auto loaded = (*after_ckpt)->LoadCatalog();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(Fingerprint(*loaded), Fingerprint(db));
+
+  // Commits after a checkpoint recover too (fresh LSNs above the floor).
+  ASSERT_TRUE(db.Create("B", TinyRelation(2, 5)).ok());
+  ASSERT_TRUE((*store)->CommitCatalog(db).ok());
+  auto final_open = DurableStore::Open(&disk, (*store)->wal_root());
+  ASSERT_TRUE(final_open.ok());
+  EXPECT_EQ((*final_open)->stats().batches_recovered, 1u);
+  auto final_loaded = (*final_open)->LoadCatalog();
+  ASSERT_TRUE(final_loaded.ok());
+  EXPECT_EQ(Fingerprint(*final_loaded), Fingerprint(db));
+}
+
+TEST(DurableStoreTest, TransientFailureThenRetryWithoutReopen) {
+  FaultInjectingPager disk;
+  auto store = DurableStore::Create(&disk);
+  ASSERT_TRUE(store.ok());
+  Database db;
+  ASSERT_TRUE(db.Create("A", TinyRelation(4, 6)).ok());
+  ASSERT_TRUE((*store)->CommitCatalog(db).ok());
+
+  // One transient I/O error somewhere inside the commit: the commit must
+  // fail, and the store must remain usable without reopening.
+  ASSERT_TRUE(db.Create("B", TinyRelation(4, 7)).ok());
+  disk.Arm(FaultInjectingPager::Fault::kFail, 5);
+  Status failed = (*store)->CommitCatalog(db);
+  ASSERT_FALSE(failed.ok());
+  ASSERT_TRUE(disk.fired());
+
+  // The failed batch was never acknowledged: a fresh load sees only A.
+  auto reopened = DurableStore::Open(&disk, (*store)->wal_root());
+  ASSERT_TRUE(reopened.ok());
+  auto loaded = (*reopened)->LoadCatalog();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->Has("B"));
+
+  // Retry on the original store: overwrites the torn tail record.
+  ASSERT_TRUE((*store)->CommitCatalog(db).ok());
+  auto after_retry = DurableStore::Open(&disk, (*store)->wal_root());
+  ASSERT_TRUE(after_retry.ok());
+  auto retried = (*after_retry)->LoadCatalog();
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(Fingerprint(*retried), Fingerprint(db));
+}
+
+// --- The crash matrix --------------------------------------------------------------
+//
+// For every fault mode and every I/O index N: run the standard commit
+// workload with the fault armed at N, "reboot" (ClearFault), reopen, and
+// require the recovered catalog to equal the state at the last
+// acknowledged commit — acknowledged batches are never lost and
+// unacknowledged batches never surface — with one classical exception: a
+// commit whose final write failed may still have fully reached the disk
+// (a torn write that happened to cover the whole record). Such a commit
+// is *indeterminate*, exactly as in real databases when the connection
+// dies mid-COMMIT, so recovery may surface the one in-flight batch; it
+// must never surface anything beyond it. Then prove the recovered store
+// is fully usable by committing once more and reopening again.
+
+constexpr int kMatrixCommits = 3;
+
+void AddMatrixRelation(Database* db, int i) {
+  db->CreateOrReplace("R" + std::to_string(i),
+                      TinyRelation(2, 10 + static_cast<uint64_t>(i)));
+}
+
+struct MatrixOutcome {
+  std::string last_acked;  // fingerprint at the last acknowledged commit
+  std::string pending;     // first unacknowledged attempt after it, if any
+};
+
+/// Runs the workload; returns the fingerprint after the last acknowledged
+/// commit ("" when none was acknowledged) plus the fingerprint of the
+/// first commit attempt that failed after it — only that attempt can have
+/// (indeterminately) reached the disk, since every later attempt starts
+/// after the injected fault has taken the disk down.
+MatrixOutcome RunMatrixWorkload(DurableStore* store, Database* db) {
+  MatrixOutcome out;
+  for (int i = 0; i < kMatrixCommits; ++i) {
+    AddMatrixRelation(db, i);
+    if (store->CommitCatalog(*db).ok()) {
+      out.last_acked = Fingerprint(*db);
+      out.pending.clear();
+    } else if (out.pending.empty()) {
+      out.pending = Fingerprint(*db);
+    }
+  }
+  return out;
+}
+
+void RunCrashMatrix(FaultInjectingPager::Fault fault, const char* label) {
+  // Measure the total I/O count of an unfaulted run — the index space.
+  uint64_t total_ios = 0;
+  {
+    FaultInjectingPager disk;
+    auto store = DurableStore::Create(&disk);
+    ASSERT_TRUE(store.ok());
+    Database db;
+    const MatrixOutcome all = RunMatrixWorkload(store->get(), &db);
+    EXPECT_EQ(all.last_acked, Fingerprint(db)) << "unfaulted run must ack all";
+    total_ios = disk.io_count();
+  }
+  ASSERT_GT(total_ios, 0u);
+
+  size_t verified = 0;
+  for (uint64_t n = 0; n < total_ios; ++n) {
+    SCOPED_TRACE(std::string(label) + " fault at I/O " + std::to_string(n));
+    FaultInjectingPager disk;
+    disk.Arm(fault, n);
+    auto store = DurableStore::Create(&disk);
+    if (!store.ok()) continue;  // died before the store existed: no acks
+    const PageId wal_root = (*store)->wal_root();
+    Database db;
+    const MatrixOutcome outcome = RunMatrixWorkload(store->get(), &db);
+
+    // Reboot and recover.
+    disk.ClearFault();
+    auto reopened = DurableStore::Open(&disk, wal_root);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    auto loaded = (*reopened)->LoadCatalog();
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    const std::string recovered = Fingerprint(*loaded);
+    if (recovered != outcome.last_acked) {
+      // The only other legal state: the one indeterminate in-flight batch.
+      ASSERT_FALSE(outcome.pending.empty())
+          << "recovered a state with no matching commit attempt:\n"
+          << recovered;
+      ASSERT_EQ(recovered, outcome.pending);
+    }
+
+    // The recovered store must accept and persist new commits.
+    Database next = *loaded;
+    AddMatrixRelation(&next, 99);
+    ASSERT_TRUE((*reopened)->CommitCatalog(next).ok());
+    auto final_open = DurableStore::Open(&disk, wal_root);
+    ASSERT_TRUE(final_open.ok()) << final_open.status().ToString();
+    auto final_loaded = (*final_open)->LoadCatalog();
+    ASSERT_TRUE(final_loaded.ok()) << final_loaded.status().ToString();
+    ASSERT_EQ(Fingerprint(*final_loaded), Fingerprint(next));
+    ++verified;
+  }
+  EXPECT_GT(verified, 0u);
+}
+
+TEST(CrashMatrixTest, TransientFailureAtEveryIoPoint) {
+  RunCrashMatrix(FaultInjectingPager::Fault::kFail, "kFail");
+}
+
+TEST(CrashMatrixTest, TornWriteAtEveryIoPoint) {
+  RunCrashMatrix(FaultInjectingPager::Fault::kTornWrite, "kTornWrite");
+}
+
+TEST(CrashMatrixTest, CrashAtEveryIoPoint) {
+  RunCrashMatrix(FaultInjectingPager::Fault::kCrash, "kCrash");
+}
+
+}  // namespace
+}  // namespace ccdb

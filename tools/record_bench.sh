@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Records the per-PR benchmark trajectory: runs the JSON-emitting benches
+# and writes one BENCH_<name>.json (one JSON object per line) at the repo
+# root. Run from anywhere after a build:
+#   tools/record_bench.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+for bench in service wal; do
+  bin="$build_dir/bench/bench_$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "missing $bin — build first (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+  "$bin" --json > "$repo_root/BENCH_$bench.json"
+  echo "wrote BENCH_$bench.json ($(wc -l < "$repo_root/BENCH_$bench.json") results)"
+done
