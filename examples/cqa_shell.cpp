@@ -15,6 +15,7 @@
 //   load <path>                 load a .cdb file
 //   save <path>                 export the database as a .cdb file
 //   plan <relation>             advisor: joint vs separate indexing hints
+//   \trace <script|file>        EXPLAIN ANALYZE: run with per-operator spans
 //   \metrics                    query-service metrics snapshot
 //   \checkpoint                 apply pending pages + truncate the WAL
 //   help                        syntax summary
@@ -25,11 +26,13 @@
 // before it is acknowledged, and `\checkpoint` truncates the log once its
 // batches are applied.
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "ccdb.h"
+#include "util/string_util.h"
 
 using namespace ccdb;  // NOLINT: example brevity
 
@@ -46,7 +49,10 @@ void PrintHelp() {
   R6 = rename x to t in R5
   R7 = buffer-join L and P within 5 [using fid]
   R8 = k-nearest L and P k 3 [using fid]
-Shell commands: show/schema/list/load/save/plan/\metrics/\checkpoint/help/quit
+Shell commands: show/schema/list/load/save/plan/\trace/\metrics/\checkpoint/
+                help/quit
+  \trace <statement>   run one statement with per-operator spans
+  \trace <file>        run a multi-step script file the same way
 )";
 }
 
@@ -82,6 +88,33 @@ void AdvisePlan(service::QueryService* service, service::SessionId session,
     return;
   }
   std::cout << report->ToString() << "\n";
+}
+
+/// `\trace`: executes a statement (or a script file, when the argument
+/// names a readable one) with full tracing and renders the EXPLAIN
+/// ANALYZE view — optimized plan, per-operator span tree, and totals.
+void TraceScript(service::QueryService* service, service::SessionId session,
+                 const std::string& arg) {
+  std::string script = arg;
+  if (std::ifstream file(arg); file.good()) {
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    script = buffer.str();
+  }
+  auto report = service->Trace(session, script);
+  if (!report.ok()) {
+    std::cout << report.status().ToString() << "\n";
+    return;
+  }
+  if (report->used_plan) {
+    std::cout << "plan (optimized):\n" << report->plan_text << "\n";
+  } else {
+    std::cout << "(not compilable to one plan; statement-level spans)\n";
+  }
+  std::cout << "trace:\n" << report->root.ToString() << "\n";
+  std::cout << "total: " << report->response.latency_us / 1000.0 << " ms, "
+            << report->response.relation.size() << " tuples | "
+            << report->root.TotalCounters().ToString() << "\n";
 }
 
 /// Loads a .cdb file and installs its relations through the service (so
@@ -154,6 +187,17 @@ int main(int argc, char** argv) {
     if (command == "quit" || command == "exit") break;
     if (command == "help") {
       PrintHelp();
+      continue;
+    }
+    if (command == "\\trace") {
+      std::string rest;
+      std::getline(words, rest);
+      rest = Trim(rest);
+      if (rest.empty()) {
+        std::cout << "\\trace needs a statement or script file\n";
+        continue;
+      }
+      TraceScript(&service, session, rest);
       continue;
     }
     if (command == "\\metrics" || command == "metrics") {

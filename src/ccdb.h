@@ -34,10 +34,15 @@
 #include "geom/polygon.h"                  // vector geometry
 #include "index/rstar_tree.h"              // the R*-tree
 #include "index/strategy.h"                // joint vs separate indexing
+#include "lang/compile.h"                  // script -> logical plan
 #include "lang/data_parser.h"              // .cdb data files
 #include "lang/query.h"                    // the step-based query language
 #include "num/bigint.h"                    // arbitrary-precision integers
 #include "num/rational.h"                  // exact rationals
+#include "obs/metric_names.h"              // canonical metric names
+#include "obs/registry.h"                  // cross-layer metrics registry
+#include "obs/trace.h"                     // per-operator spans + counters
+#include "obs/trace_sink.h"                // JSONL trace export
 #include "service/metrics.h"               // service observability
 #include "service/plan_cache.h"            // LRU plan/result cache
 #include "service/query_service.h"         // concurrent query front door

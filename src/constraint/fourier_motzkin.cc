@@ -3,6 +3,8 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace ccdb::fm {
 
 namespace {
@@ -60,6 +62,7 @@ Conjunction EliminateVariable(const Conjunction& input,
                               const std::string& var) {
   if (input.IsKnownFalse()) return Conjunction::False();
   if (!input.Mentions(var)) return input;
+  obs::NoteFmElimination();
 
   // Gaussian step: if an equality a·v + r = 0 mentions v, substitute
   // v := -r/a into every other member and drop the equality.
@@ -179,6 +182,7 @@ Conjunction RemoveRedundant(const Conjunction& input) {
     }
     if (Entails(rest, kept[i])) {
       kept.erase(kept.begin() + static_cast<ptrdiff_t>(i));
+      obs::NoteRedundancyCulls(1);
     } else {
       ++i;
     }

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "constraint/fourier_motzkin.h"
+#include "obs/trace.h"
 
 namespace ccdb::cqa {
 
@@ -84,6 +85,7 @@ Result<Relation> Select(const Relation& input, const Predicate& pred) {
     if (!keep) continue;
 
     Conjunction store = tuple.constraints();
+    obs::NoteConjunction();
     for (const Constraint& c : pred.linear) {
       // Substitute values of relational rational attributes (narrow: a
       // mentioned-but-null attribute fails the tuple).
@@ -132,6 +134,7 @@ Result<Relation> Project(const Relation& input,
     }
     Conjunction store = fm::Project(tuple.constraints(),
                                     kept_constraint_attrs);
+    obs::NoteConjunction();
     if (store.IsKnownFalse()) continue;  // tuple was unsatisfiable
     projected.SetConstraints(std::move(store));
     CCDB_RETURN_IF_ERROR(out.Insert(std::move(projected)));
@@ -164,6 +167,7 @@ Result<Relation> NaturalJoin(const Relation& lhs, const Relation& rhs) {
       if (!match) continue;
       Conjunction store =
           Conjunction::And(left.constraints(), right.constraints());
+      obs::NoteConjunction();
       if (store.IsKnownFalse() || !fm::IsSatisfiable(store)) continue;
       Tuple joined;
       for (const auto& [name, value] : left.values()) {
@@ -265,6 +269,7 @@ Result<Relation> Difference(const Relation& lhs, const Relation& rhs) {
           for (const Constraint& negated : c.Negate()) {
             Conjunction candidate = accumulated;
             candidate.Add(negated);
+            obs::NoteConjunction();
             if (!candidate.IsKnownFalse() && fm::IsSatisfiable(candidate)) {
               next.push_back(std::move(candidate));
             }

@@ -1,6 +1,10 @@
 #include "core/plan.h"
 
+#include <algorithm>
+#include <chrono>
+#include <optional>
 #include <set>
+#include <utility>
 
 namespace ccdb::cqa {
 
@@ -80,38 +84,35 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   return node;
 }
 
-std::string PlanNode::ToString(int indent) const {
-  std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  std::string out = pad;
+std::string PlanNode::Label() const {
   switch (op) {
     case Op::kScan:
-      out += "Scan " + relation_name;
-      break;
+      return "Scan " + relation_name;
     case Op::kSelect:
-      out += "Select [" + predicate.ToString() + "]";
-      break;
+      return "Select [" + predicate.ToString() + "]";
     case Op::kProject: {
-      out += "Project [";
+      std::string out = "Project [";
       for (size_t i = 0; i < attrs.size(); ++i) {
         if (i) out += ", ";
         out += attrs[i];
       }
-      out += "]";
-      break;
+      return out + "]";
     }
     case Op::kJoin:
-      out += "Join";
-      break;
+      return "Join";
     case Op::kUnion:
-      out += "Union";
-      break;
+      return "Union";
     case Op::kDifference:
-      out += "Difference";
-      break;
+      return "Difference";
     case Op::kRename:
-      out += "Rename " + rename_from + " -> " + rename_to;
-      break;
+      return "Rename " + rename_from + " -> " + rename_to;
   }
+  return "?";
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + Label();
   for (const auto& child : children) {
     out += "\n" + child->ToString(indent + 1);
   }
@@ -152,71 +153,100 @@ Result<Schema> InferSchema(const PlanNode& plan, const Database& db) {
   return Status::Internal("unknown plan op");
 }
 
-Result<Relation> Execute(const PlanNode& plan, const Database& db,
-                         ExecStats* stats) {
-  auto note = [&](const Relation& rel) {
-    if (stats != nullptr) {
-      ++stats->nodes_evaluated;
-      stats->intermediate_tuples += rel.size();
-    }
-  };
+namespace {
+
+/// Applies `plan`'s own operator to already-evaluated child relations.
+Result<Relation> ApplyOp(const PlanNode& plan, const Database& db,
+                         std::vector<Relation>& inputs) {
   switch (plan.op) {
     case PlanNode::Op::kScan: {
       CCDB_ASSIGN_OR_RETURN(const Relation* rel, db.Get(plan.relation_name));
-      note(*rel);
       return *rel;
     }
-    case PlanNode::Op::kSelect: {
-      CCDB_ASSIGN_OR_RETURN(Relation child,
-                            Execute(*plan.children[0], db, stats));
-      CCDB_ASSIGN_OR_RETURN(Relation out, Select(child, plan.predicate));
-      note(out);
-      return out;
-    }
-    case PlanNode::Op::kProject: {
-      CCDB_ASSIGN_OR_RETURN(Relation child,
-                            Execute(*plan.children[0], db, stats));
-      CCDB_ASSIGN_OR_RETURN(Relation out, Project(child, plan.attrs));
-      note(out);
-      return out;
-    }
-    case PlanNode::Op::kJoin: {
-      CCDB_ASSIGN_OR_RETURN(Relation lhs,
-                            Execute(*plan.children[0], db, stats));
-      CCDB_ASSIGN_OR_RETURN(Relation rhs,
-                            Execute(*plan.children[1], db, stats));
-      CCDB_ASSIGN_OR_RETURN(Relation out, NaturalJoin(lhs, rhs));
-      note(out);
-      return out;
-    }
-    case PlanNode::Op::kUnion: {
-      CCDB_ASSIGN_OR_RETURN(Relation lhs,
-                            Execute(*plan.children[0], db, stats));
-      CCDB_ASSIGN_OR_RETURN(Relation rhs,
-                            Execute(*plan.children[1], db, stats));
-      CCDB_ASSIGN_OR_RETURN(Relation out, Union(lhs, rhs));
-      note(out);
-      return out;
-    }
-    case PlanNode::Op::kDifference: {
-      CCDB_ASSIGN_OR_RETURN(Relation lhs,
-                            Execute(*plan.children[0], db, stats));
-      CCDB_ASSIGN_OR_RETURN(Relation rhs,
-                            Execute(*plan.children[1], db, stats));
-      CCDB_ASSIGN_OR_RETURN(Relation out, Difference(lhs, rhs));
-      note(out);
-      return out;
-    }
-    case PlanNode::Op::kRename: {
-      CCDB_ASSIGN_OR_RETURN(Relation child,
-                            Execute(*plan.children[0], db, stats));
-      CCDB_ASSIGN_OR_RETURN(Relation out,
-                            Rename(child, plan.rename_from, plan.rename_to));
-      note(out);
-      return out;
-    }
+    case PlanNode::Op::kSelect:
+      return Select(inputs[0], plan.predicate);
+    case PlanNode::Op::kProject:
+      return Project(inputs[0], plan.attrs);
+    case PlanNode::Op::kJoin:
+      return NaturalJoin(inputs[0], inputs[1]);
+    case PlanNode::Op::kUnion:
+      return Union(inputs[0], inputs[1]);
+    case PlanNode::Op::kDifference:
+      return Difference(inputs[0], inputs[1]);
+    case PlanNode::Op::kRename:
+      return Rename(inputs[0], plan.rename_from, plan.rename_to);
   }
   return Status::Internal("unknown plan op");
+}
+
+/// Untraced bottom-up evaluation (the zero-overhead path).
+Result<Relation> ExecutePlain(const PlanNode& plan, const Database& db) {
+  std::vector<Relation> inputs;
+  inputs.reserve(plan.children.size());
+  for (const auto& child : plan.children) {
+    CCDB_ASSIGN_OR_RETURN(Relation rel, ExecutePlain(*child, db));
+    inputs.push_back(std::move(rel));
+  }
+  return ApplyOp(plan, db, inputs);
+}
+
+/// Traced evaluation: fills one TraceNode per plan node. Counter deltas
+/// are exclusive (snapshotted around this node's own operator, after the
+/// children have already run); wall time is inclusive.
+Result<Relation> ExecuteNode(const PlanNode& plan, const Database& db,
+                             obs::TraceNode* trace) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<Relation> inputs;
+  inputs.reserve(plan.children.size());
+  double children_wall_us = 0;
+  for (const auto& child : plan.children) {
+    obs::TraceNode& child_trace = trace->children.emplace_back();
+    CCDB_ASSIGN_OR_RETURN(Relation rel, ExecuteNode(*child, db, &child_trace));
+    children_wall_us += child_trace.wall_us;
+    trace->tuples_in += rel.size();
+    inputs.push_back(std::move(rel));
+  }
+  const obs::LayerCounters before = obs::ActiveSnapshot();
+  CCDB_ASSIGN_OR_RETURN(Relation out, ApplyOp(plan, db, inputs));
+  trace->counters = obs::ActiveSnapshot() - before;
+  trace->tuples_out = out.size();
+  trace->wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  trace->self_us = std::max(0.0, trace->wall_us - children_wall_us);
+  return out;
+}
+
+/// Fills in span labels after the clocks have stopped — label rendering
+/// (predicate text, attribute lists) must not count against the timed
+/// regions. Tolerates a trace tree cut short by an execution error.
+void AssignLabels(const PlanNode& plan, obs::TraceNode* trace) {
+  trace->label = plan.Label();
+  const size_t n = std::min(plan.children.size(), trace->children.size());
+  for (size_t i = 0; i < n; ++i) {
+    AssignLabels(*plan.children[i], &trace->children[i]);
+  }
+}
+
+}  // namespace
+
+Result<Relation> Execute(const PlanNode& plan, const Database& db,
+                         ExecStats* stats) {
+  if (stats == nullptr) return ExecutePlain(plan, db);
+  obs::TraceNode root;
+  CCDB_ASSIGN_OR_RETURN(Relation out, ExecuteTraced(plan, db, &root));
+  stats->nodes_evaluated = root.NodeCount();
+  stats->intermediate_tuples = root.SumTuplesOut() - root.tuples_out;
+  return out;
+}
+
+Result<Relation> ExecuteTraced(const PlanNode& plan, const Database& db,
+                               obs::TraceNode* root) {
+  std::optional<obs::CounterScope> scope;
+  if (!obs::TracingActive()) scope.emplace();
+  Result<Relation> out = ExecuteNode(plan, db, root);
+  AssignLabels(plan, root);
+  return out;
 }
 
 namespace {

@@ -27,6 +27,7 @@
 
 #include "core/operators.h"
 #include "data/database.h"
+#include "obs/trace.h"
 
 namespace ccdb::cqa {
 
@@ -68,6 +69,10 @@ struct PlanNode {
 
   std::unique_ptr<PlanNode> Clone() const;
 
+  /// One-node description without children, e.g. "Select [t >= 4]"
+  /// (also used as the span label in execution traces).
+  std::string Label() const;
+
   /// Indented one-node-per-line rendering, e.g.
   ///   Project [name]
   ///     Select [t >= 4]
@@ -83,12 +88,27 @@ Result<Schema> InferSchema(const PlanNode& plan, const Database& db);
 /// Per-evaluation statistics (filled by Execute when non-null).
 struct ExecStats {
   size_t nodes_evaluated = 0;
-  size_t intermediate_tuples = 0;  ///< summed over all operator outputs
+
+  /// Tuples produced by every operator *below* the root. The root's own
+  /// output is the query result, not intermediate work, so it is excluded
+  /// (earlier versions counted it too, inflating the metric by exactly the
+  /// result cardinality).
+  size_t intermediate_tuples = 0;
 };
 
-/// Evaluates the plan bottom-up.
+/// Evaluates the plan bottom-up. When `stats` is non-null the evaluation
+/// is traced internally and the tree is reduced to the two summary fields.
 Result<Relation> Execute(const PlanNode& plan, const Database& db,
                          ExecStats* stats = nullptr);
+
+/// Evaluates the plan bottom-up, recording a per-operator span tree into
+/// `root`: each node gets the operator label, inclusive wall time,
+/// exclusive self time, tuple flow, and the layer-counter deltas
+/// attributable to that operator alone. If no obs::CounterScope is active
+/// on this thread, one is installed for the duration so standalone traces
+/// still capture FM / index / buffer-pool work.
+Result<Relation> ExecuteTraced(const PlanNode& plan, const Database& db,
+                               obs::TraceNode* root);
 
 /// Applies the rewrite rules to a fixpoint. Semantics-preserving.
 std::unique_ptr<PlanNode> Optimize(std::unique_ptr<PlanNode> plan,

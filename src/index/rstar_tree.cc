@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/trace.h"
+
 namespace ccdb {
 
 namespace {
@@ -49,6 +51,7 @@ RStarTree::RStarTree(BufferPool* pool, int dims) : pool_(pool), dims_(dims) {
 }
 
 Result<RStarTree::Node> RStarTree::LoadNode(PageId id) {
+  obs::NoteIndexNodeVisit();
   Page page;
   CCDB_RETURN_IF_ERROR(pool_->Get(id, &page));
   Node node;
@@ -364,6 +367,7 @@ Result<std::vector<RStarTree::Hit>> RStarTree::SearchHits(const Rect& query) {
     for (const Entry& e : node.entries) {
       if (!e.rect.Intersects(query)) continue;
       if (node.IsLeaf()) {
+        obs::NoteIndexLeafHit();
         hits.push_back(Hit{e.rect, e.id});
       } else {
         stack.push_back(e.id);

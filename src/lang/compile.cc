@@ -1,0 +1,189 @@
+#include "lang/compile.h"
+
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "lang/expr_parser.h"
+#include "lang/lexer.h"
+#include "util/string_util.h"
+
+namespace ccdb::lang {
+
+namespace {
+
+using cqa::PlanNode;
+
+/// Step name -> the subplan that computes it.
+using StepMap = std::map<std::string, std::unique_ptr<PlanNode>>;
+
+/// A reference to `name`: an earlier step's subplan (inlined by cloning)
+/// or a catalog scan.
+std::unique_ptr<PlanNode> Lookup(const StepMap& steps,
+                                 const std::string& name) {
+  auto it = steps.find(name);
+  if (it != steps.end()) return it->second->Clone();
+  return PlanNode::Scan(name);
+}
+
+/// Parses comparisons until (and consuming) the keyword `stop`.
+Result<std::vector<ParsedComparison>> ParseComparisonsUntil(
+    TokenStream* ts, const std::string& stop) {
+  std::vector<ParsedComparison> out;
+  while (true) {
+    CCDB_ASSIGN_OR_RETURN(ParsedComparison cmp, ParseComparison(ts));
+    out.push_back(std::move(cmp));
+    if (ts->TrySymbol(",")) continue;
+    CCDB_RETURN_IF_ERROR(ts->ExpectKeyword(stop));
+    break;
+  }
+  return out;
+}
+
+/// Recognizes (without consuming) hyphenated operator keywords
+/// ("buffer-join", "k-nearest").
+bool IsHyphenKeyword(const TokenStream& ts, const std::string& first,
+                     const std::string& second) {
+  return ts.Peek().IsKeyword(first) && ts.Peek(1).IsSymbol("-") &&
+         ts.Peek(2).IsKeyword(second);
+}
+
+Result<std::unique_ptr<PlanNode>> CompileSelect(TokenStream* ts,
+                                                const StepMap& steps,
+                                                const Database& db) {
+  CCDB_ASSIGN_OR_RETURN(std::vector<ParsedComparison> comparisons,
+                        ParseComparisonsUntil(ts, "from"));
+  CCDB_ASSIGN_OR_RETURN(std::string rel_name,
+                        ts->ExpectIdentifier("relation name"));
+  std::unique_ptr<PlanNode> child = Lookup(steps, rel_name);
+  CCDB_ASSIGN_OR_RETURN(Schema schema, cqa::InferSchema(*child, db));
+  CCDB_ASSIGN_OR_RETURN(Predicate pred, BindPredicate(schema, comparisons));
+  return PlanNode::Select(std::move(child), std::move(pred));
+}
+
+Result<std::unique_ptr<PlanNode>> CompileProject(TokenStream* ts,
+                                                 const StepMap& steps) {
+  CCDB_ASSIGN_OR_RETURN(std::string rel_name,
+                        ts->ExpectIdentifier("relation name"));
+  CCDB_RETURN_IF_ERROR(ts->ExpectKeyword("on"));
+  std::vector<std::string> attrs;
+  while (true) {
+    CCDB_ASSIGN_OR_RETURN(std::string attr,
+                          ts->ExpectIdentifier("attribute name"));
+    attrs.push_back(std::move(attr));
+    if (!ts->TrySymbol(",")) break;
+  }
+  return PlanNode::Project(Lookup(steps, rel_name), std::move(attrs));
+}
+
+struct BinaryPlans {
+  std::unique_ptr<PlanNode> lhs;
+  std::unique_ptr<PlanNode> rhs;
+};
+
+/// `<lhs> and <rhs>` for the binary operators.
+Result<BinaryPlans> ParseBinaryPlans(TokenStream* ts, const StepMap& steps) {
+  CCDB_ASSIGN_OR_RETURN(std::string lhs_name,
+                        ts->ExpectIdentifier("relation name"));
+  CCDB_RETURN_IF_ERROR(ts->ExpectKeyword("and"));
+  CCDB_ASSIGN_OR_RETURN(std::string rhs_name,
+                        ts->ExpectIdentifier("relation name"));
+  return BinaryPlans{Lookup(steps, lhs_name), Lookup(steps, rhs_name)};
+}
+
+Result<std::unique_ptr<PlanNode>> CompileRename(TokenStream* ts,
+                                                const StepMap& steps) {
+  CCDB_ASSIGN_OR_RETURN(std::string from,
+                        ts->ExpectIdentifier("attribute name"));
+  CCDB_RETURN_IF_ERROR(ts->ExpectKeyword("to"));
+  CCDB_ASSIGN_OR_RETURN(std::string to,
+                        ts->ExpectIdentifier("attribute name"));
+  CCDB_RETURN_IF_ERROR(ts->ExpectKeyword("in"));
+  CCDB_ASSIGN_OR_RETURN(std::string rel_name,
+                        ts->ExpectIdentifier("relation name"));
+  return PlanNode::RenameAttr(Lookup(steps, rel_name), std::move(from),
+                              std::move(to));
+}
+
+/// Compiles one statement; returns {step name, subplan}.
+Result<std::pair<std::string, std::unique_ptr<PlanNode>>> CompileStatement(
+    const std::string& statement, const StepMap& steps, const Database& db) {
+  CCDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  TokenStream ts(std::move(tokens));
+  CCDB_ASSIGN_OR_RETURN(std::string step_name,
+                        ts.ExpectIdentifier("step name"));
+  CCDB_RETURN_IF_ERROR(ts.ExpectSymbol("="));
+
+  Result<std::unique_ptr<PlanNode>> plan = Status::Internal("unset");
+  if (ts.TryKeyword("select")) {
+    plan = CompileSelect(&ts, steps, db);
+  } else if (ts.TryKeyword("project")) {
+    plan = CompileProject(&ts, steps);
+  } else if (ts.TryKeyword("join") || ts.TryKeyword("product") ||
+             ts.TryKeyword("intersect")) {
+    // Product and intersect are implemented by natural join (disjoint and
+    // identical schemas respectively), so all three compile to kJoin.
+    CCDB_ASSIGN_OR_RETURN(BinaryPlans operands, ParseBinaryPlans(&ts, steps));
+    plan = PlanNode::Join(std::move(operands.lhs), std::move(operands.rhs));
+  } else if (ts.TryKeyword("union")) {
+    CCDB_ASSIGN_OR_RETURN(BinaryPlans operands, ParseBinaryPlans(&ts, steps));
+    plan = PlanNode::UnionOf(std::move(operands.lhs),
+                             std::move(operands.rhs));
+  } else if (ts.TryKeyword("minus") || ts.TryKeyword("difference")) {
+    CCDB_ASSIGN_OR_RETURN(BinaryPlans operands, ParseBinaryPlans(&ts, steps));
+    plan = PlanNode::DifferenceOf(std::move(operands.lhs),
+                                  std::move(operands.rhs));
+  } else if (ts.TryKeyword("rename")) {
+    plan = CompileRename(&ts, steps);
+  } else if (ts.Peek().IsKeyword("normalize")) {
+    return Status::Unsupported(
+        "operator 'normalize' has no algebra form (not compilable)");
+  } else if (IsHyphenKeyword(ts, "buffer", "join")) {
+    return Status::Unsupported(
+        "operator 'buffer-join' has no algebra form (not compilable)");
+  } else if (IsHyphenKeyword(ts, "k", "nearest")) {
+    return Status::Unsupported(
+        "operator 'k-nearest' has no algebra form (not compilable)");
+  } else {
+    return Status::ParseError("unknown operator '" + ts.Peek().text + "'");
+  }
+  if (!plan.ok()) return plan.status();
+  if (!ts.AtEnd()) {
+    return Status::ParseError("trailing input: '" + ts.Peek().text + "'");
+  }
+  return std::make_pair(std::move(step_name), std::move(plan).value());
+}
+
+}  // namespace
+
+Result<CompiledScript> CompileScript(const std::string& script,
+                                     const Database& db) {
+  std::istringstream in(script);
+  std::string line;
+  size_t line_no = 0;
+  StepMap steps;
+  std::string last_step;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto compiled = CompileStatement(trimmed, steps, db);
+    if (!compiled.ok()) {
+      return Status(compiled.status().code(),
+                    "line " + std::to_string(line_no) + ": " +
+                        compiled.status().message());
+    }
+    last_step = compiled->first;
+    steps[last_step] = std::move(compiled->second);
+  }
+  if (last_step.empty()) {
+    return Status::InvalidArgument("script contains no statements");
+  }
+  CompiledScript out;
+  out.plan = std::move(steps[last_step]);
+  out.final_step = last_step;
+  return out;
+}
+
+}  // namespace ccdb::lang

@@ -1,0 +1,46 @@
+#ifndef CCDB_LANG_COMPILE_H_
+#define CCDB_LANG_COMPILE_H_
+
+/// \file compile.h
+/// Compilation of step scripts into logical CQA plans.
+///
+/// The script executor (query.h) evaluates each statement eagerly, which
+/// is simple but opaque: there is no plan to optimize or to trace. This
+/// file bridges the two worlds for the relational-algebra subset of the
+/// language: `CompileScript` turns a script into a single `PlanNode` tree
+/// by inlining every step reference into its defining subplan, so the
+/// result can be fed to `cqa::Optimize` and `cqa::ExecuteTraced` — the
+/// EXPLAIN ANALYZE path.
+///
+/// Compilable statements: select, project, join, product, intersect,
+/// union, minus/difference, rename (product and intersect compile to the
+/// natural join that implements them). `normalize`, `buffer-join`, and
+/// `k-nearest` have no algebra node; scripts using them fail with
+/// kUnsupported, and callers fall back to statement-level tracing.
+
+#include <memory>
+#include <string>
+
+#include "core/plan.h"
+#include "util/status.h"
+
+namespace ccdb::lang {
+
+/// A script compiled to a single logical plan.
+struct CompiledScript {
+  std::unique_ptr<cqa::PlanNode> plan;
+  std::string final_step;  ///< name of the last step (= plan's result)
+};
+
+/// Compiles a script into one plan tree against `db`'s catalog (needed to
+/// infer child schemas when binding selection predicates). Step references
+/// are inlined by cloning the referenced step's subplan; identifiers never
+/// defined by the script become `Scan` leaves. Fails with kUnsupported on
+/// statements outside the algebra subset, and with the usual parse errors
+/// (annotated with line numbers) on malformed input.
+Result<CompiledScript> CompileScript(const std::string& script,
+                                     const Database& db);
+
+}  // namespace ccdb::lang
+
+#endif  // CCDB_LANG_COMPILE_H_

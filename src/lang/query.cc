@@ -1,5 +1,8 @@
 #include "lang/query.h"
 
+#include <algorithm>
+#include <chrono>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -216,6 +219,55 @@ Result<Relation> RunQuery(const std::string& script, Database* db) {
   CCDB_ASSIGN_OR_RETURN(std::string last, ExecuteScript(script, db));
   CCDB_ASSIGN_OR_RETURN(const Relation* rel, db->Get(last));
   return *rel;
+}
+
+Result<std::string> ExecuteScriptTraced(const std::string& script,
+                                        Database* db, obs::TraceNode* root) {
+  std::optional<obs::CounterScope> scope;
+  if (!obs::TracingActive()) scope.emplace();
+  root->label = "Script";
+  const auto script_start = std::chrono::steady_clock::now();
+  std::istringstream in(script);
+  std::string line;
+  size_t line_no = 0;
+  std::string last_step;
+  double children_wall_us = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    obs::TraceNode& span = root->children.emplace_back();
+    span.label = trimmed;
+    const obs::LayerCounters before = obs::ActiveSnapshot();
+    const auto start = std::chrono::steady_clock::now();
+    auto step = ExecuteStatement(trimmed, db);
+    span.wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    span.self_us = span.wall_us;  // statements are leaves of this trace
+    span.counters = obs::ActiveSnapshot() - before;
+    children_wall_us += span.wall_us;
+    if (!step.ok()) {
+      return Status(step.status().code(),
+                    "line " + std::to_string(line_no) + ": " +
+                        step.status().message());
+    }
+    // A statement's input cardinality is opaque here (it references
+    // arbitrary earlier steps), so tuples_in stays zero.
+    if (auto rel = db->Get(*step); rel.ok()) {
+      span.tuples_out = (*rel)->size();
+    }
+    last_step = *step;
+  }
+  if (last_step.empty()) {
+    return Status::InvalidArgument("script contains no statements");
+  }
+  root->wall_us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - script_start)
+                      .count();
+  root->self_us = std::max(0.0, root->wall_us - children_wall_us);
+  root->tuples_out = root->children.back().tuples_out;
+  return last_step;
 }
 
 namespace {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "data/database.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace ccdb::lang {
@@ -50,6 +51,16 @@ Result<std::string> ExecuteScript(const std::string& script, Database* db);
 
 /// Executes a script and returns the final relation (by value).
 Result<Relation> RunQuery(const std::string& script, Database* db);
+
+/// Executes a script like ExecuteScript while recording one child span
+/// per statement under `root`: the statement text as the label, its wall
+/// time, its result cardinality as tuples_out, and the layer-counter
+/// deltas attributable to it. This is the trace path for scripts outside
+/// the compilable algebra subset (see compile.h) — statements stay opaque
+/// but still get timed and attributed. Installs an obs::CounterScope for
+/// the duration if none is active.
+Result<std::string> ExecuteScriptTraced(const std::string& script,
+                                        Database* db, obs::TraceNode* root);
 
 /// Canonical text of a script: comments and blank lines dropped, every
 /// statement re-emitted as its token texts joined by single spaces (string

@@ -1,0 +1,51 @@
+#ifndef CCDB_OBS_METRIC_NAMES_H_
+#define CCDB_OBS_METRIC_NAMES_H_
+
+/// \file metric_names.h
+/// The canonical list of registry metric names.
+///
+/// Every metric published into a `MetricsRegistry` is declared here and
+/// documented in DESIGN.md ("Observability" — metric table);
+/// `tools/check_metrics_doc.sh` (wired into ctest) fails the build when a
+/// name below is missing from DESIGN.md, so this header is the single
+/// source of truth the lint greps.
+
+namespace ccdb::obs::names {
+
+// --- Service lifecycle (counters) ---
+inline constexpr char kQueriesSubmitted[] = "queries.submitted";
+inline constexpr char kQueriesRejected[] = "queries.rejected";
+inline constexpr char kQueriesCompleted[] = "queries.completed";
+inline constexpr char kQueriesFailed[] = "queries.failed";
+inline constexpr char kQueriesSlow[] = "queries.slow";
+inline constexpr char kQueriesTraced[] = "queries.traced";
+
+// --- Engine layers (counters, drained from per-query trace contexts) ---
+inline constexpr char kCqaConjunctions[] = "cqa.conjunctions";
+inline constexpr char kFmEliminations[] = "fm.eliminations";
+inline constexpr char kFmRedundancyCulls[] = "fm.redundancy_culls";
+inline constexpr char kIndexNodeVisits[] = "index.node_visits";
+inline constexpr char kIndexLeafHits[] = "index.leaf_hits";
+inline constexpr char kStoragePagesRead[] = "storage.pages_read";
+inline constexpr char kStoragePoolHits[] = "storage.pool_hits";
+
+// --- Service view (gauges, published at snapshot time) ---
+inline constexpr char kQueueDepth[] = "queue.depth";
+inline constexpr char kQueueHighWater[] = "queue.high_water";
+inline constexpr char kSessionsOpen[] = "sessions.open";
+inline constexpr char kCacheHits[] = "cache.hits";
+inline constexpr char kCacheMisses[] = "cache.misses";
+inline constexpr char kCacheEntries[] = "cache.entries";
+inline constexpr char kWalBytes[] = "wal.bytes";
+inline constexpr char kWalBatches[] = "wal.batches";
+inline constexpr char kWalFsyncs[] = "wal.fsyncs";
+inline constexpr char kWalCheckpoints[] = "wal.checkpoints";
+
+// --- Per-query distributions (histograms) ---
+inline constexpr char kQueryLatencyUs[] = "query.latency_us";
+inline constexpr char kQueryFmEliminations[] = "query.fm_eliminations";
+inline constexpr char kQueryTuplesOut[] = "query.tuples_out";
+
+}  // namespace ccdb::obs::names
+
+#endif  // CCDB_OBS_METRIC_NAMES_H_

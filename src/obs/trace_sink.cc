@@ -1,0 +1,29 @@
+#include "obs/trace_sink.h"
+
+#include <cstdio>
+
+namespace ccdb::obs {
+
+void TraceSink::Emit(const TraceEvent& event) {
+  std::string line = "{\"query\":\"" + JsonEscape(event.query) + "\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"latency_us\":%.3f", event.latency_us);
+  line += buf;
+  line += event.slow ? ",\"slow\":true" : ",\"slow\":false";
+  if (event.root != nullptr) {
+    line += ",\"trace\":";
+    line += event.root->ToJson();
+  }
+  line += '}';
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line << '\n';
+  out_->flush();
+  ++events_;
+}
+
+uint64_t TraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+}  // namespace ccdb::obs

@@ -1,0 +1,51 @@
+#ifndef CCDB_OBS_TRACE_SINK_H_
+#define CCDB_OBS_TRACE_SINK_H_
+
+/// \file trace_sink.h
+/// Structured per-query trace export (JSONL).
+///
+/// A `TraceSink` serializes trace events — one JSON object per line — to
+/// an `std::ostream`. The service layer writes an event for every
+/// slow-query hit (see `ServiceOptions::slow_query_us`) and for every
+/// explicit `QueryService::Trace` call, so an operator can tail the
+/// stream or post-process it offline. Writes are mutex-serialized and
+/// flushed per event, so concurrent workers never interleave lines.
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace ccdb::obs {
+
+/// One exportable per-query record.
+struct TraceEvent {
+  std::string query;          ///< canonical script text
+  double latency_us = 0;      ///< end-to-end latency
+  bool slow = false;          ///< crossed the slow-query threshold
+  const TraceNode* root = nullptr;  ///< optional span tree
+};
+
+/// Thread-safe JSONL writer over a caller-owned stream.
+class TraceSink {
+ public:
+  /// Writes to `out` (not owned; must outlive the sink).
+  explicit TraceSink(std::ostream* out) : out_(out) {}
+
+  /// Serializes one event as a single line and flushes.
+  void Emit(const TraceEvent& event);
+
+  /// Events written so far.
+  uint64_t events() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::ostream* out_;
+  uint64_t events_ = 0;
+};
+
+}  // namespace ccdb::obs
+
+#endif  // CCDB_OBS_TRACE_SINK_H_

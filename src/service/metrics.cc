@@ -58,6 +58,22 @@ std::string ServiceMetrics::ToString() const {
                 static_cast<unsigned long long>(queue_depth),
                 static_cast<unsigned long long>(queue_high_water));
   out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "          %llu slow (threshold), %llu traced\n",
+                static_cast<unsigned long long>(slow_queries),
+                static_cast<unsigned long long>(traced_queries));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "engine:   %llu conjunctions, %llu fm eliminations, "
+                "%llu culls, idx %llu/%llu, pool %llu/%llu\n",
+                static_cast<unsigned long long>(conjunctions),
+                static_cast<unsigned long long>(fm_eliminations),
+                static_cast<unsigned long long>(redundancy_culls),
+                static_cast<unsigned long long>(index_node_visits),
+                static_cast<unsigned long long>(index_leaf_hits),
+                static_cast<unsigned long long>(pool_hits),
+                static_cast<unsigned long long>(pool_misses));
+  out += buf;
   const uint64_t lookups = cache_hits + cache_misses;
   std::snprintf(buf, sizeof(buf),
                 "cache:    %llu hits / %llu lookups (%.1f%%), %llu entries\n",
@@ -85,6 +101,9 @@ std::string ServiceMetrics::ToString() const {
                 static_cast<unsigned long long>(latency_count), latency_min_us,
                 latency_mean_us, latency_p50_us, latency_p99_us);
   out += buf;
+  for (const obs::Histogram::Snapshot& h : histograms) {
+    out += "\nhist:     " + h.ToString();
+  }
   return out;
 }
 

@@ -14,16 +14,22 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.h"
+
 namespace ccdb::service {
 
-/// Point-in-time view of the service's counters. All latencies are in
-/// microseconds; zero when no query has completed yet.
+/// Point-in-time view of the service's counters — a plain-value snapshot
+/// over the service's `obs::MetricsRegistry` plus its component stats.
+/// All latencies are in microseconds; zero when no query has completed
+/// yet.
 struct ServiceMetrics {
   // Lifecycle counters.
   uint64_t submitted = 0;       ///< accepted into the queue
   uint64_t rejected = 0;        ///< refused (queue full or shutting down)
   uint64_t completed = 0;       ///< finished successfully
   uint64_t failed = 0;          ///< finished with a non-OK status
+  uint64_t slow_queries = 0;    ///< latency crossed ServiceOptions::slow_query_us
+  uint64_t traced_queries = 0;  ///< explicit Trace() calls
   // Queue.
   uint64_t queue_depth = 0;     ///< tasks waiting right now
   uint64_t queue_high_water = 0;  ///< max depth ever observed
@@ -33,6 +39,15 @@ struct ServiceMetrics {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_entries = 0;
+  // Engine work totals over all executed queries (drained from per-query
+  // trace contexts; see obs/trace.h).
+  uint64_t conjunctions = 0;       ///< constraint stores materialized
+  uint64_t fm_eliminations = 0;    ///< Fourier–Motzkin variable eliminations
+  uint64_t redundancy_culls = 0;   ///< constraints dropped as redundant
+  uint64_t index_node_visits = 0;  ///< R*-tree nodes loaded
+  uint64_t index_leaf_hits = 0;    ///< R*-tree leaf entries matched
+  uint64_t pool_hits = 0;          ///< buffer-pool hits during queries
+  uint64_t pool_misses = 0;        ///< buffer-pool misses during queries
   // Storage (0 unless the service is wired to a PageManager).
   uint64_t pages_read = 0;
   // Durability (0 unless the service is wired to a DurableStore).
@@ -46,6 +61,9 @@ struct ServiceMetrics {
   double latency_mean_us = 0;
   double latency_p50_us = 0;
   double latency_p99_us = 0;
+  // Registry histogram snapshots (query.latency_us, query.fm_eliminations,
+  // query.tuples_out, ...), sorted by name.
+  std::vector<obs::Histogram::Snapshot> histograms;
 
   /// Multi-line human-readable rendering (the `\metrics` output).
   std::string ToString() const;

@@ -6,7 +6,10 @@
 #include <optional>
 #include <set>
 
+#include "core/plan.h"
+#include "lang/compile.h"
 #include "lang/query.h"
+#include "obs/metric_names.h"
 #include "storage/wal.h"
 
 namespace ccdb::service {
@@ -86,7 +89,23 @@ QueryService::QueryService(Database* base, ServiceOptions options)
     : base_(base),
       options_(options),
       cache_(options.cache_capacity),
-      paused_(options.start_paused) {
+      paused_(options.start_paused),
+      submitted_(registry_.GetCounter(obs::names::kQueriesSubmitted)),
+      rejected_(registry_.GetCounter(obs::names::kQueriesRejected)),
+      completed_(registry_.GetCounter(obs::names::kQueriesCompleted)),
+      failed_(registry_.GetCounter(obs::names::kQueriesFailed)),
+      slow_(registry_.GetCounter(obs::names::kQueriesSlow)),
+      traced_(registry_.GetCounter(obs::names::kQueriesTraced)),
+      conjunctions_(registry_.GetCounter(obs::names::kCqaConjunctions)),
+      fm_eliminations_(registry_.GetCounter(obs::names::kFmEliminations)),
+      redundancy_culls_(registry_.GetCounter(obs::names::kFmRedundancyCulls)),
+      index_node_visits_(registry_.GetCounter(obs::names::kIndexNodeVisits)),
+      index_leaf_hits_(registry_.GetCounter(obs::names::kIndexLeafHits)),
+      pages_read_(registry_.GetCounter(obs::names::kStoragePagesRead)),
+      pool_hits_(registry_.GetCounter(obs::names::kStoragePoolHits)),
+      latency_hist_(registry_.GetHistogram(obs::names::kQueryLatencyUs)),
+      fm_hist_(registry_.GetHistogram(obs::names::kQueryFmEliminations)),
+      tuples_out_hist_(registry_.GetHistogram(obs::names::kQueryTuplesOut)) {
   const size_t workers = std::max<size_t>(1, options_.num_workers);
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
@@ -132,18 +151,18 @@ Result<std::future<Result<QueryResponse>>> QueryService::Submit(
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_->Increment();
       return Status::Unavailable("service is shutting down");
     }
     if (queue_.size() >= options_.max_queue_depth) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_->Increment();
       return Status::Unavailable(
           "request queue full (" + std::to_string(queue_.size()) + " of " +
           std::to_string(options_.max_queue_depth) + " slots)");
     }
     queue_.push_back(std::move(task));
     queue_high_water_ = std::max<uint64_t>(queue_high_water_, queue_.size());
-    submitted_.fetch_add(1, std::memory_order_relaxed);
+    submitted_->Increment();
   }
   queue_cv_.notify_one();
   return future;
@@ -154,6 +173,66 @@ Result<QueryResponse> QueryService::Execute(SessionId id,
   CCDB_ASSIGN_OR_RETURN(std::future<Result<QueryResponse>> future,
                         Submit(id, script));
   return future.get();
+}
+
+Result<TraceReport> QueryService::Trace(SessionId id,
+                                        const std::string& script) {
+  std::shared_ptr<Session> session = FindSession(id);
+  if (!session) {
+    return Status::NotFound("no session " + std::to_string(id));
+  }
+  CCDB_ASSIGN_OR_RETURN(std::string canon, lang::CanonicalizeScript(script));
+
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+  SessionView view(base_, &session->steps);
+
+  TraceReport report;
+  const auto start = std::chrono::steady_clock::now();
+  obs::LayerCounters counters;
+  {
+    obs::CounterScope scope;
+    auto compiled = lang::CompileScript(canon, view);
+    if (compiled.ok()) {
+      // EXPLAIN ANALYZE proper: one optimized plan, per-operator spans.
+      std::unique_ptr<cqa::PlanNode> plan =
+          cqa::Optimize(std::move(compiled->plan), view);
+      report.plan_text = plan->ToString();
+      report.used_plan = true;
+      CCDB_ASSIGN_OR_RETURN(Relation rel,
+                            cqa::ExecuteTraced(*plan, view, &report.root));
+      view.CreateOrReplace(compiled->final_step, rel);
+      report.response.step = compiled->final_step;
+      report.response.relation = std::move(rel);
+    } else if (compiled.status().code() == StatusCode::kUnsupported) {
+      // Outside the algebra subset: statement-level spans.
+      CCDB_ASSIGN_OR_RETURN(
+          std::string last,
+          lang::ExecuteScriptTraced(canon, &view, &report.root));
+      CCDB_ASSIGN_OR_RETURN(const Relation* rel, session->steps.Get(last));
+      report.response.step = last;
+      report.response.relation = *rel;
+    } else {
+      return compiled.status();
+    }
+    counters = scope.counters();
+  }
+  report.response.latency_us = MicrosSince(start);
+
+  traced_->Increment();
+  DrainCounters(counters);
+  fm_hist_->Record(counters.fm_eliminations);
+  tuples_out_hist_->Record(report.response.relation.size());
+  if (options_.trace_sink != nullptr) {
+    obs::TraceEvent event;
+    event.query = canon;
+    event.latency_us = report.response.latency_us;
+    event.slow = options_.slow_query_us > 0 &&
+                 report.response.latency_us >= options_.slow_query_us;
+    event.root = &report.root;
+    options_.trace_sink->Emit(event);
+  }
+  return report;
 }
 
 void QueryService::WorkerLoop() {
@@ -168,12 +247,22 @@ void QueryService::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Statement-level spans are only worth recording if a slow query
+    // would have somewhere to publish them.
+    const bool span_trace =
+        options_.trace_sink != nullptr && options_.slow_query_us > 0;
+    obs::TraceNode trace;
+    obs::LayerCounters counters;
     // Exception barrier: a throw out of execution (bad_alloc, a parser
     // edge case, ...) must fail this one request, not terminate the
     // process — the worker thread stays alive for the next task.
     Result<QueryResponse> result = [&]() -> Result<QueryResponse> {
       try {
-        return RunScript(task->session.get(), task->script);
+        obs::CounterScope scope;
+        auto r = RunScript(task->session.get(), task->script,
+                           span_trace ? &trace : nullptr);
+        counters = scope.counters();
+        return r;
       } catch (const std::exception& e) {
         return Status::Internal(std::string("uncaught exception in worker: ") +
                                 e.what());
@@ -183,18 +272,49 @@ void QueryService::WorkerLoop() {
     }();
     const double latency_us = MicrosSince(task->enqueued);
     latency_.Record(latency_us);
+    latency_hist_->Record(static_cast<uint64_t>(latency_us));
+    DrainCounters(counters);
+    fm_hist_->Record(counters.fm_eliminations);
     if (result.ok()) {
       result->latency_us = latency_us;
-      completed_.fetch_add(1, std::memory_order_relaxed);
+      completed_->Increment();
+      tuples_out_hist_->Record(result->relation.size());
     } else {
-      failed_.fetch_add(1, std::memory_order_relaxed);
+      failed_->Increment();
+    }
+    const bool slow =
+        options_.slow_query_us > 0 && latency_us >= options_.slow_query_us;
+    if (slow) {
+      slow_->Increment();
+      // The slow-query log: emit the full statement-level trace (empty
+      // for cache hits — the latency is still reported).
+      if (options_.trace_sink != nullptr) {
+        obs::TraceEvent event;
+        event.query = task->script;
+        event.latency_us = latency_us;
+        event.slow = true;
+        event.root = trace.children.empty() ? nullptr : &trace;
+        options_.trace_sink->Emit(event);
+      }
     }
     task->promise.set_value(std::move(result));
   }
 }
 
+void QueryService::DrainCounters(const obs::LayerCounters& counters) {
+  if (counters.IsZero()) return;
+  conjunctions_->Add(counters.conjunctions);
+  fm_eliminations_->Add(counters.fm_eliminations);
+  redundancy_culls_->Add(counters.redundancy_culls);
+  index_node_visits_->Add(counters.index_node_visits);
+  index_leaf_hits_->Add(counters.index_leaf_hits);
+  pages_read_->Add(counters.pages_read);
+  pool_hits_->Add(counters.pool_hits);
+}
+
 Result<QueryResponse> QueryService::RunScript(Session* session,
-                                              const std::string& script) {
+                                              const std::string& script,
+                                              obs::TraceNode* trace) {
   CCDB_ASSIGN_OR_RETURN(std::string canon, lang::CanonicalizeScript(script));
   CCDB_ASSIGN_OR_RETURN(std::vector<std::string> referenced,
                         lang::ScriptInputs(canon));
@@ -239,7 +359,12 @@ Result<QueryResponse> QueryService::RunScript(Session* session,
   }
 
   SessionView view(base_, &session->steps);
-  CCDB_ASSIGN_OR_RETURN(std::string last, lang::ExecuteScript(canon, &view));
+  std::string last;
+  if (trace != nullptr) {
+    CCDB_ASSIGN_OR_RETURN(last, lang::ExecuteScriptTraced(canon, &view, trace));
+  } else {
+    CCDB_ASSIGN_OR_RETURN(last, lang::ExecuteScript(canon, &view));
+  }
   CCDB_ASSIGN_OR_RETURN(const Relation* final_rel, session->steps.Get(last));
 
   QueryResponse response;
@@ -375,10 +500,19 @@ void QueryService::Shutdown() {
 
 ServiceMetrics QueryService::Metrics() const {
   ServiceMetrics m;
-  m.submitted = submitted_.load(std::memory_order_relaxed);
-  m.rejected = rejected_.load(std::memory_order_relaxed);
-  m.completed = completed_.load(std::memory_order_relaxed);
-  m.failed = failed_.load(std::memory_order_relaxed);
+  m.submitted = submitted_->Value();
+  m.rejected = rejected_->Value();
+  m.completed = completed_->Value();
+  m.failed = failed_->Value();
+  m.slow_queries = slow_->Value();
+  m.traced_queries = traced_->Value();
+  m.conjunctions = conjunctions_->Value();
+  m.fm_eliminations = fm_eliminations_->Value();
+  m.redundancy_culls = redundancy_culls_->Value();
+  m.index_node_visits = index_node_visits_->Value();
+  m.index_leaf_hits = index_leaf_hits_->Value();
+  m.pool_hits = pool_hits_->Value();
+  m.pool_misses = pages_read_->Value();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     m.queue_depth = queue_.size();
@@ -407,6 +541,19 @@ ServiceMetrics QueryService::Metrics() const {
   m.latency_mean_us = latency.mean_us;
   m.latency_p50_us = latency.p50_us;
   m.latency_p99_us = latency.p99_us;
+  // Publish the component stats as registry gauges so a registry dump is
+  // self-contained, then snapshot the histograms for the caller.
+  registry_.SetGauge(obs::names::kQueueDepth, m.queue_depth);
+  registry_.SetGauge(obs::names::kQueueHighWater, m.queue_high_water);
+  registry_.SetGauge(obs::names::kSessionsOpen, m.sessions);
+  registry_.SetGauge(obs::names::kCacheHits, m.cache_hits);
+  registry_.SetGauge(obs::names::kCacheMisses, m.cache_misses);
+  registry_.SetGauge(obs::names::kCacheEntries, m.cache_entries);
+  registry_.SetGauge(obs::names::kWalBytes, m.wal_bytes);
+  registry_.SetGauge(obs::names::kWalBatches, m.wal_batches);
+  registry_.SetGauge(obs::names::kWalFsyncs, m.wal_fsyncs);
+  registry_.SetGauge(obs::names::kWalCheckpoints, m.wal_checkpoints);
+  m.histograms = registry_.TakeSnapshot().histograms;
   return m;
 }
 

@@ -40,6 +40,9 @@
 #include <vector>
 
 #include "data/database.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "obs/trace_sink.h"
 #include "service/metrics.h"
 #include "service/plan_cache.h"
 #include "storage/pager.h"
@@ -65,6 +68,14 @@ struct ServiceOptions {
   /// commit record is on disk; on commit failure the in-memory catalog is
   /// rolled back, so the caller never observes an unlogged mutation.
   DurableStore* store = nullptr;
+  /// Slow-query threshold in microseconds; 0 disables the slow-query log.
+  /// A query whose end-to-end latency (queue wait included) reaches the
+  /// threshold is counted in `queries.slow`, and — when a `trace_sink` is
+  /// attached — its statement-level trace is emitted there as JSONL.
+  double slow_query_us = 0;
+  /// Optional sink receiving slow-query traces and every explicit Trace()
+  /// result. Not owned; must outlive the service.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// A successfully executed script.
@@ -73,6 +84,15 @@ struct QueryResponse {
   Relation relation;       ///< the final step's relation
   bool cache_hit = false;  ///< served from the result cache
   double latency_us = 0;   ///< execution latency (queue wait included)
+};
+
+/// The result of an explicit Trace() call — the EXPLAIN ANALYZE view.
+struct TraceReport {
+  QueryResponse response;  ///< the query result (never a cache hit)
+  obs::TraceNode root;     ///< per-operator (or per-statement) span tree
+  bool used_plan = false;  ///< true: compiled + optimized plan was traced;
+                           ///< false: statement-level fallback spans
+  std::string plan_text;   ///< optimized plan rendering (when used_plan)
 };
 
 /// A concurrent, cached, metered executor of CQA step-scripts.
@@ -110,6 +130,15 @@ class QueryService {
   /// Submit + wait. Queries within one session are serialized, so a
   /// client that alternates Execute calls sees strict program order.
   Result<QueryResponse> Execute(SessionId id, const std::string& script);
+
+  /// Executes `script` with full tracing on the calling thread (the
+  /// shell's `\trace`). Scripts in the algebra subset are compiled to one
+  /// plan, optimized, and traced per-operator; scripts outside it fall
+  /// back to per-statement spans. Bypasses the result cache; only the
+  /// final step is registered in the session (intermediate steps of a
+  /// compiled script are inlined into the plan). The trace is also
+  /// emitted to `ServiceOptions::trace_sink` when one is attached.
+  Result<TraceReport> Trace(SessionId id, const std::string& script);
 
   // --- Base-catalog writes (exclusive; wait for running queries) ---
   //
@@ -153,8 +182,16 @@ class QueryService {
   struct Task;
 
   void WorkerLoop();
-  Result<QueryResponse> RunScript(Session* session, const std::string& script);
+
+  /// Executes one script. When `trace` is non-null the script runs with
+  /// statement-level spans recorded into it (used for the slow-query log;
+  /// cache hits leave the trace empty).
+  Result<QueryResponse> RunScript(Session* session, const std::string& script,
+                                  obs::TraceNode* trace = nullptr);
   std::shared_ptr<Session> FindSession(SessionId id) const;
+
+  /// Adds a finished query's layer counters to the engine totals.
+  void DrainCounters(const obs::LayerCounters& counters);
 
   /// Journals the base catalog through the attached store (no-op when
   /// none). Caller holds `catalog_mu_` exclusive.
@@ -180,11 +217,25 @@ class QueryService {
   std::map<SessionId, std::shared_ptr<Session>> sessions_;
   SessionId next_session_ = 1;
 
-  // Metrics.
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> failed_{0};
+  // Metrics: the registry owns every counter/histogram; the named handles
+  // below are resolved once in the constructor (hot path is lock-free).
+  mutable obs::MetricsRegistry registry_;
+  obs::Counter* submitted_;
+  obs::Counter* rejected_;
+  obs::Counter* completed_;
+  obs::Counter* failed_;
+  obs::Counter* slow_;
+  obs::Counter* traced_;
+  obs::Counter* conjunctions_;
+  obs::Counter* fm_eliminations_;
+  obs::Counter* redundancy_culls_;
+  obs::Counter* index_node_visits_;
+  obs::Counter* index_leaf_hits_;
+  obs::Counter* pages_read_;
+  obs::Counter* pool_hits_;
+  obs::Histogram* latency_hist_;
+  obs::Histogram* fm_hist_;
+  obs::Histogram* tuples_out_hist_;
   LatencyRecorder latency_;
 };
 

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/trace.h"
+
 namespace ccdb {
 
 BufferPool::BufferPool(PageManager* disk, size_t capacity)
@@ -18,6 +20,7 @@ BufferPool::BufferPool(PageManager* disk, size_t capacity)
 Status BufferPool::Get(PageId id, Page* out) {
   if (capacity_ == 0) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::NotePageRead();
     return disk_->Read(id, out);
   }
   Shard& shard = ShardFor(id);
@@ -25,11 +28,13 @@ Status BufferPool::Get(PageId id, Page* out) {
   auto it = shard.index.find(id);
   if (it != shard.index.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::NotePoolHit();
     *out = it->second->second;
     shard.Touch(id);
     return Status::OK();
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::NotePageRead();
   CCDB_RETURN_IF_ERROR(disk_->Read(id, out));
   shard.InsertCached(id, *out);
   return Status::OK();

@@ -1,0 +1,355 @@
+// Tests for the observability layer (src/obs) and its integration:
+// registry correctness under concurrent writers (run under
+// -DCCDB_SANITIZE=thread to prove the lock-free paths race-free),
+// trace-tree shape vs. the optimized plan, the ExecStats root-exclusion
+// semantics, the slow-query log, and JSONL export well-formedness.
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ccdb.h"
+
+namespace ccdb {
+namespace {
+
+// --- Registry primitives under concurrent writers -------------------------
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepCountAndSum) {
+  obs::Histogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  const uint64_t n = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(snap.count, n);
+  EXPECT_EQ(snap.sum, n * (n - 1) / 2);  // 0 + 1 + ... + n-1
+}
+
+TEST(HistogramTest, PercentileUpperBoundIsConservative) {
+  obs::Histogram hist;
+  for (uint64_t v = 0; v < 1000; ++v) hist.Record(v);
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  // The true p50 is ~500; the log2 bucket upper bound must cover it but
+  // stay within a factor of 2.
+  const uint64_t p50 = snap.PercentileUpperBound(0.50);
+  EXPECT_GE(p50, uint64_t{500});
+  EXPECT_LE(p50, uint64_t{1023});
+  EXPECT_GE(snap.PercentileUpperBound(0.99), uint64_t{990});
+  // Percentiles are monotone in the fraction.
+  EXPECT_LE(p50, snap.PercentileUpperBound(0.90));
+}
+
+TEST(RegistryTest, SameNameYieldsSameHandleUnderRaces) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<obs::Counter*> handles(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &handles, t] {
+      obs::Counter* c = registry.GetCounter("races.test");
+      handles[static_cast<size_t>(t)] = c;
+      for (int i = 0; i < 1000; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(handles[0], handles[t]);
+  EXPECT_EQ(handles[0]->Value(), uint64_t{8000});
+
+  registry.SetGauge("races.gauge", 42);
+  const obs::MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.Value("races.test"), uint64_t{8000});
+  EXPECT_EQ(snap.Value("races.gauge"), uint64_t{42});
+  EXPECT_EQ(snap.Value("no.such.metric"), uint64_t{0});
+}
+
+// --- The thread-local trace context ---------------------------------------
+
+TEST(CounterScopeTest, NestedScopesFoldIntoParent) {
+  EXPECT_FALSE(obs::TracingActive());
+  obs::NoteConjunction();  // no scope installed: must be a no-op
+  {
+    obs::CounterScope outer;
+    EXPECT_TRUE(obs::TracingActive());
+    obs::NoteConjunction();
+    {
+      obs::CounterScope inner;
+      obs::NoteFmElimination();
+      obs::NoteFmElimination();
+      obs::NoteRedundancyCulls(3);
+      EXPECT_EQ(inner.counters().fm_eliminations, uint64_t{2});
+      EXPECT_EQ(inner.counters().conjunctions, uint64_t{0});
+    }
+    // The inner scope's totals folded back into the outer scope.
+    EXPECT_EQ(outer.counters().conjunctions, uint64_t{1});
+    EXPECT_EQ(outer.counters().fm_eliminations, uint64_t{2});
+    EXPECT_EQ(outer.counters().redundancy_culls, uint64_t{3});
+  }
+  EXPECT_FALSE(obs::TracingActive());
+}
+
+// --- Trace trees from the executor ----------------------------------------
+
+/// A database with one constraint relation of generated boxes.
+Database BoxDatabase(size_t count) {
+  WorkloadParams params;
+  params.data_count = count;
+  Database db;
+  EXPECT_TRUE(
+      db.Create("Boxes", BoxesToConstraintRelation(GenerateDataBoxes(7, params)))
+          .ok());
+  return db;
+}
+
+constexpr const char* kJoinScript =
+    "R0 = select x >= 100, x <= 600 from Boxes\n"
+    "R1 = select y >= 100, y <= 600 from Boxes\n"
+    "R2 = join R0 and R1";
+
+/// Structural equality of a plan and its trace: same labels, same shape.
+void ExpectTraceMatchesPlan(const cqa::PlanNode& plan,
+                            const obs::TraceNode& trace) {
+  EXPECT_EQ(trace.label, plan.Label());
+  ASSERT_EQ(trace.children.size(), plan.children.size());
+  for (size_t i = 0; i < plan.children.size(); ++i) {
+    ExpectTraceMatchesPlan(*plan.children[i], trace.children[i]);
+  }
+}
+
+TEST(TraceTest, TreeShapeMatchesOptimizedPlan) {
+  Database db = BoxDatabase(60);
+  auto compiled = lang::CompileScript(kJoinScript, db);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  std::unique_ptr<cqa::PlanNode> plan =
+      cqa::Optimize(std::move(compiled->plan), db);
+
+  obs::TraceNode root;
+  auto result = cqa::ExecuteTraced(*plan, db, &root);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ExpectTraceMatchesPlan(*plan, root);
+  EXPECT_EQ(root.tuples_out, result->size());
+  EXPECT_GT(root.wall_us, 0.0);
+  // Every operator in this plan touches constraint stores, so the
+  // subtree totals must show constraint-layer work.
+  EXPECT_GT(root.TotalCounters().conjunctions, uint64_t{0});
+  // self time never exceeds inclusive wall time.
+  EXPECT_LE(root.self_us, root.wall_us);
+}
+
+TEST(TraceTest, ExecStatsExcludeRootFromIntermediates) {
+  Database db = BoxDatabase(60);
+  auto compiled = lang::CompileScript(kJoinScript, db);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  std::unique_ptr<cqa::PlanNode> plan =
+      cqa::Optimize(std::move(compiled->plan), db);
+
+  obs::TraceNode root;
+  auto traced = cqa::ExecuteTraced(*plan, db, &root);
+  ASSERT_TRUE(traced.ok());
+
+  cqa::ExecStats stats;
+  auto result = cqa::Execute(*plan, db, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.nodes_evaluated, root.NodeCount());
+  // intermediate_tuples counts every operator *below* the root — the
+  // root's own output is the result, not an intermediate.
+  EXPECT_EQ(stats.intermediate_tuples, root.SumTuplesOut() - root.tuples_out);
+}
+
+TEST(TraceTest, JsonOutputIsWellFormed) {
+  Database db = BoxDatabase(30);
+  auto compiled = lang::CompileScript(kJoinScript, db);
+  ASSERT_TRUE(compiled.ok());
+  std::unique_ptr<cqa::PlanNode> plan =
+      cqa::Optimize(std::move(compiled->plan), db);
+  obs::TraceNode root;
+  ASSERT_TRUE(cqa::ExecuteTraced(*plan, db, &root).ok());
+
+  const std::string json = root.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must be one line";
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;  // skip the escaped character
+      else if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0) << "unbalanced braces in: " << json;
+  EXPECT_FALSE(in_string) << "unterminated string in: " << json;
+  EXPECT_NE(json.find("\"children\""), std::string::npos);
+}
+
+// --- Service integration: Trace(), the slow-query log, metrics ------------
+
+TEST(ServiceTraceTest, ExplicitTraceUsesOptimizedPlan) {
+  Database db = BoxDatabase(60);
+  std::ostringstream jsonl;
+  obs::TraceSink sink(&jsonl);
+  service::ServiceOptions options;
+  options.num_workers = 2;
+  options.trace_sink = &sink;
+  service::QueryService svc(&db, options);
+  const service::SessionId session = svc.OpenSession();
+
+  auto report = svc.Trace(session, kJoinScript);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->used_plan);
+  EXPECT_FALSE(report->plan_text.empty());
+  EXPECT_FALSE(report->root.children.empty());
+  EXPECT_EQ(report->root.tuples_out, report->response.relation.size());
+  EXPECT_GT(report->root.TotalCounters().conjunctions, uint64_t{0});
+
+  const service::ServiceMetrics m = svc.Metrics();
+  EXPECT_EQ(m.traced_queries, uint64_t{1});
+  EXPECT_GT(m.conjunctions, uint64_t{0});
+  EXPECT_GT(m.fm_eliminations, uint64_t{0});
+
+  // The sink got one well-formed JSONL line for the trace.
+  EXPECT_EQ(sink.events(), uint64_t{1});
+  const std::string line = jsonl.str();
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.find('\n'), line.size() - 1) << "exactly one line";
+  EXPECT_NE(line.find("\"trace\""), std::string::npos);
+}
+
+TEST(ServiceTraceTest, NonCompilableScriptFallsBackToStatementSpans) {
+  Database db = BoxDatabase(30);
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  service::QueryService svc(&db, options);
+  const service::SessionId session = svc.OpenSession();
+
+  // `normalize` executes fine but has no algebra form, so the report
+  // must fall back to statement-level spans.
+  auto report = svc.Trace(session,
+                          "R0 = select x >= 100, x <= 900 from Boxes\n"
+                          "R1 = normalize R0");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->used_plan);
+  EXPECT_EQ(report->root.children.size(), size_t{2});
+  EXPECT_EQ(report->root.children[1].label, "R1 = normalize R0");
+}
+
+TEST(ServiceTraceTest, SlowQueryLogFiresAtThreshold) {
+  Database db = BoxDatabase(60);
+  std::ostringstream jsonl;
+  obs::TraceSink sink(&jsonl);
+  service::ServiceOptions options;
+  options.num_workers = 2;
+  options.slow_query_us = 0.001;  // everything is slow
+  options.trace_sink = &sink;
+  service::QueryService svc(&db, options);
+  const service::SessionId session = svc.OpenSession();
+
+  auto response = svc.Execute(session, kJoinScript);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  const service::ServiceMetrics m = svc.Metrics();
+  EXPECT_GE(m.slow_queries, uint64_t{1});
+  EXPECT_GE(sink.events(), uint64_t{1});
+  const std::string line = jsonl.str();
+  EXPECT_NE(line.find("\"slow\":true"), std::string::npos);
+
+  // The latency histogram saw the query.
+  bool found_latency = false;
+  for (const auto& h : m.histograms) {
+    if (h.name == obs::names::kQueryLatencyUs) {
+      found_latency = true;
+      EXPECT_GE(h.count, uint64_t{1});
+    }
+  }
+  EXPECT_TRUE(found_latency);
+}
+
+TEST(ServiceTraceTest, FastQueriesDoNotTripTheSlowLog) {
+  Database db = BoxDatabase(20);
+  std::ostringstream jsonl;
+  obs::TraceSink sink(&jsonl);
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  options.slow_query_us = 60e6;  // a minute: nothing here is that slow
+  options.trace_sink = &sink;
+  service::QueryService svc(&db, options);
+  const service::SessionId session = svc.OpenSession();
+
+  auto response =
+      svc.Execute(session, "R0 = select x >= 100, x <= 200 from Boxes");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(svc.Metrics().slow_queries, uint64_t{0});
+  EXPECT_EQ(sink.events(), uint64_t{0});
+}
+
+TEST(ServiceTraceTest, ConcurrentQueriesPublishExactEngineTotals) {
+  Database db = BoxDatabase(40);
+  service::ServiceOptions options;
+  options.num_workers = 4;
+  options.cache_capacity = 0;  // no cache: every query runs the engine
+  service::QueryService svc(&db, options);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesEach = 5;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&svc, &failures, c] {
+      const service::SessionId session = svc.OpenSession();
+      for (int i = 0; i < kQueriesEach; ++i) {
+        const int lo = 100 + 37 * (c * kQueriesEach + i);
+        auto r = svc.Execute(
+            session, "R0 = select x >= " + std::to_string(lo) + ", x <= " +
+                         std::to_string(lo + 400) + " from Boxes");
+        if (!r.ok()) failures.fetch_add(1);
+      }
+      svc.CloseSession(session);
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const service::ServiceMetrics m = svc.Metrics();
+  EXPECT_EQ(m.completed, uint64_t{kClients * kQueriesEach});
+  // Every select materializes at least one constraint store per output
+  // tuple, so engine counters drained from all workers must be visible.
+  EXPECT_GT(m.conjunctions, uint64_t{0});
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Lint: every metric name declared in src/obs/metric_names.h must be
+# documented in DESIGN.md (the "Observability" section's metric table).
+# Wired into ctest as `check_metrics_doc`; run directly from anywhere:
+#   tools/check_metrics_doc.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+names_header="$repo_root/src/obs/metric_names.h"
+design_doc="$repo_root/DESIGN.md"
+
+[[ -f "$names_header" ]] || { echo "missing $names_header" >&2; exit 1; }
+[[ -f "$design_doc" ]] || { echo "missing $design_doc" >&2; exit 1; }
+
+# Every string literal assigned to a k-constant in the header is a
+# canonical metric name.
+names="$(sed -n 's/.*inline constexpr char k[A-Za-z0-9]*\[\] = "\([^"]*\)".*/\1/p' \
+  "$names_header" | sort -u)"
+
+if [[ -z "$names" ]]; then
+  echo "no metric names parsed from $names_header — lint is broken" >&2
+  exit 1
+fi
+
+missing=0
+while IFS= read -r name; do
+  if ! grep -qF "\`$name\`" "$design_doc"; then
+    echo "undocumented metric: $name (add it to DESIGN.md's Observability table)" >&2
+    missing=1
+  fi
+done <<< "$names"
+
+if [[ "$missing" -ne 0 ]]; then
+  exit 1
+fi
+count="$(wc -l <<< "$names")"
+echo "ok: $count metric names all documented in DESIGN.md"

@@ -8,12 +8,20 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-for bench in service wal; do
+benches=(service wal trace)
+
+# Preflight every binary before running any, so a missing one fails the
+# whole recording instead of leaving a partial set of BENCH_*.json files.
+for bench in "${benches[@]}"; do
   bin="$build_dir/bench/bench_$bench"
   if [[ ! -x "$bin" ]]; then
-    echo "missing $bin — build first (cmake --build $build_dir)" >&2
+    echo "missing $bin — build first (cmake --build $build_dir); no JSON written" >&2
     exit 1
   fi
+done
+
+for bench in "${benches[@]}"; do
+  bin="$build_dir/bench/bench_$bench"
   "$bin" --json > "$repo_root/BENCH_$bench.json"
   echo "wrote BENCH_$bench.json ($(wc -l < "$repo_root/BENCH_$bench.json") results)"
 done
