@@ -18,6 +18,10 @@
 //   \trace <script|file>        EXPLAIN ANALYZE: run with per-operator spans
 //   \metrics                    query-service metrics snapshot
 //   \checkpoint                 apply pending pages + truncate the WAL
+//   \deadline <ms>|off          wall-clock budget for subsequent statements
+//   \submit <statement>         run a statement in the background (prints id)
+//   \wait <id>                  block on a background query's result
+//   \cancel <id>                cancel a queued or running query
 //   help                        syntax summary
 //   quit
 //
@@ -26,8 +30,11 @@
 // before it is acknowledged, and `\checkpoint` truncates the log once its
 // batches are applied.
 
+#include <cstdlib>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -50,9 +57,13 @@ void PrintHelp() {
   R7 = buffer-join L and P within 5 [using fid]
   R8 = k-nearest L and P k 3 [using fid]
 Shell commands: show/schema/list/load/save/plan/\trace/\metrics/\checkpoint/
-                help/quit
+                \deadline/\submit/\wait/\cancel/help/quit
   \trace <statement>   run one statement with per-operator spans
   \trace <file>        run a multi-step script file the same way
+  \deadline <ms>|off   set/clear a wall-clock budget for later statements
+  \submit <statement>  run in the background; prints a query id
+  \wait <id>           block on a background query's result
+  \cancel <id>         cancel a queued or running query by id
 )";
 }
 
@@ -136,6 +147,17 @@ void LoadInto(service::QueryService* service, const std::string& path) {
   std::cout << "ok\n";
 }
 
+/// Renders one finished query result (shared by Execute and `\wait`).
+void PrintResponse(const Result<service::QueryResponse>& response) {
+  if (!response.ok()) {
+    std::cout << response.status().ToString() << "\n";
+    return;
+  }
+  if (response->cache_hit) std::cout << "(cached)\n";
+  if (response->truncated) std::cout << "(truncated: budget reached)\n";
+  std::cout << response->relation.ToString() << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,6 +200,16 @@ int main(int argc, char** argv) {
 
   std::cout << "CCDB shell — 'help' for syntax, 'quit' to exit.\n";
 
+  // Interactive governance state: `\deadline` applies to every later
+  // statement; `\submit` parks futures here until `\wait`.
+  double deadline_ms = 0;
+  std::map<uint64_t, std::future<Result<service::QueryResponse>>> pending;
+  auto query_options = [&deadline_ms] {
+    service::QueryOptions opts;
+    if (deadline_ms > 0) opts.deadline_us = deadline_ms * 1000.0;
+    return opts;
+  };
+
   std::string line;
   while (std::cout << "cqa> " << std::flush, std::getline(std::cin, line)) {
     std::istringstream words(line);
@@ -198,6 +230,60 @@ int main(int argc, char** argv) {
         continue;
       }
       TraceScript(&service, session, rest);
+      continue;
+    }
+    if (command == "\\deadline") {
+      std::string arg;
+      words >> arg;
+      if (arg == "off") {
+        deadline_ms = 0;
+        std::cout << "deadline cleared\n";
+      } else if (double ms = std::atof(arg.c_str()); ms > 0) {
+        deadline_ms = ms;
+        std::cout << "deadline " << ms << " ms\n";
+      } else {
+        std::cout << "\\deadline needs <ms> or 'off'\n";
+      }
+      continue;
+    }
+    if (command == "\\submit") {
+      std::string rest;
+      std::getline(words, rest);
+      rest = Trim(rest);
+      if (rest.empty()) {
+        std::cout << "\\submit needs a statement\n";
+        continue;
+      }
+      auto submitted = service.Submit(session, rest, query_options());
+      if (!submitted.ok()) {
+        std::cout << submitted.status().ToString() << "\n";
+        continue;
+      }
+      pending[submitted->query_id] = std::move(submitted->future);
+      std::cout << "query " << submitted->query_id
+                << " submitted (\\wait or \\cancel by id)\n";
+      continue;
+    }
+    if (command == "\\wait" || command == "\\cancel") {
+      std::string arg;
+      words >> arg;
+      const uint64_t id = std::strtoull(arg.c_str(), nullptr, 10);
+      if (id == 0) {
+        std::cout << command << " needs a query id\n";
+        continue;
+      }
+      if (command == "\\cancel") {
+        Status s = service.Cancel(session, id);
+        std::cout << (s.ok() ? "cancel requested" : s.ToString()) << "\n";
+        continue;
+      }
+      auto it = pending.find(id);
+      if (it == pending.end()) {
+        std::cout << "no pending query " << id << "\n";
+        continue;
+      }
+      PrintResponse(it->second.get());
+      pending.erase(it);
       continue;
     }
     if (command == "\\metrics" || command == "metrics") {
@@ -243,14 +329,9 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    // Otherwise: a CQA statement, executed by the service.
-    auto response = service.Execute(session, line);
-    if (!response.ok()) {
-      std::cout << response.status().ToString() << "\n";
-      continue;
-    }
-    if (response->cache_hit) std::cout << "(cached)\n";
-    std::cout << response->relation.ToString() << "\n";
+    // Otherwise: a CQA statement, executed by the service under the
+    // shell's current \deadline (if any).
+    PrintResponse(service.Execute(session, line, query_options()));
   }
   return 0;
 }

@@ -1,6 +1,18 @@
 #include "constraint/conjunction.h"
 
+#include "obs/governance.h"
+
 namespace ccdb {
+
+namespace {
+/// Approximate heap footprint of one stored constraint: set node plus
+/// per-term map node, attribute-name string, and rational. The governance
+/// memory budget meters cumulative allocation, so a rough per-constraint
+/// estimate is enough to bound Fourier–Motzkin blowups.
+uint64_t ApproxConstraintBytes(const Constraint& c) {
+  return 64 + 96 * static_cast<uint64_t>(c.expr().terms().size());
+}
+}  // namespace
 
 Conjunction::Conjunction(const std::vector<Constraint>& constraints) {
   for (const Constraint& c : constraints) Add(c);
@@ -20,6 +32,10 @@ void Conjunction::Add(Constraint constraint) {
     constraints_.clear();
     return;
   }
+  // Governance charge: every materialized constraint counts against the
+  // query's constraint and (approximate) memory budgets — this is the
+  // meter that catches Fourier–Motzkin pairing blowups as they grow.
+  obs::GovernanceConstraintCharge(ApproxConstraintBytes(constraint));
   constraints_.insert(std::move(constraint));
 }
 

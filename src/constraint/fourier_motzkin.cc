@@ -3,7 +3,18 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/governance.h"
 #include "obs/trace.h"
+
+// Governance bail-outs: FM functions return Conjunctions by value and
+// cannot propagate a Status, so when the active query has tripped its
+// deadline / cancellation (obs::GovernanceAborting()) the loops below
+// return early with a partial — semantically WRONG — value. The contract
+// (see obs/governance.h) is that the nearest Status-returning caller
+// checks obs::CheckGovernance() before using FM output, which converts
+// the latched trip into a typed error and discards the garbage. Under
+// budget truncation (allow_partial) FM never bails: a partial result must
+// stay a sound subset, so in-flight constraint math runs to completion.
 
 namespace ccdb::fm {
 
@@ -97,6 +108,9 @@ Conjunction EliminateVariable(const Conjunction& input,
   for (const Constraint* lo : lowers) {
     const Rational& b = lo->expr().Coeff(var);  // b < 0
     for (const Constraint* hi : uppers) {
+      // The lowers×uppers pairing is THE quadratic blowup of FM; bail
+      // between pairs once the query is past its deadline / cancelled.
+      if (obs::GovernanceAborting()) return out;
       const Rational& a = hi->expr().Coeff(var);  // a > 0
       // From a·v + s <= 0 and b·v + r <= 0 derive a·r - b·s <= 0
       // (scale the upper by -b > 0 and the lower by a > 0, then add;
@@ -116,6 +130,7 @@ Conjunction Project(const Conjunction& input,
                     const std::set<std::string>& keep) {
   Conjunction current = input;
   while (true) {
+    if (obs::GovernanceAborting()) return current;
     if (current.IsKnownFalse()) return Conjunction::False();
     std::set<std::string> vars = current.Variables();
     std::string best;
@@ -137,6 +152,10 @@ Conjunction Project(const Conjunction& input,
 
 bool IsSatisfiable(const Conjunction& input) {
   Conjunction residual = Project(input, {});
+  // A governance bail leaves the projection unfinished (variables remain);
+  // answer conservatively — the caller's CheckGovernance() unwinds before
+  // the answer can select or drop a tuple.
+  if (obs::GovernanceAborting()) return true;
   // After eliminating every variable, members would be ground constraints;
   // Conjunction::Add resolves those to true/false on insertion, so the
   // residual is either known-false or empty.
@@ -176,6 +195,7 @@ Conjunction RemoveRedundant(const Conjunction& input) {
   // Greedy: try dropping each member; keep it only if the rest do not
   // entail it. Iterating over a shrinking set keeps the result equivalent.
   for (size_t i = 0; i < kept.size();) {
+    if (obs::GovernanceAborting()) break;
     Conjunction rest;
     for (size_t j = 0; j < kept.size(); ++j) {
       if (j != i) rest.Add(kept[j]);

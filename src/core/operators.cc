@@ -3,7 +3,14 @@
 #include <set>
 
 #include "constraint/fourier_motzkin.h"
+#include "obs/governance.h"
 #include "obs/trace.h"
+
+// Governance check-points: every per-tuple loop below polls
+// obs::CheckGovernance() (deadline / cancellation / hard budgets unwind
+// with a typed status; any constraint math the current iteration computed
+// past the trip is discarded with the loop), and breaks out early under
+// budget truncation so a partial result is a sound prefix subset.
 
 namespace ccdb::cqa {
 
@@ -75,6 +82,8 @@ Result<Relation> Select(const Relation& input, const Predicate& pred) {
   CCDB_RETURN_IF_ERROR(ValidatePredicate(input.schema(), pred));
   Relation out(input.schema());
   for (const Tuple& tuple : input.tuples()) {
+    CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
+    if (obs::GovernanceTruncating()) break;
     bool keep = true;
     for (const StringAtom& atom : pred.strings) {
       if (!StringAtomHolds(atom, tuple)) {
@@ -128,6 +137,8 @@ Result<Relation> Project(const Relation& input,
   }
   Relation out(schema);
   for (const Tuple& tuple : input.tuples()) {
+    CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
+    if (obs::GovernanceTruncating()) break;
     Tuple projected;
     for (const auto& [name, value] : tuple.values()) {
       if (kept.count(name)) projected.SetValue(name, value);
@@ -156,7 +167,10 @@ Result<Relation> NaturalJoin(const Relation& lhs, const Relation& rhs) {
   }
   Relation out(schema);
   for (const Tuple& left : lhs.tuples()) {
+    if (obs::GovernanceTruncating()) break;
     for (const Tuple& right : rhs.tuples()) {
+      CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
+      if (obs::GovernanceTruncating()) break;
       bool match = true;
       for (const std::string& attr : shared_relational) {
         if (!left.GetValue(attr).EqualsForQuery(right.GetValue(attr))) {
@@ -208,7 +222,9 @@ Result<Relation> Union(const Relation& lhs, const Relation& rhs) {
                                    rhs.schema().ToString());
   }
   Relation out(lhs.schema());
+  CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
   CCDB_RETURN_IF_ERROR(out.InsertAll(lhs));
+  CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
   CCDB_RETURN_IF_ERROR(out.InsertAll(rhs));
   out.Deduplicate();
   return out;
@@ -221,6 +237,8 @@ Result<Relation> Rename(const Relation& input, const std::string& from,
       input.schema().Find(from)->kind == AttributeKind::kRelational;
   Relation out(schema);
   for (const Tuple& tuple : input.tuples()) {
+    CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
+    if (obs::GovernanceTruncating()) break;
     Tuple renamed = tuple;
     if (is_relational) {
       Value value = renamed.GetValue(from);
@@ -248,9 +266,12 @@ Result<Relation> Difference(const Relation& lhs, const Relation& rhs) {
   }
   Relation out(lhs.schema());
   for (const Tuple& left : lhs.tuples()) {
+    CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
+    if (obs::GovernanceTruncating()) break;
     // Pieces of `left`'s constraint store not yet covered by rhs tuples.
     std::vector<Conjunction> pieces{left.constraints()};
     for (const Tuple& right : rhs.tuples()) {
+      CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
       // Only rhs tuples whose relational part matches can subtract.
       bool matches = true;
       for (const std::string& attr : relational_attrs) {

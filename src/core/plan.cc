@@ -6,6 +6,8 @@
 #include <set>
 #include <utility>
 
+#include "obs/governance.h"
+
 namespace ccdb::cqa {
 
 std::unique_ptr<PlanNode> PlanNode::Scan(std::string relation) {
@@ -181,6 +183,7 @@ Result<Relation> ApplyOp(const PlanNode& plan, const Database& db,
 
 /// Untraced bottom-up evaluation (the zero-overhead path).
 Result<Relation> ExecutePlain(const PlanNode& plan, const Database& db) {
+  CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
   std::vector<Relation> inputs;
   inputs.reserve(plan.children.size());
   for (const auto& child : plan.children) {
@@ -195,6 +198,7 @@ Result<Relation> ExecutePlain(const PlanNode& plan, const Database& db) {
 /// children have already run); wall time is inclusive.
 Result<Relation> ExecuteNode(const PlanNode& plan, const Database& db,
                              obs::TraceNode* trace) {
+  CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
   const auto start = std::chrono::steady_clock::now();
   std::vector<Relation> inputs;
   inputs.reserve(plan.children.size());

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "constraint/fourier_motzkin.h"
+#include "obs/governance.h"
 
 namespace ccdb {
 
@@ -40,6 +41,10 @@ Status Relation::Insert(Tuple tuple) {
   if (tuple.constraints().IsKnownFalse()) {
     return Status::OK();  // denotes the empty set; nothing to store
   }
+  // Governance charge: every stored tuple counts against the query's
+  // tuple budget (intermediate results included — quadratic joins are
+  // exactly what the budget exists to bound).
+  obs::GovernTuples(1);
   tuples_.push_back(std::move(tuple));
   return Status::OK();
 }

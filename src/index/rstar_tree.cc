@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/governance.h"
 #include "obs/trace.h"
 
 namespace ccdb {
@@ -361,6 +362,10 @@ Result<std::vector<RStarTree::Hit>> RStarTree::SearchHits(const Rect& query) {
   std::vector<Hit> hits;
   std::vector<PageId> stack{root_};
   while (!stack.empty()) {
+    // Governance check-point: index scans of a governed query unwind
+    // between node visits (mutating paths are left uninterrupted so the
+    // tree's invariants cannot be torn mid-insert).
+    CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
     PageId page = stack.back();
     stack.pop_back();
     CCDB_ASSIGN_OR_RETURN(Node node, LoadNode(page));

@@ -9,6 +9,7 @@
 #include "core/operators.h"
 #include "core/spatial.h"
 #include "lang/expr_parser.h"
+#include "obs/governance.h"
 #include "util/string_util.h"
 
 namespace ccdb::lang {
@@ -201,6 +202,7 @@ Result<std::string> ExecuteScript(const std::string& script, Database* db) {
     ++line_no;
     std::string trimmed = Trim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
+    CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
     auto step = ExecuteStatement(trimmed, db);
     if (!step.ok()) {
       return Status(step.status().code(),
@@ -236,6 +238,7 @@ Result<std::string> ExecuteScriptTraced(const std::string& script,
     ++line_no;
     std::string trimmed = Trim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
+    CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
     obs::TraceNode& span = root->children.emplace_back();
     span.label = trimmed;
     const obs::LayerCounters before = obs::ActiveSnapshot();

@@ -29,6 +29,13 @@ inline constexpr char kIndexLeafHits[] = "index.leaf_hits";
 inline constexpr char kStoragePagesRead[] = "storage.pages_read";
 inline constexpr char kStoragePoolHits[] = "storage.pool_hits";
 
+// --- Resource governance (counters) ---
+inline constexpr char kGovDeadlineHits[] = "governance.deadline_hits";
+inline constexpr char kGovBudgetTrips[] = "governance.budget_trips";
+inline constexpr char kGovCancels[] = "governance.cancels";
+inline constexpr char kGovSheds[] = "governance.sheds";
+inline constexpr char kGovTruncated[] = "governance.truncated";
+
 // --- Service view (gauges, published at snapshot time) ---
 inline constexpr char kQueueDepth[] = "queue.depth";
 inline constexpr char kQueueHighWater[] = "queue.high_water";

@@ -84,6 +84,15 @@ std::string ServiceMetrics::ToString() const {
                         : 0.0,
                 static_cast<unsigned long long>(cache_entries));
   out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "governance: %llu deadline, %llu budget, %llu cancelled, "
+                "%llu shed, %llu truncated\n",
+                static_cast<unsigned long long>(deadline_hits),
+                static_cast<unsigned long long>(budget_trips),
+                static_cast<unsigned long long>(cancels),
+                static_cast<unsigned long long>(sheds),
+                static_cast<unsigned long long>(truncated));
+  out += buf;
   std::snprintf(buf, sizeof(buf), "storage:  %llu pages read\n",
                 static_cast<unsigned long long>(pages_read));
   out += buf;

@@ -48,6 +48,12 @@ struct ServiceMetrics {
   uint64_t index_leaf_hits = 0;    ///< R*-tree leaf entries matched
   uint64_t pool_hits = 0;          ///< buffer-pool hits during queries
   uint64_t pool_misses = 0;        ///< buffer-pool misses during queries
+  // Resource governance (deadlines, budgets, cancellation, shedding).
+  uint64_t deadline_hits = 0;   ///< queries failed with kDeadlineExceeded
+  uint64_t budget_trips = 0;    ///< tuple/constraint/memory budget trips
+  uint64_t cancels = 0;         ///< queries cancelled (Cancel() or shutdown)
+  uint64_t sheds = 0;           ///< submissions refused by admission control
+  uint64_t truncated = 0;       ///< partial results returned (allow_partial)
   // Storage (0 unless the service is wired to a PageManager).
   uint64_t pages_read = 0;
   // Durability (0 unless the service is wired to a DurableStore).

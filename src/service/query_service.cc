@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <optional>
 #include <set>
@@ -80,9 +81,13 @@ struct QueryService::Session {
 /// One queued script execution.
 struct QueryService::Task {
   std::shared_ptr<Session> session;
+  SessionId owner = 0;
+  uint64_t query_id = 0;
   std::string script;
   std::promise<Result<QueryResponse>> promise;
   std::chrono::steady_clock::time_point enqueued;
+  obs::GovernanceLimits limits;
+  std::shared_ptr<obs::CancelFlag> cancel;
 };
 
 QueryService::QueryService(Database* base, ServiceOptions options)
@@ -103,6 +108,11 @@ QueryService::QueryService(Database* base, ServiceOptions options)
       index_leaf_hits_(registry_.GetCounter(obs::names::kIndexLeafHits)),
       pages_read_(registry_.GetCounter(obs::names::kStoragePagesRead)),
       pool_hits_(registry_.GetCounter(obs::names::kStoragePoolHits)),
+      gov_deadline_hits_(registry_.GetCounter(obs::names::kGovDeadlineHits)),
+      gov_budget_trips_(registry_.GetCounter(obs::names::kGovBudgetTrips)),
+      gov_cancels_(registry_.GetCounter(obs::names::kGovCancels)),
+      gov_sheds_(registry_.GetCounter(obs::names::kGovSheds)),
+      gov_truncated_(registry_.GetCounter(obs::names::kGovTruncated)),
       latency_hist_(registry_.GetHistogram(obs::names::kQueryLatencyUs)),
       fm_hist_(registry_.GetHistogram(obs::names::kQueryFmEliminations)),
       tuples_out_hist_(registry_.GetHistogram(obs::names::kQueryTuplesOut)) {
@@ -137,42 +147,129 @@ std::shared_ptr<QueryService::Session> QueryService::FindSession(
   return it == sessions_.end() ? nullptr : it->second;
 }
 
-Result<std::future<Result<QueryResponse>>> QueryService::Submit(
-    SessionId id, std::string script) {
+obs::GovernanceLimits QueryService::ResolveLimits(
+    const QueryOptions& opts) const {
+  obs::GovernanceLimits limits = options_.governance;
+  if (opts.deadline_us) limits.deadline_us = *opts.deadline_us;
+  if (opts.max_tuples) limits.max_tuples = *opts.max_tuples;
+  if (opts.max_constraints) limits.max_constraints = *opts.max_constraints;
+  if (opts.max_memory_bytes) limits.max_memory_bytes = *opts.max_memory_bytes;
+  if (opts.allow_partial) limits.allow_partial = *opts.allow_partial;
+  if (opts.trip_at_check > 0) {
+    limits.trip_at_check = opts.trip_at_check;
+    limits.check_stride = 1;  // deterministic check indices for tests
+  }
+  return limits;
+}
+
+double QueryService::EstimateInflightUsLocked() const {
+  // 1 ms prior until real latencies exist: shedding the very first query
+  // because we know nothing about it would be strictly worse than a guess.
+  double p50 = latency_.Summarize().p50_us;
+  if (p50 <= 0) p50 = 1000.0;
+  return static_cast<double>(queue_.size() + running_ + 1) * p50;
+}
+
+Result<Submission> QueryService::Submit(SessionId id, std::string script,
+                                        QueryOptions opts) {
   std::shared_ptr<Session> session = FindSession(id);
   if (!session) {
     return Status::NotFound("no session " + std::to_string(id));
   }
   auto task = std::make_unique<Task>();
   task->session = std::move(session);
+  task->owner = id;
+  task->query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
   task->script = std::move(script);
   task->enqueued = std::chrono::steady_clock::now();
-  std::future<Result<QueryResponse>> future = task->promise.get_future();
+  task->limits = ResolveLimits(opts);
+  // Every task carries a cancellation flag (the caller's, or a fresh one)
+  // so Cancel(session, query_id) works without client cooperation.
+  task->cancel = opts.cancel ? opts.cancel
+                             : std::make_shared<obs::CancelFlag>(false);
+  Submission submission;
+  submission.query_id = task->query_id;
+  submission.future = task->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {
       rejected_->Increment();
       return Status::Unavailable("service is shutting down");
     }
-    if (queue_.size() >= options_.max_queue_depth) {
+    // Admission control: a full queue always sheds; with a configured
+    // in-flight budget, shed when the backlog's estimated cost exceeds
+    // it. Either refusal carries a retry-after hint sized to the recent
+    // p50 so well-behaved clients back off proportionally to real load.
+    const bool queue_full = queue_.size() >= options_.max_queue_depth;
+    const bool over_cost =
+        options_.shed_inflight_us > 0 &&
+        EstimateInflightUsLocked() > options_.shed_inflight_us;
+    if (queue_full || over_cost) {
       rejected_->Increment();
-      return Status::Unavailable(
-          "request queue full (" + std::to_string(queue_.size()) + " of " +
-          std::to_string(options_.max_queue_depth) + " slots)");
+      gov_sheds_->Increment();
+      double p50 = latency_.Summarize().p50_us;
+      if (p50 <= 0) p50 = 1000.0;
+      const auto retry_ms = static_cast<int64_t>(
+          std::max(1.0, std::ceil(p50 / 1000.0)));
+      Status shed =
+          queue_full
+              ? Status::Unavailable(
+                    "request queue full (" + std::to_string(queue_.size()) +
+                    " of " + std::to_string(options_.max_queue_depth) +
+                    " slots)")
+              : Status::Unavailable(
+                    "estimated in-flight work exceeds shed threshold");
+      shed.WithRetryAfter(retry_ms);
+      return shed;
     }
     queue_.push_back(std::move(task));
     queue_high_water_ = std::max<uint64_t>(queue_high_water_, queue_.size());
     submitted_->Increment();
   }
   queue_cv_.notify_one();
-  return future;
+  return submission;
 }
 
 Result<QueryResponse> QueryService::Execute(SessionId id,
-                                            const std::string& script) {
-  CCDB_ASSIGN_OR_RETURN(std::future<Result<QueryResponse>> future,
-                        Submit(id, script));
-  return future.get();
+                                            const std::string& script,
+                                            QueryOptions opts) {
+  CCDB_ASSIGN_OR_RETURN(Submission submission,
+                        Submit(id, script, std::move(opts)));
+  return submission.future.get();
+}
+
+Status QueryService::Cancel(SessionId session, uint64_t query_id) {
+  std::unique_ptr<Task> queued;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if ((*it)->query_id == query_id) {
+        if ((*it)->owner != session) {
+          return Status::NotFound("query " + std::to_string(query_id) +
+                                  " does not belong to this session");
+        }
+        queued = std::move(*it);
+        queue_.erase(it);
+        break;
+      }
+    }
+    if (!queued) {
+      auto it = running_cancels_.find(query_id);
+      if (it == running_cancels_.end() || it->second.first != session) {
+        return Status::NotFound("no active query " + std::to_string(query_id));
+      }
+      // Running: raise the flag; the worker unwinds at its next
+      // governance check-point and counts the cancellation itself.
+      it->second.second->store(true, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  // Queued: fail the future right here — the worker never sees the task.
+  failed_->Increment();
+  gov_cancels_->Increment();
+  queued->promise.set_value(Status::Cancelled(
+      "query " + std::to_string(query_id) + " cancelled while queued"));
+  return Status::OK();
 }
 
 Result<TraceReport> QueryService::Trace(SessionId id,
@@ -246,19 +343,32 @@ void QueryService::WorkerLoop() {
       if (queue_.empty()) return;  // stopping, fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++running_;
+      running_cancels_[task->query_id] = {task->owner, task->cancel};
     }
-    // Statement-level spans are only worth recording if a slow query
-    // would have somewhere to publish them.
+    // Statement-level spans are worth recording if the sink could see
+    // them: via the slow-query log, or via a governance trip's trace.
+    const bool governed = task->limits.Any() || task->cancel != nullptr;
     const bool span_trace =
-        options_.trace_sink != nullptr && options_.slow_query_us > 0;
+        options_.trace_sink != nullptr &&
+        (options_.slow_query_us > 0 || governed);
     obs::TraceNode trace;
     obs::LayerCounters counters;
+    // The governance context: armed from the *enqueue* time, so queue
+    // wait counts against the deadline. Installed for every task (limits
+    // may be all-zero — then only the cancellation flag is live).
+    obs::ExecContext exec(task->limits, task->enqueued, task->cancel);
     // Exception barrier: a throw out of execution (bad_alloc, a parser
     // edge case, ...) must fail this one request, not terminate the
     // process — the worker thread stays alive for the next task.
     Result<QueryResponse> result = [&]() -> Result<QueryResponse> {
       try {
         obs::CounterScope scope;
+        obs::ExecContextScope governance(&exec);
+        // A task that spent its whole deadline in the queue fails before
+        // touching the engine.
+        exec.FullCheck();
+        if (exec.aborting()) return exec.trip_status();
         auto r = RunScript(task->session.get(), task->script,
                            span_trace ? &trace : nullptr);
         counters = scope.counters();
@@ -275,29 +385,57 @@ void QueryService::WorkerLoop() {
     latency_hist_->Record(static_cast<uint64_t>(latency_us));
     DrainCounters(counters);
     fm_hist_->Record(counters.fm_eliminations);
+    const bool truncated =
+        result.ok() && exec.budget_tripped() && !exec.aborting();
     if (result.ok()) {
       result->latency_us = latency_us;
+      result->truncated = truncated;
       completed_->Increment();
       tuples_out_hist_->Record(result->relation.size());
     } else {
       failed_->Increment();
     }
+    RecordGovernanceOutcome(exec, result.ok() ? Status::OK() : result.status(),
+                            truncated);
     const bool slow =
         options_.slow_query_us > 0 && latency_us >= options_.slow_query_us;
-    if (slow) {
-      slow_->Increment();
-      // The slow-query log: emit the full statement-level trace (empty
-      // for cache hits — the latency is still reported).
-      if (options_.trace_sink != nullptr) {
-        obs::TraceEvent event;
-        event.query = task->script;
-        event.latency_us = latency_us;
-        event.slow = true;
-        event.root = trace.children.empty() ? nullptr : &trace;
-        options_.trace_sink->Emit(event);
-      }
+    if (slow) slow_->Increment();
+    // The slow-query log doubles as the governance post-mortem: a query
+    // that tripped (deadline, budget, cancel) emits its trace alongside
+    // genuinely slow ones, so "why did this die?" has the same answer
+    // path as "why was this slow?". Cache hits leave the trace empty —
+    // the latency is still reported.
+    if ((slow || exec.tripped()) && options_.trace_sink != nullptr) {
+      obs::TraceEvent event;
+      event.query = task->script;
+      event.latency_us = latency_us;
+      event.slow = slow;
+      event.root = trace.children.empty() ? nullptr : &trace;
+      options_.trace_sink->Emit(event);
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --running_;
+      running_cancels_.erase(task->query_id);
     }
     task->promise.set_value(std::move(result));
+  }
+}
+
+void QueryService::RecordGovernanceOutcome(const obs::ExecContext& ctx,
+                                           const Status& status,
+                                           bool truncated) {
+  if (ctx.budget_tripped()) gov_budget_trips_->Increment();
+  if (truncated) gov_truncated_->Increment();
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      gov_deadline_hits_->Increment();
+      break;
+    case StatusCode::kCancelled:
+      gov_cancels_->Increment();
+      break;
+    default:
+      break;  // kResourceExhausted is covered by budget_tripped()
   }
 }
 
@@ -371,7 +509,10 @@ Result<QueryResponse> QueryService::RunScript(Session* session,
   response.step = last;
   response.relation = *final_rel;
 
-  if (cacheable) {
+  // A truncated (partial) result is a sound answer for *this* governed
+  // query, but it must never satisfy a future ungoverned one — skip the
+  // cache when any budget tripped under allow_partial.
+  if (cacheable && !obs::GovernanceTruncating()) {
     CachedResult outcome;
     outcome.final_step = last;
     for (const std::string& name : view.defined()) {
@@ -486,12 +627,24 @@ void QueryService::Resume() {
 
 void QueryService::Shutdown() {
   std::call_once(shutdown_once_, [this] {
+    std::deque<std::unique_ptr<Task>> orphaned;
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       stopping_ = true;
-      paused_ = false;  // a paused service still drains on shutdown
+      paused_ = false;
+      // Tasks already running finish; tasks still queued fail fast with a
+      // typed kCancelled so callers holding futures are never stranded
+      // (and can tell "shut down" from a query error).
+      orphaned.swap(queue_);
     }
     queue_cv_.notify_all();
+    for (std::unique_ptr<Task>& task : orphaned) {
+      failed_->Increment();
+      gov_cancels_->Increment();
+      task->promise.set_value(Status::Cancelled(
+          "query " + std::to_string(task->query_id) +
+          " cancelled: service shutting down"));
+    }
     for (std::thread& worker : workers_) {
       if (worker.joinable()) worker.join();
     }
@@ -513,6 +666,11 @@ ServiceMetrics QueryService::Metrics() const {
   m.index_leaf_hits = index_leaf_hits_->Value();
   m.pool_hits = pool_hits_->Value();
   m.pool_misses = pages_read_->Value();
+  m.deadline_hits = gov_deadline_hits_->Value();
+  m.budget_trips = gov_budget_trips_->Value();
+  m.cancels = gov_cancels_->Value();
+  m.sheds = gov_sheds_->Value();
+  m.truncated = gov_truncated_->Value();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     m.queue_depth = queue_.size();

@@ -34,12 +34,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "data/database.h"
+#include "obs/governance.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "obs/trace_sink.h"
@@ -76,6 +78,34 @@ struct ServiceOptions {
   /// Optional sink receiving slow-query traces and every explicit Trace()
   /// result. Not owned; must outlive the service.
   obs::TraceSink* trace_sink = nullptr;
+  /// Default resource governance for every query (deadline, tuple /
+  /// constraint / memory budgets, partial-result policy). Per-query
+  /// `QueryOptions` override individual fields. Zero fields = ungoverned.
+  /// The deadline covers queue wait: it is armed at Submit time.
+  obs::GovernanceLimits governance;
+  /// Overload shedding: refuse a submission (kUnavailable + retry-after
+  /// hint) when the estimated in-flight work — (queued + running + 1)
+  /// tasks × recent p50 latency (1 ms prior while no query has finished
+  /// yet) — exceeds this many microseconds. 0 disables cost-based
+  /// shedding; a saturated queue always sheds.
+  double shed_inflight_us = 0;
+};
+
+/// Per-query overrides of the service-level governance defaults, plus an
+/// optional external cancellation token.
+struct QueryOptions {
+  std::optional<double> deadline_us;
+  std::optional<uint64_t> max_tuples;
+  std::optional<uint64_t> max_constraints;
+  std::optional<uint64_t> max_memory_bytes;
+  std::optional<bool> allow_partial;
+  /// Fault injection for tests: cancel at the Nth governance check
+  /// (see obs::GovernanceLimits::trip_at_check). Also forces
+  /// check_stride = 1 so check indices are deterministic.
+  uint64_t trip_at_check = 0;
+  /// External cancellation token; the query also gets an internal one so
+  /// Cancel(session, query_id) works without supplying this.
+  std::shared_ptr<obs::CancelFlag> cancel;
 };
 
 /// A successfully executed script.
@@ -83,7 +113,16 @@ struct QueryResponse {
   std::string step;        ///< name of the final step
   Relation relation;       ///< the final step's relation
   bool cache_hit = false;  ///< served from the result cache
+  bool truncated = false;  ///< partial result: a budget tripped under
+                           ///< allow_partial (sound subset, never cached)
   double latency_us = 0;   ///< execution latency (queue wait included)
+};
+
+/// An accepted submission: the id to Cancel() by and the future that
+/// resolves when a worker finishes (or cancels) the query.
+struct Submission {
+  uint64_t query_id = 0;
+  std::future<Result<QueryResponse>> future;
 };
 
 /// The result of an explicit Trace() call — the EXPLAIN ANALYZE view.
@@ -121,15 +160,30 @@ class QueryService {
 
   // --- Query execution ---
 
-  /// Enqueues a script; the future resolves when a worker finishes it.
-  /// Fails immediately with kUnavailable when the queue is full or the
-  /// service is shutting down, and kNotFound for an unknown session.
-  Result<std::future<Result<QueryResponse>>> Submit(SessionId id,
-                                                    std::string script);
+  /// Enqueues a script; the returned future resolves when a worker
+  /// finishes it. Fails immediately with kNotFound for an unknown
+  /// session, and with kUnavailable when the service is shutting down or
+  /// admission control sheds the request (queue full, or estimated
+  /// in-flight cost above ServiceOptions::shed_inflight_us) — shed
+  /// statuses carry a `retry_after_ms()` backoff hint derived from the
+  /// recent p50 latency. `opts` overrides the service's governance
+  /// defaults for this query; its deadline is armed now, so queue wait
+  /// counts against it.
+  Result<Submission> Submit(SessionId id, std::string script,
+                            QueryOptions opts = {});
 
   /// Submit + wait. Queries within one session are serialized, so a
   /// client that alternates Execute calls sees strict program order.
-  Result<QueryResponse> Execute(SessionId id, const std::string& script);
+  Result<QueryResponse> Execute(SessionId id, const std::string& script,
+                                QueryOptions opts = {});
+
+  /// Cancels a query of `session`. A still-queued query fails its future
+  /// with kCancelled immediately; a running query's cancellation flag is
+  /// raised and it unwinds with kCancelled at its next governance
+  /// check-point (OK here means "requested", not "already stopped").
+  /// kNotFound if the id is unknown, finished, or owned by another
+  /// session.
+  Status Cancel(SessionId session, uint64_t query_id);
 
   /// Executes `script` with full tracing on the calling thread (the
   /// shell's `\trace`). Scripts in the algebra subset are compiled to one
@@ -170,8 +224,9 @@ class QueryService {
   /// Releases workers constructed with `start_paused` (no-op otherwise).
   void Resume();
 
-  /// Graceful shutdown: stop accepting, finish every queued task, join
-  /// the workers. Idempotent; also run by the destructor.
+  /// Graceful shutdown: stop accepting, fail every still-queued task with
+  /// kCancelled, let tasks already running finish, join the workers.
+  /// Idempotent; also run by the destructor.
   void Shutdown();
 
   /// Point-in-time metrics snapshot.
@@ -190,6 +245,20 @@ class QueryService {
                                   obs::TraceNode* trace = nullptr);
   std::shared_ptr<Session> FindSession(SessionId id) const;
 
+  /// Service defaults overlaid with the per-query overrides.
+  obs::GovernanceLimits ResolveLimits(const QueryOptions& opts) const;
+
+  /// Estimated microseconds of in-flight work if one more task were
+  /// admitted: (queued + running + 1) x max(recent p50, 1 ms prior).
+  /// Caller holds `queue_mu_`.
+  double EstimateInflightUsLocked() const;
+
+  /// Counts a finished governed query against the governance counters and
+  /// emits its trace to the sink when it tripped. Returns nothing; safe to
+  /// call for ungoverned queries (no-op on an OK, untripped result).
+  void RecordGovernanceOutcome(const obs::ExecContext& ctx,
+                               const Status& status, bool truncated);
+
   /// Adds a finished query's layer counters to the engine totals.
   void DrainCounters(const obs::LayerCounters& counters);
 
@@ -202,13 +271,19 @@ class QueryService {
   mutable std::shared_mutex catalog_mu_;
   ResultCache cache_;
 
-  // Task queue.
+  // Task queue. `running_` counts tasks popped but not yet finished (for
+  // admission-control cost estimates); `running_cancels_` maps in-flight
+  // query ids to their cancellation flags so Cancel() can reach them.
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::unique_ptr<Task>> queue_;
   bool stopping_ = false;
   bool paused_ = false;
   uint64_t queue_high_water_ = 0;
+  size_t running_ = 0;
+  std::map<uint64_t, std::pair<SessionId, std::shared_ptr<obs::CancelFlag>>>
+      running_cancels_;
+  std::atomic<uint64_t> next_query_id_{1};
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;
 
@@ -233,6 +308,11 @@ class QueryService {
   obs::Counter* index_leaf_hits_;
   obs::Counter* pages_read_;
   obs::Counter* pool_hits_;
+  obs::Counter* gov_deadline_hits_;
+  obs::Counter* gov_budget_trips_;
+  obs::Counter* gov_cancels_;
+  obs::Counter* gov_sheds_;
+  obs::Counter* gov_truncated_;
   obs::Histogram* latency_hist_;
   obs::Histogram* fm_hist_;
   obs::Histogram* tuples_out_hist_;

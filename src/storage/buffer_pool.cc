@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/governance.h"
 #include "obs/trace.h"
 
 namespace ccdb {
@@ -18,9 +19,15 @@ BufferPool::BufferPool(PageManager* disk, size_t capacity)
 }
 
 Status BufferPool::Get(PageId id, Page* out) {
+  // Governance check-point: a governed query's page reads stop at its
+  // deadline / cancellation (writes are never interrupted — a torn batch
+  // is worse than a late one). Each miss also charges the page image
+  // against the query's memory budget.
+  CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
   if (capacity_ == 0) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     obs::NotePageRead();
+    obs::GovernBytes(kPageSize);
     return disk_->Read(id, out);
   }
   Shard& shard = ShardFor(id);
@@ -35,6 +42,7 @@ Status BufferPool::Get(PageId id, Page* out) {
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   obs::NotePageRead();
+  obs::GovernBytes(kPageSize);
   CCDB_RETURN_IF_ERROR(disk_->Read(id, out));
   shard.InsertCached(id, *out);
   return Status::OK();

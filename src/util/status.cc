@@ -24,6 +24,12 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -33,6 +39,9 @@ std::string Status::ToString() const {
   std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
+  if (retry_after_ms_ > 0) {
+    out += " (retry after " + std::to_string(retry_after_ms_) + " ms)";
+  }
   return out;
 }
 

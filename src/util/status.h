@@ -29,6 +29,9 @@ enum class StatusCode {
   kIoError,           ///< simulated-storage failure
   kUnavailable,       ///< transient refusal (queue full, shutting down)
   kInternal,          ///< invariant violation; indicates a CCDB bug
+  kCancelled,          ///< caller (or shutdown) cancelled the operation
+  kDeadlineExceeded,   ///< wall-clock deadline expired before completion
+  kResourceExhausted,  ///< a tuple/constraint/memory budget was exceeded
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
@@ -79,17 +82,38 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// "OK" or "<CodeName>: <message>".
+  /// Attaches a machine-readable backoff hint (overload shedding: how
+  /// long a client should wait before retrying). Returns *this so a
+  /// factory call can be decorated inline.
+  Status& WithRetryAfter(int64_t ms) {
+    retry_after_ms_ = ms;
+    return *this;
+  }
+
+  /// Backoff hint in milliseconds; 0 when none was attached.
+  int64_t retry_after_ms() const { return retry_after_ms_; }
+
+  /// "OK" or "<CodeName>: <message>" (plus the retry hint when present).
   std::string ToString() const;
 
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  int64_t retry_after_ms_ = 0;
 };
 
 /// Outcome of a fallible operation that yields a `T` on success.

@@ -154,18 +154,21 @@ TEST(QueryServiceTest, QueueOverflowRejectsWithUnavailable) {
   auto f3 = service.Submit(id, "R0 = select x >= 2 from Boxes");
   ASSERT_FALSE(f3.ok());
   EXPECT_EQ(f3.status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(f3.status().retry_after_ms(), 0)
+      << "a shed submission must carry a backoff hint";
 
   service.Resume();
-  EXPECT_TRUE(f1->get().ok());
-  EXPECT_TRUE(f2->get().ok());
+  EXPECT_TRUE(f1->future.get().ok());
+  EXPECT_TRUE(f2->future.get().ok());
 
   ServiceMetrics m = service.Metrics();
   EXPECT_EQ(m.submitted, 2u);
   EXPECT_EQ(m.rejected, 1u);
+  EXPECT_EQ(m.sheds, 1u);
   EXPECT_EQ(m.queue_high_water, 2u);
 }
 
-TEST(QueryServiceTest, ShutdownDrainsInFlightQueries) {
+TEST(QueryServiceTest, ShutdownCancelsQueuedQueriesWithTypedStatus) {
   Database base;
   ASSERT_TRUE(base.Create("Boxes", BoxRelation(20, 3)).ok());
   ServiceOptions options;
@@ -180,14 +183,19 @@ TEST(QueryServiceTest, ShutdownDrainsInFlightQueries) {
     auto f = service.Submit(
         id, "R0 = select x >= " + std::to_string(i) + " from Boxes");
     ASSERT_TRUE(f.ok());
-    futures.push_back(std::move(*f));
+    futures.push_back(std::move(f->future));
   }
 
-  service.Shutdown();  // must finish the queued work, not drop it
+  // Queued-but-not-running work is cancelled, not silently dropped: every
+  // caller's future resolves with a typed kCancelled.
+  service.Shutdown();
   for (auto& f : futures) {
     auto response = f.get();
-    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_FALSE(response.ok());
+    EXPECT_EQ(response.status().code(), StatusCode::kCancelled)
+        << response.status().ToString();
   }
+  EXPECT_EQ(service.Metrics().cancels, 3u);
 
   auto after = service.Submit(id, "R0 = select x >= 9 from Boxes");
   ASSERT_FALSE(after.ok());

@@ -22,6 +22,13 @@ if [[ -z "$names" ]]; then
   exit 1
 fi
 
+# Canary: the governance family must exist (a rename or deletion in
+# metric_names.h would otherwise silently shrink the linted set).
+if ! grep -q '^governance\.' <<< "$names"; then
+  echo "no governance.* metrics parsed from $names_header — family missing?" >&2
+  exit 1
+fi
+
 missing=0
 while IFS= read -r name; do
   if ! grep -qF "\`$name\`" "$design_doc"; then
