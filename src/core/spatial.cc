@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "index/strategy.h"
+#include "obs/governance.h"
 
 namespace ccdb::cqa {
 
@@ -136,6 +137,11 @@ Result<Relation> BufferJoin(const FeatureSet& lhs, const FeatureSet& rhs,
 
   if (!options.use_index) {
     for (const Feature& left : lhs.features()) {
+      CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
+      // Buffer join is monotone — each emitted pair holds regardless of
+      // which other features exist — so truncating mid-query still
+      // leaves a sound subset.
+      if (obs::GovernanceTruncating()) break;
       for (const Feature& right : rhs.features()) {
         CCDB_RETURN_IF_ERROR(refine_and_emit(left, right));
       }
@@ -150,6 +156,8 @@ Result<Relation> BufferJoin(const FeatureSet& lhs, const FeatureSet& rhs,
   // any feature within distance d must intersect the grown box.
   const double grow = Rect::RoundUp(distance);
   for (const Feature& left : lhs.features()) {
+    CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
+    if (obs::GovernanceTruncating()) break;
     Rect window = FeatureRect(left.bounds);
     for (int d = 0; d < 2; ++d) {
       window.lo[d] -= grow;
@@ -169,6 +177,13 @@ Result<Relation> BufferJoin(const FeatureSet& lhs, const FeatureSet& rhs,
 Result<Relation> KNearest(const FeatureSet& lhs, const FeatureSet& rhs,
                           size_t k, const SpatialOptions& options) {
   Relation out(PairSchema(options));
+  // k-nearest is non-monotone: over a truncated (subset) rhs the k slots
+  // fill with farther features whose pairs are NOT in the true answer, so
+  // a query already truncating gets the empty relation — the only sound
+  // subset. A trip latching mid-query (from this operator's own output
+  // charges) only stops the outer loop below: pairs already emitted were
+  // ranked against the full rhs and remain sound.
+  if (obs::GovernanceTruncating()) return out;
   if (k == 0 || rhs.size() == 0) return out;
 
   // (distance², id) ordering with ID tiebreak.
@@ -195,6 +210,8 @@ Result<Relation> KNearest(const FeatureSet& lhs, const FeatureSet& rhs,
 
   if (!options.use_index) {
     for (const Feature& left : lhs.features()) {
+      CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
+      if (obs::GovernanceTruncating()) break;
       std::vector<std::pair<Rational, const Feature*>> candidates;
       candidates.reserve(rhs.size());
       for (const Feature& right : rhs.features()) {
@@ -210,6 +227,8 @@ Result<Relation> KNearest(const FeatureSet& lhs, const FeatureSet& rhs,
   CCDB_ASSIGN_OR_RETURN(FeatureIndex index,
                         FeatureIndex::Build(rhs.features(), options.pool));
   for (const Feature& left : lhs.features()) {
+    CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
+    if (obs::GovernanceTruncating()) break;
     // Expanding-window search: radius doubles until at least k candidates
     // are *confirmed* within the radius — then no unseen feature can be
     // closer than the k found (its bounding box would intersect the

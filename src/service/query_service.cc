@@ -88,6 +88,9 @@ struct QueryService::Task {
   std::chrono::steady_clock::time_point enqueued;
   obs::GovernanceLimits limits;
   std::shared_ptr<obs::CancelFlag> cancel;
+  /// True when the submitter supplied its own cancellation flag (as
+  /// opposed to the service-created one every task carries for Cancel()).
+  bool externally_cancellable = false;
 };
 
 QueryService::QueryService(Database* base, ServiceOptions options)
@@ -185,6 +188,7 @@ Result<Submission> QueryService::Submit(SessionId id, std::string script,
   task->limits = ResolveLimits(opts);
   // Every task carries a cancellation flag (the caller's, or a fresh one)
   // so Cancel(session, query_id) works without client cooperation.
+  task->externally_cancellable = opts.cancel != nullptr;
   task->cancel = opts.cancel ? opts.cancel
                              : std::make_shared<obs::CancelFlag>(false);
   Submission submission;
@@ -348,7 +352,10 @@ void QueryService::WorkerLoop() {
     }
     // Statement-level spans are worth recording if the sink could see
     // them: via the slow-query log, or via a governance trip's trace.
-    const bool governed = task->limits.Any() || task->cancel != nullptr;
+    // "Governed" means actual governance intent — limits or a caller-held
+    // cancellation flag — not the service-created flag every task carries,
+    // so ungoverned queries never pay the span-recording overhead.
+    const bool governed = task->limits.Any() || task->externally_cancellable;
     const bool span_trace =
         options_.trace_sink != nullptr &&
         (options_.slow_query_us > 0 || governed);
@@ -372,6 +379,11 @@ void QueryService::WorkerLoop() {
         auto r = RunScript(task->session.get(), task->script,
                            span_trace ? &trace : nullptr);
         counters = scope.counters();
+        // Backstop over RunScript's trailing check-point: once an abort
+        // has latched, FM helpers bail early and return semantically
+        // wrong partial values, so an OK result here must be discarded
+        // in favor of the typed trip status — it must never escape.
+        if (r.ok() && exec.aborting()) return exec.trip_status();
         return r;
       } catch (const std::exception& e) {
         return Status::Internal(std::string("uncaught exception in worker: ") +
@@ -503,6 +515,12 @@ Result<QueryResponse> QueryService::RunScript(Session* session,
   } else {
     CCDB_ASSIGN_OR_RETURN(last, lang::ExecuteScript(canon, &view));
   }
+  // A trip can latch during the final statement's last operator iteration
+  // — after that iteration's top-of-loop check-point — via a charge. FM
+  // helpers bail early once aborting is latched and return semantically
+  // wrong partial values, so convert the trip into its typed error here,
+  // before the result could be returned as OK or seed the cache.
+  CCDB_RETURN_IF_ERROR(obs::CheckGovernance());
   CCDB_ASSIGN_OR_RETURN(const Relation* final_rel, session->steps.Get(last));
 
   QueryResponse response;

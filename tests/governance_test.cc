@@ -14,10 +14,12 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "data/workload.h"
+#include "obs/trace_sink.h"
 #include "service/query_service.h"
 
 namespace ccdb {
@@ -180,6 +182,67 @@ TEST(GovernanceServiceTest, TupleBudgetFailsWithResourceExhausted) {
   EXPECT_EQ(response.status().code(), StatusCode::kResourceExhausted)
       << response.status().ToString();
   EXPECT_EQ(service.Metrics().budget_trips, 1u);
+}
+
+TEST(GovernanceServiceTest, BudgetTripOnFinalChargeStillFails) {
+  Database base;
+  ASSERT_TRUE(base.Create("Boxes", BoxRelation(100, 3)).ok());
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 16;
+  service::QueryService service(&base, options);
+  service::SessionId id = service.OpenSession();
+
+  // max_tuples = 99 latches the abort on the *last* Insert of the only
+  // statement — after that iteration's top-of-loop check-point, with no
+  // later loop iteration to observe it. The trip must still surface as
+  // the typed error, never escape as an OK result.
+  const std::string script = "R0 = select x >= 0 from Boxes";
+  service::QueryOptions opts;
+  opts.max_tuples = 99;
+  auto response = service.Execute(id, script, opts);
+  ASSERT_FALSE(response.ok())
+      << "a trip latched on the final charge escaped as OK";
+  EXPECT_EQ(response.status().code(), StatusCode::kResourceExhausted)
+      << response.status().ToString();
+  EXPECT_EQ(service.Metrics().budget_trips, 1u);
+
+  // ... and the tripped run must not have seeded the result cache: the
+  // ungoverned rerun misses and computes the full answer.
+  auto full = service.Execute(id, script);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_FALSE(full->cache_hit)
+      << "a tripped run must never seed the result cache";
+  EXPECT_EQ(full->relation.size(), 100u);
+}
+
+TEST(GovernanceServiceTest, TrippedGovernedQueryEmitsTraceWithoutSlowLog) {
+  Database base;
+  ASSERT_TRUE(base.Create("Boxes", BoxRelation(30, 3)).ok());
+  std::ostringstream jsonl;
+  obs::TraceSink sink(&jsonl);
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 0;
+  options.trace_sink = &sink;
+  options.slow_query_us = 0;  // a governance trip is the only emit path
+  service::QueryService service(&base, options);
+  service::SessionId id = service.OpenSession();
+
+  // Governed (a budget is set): statement spans are recorded, and the
+  // trip emits them to the sink even with the slow-query log disabled.
+  service::QueryOptions opts;
+  opts.max_tuples = 10;
+  auto tripped = service.Execute(id, "R0 = select x >= 0 from Boxes", opts);
+  ASSERT_FALSE(tripped.ok());
+  EXPECT_EQ(sink.events(), 1u) << "a governed trip must reach the sink";
+  EXPECT_NE(jsonl.str().find("\"trace\":"), std::string::npos)
+      << "governed queries must carry statement spans: " << jsonl.str();
+
+  // An ungoverned success emits nothing (and pays no span recording).
+  auto fine = service.Execute(id, "R1 = select x >= 0, x <= 5 from Boxes");
+  ASSERT_TRUE(fine.ok()) << fine.status().ToString();
+  EXPECT_EQ(sink.events(), 1u);
 }
 
 TEST(GovernanceServiceTest, AllowPartialReturnsTruncatedSubsetUncached) {

@@ -1,10 +1,12 @@
 #include "core/spatial.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include <gtest/gtest.h>
 
+#include "obs/governance.h"
 #include "util/random.h"
 
 namespace ccdb::cqa {
@@ -301,6 +303,80 @@ TEST(KNearestTest, CustomOutputAttributeNames) {
   ASSERT_TRUE(out.ok());
   EXPECT_TRUE(out->schema().Has("land"));
   EXPECT_TRUE(out->schema().Has("nearest"));
+}
+
+// --- Governance: truncation soundness ------------------------------------
+
+TEST(SpatialGovernanceTest, TruncatingQueryGetsEmptyKNearest) {
+  Relation probes(SpatialSchema());
+  AddBoxFeature(&probes, "p1", 0, 1, 0, 1);
+  AddBoxFeature(&probes, "p2", 10, 11, 0, 1);
+  Relation targets(SpatialSchema());
+  AddBoxFeature(&targets, "t1", 2, 3, 0, 1);
+  AddBoxFeature(&targets, "t2", 12, 13, 0, 1);
+  auto lhs = FeatureSet::FromRelation(probes);
+  auto rhs = FeatureSet::FromRelation(targets);
+  ASSERT_TRUE(lhs.ok() && rhs.ok());
+
+  for (bool use_index : {false, true}) {
+    SpatialOptions options;
+    options.use_index = use_index;
+    obs::GovernanceLimits limits;
+    limits.max_tuples = 1;
+    limits.allow_partial = true;
+    obs::ExecContext ctx(limits, std::chrono::steady_clock::now());
+    obs::ExecContextScope scope(&ctx);
+    ctx.ChargeTuples(2);  // an upstream operator tripped the budget
+    ASSERT_TRUE(ctx.truncating());
+
+    // k-nearest over a truncated (subset) input is non-monotone: its k
+    // slots would fill with farther features whose pairs are not in the
+    // true answer. The only sound subset is the empty one.
+    auto pairs = KNearest(*lhs, *rhs, 1, options);
+    ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+    EXPECT_EQ(pairs->size(), 0u) << "use_index=" << use_index;
+
+    // Buffer-join is monotone: it just stops consuming probe features.
+    auto joined = BufferJoin(*lhs, *rhs, Rational(5), options);
+    ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+    EXPECT_EQ(joined->size(), 0u) << "use_index=" << use_index;
+  }
+}
+
+TEST(SpatialGovernanceTest, MidQueryTruncationKeepsSoundKNearestPrefix) {
+  // Four probes, each with an unambiguous nearest target.
+  Relation probes(SpatialSchema());
+  AddBoxFeature(&probes, "p1", 0, 1, 0, 1);
+  AddBoxFeature(&probes, "p2", 10, 11, 0, 1);
+  AddBoxFeature(&probes, "p3", 20, 21, 0, 1);
+  AddBoxFeature(&probes, "p4", 30, 31, 0, 1);
+  Relation targets(SpatialSchema());
+  AddBoxFeature(&targets, "t1", 1, 2, 0, 1);
+  AddBoxFeature(&targets, "t2", 11, 12, 0, 1);
+  AddBoxFeature(&targets, "t3", 21, 22, 0, 1);
+  AddBoxFeature(&targets, "t4", 31, 32, 0, 1);
+  auto lhs = FeatureSet::FromRelation(probes);
+  auto rhs = FeatureSet::FromRelation(targets);
+  ASSERT_TRUE(lhs.ok() && rhs.ok());
+
+  SpatialOptions options;
+  options.use_index = false;
+  obs::GovernanceLimits limits;
+  limits.max_tuples = 2;  // latches while emitting the third pair
+  limits.allow_partial = true;
+  obs::ExecContext ctx(limits, std::chrono::steady_clock::now());
+  obs::ExecContextScope scope(&ctx);
+
+  auto pairs = KNearest(*lhs, *rhs, 1, options);
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  EXPECT_TRUE(ctx.truncating());
+  // Probes processed before the trip keep their true nearest neighbor
+  // (ranked against the full rhs); later probes are dropped whole, so
+  // every emitted pair is in the true answer.
+  auto got = PairsOf(*pairs);
+  std::set<std::pair<std::string, std::string>> want = {
+      {"p1", "t1"}, {"p2", "t2"}, {"p3", "t3"}};
+  EXPECT_EQ(got, want);
 }
 
 }  // namespace
