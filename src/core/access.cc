@@ -151,15 +151,21 @@ Result<Relation> StoredRelation::ScanSelect(const BoxQuery& query) {
 
 Result<Relation> StoredRelation::Materialize() {
   Relation out(schema_);
+  // A record that fails to decode or insert must fail the whole
+  // materialization: silently skipping it would return a truncated
+  // relation as if it were the full answer (unsound under closure).
+  Status inner = Status::OK();
   CCDB_RETURN_IF_ERROR(
       heap_->Scan([&](RecordId, const std::vector<uint8_t>& bytes) {
         auto tuple = DeserializeTuple(bytes);
-        if (tuple.ok()) {
-          Status s = out.Insert(std::move(tuple).value());
-          (void)s;
+        if (!tuple.ok()) {
+          inner = tuple.status();
+          return false;
         }
-        return true;
+        inner = out.Insert(std::move(tuple).value());
+        return inner.ok();
       }));
+  CCDB_RETURN_IF_ERROR(inner);
   return out;
 }
 

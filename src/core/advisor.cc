@@ -1,6 +1,7 @@
 #include "core/advisor.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "constraint/independence.h"
 #include "storage/serde.h"
@@ -54,7 +55,8 @@ class JointReplayer final : public Replayer {
       : pool_(&disk_, 0), index_(&pool_, domain), outliers_(outliers) {
     for (size_t i = 0; i < keys.size(); ++i) {
       Status s = index_.Insert(keys[i], i);
-      (void)s;
+      assert(s.ok());
+      IgnoreError(s);  // in-memory replay disk: inserts cannot fail
     }
   }
   Result<uint64_t> Cost(const BoxQuery& query) override {
@@ -76,7 +78,8 @@ class SeparateReplayer final : public Replayer {
       : pool_(&disk_, 0), index_(&pool_), outliers_(outliers) {
     for (size_t i = 0; i < keys.size(); ++i) {
       Status s = index_.Insert(keys[i], i);
-      (void)s;
+      assert(s.ok());
+      IgnoreError(s);  // in-memory replay disk: inserts cannot fail
     }
   }
   Result<uint64_t> Cost(const BoxQuery& query) override {
@@ -104,7 +107,8 @@ class SingleAxisReplayer final : public Replayer {
     for (size_t i = 0; i < keys.size(); ++i) {
       Status s = tree_.Insert(
           Rect::Make1D(keys[i].lo[axis], keys[i].hi[axis]), i);
-      (void)s;
+      assert(s.ok());
+      IgnoreError(s);  // in-memory replay disk: inserts cannot fail
     }
   }
   Result<uint64_t> Cost(const BoxQuery& query) override {

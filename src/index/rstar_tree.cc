@@ -48,7 +48,7 @@ RStarTree::RStarTree(BufferPool* pool, int dims) : pool_(pool), dims_(dims) {
   Node empty_root;
   Status s = StoreNode(root_, empty_root);
   assert(s.ok());
-  (void)s;
+  IgnoreError(s);  // storing to a freshly allocated page cannot fail
 }
 
 Result<RStarTree::Node> RStarTree::LoadNode(PageId id) {

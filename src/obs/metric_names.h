@@ -6,9 +6,9 @@
 ///
 /// Every metric published into a `MetricsRegistry` is declared here and
 /// documented in DESIGN.md ("Observability" — metric table);
-/// `tools/check_metrics_doc.sh` (wired into ctest) fails the build when a
-/// name below is missing from DESIGN.md, so this header is the single
-/// source of truth the lint greps.
+/// `tools/ccdb_lint.py` (wired into ctest) fails when a name below is
+/// missing from DESIGN.md or is never emitted anywhere in `src/`, so this
+/// header is the single source of truth the lint greps.
 
 namespace ccdb::obs::names {
 

@@ -84,21 +84,21 @@ std::string Histogram::Snapshot::ToString() const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, uint64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_[name] = value;
 }
 
@@ -111,7 +111,7 @@ uint64_t MetricsRegistry::Snapshot::Value(const std::string& name) const {
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   Snapshot out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, counter] : counters_) {
     out.values.emplace_back(name, counter->Value());
   }

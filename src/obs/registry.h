@@ -13,18 +13,19 @@
 /// writers (counters are summed with relaxed loads — each value is exact
 /// for quiesced writers, monotone-approximate while racing).
 ///
-/// Every metric name must be declared in `obs/metric_names.h` and
-/// documented in DESIGN.md ("Observability"); `tools/check_metrics_doc.sh`
-/// (a ctest) enforces the latter.
+/// Every metric name must be declared in `obs/metric_names.h`, emitted
+/// somewhere in `src/`, and documented in DESIGN.md ("Observability");
+/// `tools/ccdb_lint.py` (a ctest) enforces all three.
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace ccdb::obs {
 
@@ -110,10 +111,14 @@ class MetricsRegistry {
   std::string ToString() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, uint64_t> gauges_;
+  // The maps are guarded; the Counter/Histogram objects they own are
+  // internally atomic, so handles returned by Get* are written lock-free.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CCDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CCDB_GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> gauges_ CCDB_GUARDED_BY(mu_);
 };
 
 }  // namespace ccdb::obs

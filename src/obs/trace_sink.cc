@@ -15,14 +15,14 @@ void TraceSink::Emit(const TraceEvent& event) {
     line += event.root->ToJson();
   }
   line += '}';
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   *out_ << line << '\n';
   out_->flush();
   ++events_;
 }
 
 uint64_t TraceSink::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 

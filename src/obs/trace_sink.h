@@ -12,11 +12,11 @@
 /// flushed per event, so concurrent workers never interleave lines.
 
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 
 #include "obs/trace.h"
+#include "util/mutex.h"
 
 namespace ccdb::obs {
 
@@ -41,9 +41,10 @@ class TraceSink {
   uint64_t events() const;
 
  private:
-  mutable std::mutex mu_;
-  std::ostream* out_;
-  uint64_t events_ = 0;
+  mutable Mutex mu_;
+  std::ostream* const out_;  // pointer fixed at construction...
+  // ...but the stream itself is written only under mu_.
+  uint64_t events_ CCDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ccdb::obs

@@ -16,7 +16,7 @@ double NearestRankPercentile(std::vector<double> samples, double fraction) {
 }
 
 void LatencyRecorder::Record(double micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0 || micros < min_) min_ = micros;
   sum_ += micros;
   if (window_.size() < kWindow) {
@@ -28,7 +28,7 @@ void LatencyRecorder::Record(double micros) {
 }
 
 LatencyRecorder::Summary LatencyRecorder::Summarize() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Summary out;
   out.count = count_;
   if (count_ == 0) return out;

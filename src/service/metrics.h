@@ -10,11 +10,11 @@
 /// fields.
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/registry.h"
+#include "util/mutex.h"
 
 namespace ccdb::service {
 
@@ -101,11 +101,11 @@ class LatencyRecorder {
   Summary Summarize() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> window_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
+  mutable Mutex mu_;
+  std::vector<double> window_ CCDB_GUARDED_BY(mu_);
+  uint64_t count_ CCDB_GUARDED_BY(mu_) = 0;
+  double sum_ CCDB_GUARDED_BY(mu_) = 0;
+  double min_ CCDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ccdb::service

@@ -5,7 +5,7 @@ namespace ccdb::service {
 std::shared_ptr<const CachedResult> ResultCache::Lookup(
     const std::string& key) {
   if (!enabled()) return nullptr;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -22,7 +22,7 @@ void ResultCache::Insert(const std::string& key, CachedResult value) {
   // Build the shared entry before taking the lock: the deep move/copy of
   // the step relations must not happen inside the critical section.
   auto entry = std::make_shared<const CachedResult>(std::move(value));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(entry);
@@ -39,13 +39,13 @@ void ResultCache::Insert(const std::string& key, CachedResult value) {
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats out;
   out.hits = hits_;
   out.misses = misses_;

@@ -16,13 +16,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "data/relation.h"
+#include "util/mutex.h"
 
 namespace ccdb::service {
 
@@ -69,13 +69,14 @@ class ResultCache {
  private:
   using Entry = std::pair<std::string, std::shared_ptr<const CachedResult>>;
 
-  mutable std::mutex mu_;
-  size_t capacity_;
+  mutable Mutex mu_;
+  const size_t capacity_;  // immutable after construction; read off-lock
   // LRU list: front = most recent. Map gives O(1) lookup into the list.
-  std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::list<Entry> lru_ CCDB_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      CCDB_GUARDED_BY(mu_);
+  uint64_t hits_ CCDB_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ CCDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ccdb::service

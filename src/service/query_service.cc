@@ -74,8 +74,8 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
 /// A session: a private step catalog plus the mutex that serializes the
 /// session's queries (different sessions run in parallel).
 struct QueryService::Session {
-  std::mutex mu;
-  Database steps;
+  Mutex mu;
+  Database steps CCDB_GUARDED_BY(mu);
 };
 
 /// One queued script execution.
@@ -129,14 +129,14 @@ QueryService::QueryService(Database* base, ServiceOptions options)
 QueryService::~QueryService() { Shutdown(); }
 
 SessionId QueryService::OpenSession() {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   SessionId id = next_session_++;
   sessions_[id] = std::make_shared<Session>();
   return id;
 }
 
 Status QueryService::CloseSession(SessionId id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   if (sessions_.erase(id) == 0) {
     return Status::NotFound("no session " + std::to_string(id));
   }
@@ -145,7 +145,7 @@ Status QueryService::CloseSession(SessionId id) {
 
 std::shared_ptr<QueryService::Session> QueryService::FindSession(
     SessionId id) const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -195,7 +195,7 @@ Result<Submission> QueryService::Submit(SessionId id, std::string script,
   submission.query_id = task->query_id;
   submission.future = task->promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (stopping_) {
       rejected_->Increment();
       return Status::Unavailable("service is shutting down");
@@ -230,7 +230,7 @@ Result<Submission> QueryService::Submit(SessionId id, std::string script,
     queue_high_water_ = std::max<uint64_t>(queue_high_water_, queue_.size());
     submitted_->Increment();
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return submission;
 }
 
@@ -245,7 +245,7 @@ Result<QueryResponse> QueryService::Execute(SessionId id,
 Status QueryService::Cancel(SessionId session, uint64_t query_id) {
   std::unique_ptr<Task> queued;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if ((*it)->query_id == query_id) {
         if ((*it)->owner != session) {
@@ -284,8 +284,8 @@ Result<TraceReport> QueryService::Trace(SessionId id,
   }
   CCDB_ASSIGN_OR_RETURN(std::string canon, lang::CanonicalizeScript(script));
 
-  std::lock_guard<std::mutex> session_lock(session->mu);
-  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+  MutexLock session_lock(session->mu);
+  ReaderLock catalog_lock(catalog_mu_);
   SessionView view(base_, &session->steps);
 
   TraceReport report;
@@ -340,10 +340,14 @@ void QueryService::WorkerLoop() {
   for (;;) {
     std::unique_ptr<Task> task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return (!paused_ && !queue_.empty()) || (stopping_ && queue_.empty());
-      });
+      MutexLock lock(queue_mu_);
+      // Predicate loop in the annotated caller (not a lambda handed to the
+      // cv) so the guarded reads stay visible to the thread-safety
+      // analysis.
+      while (!((!paused_ && !queue_.empty()) ||
+               (stopping_ && queue_.empty()))) {
+        queue_cv_.Wait(queue_mu_);
+      }
       if (queue_.empty()) return;  // stopping, fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -426,7 +430,7 @@ void QueryService::WorkerLoop() {
       options_.trace_sink->Emit(event);
     }
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       --running_;
       running_cancels_.erase(task->query_id);
     }
@@ -469,8 +473,8 @@ Result<QueryResponse> QueryService::RunScript(Session* session,
   CCDB_ASSIGN_OR_RETURN(std::vector<std::string> referenced,
                         lang::ScriptInputs(canon));
 
-  std::lock_guard<std::mutex> session_lock(session->mu);
-  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+  MutexLock session_lock(session->mu);
+  ReaderLock catalog_lock(catalog_mu_);
 
   // Cache key: canonical text + versioned base inputs. A script that reads
   // a session step is uncacheable (its inputs are not versioned catalog
@@ -549,12 +553,13 @@ Status QueryService::CommitBaseLocked() {
 
 Status QueryService::CreateRelation(const std::string& name,
                                     Relation relation) {
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterLock lock(catalog_mu_);
   CCDB_RETURN_IF_ERROR(base_->Create(name, std::move(relation)));
   Status committed = CommitBaseLocked();
   if (!committed.ok()) {
-    // The write was never acknowledged — undo it so memory matches disk.
-    (void)base_->Drop(name);
+    // The write was never acknowledged — undo it so memory matches disk
+    // (the rollback of a never-created name cannot fail meaningfully).
+    IgnoreError(base_->Drop(name));
     return committed;
   }
   return Status::OK();
@@ -562,7 +567,7 @@ Status QueryService::CreateRelation(const std::string& name,
 
 Status QueryService::ReplaceRelation(const std::string& name,
                                      Relation relation) {
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterLock lock(catalog_mu_);
   std::optional<Relation> previous;
   if (auto old = base_->Get(name); old.ok()) previous = **old;
   base_->CreateOrReplace(name, std::move(relation));
@@ -571,7 +576,7 @@ Status QueryService::ReplaceRelation(const std::string& name,
     if (previous.has_value()) {
       base_->CreateOrReplace(name, std::move(*previous));
     } else {
-      (void)base_->Drop(name);
+      IgnoreError(base_->Drop(name));
     }
     return committed;
   }
@@ -579,7 +584,7 @@ Status QueryService::ReplaceRelation(const std::string& name,
 }
 
 Status QueryService::DropRelation(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterLock lock(catalog_mu_);
   std::optional<Relation> previous;
   if (auto old = base_->Get(name); old.ok()) previous = **old;
   CCDB_RETURN_IF_ERROR(base_->Drop(name));
@@ -594,7 +599,7 @@ Status QueryService::DropRelation(const std::string& name) {
 }
 
 Status QueryService::Checkpoint() {
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterLock lock(catalog_mu_);
   if (options_.store == nullptr) {
     return Status::Unavailable("service has no durable store attached");
   }
@@ -607,10 +612,10 @@ Result<Relation> QueryService::GetRelation(SessionId id,
   if (!session) {
     return Status::NotFound("no session " + std::to_string(id));
   }
-  std::lock_guard<std::mutex> session_lock(session->mu);
+  MutexLock session_lock(session->mu);
   auto step = session->steps.Get(name);
   if (step.ok()) return **step;
-  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+  ReaderLock catalog_lock(catalog_mu_);
   CCDB_ASSIGN_OR_RETURN(const Relation* relation, base_->Get(name));
   return *relation;
 }
@@ -618,11 +623,11 @@ Result<Relation> QueryService::GetRelation(SessionId id,
 std::vector<std::string> QueryService::VisibleNames(SessionId id) const {
   std::set<std::string> names;
   {
-    std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+    ReaderLock catalog_lock(catalog_mu_);
     for (const std::string& name : base_->Names()) names.insert(name);
   }
   if (std::shared_ptr<Session> session = FindSession(id)) {
-    std::lock_guard<std::mutex> session_lock(session->mu);
+    MutexLock session_lock(session->mu);
     for (const std::string& name : session->steps.Names()) {
       names.insert(name);
     }
@@ -631,23 +636,23 @@ std::vector<std::string> QueryService::VisibleNames(SessionId id) const {
 }
 
 Database QueryService::CloneBase() const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderLock lock(catalog_mu_);
   return *base_;
 }
 
 void QueryService::Resume() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     paused_ = false;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 void QueryService::Shutdown() {
   std::call_once(shutdown_once_, [this] {
     std::deque<std::unique_ptr<Task>> orphaned;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       stopping_ = true;
       paused_ = false;
       // Tasks already running finish; tasks still queued fail fast with a
@@ -655,7 +660,7 @@ void QueryService::Shutdown() {
       // (and can tell "shut down" from a query error).
       orphaned.swap(queue_);
     }
-    queue_cv_.notify_all();
+    queue_cv_.NotifyAll();
     for (std::unique_ptr<Task>& task : orphaned) {
       failed_->Increment();
       gov_cancels_->Increment();
@@ -690,12 +695,12 @@ ServiceMetrics QueryService::Metrics() const {
   m.sheds = gov_sheds_->Value();
   m.truncated = gov_truncated_->Value();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     m.queue_depth = queue_.size();
     m.queue_high_water = queue_high_water_;
   }
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     m.sessions = sessions_.size();
   }
   m.workers = workers_.size();

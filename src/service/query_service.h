@@ -27,15 +27,13 @@
 ///    versioned catalog state).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag / std::call_once only
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +46,7 @@
 #include "service/metrics.h"
 #include "service/plan_cache.h"
 #include "storage/pager.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace ccdb {
@@ -250,8 +249,7 @@ class QueryService {
 
   /// Estimated microseconds of in-flight work if one more task were
   /// admitted: (queued + running + 1) x max(recent p50, 1 ms prior).
-  /// Caller holds `queue_mu_`.
-  double EstimateInflightUsLocked() const;
+  double EstimateInflightUsLocked() const CCDB_REQUIRES(queue_mu_);
 
   /// Counts a finished governed query against the governance counters and
   /// emits its trace to the sink when it tripped. Returns nothing; safe to
@@ -263,34 +261,38 @@ class QueryService {
   void DrainCounters(const obs::LayerCounters& counters);
 
   /// Journals the base catalog through the attached store (no-op when
-  /// none). Caller holds `catalog_mu_` exclusive.
-  Status CommitBaseLocked();
+  /// none).
+  Status CommitBaseLocked() CCDB_REQUIRES(catalog_mu_);
 
   Database* base_;
   ServiceOptions options_;
-  mutable std::shared_mutex catalog_mu_;
+  /// Guards the base catalog: queries hold it shared for their whole
+  /// execution, Create/Replace/Drop take it exclusive (`*base_` itself
+  /// carries the guarded state; the pointer is fixed at construction).
+  mutable SharedMutex catalog_mu_;
   ResultCache cache_;
 
   // Task queue. `running_` counts tasks popped but not yet finished (for
   // admission-control cost estimates); `running_cancels_` maps in-flight
   // query ids to their cancellation flags so Cancel() can reach them.
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::unique_ptr<Task>> queue_;
-  bool stopping_ = false;
-  bool paused_ = false;
-  uint64_t queue_high_water_ = 0;
-  size_t running_ = 0;
+  mutable Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<std::unique_ptr<Task>> queue_ CCDB_GUARDED_BY(queue_mu_);
+  bool stopping_ CCDB_GUARDED_BY(queue_mu_) = false;
+  bool paused_ CCDB_GUARDED_BY(queue_mu_) = false;
+  uint64_t queue_high_water_ CCDB_GUARDED_BY(queue_mu_) = 0;
+  size_t running_ CCDB_GUARDED_BY(queue_mu_) = 0;
   std::map<uint64_t, std::pair<SessionId, std::shared_ptr<obs::CancelFlag>>>
-      running_cancels_;
+      running_cancels_ CCDB_GUARDED_BY(queue_mu_);
   std::atomic<uint64_t> next_query_id_{1};
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;
 
   // Sessions.
-  mutable std::mutex sessions_mu_;
-  std::map<SessionId, std::shared_ptr<Session>> sessions_;
-  SessionId next_session_ = 1;
+  mutable Mutex sessions_mu_ CCDB_ACQUIRED_BEFORE(queue_mu_);
+  std::map<SessionId, std::shared_ptr<Session>> sessions_
+      CCDB_GUARDED_BY(sessions_mu_);
+  SessionId next_session_ CCDB_GUARDED_BY(sessions_mu_) = 1;
 
   // Metrics: the registry owns every counter/histogram; the named handles
   // below are resolved once in the constructor (hot path is lock-free).

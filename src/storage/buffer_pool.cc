@@ -31,7 +31,7 @@ Status BufferPool::Get(PageId id, Page* out) {
     return disk_->Read(id, out);
   }
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(id);
   if (it != shard.index.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -52,7 +52,7 @@ Status BufferPool::Put(PageId id, const Page& page) {
   CCDB_RETURN_IF_ERROR(disk_->Write(id, page));
   if (capacity_ == 0) return Status::OK();
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(id);
   if (it != shard.index.end()) {
     it->second->second = page;
@@ -65,7 +65,7 @@ Status BufferPool::Put(PageId id, const Page& page) {
 
 void BufferPool::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
   }

@@ -20,11 +20,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/pager.h"
+#include "util/mutex.h"
 
 namespace ccdb {
 
@@ -75,15 +75,15 @@ class BufferPool {
  private:
   /// One independently locked LRU cache over a slice of the page-id space.
   struct Shard {
-    std::mutex mu;
-    size_t capacity = 0;
+    Mutex mu;
+    size_t capacity = 0;  // set once at pool construction, then read-only
     // LRU list: front = most recent. Map gives O(1) lookup into the list.
-    std::list<std::pair<PageId, Page>> lru;
+    std::list<std::pair<PageId, Page>> lru CCDB_GUARDED_BY(mu);
     std::unordered_map<PageId, std::list<std::pair<PageId, Page>>::iterator>
-        index;
+        index CCDB_GUARDED_BY(mu);
 
-    void Touch(PageId id);
-    void InsertCached(PageId id, const Page& page);
+    void Touch(PageId id) CCDB_REQUIRES(mu);
+    void InsertCached(PageId id, const Page& page) CCDB_REQUIRES(mu);
   };
 
   Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }

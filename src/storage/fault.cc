@@ -6,35 +6,35 @@
 namespace ccdb {
 
 void FaultInjectingPager::Arm(Fault fault, uint64_t ios_before_fault) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_ = fault;
   remaining_ = ios_before_fault;
   fired_ = false;
 }
 
 void FaultInjectingPager::ClearFault() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_ = Fault::kNone;
   crashed_ = false;
 }
 
 bool FaultInjectingPager::fired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return fired_;
 }
 
 bool FaultInjectingPager::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return crashed_;
 }
 
 uint64_t FaultInjectingPager::io_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return io_count_;
 }
 
 FaultInjectingPager::Decision FaultInjectingPager::Account(bool is_write) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++io_count_;
   if (crashed_) return Decision::kFailOp;
   if (armed_ == Fault::kNone || fired_) return Decision::kProceed;
@@ -81,7 +81,9 @@ Status FaultInjectingPager::Write(PageId id, const Page& page) {
       Page mixed;
       if (PageManager::Read(id, &mixed).ok()) {
         std::memcpy(mixed.bytes(), page.bytes(), kPageSize / 2);
-        (void)PageManager::Write(id, mixed);
+        // Best-effort: the injected torn image lands if the base write
+        // works; either way this operation reports the injected failure.
+        IgnoreError(PageManager::Write(id, mixed));
       }
       return Status::IoError("injected fault: torn write of page " +
                              std::to_string(id));

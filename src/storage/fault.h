@@ -23,10 +23,10 @@
 /// `tests/wal_test.cc` arms each mode at every I/O index in turn.
 
 #include <cstdint>
-#include <mutex>
 
 #include "storage/page.h"
 #include "storage/pager.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace ccdb {
@@ -61,14 +61,14 @@ class FaultInjectingPager : public PageManager {
   enum class Decision { kProceed, kFailOp, kTear };
 
   /// Counts one operation and decides its fate.
-  Decision Account(bool is_write);
+  Decision Account(bool is_write) CCDB_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  Fault armed_ = Fault::kNone;
-  uint64_t remaining_ = 0;
-  bool fired_ = false;
-  bool crashed_ = false;
-  uint64_t io_count_ = 0;
+  mutable Mutex mu_;
+  Fault armed_ CCDB_GUARDED_BY(mu_) = Fault::kNone;
+  uint64_t remaining_ CCDB_GUARDED_BY(mu_) = 0;
+  bool fired_ CCDB_GUARDED_BY(mu_) = false;
+  bool crashed_ CCDB_GUARDED_BY(mu_) = false;
+  uint64_t io_count_ CCDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ccdb

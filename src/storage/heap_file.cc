@@ -58,7 +58,7 @@ HeapFile::HeapFile(BufferPool* pool) : pool_(pool) {
   Page page;
   InitPage(&page);
   Status s = pool_->Put(first, page);
-  (void)s;  // writes to a freshly allocated page cannot fail
+  IgnoreError(s);  // writes to a freshly allocated page cannot fail
   pages_.push_back(first);
 }
 

@@ -1,18 +1,16 @@
 #include "storage/pager.h"
 
-#include <mutex>
-
 namespace ccdb {
 
 PageId PageManager::Allocate() {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   pages_.push_back(std::make_unique<Page>());
   allocations_.fetch_add(1, std::memory_order_relaxed);
   return pages_.size() - 1;
 }
 
 Status PageManager::Read(PageId id, Page* out) {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   if (id >= pages_.size()) {
     return Status::IoError("read of unallocated page " + std::to_string(id));
   }
@@ -22,7 +20,7 @@ Status PageManager::Read(PageId id, Page* out) {
 }
 
 Status PageManager::Write(PageId id, const Page& page) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   if (id >= pages_.size()) {
     return Status::IoError("write to unallocated page " + std::to_string(id));
   }

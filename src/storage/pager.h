@@ -6,10 +6,10 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "storage/page.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace ccdb {
@@ -46,7 +46,7 @@ class PageManager {
   virtual Status Write(PageId id, const Page& page);
 
   virtual size_t num_pages() const {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     return pages_.size();
   }
 
@@ -66,8 +66,8 @@ class PageManager {
   }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::vector<std::unique_ptr<Page>> pages_;
+  mutable SharedMutex mu_;
+  std::vector<std::unique_ptr<Page>> pages_ CCDB_GUARDED_BY(mu_);
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> allocations_{0};

@@ -379,7 +379,10 @@ Status WalPager::Commit(PageId catalog_root) {
     unapplied_[id] = std::move(image);
   }
   staged_.clear();
-  (void)ApplyUnapplied();
+  // Best-effort eager apply: a failure here leaves the images in the
+  // overlay for a later ApplyUnapplied or recovery — the batch is already
+  // durably committed either way.
+  IgnoreError(ApplyUnapplied());
   return Status::OK();
 }
 
@@ -408,6 +411,7 @@ Status WalPager::ApplyUnapplied() {
 Result<std::unique_ptr<DurableStore>> DurableStore::Create(
     PageManager* disk, size_t cache_capacity) {
   std::unique_ptr<DurableStore> store(new DurableStore(disk, cache_capacity));
+  MutexLock lock(store->mu_);
   CCDB_RETURN_IF_ERROR(store->wal_.Create());
   return store;
 }
@@ -415,12 +419,14 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Create(
 Result<std::unique_ptr<DurableStore>> DurableStore::Open(
     PageManager* disk, PageId wal_root, size_t cache_capacity) {
   std::unique_ptr<DurableStore> store(new DurableStore(disk, cache_capacity));
+  MutexLock lock(store->mu_);
   CCDB_RETURN_IF_ERROR(store->wal_.Open(wal_root));
   store->catalog_root_ = store->wal_.recovered_catalog_root();
   return store;
 }
 
 Status DurableStore::CommitCatalog(const Database& db) {
+  MutexLock lock(mu_);
   wal_pager_.Begin();
   Result<PageId> root = SaveDatabase(&pool_, db);
   if (!root.ok()) {
@@ -438,11 +444,13 @@ Status DurableStore::CommitCatalog(const Database& db) {
 }
 
 Result<Database> DurableStore::LoadCatalog() {
+  MutexLock lock(mu_);
   if (catalog_root_ == kInvalidPageId) return Database{};
   return LoadDatabase(&pool_, catalog_root_);
 }
 
 Status DurableStore::Checkpoint() {
+  MutexLock lock(mu_);
   // The log is the only redo copy of unapplied images — they must reach
   // their home pages before the log may be truncated.
   CCDB_RETURN_IF_ERROR(wal_pager_.ApplyUnapplied());

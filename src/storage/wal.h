@@ -38,8 +38,11 @@
 /// `DurableStore` packages the stack — base disk, WAL, staging pager,
 /// buffer pool — behind a catalog-level API (`CommitCatalog` /
 /// `LoadCatalog` / `Checkpoint`) used by the query service and the shell.
-/// Commits must be externally serialized (the service's exclusive catalog
-/// lock does this); `stats()` may be read concurrently.
+/// The store serializes its own mutations on an internal annotated mutex
+/// (the WAL and staging pager are `CCDB_GUARDED_BY` it), so the documented
+/// "commits are serialized" contract is machine-checked rather than an
+/// obligation on callers; `stats()` may be called concurrently (it takes
+/// the same lock).
 
 #include <atomic>
 #include <cstdint>
@@ -51,6 +54,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 #include "storage/pager.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace ccdb {
@@ -224,20 +228,27 @@ class DurableStore {
   /// Saves `db` as one logged atomic batch. Returns OK iff the batch is
   /// durable — the write is acknowledged only after the WAL commit record
   /// is on disk. On failure the store's state is unchanged.
-  Status CommitCatalog(const Database& db);
+  Status CommitCatalog(const Database& db) CCDB_EXCLUDES(mu_);
 
   /// Loads the last committed catalog (empty when none was ever
   /// committed).
-  Result<Database> LoadCatalog();
+  Result<Database> LoadCatalog() CCDB_EXCLUDES(mu_);
 
   /// Applies any pending images and truncates the log.
-  Status Checkpoint();
+  Status Checkpoint() CCDB_EXCLUDES(mu_);
 
   /// The WAL header page id — the single root needed to `Open` the store.
-  PageId wal_root() const { return wal_.header_page(); }
-  PageId catalog_root() const { return catalog_root_; }
+  PageId wal_root() const CCDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return wal_.header_page();
+  }
+  PageId catalog_root() const CCDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return catalog_root_;
+  }
 
-  WalStats stats() const {
+  WalStats stats() const CCDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     WalStats out = wal_.stats();
     out.apply_failures = wal_pager_.apply_failures();
     return out;
@@ -251,10 +262,15 @@ class DurableStore {
         pool_(&wal_pager_, cache_capacity) {}
 
   PageManager* disk_;
-  WriteAheadLog wal_;
-  WalPager wal_pager_;
+  /// Serializes commits, checkpoints, and loads against each other: the
+  /// whole WAL/staging stack below is single-writer by construction.
+  mutable Mutex mu_;
+  WriteAheadLog wal_ CCDB_GUARDED_BY(mu_);
+  WalPager wal_pager_ CCDB_GUARDED_BY(mu_);
+  /// Internally synchronized; reads through it are additionally serialized
+  /// against commits by the service's exclusive catalog lock.
   BufferPool pool_;
-  PageId catalog_root_ = kInvalidPageId;
+  PageId catalog_root_ CCDB_GUARDED_BY(mu_) = kInvalidPageId;
 };
 
 }  // namespace ccdb

@@ -1,0 +1,136 @@
+#ifndef CCDB_UTIL_MUTEX_H_
+#define CCDB_UTIL_MUTEX_H_
+
+/// \file mutex.h
+/// Annotated lock primitives — the only mutexes allowed in `src/`.
+///
+/// `ccdb::Mutex` and `ccdb::SharedMutex` wrap the standard mutexes with
+/// Clang Thread Safety Analysis capability attributes, and the RAII guards
+/// (`MutexLock`, `ReaderLock`, `WriterLock`) carry the matching
+/// acquire/release annotations — so every `CCDB_GUARDED_BY` field access
+/// is machine-checked against the locking contract at compile time under
+/// Clang (`-Werror=thread-safety`), and compiles identically (as plain
+/// `std::mutex` / `std::shared_mutex`) everywhere else.
+///
+/// `tools/ccdb_lint.py` bans raw `std::mutex` / `std::lock_guard` /
+/// `std::condition_variable` in `src/` outside this header, and
+/// `tools/check_thread_safety.sh` asserts that an off-lock access to an
+/// annotated field really is a build break.
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace ccdb {
+
+class CondVar;
+
+/// An exclusive mutex carrying a thread-safety capability.
+class CCDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CCDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() CCDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() CCDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // CondVar::Wait needs the native handle
+  std::mutex mu_;
+};
+
+/// A reader-writer mutex carrying a thread-safety capability.
+class CCDB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() CCDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() CCDB_RELEASE() { mu_.unlock(); }
+  void ReaderLock() CCDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() CCDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive guard over a `Mutex`.
+class CCDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CCDB_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() CCDB_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII shared (read) guard over a `SharedMutex`.
+class CCDB_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) CCDB_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderLock() CCDB_RELEASE_GENERIC() { mu_.ReaderUnlock(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (write) guard over a `SharedMutex`.
+class CCDB_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) CCDB_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() CCDB_RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// A condition variable bound to `ccdb::Mutex`.
+///
+/// `Wait` takes the *mutex* (which the caller must hold, and holds again
+/// on return), not a guard object, so waiting loops keep their guarded
+/// reads inside the annotated caller:
+///
+///     MutexLock lock(mu_);
+///     while (!ready_) cv_.Wait(mu_);   // ready_ is CCDB_GUARDED_BY(mu_)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning. Spurious wakeups happen: always wait in a predicate loop.
+  void Wait(Mutex& mu) CCDB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // the caller's guard still owns the lock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_MUTEX_H_

@@ -8,6 +8,12 @@
 /// (when there is no payload) or a `Result<T>` (when there is). This mirrors
 /// the Status/Result idiom of production database codebases and keeps the
 /// query-evaluation hot path exception-free.
+///
+/// Both types are `[[nodiscard]]` and the tree builds with
+/// `-Werror=unused-result`: a call site cannot silently drop an error and
+/// keep an unsound result (the closure principle lives or dies on every
+/// operator's Status actually being checked). The rare *intentional*
+/// discard goes through `IgnoreError(...)` so it is explicit and greppable.
 
 #include <cassert>
 #include <optional>
@@ -41,7 +47,7 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// `Status::OK()` is the success value; every other status carries a code
 /// and a message. Statuses are cheap to copy (success carries no allocation).
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs a success status.
   Status() = default;
@@ -121,7 +127,7 @@ class Status {
 /// A `Result<T>` holds either a value or a non-OK `Status`. Accessing the
 /// value of a failed result is a programming error (assert in debug builds).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Success: wraps a value. Implicit by design so functions can
   /// `return value;`.
@@ -161,6 +167,15 @@ class Result {
   std::optional<T> value_;
   Status status_ = Status::OK();
 };
+
+/// Explicitly discards a `Status` (or `Result<T>`) that is intentionally
+/// ignored — e.g. best-effort rollback where the original error is the one
+/// being reported. `[[nodiscard]]` + `-Werror=unused-result` makes a bare
+/// discard a build break; this is the sanctioned, greppable escape hatch
+/// (`tools/ccdb_lint.py` bans `(void)`-casting a call away instead).
+inline void IgnoreError(const Status&) {}
+template <typename T>
+void IgnoreError(const Result<T>&) {}
 
 /// Propagates a failure status from an expression producing `Status`.
 #define CCDB_RETURN_IF_ERROR(expr)                \

@@ -1,0 +1,94 @@
+#ifndef CCDB_UTIL_THREAD_ANNOTATIONS_H_
+#define CCDB_UTIL_THREAD_ANNOTATIONS_H_
+
+/// \file thread_annotations.h
+/// Clang Thread Safety Analysis attribute macros.
+///
+/// These macros let the locking contract of a structure be stated in its
+/// declaration — which fields a mutex guards (`CCDB_GUARDED_BY`), which
+/// methods require a lock already held (`CCDB_REQUIRES`), which functions
+/// acquire or release one (`CCDB_ACQUIRE` / `CCDB_RELEASE`) — so that an
+/// off-lock access is a *compile error* under Clang's `-Wthread-safety`
+/// instead of a data race TSan may or may not catch at runtime. The
+/// project builds with `-Werror=thread-safety` when the compiler is Clang
+/// (see the top-level CMakeLists.txt) and `tools/check_thread_safety.sh`
+/// pins the enforcement with a deliberate-violation compile-fail check.
+///
+/// On compilers without the analysis (GCC) every macro expands to nothing,
+/// so annotated code is portable. Use the `ccdb::Mutex` / `ccdb::SharedMutex`
+/// wrappers from `util/mutex.h` — raw `std::mutex` cannot carry a
+/// capability attribute and is banned in `src/` by `tools/ccdb_lint.py`.
+
+#if defined(__clang__)
+#define CCDB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CCDB_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex class).
+#define CCDB_CAPABILITY(x) CCDB_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define CCDB_SCOPED_CAPABILITY CCDB_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The declared field may only be accessed while holding capability `x`.
+#define CCDB_GUARDED_BY(x) CCDB_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The data *pointed to* by the declared field is guarded by `x`.
+#define CCDB_PT_GUARDED_BY(x) CCDB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define CCDB_ACQUIRED_BEFORE(...) \
+  CCDB_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define CCDB_ACQUIRED_AFTER(...) \
+  CCDB_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the capabilities
+/// (exclusively / shared); it does not acquire or release them.
+#define CCDB_REQUIRES(...) \
+  CCDB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define CCDB_REQUIRES_SHARED(...) \
+  CCDB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (exclusively / shared) and holds
+/// it on return.
+#define CCDB_ACQUIRE(...) \
+  CCDB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define CCDB_ACQUIRE_SHARED(...) \
+  CCDB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (which must be held on entry).
+#define CCDB_RELEASE(...) \
+  CCDB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define CCDB_RELEASE_SHARED(...) \
+  CCDB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+/// Releases a capability held in either mode (scoped shared guards).
+#define CCDB_RELEASE_GENERIC(...) \
+  CCDB_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// The function tries to acquire; the first argument is the return value
+/// meaning success.
+#define CCDB_TRY_ACQUIRE(...) \
+  CCDB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define CCDB_TRY_ACQUIRE_SHARED(...) \
+  CCDB_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must be called while *not* holding the capabilities
+/// (non-reentrancy declaration).
+#define CCDB_EXCLUDES(...) CCDB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code paths the
+/// analysis cannot follow).
+#define CCDB_ASSERT_CAPABILITY(x) \
+  CCDB_THREAD_ANNOTATION_(assert_capability(x))
+#define CCDB_ASSERT_SHARED_CAPABILITY(x) \
+  CCDB_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability.
+#define CCDB_RETURN_CAPABILITY(x) CCDB_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts a function out of the analysis (use sparingly; say why).
+#define CCDB_NO_THREAD_SAFETY_ANALYSIS \
+  CCDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // CCDB_UTIL_THREAD_ANNOTATIONS_H_

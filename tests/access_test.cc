@@ -1,5 +1,7 @@
 #include "core/access.h"
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "data/workload.h"
@@ -123,6 +125,27 @@ TEST_F(AccessTest, MaterializeRoundTrips) {
   auto back = (*stored)->Materialize();
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(Signature(*back), Signature(rel));
+}
+
+TEST_F(AccessTest, MaterializeFailsOnCorruptRecordInsteadOfTruncating) {
+  BufferPool pool(&disk_, 0);
+  auto boxes = GenerateRectangles(20, 5);
+  Relation rel = BoxesToConstraintRelation(boxes);
+  auto stored = StoredRelation::Create(&pool, rel, AccessIndexKind::kNone);
+  ASSERT_TRUE(stored.ok());
+  // Scribble over the record payload of the heap's first page (page 0 of
+  // this fresh disk) while leaving the page header and the slot directory
+  // at the page tail intact: the scan still walks every slot, but the
+  // record bytes no longer decode.
+  Page page;
+  ASSERT_TRUE(disk_.Read(0, &page).ok());
+  std::memset(page.bytes() + 12, 0xFF, 16);
+  ASSERT_TRUE(disk_.Write(0, page).ok());
+  // A record that cannot be decoded must fail the materialization; an
+  // earlier version silently skipped it and returned a truncated relation
+  // as if it were the full answer.
+  auto back = (*stored)->Materialize();
+  EXPECT_FALSE(back.ok());
 }
 
 TEST_F(AccessTest, IndexedSelectTouchesFewerPagesThanScan) {

@@ -1,0 +1,197 @@
+// Tests for the annotated lock wrappers in src/util/mutex.h.
+//
+// The functional half exercises Mutex/SharedMutex/CondVar/guards under real
+// contention; run the suite with CCDB_SANITIZE=thread to get the TSan-clean
+// smoke test the wrappers are meant to guarantee (tools/run_sanitizers.sh).
+// The *static* half of the contract — off-lock access is a compile error —
+// is covered by tools/check_thread_safety.sh, not here.
+
+#include "util/mutex.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ccdb {
+namespace {
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  std::atomic<bool> second_acquired{false};
+  std::thread t([&] {
+    if (mu.TryLock()) {
+      second_acquired = true;
+      mu.Unlock();
+    }
+  });
+  t.join();
+  EXPECT_FALSE(second_acquired);
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, MutexLockExcludesConcurrentIncrements) {
+  struct Counter {
+    Mutex mu;
+    int value CCDB_GUARDED_BY(mu) = 0;
+  } counter;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kIters; ++j) {
+        MutexLock lock(counter.mu);
+        ++counter.value;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  MutexLock lock(counter.mu);
+  EXPECT_EQ(counter.value, kThreads * kIters);
+}
+
+TEST(SharedMutexTest, ManyReadersOneWriter) {
+  struct Table {
+    mutable SharedMutex mu;
+    std::vector<int> rows CCDB_GUARDED_BY(mu);
+  } table;
+  constexpr int kWrites = 2000;
+  constexpr int kReaders = 3;
+  std::atomic<bool> done{false};
+  std::atomic<int> torn_reads{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&] {
+      while (!done) {
+        ReaderLock lock(table.mu);
+        // Writer appends value == index, so any prefix is consistent;
+        // a torn view would break that invariant.
+        for (size_t j = 0; j < table.rows.size(); ++j) {
+          if (table.rows[j] != static_cast<int>(j)) {
+            torn_reads.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < kWrites; ++i) {
+      WriterLock lock(table.mu);
+      table.rows.push_back(i);
+    }
+    done = true;
+  });
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(torn_reads, 0);
+  ReaderLock lock(table.mu);
+  EXPECT_EQ(table.rows.size(), static_cast<size_t>(kWrites));
+}
+
+// A minimal bounded queue in the style of QueryService's worker queue:
+// predicate loop in the annotated caller, CondVar::Wait(Mutex&) inside.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  void Push(int v) {
+    MutexLock lock(mu_);
+    while (items_.size() >= capacity_ && !closed_) cv_.Wait(mu_);
+    if (closed_) return;
+    items_.push_back(v);
+    cv_.NotifyAll();
+  }
+
+  bool Pop(int& out) {
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) cv_.Wait(mu_);
+    if (items_.empty()) return false;  // closed and drained
+    out = items_.front();
+    items_.erase(items_.begin());
+    cv_.NotifyAll();
+    return true;
+  }
+
+  void Close() {
+    MutexLock lock(mu_);
+    closed_ = true;
+    cv_.NotifyAll();
+  }
+
+ private:
+  const size_t capacity_;
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<int> items_ CCDB_GUARDED_BY(mu_);
+  bool closed_ CCDB_GUARDED_BY(mu_) = false;
+};
+
+TEST(CondVarTest, ProducersAndConsumersDrainExactly) {
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 1000;
+  BoundedQueue queue(8);
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int i = 0; i < kConsumers; ++i) {
+    consumers.emplace_back([&] {
+      int v = 0;
+      while (queue.Pop(v)) {
+        consumed.fetch_add(1);
+        sum.fetch_add(v);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) queue.Push(i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(consumed, kProducers * kPerProducer);
+  constexpr long long kPerProducerSum =
+      static_cast<long long>(kPerProducer) * (kPerProducer + 1) / 2;
+  EXPECT_EQ(sum, kProducers * kPerProducerSum);
+}
+
+TEST(CondVarTest, WaitReturnsWithLockHeld) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // GUARDED_BY does not apply to locals; mu protects it
+
+  std::thread signaller([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    // If Wait failed to reacquire, the guard's destructor would unlock an
+    // unowned mutex (UB that TSan/UBSan flags); reaching here with the
+    // predicate true under the lock is the behavioral assertion.
+    EXPECT_TRUE(ready);
+  }
+  signaller.join();
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -338,7 +338,7 @@ TEST(ServiceTraceTest, ConcurrentQueriesPublishExactEngineTotals) {
                          std::to_string(lo + 400) + " from Boxes");
         if (!r.ok()) failures.fetch_add(1);
       }
-      svc.CloseSession(session);
+      if (!svc.CloseSession(session).ok()) failures.fetch_add(1);
     });
   }
   for (auto& t : clients) t.join();

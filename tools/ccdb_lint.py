@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""CCDB project-invariant linter (wired into ctest as `ccdb_lint`).
+
+Enforces the repo's documented contracts that the compiler cannot:
+
+  no-throw        src/ never throws or aborts — library boundaries return
+                  Status/Result (the worker exception *barrier* in
+                  query_service.cc may catch, but nothing in src/ raises).
+  raw-mutex       all locking in src/ goes through the annotated wrappers
+                  in src/util/mutex.h (raw std::mutex cannot carry Clang
+                  thread-safety capabilities).
+  void-discard    a Status-returning call is never silenced with a
+                  `(void)` cast — intentional discards use IgnoreError()
+                  so they stay greppable. (`(void)identifier;` for unused
+                  locals is fine.)
+  metrics         every name in src/obs/metric_names.h is (a) emitted
+                  somewhere in src/ and (b) documented in DESIGN.md's
+                  Observability table. Subsumes the retired
+                  check_metrics_doc.sh, including its governance-family
+                  canary.
+  no-iostream     library code never writes to std::cout/std::cerr or
+                  C stdio console streams (the shell and tools own the
+                  terminal; the TraceSink writes to a caller-owned
+                  std::ostream).
+  governance      every CQA operator function that materializes tuples
+                  (calls .Insert( inside a loop) polls a governance
+                  check-point, so deadlines/cancellation can always
+                  unwind and budget trips can truncate soundly.
+
+Run from anywhere:  tools/ccdb_lint.py  (exit 0 = clean).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+violations: list[str] = []
+
+
+def report(rule: str, path: Path, lineno: int, message: str) -> None:
+    rel = path.relative_to(REPO)
+    violations.append(f"[{rule}] {rel}:{lineno}: {message}")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure so line numbers survive."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.extend(ch if ch == "\n" else " " for ch in text[i : j + 2])
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append(" ")
+                    i += 1
+                    if i < n:
+                        out.append(" " if text[i] != "\n" else "\n")
+                        i += 1
+                else:
+                    out.append(" " if text[i] != "\n" else "\n")
+                    i += 1
+            out.append(" ")
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def src_files() -> list[Path]:
+    return sorted(
+        p for p in SRC.rglob("*") if p.suffix in (".h", ".cc") and p.is_file()
+    )
+
+
+# --- Rule: no-throw ---------------------------------------------------------
+
+THROW_RE = re.compile(r"\bthrow\b")
+ABORT_RE = re.compile(r"\b(?:std::)?abort\s*\(|\bstd::terminate\s*\(|\bexit\s*\(")
+
+
+def check_no_throw(path: Path, clean: str) -> None:
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        if THROW_RE.search(line):
+            report("no-throw", path, lineno,
+                   "`throw` in library code — return a Status instead "
+                   "(only the worker exception barrier may *catch*)")
+        if ABORT_RE.search(line):
+            report("no-throw", path, lineno,
+                   "process-killing call in library code — return a "
+                   "Status instead")
+
+
+# --- Rule: raw-mutex --------------------------------------------------------
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|timed_mutex|recursive_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b"
+)
+MUTEX_WRAPPER = SRC / "util" / "mutex.h"
+
+
+def check_raw_mutex(path: Path, clean: str) -> None:
+    if path == MUTEX_WRAPPER:
+        return
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        m = RAW_MUTEX_RE.search(line)
+        if m:
+            report("raw-mutex", path, lineno,
+                   f"raw `{m.group(0)}` — use the annotated wrappers in "
+                   "src/util/mutex.h (ccdb::Mutex, MutexLock, ...)")
+
+
+# --- Rule: void-discard -----------------------------------------------------
+
+VOID_CALL_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w:.\->]*\s*\(")
+
+
+def check_void_discard(path: Path, clean: str) -> None:
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        if VOID_CALL_RE.search(line):
+            report("void-discard", path, lineno,
+                   "`(void)` cast of a call expression — use "
+                   "IgnoreError(...) from util/status.h so intentional "
+                   "discards stay greppable")
+
+
+# --- Rule: metrics ----------------------------------------------------------
+
+METRIC_DECL_RE = re.compile(
+    r"inline constexpr char (k[A-Za-z0-9]+)\[\] = \"([^\"]+)\"")
+
+
+def check_metrics() -> None:
+    names_header = SRC / "obs" / "metric_names.h"
+    design = REPO / "DESIGN.md"
+    if not names_header.is_file():
+        violations.append("[metrics] missing src/obs/metric_names.h")
+        return
+    if not design.is_file():
+        violations.append("[metrics] missing DESIGN.md")
+        return
+    decls = METRIC_DECL_RE.findall(names_header.read_text())
+    if not decls:
+        violations.append(
+            "[metrics] no metric names parsed from metric_names.h — "
+            "lint is broken or the header changed shape")
+        return
+    # Canary (from the retired check_metrics_doc.sh): a family rename or
+    # deletion must not silently shrink the linted set.
+    if not any(name.startswith("governance.") for _, name in decls):
+        violations.append(
+            "[metrics] no governance.* metrics in metric_names.h — "
+            "family missing?")
+    design_text = design.read_text()
+    # Every usage of names::kConstant anywhere in src/ except the header.
+    usage = "\n".join(
+        p.read_text() for p in src_files() if p != names_header)
+    for constant, name in decls:
+        if not re.search(rf"\bnames::{constant}\b", usage):
+            violations.append(
+                f"[metrics] {constant} (\"{name}\") is declared but never "
+                "emitted in src/ — dead metric or missed publication point")
+        if f"`{name}`" not in design_text:
+            violations.append(
+                f"[metrics] undocumented metric: {name} — add it to "
+                "DESIGN.md's Observability table")
+
+
+# --- Rule: no-iostream ------------------------------------------------------
+
+IOSTREAM_RE = re.compile(
+    r"\bstd::(?:cout|cerr|clog)\b|(?<![\w.])(?:printf|puts|putchar)\s*\(|"
+    r"\bfprintf\s*\(\s*std(?:out|err)\b")
+
+
+def check_no_iostream(path: Path, clean: str) -> None:
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        if IOSTREAM_RE.search(line):
+            report("no-iostream", path, lineno,
+                   "console write from library code — return data, or "
+                   "take a caller-owned std::ostream")
+
+
+# --- Rule: governance check-points ------------------------------------------
+
+# Files whose tuple-materializing operator loops must poll governance.
+GOVERNANCE_FILES = ("core/operators.cc", "core/spatial.cc")
+FUNC_START_RE = re.compile(r"^[A-Za-z_][\w:<>,&*\s]*?\b([A-Za-z_]\w*)\s*\($",
+                           re.MULTILINE)
+
+
+def function_bodies(clean: str):
+    """Yields (name, start_line, body) for top-level function definitions
+    (clang-format style: signature starts at column 0, body brace-matched)."""
+    lines = clean.splitlines(keepends=True)
+    text = "".join(lines)
+    # A definition: identifier( at top level followed eventually by '{'.
+    for m in re.finditer(r"^(?!\s)(?:[\w:&<>,*~\[\]]+\s+)+([A-Za-z_]\w*)\s*\(",
+                         text, re.MULTILINE):
+        name = m.group(1)
+        # Find the opening brace of the body (skip the parameter list).
+        depth = 0
+        i = m.end() - 1
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        # After the parameter list: a body brace means a definition; a ';'
+        # first means a declaration.
+        j = i + 1
+        while j < len(text) and text[j] not in "{;":
+            j += 1
+        if j >= len(text) or text[j] == ";":
+            continue
+        # Brace-match the body.
+        depth = 0
+        k = j
+        while k < len(text):
+            if text[k] == "{":
+                depth += 1
+            elif text[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        start_line = text.count("\n", 0, m.start()) + 1
+        yield name, start_line, text[j : k + 1]
+
+
+GOV_TOKENS = ("CheckGovernance", "GovernanceTruncating", "GovernTuples")
+# Tuple-materialization markers: direct Relation inserts, plus spatial.cc's
+# EmitPair helper (its only writer of output tuples).
+MATERIALIZE_RE = re.compile(r"(?:\.|->)Insert\(|\bEmitPair\(")
+
+
+def check_governance() -> None:
+    for rel in GOVERNANCE_FILES:
+        path = SRC / rel
+        if not path.is_file():
+            violations.append(f"[governance] missing {path}")
+            continue
+        clean = strip_comments_and_strings(path.read_text())
+        for name, lineno, body in function_bodies(clean):
+            materializes = MATERIALIZE_RE.search(body)
+            loops = re.search(r"\b(?:for|while)\s*\(", body)
+            if not (materializes and loops):
+                continue
+            if not any(tok in body for tok in GOV_TOKENS):
+                report("governance", path, lineno,
+                       f"operator `{name}` materializes tuples in a loop "
+                       "without a governance check-point "
+                       "(obs::CheckGovernance / GovernanceTruncating)")
+
+
+def main() -> int:
+    files = src_files()
+    if not files:
+        print("ccdb_lint: no sources found under src/ — broken checkout?",
+              file=sys.stderr)
+        return 1
+    for path in files:
+        clean = strip_comments_and_strings(path.read_text())
+        check_no_throw(path, clean)
+        check_raw_mutex(path, clean)
+        check_void_discard(path, clean)
+        check_no_iostream(path, clean)
+    check_metrics()
+    check_governance()
+
+    if violations:
+        for v in violations:
+            print(v, file=sys.stderr)
+        print(f"ccdb_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"ccdb_lint: ok ({len(files)} files, 6 rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

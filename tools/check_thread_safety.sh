@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Compile-fail checks for the static-soundness gates (ctest: `check_thread_safety`).
+#
+# Asserts that the enforcement actually enforces:
+#   1. Discarding a [[nodiscard]] Status at a call site fails to compile
+#      under -Werror=unused-result (any compiler).
+#   2. (Clang only) A correctly locked use of the annotated wrappers in
+#      src/util/mutex.h compiles clean under -Werror=thread-safety.
+#   3. (Clang only) An off-lock access to a CCDB_GUARDED_BY field is a
+#      compile error — so reverting an annotation or dropping a lock is a
+#      build break, not a TSan roll of the dice.
+#
+# Without a clang++ on PATH the thread-safety checks are skipped (exit 77,
+# registered as SKIP_RETURN_CODE in ctest) after the unused-result check
+# has run with the default compiler.
+#
+# Run directly from anywhere:  tools/check_thread_safety.sh [c++-compiler]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cxx="${1:-${CXX:-c++}}"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+common_flags=(-std=c++20 -fsyntax-only -I "$repo_root/src")
+
+fail() { echo "check_thread_safety: FAIL: $*" >&2; exit 1; }
+
+# --- 1. [[nodiscard]] Status discipline (any compiler) ---------------------
+
+cat > "$tmpdir/discard.cc" <<'EOF'
+#include "util/status.h"
+ccdb::Status Fallible() { return ccdb::Status::OK(); }
+ccdb::Result<int> FallibleValue() { return 7; }
+void Caller() {
+  Fallible();       // discarded Status: must not compile
+  FallibleValue();  // discarded Result: must not compile
+}
+EOF
+if "$cxx" "${common_flags[@]}" -Werror=unused-result "$tmpdir/discard.cc" \
+    2> "$tmpdir/discard.err"; then
+  fail "a discarded Status/Result compiled under -Werror=unused-result"
+fi
+grep -q "unused-result\|nodiscard" "$tmpdir/discard.err" ||
+  fail "discard snippet failed for the wrong reason: $(cat "$tmpdir/discard.err")"
+
+cat > "$tmpdir/ignore.cc" <<'EOF'
+#include "util/status.h"
+ccdb::Status Fallible() { return ccdb::Status::OK(); }
+void Caller() { ccdb::IgnoreError(Fallible()); }  // sanctioned discard
+EOF
+"$cxx" "${common_flags[@]}" -Werror=unused-result "$tmpdir/ignore.cc" ||
+  fail "IgnoreError() did not compile — the sanctioned escape hatch is broken"
+
+echo "ok: discarded Status is a build break; IgnoreError compiles ($cxx)"
+
+# --- 2+3. Clang Thread Safety Analysis -------------------------------------
+
+clang_cxx=""
+for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                 clang++-16 clang++-15 clang++-14; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    clang_cxx="$candidate"
+    break
+  fi
+done
+if [[ -z "$clang_cxx" ]]; then
+  echo "SKIP: no clang++ on PATH — thread-safety analysis not checkable here"
+  exit 77
+fi
+
+tsa_flags=(-Wthread-safety -Werror=thread-safety)
+
+cat > "$tmpdir/locked.cc" <<'EOF'
+#include "util/mutex.h"
+class Good {
+ public:
+  void Bump() {
+    ccdb::MutexLock lock(mu_);
+    ++counter_;
+  }
+  int Read() const {
+    ccdb::ReaderLock lock(rw_);
+    return shared_;
+  }
+  void Publish(int v) {
+    ccdb::WriterLock lock(rw_);
+    shared_ = v;
+  }
+
+ private:
+  ccdb::Mutex mu_;
+  int counter_ CCDB_GUARDED_BY(mu_) = 0;
+  mutable ccdb::SharedMutex rw_;
+  int shared_ CCDB_GUARDED_BY(rw_) = 0;
+};
+EOF
+"$clang_cxx" "${common_flags[@]}" "${tsa_flags[@]}" "$tmpdir/locked.cc" ||
+  fail "correctly locked wrapper usage did not compile under $clang_cxx"
+
+cat > "$tmpdir/offlock.cc" <<'EOF'
+#include "util/mutex.h"
+class Bad {
+ public:
+  void Bump() { ++counter_; }  // off-lock write: must not compile
+
+ private:
+  ccdb::Mutex mu_;
+  int counter_ CCDB_GUARDED_BY(mu_) = 0;
+};
+EOF
+if "$clang_cxx" "${common_flags[@]}" "${tsa_flags[@]}" "$tmpdir/offlock.cc" \
+    2> "$tmpdir/offlock.err"; then
+  fail "an off-lock GUARDED_BY access compiled — the analysis is not enforcing"
+fi
+grep -q "thread-safety" "$tmpdir/offlock.err" ||
+  fail "off-lock snippet failed for the wrong reason: $(cat "$tmpdir/offlock.err")"
+
+cat > "$tmpdir/requires.cc" <<'EOF'
+#include "util/mutex.h"
+class Bad {
+ public:
+  void Outer() { Inner(); }  // calling REQUIRES method without the lock
+
+ private:
+  void Inner() CCDB_REQUIRES(mu_) {}
+  ccdb::Mutex mu_;
+};
+EOF
+if "$clang_cxx" "${common_flags[@]}" "${tsa_flags[@]}" "$tmpdir/requires.cc" \
+    2> /dev/null; then
+  fail "calling a REQUIRES-annotated method without the lock compiled"
+fi
+
+echo "ok: off-lock access and unlocked REQUIRES calls are build breaks ($clang_cxx)"

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under each sanitizer in sequence:
+# AddressSanitizer, ThreadSanitizer, UndefinedBehaviorSanitizer.
+#
+# Each configuration gets its own build directory (build-asan/,
+# build-tsan/, build-ubsan/) so incremental reruns are cheap. On a
+# single-core container each cold build takes several minutes; pass a
+# subset to run fewer, e.g.:
+#
+#   tools/run_sanitizers.sh                 # all three
+#   tools/run_sanitizers.sh undefined       # UBSan only
+#   tools/run_sanitizers.sh thread address  # TSan then ASan
+#
+# CCDB_SANITIZE is the repo's CMake knob (see CMakeLists.txt); this
+# script is just the loop around it. See DESIGN.md "Static analysis".
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+sanitizers=("${@:-address thread undefined}")
+# Re-split in case the default string form was used.
+read -ra sanitizers <<< "${sanitizers[*]}"
+
+jobs="$(nproc 2> /dev/null || echo 1)"
+failed=()
+
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    address | thread | undefined) ;;
+    *)
+      echo "run_sanitizers: unknown sanitizer '$san'" \
+           "(want address|thread|undefined)" >&2
+      exit 2
+      ;;
+  esac
+  case "$san" in
+    address) build_dir="$repo_root/build-asan" ;;
+    thread) build_dir="$repo_root/build-tsan" ;;
+    undefined) build_dir="$repo_root/build-ubsan" ;;
+  esac
+  echo "=== $san sanitizer: $build_dir ==="
+  cmake -S "$repo_root" -B "$build_dir" -DCCDB_SANITIZE="$san" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$build_dir" -j "$jobs"
+  if (cd "$build_dir" && ctest --output-on-failure -j "$jobs"); then
+    echo "=== $san: PASS ==="
+  else
+    echo "=== $san: FAIL ===" >&2
+    failed+=("$san")
+  fi
+done
+
+if ((${#failed[@]})); then
+  echo "run_sanitizers: failed: ${failed[*]}" >&2
+  exit 1
+fi
+echo "run_sanitizers: all clean (${sanitizers[*]})"
