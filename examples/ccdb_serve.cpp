@@ -1,0 +1,174 @@
+// ccdb_serve: the CCDB network daemon.
+//
+// Serves the binary wire protocol (src/net/wire.h) over TCP, either as a
+// *leader* — a durable QueryService whose WAL other nodes can ship — or
+// as a *read replica* that bootstraps from a leader's snapshot, follows
+// its committed WAL batches, and serves read-only queries.
+//
+// Usage:
+//   ccdb_serve [--port N] [--workers N] [file.cdb ...]          # leader
+//   ccdb_serve --replica-of HOST:PORT [--port N] [--workers N]  # replica
+//
+// Prints "listening on port N" once ready (scripts parse this line), then
+// reads commands from stdin: `stats` prints metrics (and replication lag
+// on a replica), `quit` exits. On stdin EOF the daemon keeps serving
+// until SIGINT/SIGTERM — the shape tools/stress_net.sh and bench_net
+// expect from a background server process.
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "ccdb.h"
+
+using namespace ccdb;  // NOLINT: example brevity
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+/// Parses "host:port"; empty host on failure.
+std::pair<std::string, uint16_t> SplitHostPort(const std::string& arg) {
+  const size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= arg.size()) return {"", 0};
+  const int port = std::atoi(arg.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return {"", 0};
+  return {arg.substr(0, colon), static_cast<uint16_t>(port)};
+}
+
+/// Reads stdin commands until quit/EOF; after EOF, waits for a signal.
+void CommandLoop(net::Server* server, net::Replica* replica) {
+  std::string line;
+  while (!g_stop.load() && std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") return;
+    if (line == "stats") {
+      if (replica != nullptr) {
+        const net::Replica::Stats s = replica->stats();
+        std::cout << "replica: applied_lsn=" << s.applied_lsn
+                  << " leader_next_lsn=" << s.leader_next_lsn
+                  << " lag_batches=" << s.lag_batches
+                  << " batches_applied=" << s.batches_applied
+                  << " snapshots=" << s.snapshots_installed
+                  << " resyncs=" << s.resyncs
+                  << " caught_up=" << (s.caught_up ? "yes" : "no") << "\n";
+      }
+      std::cout << server->MetricsText() << std::flush;
+    }
+  }
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  size_t workers = 4;
+  std::string replica_of;
+  std::vector<std::string> data_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--replica-of" && i + 1 < argc) {
+      replica_of = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag " << arg << "\n"
+                << "usage: ccdb_serve [--port N] [--workers N] "
+                   "[--replica-of HOST:PORT] [file.cdb ...]\n";
+      return 1;
+    } else {
+      data_files.push_back(arg);
+    }
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  if (!replica_of.empty()) {
+    // --- Replica: follow a leader, serve read-only queries ---
+    auto [host, leader_port] = SplitHostPort(replica_of);
+    if (host.empty()) {
+      std::cerr << "--replica-of needs HOST:PORT\n";
+      return 1;
+    }
+    Database db;
+    service::ServiceOptions options;
+    options.num_workers = workers;
+    service::QueryService service(&db, options);
+    auto replica = net::Replica::Start(host, leader_port, &service);
+    if (!replica.ok()) {
+      std::cerr << "error connecting to leader: "
+                << replica.status().ToString() << "\n";
+      return 1;
+    }
+    net::ServerOptions sopts;
+    sopts.port = port;
+    sopts.read_only = true;
+    sopts.server_name = "ccdb-replica";
+    auto server = net::Server::Start(&service, sopts);
+    if (!server.ok()) {
+      std::cerr << "error starting server: " << server.status().ToString()
+                << "\n";
+      return 1;
+    }
+    std::cout << "listening on port " << (*server)->port() << " (replica of "
+              << replica_of << ")" << std::endl;
+    CommandLoop(server->get(), replica->get());
+    (*server)->Shutdown();
+    (*replica)->Stop();
+    return 0;
+  }
+
+  // --- Leader: durable store + WAL shipping ---
+  Database db;
+  for (const std::string& file : data_files) {
+    Status loaded = lang::LoadDatabaseFile(file, &db);
+    if (!loaded.ok()) {
+      std::cerr << "error loading " << file << ": " << loaded.ToString()
+                << "\n";
+      return 1;
+    }
+  }
+  PageManager disk;
+  auto store = DurableStore::Create(&disk);
+  if (!store.ok()) {
+    std::cerr << "error creating durable store: " << store.status().ToString()
+              << "\n";
+    return 1;
+  }
+  if (!db.Names().empty()) {
+    Status committed = (*store)->CommitCatalog(db);
+    if (!committed.ok()) {
+      std::cerr << "error persisting initial catalog: "
+                << committed.ToString() << "\n";
+      return 1;
+    }
+  }
+  service::ServiceOptions options;
+  options.num_workers = workers;
+  options.disk = &disk;
+  options.store = store->get();
+  service::QueryService service(&db, options);
+  net::ServerOptions sopts;
+  sopts.port = port;
+  sopts.store = store->get();
+  auto server = net::Server::Start(&service, sopts);
+  if (!server.ok()) {
+    std::cerr << "error starting server: " << server.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "listening on port " << (*server)->port() << " (leader)"
+            << std::endl;
+  CommandLoop(server->get(), nullptr);
+  (*server)->Shutdown();
+  return 0;
+}

@@ -22,8 +22,16 @@
 //   \submit <statement>         run a statement in the background (prints id)
 //   \wait <id>                  block on a background query's result
 //   \cancel <id>                cancel a queued or running query
+//   \connect <host:port>        route statements and commands to a ccdb_serve
+//   \disconnect                 back to the in-process service
 //   help                        syntax summary
 //   quit
+//
+// In connected mode (`\connect`) every statement and command — show,
+// schema, list, load, save, plan, \trace, \metrics, \submit, \wait,
+// \cancel, \checkpoint — travels over the binary wire protocol through
+// `net::Client`; server-side failures (including governance shedding with
+// its retry-after hint) print exactly as local ones do.
 //
 // The shell's base catalog is backed by a `DurableStore`: every load and
 // catalog write is journaled to a write-ahead log on the simulated disk
@@ -64,6 +72,8 @@ Shell commands: show/schema/list/load/save/plan/\trace/\metrics/\checkpoint/
   \submit <statement>  run in the background; prints a query id
   \wait <id>           block on a background query's result
   \cancel <id>         cancel a queued or running query by id
+  \connect host:port   route statements/commands to a ccdb_serve daemon
+  \disconnect          back to the in-process service
 )";
 }
 
@@ -77,13 +87,7 @@ void ShowRelation(service::QueryService* service, service::SessionId session,
   std::cout << rel->ToString() << "\n";
 }
 
-void AdvisePlan(service::QueryService* service, service::SessionId session,
-                const std::string& name) {
-  auto rel = service->GetRelation(session, name);
-  if (!rel.ok()) {
-    std::cout << rel.status().ToString() << "\n";
-    return;
-  }
+void AdviseRelation(const Relation& rel) {
   // A default conjunctive probe workload over the relation's extent.
   std::vector<BoxQuery> workload;
   Rng rng(1);
@@ -92,13 +96,23 @@ void AdvisePlan(service::QueryService* service, service::SessionId session,
     double y = static_cast<double>(rng.UniformInt(0, 2900));
     workload.push_back(BoxQuery::Both(x, x + 100, y, y + 100));
   }
-  auto report = cqa::AdviseIndexing(*rel, workload, "x", "y",
+  auto report = cqa::AdviseIndexing(rel, workload, "x", "y",
                                     Rect::Make2D(-10, 3110, -10, 3110));
   if (!report.ok()) {
     std::cout << report.status().ToString() << "\n";
     return;
   }
   std::cout << report->ToString() << "\n";
+}
+
+void AdvisePlan(service::QueryService* service, service::SessionId session,
+                const std::string& name) {
+  auto rel = service->GetRelation(session, name);
+  if (!rel.ok()) {
+    std::cout << rel.status().ToString() << "\n";
+    return;
+  }
+  AdviseRelation(*rel);
 }
 
 /// `\trace`: executes a statement (or a script file, when the argument
@@ -145,6 +159,77 @@ void LoadInto(service::QueryService* service, const std::string& path) {
     }
   }
   std::cout << "ok\n";
+}
+
+/// `\trace` against a connected server: same EXPLAIN ANALYZE rendering,
+/// with the plan and span tree produced (and serialized back) remotely.
+void TraceRemote(net::Client* remote, const std::string& arg) {
+  std::string script = arg;
+  if (std::ifstream file(arg); file.good()) {
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    script = buffer.str();
+  }
+  auto report = remote->Trace(script);
+  if (!report.ok()) {
+    std::cout << report.status().ToString() << "\n";
+    return;
+  }
+  if (report->used_plan) {
+    std::cout << "plan (optimized):\n" << report->plan_text << "\n";
+  } else {
+    std::cout << "(not compilable to one plan; statement-level spans)\n";
+  }
+  std::cout << "trace:\n" << report->trace_text << "\n";
+  std::cout << "total: " << report->response.latency_us / 1000.0 << " ms, "
+            << report->response.relation.size() << " tuples\n";
+}
+
+/// `load` against a connected server: parse locally, ship each relation.
+void LoadRemote(net::Client* remote, const std::string& path) {
+  Database staged;
+  Status s = lang::LoadDatabaseFile(path, &staged);
+  if (!s.ok()) {
+    std::cout << s.ToString() << "\n";
+    return;
+  }
+  for (const std::string& name : staged.Names()) {
+    Status shipped = remote->LoadRelation(name, **staged.Get(name));
+    if (!shipped.ok()) {
+      std::cout << name << ": " << shipped.ToString() << "\n";
+      return;
+    }
+  }
+  std::cout << "ok\n";
+}
+
+/// `save` against a connected server: fetch every visible relation.
+void SaveRemote(net::Client* remote, const std::string& path) {
+  auto names = remote->ListRelations();
+  if (!names.ok()) {
+    std::cout << names.status().ToString() << "\n";
+    return;
+  }
+  Database snapshot;
+  for (const std::string& name : *names) {
+    auto rel = remote->GetRelation(name);
+    if (!rel.ok()) {
+      std::cout << name << ": " << rel.status().ToString() << "\n";
+      return;
+    }
+    snapshot.CreateOrReplace(name, std::move(*rel));
+  }
+  Status s = lang::SaveDatabaseFile(path, snapshot);
+  std::cout << (s.ok() ? "saved" : s.ToString()) << "\n";
+}
+
+/// Parses "host:port"; empty host on failure.
+std::pair<std::string, uint16_t> SplitHostPort(const std::string& arg) {
+  const size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= arg.size()) return {"", 0};
+  const int port = std::atoi(arg.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return {"", 0};
+  return {arg.substr(0, colon), static_cast<uint16_t>(port)};
 }
 
 /// Renders one finished query result (shared by Execute and `\wait`).
@@ -209,6 +294,9 @@ int main(int argc, char** argv) {
     if (deadline_ms > 0) opts.deadline_us = deadline_ms * 1000.0;
     return opts;
   };
+  // Connected mode: when set, statements and commands route through the
+  // wire protocol instead of the in-process service.
+  std::unique_ptr<net::Client> remote;
 
   std::string line;
   while (std::cout << "cqa> " << std::flush, std::getline(std::cin, line)) {
@@ -221,6 +309,36 @@ int main(int argc, char** argv) {
       PrintHelp();
       continue;
     }
+    if (command == "\\connect") {
+      std::string arg;
+      words >> arg;
+      auto [host, port] = SplitHostPort(arg);
+      if (host.empty()) {
+        std::cout << "\\connect needs host:port\n";
+        continue;
+      }
+      net::ClientOptions copts;
+      copts.client_name = "cqa_shell";
+      auto client = net::Client::Connect(host, port, copts);
+      if (!client.ok()) {
+        std::cout << client.status().ToString() << "\n";
+        continue;
+      }
+      remote = std::move(*client);
+      std::cout << "connected to " << remote->server_name() << " at " << arg
+                << (remote->server_read_only() ? " (read-only replica)" : "")
+                << "\n";
+      continue;
+    }
+    if (command == "\\disconnect") {
+      if (remote == nullptr) {
+        std::cout << "not connected\n";
+        continue;
+      }
+      remote.reset();
+      std::cout << "local mode\n";
+      continue;
+    }
     if (command == "\\trace") {
       std::string rest;
       std::getline(words, rest);
@@ -229,7 +347,11 @@ int main(int argc, char** argv) {
         std::cout << "\\trace needs a statement or script file\n";
         continue;
       }
-      TraceScript(&service, session, rest);
+      if (remote != nullptr) {
+        TraceRemote(remote.get(), rest);
+      } else {
+        TraceScript(&service, session, rest);
+      }
       continue;
     }
     if (command == "\\deadline") {
@@ -254,6 +376,16 @@ int main(int argc, char** argv) {
         std::cout << "\\submit needs a statement\n";
         continue;
       }
+      if (remote != nullptr) {
+        auto id = remote->Submit(rest, query_options());
+        if (!id.ok()) {
+          std::cout << id.status().ToString() << "\n";
+        } else {
+          std::cout << "query " << *id
+                    << " submitted (\\wait or \\cancel by id)\n";
+        }
+        continue;
+      }
       auto submitted = service.Submit(session, rest, query_options());
       if (!submitted.ok()) {
         std::cout << submitted.status().ToString() << "\n";
@@ -272,6 +404,15 @@ int main(int argc, char** argv) {
         std::cout << command << " needs a query id\n";
         continue;
       }
+      if (remote != nullptr) {
+        if (command == "\\cancel") {
+          Status s = remote->Cancel(id);
+          std::cout << (s.ok() ? "cancel requested" : s.ToString()) << "\n";
+        } else {
+          PrintResponse(remote->Wait(id));
+        }
+        continue;
+      }
       if (command == "\\cancel") {
         Status s = service.Cancel(session, id);
         std::cout << (s.ok() ? "cancel requested" : s.ToString()) << "\n";
@@ -287,15 +428,31 @@ int main(int argc, char** argv) {
       continue;
     }
     if (command == "\\metrics" || command == "metrics") {
-      std::cout << service.Metrics().ToString() << "\n";
+      if (remote != nullptr) {
+        auto text = remote->MetricsText();
+        std::cout << (text.ok() ? *text : text.status().ToString()) << "\n";
+      } else {
+        std::cout << service.Metrics().ToString() << "\n";
+      }
       continue;
     }
     if (command == "\\checkpoint" || command == "checkpoint") {
-      Status s = service.Checkpoint();
+      Status s = remote != nullptr ? remote->Checkpoint()
+                                   : service.Checkpoint();
       std::cout << (s.ok() ? "checkpointed" : s.ToString()) << "\n";
       continue;
     }
     if (command == "list") {
+      if (remote != nullptr) {
+        auto names = remote->ListRelations();
+        if (!names.ok()) {
+          std::cout << names.status().ToString() << "\n";
+          continue;
+        }
+        for (const std::string& name : *names) std::cout << "  " << name
+                                                         << "\n";
+        continue;
+      }
       for (const std::string& name : service.VisibleNames(session)) {
         auto rel = service.GetRelation(session, name);
         std::cout << "  " << name << " ("
@@ -309,6 +466,30 @@ int main(int argc, char** argv) {
       words >> arg;
       if (arg.empty()) {
         std::cout << command << " needs an argument\n";
+        continue;
+      }
+      if (remote != nullptr) {
+        if (command == "show") {
+          auto rel = remote->GetRelation(arg);
+          std::cout << (rel.ok() ? rel->ToString() : rel.status().ToString())
+                    << "\n";
+        } else if (command == "schema") {
+          auto rel = remote->GetRelation(arg);
+          std::cout << (rel.ok() ? rel->schema().ToString()
+                                 : rel.status().ToString())
+                    << "\n";
+        } else if (command == "plan") {
+          auto rel = remote->GetRelation(arg);
+          if (!rel.ok()) {
+            std::cout << rel.status().ToString() << "\n";
+          } else {
+            AdviseRelation(*rel);
+          }
+        } else if (command == "load") {
+          LoadRemote(remote.get(), arg);
+        } else {
+          SaveRemote(remote.get(), arg);
+        }
         continue;
       }
       if (command == "show") {
@@ -329,9 +510,13 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    // Otherwise: a CQA statement, executed by the service under the
-    // shell's current \deadline (if any).
-    PrintResponse(service.Execute(session, line, query_options()));
+    // Otherwise: a CQA statement, executed by the service (or the
+    // connected server) under the shell's current \deadline (if any).
+    if (remote != nullptr) {
+      PrintResponse(remote->Execute(line, query_options()));
+    } else {
+      PrintResponse(service.Execute(session, line, query_options()));
+    }
   }
   return 0;
 }

@@ -35,6 +35,10 @@
 #include "index/rstar_tree.h"              // the R*-tree
 #include "index/strategy.h"                // joint vs separate indexing
 #include "lang/compile.h"                  // script -> logical plan
+#include "net/client.h"                    // blocking wire-protocol client
+#include "net/replica.h"                   // WAL-shipping read replicas
+#include "net/server.h"                    // the TCP front door
+#include "net/wire.h"                      // binary frame + payload codecs
 #include "lang/data_parser.h"              // .cdb data files
 #include "lang/query.h"                    // the step-based query language
 #include "num/bigint.h"                    // arbitrary-precision integers

@@ -1,0 +1,147 @@
+#ifndef CCDB_NET_CLIENT_H_
+#define CCDB_NET_CLIENT_H_
+
+/// \file client.h
+/// The blocking client library for the CCDB wire protocol.
+///
+/// One `Client` is one connection and therefore one server-side session:
+/// step results (`R0 = ...`) persist across calls and queries issued
+/// through one client are serialized in program order, exactly like an
+/// in-process `QueryService` session. Every method is a blocking RPC
+/// returning the server's `Status` verbatim — a governance shed arrives
+/// as `kUnavailable` with its `retry_after_ms()` hint intact, a deadline
+/// trip as `kDeadlineExceeded`, and so on — so remote and in-process
+/// callers are written identically.
+///
+/// Calls are serialized on an internal mutex (the protocol is strict
+/// request/response per connection); use one Client per thread for
+/// parallelism. A protocol-level failure (torn frame, CRC mismatch,
+/// unexpected response type) poisons the connection: the socket is shut
+/// down and every later call fails fast with kUnavailable.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "service/query_service.h"
+#include "storage/wal.h"
+#include "util/mutex.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace ccdb::net {
+
+/// Construction-time knobs of a Client.
+struct ClientOptions {
+  std::string client_name = "ccdb-client";
+};
+
+/// A blocking wire-protocol client. Thread-safe; calls serialize.
+class Client {
+ public:
+  /// Connects and performs the HELLO handshake.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 ClientOptions options = {});
+
+  ~Client() = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- Query execution ---
+
+  /// Executes a step-script on the server (QUERY).
+  Result<service::QueryResponse> Execute(const std::string& script,
+                                         const service::QueryOptions& opts = {})
+      CCDB_EXCLUDES(mu_);
+
+  /// Enqueues a script (SUBMIT); returns the query id to Wait/Cancel by.
+  Result<uint64_t> Submit(const std::string& script,
+                          const service::QueryOptions& opts = {})
+      CCDB_EXCLUDES(mu_);
+
+  /// Blocks until a SUBMITted query finishes (WAIT).
+  Result<service::QueryResponse> Wait(uint64_t query_id) CCDB_EXCLUDES(mu_);
+
+  /// Requests cancellation of a SUBMITted query (CANCEL).
+  Status Cancel(uint64_t query_id) CCDB_EXCLUDES(mu_);
+
+  // --- Admin / observability ---
+
+  Status Checkpoint() CCDB_EXCLUDES(mu_);
+  Result<std::string> MetricsText() CCDB_EXCLUDES(mu_);
+
+  /// The server-side EXPLAIN ANALYZE view of one script (TRACE).
+  struct RemoteTrace {
+    bool used_plan = false;
+    std::string plan_text;
+    std::string trace_text;
+    service::QueryResponse response;
+  };
+  Result<RemoteTrace> Trace(const std::string& script) CCDB_EXCLUDES(mu_);
+
+  // --- Catalog access ---
+
+  Result<std::vector<std::string>> ListRelations() CCDB_EXCLUDES(mu_);
+  Result<Relation> GetRelation(const std::string& name) CCDB_EXCLUDES(mu_);
+  Status LoadRelation(const std::string& name, const Relation& relation)
+      CCDB_EXCLUDES(mu_);
+
+  // --- Replication (follower side; used by net::Replica) ---
+
+  /// One SHIP_WAL round: either a stream of raw committed batch records
+  /// (`records`) or a full bootstrap snapshot, plus the leader's next
+  /// LSN (what to ask for next).
+  struct Shipment {
+    bool is_snapshot = false;
+    DurableStore::ReplicationSnapshot snapshot;  ///< when is_snapshot
+    std::vector<std::vector<uint8_t>> records;   ///< otherwise
+    uint64_t leader_next_lsn = 0;
+  };
+  Result<Shipment> ShipWal(uint64_t from_lsn) CCDB_EXCLUDES(mu_);
+
+  // --- Connection state ---
+
+  /// True when the server declared itself a read-only replica at HELLO.
+  bool server_read_only() const { return server_read_only_; }
+  const std::string& server_name() const { return server_name_; }
+  uint64_t session_id() const { return session_id_; }
+
+  /// Shuts the connection down; every later call fails with kUnavailable.
+  /// Safe to call from any thread, including while another thread is
+  /// blocked inside an RPC on this client — the shutdown unblocks it with
+  /// a transport error. (This is how net::Replica::Stop interrupts an
+  /// in-flight SHIP_WAL round; Close deliberately does NOT take mu_.)
+  void Close();
+
+ private:
+  Client() = default;
+
+  /// Sends one request and reads one response frame. A `kError` response
+  /// is decoded and returned as its transported Status; a response whose
+  /// type is not `expect` is a protocol error and poisons the connection.
+  Result<Frame> Call(MsgType request, const std::vector<uint8_t>& payload,
+                     MsgType expect) CCDB_REQUIRES(mu_);
+  Status CheckLive() CCDB_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  // Written once at Connect (before the client is shared), then used by
+  // RPCs under mu_. Close() touches it WITHOUT mu_: Socket::ShutdownBoth
+  // is the one operation that is safe against a concurrent blocked
+  // recv/send on the same fd, and Close relies on exactly that to
+  // interrupt an in-flight call. Nothing else may bypass mu_.
+  Socket sock_;
+  std::atomic<bool> poisoned_{false};
+
+  // Fixed at handshake time.
+  bool server_read_only_ = false;
+  std::string server_name_;
+  uint64_t session_id_ = 0;
+};
+
+}  // namespace ccdb::net
+
+#endif  // CCDB_NET_CLIENT_H_

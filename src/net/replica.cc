@@ -1,0 +1,246 @@
+#include "net/replica.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/wal.h"
+
+namespace ccdb::net {
+
+namespace {
+
+void SleepMs(double ms) {
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(ms * 1000)));
+}
+
+}  // namespace
+
+Replica::Replica(service::QueryService* service, ReplicaOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      pool_(&disk_, options_.pool_pages) {}
+
+Result<std::unique_ptr<Replica>> Replica::Start(
+    const std::string& leader_host, uint16_t leader_port,
+    service::QueryService* service, ReplicaOptions options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("Replica::Start: null follower service");
+  }
+  auto replica =
+      std::unique_ptr<Replica>(new Replica(service, std::move(options)));
+  replica->leader_host_ = leader_host;
+  replica->leader_port_ = leader_port;
+  ClientOptions copts;
+  copts.client_name = replica->options_.client_name;
+  CCDB_ASSIGN_OR_RETURN(std::unique_ptr<Client> client,
+                        Client::Connect(leader_host, leader_port, copts));
+  {
+    MutexLock lock(replica->conn_mu_);
+    replica->client_ = std::move(client);
+  }
+  if (!replica->options_.start_paused) {
+    replica->sync_thread_ = std::thread([r = replica.get()] { r->SyncLoop(); });
+  }
+  return replica;
+}
+
+Replica::~Replica() { Stop(); }
+
+void Replica::Stop() {
+  stop_.store(true);
+  {
+    // Unblock a sync round parked in the client's recv.
+    MutexLock lock(conn_mu_);
+    if (client_ != nullptr) client_->Close();
+  }
+  if (sync_thread_.joinable()) sync_thread_.join();
+}
+
+void Replica::SyncLoop() {
+  while (!stop_.load()) {
+    IgnoreError(SyncOnce());
+    // 1 ms granularity so Stop() is prompt; CondVar has no timed wait.
+    const int ticks = options_.poll_interval_ms < 1
+                          ? 1
+                          : static_cast<int>(options_.poll_interval_ms);
+    for (int i = 0; i < ticks && !stop_.load(); ++i) SleepMs(1);
+  }
+}
+
+Status Replica::SyncOnce() {
+  MutexLock lock(mu_);
+  Status synced = SyncLocked();
+  if (!synced.ok()) ++sync_failures_;
+  return synced;
+}
+
+Status Replica::SyncLocked() {
+  if (stop_.load()) return Status::Unavailable("replica stopped");
+  if (need_reconnect_) {
+    ClientOptions copts;
+    copts.client_name = options_.client_name;
+    Result<std::unique_ptr<Client>> fresh =
+        Client::Connect(leader_host_, leader_port_, copts);
+    if (!fresh.ok()) return fresh.status();
+    MutexLock conn_lock(conn_mu_);
+    client_ = std::move(fresh).value();
+    need_reconnect_ = false;
+  }
+
+  Client* client = nullptr;
+  {
+    MutexLock conn_lock(conn_mu_);
+    client = client_.get();
+  }
+  if (client == nullptr) return Status::Unavailable("no leader connection");
+
+  const uint64_t from_lsn = need_snapshot_ ? 0 : applied_lsn_ + 1;
+  Result<Client::Shipment> shipped = client->ShipWal(from_lsn);
+  if (!shipped.ok()) {
+    // A transport failure poisons the connection; a service-level error
+    // (e.g. the leader has no store) does not.
+    if (shipped.status().code() == StatusCode::kIoError ||
+        shipped.status().code() == StatusCode::kUnavailable) {
+      need_reconnect_ = true;
+    }
+    return shipped.status();
+  }
+
+  bool changed = false;
+  if (shipped->is_snapshot) {
+    CCDB_RETURN_IF_ERROR(InstallSnapshot(shipped->snapshot));
+    changed = true;
+  } else {
+    for (const std::vector<uint8_t>& record : shipped->records) {
+      Status applied = ApplyRecord(record);
+      if (!applied.ok()) {
+        // The shipment failed the recovery-grade validation (dropped /
+        // truncated / corrupted / reordered in flight) or the local
+        // apply died partway: the only safe continuation is a fresh
+        // bootstrap image.
+        need_snapshot_ = true;
+        ++resyncs_;
+        return applied;
+      }
+      changed = true;
+    }
+  }
+
+  leader_next_lsn_ = shipped->leader_next_lsn;
+  caught_up_ = applied_lsn_ + 1 == leader_next_lsn_;
+  if (changed) CCDB_RETURN_IF_ERROR(PublishCatalog());
+  ++completed_syncs_;
+  return Status::OK();
+}
+
+Status Replica::EnsurePage(PageId page_id) {
+  while (disk_.num_pages() <= page_id) {
+    if (disk_.Allocate() == kInvalidPageId) {
+      return Status::IoError("replica disk allocation failed");
+    }
+  }
+  return Status::OK();
+}
+
+Status Replica::InstallSnapshot(
+    const DurableStore::ReplicationSnapshot& snapshot) {
+  for (size_t i = 0; i < snapshot.pages.size(); ++i) {
+    CCDB_RETURN_IF_ERROR(EnsurePage(i));
+    CCDB_RETURN_IF_ERROR(disk_.Write(i, snapshot.pages[i]));
+  }
+  catalog_root_ = snapshot.catalog_root;
+  applied_lsn_ = snapshot.next_lsn == 0 ? 0 : snapshot.next_lsn - 1;
+  need_snapshot_ = false;
+  ++snapshots_installed_;
+  return Status::OK();
+}
+
+Status Replica::ApplyRecord(const std::vector<uint8_t>& record) {
+  ShippedBatch batch;
+  CCDB_RETURN_IF_ERROR(ParseShippedBatch(record, applied_lsn_ + 1, &batch));
+  for (const WalFrame& frame : batch.frames) {
+    CCDB_RETURN_IF_ERROR(EnsurePage(frame.page_id));
+    CCDB_RETURN_IF_ERROR(disk_.Write(frame.page_id, frame.image));
+  }
+  catalog_root_ = batch.catalog_root;
+  applied_lsn_ = batch.lsn;
+  ++batches_applied_;
+  return Status::OK();
+}
+
+Status Replica::PublishCatalog() {
+  // The disk changed under the pool: drop every cached page first.
+  pool_.Clear();
+  Database db;
+  if (catalog_root_ != kInvalidPageId) {
+    CCDB_ASSIGN_OR_RETURN(db, LoadDatabase(&pool_, catalog_root_));
+  }
+  const std::vector<std::string> names = db.Names();
+  for (const std::string& name : names) {
+    CCDB_ASSIGN_OR_RETURN(const Relation* relation, db.Get(name));
+    CCDB_RETURN_IF_ERROR(service_->ReplaceRelation(name, *relation));
+  }
+  // Drop relations that vanished from the leader's catalog.
+  std::set<std::string> now(names.begin(), names.end());
+  for (const std::string& name : published_) {
+    if (now.count(name) == 0) {
+      CCDB_RETURN_IF_ERROR(service_->DropRelation(name));
+    }
+  }
+  published_ = std::move(now);
+  return Status::OK();
+}
+
+Replica::Stats Replica::stats() const {
+  MutexLock lock(mu_);
+  Stats out;
+  out.applied_lsn = applied_lsn_;
+  out.leader_next_lsn = leader_next_lsn_;
+  out.lag_batches = leader_next_lsn_ > applied_lsn_ + 1
+                        ? leader_next_lsn_ - applied_lsn_ - 1
+                        : 0;
+  out.batches_applied = batches_applied_;
+  out.snapshots_installed = snapshots_installed_;
+  out.resyncs = resyncs_;
+  out.sync_failures = sync_failures_;
+  out.caught_up = caught_up_;
+  return out;
+}
+
+Status Replica::WaitCaughtUp(double timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(
+                            static_cast<int64_t>(timeout_ms * 1000));
+  uint64_t entry_syncs = 0;
+  {
+    MutexLock lock(mu_);
+    entry_syncs = completed_syncs_;
+  }
+  while (true) {
+    {
+      MutexLock lock(mu_);
+      // Only trust a verdict from a sync round that ran entirely after
+      // this call began: a `caught_up_` latched by an earlier round says
+      // nothing about batches the leader committed since. (SyncOnce holds
+      // mu_ for the whole round, so a counter advance observed here means
+      // that round both started and finished after our entry read.)
+      if (completed_syncs_ > entry_syncs && caught_up_ && !need_snapshot_) {
+        return Status::OK();
+      }
+    }
+    if (options_.start_paused) {
+      IgnoreError(SyncOnce());
+    } else {
+      SleepMs(1);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded("replica did not catch up in " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+  }
+}
+
+}  // namespace ccdb::net

@@ -1,0 +1,159 @@
+#ifndef CCDB_NET_REPLICA_H_
+#define CCDB_NET_REPLICA_H_
+
+/// \file replica.h
+/// WAL-shipping read replicas: the follower.
+///
+/// A `Replica` keeps a local page-level copy of a leader's durable store
+/// in sync by polling `SHIP_WAL` through a `net::Client`:
+///
+///  - *Bootstrap*: the first sync asks for a full snapshot (`from_lsn`
+///    0) — every leader page read through the staging overlay, the
+///    catalog root, and the LSN position — and installs it on the
+///    replica's own simulated disk.
+///  - *Steady state*: each sync asks for committed batches from
+///    `applied_lsn + 1`. Every shipped record passes through
+///    `ParseShippedBatch` — the exact framing validation recovery
+///    applies to the on-disk log — before its after-images are written
+///    to the local disk, so the replica's apply path IS the recovery
+///    path.
+///  - *Re-sync*: a shipment that fails validation (dropped, truncated,
+///    corrupted, or reordered in flight) or fails to apply flags the
+///    replica for snapshot re-bootstrap on the next sync; the same
+///    happens when the leader's checkpoint truncated the LSN the
+///    replica needs (the leader answers with a snapshot directly). No
+///    invalid batch is ever applied.
+///
+/// After any sync that changed the disk, the replica reloads the catalog
+/// from its local pages and pushes the relations into its own (follower)
+/// `QueryService`, which serves read-only queries — typically fronted by
+/// a `net::Server` with `read_only = true`. Replica lag is reported in
+/// batches (`leader_next_lsn - 1 - applied_lsn`) via `stats()`.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "net/client.h"
+#include "service/query_service.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace ccdb::net {
+
+/// Construction-time knobs of a Replica.
+struct ReplicaOptions {
+  /// Delay between SHIP_WAL polls of the continuous sync thread.
+  double poll_interval_ms = 20;
+  /// Buffer-pool capacity over the replica's local disk.
+  size_t pool_pages = 64;
+  /// Do not start the sync thread; the caller drives `SyncOnce()`
+  /// (tests and the lag bench).
+  bool start_paused = false;
+  std::string client_name = "ccdb-replica";
+};
+
+/// A WAL-shipping follower. All public methods are thread-safe.
+class Replica {
+ public:
+  /// Connects to the leader and — unless `start_paused` — starts the
+  /// continuous sync thread. `service` (not owned) is the follower-side
+  /// QueryService whose base catalog the replica maintains; nothing else
+  /// may write that catalog while the replica is live.
+  static Result<std::unique_ptr<Replica>> Start(
+      const std::string& leader_host, uint16_t leader_port,
+      service::QueryService* service, ReplicaOptions options = {});
+
+  /// Stops the sync thread and closes the leader connection.
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// One pull+validate+apply round against the leader. Serialized with
+  /// the sync thread. On a validation or apply failure the replica is
+  /// flagged for snapshot re-sync and the error is returned (the next
+  /// round re-bootstraps); on a connection failure one reconnect is
+  /// attempted on the following round.
+  Status SyncOnce() CCDB_EXCLUDES(mu_);
+
+  /// Blocks until the replica has observed itself caught up (applied
+  /// LSN == leader next LSN - 1 on a completed sync). When started
+  /// paused this drives SyncOnce itself; otherwise it watches the sync
+  /// thread's progress. kDeadlineExceeded on timeout.
+  Status WaitCaughtUp(double timeout_ms) CCDB_EXCLUDES(mu_);
+
+  /// Point-in-time replication state.
+  struct Stats {
+    uint64_t applied_lsn = 0;       ///< last batch applied locally
+    uint64_t leader_next_lsn = 0;   ///< leader position at the last sync
+    uint64_t lag_batches = 0;       ///< committed batches not yet applied
+    uint64_t batches_applied = 0;
+    uint64_t snapshots_installed = 0;  ///< bootstrap + re-sync loads
+    uint64_t resyncs = 0;     ///< validation/apply failures forcing one
+    uint64_t sync_failures = 0;  ///< failed SyncOnce rounds
+    bool caught_up = false;   ///< applied == leader next - 1 at last sync
+  };
+  Stats stats() const CCDB_EXCLUDES(mu_);
+
+  /// Stops the sync thread (idempotent; also run by the destructor).
+  void Stop();
+
+ private:
+  Replica(service::QueryService* service, ReplicaOptions options);
+
+  void SyncLoop();
+  Status SyncLocked() CCDB_REQUIRES(mu_);
+  /// Installs a full snapshot image onto the local disk.
+  Status InstallSnapshot(const DurableStore::ReplicationSnapshot& snapshot)
+      CCDB_REQUIRES(mu_);
+  /// Validates and applies one raw shipped batch record.
+  Status ApplyRecord(const std::vector<uint8_t>& record) CCDB_REQUIRES(mu_);
+  /// Grows the local disk until `page_id` exists.
+  Status EnsurePage(PageId page_id) CCDB_REQUIRES(mu_);
+  /// Reloads the catalog from the local disk and pushes it into the
+  /// follower service.
+  Status PublishCatalog() CCDB_REQUIRES(mu_);
+
+  service::QueryService* service_;
+  ReplicaOptions options_;
+  std::string leader_host_;
+  uint16_t leader_port_ = 0;
+
+  /// Serializes sync rounds and guards all replication state.
+  mutable Mutex mu_;
+  PageManager disk_ CCDB_GUARDED_BY(mu_);
+  BufferPool pool_ CCDB_GUARDED_BY(mu_);
+  PageId catalog_root_ CCDB_GUARDED_BY(mu_) = kInvalidPageId;
+  uint64_t applied_lsn_ CCDB_GUARDED_BY(mu_) = 0;
+  uint64_t leader_next_lsn_ CCDB_GUARDED_BY(mu_) = 0;
+  bool need_snapshot_ CCDB_GUARDED_BY(mu_) = true;
+  bool need_reconnect_ CCDB_GUARDED_BY(mu_) = false;
+  bool caught_up_ CCDB_GUARDED_BY(mu_) = false;
+  uint64_t batches_applied_ CCDB_GUARDED_BY(mu_) = 0;
+  uint64_t snapshots_installed_ CCDB_GUARDED_BY(mu_) = 0;
+  uint64_t resyncs_ CCDB_GUARDED_BY(mu_) = 0;
+  uint64_t sync_failures_ CCDB_GUARDED_BY(mu_) = 0;
+  /// Successful ship+apply rounds; WaitCaughtUp only trusts a
+  /// `caught_up_` produced by a round that completed after it was called.
+  uint64_t completed_syncs_ CCDB_GUARDED_BY(mu_) = 0;
+  /// Base-relation names the replica has published into the service.
+  std::set<std::string> published_ CCDB_GUARDED_BY(mu_);
+
+  /// Guards the client pointer only (leaf lock): Stop() must reach
+  /// Close() while a sync round is blocked inside the client.
+  mutable Mutex conn_mu_ CCDB_ACQUIRED_AFTER(mu_);
+  std::unique_ptr<Client> client_ CCDB_GUARDED_BY(conn_mu_);
+
+  std::atomic<bool> stop_{false};
+  std::thread sync_thread_;
+};
+
+}  // namespace ccdb::net
+
+#endif  // CCDB_NET_REPLICA_H_

@@ -1,0 +1,477 @@
+#include "net/server.h"
+
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "storage/serde.h"
+
+namespace ccdb::net {
+
+
+Server::Server(service::QueryService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  conns_total_ = registry_.GetCounter(obs::names::kNetConnectionsTotal);
+  bytes_in_ = registry_.GetCounter(obs::names::kNetBytesIn);
+  bytes_out_ = registry_.GetCounter(obs::names::kNetBytesOut);
+  frames_in_ = registry_.GetCounter(obs::names::kNetFramesIn);
+  protocol_errors_ = registry_.GetCounter(obs::names::kNetProtocolErrors);
+  ship_batches_ = registry_.GetCounter(obs::names::kNetShipBatches);
+  ship_snapshots_ = registry_.GetCounter(obs::names::kNetShipSnapshots);
+  registry_.SetGauge(obs::names::kNetConnectionsOpen, 0);
+}
+
+Result<std::unique_ptr<Server>> Server::Start(service::QueryService* service,
+                                              ServerOptions options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("Server::Start: null service");
+  }
+  auto server =
+      std::unique_ptr<Server>(new Server(service, std::move(options)));
+  CCDB_ASSIGN_OR_RETURN(server->listener_,
+                        Listener::Bind(server->options_.port));
+  server->port_ = server->listener_.port();
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    if (stopping_) {
+      // A previous Shutdown already drained; nothing can have restarted.
+      if (!accept_thread_.joinable() && threads_.empty()) return;
+    }
+    stopping_ = true;
+  }
+  listener_.Close();  // unblocks Accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::map<uint64_t, std::thread> to_join;
+  {
+    MutexLock lock(mu_);
+    // Unblock every connection thread parked in RecvAll/SendAll; the
+    // socket fds stay owned (and eventually closed) by their threads.
+    for (auto& [id, sock] : live_) sock->ShutdownBoth();
+    to_join.swap(threads_);
+  }
+  for (auto& [id, thread] : to_join) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+size_t Server::open_connections() const {
+  MutexLock lock(mu_);
+  return live_.size();
+}
+
+std::string Server::MetricsText() const {
+  return service_->Metrics().ToString() + "\n--- net ---\n" +
+         registry_.ToString();
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    ReapFinished();
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // listener closed: drain begins
+    Socket sock = std::move(accepted).value();
+
+    bool refuse = false;
+    uint64_t conn_id = 0;
+    {
+      MutexLock lock(mu_);
+      if (stopping_) return;
+      if (live_.size() >= options_.max_connections) {
+        refuse = true;
+      } else {
+        conn_id = next_conn_id_++;
+      }
+    }
+    if (refuse) {
+      IgnoreError(SendError(
+          &sock,
+          Status::Unavailable("too many connections").WithRetryAfter(50)));
+      continue;  // sock closes on scope exit
+    }
+
+    conns_total_->Increment();
+    std::thread thread([this, conn_id, s = std::move(sock)]() mutable {
+      ServeConnection(conn_id, std::move(s));
+    });
+    // Always registered: Shutdown joins the accept thread before it swaps
+    // threads_ out, so this entry is never missed.
+    MutexLock lock(mu_);
+    threads_.emplace(conn_id, std::move(thread));
+  }
+}
+
+void Server::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    MutexLock lock(mu_);
+    for (uint64_t id : finished_) {
+      auto it = threads_.find(id);
+      if (it != threads_.end()) {
+        done.push_back(std::move(it->second));
+        threads_.erase(it);
+      }
+    }
+    finished_.clear();
+  }
+  for (std::thread& thread : done) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+Status Server::SendError(Socket* sock, const Status& error) {
+  uint64_t sent = 0;
+  Status out =
+      WriteFrame(sock, MsgType::kError, EncodeErrorPayload(error), &sent);
+  bytes_out_->Add(sent);
+  return out;
+}
+
+void Server::ServeConnection(uint64_t conn_id, Socket sock) {
+  {
+    MutexLock lock(mu_);
+    if (stopping_) {
+      finished_.push_back(conn_id);
+      return;
+    }
+    live_.emplace(conn_id, &sock);
+    registry_.SetGauge(obs::names::kNetConnectionsOpen, live_.size());
+  }
+
+  Conn conn;
+  while (true) {
+    Frame frame;
+    uint64_t got = 0;
+    Status read = ReadFrame(&sock, &frame, &got);
+    bytes_in_->Add(got);
+    if (!read.ok()) {
+      if (read.code() == StatusCode::kInvalidArgument) {
+        // Oversized, unknown-type, or CRC-corrupt frame: the stream can
+        // no longer be trusted to be frame-aligned — reply (best effort)
+        // and drop the connection.
+        protocol_errors_->Increment();
+        IgnoreError(SendError(&sock, read));
+      }
+      break;  // clean EOF, torn frame, or drain
+    }
+    frames_in_->Increment();
+    bool close_conn = false;
+    if (!Dispatch(&conn, &sock, frame, &close_conn).ok()) break;
+    if (close_conn) break;
+  }
+
+  // Reclaim the session: cancel what the client abandoned mid-flight.
+  if (conn.helloed) {
+    for (auto& [query_id, future] : conn.pending) {
+      IgnoreError(service_->Cancel(conn.session, query_id));
+    }
+    IgnoreError(service_->CloseSession(conn.session));
+  }
+
+  MutexLock lock(mu_);
+  live_.erase(conn_id);
+  registry_.SetGauge(obs::names::kNetConnectionsOpen, live_.size());
+  finished_.push_back(conn_id);
+}
+
+Status Server::Dispatch(Conn* conn, Socket* sock, const Frame& frame,
+                        bool* close_conn) {
+  // Local helper: send one response frame, metering bytes out.
+  auto reply = [&](MsgType type, const std::vector<uint8_t>& payload) {
+    uint64_t sent = 0;
+    Status out = WriteFrame(sock, type, payload, &sent);
+    bytes_out_->Add(sent);
+    return out;
+  };
+
+  // A request payload that does not decode is the peer's fault, not I/O:
+  // surface it as kInvalidArgument no matter what code the decoder used
+  // (the serde Reader reports underflow as kIoError, which over the wire
+  // would read as server-side disk trouble).
+  auto bad_payload = [&](const Status& parse) {
+    protocol_errors_->Increment();
+    return SendError(sock, Status::InvalidArgument(
+                               std::string("malformed ") +
+                               MsgTypeName(frame.type) +
+                               " payload: " + parse.message()));
+  };
+
+  if (static_cast<uint8_t>(frame.type) >=
+      static_cast<uint8_t>(MsgType::kOk)) {
+    protocol_errors_->Increment();
+    *close_conn = true;
+    return SendError(sock, Status::InvalidArgument(
+                               std::string("response-type frame ") +
+                               MsgTypeName(frame.type) + " sent as request"));
+  }
+
+  if (!conn->helloed && frame.type != MsgType::kHello) {
+    return SendError(
+        sock, Status::InvalidArgument(std::string("HELLO required before ") +
+                                      MsgTypeName(frame.type)));
+  }
+
+  Reader r(frame.payload);
+  switch (frame.type) {
+    case MsgType::kHello: {
+      if (conn->helloed) {
+        return SendError(sock, Status::InvalidArgument("duplicate HELLO"));
+      }
+      uint32_t version = 0;
+      std::string client_name;
+      Status parsed = [&]() -> Status {
+        CCDB_ASSIGN_OR_RETURN(version, r.GetU32());
+        CCDB_ASSIGN_OR_RETURN(client_name, r.GetString());
+        return Status::OK();
+      }();
+      if (!parsed.ok()) return bad_payload(parsed);
+      if (version != kProtocolVersion) {
+        *close_conn = true;
+        return SendError(
+            sock, Status::Unsupported(
+                      "protocol version " + std::to_string(version) +
+                      " (server speaks " + std::to_string(kProtocolVersion) +
+                      ")"));
+      }
+      conn->session = service_->OpenSession();
+      conn->helloed = true;
+      Writer w;
+      w.PutU32(kProtocolVersion);
+      w.PutU8(options_.read_only ? 1 : 0);
+      w.PutU64(conn->session);
+      w.PutString(options_.server_name);
+      return reply(MsgType::kHelloOk, w.buffer());
+    }
+
+    case MsgType::kQuery: {
+      std::string script;
+      service::QueryOptions opts;
+      Status parsed = [&]() -> Status {
+        CCDB_ASSIGN_OR_RETURN(script, r.GetString());
+        return GetQueryOptions(&r, &opts);
+      }();
+      if (!parsed.ok()) return bad_payload(parsed);
+      Result<service::QueryResponse> result =
+          service_->Execute(conn->session, script, std::move(opts));
+      if (!result.ok()) return SendError(sock, result.status());
+      Writer w;
+      PutQueryResponse(&w, *result);
+      return reply(MsgType::kResult, w.buffer());
+    }
+
+    case MsgType::kSubmit: {
+      std::string script;
+      service::QueryOptions opts;
+      Status parsed = [&]() -> Status {
+        CCDB_ASSIGN_OR_RETURN(script, r.GetString());
+        return GetQueryOptions(&r, &opts);
+      }();
+      if (!parsed.ok()) return bad_payload(parsed);
+      Result<service::Submission> submitted =
+          service_->Submit(conn->session, std::move(script), std::move(opts));
+      if (!submitted.ok()) return SendError(sock, submitted.status());
+      conn->pending[submitted->query_id] = std::move(submitted->future);
+      Writer w;
+      w.PutU64(submitted->query_id);
+      return reply(MsgType::kSubmitted, w.buffer());
+    }
+
+    case MsgType::kWait: {
+      Result<uint64_t> id = r.GetU64();
+      if (!id.ok()) return bad_payload(id.status());
+      auto it = conn->pending.find(*id);
+      if (it == conn->pending.end()) {
+        return SendError(
+            sock, Status::NotFound("query id " + std::to_string(*id) +
+                                   " is not pending on this connection"));
+      }
+      std::future<Result<service::QueryResponse>> future =
+          std::move(it->second);
+      conn->pending.erase(it);
+      Result<service::QueryResponse> result = future.get();
+      if (!result.ok()) return SendError(sock, result.status());
+      Writer w;
+      PutQueryResponse(&w, *result);
+      return reply(MsgType::kResult, w.buffer());
+    }
+
+    case MsgType::kCancel: {
+      Result<uint64_t> id = r.GetU64();
+      if (!id.ok()) return bad_payload(id.status());
+      Status cancelled = service_->Cancel(conn->session, *id);
+      if (!cancelled.ok()) return SendError(sock, cancelled);
+      return reply(MsgType::kOk, {});
+    }
+
+    case MsgType::kCheckpoint: {
+      if (options_.read_only) {
+        return SendError(sock,
+                         Status::Unavailable("read-only replica: CHECKPOINT "
+                                             "must run on the leader"));
+      }
+      Status checkpointed = service_->Checkpoint();
+      if (!checkpointed.ok()) return SendError(sock, checkpointed);
+      return reply(MsgType::kOk, {});
+    }
+
+    case MsgType::kMetrics: {
+      Writer w;
+      w.PutString(MetricsText());
+      return reply(MsgType::kMetricsText, w.buffer());
+    }
+
+    case MsgType::kTrace: {
+      Result<std::string> script = r.GetString();
+      if (!script.ok()) return bad_payload(script.status());
+      Result<service::TraceReport> report =
+          service_->Trace(conn->session, *script);
+      if (!report.ok()) return SendError(sock, report.status());
+      Writer w;
+      w.PutU8(report->used_plan ? 1 : 0);
+      w.PutString(report->plan_text);
+      w.PutString(report->root.ToString());
+      PutQueryResponse(&w, report->response);
+      return reply(MsgType::kTraceResult, w.buffer());
+    }
+
+    case MsgType::kListRelations: {
+      const std::vector<std::string> names =
+          service_->VisibleNames(conn->session);
+      Writer w;
+      w.PutU32(static_cast<uint32_t>(names.size()));
+      for (const std::string& name : names) w.PutString(name);
+      return reply(MsgType::kNameList, w.buffer());
+    }
+
+    case MsgType::kGetRelation: {
+      Result<std::string> name = r.GetString();
+      if (!name.ok()) return bad_payload(name.status());
+      Result<Relation> relation = service_->GetRelation(conn->session, *name);
+      if (!relation.ok()) return SendError(sock, relation.status());
+      Writer w;
+      PutRelation(&w, *relation);
+      return reply(MsgType::kRelationData, w.buffer());
+    }
+
+    case MsgType::kLoadRelation: {
+      if (options_.read_only) {
+        return SendError(sock, Status::Unavailable(
+                                   "read-only replica: writes must go to "
+                                   "the leader"));
+      }
+      std::string name;
+      Relation relation;
+      Status parsed = [&]() -> Status {
+        CCDB_ASSIGN_OR_RETURN(name, r.GetString());
+        return GetRelation(&r, &relation);
+      }();
+      if (!parsed.ok()) return bad_payload(parsed);
+      Status loaded = service_->ReplaceRelation(name, std::move(relation));
+      if (!loaded.ok()) return SendError(sock, loaded);
+      return reply(MsgType::kOk, {});
+    }
+
+    case MsgType::kShipWal: {
+      Result<uint64_t> from_lsn = r.GetU64();
+      if (!from_lsn.ok()) return bad_payload(from_lsn.status());
+      return HandleShipWal(sock, *from_lsn);
+    }
+
+    default:
+      // Unreachable: IsKnownMsgType gated the type byte and responses
+      // were rejected above.
+      protocol_errors_->Increment();
+      *close_conn = true;
+      return SendError(sock, Status::Internal("unhandled request type"));
+  }
+}
+
+Status Server::SendSnapshot(Socket* sock) {
+  Result<DurableStore::ReplicationSnapshot> snapshot =
+      options_.store->SnapshotForReplica();
+  if (!snapshot.ok()) return SendError(sock, snapshot.status());
+  const size_t image_bytes = snapshot->pages.size() * kPageSize;
+  if (image_bytes + 64 > kMaxFramePayload) {
+    return SendError(sock, Status::ResourceExhausted(
+                               "snapshot of " +
+                               std::to_string(snapshot->pages.size()) +
+                               " pages exceeds the frame bound"));
+  }
+  Writer w;
+  w.PutU64(snapshot->next_lsn);
+  w.PutU64(snapshot->catalog_root);
+  w.PutU32(static_cast<uint32_t>(snapshot->pages.size()));
+  for (const Page& page : snapshot->pages) {
+    w.PutBytes(page.data.data(), kPageSize);
+  }
+  ship_snapshots_->Increment();
+  uint64_t sent = 0;
+  Status out = WriteFrame(sock, MsgType::kSnapshot, w.buffer(), &sent);
+  bytes_out_->Add(sent);
+  return out;
+}
+
+Status Server::HandleShipWal(Socket* sock, uint64_t from_lsn) {
+  if (options_.store == nullptr) {
+    return SendError(sock, Status::Unavailable(
+                               "no durable store attached: this server "
+                               "cannot ship its WAL"));
+  }
+  if (from_lsn == 0) return SendSnapshot(sock);
+
+  std::vector<std::vector<uint8_t>> records;
+  uint64_t next_lsn = 0;
+  Status read = options_.store->ReadShipment(from_lsn, &records, &next_lsn);
+  if (read.code() == StatusCode::kOutOfRange) {
+    // The log no longer covers the follower's position (a checkpoint
+    // truncated it, or the follower is from another timeline): the only
+    // correct answer is a fresh bootstrap image.
+    return SendSnapshot(sock);
+  }
+  if (!read.ok()) return SendError(sock, read);
+
+  // Fault injection (tests): each shipped record has a server-lifetime
+  // 1-based sequence number the fault indexes match against.
+  const ShipFaults& faults = options_.ship_faults;
+  std::vector<std::vector<uint8_t>*> to_send;
+  to_send.reserve(records.size());
+  for (std::vector<uint8_t>& record : records) to_send.push_back(&record);
+  for (size_t i = 0; i < to_send.size(); ++i) {
+    const uint64_t seq = ship_seq_.fetch_add(1) + 1;
+    if (faults.drop_at == seq) {
+      to_send.erase(to_send.begin() + static_cast<ptrdiff_t>(i));
+      --i;
+      continue;
+    }
+    if (faults.truncate_at == seq) {
+      to_send[i]->resize(to_send[i]->size() / 2);
+    }
+    if (faults.corrupt_at == seq && !to_send[i]->empty()) {
+      (*to_send[i])[to_send[i]->size() / 2] ^= 0x5a;
+    }
+    if (faults.reorder_at == seq && i + 1 < to_send.size()) {
+      std::swap(to_send[i], to_send[i + 1]);
+    }
+  }
+
+  for (const std::vector<uint8_t>* record : to_send) {
+    ship_batches_->Increment();
+    uint64_t sent = 0;
+    Status wrote = WriteFrame(sock, MsgType::kWalBatch, *record, &sent);
+    bytes_out_->Add(sent);
+    CCDB_RETURN_IF_ERROR(wrote);
+  }
+  Writer w;
+  w.PutU64(next_lsn);
+  uint64_t sent = 0;
+  Status out = WriteFrame(sock, MsgType::kShipEnd, w.buffer(), &sent);
+  bytes_out_->Add(sent);
+  return out;
+}
+
+}  // namespace ccdb::net

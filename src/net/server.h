@@ -1,0 +1,164 @@
+#ifndef CCDB_NET_SERVER_H_
+#define CCDB_NET_SERVER_H_
+
+/// \file server.h
+/// The wire-protocol front door: a TCP server over a QueryService.
+///
+/// `Server` binds a listening socket and maps each accepted connection
+/// onto one `QueryService` session served by a dedicated thread (the
+/// service's worker pool — not the connection thread — executes the
+/// queries, so a slow query never blocks the protocol loop of another
+/// connection). The connection thread parses frames (`net/wire.h`),
+/// dispatches them, and streams responses back; every service-level
+/// failure crosses the wire as a `kError` frame carrying the full
+/// `Status` — code, message, and `retry_after_ms()` — so a client sees
+/// governance shedding exactly as an in-process caller does.
+///
+/// Protocol errors (oversized length, unknown type, CRC mismatch, torn
+/// frame) never crash or wedge the server: the connection gets a
+/// best-effort `kError` and is closed, its session reclaimed.
+///
+/// With a `DurableStore` attached, the server is also a *replication
+/// leader*: `SHIP_WAL from_lsn` answers with either the committed raw WAL
+/// batch records from that LSN on (a stream of `kWalBatch` frames ending
+/// in `kShipEnd`) or — when the log can no longer serve it, or
+/// `from_lsn` is 0 — a full `kSnapshot` bootstrap image. `ShipFaults`
+/// injects dropped / truncated / corrupted / reordered shipments for
+/// re-sync testing.
+///
+/// Shutdown() is a graceful drain: stop accepting, shut down every live
+/// connection's socket (unblocking its protocol loop), join all threads,
+/// close all sessions.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.h"
+#include "obs/registry.h"
+#include "service/query_service.h"
+#include "storage/wal.h"
+#include "util/mutex.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace ccdb::net {
+
+/// Shipping fault injection (tests): 1-based indexes into the
+/// server-lifetime sequence of shipped batch records; 0 disables. Each
+/// fires once.
+struct ShipFaults {
+  uint64_t drop_at = 0;      ///< silently omit the Nth shipped batch
+  uint64_t truncate_at = 0;  ///< ship only the first half of its bytes
+  uint64_t corrupt_at = 0;   ///< flip one byte of its body
+  uint64_t reorder_at = 0;   ///< swap it with the next batch (same shipment)
+};
+
+/// Construction-time knobs of a Server.
+struct ServerOptions {
+  uint16_t port = 0;          ///< 0 = ephemeral (read back via port())
+  size_t max_connections = 64;  ///< beyond this: typed kUnavailable refusal
+  /// Refuse catalog writes and checkpoints (kUnavailable) — the follower
+  /// front-end of a read replica.
+  bool read_only = false;
+  /// Optional durable store; enables SHIP_WAL (the leader side of
+  /// replication). Not owned; must outlive the server.
+  DurableStore* store = nullptr;
+  std::string server_name = "ccdb";
+  ShipFaults ship_faults;     ///< replication fault injection (tests)
+};
+
+/// A TCP server exposing one QueryService over the binary wire protocol.
+/// All public methods are thread-safe.
+class Server {
+ public:
+  /// Binds, then starts the accept loop. `service` is not owned and must
+  /// outlive the server.
+  static Result<std::unique_ptr<Server>> Start(service::QueryService* service,
+                                               ServerOptions options = {});
+
+  /// Graceful drain (equivalent to Shutdown()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (stable after Start).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, unblocks and joins every connection thread, closes
+  /// their sessions. Idempotent.
+  void Shutdown();
+
+  /// Connections currently being served.
+  size_t open_connections() const CCDB_EXCLUDES(mu_);
+
+  /// The `\metrics` rendering: service metrics followed by the server's
+  /// own `net.*` registry dump.
+  std::string MetricsText() const;
+
+  /// The server's network metrics (net.connections.*, net.bytes.*, ...).
+  obs::MetricsRegistry& registry() { return registry_; }
+
+ private:
+  Server(service::QueryService* service, ServerOptions options);
+
+  void AcceptLoop();
+  /// Serves one connection until EOF, protocol error, or drain.
+  void ServeConnection(uint64_t conn_id, Socket sock);
+  /// Joins finished connection threads (called from the accept loop).
+  void ReapFinished() CCDB_EXCLUDES(mu_);
+
+  /// Per-connection protocol state.
+  struct Conn {
+    service::SessionId session = 0;
+    bool helloed = false;
+    /// SUBMITted queries not yet WAITed on.
+    std::map<uint64_t, std::future<Result<service::QueryResponse>>> pending;
+  };
+
+  /// Dispatches one request frame; `*close_conn` asks the caller to end
+  /// the connection after the reply. A non-OK return means the reply
+  /// could not be sent (socket gone) — the loop exits.
+  Status Dispatch(Conn* conn, Socket* sock, const Frame& frame,
+                  bool* close_conn);
+  Status SendError(Socket* sock, const Status& error);
+  Status HandleShipWal(Socket* sock, uint64_t from_lsn);
+  Status SendSnapshot(Socket* sock);
+
+  service::QueryService* service_;
+  ServerOptions options_;
+  Listener listener_;
+  uint16_t port_ = 0;
+
+  mutable Mutex mu_;
+  bool stopping_ CCDB_GUARDED_BY(mu_) = false;
+  uint64_t next_conn_id_ CCDB_GUARDED_BY(mu_) = 1;
+  /// Sockets of live connections (owned by their threads' stacks; entries
+  /// are registered before the first read and removed before the socket
+  /// dies, so ShutdownBoth through this map is always safe).
+  std::map<uint64_t, Socket*> live_ CCDB_GUARDED_BY(mu_);
+  std::map<uint64_t, std::thread> threads_ CCDB_GUARDED_BY(mu_);
+  std::vector<uint64_t> finished_ CCDB_GUARDED_BY(mu_);
+  std::thread accept_thread_;
+
+  /// Server-lifetime count of shipped batch records (fault-injection
+  /// indexes are matched against it).
+  std::atomic<uint64_t> ship_seq_{0};
+
+  mutable obs::MetricsRegistry registry_;
+  obs::Counter* conns_total_;
+  obs::Counter* bytes_in_;
+  obs::Counter* bytes_out_;
+  obs::Counter* frames_in_;
+  obs::Counter* protocol_errors_;
+  obs::Counter* ship_batches_;
+  obs::Counter* ship_snapshots_;
+};
+
+}  // namespace ccdb::net
+
+#endif  // CCDB_NET_SERVER_H_

@@ -1,0 +1,136 @@
+#ifndef CCDB_NET_WIRE_H_
+#define CCDB_NET_WIRE_H_
+
+/// \file wire.h
+/// The CCDB binary wire protocol: framing and payload codecs.
+///
+/// Every message on the wire is one *frame*:
+///
+///     [u32 payload_len][u8 type][payload bytes][u32 crc]
+///
+/// all little-endian; the CRC-32 (same polynomial as the WAL's) covers the
+/// type byte followed by the payload, so a flipped type or a corrupted
+/// body is detected before dispatch. `payload_len` is bounded by
+/// `kMaxFramePayload` — a garbage length prefix surfaces as a typed
+/// protocol error, never as a multi-gigabyte allocation.
+///
+/// Payloads are built with the storage layer's `Writer`/`Reader`
+/// (little-endian, length-prefixed — the same primitives that serialize
+/// tuples on disk), so relations cross the wire in exactly their catalog
+/// serialization. Statuses cross via `EncodeStatus`/`DecodeStatus`
+/// (util/status.h): code, `retry_after_ms()` hint, and message round-trip,
+/// so governance shedding on the server surfaces to remote clients with
+/// the same backoff hint in-process callers see.
+///
+/// The request/response vocabulary (`MsgType`) is deliberately flat — one
+/// request frame in, one or more response frames out, ending with exactly
+/// one terminal frame per request (`kShipWal` streams `kWalBatch` frames
+/// before its terminal `kShipEnd`/`kSnapshot`/`kError`).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+#include "service/query_service.h"
+#include "storage/serde.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace ccdb::net {
+
+/// Bumped on any incompatible change; HELLO fails on mismatch.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Upper bound on a frame's payload. Large enough for a bootstrap
+/// snapshot of any disk the tests or benches build (16 Ki pages), small
+/// enough that a hostile length prefix cannot balloon memory.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// Bytes of frame overhead around the payload (length, type, CRC).
+inline constexpr size_t kFrameOverhead = 4 + 1 + 4;
+
+/// Frame types. Requests are < 64, responses >= 64.
+enum class MsgType : uint8_t {
+  // --- Requests ---
+  kHello = 1,        ///< u32 version, string client name
+  kQuery = 2,        ///< string script, QueryOptions
+  kSubmit = 3,       ///< string script, QueryOptions
+  kWait = 4,         ///< u64 query id
+  kCancel = 5,       ///< u64 query id
+  kCheckpoint = 6,   ///< (empty)
+  kMetrics = 7,      ///< (empty)
+  kTrace = 8,        ///< string script
+  kListRelations = 9,   ///< (empty)
+  kGetRelation = 10,    ///< string name
+  kLoadRelation = 11,   ///< string name, relation
+  kShipWal = 12,        ///< u64 from_lsn (0 = request a full snapshot)
+
+  // --- Responses ---
+  kOk = 64,          ///< (empty) — generic success
+  kError = 65,       ///< EncodeStatus bytes
+  kResult = 66,      ///< QueryResponse
+  kSubmitted = 67,   ///< u64 query id
+  kMetricsText = 68, ///< string rendering
+  kTraceResult = 69, ///< u8 used_plan, string plan, string trace,
+                     ///< QueryResponse
+  kNameList = 70,    ///< u32 n, n strings
+  kRelationData = 71,  ///< relation
+  kHelloOk = 72,     ///< u32 version, u8 read_only, u64 session id,
+                     ///< string server name
+  kSnapshot = 73,    ///< u64 next_lsn, u64 catalog_root, u32 n_pages,
+                     ///< n_pages x kPageSize raw images
+  kWalBatch = 74,    ///< raw committed WAL batch record bytes
+  kShipEnd = 75,     ///< u64 leader next_lsn
+};
+
+/// True for a type byte this protocol version knows.
+bool IsKnownMsgType(uint8_t type);
+
+/// Human-readable type name ("QUERY", "SHIP_WAL", ...; "?" when unknown).
+const char* MsgTypeName(MsgType type);
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// Writes one frame. `bytes_out`, when given, is incremented by the bytes
+/// put on the wire. kInvalidArgument when the payload exceeds
+/// `kMaxFramePayload`; IoError when the peer is gone.
+Status WriteFrame(Socket* sock, MsgType type,
+                  const std::vector<uint8_t>& payload,
+                  uint64_t* bytes_out = nullptr);
+
+/// Reads one frame. `bytes_in`, when given, is incremented by the bytes
+/// consumed. Errors:
+///  - kUnavailable "peer closed": clean EOF between frames;
+///  - kIoError: EOF or socket error mid-frame (a torn frame);
+///  - kInvalidArgument: oversized length prefix, unknown type byte, or
+///    CRC mismatch — the caller cannot trust the stream past this point.
+Status ReadFrame(Socket* sock, Frame* out, uint64_t* bytes_in = nullptr);
+
+// --- Payload codecs ---
+//
+// Encoders append to a Writer; decoders consume from a Reader and fail
+// with kInvalidArgument on malformed bytes. Every Get* mirrors a Put*.
+
+void PutQueryOptions(Writer* w, const service::QueryOptions& opts);
+Status GetQueryOptions(Reader* r, service::QueryOptions* out);
+
+void PutRelation(Writer* w, const Relation& relation);
+Status GetRelation(Reader* r, Relation* out);
+
+void PutQueryResponse(Writer* w, const service::QueryResponse& response);
+Status GetQueryResponse(Reader* r, service::QueryResponse* out);
+
+/// The kError payload: `EncodeStatus` bytes. DecodeErrorPayload fails
+/// with kInvalidArgument when the payload itself is malformed; otherwise
+/// `*out` is the transported (always non-OK on the wire) status.
+std::vector<uint8_t> EncodeErrorPayload(const Status& status);
+Status DecodeErrorPayload(const std::vector<uint8_t>& payload, Status* out);
+
+}  // namespace ccdb::net
+
+#endif  // CCDB_NET_WIRE_H_

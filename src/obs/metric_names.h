@@ -48,6 +48,16 @@ inline constexpr char kWalBatches[] = "wal.batches";
 inline constexpr char kWalFsyncs[] = "wal.fsyncs";
 inline constexpr char kWalCheckpoints[] = "wal.checkpoints";
 
+// --- Network edge (net::Server registry; counters unless noted) ---
+inline constexpr char kNetConnectionsOpen[] = "net.connections.open";  // gauge
+inline constexpr char kNetConnectionsTotal[] = "net.connections.total";
+inline constexpr char kNetBytesIn[] = "net.bytes_in";
+inline constexpr char kNetBytesOut[] = "net.bytes_out";
+inline constexpr char kNetFramesIn[] = "net.frames_in";
+inline constexpr char kNetProtocolErrors[] = "net.protocol_errors";
+inline constexpr char kNetShipBatches[] = "net.ship.batches";
+inline constexpr char kNetShipSnapshots[] = "net.ship.snapshots";
+
 // --- Per-query distributions (histograms) ---
 inline constexpr char kQueryLatencyUs[] = "query.latency_us";
 inline constexpr char kQueryFmEliminations[] = "query.fm_eliminations";

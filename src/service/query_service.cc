@@ -390,8 +390,12 @@ void QueryService::WorkerLoop() {
         if (r.ok() && exec.aborting()) return exec.trip_status();
         return r;
       } catch (const std::exception& e) {
-        return Status::Internal(std::string("uncaught exception in worker: ") +
-                                e.what());
+        // Normalized for the wire: what() is unbounded attacker/library
+        // text, so clamp it to exactly what a remote client would see —
+        // in-process callers and network callers get the identical
+        // status.
+        return NormalizeStatusForWire(Status::Internal(
+            std::string("uncaught exception in worker: ") + e.what()));
       } catch (...) {
         return Status::Internal("uncaught non-standard exception in worker");
       }

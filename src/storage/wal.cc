@@ -55,6 +55,47 @@ void AppendU64(std::vector<uint8_t>* buf, uint64_t v) {
   buf->insert(buf->end(), tmp, tmp + 8);
 }
 
+/// Outcome of probing one batch record at a stream position.
+enum class RecordProbe {
+  kNone,       ///< no record starts here (end of log, or zeroed space)
+  kTorn,       ///< a record starts but fails validation (torn/corrupt)
+  kCommitted,  ///< a whole, CRC-intact, committed record
+};
+
+/// Parsed header of a committed record (frames are decoded separately).
+struct RecordView {
+  uint64_t lsn = 0;
+  PageId catalog_root = kInvalidPageId;
+  uint32_t n_frames = 0;
+  size_t frames_at = 0;    ///< offset of the first frame, from record start
+  size_t total_size = 0;   ///< whole record incl. CRC and commit marker
+};
+
+/// The one framing check shared by recovery, shipping re-reads, and the
+/// replica's apply path: magic, bounded frame count, full body present,
+/// CRC-32 over the body, commit marker, and (when `expect_lsn` != 0) the
+/// exactly-sequential LSN rule.
+RecordProbe ProbeRecord(const uint8_t* data, size_t len, size_t pos,
+                        uint64_t expect_lsn, RecordView* out) {
+  if (len - pos < kRecordOverhead) return RecordProbe::kNone;
+  if (LoadU32(data + pos) != kBatchMagic) return RecordProbe::kNone;
+  out->lsn = LoadU64(data + pos + 4);
+  out->catalog_root = LoadU64(data + pos + 12);
+  out->n_frames = LoadU32(data + pos + 20);
+  if (out->n_frames > kMaxFrames) return RecordProbe::kTorn;
+  const size_t body = 24 + static_cast<size_t>(out->n_frames) * kFrameSize;
+  if (len - pos < body + 8) return RecordProbe::kTorn;
+  const uint32_t crc = LoadU32(data + pos + body);
+  const uint32_t commit = LoadU32(data + pos + body + 4);
+  if (commit != kCommitMagic || crc != Crc32(data + pos + 4, body - 4) ||
+      (expect_lsn != 0 && out->lsn != expect_lsn)) {
+    return RecordProbe::kTorn;
+  }
+  out->frames_at = 24;
+  out->total_size = body + 8;
+  return RecordProbe::kCommitted;
+}
+
 }  // namespace
 
 uint32_t Crc32(const uint8_t* data, size_t len) {
@@ -90,6 +131,7 @@ Status WriteAheadLog::Create() {
   log_pages_.assign(1, first);
   append_pos_ = 0;
   next_lsn_ = 1;
+  lsn_floor_ = 1;
   recovered_root_ = kInvalidPageId;
   tail_image_.Zero();
   StoreU64(tail_image_.bytes(), kInvalidPageId);
@@ -138,41 +180,30 @@ Status WriteAheadLog::Open(PageId header_page) {
   uint64_t expect = lsn_floor;
   PageId root = header_root;
   while (true) {
-    if (stream.size() - pos < kRecordOverhead) break;
-    if (LoadU32(&stream[pos]) != kBatchMagic) break;
-    const uint64_t lsn = LoadU64(&stream[pos + 4]);
-    const PageId record_root = LoadU64(&stream[pos + 12]);
-    const uint32_t n_frames = LoadU32(&stream[pos + 20]);
-    if (n_frames > kMaxFrames) {
-      discarded_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    }
-    const size_t body = 24 + static_cast<size_t>(n_frames) * kFrameSize;
-    if (stream.size() - pos < body + 8) {
-      discarded_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    }
-    const uint32_t crc = LoadU32(&stream[pos + body]);
-    const uint32_t commit = LoadU32(&stream[pos + body + 4]);
-    if (commit != kCommitMagic || crc != Crc32(&stream[pos + 4], body - 4) ||
-        lsn != expect) {
+    RecordView view;
+    RecordProbe probe =
+        ProbeRecord(stream.data(), stream.size(), pos, expect, &view);
+    if (probe == RecordProbe::kNone) break;
+    if (probe == RecordProbe::kTorn) {
       discarded_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     // Committed: redo every page image (idempotent).
-    for (uint32_t f = 0; f < n_frames; ++f) {
-      const size_t frame = pos + 24 + static_cast<size_t>(f) * kFrameSize;
+    for (uint32_t f = 0; f < view.n_frames; ++f) {
+      const size_t frame =
+          pos + view.frames_at + static_cast<size_t>(f) * kFrameSize;
       const PageId page_id = LoadU64(&stream[frame]);
       Page image;
       std::memcpy(image.bytes(), &stream[frame + 8], kPageSize);
       CCDB_RETURN_IF_ERROR(disk_->Write(page_id, image));
     }
     recovered_.fetch_add(1, std::memory_order_relaxed);
-    root = record_root;
+    root = view.catalog_root;
     ++expect;
-    pos += body + 8;
+    pos += view.total_size;
   }
 
+  lsn_floor_ = lsn_floor;
   next_lsn_ = expect;
   recovered_root_ = root;
   append_pos_ = pos;
@@ -288,6 +319,7 @@ Status WriteAheadLog::Truncate(PageId catalog_root) {
   // supersedes them is saved.
   CCDB_RETURN_IF_ERROR(WriteHeader(catalog_root, next_lsn_));
   recovered_root_ = catalog_root;
+  lsn_floor_ = next_lsn_;
   // Reset the tail before zeroing: even if a zeroing write fails below,
   // new commits must overwrite from the front (their LSNs are at the
   // floor, so leftover old records can never be replayed).
@@ -306,6 +338,57 @@ Status WriteAheadLog::Truncate(PageId catalog_root) {
   return Status::OK();
 }
 
+Status WriteAheadLog::ReadCommittedRecords(
+    uint64_t from_lsn, std::vector<std::vector<uint8_t>>* out) {
+  out->clear();
+  if (from_lsn < lsn_floor_ || from_lsn > next_lsn_) {
+    return Status::OutOfRange(
+        "LSN " + std::to_string(from_lsn) + " outside the served window [" +
+        std::to_string(lsn_floor_) + ", " + std::to_string(next_lsn_) + "]");
+  }
+  if (from_lsn == next_lsn_) return Status::OK();  // caught up
+
+  // Rebuild the payload stream from disk — committed records occupy
+  // exactly [0, append_pos_); every page up to there was durably written
+  // by its commit's AppendBytes.
+  std::vector<uint8_t> stream;
+  stream.reserve(append_pos_);
+  for (PageId id : log_pages_) {
+    if (stream.size() >= append_pos_) break;
+    Page page;
+    CCDB_RETURN_IF_ERROR(disk_->Read(id, &page));
+    stream.insert(stream.end(), page.bytes() + 8, page.bytes() + kPageSize);
+  }
+  if (stream.size() < append_pos_) {
+    return Status::Internal("WAL chain shorter than its append position");
+  }
+  stream.resize(append_pos_);
+
+  size_t pos = 0;
+  uint64_t expect = lsn_floor_;
+  while (pos < stream.size()) {
+    RecordView view;
+    if (ProbeRecord(stream.data(), stream.size(), pos, expect, &view) !=
+        RecordProbe::kCommitted) {
+      return Status::Internal("committed WAL record failed to re-parse at "
+                              "LSN " + std::to_string(expect));
+    }
+    if (view.lsn >= from_lsn) {
+      out->emplace_back(stream.begin() + static_cast<ptrdiff_t>(pos),
+                        stream.begin() +
+                            static_cast<ptrdiff_t>(pos + view.total_size));
+    }
+    ++expect;
+    pos += view.total_size;
+  }
+  if (expect != next_lsn_) {
+    return Status::Internal("WAL re-read stopped at LSN " +
+                            std::to_string(expect) + ", expected " +
+                            std::to_string(next_lsn_));
+  }
+  return Status::OK();
+}
+
 Status WriteAheadLog::WriteHeader(PageId catalog_root, uint64_t next_lsn) {
   Page header;
   header.Zero();
@@ -316,6 +399,38 @@ Status WriteAheadLog::WriteHeader(PageId catalog_root, uint64_t next_lsn) {
   StoreU64(header.bytes() + 20, next_lsn);
   CCDB_RETURN_IF_ERROR(disk_->Write(header_page_, header));
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ParseShippedBatch(const std::vector<uint8_t>& record,
+                         uint64_t expect_lsn, ShippedBatch* out) {
+  RecordView view;
+  RecordProbe probe = ProbeRecord(record.data(), record.size(), 0, 0, &view);
+  if (probe != RecordProbe::kCommitted) {
+    return Status::InvalidArgument(
+        "batch record rejected: " +
+        std::string(probe == RecordProbe::kNone ? "no record framing"
+                                                : "torn or corrupt record"));
+  }
+  if (view.total_size != record.size()) {
+    return Status::InvalidArgument("batch record carries trailing bytes");
+  }
+  if (expect_lsn != 0 && view.lsn != expect_lsn) {
+    return Status::OutOfRange("batch LSN " + std::to_string(view.lsn) +
+                              ", expected " + std::to_string(expect_lsn) +
+                              " (dropped or reordered shipment)");
+  }
+  out->lsn = view.lsn;
+  out->catalog_root = view.catalog_root;
+  out->frames.clear();
+  out->frames.reserve(view.n_frames);
+  for (uint32_t f = 0; f < view.n_frames; ++f) {
+    const size_t at = view.frames_at + static_cast<size_t>(f) * kFrameSize;
+    WalFrame frame;
+    frame.page_id = LoadU64(&record[at]);
+    std::memcpy(frame.image.bytes(), &record[at + 8], kPageSize);
+    out->frames.push_back(std::move(frame));
+  }
   return Status::OK();
 }
 
@@ -447,6 +562,29 @@ Result<Database> DurableStore::LoadCatalog() {
   MutexLock lock(mu_);
   if (catalog_root_ == kInvalidPageId) return Database{};
   return LoadDatabase(&pool_, catalog_root_);
+}
+
+Result<DurableStore::ReplicationSnapshot> DurableStore::SnapshotForReplica() {
+  MutexLock lock(mu_);
+  ReplicationSnapshot snap;
+  snap.next_lsn = wal_.next_lsn();
+  snap.catalog_root = catalog_root_;
+  const size_t n = disk_->num_pages();
+  snap.pages.resize(n);
+  for (PageId id = 0; id < n; ++id) {
+    // Through the staging overlay: a committed-but-unapplied image is the
+    // page's true content (recovery would re-apply it).
+    CCDB_RETURN_IF_ERROR(wal_pager_.Read(id, &snap.pages[id]));
+  }
+  return snap;
+}
+
+Status DurableStore::ReadShipment(uint64_t from_lsn,
+                                  std::vector<std::vector<uint8_t>>* records,
+                                  uint64_t* next_lsn) {
+  MutexLock lock(mu_);
+  *next_lsn = wal_.next_lsn();
+  return wal_.ReadCommittedRecords(from_lsn, records);
 }
 
 Status DurableStore::Checkpoint() {

@@ -79,6 +79,23 @@ struct WalFrame {
   Page image;
 };
 
+/// One committed batch decoded from its on-wire/on-disk record — what a
+/// read replica applies. Produced by `ParseShippedBatch`.
+struct ShippedBatch {
+  uint64_t lsn = 0;
+  PageId catalog_root = kInvalidPageId;
+  std::vector<WalFrame> frames;
+};
+
+/// Validates and decodes one raw batch record (the exact bytes
+/// `WriteAheadLog` journals: magic, LSN, root, frames, CRC-32, commit
+/// marker). This is the same framing check recovery applies, so a replica
+/// rejects a dropped/truncated/corrupted/reordered shipment exactly where
+/// recovery would reject a torn tail. `expect_lsn` enforces the sequential
+/// apply order (0 skips the check — used by tests).
+Status ParseShippedBatch(const std::vector<uint8_t>& record,
+                         uint64_t expect_lsn, ShippedBatch* out);
+
 /// The page-chained redo log. See the file comment for the protocol.
 class WriteAheadLog {
  public:
@@ -105,7 +122,20 @@ class WriteAheadLog {
   /// then zeroes the log chain so recovery replays nothing.
   Status Truncate(PageId catalog_root);
 
+  /// Re-reads the log chain and returns the raw record bytes of every
+  /// committed batch with LSN >= `from_lsn`, in LSN order (the shipping
+  /// source for read replicas; each record round-trips through
+  /// `ParseShippedBatch`). kOutOfRange when `from_lsn` is below the
+  /// current LSN floor (a checkpoint truncated those records — the
+  /// follower must re-bootstrap from a snapshot) or beyond `next_lsn()`.
+  Status ReadCommittedRecords(uint64_t from_lsn,
+                              std::vector<std::vector<uint8_t>>* out);
+
   PageId header_page() const { return header_page_; }
+
+  /// LSN of the oldest record the log can still serve (advanced by
+  /// Truncate to the post-checkpoint position).
+  uint64_t lsn_floor() const { return lsn_floor_; }
 
   /// Catalog root recovered by Open() (or written by the last Truncate);
   /// kInvalidPageId when no batch has ever committed.
@@ -142,6 +172,7 @@ class WriteAheadLog {
   size_t append_pos_ = 0;          // byte offset into the payload stream
   Page tail_image_;                // in-memory image of the tail log page
   uint64_t next_lsn_ = 1;
+  uint64_t lsn_floor_ = 1;
   PageId recovered_root_ = kInvalidPageId;
 
   std::atomic<uint64_t> bytes_appended_{0};
@@ -236,6 +267,28 @@ class DurableStore {
 
   /// Applies any pending images and truncates the log.
   Status Checkpoint() CCDB_EXCLUDES(mu_);
+
+  // --- Replication (the WAL-shipping leader side) ---
+
+  /// A consistent point-in-time image for replica bootstrap: every disk
+  /// page (read through the staging overlay, so committed-but-unapplied
+  /// images are included), the catalog root, and the LSN the follower is
+  /// caught up to after loading it.
+  struct ReplicationSnapshot {
+    uint64_t next_lsn = 1;           ///< follower is at next_lsn - 1
+    PageId catalog_root = kInvalidPageId;
+    std::vector<Page> pages;         ///< page id = vector index
+  };
+  Result<ReplicationSnapshot> SnapshotForReplica() CCDB_EXCLUDES(mu_);
+
+  /// Raw committed batch records with LSN >= `from_lsn`, in order, plus
+  /// the current `*next_lsn` (what the follower should ask for next).
+  /// kOutOfRange when the log can no longer serve `from_lsn` (checkpoint
+  /// truncated it, or the follower is ahead of this leader) — the
+  /// follower must re-bootstrap from `SnapshotForReplica`.
+  Status ReadShipment(uint64_t from_lsn,
+                      std::vector<std::vector<uint8_t>>* records,
+                      uint64_t* next_lsn) CCDB_EXCLUDES(mu_);
 
   /// The WAL header page id — the single root needed to `Open` the store.
   PageId wal_root() const CCDB_EXCLUDES(mu_) {

@@ -1,0 +1,173 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace ccdb {
+
+namespace {
+
+std::string Errno(const char* op) {
+  return std::string(op) + ": " + std::strerror(errno);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  // Best-effort: a socket without NODELAY is slower, not wrong.
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Status Socket::SendAll(const void* data, size_t len) {
+  if (fd_ < 0) return Status::IoError("send on a closed socket");
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a vanished peer must be an IoError, not SIGPIPE.
+    ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("send"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(void* data, size_t len) {
+  if (fd_ < 0) return Status::IoError("recv on a closed socket");
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("recv"));
+    }
+    if (n == 0) {
+      if (got == 0) return Status::Unavailable("peer closed");
+      return Status::IoError("peer closed mid-frame (" + std::to_string(got) +
+                             "/" + std::to_string(len) + " bytes)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownSend() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> TcpConnect(const std::string& host, uint16_t port) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::IoError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  Status last = Status::IoError("no addresses for " + host);
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::IoError(Errno("socket"));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Status::IoError("connect " + host + ":" + service + ": " +
+                             std::strerror(errno));
+      ::close(fd);
+      continue;
+    }
+    SetNoDelay(fd);
+    ::freeaddrinfo(res);
+    return Socket(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+Result<Listener> Listener::Bind(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(Errno("socket"));
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = Status::IoError("bind port " + std::to_string(port) + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 128) != 0) {
+    Status s = Status::IoError(Errno("listen"));
+    ::close(fd);
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    Status s = Status::IoError(Errno("getsockname"));
+    ::close(fd);
+    return s;
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<Socket> Listener::Accept() {
+  // Snapshot the fd: Close() from another thread is the shutdown signal.
+  const int fd = fd_;
+  if (fd < 0) return Status::Unavailable("listener closed");
+  while (true) {
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) {
+      SetNoDelay(conn);
+      return Socket(conn);
+    }
+    if (errno == EINTR) continue;
+    // EBADF / EINVAL after a concurrent Close(): clean shutdown.
+    return Status::Unavailable(Errno("accept"));
+  }
+}
+
+void Listener::Close() {
+  // exchange() makes concurrent Close() calls race-free: exactly one
+  // caller sees the live fd and closes it.
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() unblocks a concurrent accept() on Linux where close()
+    // alone may not.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace ccdb

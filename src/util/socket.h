@@ -1,0 +1,115 @@
+#ifndef CCDB_UTIL_SOCKET_H_
+#define CCDB_UTIL_SOCKET_H_
+
+/// \file socket.h
+/// Thin Status-returning TCP primitives for the network edge.
+///
+/// `Socket` is a move-only owner of a connected stream fd with exact-size
+/// send/recv helpers; `Listener` owns a bound, listening fd and hands out
+/// accepted `Socket`s. Everything returns `Status` — no exceptions, no
+/// console writes — and sends suppress SIGPIPE so a peer that vanishes
+/// mid-reply surfaces as an IoError on the writing thread, not a process
+/// kill. These are the only files allowed to touch the raw socket
+/// syscalls (`tools/ccdb_lint.py`, rule `net-socket`); the framing layer
+/// in `src/net/wire.h` builds on them.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ccdb {
+
+/// A connected TCP stream. Move-only; the destructor closes the fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Writes exactly `len` bytes (retrying short writes / EINTR).
+  /// IoError when the peer has gone away.
+  Status SendAll(const void* data, size_t len);
+
+  /// Reads exactly `len` bytes. kUnavailable with message "peer closed"
+  /// on a clean EOF *before the first byte*; IoError on EOF mid-buffer
+  /// (a torn frame) or any socket error.
+  Status RecvAll(void* data, size_t len);
+
+  /// Half-close: no more sends; the peer reads EOF.
+  void ShutdownSend();
+
+  /// Full shutdown: unblocks any thread blocked in RecvAll/SendAll on
+  /// this socket (used for graceful server drain). Safe to call from a
+  /// thread other than the one doing I/O; does not close the fd.
+  void ShutdownBoth();
+
+  /// Closes the fd (idempotent).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to `host:port` (numeric or resolvable host). Sets TCP_NODELAY
+/// — the protocol is request/response and Nagle would serialize it.
+Result<Socket> TcpConnect(const std::string& host, uint16_t port);
+
+/// A listening TCP socket bound to the loopback-reachable wildcard.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+
+  Listener(Listener&& other) noexcept
+      : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
+  Listener& operator=(Listener&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_.store(other.fd_.exchange(-1));
+      port_ = other.port_;
+    }
+    return *this;
+  }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens; `port` 0 picks an ephemeral port (read it back
+  /// from `port()`).
+  static Result<Listener> Bind(uint16_t port);
+
+  /// Blocks for the next connection. kUnavailable once Close() has been
+  /// called from another thread (the accept-loop exit signal).
+  Result<Socket> Accept();
+
+  /// Closes the listening fd; a blocked Accept() returns kUnavailable.
+  void Close();
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_.load() >= 0; }
+
+ private:
+  /// Atomic because Close() is the cross-thread shutdown signal for a
+  /// concurrently blocked Accept().
+  std::atomic<int> fd_{-1};
+  uint16_t port_ = 0;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_SOCKET_H_

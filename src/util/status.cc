@@ -1,6 +1,43 @@
 #include "util/status.h"
 
+#include <cstdint>
+#include <cstring>
+
 namespace ccdb {
+
+namespace {
+
+constexpr uint32_t kMaxCode = static_cast<uint32_t>(StatusCode::kResourceExhausted);
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {
@@ -43,6 +80,66 @@ std::string Status::ToString() const {
     out += " (retry after " + std::to_string(retry_after_ms_) + " ms)";
   }
   return out;
+}
+
+std::string EncodeStatus(const Status& status) {
+  std::string msg = status.message();
+  if (msg.size() > kMaxStatusMessageBytes) {
+    msg.resize(kMaxStatusMessageBytes - 3);
+    msg += "...";
+  }
+  std::string out;
+  out.reserve(16 + msg.size());
+  AppendU32(&out, static_cast<uint32_t>(status.code()));
+  const int64_t retry = status.ok() ? 0 : status.retry_after_ms();
+  AppendU64(&out, retry > 0 ? static_cast<uint64_t>(retry) : 0);
+  AppendU32(&out, static_cast<uint32_t>(msg.size()));
+  out += msg;
+  return out;
+}
+
+Status DecodeStatus(const std::string& bytes, Status* out) {
+  if (bytes.size() < 16) {
+    return Status::InvalidArgument("status wire record too short");
+  }
+  const uint32_t code = LoadU32(bytes.data());
+  const uint64_t retry = LoadU64(bytes.data() + 4);
+  const uint32_t len = LoadU32(bytes.data() + 12);
+  if (code > kMaxCode) {
+    return Status::InvalidArgument("status code " + std::to_string(code) +
+                                   " out of range");
+  }
+  if (len > kMaxStatusMessageBytes) {
+    return Status::InvalidArgument("status message length " +
+                                   std::to_string(len) + " over the cap");
+  }
+  if (bytes.size() != 16 + static_cast<size_t>(len)) {
+    return Status::InvalidArgument("status wire record length mismatch");
+  }
+  if (retry > static_cast<uint64_t>(INT64_MAX)) {
+    return Status::InvalidArgument("status retry hint out of range");
+  }
+  if (code == 0) {
+    if (len != 0 || retry != 0) {
+      return Status::InvalidArgument("OK status with message or retry hint");
+    }
+    *out = Status::OK();
+    return Status::OK();
+  }
+  Status decoded(static_cast<StatusCode>(code), bytes.substr(16, len));
+  if (retry > 0) decoded.WithRetryAfter(static_cast<int64_t>(retry));
+  *out = std::move(decoded);
+  return Status::OK();
+}
+
+Status NormalizeStatusForWire(const Status& status) {
+  Status decoded;
+  Status parsed = DecodeStatus(EncodeStatus(status), &decoded);
+  // A status we just encoded always parses; if this invariant ever broke
+  // we must not lose the original failure, so fall back to it.
+  assert(parsed.ok());
+  if (!parsed.ok()) return status;
+  return decoded;
 }
 
 }  // namespace ccdb

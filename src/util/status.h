@@ -168,6 +168,38 @@ class [[nodiscard]] Result {
   Status status_ = Status::OK();
 };
 
+// --- Wire serialization -----------------------------------------------------
+//
+// A `Status` must survive a process boundary intact: the network edge
+// (src/net/) reports every failure as a serialized status, and governance's
+// admission control is only useful remotely if `retry_after_ms()` crosses
+// the wire with the code and message. The encoding is little-endian
+// [u32 code][u64 retry_after_ms][u32 msg_len][msg bytes] — self-contained
+// (no dependency on the storage serde) so util stays a leaf.
+
+/// Longest message EncodeStatus preserves; longer messages are truncated
+/// with a marker. Bounds what a hostile or buggy peer can make us allocate.
+inline constexpr size_t kMaxStatusMessageBytes = 4096;
+
+/// Serializes a status (code, message, retry hint) to its wire form.
+/// Messages beyond `kMaxStatusMessageBytes` are truncated with a trailing
+/// "...". OK statuses encode too (code 0, empty message).
+std::string EncodeStatus(const Status& status);
+
+/// Parses a wire-form status into `*out`. Returns kInvalidArgument on
+/// short input, trailing garbage, an out-of-range code, a field set an
+/// in-process Status cannot carry (kOk with a message or retry hint), or
+/// a message length beyond `kMaxStatusMessageBytes`. (Not `Result<Status>`:
+/// that instantiation would make the value and error constructors
+/// ambiguous.)
+Status DecodeStatus(const std::string& bytes, Status* out);
+
+/// Round-trips a status through the wire encoding, so in-process callers
+/// (e.g. the worker exception barrier) observe exactly what a network
+/// client would: same truncation, same field set. Encode/decode of a
+/// locally constructed status cannot fail; this asserts that.
+Status NormalizeStatusForWire(const Status& status);
+
 /// Explicitly discards a `Status` (or `Result<T>`) that is intentionally
 /// ignored — e.g. best-effort rollback where the original error is the one
 /// being reported. `[[nodiscard]]` + `-Werror=unused-result` makes a bare

@@ -26,6 +26,12 @@ Enforces the repo's documented contracts that the compiler cannot:
                   (calls .Insert( inside a loop) polls a governance
                   check-point, so deadlines/cancellation can always
                   unwind and budget trips can truncate soundly.
+  net-socket      raw socket syscalls (socket/bind/listen/accept/connect/
+                  send/recv/setsockopt/getaddrinfo/...) appear only in
+                  src/util/socket.cc — everything else speaks through the
+                  Status-returning Socket/Listener wrappers, so error
+                  handling, SIGPIPE suppression, and shutdown semantics
+                  live in exactly one place.
 
 Run from anywhere:  tools/ccdb_lint.py  (exit 0 = clean).
 """
@@ -201,6 +207,33 @@ def check_no_iostream(path: Path, clean: str) -> None:
                    "take a caller-owned std::ostream")
 
 
+# --- Rule: net-socket -------------------------------------------------------
+
+# Raw socket-layer syscalls; the capitalized wrapper methods (SendAll,
+# Accept, ...) never match. `(?:^|[^\w.>])` keeps `foo::connect(` (a
+# namespaced method) out while still catching a global-namespace
+# ` ::connect(`.
+SOCKET_CALL_RE = re.compile(
+    r"(?:^|[^\w.>])(?:::\s*)?"
+    r"(socket|bind|listen|accept|accept4|connect|send|recv|sendto|"
+    r"recvfrom|sendmsg|recvmsg|setsockopt|getsockopt|getaddrinfo|"
+    r"freeaddrinfo|getsockname|getpeername|shutdown|inet_pton|inet_ntop|"
+    r"htons|ntohs|htonl|ntohl)\s*\(")
+SOCKET_IMPL = SRC / "util" / "socket.cc"
+
+
+def check_net_socket(path: Path, clean: str) -> None:
+    if path == SOCKET_IMPL:
+        return
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        m = SOCKET_CALL_RE.search(line)
+        if m:
+            report("net-socket", path, lineno,
+                   f"raw socket call `{m.group(1)}(` outside "
+                   "src/util/socket.cc — go through the Socket/Listener "
+                   "wrappers (src/util/socket.h)")
+
+
 # --- Rule: governance check-points ------------------------------------------
 
 # Files whose tuple-materializing operator loops must poll governance.
@@ -288,6 +321,7 @@ def main() -> int:
         check_raw_mutex(path, clean)
         check_void_discard(path, clean)
         check_no_iostream(path, clean)
+        check_net_socket(path, clean)
     check_metrics()
     check_governance()
 
@@ -296,7 +330,7 @@ def main() -> int:
             print(v, file=sys.stderr)
         print(f"ccdb_lint: {len(violations)} violation(s)", file=sys.stderr)
         return 1
-    print(f"ccdb_lint: ok ({len(files)} files, 6 rules)")
+    print(f"ccdb_lint: ok ({len(files)} files, 7 rules)")
     return 0
 
 

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Multi-process network stress (wired into ctest as `stress_net`).
+#
+# Boots a real ccdb_serve leader and a WAL-shipping ccdb_serve replica as
+# separate daemons on ephemeral ports, populates the leader over the wire,
+# waits for the replica to serve the replicated relation, then hammers
+# BOTH daemons with concurrent bench_net --client processes. Fails on any
+# client error, a daemon that dies, or (via the hard KILL timeout) a hang
+# anywhere in the stack.
+#
+# usage: stress_net.sh <ccdb_serve-binary> <bench_net-binary>
+
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <ccdb_serve-binary> <bench_net-binary>" >&2
+  exit 2
+fi
+
+# Hard stop: re-exec under `timeout --signal=KILL` so a wedged daemon or a
+# client stuck in a blocking read fails the test instead of hanging ctest.
+if [[ -z "${STRESS_NET_INNER:-}" ]] && command -v timeout >/dev/null 2>&1; then
+  STRESS_NET_INNER=1 exec timeout --signal=KILL 300 "$0" "$@"
+fi
+
+serve_bin=$1
+bench_bin=$2
+workdir=$(mktemp -d)
+daemon_pids=()
+
+cleanup() {
+  for pid in "${daemon_pids[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "stress_net: $1" >&2
+  shift
+  for log in "$@"; do
+    echo "--- $log ---" >&2
+    cat "$log" >&2 || true
+  done
+  exit 1
+}
+
+# Polls a daemon log for the "listening on port N" line; prints the port.
+wait_port() {
+  local log=$1 port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on port \([0-9][0-9]*\).*/\1/p' "$log" |
+           head -n 1)
+    [[ -n "$port" ]] && { echo "$port"; return 0; }
+    sleep 0.1
+  done
+  fail "daemon did not come up" "$log"
+}
+
+leader_log="$workdir/leader.log"
+replica_log="$workdir/replica.log"
+
+"$serve_bin" --port 0 </dev/null >"$leader_log" 2>&1 &
+daemon_pids+=($!)
+leader_port=$(wait_port "$leader_log")
+echo "stress_net: leader on port $leader_port"
+
+"$serve_bin" --port 0 --replica-of "127.0.0.1:$leader_port" \
+  </dev/null >"$replica_log" 2>&1 &
+daemon_pids+=($!)
+replica_port=$(wait_port "$replica_log")
+echo "stress_net: replica on port $replica_port"
+
+# Populate the leader over the wire (LoadRelation commits through the WAL,
+# so the write also ships to the replica).
+"$bench_bin" --load "$leader_port" 200 7 ||
+  fail "--load against the leader failed" "$leader_log"
+
+# The replica applies the shipment on its own poll cadence; probe with a
+# one-query client until the replicated relation is queryable.
+replica_ready=0
+for _ in $(seq 1 100); do
+  if "$bench_bin" --client "$replica_port" 99 1 >/dev/null 2>&1; then
+    replica_ready=1
+    break
+  fi
+  sleep 0.1
+done
+[[ "$replica_ready" == 1 ]] ||
+  fail "replica never served the replicated relation" \
+       "$leader_log" "$replica_log"
+
+# The storm: 4 clients on the leader and 2 on the replica, concurrently,
+# 200 queries each over one connection apiece.
+client_pids=()
+for id in 0 1 2 3; do
+  "$bench_bin" --client "$leader_port" "$id" 200 \
+    >/dev/null 2>"$workdir/leader_client_$id.err" &
+  client_pids+=($!)
+done
+for id in 4 5; do
+  "$bench_bin" --client "$replica_port" "$id" 200 \
+    >/dev/null 2>"$workdir/replica_client_$id.err" &
+  client_pids+=($!)
+done
+
+status=0
+for pid in "${client_pids[@]}"; do
+  wait "$pid" || status=1
+done
+if [[ "$status" != 0 ]]; then
+  fail "a client run failed" "$workdir"/*.err "$leader_log" "$replica_log"
+fi
+
+# Both daemons must have survived the storm.
+for pid in "${daemon_pids[@]}"; do
+  kill -0 "$pid" 2>/dev/null ||
+    fail "a daemon died during the storm" "$leader_log" "$replica_log"
+done
+
+echo "stress_net: ok (6 clients x 200 queries across leader + replica)"
