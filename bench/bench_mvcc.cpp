@@ -1,0 +1,209 @@
+// Reader latency under the MVCC catalog: writer-idle vs writer-storm.
+//
+// The point of the copy-on-write snapshot catalog is that readers pin a
+// snapshot at submission and never block behind catalog writers. This
+// bench measures read-query latency (client-observed, p50/p99) at
+// 1/2/4/8 concurrent readers, first with the catalog quiescent and then
+// under a paced writer committing BEGIN/COMMIT transactions that replace
+// the very relation the readers scan. The acceptance bar for the MVCC
+// PR: storm p99 within 1.5x of the idle baseline at every reader count.
+//
+// The result cache is off so every query executes (a storm would
+// invalidate the cache and make the comparison cache-hit-rate, not
+// catalog-contention). The writer is paced (~1 ms between commits)
+// because CI runs single-core: an unpaced writer would measure CPU
+// starvation, not lock contention (~2 ms between commits). Replacement
+// relations are generated up front for the same reason.
+//
+// With --json each result is one machine-readable line (see
+// bench_common.h), recorded in CI as the BENCH_mvcc.json trajectory.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace ccdb::bench {
+namespace {
+
+constexpr const char* kBench = "bench_mvcc";
+
+/// Distinct read-only scripts over the shared "Boxes" relation.
+std::vector<std::string> MakeScripts(size_t count) {
+  std::vector<std::string> scripts;
+  for (size_t i = 0; i < count; ++i) {
+    const int lo = static_cast<int>((i * 157) % 2400);
+    if (i % 2 == 0) {
+      scripts.push_back("R0 = select x >= " + std::to_string(lo) +
+                        ", x <= " + std::to_string(lo + 400) +
+                        " from Boxes\nR1 = project R0 on y");
+    } else {
+      scripts.push_back("R0 = select y >= " + std::to_string(lo) +
+                        ", y <= " + std::to_string(lo + 300) +
+                        " from Boxes");
+    }
+  }
+  return scripts;
+}
+
+struct LatencyResult {
+  double p50_us = 0;
+  double p99_us = 0;
+  double mean_us = 0;
+  uint64_t commits = 0;  ///< writer transactions committed during the run
+};
+
+double Percentile(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(samples->size() - 1) + 0.5);
+  return (*samples)[std::min(idx, samples->size() - 1)];
+}
+
+/// Runs `per_reader` queries on each of `readers` sessions; when
+/// `storm` is set, a paced writer concurrently commits one-statement
+/// transactions replacing "Boxes" for the whole duration.
+LatencyResult RunReaders(Database* base, size_t readers, bool storm,
+                         const std::vector<std::string>& scripts,
+                         const std::vector<Relation>& replacements,
+                         size_t per_reader) {
+  service::ServiceOptions options;
+  options.num_workers = readers;
+  options.max_queue_depth = 2 * readers + 8;
+  options.cache_capacity = 0;  // every query executes
+  service::QueryService service(base, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> commits{0};
+  std::thread writer;
+  if (storm) {
+    writer = std::thread([&] {
+      const service::SessionId id = service.OpenSession();
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Status s = service.Begin(id);
+        if (s.ok()) {
+          s = service.ReplaceRelation(id, "Boxes",
+                                      replacements[i % replacements.size()]);
+        }
+        if (s.ok()) s = service.Commit(id);
+        if (s.ok()) {
+          ++i;
+          commits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          IgnoreError(service.Rollback(id));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      IgnoreError(service.CloseSession(id));
+    });
+  }
+
+  std::mutex samples_mu;
+  std::vector<double> samples;
+  samples.reserve(readers * per_reader);
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  for (size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      const service::SessionId id = service.OpenSession();
+      std::vector<double> local;
+      local.reserve(per_reader);
+      for (size_t q = 0; q < per_reader; ++q) {
+        const auto start = std::chrono::steady_clock::now();
+        auto response =
+            service.Execute(id, scripts[(r * 7 + q) % scripts.size()]);
+        const auto end = std::chrono::steady_clock::now();
+        if (!response.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       response.status().ToString().c_str());
+          continue;
+        }
+        local.push_back(
+            std::chrono::duration<double, std::micro>(end - start).count());
+      }
+      IgnoreError(service.CloseSession(id));
+      std::lock_guard<std::mutex> lock(samples_mu);
+      samples.insert(samples.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop.store(true);
+  if (writer.joinable()) writer.join();
+
+  LatencyResult out;
+  out.commits = commits.load();
+  out.p50_us = Percentile(&samples, 0.50);
+  out.p99_us = Percentile(&samples, 0.99);
+  double sum = 0;
+  for (double s : samples) sum += s;
+  out.mean_us = samples.empty() ? 0 : sum / static_cast<double>(samples.size());
+  return out;
+}
+
+}  // namespace
+}  // namespace ccdb::bench
+
+int main(int argc, char** argv) {
+  using namespace ccdb;         // NOLINT: benchmark brevity
+  using namespace ccdb::bench;  // NOLINT
+  ParseBenchFlags(argc, argv);
+
+  WorkloadParams params;
+  params.data_count = 200;
+  Database base;
+  Status created = base.Create(
+      "Boxes", BoxesToConstraintRelation(GenerateDataBoxes(7, params)));
+  if (!created.ok()) {
+    std::fprintf(stderr, "%s\n", created.ToString().c_str());
+    return 1;
+  }
+
+  // Same-size replacements, pre-generated so the single-core writer
+  // spends its time committing, not generating data.
+  std::vector<Relation> replacements;
+  for (uint64_t seed = 11; seed < 19; ++seed) {
+    replacements.push_back(
+        BoxesToConstraintRelation(GenerateDataBoxes(seed, params)));
+  }
+
+  const std::vector<std::string> scripts = bench::MakeScripts(32);
+  const size_t kPerReader = 96;
+
+  if (!JsonOutputEnabled()) {
+    std::printf("MVCC reader latency — %zu queries/reader, 200 data boxes, "
+                "cache off, paced writer storm\n",
+                kPerReader);
+  }
+
+  for (size_t readers : {1u, 2u, 4u, 8u}) {
+    const LatencyResult idle = RunReaders(&base, readers, /*storm=*/false,
+                                          scripts, replacements, kPerReader);
+    const LatencyResult storm = RunReaders(&base, readers, /*storm=*/true,
+                                           scripts, replacements, kPerReader);
+    const double ratio = idle.p99_us > 0 ? storm.p99_us / idle.p99_us : 0;
+
+    const std::string idle_name =
+        "reader_p99_r" + std::to_string(readers) + "_idle";
+    EmitResult(kBench, idle_name.c_str(), idle.p99_us, "us",
+               {{"readers", static_cast<double>(readers)},
+                {"p50_us", idle.p50_us},
+                {"mean_us", idle.mean_us}});
+    const std::string storm_name =
+        "reader_p99_r" + std::to_string(readers) + "_storm";
+    EmitResult(kBench, storm_name.c_str(), storm.p99_us, "us",
+               {{"readers", static_cast<double>(readers)},
+                {"p50_us", storm.p50_us},
+                {"mean_us", storm.mean_us},
+                {"writer_commits", static_cast<double>(storm.commits)},
+                {"p99_vs_idle", ratio}});
+  }
+  return 0;
+}

@@ -15,6 +15,8 @@
 //   load <path>                 load a .cdb file
 //   save <path>                 export the database as a .cdb file
 //   plan <relation>             advisor: joint vs separate indexing hints
+//   BEGIN / COMMIT / ROLLBACK   multi-statement catalog transaction
+//   \txn                        show the open transaction's state
 //   \trace <script|file>        EXPLAIN ANALYZE: run with per-operator spans
 //   \metrics                    query-service metrics snapshot
 //   \checkpoint                 apply pending pages + truncate the WAL
@@ -64,8 +66,10 @@ void PrintHelp() {
   R6 = rename x to t in R5
   R7 = buffer-join L and P within 5 [using fid]
   R8 = k-nearest L and P k 3 [using fid]
-Shell commands: show/schema/list/load/save/plan/\trace/\metrics/\checkpoint/
-                \deadline/\submit/\wait/\cancel/help/quit
+Shell commands: show/schema/list/load/save/plan/\txn/\trace/\metrics/
+                \checkpoint/\deadline/\submit/\wait/\cancel/help/quit
+  BEGIN / COMMIT / ROLLBACK  stage loads as one atomic catalog commit
+  \txn                 show the open transaction (id, epoch, staged writes)
   \trace <statement>   run one statement with per-operator spans
   \trace <file>        run a multi-step script file the same way
   \deadline <ms>|off   set/clear a wall-clock budget for later statements
@@ -143,8 +147,10 @@ void TraceScript(service::QueryService* service, service::SessionId session,
 }
 
 /// Loads a .cdb file and installs its relations through the service (so
-/// versions bump and dependent cache entries invalidate).
-void LoadInto(service::QueryService* service, const std::string& path) {
+/// versions bump and dependent cache entries invalidate). Session-scoped:
+/// inside BEGIN...COMMIT the load stages with the transaction.
+void LoadInto(service::QueryService* service, service::SessionId session,
+              const std::string& path) {
   Database staged;
   Status s = lang::LoadDatabaseFile(path, &staged);
   if (!s.ok()) {
@@ -152,13 +158,36 @@ void LoadInto(service::QueryService* service, const std::string& path) {
     return;
   }
   for (const std::string& name : staged.Names()) {
-    Status replaced = service->ReplaceRelation(name, **staged.Get(name));
+    Status replaced =
+        service->ReplaceRelation(session, name, **staged.Get(name));
     if (!replaced.ok()) {
       std::cout << name << ": " << replaced.ToString() << "\n";
       return;
     }
   }
   std::cout << "ok\n";
+}
+
+/// `\txn`: shows the session's transaction state (id, pinned snapshot
+/// epoch, staged writes) or "no open transaction".
+void ShowTxn(service::QueryService* service, service::SessionId session) {
+  auto info = service->TransactionInfo(session);
+  if (!info.ok()) {
+    std::cout << info.status().ToString() << "\n";
+    return;
+  }
+  if (!info->active) {
+    std::cout << "no open transaction (catalog epoch "
+              << service->CatalogEpoch() << ")\n";
+    return;
+  }
+  std::cout << "txn " << info->txn_id << " open, snapshot epoch "
+            << info->snapshot_epoch << ", " << info->staged_writes.size()
+            << " staged write(s)";
+  for (const std::string& name : info->staged_writes) {
+    std::cout << "\n  " << name;
+  }
+  std::cout << "\n";
 }
 
 /// `\trace` against a connected server: same EXPLAIN ANALYZE rendering,
@@ -236,6 +265,15 @@ std::pair<std::string, uint16_t> SplitHostPort(const std::string& arg) {
 void PrintResponse(const Result<service::QueryResponse>& response) {
   if (!response.ok()) {
     std::cout << response.status().ToString() << "\n";
+    return;
+  }
+  if (response->step == "BEGIN" || response->step == "COMMIT" ||
+      response->step == "ROLLBACK") {
+    // Transaction controls have no result relation worth printing.
+    std::cout << (response->step == "BEGIN"      ? "transaction open"
+                  : response->step == "COMMIT"   ? "committed"
+                                                 : "rolled back")
+              << "\n";
     return;
   }
   if (response->cache_hit) std::cout << "(cached)\n";
@@ -427,6 +465,17 @@ int main(int argc, char** argv) {
       pending.erase(it);
       continue;
     }
+    if (command == "\\txn") {
+      if (remote != nullptr) {
+        // The server keeps the transaction with the connection's session;
+        // state travels as ordinary statements, so just say how to use it.
+        std::cout << "connected mode: BEGIN / COMMIT / ROLLBACK run "
+                     "server-side on this connection's session\n";
+      } else {
+        ShowTxn(&service, session);
+      }
+      continue;
+    }
     if (command == "\\metrics" || command == "metrics") {
       if (remote != nullptr) {
         auto text = remote->MetricsText();
@@ -502,7 +551,7 @@ int main(int argc, char** argv) {
       } else if (command == "plan") {
         AdvisePlan(&service, session, arg);
       } else if (command == "load") {
-        LoadInto(&service, arg);
+        LoadInto(&service, session, arg);
       } else {
         Database snapshot = service.CloneBase();
         Status s = lang::SaveDatabaseFile(arg, snapshot);

@@ -8,11 +8,14 @@
 /// (Definition 2 of the paper). `Database` is that set plus the naming that
 /// the step-based query language (§3.3's `R0 = select ... from Land`) needs.
 ///
-/// The accessors are virtual so the service layer can interpose a
-/// session-scoped overlay (see `service/query_service.h`): step results go
-/// to a private per-session catalog while base relations resolve from the
-/// shared one. `Database` itself stays single-threaded; concurrent access
-/// is coordinated by the service layer's reader-writer lock.
+/// The accessors are virtual so other layers can interpose read views:
+/// the service's session overlay (step results go to a private per-session
+/// catalog while base relations resolve from the shared one) and the MVCC
+/// snapshot adapter (`SnapshotReadView` in `data/snapshot.h`, which serves
+/// an immutable published catalog snapshot through this interface).
+/// `Database` itself stays single-threaded; concurrent access is
+/// coordinated by the service layer's snapshot publication (see
+/// `service/query_service.h`).
 
 #include <cstdint>
 #include <map>
@@ -57,12 +60,12 @@ class Database {
   /// Version of the relation currently registered under `name`: 0 when the
   /// name is unbound, otherwise a counter bumped by every Create /
   /// CreateOrReplace / Drop of that name.
-  uint64_t Version(const std::string& name) const;
+  virtual uint64_t Version(const std::string& name) const;
 
   /// Names in sorted order.
-  std::vector<std::string> Names() const;
+  virtual std::vector<std::string> Names() const;
 
-  size_t size() const { return relations_.size(); }
+  virtual size_t size() const { return relations_.size(); }
 
  private:
   std::map<std::string, Relation> relations_;

@@ -1,6 +1,7 @@
 #include "lang/query.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <optional>
 #include <set>
@@ -341,6 +342,38 @@ Result<std::vector<std::string>> ScriptInputs(const std::string& script) {
       });
   CCDB_RETURN_IF_ERROR(s);
   return std::vector<std::string>(inputs.begin(), inputs.end());
+}
+
+TxnStatement ClassifyTxnStatement(const std::string& script) {
+  std::istringstream in(script);
+  std::string line;
+  std::string statement;
+  while (std::getline(in, line)) {
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (!statement.empty()) return TxnStatement::kNone;  // multi-statement
+    statement = std::move(trimmed);
+  }
+  if (statement.empty()) return TxnStatement::kNone;
+
+  // Split into whitespace-separated words, uppercased.
+  std::vector<std::string> words;
+  std::istringstream tokens(statement);
+  std::string word;
+  while (tokens >> word) {
+    for (char& c : word) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    words.push_back(word);
+  }
+  if (words.empty() || words.size() > 2) return TxnStatement::kNone;
+  if (words.size() == 2 && words[1] != "TRANSACTION") {
+    return TxnStatement::kNone;
+  }
+  if (words[0] == "BEGIN") return TxnStatement::kBegin;
+  if (words[0] == "COMMIT") return TxnStatement::kCommit;
+  if (words[0] == "ROLLBACK") return TxnStatement::kRollback;
+  return TxnStatement::kNone;
 }
 
 }  // namespace ccdb::lang

@@ -79,6 +79,24 @@ Result<std::string> CanonicalizeScript(const std::string& script);
 /// cannot happen.
 Result<std::vector<std::string>> ScriptInputs(const std::string& script);
 
+/// Transaction-control statements, recognized before a script reaches the
+/// step-statement executor.
+enum class TxnStatement {
+  kNone,      ///< not a transaction control — a normal script
+  kBegin,     ///< BEGIN [TRANSACTION]
+  kCommit,    ///< COMMIT [TRANSACTION]
+  kRollback,  ///< ROLLBACK [TRANSACTION]
+};
+
+/// Classifies a whole submission as a transaction control. Matches only
+/// when, after stripping comments and blank lines, the script is exactly
+/// one statement of the form `BEGIN` / `COMMIT` / `ROLLBACK` (optionally
+/// followed by `TRANSACTION`), case-insensitive. Anything else — including
+/// a control keyword mixed into a multi-statement script — is kNone and
+/// flows through normal execution (where `BEGIN` is a parse error, as
+/// before).
+TxnStatement ClassifyTxnStatement(const std::string& script);
+
 }  // namespace ccdb::lang
 
 #endif  // CCDB_LANG_QUERY_H_

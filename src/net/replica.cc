@@ -1,5 +1,6 @@
 #include "net/replica.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 #include <vector>
@@ -33,6 +34,7 @@ Result<std::unique_ptr<Replica>> Replica::Start(
       std::unique_ptr<Replica>(new Replica(service, std::move(options)));
   replica->leader_host_ = leader_host;
   replica->leader_port_ = leader_port;
+  replica->publish_session_ = service->OpenSession();
   ClientOptions copts;
   copts.client_name = replica->options_.client_name;
   CCDB_ASSIGN_OR_RETURN(std::unique_ptr<Client> client,
@@ -57,6 +59,11 @@ void Replica::Stop() {
     if (client_ != nullptr) client_->Close();
   }
   if (sync_thread_.joinable()) sync_thread_.join();
+  if (publish_session_ != 0) {
+    // Rolls back a publish transaction a dying sync round left open.
+    IgnoreError(service_->CloseSession(publish_session_));
+    publish_session_ = 0;
+  }
 }
 
 void Replica::SyncLoop() {
@@ -178,19 +185,39 @@ Status Replica::PublishCatalog() {
   if (catalog_root_ != kInvalidPageId) {
     CCDB_ASSIGN_OR_RETURN(db, LoadDatabase(&pool_, catalog_root_));
   }
+  // Stage the whole catalog delta in a follower-service transaction and
+  // commit it as ONE snapshot publication: a concurrent reader sees the
+  // full pre-sync catalog or the full post-sync catalog, never a
+  // half-applied mix (regression: torn follower reads mid-publish).
+  CCDB_RETURN_IF_ERROR(service_->Begin(publish_session_));
+  Status staged = Status::OK();
   const std::vector<std::string> names = db.Names();
   for (const std::string& name : names) {
-    CCDB_ASSIGN_OR_RETURN(const Relation* relation, db.Get(name));
-    CCDB_RETURN_IF_ERROR(service_->ReplaceRelation(name, *relation));
+    auto relation = db.Get(name);
+    if (!relation.ok()) {
+      staged = relation.status();
+      break;
+    }
+    staged = service_->ReplaceRelation(publish_session_, name, **relation);
+    if (!staged.ok()) break;
   }
-  // Drop relations that vanished from the leader's catalog.
-  std::set<std::string> now(names.begin(), names.end());
-  for (const std::string& name : published_) {
-    if (now.count(name) == 0) {
-      CCDB_RETURN_IF_ERROR(service_->DropRelation(name));
+  if (staged.ok()) {
+    // Drop relations that vanished from the leader's catalog.
+    for (const std::string& name : published_) {
+      if (!std::binary_search(names.begin(), names.end(), name)) {
+        staged = service_->DropRelation(publish_session_, name);
+        if (!staged.ok()) break;
+      }
     }
   }
-  published_ = std::move(now);
+  if (!staged.ok()) {
+    IgnoreError(service_->Rollback(publish_session_));
+    return staged;
+  }
+  // The replica is the follower catalog's only writer, so this commit
+  // cannot lose a first-committer-wins race.
+  CCDB_RETURN_IF_ERROR(service_->Commit(publish_session_));
+  published_ = std::set<std::string>(names.begin(), names.end());
   return Status::OK();
 }
 

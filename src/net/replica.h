@@ -25,10 +25,14 @@
 ///    invalid batch is ever applied.
 ///
 /// After any sync that changed the disk, the replica reloads the catalog
-/// from its local pages and pushes the relations into its own (follower)
-/// `QueryService`, which serves read-only queries — typically fronted by
-/// a `net::Server` with `read_only = true`. Replica lag is reported in
-/// batches (`leader_next_lsn - 1 - applied_lsn`) via `stats()`.
+/// from its local pages and publishes it into its own (follower)
+/// `QueryService` as ONE transaction: the whole delta — replaced and
+/// dropped relations alike — is staged in the replica's dedicated session
+/// and committed as a single catalog-snapshot swap, so follower readers
+/// never observe a half-applied sync. The follower service serves
+/// read-only queries — typically fronted by a `net::Server` with
+/// `read_only = true`. Replica lag is reported in batches
+/// (`leader_next_lsn - 1 - applied_lsn`) via `stats()`.
 
 #include <atomic>
 #include <cstdint>
@@ -116,14 +120,18 @@ class Replica {
   Status ApplyRecord(const std::vector<uint8_t>& record) CCDB_REQUIRES(mu_);
   /// Grows the local disk until `page_id` exists.
   Status EnsurePage(PageId page_id) CCDB_REQUIRES(mu_);
-  /// Reloads the catalog from the local disk and pushes it into the
-  /// follower service.
+  /// Reloads the catalog from the local disk and publishes it into the
+  /// follower service atomically (one staged transaction, one commit).
   Status PublishCatalog() CCDB_REQUIRES(mu_);
 
   service::QueryService* service_;
   ReplicaOptions options_;
   std::string leader_host_;
   uint16_t leader_port_ = 0;
+  /// Follower-service session owning the publish transactions. Opened in
+  /// Start() before any sync runs, closed in Stop(); only the mu_-guarded
+  /// sync path uses it in between.
+  service::SessionId publish_session_ = 0;
 
   /// Serializes sync rounds and guards all replication state.
   mutable Mutex mu_;

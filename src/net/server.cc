@@ -371,7 +371,10 @@ Status Server::Dispatch(Conn* conn, Socket* sock, const Frame& frame,
         return GetRelation(&r, &relation);
       }();
       if (!parsed.ok()) return bad_payload(parsed);
-      Status loaded = service_->ReplaceRelation(name, std::move(relation));
+      // Session-scoped: a load inside the client's BEGIN...COMMIT stages
+      // with the transaction instead of autocommitting past it.
+      Status loaded =
+          service_->ReplaceRelation(conn->session, name, std::move(relation));
       if (!loaded.ok()) return SendError(sock, loaded);
       return reply(MsgType::kOk, {});
     }

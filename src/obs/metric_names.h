@@ -36,6 +36,13 @@ inline constexpr char kGovCancels[] = "governance.cancels";
 inline constexpr char kGovSheds[] = "governance.sheds";
 inline constexpr char kGovTruncated[] = "governance.truncated";
 
+// --- Transactions & MVCC (counters; catalog.epoch is a gauge) ---
+inline constexpr char kTxnBegins[] = "txn.begins";
+inline constexpr char kTxnCommits[] = "txn.commits";
+inline constexpr char kTxnRollbacks[] = "txn.rollbacks";
+inline constexpr char kTxnConflicts[] = "txn.conflicts";
+inline constexpr char kCatalogEpoch[] = "catalog.epoch";  // gauge
+
 // --- Service view (gauges, published at snapshot time) ---
 inline constexpr char kQueueDepth[] = "queue.depth";
 inline constexpr char kQueueHighWater[] = "queue.high_water";

@@ -85,6 +85,15 @@ std::string ServiceMetrics::ToString() const {
                 static_cast<unsigned long long>(cache_entries));
   out += buf;
   std::snprintf(buf, sizeof(buf),
+                "txn:      %llu begun, %llu committed, %llu rolled back, "
+                "%llu conflicts, epoch %llu\n",
+                static_cast<unsigned long long>(txn_begins),
+                static_cast<unsigned long long>(txn_commits),
+                static_cast<unsigned long long>(txn_rollbacks),
+                static_cast<unsigned long long>(txn_conflicts),
+                static_cast<unsigned long long>(catalog_epoch));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
                 "governance: %llu deadline, %llu budget, %llu cancelled, "
                 "%llu shed, %llu truncated\n",
                 static_cast<unsigned long long>(deadline_hits),

@@ -48,6 +48,12 @@ struct ServiceMetrics {
   uint64_t index_leaf_hits = 0;    ///< R*-tree leaf entries matched
   uint64_t pool_hits = 0;          ///< buffer-pool hits during queries
   uint64_t pool_misses = 0;        ///< buffer-pool misses during queries
+  // Transactions & MVCC.
+  uint64_t txn_begins = 0;      ///< BEGIN statements accepted
+  uint64_t txn_commits = 0;     ///< transactions committed (incl. empty)
+  uint64_t txn_rollbacks = 0;   ///< explicit ROLLBACKs
+  uint64_t txn_conflicts = 0;   ///< commits refused (first committer won)
+  uint64_t catalog_epoch = 0;   ///< epoch of the current catalog snapshot
   // Resource governance (deadlines, budgets, cancellation, shedding).
   uint64_t deadline_hits = 0;   ///< queries failed with kDeadlineExceeded
   uint64_t budget_trips = 0;    ///< tuple/constraint/memory budget trips

@@ -19,8 +19,9 @@ namespace {
 
 /// The per-session overlay the query language executes against: step
 /// registrations go to the session's private catalog, lookups resolve
-/// steps first and fall back to the shared base. The caller holds the
-/// session mutex and a shared lock on the base catalog, so the base
+/// steps first and fall back to the shared base — here a
+/// `SnapshotReadView` over the query's pinned catalog snapshot. The
+/// caller holds the session mutex and a pin on the snapshot, so the base
 /// pointers handed out stay valid for the whole execution.
 class SessionView : public Database {
  public:
@@ -71,11 +72,17 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-/// A session: a private step catalog plus the mutex that serializes the
-/// session's queries (different sessions run in parallel).
+/// A session: a private step catalog, the mutex that serializes the
+/// session's queries (different sessions run in parallel), and the
+/// session's transaction state — a snapshot pinned at BEGIN plus the
+/// staged catalog writes that commit as one batch.
 struct QueryService::Session {
   Mutex mu;
   Database steps CCDB_GUARDED_BY(mu);
+  bool in_txn CCDB_GUARDED_BY(mu) = false;
+  uint64_t txn_id CCDB_GUARDED_BY(mu) = 0;
+  SnapshotPtr txn_snap CCDB_GUARDED_BY(mu);
+  StagedWrites staged CCDB_GUARDED_BY(mu);
 };
 
 /// One queued script execution.
@@ -84,6 +91,9 @@ struct QueryService::Task {
   SessionId owner = 0;
   uint64_t query_id = 0;
   std::string script;
+  /// The catalog snapshot pinned at Submit: the query reads this frozen
+  /// state no matter what commits while it is queued or running.
+  SnapshotPtr snapshot;
   std::promise<Result<QueryResponse>> promise;
   std::chrono::steady_clock::time_point enqueued;
   obs::GovernanceLimits limits;
@@ -94,8 +104,7 @@ struct QueryService::Task {
 };
 
 QueryService::QueryService(Database* base, ServiceOptions options)
-    : base_(base),
-      options_(options),
+    : options_(options),
       cache_(options.cache_capacity),
       paused_(options.start_paused),
       submitted_(registry_.GetCounter(obs::names::kQueriesSubmitted)),
@@ -111,6 +120,10 @@ QueryService::QueryService(Database* base, ServiceOptions options)
       index_leaf_hits_(registry_.GetCounter(obs::names::kIndexLeafHits)),
       pages_read_(registry_.GetCounter(obs::names::kStoragePagesRead)),
       pool_hits_(registry_.GetCounter(obs::names::kStoragePoolHits)),
+      txn_begins_(registry_.GetCounter(obs::names::kTxnBegins)),
+      txn_commits_(registry_.GetCounter(obs::names::kTxnCommits)),
+      txn_rollbacks_(registry_.GetCounter(obs::names::kTxnRollbacks)),
+      txn_conflicts_(registry_.GetCounter(obs::names::kTxnConflicts)),
       gov_deadline_hits_(registry_.GetCounter(obs::names::kGovDeadlineHits)),
       gov_budget_trips_(registry_.GetCounter(obs::names::kGovBudgetTrips)),
       gov_cancels_(registry_.GetCounter(obs::names::kGovCancels)),
@@ -119,6 +132,7 @@ QueryService::QueryService(Database* base, ServiceOptions options)
       latency_hist_(registry_.GetHistogram(obs::names::kQueryLatencyUs)),
       fm_hist_(registry_.GetHistogram(obs::names::kQueryFmEliminations)),
       tuples_out_hist_(registry_.GetHistogram(obs::names::kQueryTuplesOut)) {
+  if (base != nullptr) catalog_.Seed(*base);
   const size_t workers = std::max<size_t>(1, options_.num_workers);
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
@@ -136,10 +150,20 @@ SessionId QueryService::OpenSession() {
 }
 
 Status QueryService::CloseSession(SessionId id) {
-  MutexLock lock(sessions_mu_);
-  if (sessions_.erase(id) == 0) {
-    return Status::NotFound("no session " + std::to_string(id));
+  std::shared_ptr<Session> session;
+  {
+    MutexLock lock(sessions_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session " + std::to_string(id));
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
   }
+  // An open transaction dies with its session: the staged writes were
+  // never published, so dropping them IS the rollback — count it.
+  MutexLock lock(session->mu);
+  if (session->in_txn) txn_rollbacks_->Increment();
   return Status::OK();
 }
 
@@ -184,6 +208,9 @@ Result<Submission> QueryService::Submit(SessionId id, std::string script,
   task->owner = id;
   task->query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
   task->script = std::move(script);
+  // Pin the catalog NOW: whatever commits after this point, the query
+  // executes against this frozen snapshot (and is cache-keyed by it).
+  task->snapshot = catalog_.Snapshot();
   task->enqueued = std::chrono::steady_clock::now();
   task->limits = ResolveLimits(opts);
   // Every task carries a cancellation flag (the caller's, or a fresh one)
@@ -285,8 +312,11 @@ Result<TraceReport> QueryService::Trace(SessionId id,
   CCDB_ASSIGN_OR_RETURN(std::string canon, lang::CanonicalizeScript(script));
 
   MutexLock session_lock(session->mu);
-  ReaderLock catalog_lock(catalog_mu_);
-  SessionView view(base_, &session->steps);
+  // Trace pins the catalog here (no queue): the BEGIN-time snapshot plus
+  // staged writes inside a transaction, the current snapshot otherwise.
+  SnapshotPtr snap = session->in_txn ? session->txn_snap : catalog_.Snapshot();
+  SnapshotReadView base(snap, session->in_txn ? &session->staged : nullptr);
+  SessionView view(&base, &session->steps);
 
   TraceReport report;
   const auto start = std::chrono::steady_clock::now();
@@ -380,7 +410,7 @@ void QueryService::WorkerLoop() {
         // touching the engine.
         exec.FullCheck();
         if (exec.aborting()) return exec.trip_status();
-        auto r = RunScript(task->session.get(), task->script,
+        auto r = RunScript(task->session.get(), task->script, task->snapshot,
                            span_trace ? &trace : nullptr);
         counters = scope.counters();
         // Backstop over RunScript's trailing check-point: once an abort
@@ -472,29 +502,72 @@ void QueryService::DrainCounters(const obs::LayerCounters& counters) {
 
 Result<QueryResponse> QueryService::RunScript(Session* session,
                                               const std::string& script,
+                                              const SnapshotPtr& pinned,
                                               obs::TraceNode* trace) {
+  // Transaction controls are whole-statement keywords, dispatched before
+  // the step-statement parser ever sees them. Routing them through the
+  // normal queue (not Submit) preserves program order with the session's
+  // in-flight queries, and makes BEGIN/COMMIT work identically through
+  // the network edge — the server's QUERY opcode lands here too.
+  switch (lang::ClassifyTxnStatement(script)) {
+    case lang::TxnStatement::kBegin: {
+      CCDB_RETURN_IF_ERROR(BeginTxn(session));
+      QueryResponse response;
+      response.step = "BEGIN";
+      return response;
+    }
+    case lang::TxnStatement::kCommit: {
+      CCDB_RETURN_IF_ERROR(CommitTxn(session));
+      QueryResponse response;
+      response.step = "COMMIT";
+      return response;
+    }
+    case lang::TxnStatement::kRollback: {
+      CCDB_RETURN_IF_ERROR(RollbackTxn(session));
+      QueryResponse response;
+      response.step = "ROLLBACK";
+      return response;
+    }
+    case lang::TxnStatement::kNone:
+      break;
+  }
+
+  if (options_.execution_hook) options_.execution_hook(script);
+
   CCDB_ASSIGN_OR_RETURN(std::string canon, lang::CanonicalizeScript(script));
   CCDB_ASSIGN_OR_RETURN(std::vector<std::string> referenced,
                         lang::ScriptInputs(canon));
 
   MutexLock session_lock(session->mu);
-  ReaderLock catalog_lock(catalog_mu_);
+  // The read view: inside a transaction, the BEGIN-time snapshot overlaid
+  // with the transaction's own staged writes (read-your-writes); outside,
+  // the snapshot pinned at Submit. Either way the state is frozen — no
+  // concurrent commit can tear it.
+  const bool in_txn = session->in_txn;
+  const SnapshotPtr& snap = in_txn ? session->txn_snap : pinned;
+  SnapshotReadView base(snap, in_txn ? &session->staged : nullptr);
 
-  // Cache key: canonical text + versioned base inputs. A script that reads
-  // a session step is uncacheable (its inputs are not versioned catalog
-  // state shared between sessions).
-  bool cacheable = cache_.enabled();
+  // Cache key: canonical text + versioned base inputs, with the versions
+  // read from the SAME snapshot the script executes against — so what the
+  // key claims and what execution saw cannot diverge (the pre-MVCC
+  // version-stamp/insert TOCTOU). A script that reads a session step is
+  // uncacheable (its inputs are not versioned catalog state shared
+  // between sessions); so is any query inside a transaction (its inputs
+  // include uncommitted staged writes).
+  bool cacheable = cache_.enabled() && !in_txn;
   std::string key = canon;
-  for (const std::string& name : referenced) {
-    if (session->steps.Has(name)) {
-      cacheable = false;
-      break;
-    }
-    if (base_->Has(name)) {
-      key += "\n@";
-      key += name;
-      key += '#';
-      key += std::to_string(base_->Version(name));
+  if (cacheable) {
+    for (const std::string& name : referenced) {
+      if (session->steps.Has(name)) {
+        cacheable = false;
+        break;
+      }
+      if (snap->Has(name)) {
+        key += "\n@";
+        key += name;
+        key += '#';
+        key += std::to_string(snap->Version(name));
+      }
     }
   }
 
@@ -516,7 +589,7 @@ Result<QueryResponse> QueryService::RunScript(Session* session,
     }
   }
 
-  SessionView view(base_, &session->steps);
+  SessionView view(&base, &session->steps);
   std::string last;
   if (trace != nullptr) {
     CCDB_ASSIGN_OR_RETURN(last, lang::ExecuteScriptTraced(canon, &view, trace));
@@ -539,6 +612,7 @@ Result<QueryResponse> QueryService::RunScript(Session* session,
   // query, but it must never satisfy a future ungoverned one — skip the
   // cache when any budget tripped under allow_partial.
   if (cacheable && !obs::GovernanceTruncating()) {
+    if (options_.post_execute_hook) options_.post_execute_hook();
     CachedResult outcome;
     outcome.final_step = last;
     for (const std::string& name : view.defined()) {
@@ -550,60 +624,222 @@ Result<QueryResponse> QueryService::RunScript(Session* session,
   return response;
 }
 
-Status QueryService::CommitBaseLocked() {
-  if (options_.store == nullptr) return Status::OK();
-  return options_.store->CommitCatalog(*base_);
+// --- Transactions & catalog commits -----------------------------------------------
+
+Status QueryService::Begin(SessionId id) {
+  std::shared_ptr<Session> session = FindSession(id);
+  if (!session) return Status::NotFound("no session " + std::to_string(id));
+  return BeginTxn(session.get());
+}
+
+Status QueryService::Commit(SessionId id) {
+  std::shared_ptr<Session> session = FindSession(id);
+  if (!session) return Status::NotFound("no session " + std::to_string(id));
+  return CommitTxn(session.get());
+}
+
+Status QueryService::Rollback(SessionId id) {
+  std::shared_ptr<Session> session = FindSession(id);
+  if (!session) return Status::NotFound("no session " + std::to_string(id));
+  return RollbackTxn(session.get());
+}
+
+Result<QueryService::TxnInfo> QueryService::TransactionInfo(
+    SessionId id) const {
+  std::shared_ptr<Session> session = FindSession(id);
+  if (!session) return Status::NotFound("no session " + std::to_string(id));
+  MutexLock lock(session->mu);
+  TxnInfo info;
+  info.active = session->in_txn;
+  if (session->in_txn) {
+    info.txn_id = session->txn_id;
+    info.snapshot_epoch = session->txn_snap->epoch();
+    for (const auto& entry : session->staged) {
+      info.staged_writes.push_back(entry.first);
+    }
+  }
+  return info;
+}
+
+Status QueryService::BeginTxn(Session* session) {
+  MutexLock lock(session->mu);
+  if (session->in_txn) {
+    return Status::InvalidArgument(
+        "a transaction is already open in this session (no nesting)");
+  }
+  session->in_txn = true;
+  session->txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  session->txn_snap = catalog_.Snapshot();
+  session->staged.clear();
+  txn_begins_->Increment();
+  return Status::OK();
+}
+
+Status QueryService::RollbackTxn(Session* session) {
+  MutexLock lock(session->mu);
+  if (!session->in_txn) {
+    return Status::InvalidArgument("no transaction in progress");
+  }
+  session->in_txn = false;
+  session->txn_id = 0;
+  session->txn_snap.reset();
+  session->staged.clear();
+  txn_rollbacks_->Increment();
+  return Status::OK();
+}
+
+Status QueryService::CommitTxn(Session* session) {
+  MutexLock session_lock(session->mu);
+  if (!session->in_txn) {
+    return Status::InvalidArgument("no transaction in progress");
+  }
+  // Whatever happens below, the transaction is over: a failed commit
+  // (conflict or storage error) rolls back — the candidate snapshot is
+  // discarded unpublished, so no version counter ever records it.
+  const uint64_t txn_id = session->txn_id;
+  StagedWrites staged = std::move(session->staged);
+  SnapshotPtr txn_snap = std::move(session->txn_snap);
+  session->in_txn = false;
+  session->txn_id = 0;
+  session->staged.clear();
+
+  if (staged.empty()) {
+    txn_commits_->Increment();
+    return Status::OK();  // read-only transaction: nothing to publish
+  }
+
+  MutexLock commit_lock(commit_mu_);
+  SnapshotPtr current = catalog_.Snapshot();
+  // First committer wins: a name this transaction wrote that was
+  // committed (created / replaced / dropped) since BEGIN aborts the
+  // commit. Raw counters — not bound-versions — so drop/recreate races
+  // are caught too.
+  for (const auto& [name, relation] : staged) {
+    if (current->VersionCounter(name) != txn_snap->VersionCounter(name)) {
+      txn_conflicts_->Increment();
+      Status conflict = Status::Unavailable(
+          "transaction " + std::to_string(txn_id) + " conflicts on '" + name +
+          "': committed concurrently (first committer wins); rolled back");
+      conflict.WithRetryAfter(1);
+      return conflict;
+    }
+  }
+  CatalogEdit edit(current);
+  for (const auto& [name, relation] : staged) {
+    if (relation == nullptr) {
+      // A staged drop of a name absent from `current` means the
+      // transaction created and then dropped it — a net no-op.
+      if (edit.Has(name)) CCDB_RETURN_IF_ERROR(edit.Drop(name));
+    } else {
+      edit.CreateOrReplace(name, relation);
+    }
+  }
+  if (!edit.dirty()) {
+    txn_commits_->Increment();
+    return Status::OK();
+  }
+  CCDB_RETURN_IF_ERROR(CommitEditLocked(std::move(edit), txn_id));
+  txn_commits_->Increment();
+  return Status::OK();
+}
+
+Status QueryService::CommitEditLocked(CatalogEdit&& edit, uint64_t txn_id) {
+  std::shared_ptr<CatalogSnapshot> candidate = edit.Build();
+  if (options_.store != nullptr) {
+    // Durability before visibility: journal the candidate as one WAL
+    // batch tagged with the transaction id. Reading through the view
+    // serializes the snapshot without deep-copying a single relation.
+    SnapshotReadView view(candidate);
+    CCDB_RETURN_IF_ERROR(options_.store->CommitCatalog(view, txn_id));
+  }
+  catalog_.PublishSnapshot(std::move(candidate));
+  return Status::OK();
+}
+
+Status QueryService::SessionWrite(SessionId id, WriteKind kind,
+                                  const std::string& name, Relation relation) {
+  std::shared_ptr<Session> session = FindSession(id);
+  if (!session) return Status::NotFound("no session " + std::to_string(id));
+  MutexLock lock(session->mu);
+  if (!session->in_txn) {
+    return AutocommitWrite(kind, name, std::move(relation));
+  }
+  // Stage privately; visibility checks run against the transaction's own
+  // view (pinned snapshot + staged writes), so the transaction reads its
+  // writes and cannot be confused by concurrent commits.
+  SnapshotReadView view(session->txn_snap, &session->staged);
+  switch (kind) {
+    case WriteKind::kCreate:
+      if (view.Has(name)) {
+        return Status::AlreadyExists("relation '" + name +
+                                     "' already exists");
+      }
+      session->staged[name] =
+          std::make_shared<const Relation>(std::move(relation));
+      return Status::OK();
+    case WriteKind::kReplace:
+      session->staged[name] =
+          std::make_shared<const Relation>(std::move(relation));
+      return Status::OK();
+    case WriteKind::kDrop:
+      if (!view.Has(name)) {
+        return Status::NotFound("no relation named '" + name + "'");
+      }
+      session->staged[name] = nullptr;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable write kind");
+}
+
+Status QueryService::AutocommitWrite(WriteKind kind, const std::string& name,
+                                     Relation relation) {
+  MutexLock commit_lock(commit_mu_);
+  CatalogEdit edit(catalog_.Snapshot());
+  switch (kind) {
+    case WriteKind::kCreate:
+      CCDB_RETURN_IF_ERROR(edit.Create(name, std::move(relation)));
+      break;
+    case WriteKind::kReplace:
+      edit.CreateOrReplace(
+          name, std::make_shared<const Relation>(std::move(relation)));
+      break;
+    case WriteKind::kDrop:
+      CCDB_RETURN_IF_ERROR(edit.Drop(name));
+      break;
+  }
+  return CommitEditLocked(std::move(edit), /*txn_id=*/0);
+}
+
+Status QueryService::CreateRelation(SessionId id, const std::string& name,
+                                    Relation relation) {
+  return SessionWrite(id, WriteKind::kCreate, name, std::move(relation));
+}
+
+Status QueryService::ReplaceRelation(SessionId id, const std::string& name,
+                                     Relation relation) {
+  return SessionWrite(id, WriteKind::kReplace, name, std::move(relation));
+}
+
+Status QueryService::DropRelation(SessionId id, const std::string& name) {
+  return SessionWrite(id, WriteKind::kDrop, name, Relation{});
 }
 
 Status QueryService::CreateRelation(const std::string& name,
                                     Relation relation) {
-  WriterLock lock(catalog_mu_);
-  CCDB_RETURN_IF_ERROR(base_->Create(name, std::move(relation)));
-  Status committed = CommitBaseLocked();
-  if (!committed.ok()) {
-    // The write was never acknowledged — undo it so memory matches disk
-    // (the rollback of a never-created name cannot fail meaningfully).
-    IgnoreError(base_->Drop(name));
-    return committed;
-  }
-  return Status::OK();
+  return AutocommitWrite(WriteKind::kCreate, name, std::move(relation));
 }
 
 Status QueryService::ReplaceRelation(const std::string& name,
                                      Relation relation) {
-  WriterLock lock(catalog_mu_);
-  std::optional<Relation> previous;
-  if (auto old = base_->Get(name); old.ok()) previous = **old;
-  base_->CreateOrReplace(name, std::move(relation));
-  Status committed = CommitBaseLocked();
-  if (!committed.ok()) {
-    if (previous.has_value()) {
-      base_->CreateOrReplace(name, std::move(*previous));
-    } else {
-      IgnoreError(base_->Drop(name));
-    }
-    return committed;
-  }
-  return Status::OK();
+  return AutocommitWrite(WriteKind::kReplace, name, std::move(relation));
 }
 
 Status QueryService::DropRelation(const std::string& name) {
-  WriterLock lock(catalog_mu_);
-  std::optional<Relation> previous;
-  if (auto old = base_->Get(name); old.ok()) previous = **old;
-  CCDB_RETURN_IF_ERROR(base_->Drop(name));
-  Status committed = CommitBaseLocked();
-  if (!committed.ok()) {
-    if (previous.has_value()) {
-      base_->CreateOrReplace(name, std::move(*previous));
-    }
-    return committed;
-  }
-  return Status::OK();
+  return AutocommitWrite(WriteKind::kDrop, name, Relation{});
 }
 
 Status QueryService::Checkpoint() {
-  WriterLock lock(catalog_mu_);
+  MutexLock commit_lock(commit_mu_);
   if (options_.store == nullptr) {
     return Status::Unavailable("service has no durable store attached");
   }
@@ -619,30 +855,38 @@ Result<Relation> QueryService::GetRelation(SessionId id,
   MutexLock session_lock(session->mu);
   auto step = session->steps.Get(name);
   if (step.ok()) return **step;
-  ReaderLock catalog_lock(catalog_mu_);
-  CCDB_ASSIGN_OR_RETURN(const Relation* relation, base_->Get(name));
+  SnapshotPtr snap = session->in_txn ? session->txn_snap : catalog_.Snapshot();
+  SnapshotReadView base(snap, session->in_txn ? &session->staged : nullptr);
+  CCDB_ASSIGN_OR_RETURN(const Relation* relation, base.Get(name));
   return *relation;
 }
 
 std::vector<std::string> QueryService::VisibleNames(SessionId id) const {
   std::set<std::string> names;
-  {
-    ReaderLock catalog_lock(catalog_mu_);
-    for (const std::string& name : base_->Names()) names.insert(name);
-  }
-  if (std::shared_ptr<Session> session = FindSession(id)) {
+  std::shared_ptr<Session> session = FindSession(id);
+  if (session) {
     MutexLock session_lock(session->mu);
+    SnapshotPtr snap =
+        session->in_txn ? session->txn_snap : catalog_.Snapshot();
+    SnapshotReadView base(snap,
+                          session->in_txn ? &session->staged : nullptr);
+    for (const std::string& name : base.Names()) names.insert(name);
     for (const std::string& name : session->steps.Names()) {
       names.insert(name);
     }
+  } else {
+    SnapshotPtr snap = catalog_.Snapshot();
+    for (const std::string& name : snap->Names()) names.insert(name);
   }
   return std::vector<std::string>(names.begin(), names.end());
 }
 
 Database QueryService::CloneBase() const {
-  ReaderLock lock(catalog_mu_);
-  return *base_;
+  SnapshotPtr snap = catalog_.Snapshot();
+  return MaterializeSnapshot(*snap);
 }
+
+uint64_t QueryService::CatalogEpoch() const { return catalog_.epoch(); }
 
 void QueryService::Resume() {
   {
@@ -693,6 +937,11 @@ ServiceMetrics QueryService::Metrics() const {
   m.index_leaf_hits = index_leaf_hits_->Value();
   m.pool_hits = pool_hits_->Value();
   m.pool_misses = pages_read_->Value();
+  m.txn_begins = txn_begins_->Value();
+  m.txn_commits = txn_commits_->Value();
+  m.txn_rollbacks = txn_rollbacks_->Value();
+  m.txn_conflicts = txn_conflicts_->Value();
+  m.catalog_epoch = catalog_.epoch();
   m.deadline_hits = gov_deadline_hits_->Value();
   m.budget_trips = gov_budget_trips_->Value();
   m.cancels = gov_cancels_->Value();
@@ -738,6 +987,7 @@ ServiceMetrics QueryService::Metrics() const {
   registry_.SetGauge(obs::names::kWalBatches, m.wal_batches);
   registry_.SetGauge(obs::names::kWalFsyncs, m.wal_fsyncs);
   registry_.SetGauge(obs::names::kWalCheckpoints, m.wal_checkpoints);
+  registry_.SetGauge(obs::names::kCatalogEpoch, m.catalog_epoch);
   m.histograms = registry_.TakeSnapshot().histograms;
   return m;
 }

@@ -9,26 +9,42 @@
 /// from many concurrent sessions and executes them on a fixed worker
 /// thread pool with a bounded queue.
 ///
-/// Threading model (lock order: session mutex -> catalog rw-lock; queue
-/// and metrics locks are leaves, never held across execution):
-///  - The *base catalog* (the `Database` the service wraps) is guarded by
-///    a reader-writer lock. Every query holds it shared for its whole
-///    execution, so base relations are immutable while any query runs;
-///    `Create/Replace/DropRelation` take it exclusive and therefore
-///    serialize against the fleet — writes wait for readers to drain.
+/// Threading model (lock order: session mutex -> commit mutex -> store
+/// mutex; the snapshot cell, queue, and metrics locks are leaves, never
+/// held across execution):
+///  - The *base catalog* is MVCC: an immutable `CatalogSnapshot` chain
+///    (see data/snapshot.h). Every query pins the current snapshot at
+///    Submit and executes against frozen state — readers never block
+///    behind a committing writer, and a writer never waits for readers
+///    to drain. Writers serialize on the commit mutex only against each
+///    other: build a copy-on-write candidate, journal it through the
+///    store's WAL, then publish with one pointer swap.
+///  - *Transactions*: `Begin`/`Commit`/`Rollback` (also reachable as
+///    `BEGIN`/`COMMIT`/`ROLLBACK` statements through Execute, locally or
+///    over the wire). A transaction pins its snapshot at BEGIN, stages
+///    catalog writes privately (queries inside the transaction read
+///    their own staged writes), and commits everything as ONE WAL batch
+///    carrying the transaction id — recovery and WAL-shipping replicas
+///    apply it all-or-nothing. Conflict rule: first committer wins; a
+///    commit that would overwrite a concurrently-committed name fails
+///    with kUnavailable (retry hint attached) and the transaction is
+///    rolled back.
 ///  - *Step results* never touch the base catalog: each session owns a
 ///    private step `Database`, and queries execute against an overlay view
-///    (steps first, base second). Queries within one session serialize on
-///    the session's mutex; different sessions run fully in parallel.
+///    (steps first, snapshot second). Queries within one session serialize
+///    on the session's mutex; different sessions run fully in parallel.
 ///  - The *result cache* keys on canonical script text plus the
-///    (name, version) of every base relation the script reads, so a
-///    replaced input can never satisfy a stale hit. Scripts that read
-///    session-local steps are executed uncached (their inputs are not
-///    versioned catalog state).
+///    (name, version) of every base relation the script reads — with both
+///    the versions and the executed-against state taken from the SAME
+///    pinned snapshot, so a write committing mid-execution can never
+///    cache a stale result under new versions (the pre-MVCC TOCTOU).
+///    Scripts that read session-local steps, and any query inside a
+///    transaction, are executed uncached.
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -39,6 +55,7 @@
 #include <vector>
 
 #include "data/database.h"
+#include "data/snapshot.h"
 #include "obs/governance.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -88,6 +105,16 @@ struct ServiceOptions {
   /// yet) — exceeds this many microseconds. 0 disables cost-based
   /// shedding; a saturated queue always sheds.
   double shed_inflight_us = 0;
+  /// Test-only: invoked on the worker at the start of every script
+  /// execution (after transaction-control dispatch). May throw — this is
+  /// how tests exercise the worker's exception barrier now that execution
+  /// reads immutable snapshots instead of a caller-subclassable Database.
+  std::function<void(const std::string& script)> execution_hook;
+  /// Test-only: invoked on the worker between a script's execution and
+  /// its result-cache insert — the window the pre-MVCC result-cache
+  /// TOCTOU lived in. Interleaving tests commit writes here and assert
+  /// the cached entry can never be served under post-commit versions.
+  std::function<void()> post_execute_hook;
 };
 
 /// Per-query overrides of the service-level governance defaults, plus an
@@ -133,13 +160,17 @@ struct TraceReport {
   std::string plan_text;   ///< optimized plan rendering (when used_plan)
 };
 
-/// A concurrent, cached, metered executor of CQA step-scripts.
+/// A concurrent, cached, metered, transactional executor of CQA
+/// step-scripts.
 ///
-/// All public methods are thread-safe. The wrapped base `Database` must
-/// not be mutated behind the service's back while the service is live.
+/// All public methods are thread-safe.
 class QueryService {
  public:
-  /// Serves queries over `base` (not owned; must outlive the service).
+  /// Serves queries over a catalog seeded with a deep copy of `*base`
+  /// (pass an empty `Database` — or null — for a fresh catalog). The
+  /// service owns its catalog from here on: later mutations of `*base`
+  /// are not observed, and service writes do not touch `*base` (read the
+  /// current state back with `CloneBase()`).
   explicit QueryService(Database* base, ServiceOptions options = {});
 
   /// Drains and joins (equivalent to Shutdown()).
@@ -193,11 +224,56 @@ class QueryService {
   /// emitted to `ServiceOptions::trace_sink` when one is attached.
   Result<TraceReport> Trace(SessionId id, const std::string& script);
 
-  // --- Base-catalog writes (exclusive; wait for running queries) ---
+  // --- Transactions ---
   //
-  // With a DurableStore attached, OK means the write is durable (its WAL
-  // commit record is on disk); any failure means the catalog is exactly
-  // as it was before the call.
+  // A session holds at most one open transaction (no nesting). BEGIN pins
+  // the current catalog snapshot; session-scoped writes then stage
+  // privately (queries in the session read their own staged writes on top
+  // of the pinned snapshot, uncached); COMMIT publishes everything as one
+  // WAL batch carrying the transaction id. The same controls are
+  // reachable as `BEGIN` / `COMMIT` / `ROLLBACK` statements through
+  // Submit/Execute — which is how remote clients get them.
+
+  /// Opens a transaction. kInvalidArgument if one is already open.
+  Status Begin(SessionId id);
+
+  /// Commits the open transaction: first-committer-wins conflict check,
+  /// one durable WAL batch (when a store is attached), one atomic
+  /// snapshot publication. ANY failure — conflict (kUnavailable with a
+  /// retry hint) or commit error — rolls the transaction back: staged
+  /// writes are discarded and per-name versions are exactly as if the
+  /// transaction never happened. kInvalidArgument if none is open.
+  Status Commit(SessionId id);
+
+  /// Discards the open transaction's staged writes. kInvalidArgument if
+  /// none is open.
+  Status Rollback(SessionId id);
+
+  /// Point-in-time view of a session's transaction (the shell's `\txn`).
+  struct TxnInfo {
+    bool active = false;
+    uint64_t txn_id = 0;          ///< 0 when inactive
+    uint64_t snapshot_epoch = 0;  ///< epoch pinned at BEGIN
+    std::vector<std::string> staged_writes;  ///< names staged, sorted
+  };
+  Result<TxnInfo> TransactionInfo(SessionId id) const;
+
+  // --- Base-catalog writes ---
+  //
+  // Session-scoped writes stage into the session's open transaction when
+  // one is active, and autocommit otherwise. The session-less overloads
+  // always autocommit (an internally serialized single-write commit).
+  // For an autocommit write with a DurableStore attached, OK means the
+  // write is durable (its WAL commit record is on disk); any failure
+  // means the published catalog — per-name version counters included —
+  // is exactly as it was before the call (the failed candidate snapshot
+  // is simply discarded, never published).
+
+  Status CreateRelation(SessionId id, const std::string& name,
+                        Relation relation);
+  Status ReplaceRelation(SessionId id, const std::string& name,
+                         Relation relation);
+  Status DropRelation(SessionId id, const std::string& name);
 
   Status CreateRelation(const std::string& name, Relation relation);
   Status ReplaceRelation(const std::string& name, Relation relation);
@@ -212,11 +288,17 @@ class QueryService {
   /// Copies a relation, resolving session steps before base relations.
   Result<Relation> GetRelation(SessionId id, const std::string& name) const;
 
-  /// Sorted names visible to a session (its steps + base relations).
+  /// Sorted names visible to a session (its steps + base relations; an
+  /// open transaction's staged writes included).
   std::vector<std::string> VisibleNames(SessionId id) const;
 
-  /// Copy of the base catalog (e.g. for `save`).
+  /// Deep copy of the current catalog snapshot (e.g. for `save`). Version
+  /// counters restart in the copy — it is a new lineage.
   Database CloneBase() const;
+
+  /// Epoch of the currently published catalog snapshot (starts at 1;
+  /// bumped by every commit).
+  uint64_t CatalogEpoch() const;
 
   // --- Lifecycle ---
 
@@ -237,12 +319,37 @@ class QueryService {
 
   void WorkerLoop();
 
-  /// Executes one script. When `trace` is non-null the script runs with
-  /// statement-level spans recorded into it (used for the slow-query log;
-  /// cache hits leave the trace empty).
+  /// Executes one script against `pinned` (the snapshot pinned at Submit;
+  /// a session with an open transaction reads its BEGIN-time snapshot
+  /// plus staged writes instead). Transaction-control statements are
+  /// dispatched here, before parsing. When `trace` is non-null the script
+  /// runs with statement-level spans recorded into it (used for the
+  /// slow-query log; cache hits leave the trace empty).
   Result<QueryResponse> RunScript(Session* session, const std::string& script,
+                                  const SnapshotPtr& pinned,
                                   obs::TraceNode* trace = nullptr);
   std::shared_ptr<Session> FindSession(SessionId id) const;
+
+  // Transaction control on a resolved session (the public SessionId
+  // overloads and the worker's statement dispatch both land here).
+  Status BeginTxn(Session* session);
+  Status CommitTxn(Session* session);
+  Status RollbackTxn(Session* session);
+
+  /// The one committed-write path: applies `edit` — conflict-checked
+  /// staged transaction writes or a single autocommit mutation — as one
+  /// WAL batch and one atomic snapshot publication. On any failure the
+  /// candidate is discarded unpublished (version counters never move).
+  Status CommitEditLocked(CatalogEdit&& edit, uint64_t txn_id)
+      CCDB_REQUIRES(commit_mu_);
+
+  /// A session-scoped write: stages into the open transaction, or
+  /// autocommits when none is open.
+  enum class WriteKind { kCreate, kReplace, kDrop };
+  Status SessionWrite(SessionId id, WriteKind kind, const std::string& name,
+                      Relation relation);
+  Status AutocommitWrite(WriteKind kind, const std::string& name,
+                         Relation relation);
 
   /// Service defaults overlaid with the per-query overrides.
   obs::GovernanceLimits ResolveLimits(const QueryOptions& opts) const;
@@ -260,16 +367,15 @@ class QueryService {
   /// Adds a finished query's layer counters to the engine totals.
   void DrainCounters(const obs::LayerCounters& counters);
 
-  /// Journals the base catalog through the attached store (no-op when
-  /// none).
-  Status CommitBaseLocked() CCDB_REQUIRES(catalog_mu_);
-
-  Database* base_;
   ServiceOptions options_;
-  /// Guards the base catalog: queries hold it shared for their whole
-  /// execution, Create/Replace/Drop take it exclusive (`*base_` itself
-  /// carries the guarded state; the pointer is fixed at construction).
-  mutable SharedMutex catalog_mu_;
+  /// The MVCC catalog cell: readers pin snapshots lock-free (modulo the
+  /// cell's short internal mutex), committers publish through it.
+  MvccCatalog catalog_;
+  /// Serializes committers (autocommit writes, transaction commits,
+  /// checkpoints) against each other only — never against readers.
+  /// Acquired after a session mutex, before the store's internal mutex.
+  mutable Mutex commit_mu_;
+  std::atomic<uint64_t> next_txn_id_{1};
   ResultCache cache_;
 
   // Task queue. `running_` counts tasks popped but not yet finished (for
@@ -310,6 +416,10 @@ class QueryService {
   obs::Counter* index_leaf_hits_;
   obs::Counter* pages_read_;
   obs::Counter* pool_hits_;
+  obs::Counter* txn_begins_;
+  obs::Counter* txn_commits_;
+  obs::Counter* txn_rollbacks_;
+  obs::Counter* txn_conflicts_;
   obs::Counter* gov_deadline_hits_;
   obs::Counter* gov_budget_trips_;
   obs::Counter* gov_cancels_;

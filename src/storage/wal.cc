@@ -12,15 +12,20 @@ namespace ccdb {
 namespace {
 
 // On-disk framing constants. A batch record is
-//   [u32 kBatchMagic][u64 lsn][u64 catalog_root][u32 n_frames]
+//   [u32 kBatchMagic][u64 lsn][u64 catalog_root][u64 txn_id][u32 n_frames]
 //   n_frames x ([u64 page_id][kPageSize image])
 //   [u32 crc over lsn..frames][u32 kCommitMagic]
-// streamed across log pages of layout [u64 next][payload].
+// streamed across log pages of layout [u64 next][payload]. `txn_id` is 0
+// for autocommit batches; a multi-statement transaction commits as ONE
+// batch carrying its id, so batch atomicity (one CRC-framed record,
+// all-or-nothing replay) *is* transaction atomicity — recovery and the
+// shipping replica never see a partial transaction by construction.
 constexpr uint32_t kHeaderMagic = 0x57414C48;  // "WALH"
 constexpr uint32_t kBatchMagic = 0x57414C42;   // "WALB"
 constexpr uint32_t kCommitMagic = 0x57414C43;  // "WALC"
 constexpr size_t kFrameSize = 8 + kPageSize;
-constexpr size_t kRecordOverhead = 24 + 8;  // header fields + crc + commit
+constexpr size_t kRecordHeader = 32;        // magic + lsn + root + txn + n
+constexpr size_t kRecordOverhead = kRecordHeader + 8;  // + crc + commit
 constexpr uint32_t kMaxFrames = 1u << 20;   // sanity bound while parsing
 
 uint32_t LoadU32(const uint8_t* p) {
@@ -66,6 +71,7 @@ enum class RecordProbe {
 struct RecordView {
   uint64_t lsn = 0;
   PageId catalog_root = kInvalidPageId;
+  uint64_t txn_id = 0;     ///< 0 = autocommit batch
   uint32_t n_frames = 0;
   size_t frames_at = 0;    ///< offset of the first frame, from record start
   size_t total_size = 0;   ///< whole record incl. CRC and commit marker
@@ -81,9 +87,11 @@ RecordProbe ProbeRecord(const uint8_t* data, size_t len, size_t pos,
   if (LoadU32(data + pos) != kBatchMagic) return RecordProbe::kNone;
   out->lsn = LoadU64(data + pos + 4);
   out->catalog_root = LoadU64(data + pos + 12);
-  out->n_frames = LoadU32(data + pos + 20);
+  out->txn_id = LoadU64(data + pos + 20);
+  out->n_frames = LoadU32(data + pos + 28);
   if (out->n_frames > kMaxFrames) return RecordProbe::kTorn;
-  const size_t body = 24 + static_cast<size_t>(out->n_frames) * kFrameSize;
+  const size_t body =
+      kRecordHeader + static_cast<size_t>(out->n_frames) * kFrameSize;
   if (len - pos < body + 8) return RecordProbe::kTorn;
   const uint32_t crc = LoadU32(data + pos + body);
   const uint32_t commit = LoadU32(data + pos + body + 4);
@@ -91,7 +99,7 @@ RecordProbe ProbeRecord(const uint8_t* data, size_t len, size_t pos,
       (expect_lsn != 0 && out->lsn != expect_lsn)) {
     return RecordProbe::kTorn;
   }
-  out->frames_at = 24;
+  out->frames_at = kRecordHeader;
   out->total_size = body + 8;
   return RecordProbe::kCommitted;
 }
@@ -279,12 +287,13 @@ Status WriteAheadLog::AppendBytes(const std::vector<uint8_t>& bytes) {
 }
 
 Status WriteAheadLog::CommitBatch(const std::vector<WalFrame>& frames,
-                                  PageId catalog_root) {
+                                  PageId catalog_root, uint64_t txn_id) {
   std::vector<uint8_t> record;
   record.reserve(kRecordOverhead + frames.size() * kFrameSize);
   AppendU32(&record, kBatchMagic);
   AppendU64(&record, next_lsn_);
   AppendU64(&record, catalog_root);
+  AppendU64(&record, txn_id);
   AppendU32(&record, static_cast<uint32_t>(frames.size()));
   for (const WalFrame& frame : frames) {
     AppendU64(&record, frame.page_id);
@@ -422,6 +431,7 @@ Status ParseShippedBatch(const std::vector<uint8_t>& record,
   }
   out->lsn = view.lsn;
   out->catalog_root = view.catalog_root;
+  out->txn_id = view.txn_id;
   out->frames.clear();
   out->frames.reserve(view.n_frames);
   for (uint32_t f = 0; f < view.n_frames; ++f) {
@@ -472,7 +482,7 @@ Status WalPager::Write(PageId id, const Page& page) {
   return base_->Write(id, page);
 }
 
-Status WalPager::Commit(PageId catalog_root) {
+Status WalPager::Commit(PageId catalog_root, uint64_t txn_id) {
   in_batch_ = false;
   if (batch_poisoned_) {
     staged_.clear();
@@ -483,7 +493,7 @@ Status WalPager::Commit(PageId catalog_root) {
   for (const auto& [id, image] : staged_) {
     frames.push_back(WalFrame{id, image});
   }
-  Status committed = wal_->CommitBatch(frames, catalog_root);
+  Status committed = wal_->CommitBatch(frames, catalog_root, txn_id);
   if (!committed.ok()) {
     staged_.clear();
     return committed;
@@ -540,7 +550,7 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
   return store;
 }
 
-Status DurableStore::CommitCatalog(const Database& db) {
+Status DurableStore::CommitCatalog(const Database& db, uint64_t txn_id) {
   MutexLock lock(mu_);
   wal_pager_.Begin();
   Result<PageId> root = SaveDatabase(&pool_, db);
@@ -549,7 +559,7 @@ Status DurableStore::CommitCatalog(const Database& db) {
     pool_.Clear();  // drop cached copies of the aborted pages
     return root.status();
   }
-  Status committed = wal_pager_.Commit(*root);
+  Status committed = wal_pager_.Commit(*root, txn_id);
   if (!committed.ok()) {
     pool_.Clear();
     return committed;

@@ -84,6 +84,10 @@ struct WalFrame {
 struct ShippedBatch {
   uint64_t lsn = 0;
   PageId catalog_root = kInvalidPageId;
+  /// Transaction id carried by the commit record; 0 for autocommit
+  /// batches. A multi-statement transaction is exactly one batch, so a
+  /// parsed record is always a whole transaction.
+  uint64_t txn_id = 0;
   std::vector<WalFrame> frames;
 };
 
@@ -112,11 +116,13 @@ class WriteAheadLog {
   Status Open(PageId header_page);
 
   /// Journals one batch; `catalog_root` is the batch's commit metadata
-  /// (the catalog root the database has after this batch). Returns OK iff
-  /// the commit record is durable — the acknowledgment point. On failure
-  /// the in-memory append position is rolled back so the next commit
-  /// overwrites the torn record.
-  Status CommitBatch(const std::vector<WalFrame>& frames, PageId catalog_root);
+  /// (the catalog root the database has after this batch) and `txn_id`
+  /// tags the batch with the committing transaction (0 = autocommit).
+  /// Returns OK iff the commit record is durable — the acknowledgment
+  /// point. On failure the in-memory append position is rolled back so
+  /// the next commit overwrites the torn record.
+  Status CommitBatch(const std::vector<WalFrame>& frames, PageId catalog_root,
+                     uint64_t txn_id = 0);
 
   /// Checkpoint: persists `catalog_root` and the LSN floor in the header,
   /// then zeroes the log chain so recovery replays nothing.
@@ -200,10 +206,11 @@ class WalPager : public PageManager {
   /// Starts staging a batch. Batches do not nest.
   void Begin();
 
-  /// Journals the staged pages with `catalog_root` as commit metadata and
-  /// applies them. Returns OK iff the batch is durable in the log; on
-  /// failure the staged writes are discarded (the batch never happened).
-  Status Commit(PageId catalog_root);
+  /// Journals the staged pages with `catalog_root` (and the committing
+  /// transaction's id, 0 = autocommit) as commit metadata and applies
+  /// them. Returns OK iff the batch is durable in the log; on failure the
+  /// staged writes are discarded (the batch never happened).
+  Status Commit(PageId catalog_root, uint64_t txn_id = 0);
 
   /// Discards the staged writes.
   void Abort();
@@ -256,10 +263,15 @@ class DurableStore {
   static Result<std::unique_ptr<DurableStore>> Open(
       PageManager* disk, PageId wal_root, size_t cache_capacity = 64);
 
-  /// Saves `db` as one logged atomic batch. Returns OK iff the batch is
-  /// durable — the write is acknowledged only after the WAL commit record
-  /// is on disk. On failure the store's state is unchanged.
-  Status CommitCatalog(const Database& db) CCDB_EXCLUDES(mu_);
+  /// Saves `db` as one logged atomic batch (a snapshot read view works —
+  /// `db` is only read through its virtual interface). `txn_id` tags the
+  /// batch's commit record (0 = autocommit), making a multi-statement
+  /// transaction exactly one all-or-nothing batch for recovery and the
+  /// shipping replica. Returns OK iff the batch is durable — the write is
+  /// acknowledged only after the WAL commit record is on disk. On failure
+  /// the store's state is unchanged.
+  Status CommitCatalog(const Database& db, uint64_t txn_id = 0)
+      CCDB_EXCLUDES(mu_);
 
   /// Loads the last committed catalog (empty when none was ever
   /// committed).

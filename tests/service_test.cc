@@ -374,22 +374,18 @@ TEST(ServiceMetricsTest, NearestRankPercentileIsPinned) {
   EXPECT_DOUBLE_EQ(NearestRankPercentile(one_to_hundred, 0.99), 99.0);
 }
 
-// A base catalog that throws from Get() for one poisoned name — reached
-// from inside a worker thread via the session overlay during execution.
-class ThrowingDatabase : public Database {
- public:
-  Result<const Relation*> Get(const std::string& name) const override {
-    if (name == "Trap") throw std::runtime_error("deliberate test explosion");
-    return Database::Get(name);
-  }
-};
-
 TEST(QueryServiceTest, ThrowingStatementFailsRequestNotService) {
-  ThrowingDatabase base;
-  ASSERT_TRUE(base.Create("Trap", BoxRelation(5, 1)).ok());
+  // The hook throws from inside the worker thread, mid-request — the
+  // worker's exception barrier must fail that request and keep serving.
+  Database base;
   ASSERT_TRUE(base.Create("Boxes", BoxRelation(10, 2)).ok());
   ServiceOptions options;
   options.num_workers = 1;
+  options.execution_hook = [](const std::string& script) {
+    if (script.find("Trap") != std::string::npos) {
+      throw std::runtime_error("deliberate test explosion");
+    }
+  };
   QueryService service(&base, options);
   SessionId id = service.OpenSession();
 
@@ -427,8 +423,12 @@ TEST(QueryServiceTest, DurableCatalogWritesSurviveReopen) {
     ASSERT_TRUE(service.ReplaceRelation("Kept", BoxRelation(20, 5)).ok());
     ASSERT_TRUE(service.DropRelation("Doomed").ok());
 
-    names = base.Names();
-    kept_text = (*base.Get("Kept"))->ToString();
+    // The service owns its catalog: read the committed state back through
+    // it, not through the seed `base` (which it never mutates).
+    Database committed = service.CloneBase();
+    names = committed.Names();
+    kept_text = (*committed.Get("Kept"))->ToString();
+    EXPECT_TRUE(base.Names().empty()) << "service writes must not touch base";
 
     ServiceMetrics m = service.Metrics();
     EXPECT_EQ(m.wal_batches, 4u);
@@ -447,6 +447,12 @@ TEST(QueryServiceTest, DurableCatalogWritesSurviveReopen) {
 }
 
 TEST(QueryServiceTest, FailedCommitRollsBackCatalogInMemory) {
+  // Regression: a WAL-failed commit must leave the published catalog —
+  // epoch AND per-name version counters — exactly as it found them. The
+  // candidate snapshot (with its bumped counters) is discarded unpublished;
+  // nothing needs un-doing. The version probe is the result cache: its
+  // keys embed relation versions, so a counter that moved would turn the
+  // re-run below into a miss.
   FaultInjectingPager disk;
   auto store = DurableStore::Create(&disk);
   ASSERT_TRUE(store.ok()) << store.status().ToString();
@@ -455,27 +461,46 @@ TEST(QueryServiceTest, FailedCommitRollsBackCatalogInMemory) {
   options.num_workers = 1;
   options.store = store->get();
   QueryService service(&base, options);
+  EXPECT_EQ(service.CatalogEpoch(), 1u);
 
   disk.Arm(FaultInjectingPager::Fault::kCrash, 0);
   Status failed = service.CreateRelation("Boxes", BoxRelation(8, 6));
   ASSERT_FALSE(failed.ok());
-  EXPECT_FALSE(base.Has("Boxes")) << "unacknowledged create must roll back";
+  EXPECT_FALSE(service.CloneBase().Has("Boxes"))
+      << "unacknowledged create must roll back";
+  EXPECT_EQ(service.CatalogEpoch(), 1u) << "failed commit must not publish";
 
   disk.ClearFault();
   ASSERT_TRUE(service.CreateRelation("Boxes", BoxRelation(8, 6)).ok());
-  EXPECT_TRUE(base.Has("Boxes"));
+  EXPECT_TRUE(service.CloneBase().Has("Boxes"));
+  EXPECT_EQ(service.CatalogEpoch(), 2u);
 
-  // Failed replace keeps the committed relation.
-  const std::string before = (*base.Get("Boxes"))->ToString();
+  // Warm the result cache under the committed version of Boxes.
+  SessionId id = service.OpenSession();
+  ASSERT_TRUE(service.Execute(id, "R0 = select x >= 0 from Boxes").ok());
+  const uint64_t hits_before = service.Metrics().cache_hits;
+
+  // Failed replace keeps the committed relation...
+  auto kept = service.GetRelation(id, "Boxes");
+  ASSERT_TRUE(kept.ok());
+  const std::string before = kept->ToString();
   disk.Arm(FaultInjectingPager::Fault::kFail, 0);
   ASSERT_FALSE(service.ReplaceRelation("Boxes", BoxRelation(3, 7)).ok());
-  EXPECT_EQ((*base.Get("Boxes"))->ToString(), before);
+  auto after = service.GetRelation(id, "Boxes");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->ToString(), before);
+  EXPECT_EQ(service.CatalogEpoch(), 2u);
+
+  // ...and restores its version counter exactly: the cached entry keyed
+  // on the pre-commit version is still valid, so the re-run is a hit.
+  ASSERT_TRUE(service.Execute(id, "R0 = select x >= 0 from Boxes").ok());
+  EXPECT_EQ(service.Metrics().cache_hits, hits_before + 1);
 
   // Failed drop keeps it too (kFail is transient: no ClearFault needed).
   disk.Arm(FaultInjectingPager::Fault::kFail, 0);
   ASSERT_FALSE(service.DropRelation("Boxes").ok());
-  EXPECT_TRUE(base.Has("Boxes"));
-  EXPECT_EQ((*base.Get("Boxes"))->ToString(), before);
+  EXPECT_TRUE(service.CloneBase().Has("Boxes"));
+  EXPECT_EQ(service.CatalogEpoch(), 2u);
 }
 
 TEST(QueryServiceTest, CheckpointRequiresStoreAndCounts) {

@@ -32,6 +32,12 @@ Enforces the repo's documented contracts that the compiler cannot:
                   Status-returning Socket/Listener wrappers, so error
                   handling, SIGPIPE suppression, and shutdown semantics
                   live in exactly one place.
+  mvcc-publish    direct catalog mutation (`CatalogEdit`, `PublishSnapshot`)
+                  appears only in src/data/snapshot.{h,cc} and the query
+                  service's commit path — every other layer reads pinned
+                  snapshots or writes through the service's transactional
+                  API, so conflict detection and WAL-before-visibility
+                  cannot be bypassed.
 
 Run from anywhere:  tools/ccdb_lint.py  (exit 0 = clean).
 """
@@ -234,6 +240,33 @@ def check_net_socket(path: Path, clean: str) -> None:
                    "wrappers (src/util/socket.h)")
 
 
+# --- Rule: mvcc-publish -----------------------------------------------------
+
+# Direct mutable-catalog access: building a commit candidate or publishing
+# one. Everything outside the allowlist goes through the service's write
+# API (autocommit or BEGIN/COMMIT), which owns conflict detection and
+# WAL-before-visibility ordering.
+MVCC_TOKEN_RE = re.compile(r"\bCatalogEdit\b|\bPublishSnapshot\s*\(")
+MVCC_ALLOWED = (
+    SRC / "data" / "snapshot.h",
+    SRC / "data" / "snapshot.cc",
+    SRC / "service" / "query_service.h",
+    SRC / "service" / "query_service.cc",
+)
+
+
+def check_mvcc_publish(path: Path, clean: str) -> None:
+    if path in MVCC_ALLOWED:
+        return
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        m = MVCC_TOKEN_RE.search(line)
+        if m:
+            report("mvcc-publish", path, lineno,
+                   f"direct mutable-catalog access `{m.group(0)}` outside "
+                   "the commit path — go through QueryService's "
+                   "transactional write API")
+
+
 # --- Rule: governance check-points ------------------------------------------
 
 # Files whose tuple-materializing operator loops must poll governance.
@@ -322,6 +355,7 @@ def main() -> int:
         check_void_discard(path, clean)
         check_no_iostream(path, clean)
         check_net_socket(path, clean)
+        check_mvcc_publish(path, clean)
     check_metrics()
     check_governance()
 
@@ -330,7 +364,7 @@ def main() -> int:
             print(v, file=sys.stderr)
         print(f"ccdb_lint: {len(violations)} violation(s)", file=sys.stderr)
         return 1
-    print(f"ccdb_lint: ok ({len(files)} files, 7 rules)")
+    print(f"ccdb_lint: ok ({len(files)} files, 8 rules)")
     return 0
 
 
