@@ -6,18 +6,24 @@
 // its committed WAL batches, and serves read-only queries.
 //
 // Usage:
-//   ccdb_serve [--port N] [--workers N] [file.cdb ...]          # leader
-//   ccdb_serve --replica-of HOST:PORT [--port N] [--workers N]  # replica
+//   ccdb_serve [--port N] [--workers N] [--status-port N]
+//              [--event-log FILE] [file.cdb ...]                # leader
+//   ccdb_serve --replica-of HOST:PORT [--port N] [--workers N]
+//              [--status-port N] [--event-log FILE]             # replica
 //
-// Prints "listening on port N" once ready (scripts parse this line), then
-// reads commands from stdin: `stats` prints metrics (and replication lag
-// on a replica), `quit` exits. On stdin EOF the daemon keeps serving
-// until SIGINT/SIGTERM — the shape tools/stress_net.sh and bench_net
-// expect from a background server process.
+// Prints "listening on port N" once ready (scripts parse this line) and,
+// with --status-port, "status on port N" for the HTTP scrape endpoint
+// (GET /metrics, GET /healthz). --event-log appends structured JSONL
+// operational events (connections, sheds, conflicts, re-syncs) to FILE.
+// Then reads commands from stdin: `stats` prints metrics (and
+// replication lag on a replica), `quit` exits. On stdin EOF the daemon
+// keeps serving until SIGINT/SIGTERM — the shape tools/stress_net.sh and
+// bench_net expect from a background server process.
 
 #include <atomic>
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -39,6 +45,26 @@ std::pair<std::string, uint16_t> SplitHostPort(const std::string& arg) {
   const int port = std::atoi(arg.c_str() + colon + 1);
   if (port <= 0 || port > 65535) return {"", 0};
   return {arg.substr(0, colon), static_cast<uint16_t>(port)};
+}
+
+/// Starts the HTTP status listener when requested; prints the bound port
+/// so scripts (tools/stress_net.sh) can find an ephemeral one.
+std::unique_ptr<net::StatusServer> MaybeStartStatus(bool enabled,
+                                                    uint16_t status_port,
+                                                    net::Server* server,
+                                                    net::Replica* replica) {
+  if (!enabled) return nullptr;
+  net::StatusServerOptions opts;
+  opts.port = status_port;
+  opts.replica = replica;
+  auto status = net::StatusServer::Start(server, opts);
+  if (!status.ok()) {
+    std::cerr << "error starting status server: "
+              << status.status().ToString() << "\n";
+    return nullptr;
+  }
+  std::cout << "status on port " << (*status)->port() << std::endl;
+  return std::move(status).value();
 }
 
 /// Reads stdin commands until quit/EOF; after EOF, waits for a signal.
@@ -69,20 +95,29 @@ void CommandLoop(net::Server* server, net::Replica* replica) {
 
 int main(int argc, char** argv) {
   uint16_t port = 0;
+  bool with_status = false;
+  uint16_t status_port = 0;
   size_t workers = 4;
   std::string replica_of;
+  std::string event_log_path;
   std::vector<std::string> data_files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--status-port" && i + 1 < argc) {
+      with_status = true;
+      status_port = static_cast<uint16_t>(std::atoi(argv[++i]));
     } else if (arg == "--workers" && i + 1 < argc) {
       workers = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (arg == "--replica-of" && i + 1 < argc) {
       replica_of = argv[++i];
+    } else if (arg == "--event-log" && i + 1 < argc) {
+      event_log_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag " << arg << "\n"
                 << "usage: ccdb_serve [--port N] [--workers N] "
+                   "[--status-port N] [--event-log FILE] "
                    "[--replica-of HOST:PORT] [file.cdb ...]\n";
       return 1;
     } else {
@@ -91,6 +126,17 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+
+  std::ofstream event_stream;
+  std::unique_ptr<obs::EventLog> event_log;
+  if (!event_log_path.empty()) {
+    event_stream.open(event_log_path, std::ios::app);
+    if (!event_stream) {
+      std::cerr << "error opening event log " << event_log_path << "\n";
+      return 1;
+    }
+    event_log = std::make_unique<obs::EventLog>(&event_stream);
+  }
 
   if (!replica_of.empty()) {
     // --- Replica: follow a leader, serve read-only queries ---
@@ -102,26 +148,36 @@ int main(int argc, char** argv) {
     Database db;
     service::ServiceOptions options;
     options.num_workers = workers;
+    options.event_log = event_log.get();
     service::QueryService service(&db, options);
-    auto replica = net::Replica::Start(host, leader_port, &service);
-    if (!replica.ok()) {
-      std::cerr << "error connecting to leader: "
-                << replica.status().ToString() << "\n";
-      return 1;
-    }
+    // Server first: the replica publishes its lag gauges into the
+    // server's registry, so the scrape surfaces see them.
     net::ServerOptions sopts;
     sopts.port = port;
     sopts.read_only = true;
     sopts.server_name = "ccdb-replica";
+    sopts.event_log = event_log.get();
     auto server = net::Server::Start(&service, sopts);
     if (!server.ok()) {
       std::cerr << "error starting server: " << server.status().ToString()
                 << "\n";
       return 1;
     }
+    net::ReplicaOptions ropts;
+    ropts.registry = &(*server)->registry();
+    ropts.event_log = event_log.get();
+    auto replica = net::Replica::Start(host, leader_port, &service, ropts);
+    if (!replica.ok()) {
+      std::cerr << "error connecting to leader: "
+                << replica.status().ToString() << "\n";
+      return 1;
+    }
     std::cout << "listening on port " << (*server)->port() << " (replica of "
               << replica_of << ")" << std::endl;
+    auto status = MaybeStartStatus(with_status, status_port, server->get(),
+                                   replica->get());
     CommandLoop(server->get(), replica->get());
+    if (status != nullptr) status->Shutdown();
     (*server)->Shutdown();
     (*replica)->Stop();
     return 0;
@@ -156,10 +212,12 @@ int main(int argc, char** argv) {
   options.num_workers = workers;
   options.disk = &disk;
   options.store = store->get();
+  options.event_log = event_log.get();
   service::QueryService service(&db, options);
   net::ServerOptions sopts;
   sopts.port = port;
   sopts.store = store->get();
+  sopts.event_log = event_log.get();
   auto server = net::Server::Start(&service, sopts);
   if (!server.ok()) {
     std::cerr << "error starting server: " << server.status().ToString()
@@ -168,7 +226,10 @@ int main(int argc, char** argv) {
   }
   std::cout << "listening on port " << (*server)->port() << " (leader)"
             << std::endl;
+  auto status =
+      MaybeStartStatus(with_status, status_port, server->get(), nullptr);
   CommandLoop(server->get(), nullptr);
+  if (status != nullptr) status->Shutdown();
   (*server)->Shutdown();
   return 0;
 }

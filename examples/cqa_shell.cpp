@@ -19,6 +19,7 @@
 //   \txn                        show the open transaction's state
 //   \trace <script|file>        EXPLAIN ANALYZE: run with per-operator spans
 //   \metrics                    query-service metrics snapshot
+//   \top [ticks] [ms]           live dashboard (qps, p50/p99, queue, lag)
 //   \checkpoint                 apply pending pages + truncate the WAL
 //   \deadline <ms>|off          wall-clock budget for subsequent statements
 //   \submit <statement>         run a statement in the background (prints id)
@@ -40,13 +41,17 @@
 // before it is acknowledged, and `\checkpoint` truncates the log once its
 // batches are applied.
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <future>
 #include <iostream>
 #include <map>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "ccdb.h"
 #include "util/string_util.h"
@@ -66,12 +71,13 @@ void PrintHelp() {
   R6 = rename x to t in R5
   R7 = buffer-join L and P within 5 [using fid]
   R8 = k-nearest L and P k 3 [using fid]
-Shell commands: show/schema/list/load/save/plan/\txn/\trace/\metrics/
+Shell commands: show/schema/list/load/save/plan/\txn/\trace/\metrics/\top/
                 \checkpoint/\deadline/\submit/\wait/\cancel/help/quit
   BEGIN / COMMIT / ROLLBACK  stage loads as one atomic catalog commit
   \txn                 show the open transaction (id, epoch, staged writes)
   \trace <statement>   run one statement with per-operator spans
   \trace <file>        run a multi-step script file the same way
+  \top [ticks] [ms]    live dashboard, default 5 ticks every 1000 ms
   \deadline <ms>|off   set/clear a wall-clock budget for later statements
   \submit <statement>  run in the background; prints a query id
   \wait <id>           block on a background query's result
@@ -119,6 +125,16 @@ void AdvisePlan(service::QueryService* service, service::SessionId session,
   AdviseRelation(*rel);
 }
 
+/// A fresh nonzero trace id. Client-assigned: the same id stamps the
+/// shell's output, the server's span tree, its slow-query log, and its
+/// event log, so one grep correlates all four.
+uint64_t NewTraceId() {
+  static std::mt19937_64 rng{std::random_device{}()};
+  uint64_t id = 0;
+  while (id == 0) id = rng();
+  return id;
+}
+
 /// `\trace`: executes a statement (or a script file, when the argument
 /// names a readable one) with full tracing and renders the EXPLAIN
 /// ANALYZE view — optimized plan, per-operator span tree, and totals.
@@ -130,7 +146,7 @@ void TraceScript(service::QueryService* service, service::SessionId session,
     buffer << file.rdbuf();
     script = buffer.str();
   }
-  auto report = service->Trace(session, script);
+  auto report = service->Trace(session, script, NewTraceId());
   if (!report.ok()) {
     std::cout << report.status().ToString() << "\n";
     return;
@@ -140,7 +156,8 @@ void TraceScript(service::QueryService* service, service::SessionId session,
   } else {
     std::cout << "(not compilable to one plan; statement-level spans)\n";
   }
-  std::cout << "trace:\n" << report->root.ToString() << "\n";
+  std::cout << "trace (id " << report->trace_id << "):\n"
+            << report->root.ToString() << "\n";
   std::cout << "total: " << report->response.latency_us / 1000.0 << " ms, "
             << report->response.relation.size() << " tuples | "
             << report->root.TotalCounters().ToString() << "\n";
@@ -190,8 +207,10 @@ void ShowTxn(service::QueryService* service, service::SessionId session) {
   std::cout << "\n";
 }
 
-/// `\trace` against a connected server: same EXPLAIN ANALYZE rendering,
-/// with the plan and span tree produced (and serialized back) remotely.
+/// `\trace` against a connected server: the shell assigns the trace id,
+/// FETCH_TRACE ships the full remote span *tree* back (not just its
+/// pre-rendered text), and the rendering matches the local path — same
+/// tree walk, same per-layer counter totals.
 void TraceRemote(net::Client* remote, const std::string& arg) {
   std::string script = arg;
   if (std::ifstream file(arg); file.good()) {
@@ -199,7 +218,7 @@ void TraceRemote(net::Client* remote, const std::string& arg) {
     buffer << file.rdbuf();
     script = buffer.str();
   }
-  auto report = remote->Trace(script);
+  auto report = remote->FetchTrace(script, NewTraceId());
   if (!report.ok()) {
     std::cout << report.status().ToString() << "\n";
     return;
@@ -209,9 +228,106 @@ void TraceRemote(net::Client* remote, const std::string& arg) {
   } else {
     std::cout << "(not compilable to one plan; statement-level spans)\n";
   }
-  std::cout << "trace:\n" << report->trace_text << "\n";
+  std::cout << "trace (id " << report->trace_id << "):\n"
+            << report->root.ToString() << "\n";
   std::cout << "total: " << report->response.latency_us / 1000.0 << " ms, "
-            << report->response.relation.size() << " tuples\n";
+            << report->response.relation.size() << " tuples | "
+            << report->root.TotalCounters().ToString() << "\n";
+}
+
+/// --- `\top`: a polling dashboard over the metrics snapshot surface ---
+
+/// The histogram named `name`, or nullptr.
+const obs::Histogram::Snapshot* FindHist(
+    const obs::MetricsRegistry::Snapshot& snapshot, const std::string& name) {
+  for (const obs::Histogram::Snapshot& hist : snapshot.histograms) {
+    if (hist.name == name) return &hist;
+  }
+  return nullptr;
+}
+
+/// Counter delta between two snapshots (0 when it went backwards, e.g.
+/// across a server restart).
+uint64_t DeltaValue(const obs::MetricsRegistry::Snapshot& cur,
+                    const obs::MetricsRegistry::Snapshot& prev,
+                    const std::string& name) {
+  const uint64_t now = cur.Value(name);
+  const uint64_t before = prev.Value(name);
+  return now > before ? now - before : 0;
+}
+
+/// The interval-local histogram: bucket-wise difference of two cumulative
+/// snapshots, so percentiles describe just the samples recorded between
+/// the two polls.
+obs::Histogram::Snapshot DeltaHist(const obs::Histogram::Snapshot* cur,
+                                   const obs::Histogram::Snapshot* prev) {
+  obs::Histogram::Snapshot delta;
+  if (cur == nullptr) return delta;
+  delta = *cur;
+  if (prev == nullptr) return delta;
+  delta.count -= std::min(prev->count, delta.count);
+  delta.sum -= std::min(prev->sum, delta.sum);
+  for (size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    delta.buckets[i] -= std::min(prev->buckets[i], delta.buckets[i]);
+  }
+  return delta;
+}
+
+/// `\top [iterations] [interval_ms]`: polls the snapshot source (the
+/// in-process service or, over `\connect`, the remote server's merged
+/// registry) and renders per-interval rates — client-side deltas, no
+/// server-side state.
+void TopDashboard(
+    const std::function<Result<obs::MetricsRegistry::Snapshot>()>& poll,
+    int iterations, int interval_ms) {
+  Result<obs::MetricsRegistry::Snapshot> prev = poll();
+  if (!prev.ok()) {
+    std::cout << prev.status().ToString() << "\n";
+    return;
+  }
+  std::cout << "\\top: " << iterations << " tick(s) every " << interval_ms
+            << " ms\n";
+  for (int tick = 1; tick <= iterations; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    Result<obs::MetricsRegistry::Snapshot> cur = poll();
+    if (!cur.ok()) {
+      std::cout << cur.status().ToString() << "\n";
+      return;
+    }
+    const uint64_t completed =
+        DeltaValue(*cur, *prev, obs::names::kQueriesCompleted);
+    const double qps = completed * 1000.0 / interval_ms;
+    const obs::Histogram::Snapshot latency = DeltaHist(
+        FindHist(*cur, obs::names::kQueryLatencyUs),
+        FindHist(*prev, obs::names::kQueryLatencyUs));
+    const uint64_t hits = DeltaValue(*cur, *prev, obs::names::kCacheHits);
+    const uint64_t misses = DeltaValue(*cur, *prev, obs::names::kCacheMisses);
+    std::cout << "[" << tick << "/" << iterations << "] qps=" << qps;
+    if (latency.count > 0) {
+      std::cout << " p50<=" << latency.PercentileUpperBound(0.50) << "us"
+                << " p99<=" << latency.PercentileUpperBound(0.99) << "us";
+    } else {
+      std::cout << " p50=- p99=-";
+    }
+    std::cout << " queue=" << cur->Value(obs::names::kQueueDepth);
+    if (hits + misses > 0) {
+      std::cout << " cache_hit=" << 100 * hits / (hits + misses) << "%";
+    } else {
+      std::cout << " cache_hit=-";
+    }
+    std::cout << " epoch=" << cur->Value(obs::names::kCatalogEpoch)
+              << " wal_lsn=" << cur->Value(obs::names::kWalLsn) << "\n";
+    if (cur->gauges.count(obs::names::kReplicaLagBatches) != 0) {
+      std::cout << "      replica: lag_batches="
+                << cur->Value(obs::names::kReplicaLagBatches)
+                << " lag_bytes=" << cur->Value(obs::names::kReplicaLagBytes)
+                << " applied_lsn="
+                << cur->Value(obs::names::kReplicaLastApplyLsn)
+                << " resyncs=" << cur->Value(obs::names::kReplicaResyncs)
+                << "\n";
+    }
+    prev = std::move(cur);
+  }
 }
 
 /// `load` against a connected server: parse locally, ship each relation.
@@ -474,6 +590,22 @@ int main(int argc, char** argv) {
       } else {
         ShowTxn(&service, session);
       }
+      continue;
+    }
+    if (command == "\\top") {
+      int iterations = 5;
+      int interval_ms = 1000;
+      if (std::string arg; words >> arg) {
+        iterations = std::max(1, std::atoi(arg.c_str()));
+      }
+      if (std::string arg; words >> arg) {
+        interval_ms = std::max(10, std::atoi(arg.c_str()));
+      }
+      auto poll = [&]() -> Result<obs::MetricsRegistry::Snapshot> {
+        if (remote != nullptr) return remote->MetricsSnapshot();
+        return service.MetricsSnapshot();
+      };
+      TopDashboard(poll, iterations, interval_ms);
       continue;
     }
     if (command == "\\metrics" || command == "metrics") {

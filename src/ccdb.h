@@ -38,11 +38,14 @@
 #include "net/client.h"                    // blocking wire-protocol client
 #include "net/replica.h"                   // WAL-shipping read replicas
 #include "net/server.h"                    // the TCP front door
+#include "net/status_server.h"             // HTTP /metrics + /healthz
 #include "net/wire.h"                      // binary frame + payload codecs
 #include "lang/data_parser.h"              // .cdb data files
 #include "lang/query.h"                    // the step-based query language
 #include "num/bigint.h"                    // arbitrary-precision integers
 #include "num/rational.h"                  // exact rationals
+#include "obs/event_log.h"                 // structured operational events
+#include "obs/exposition.h"                // Prometheus text rendering
 #include "obs/metric_names.h"              // canonical metric names
 #include "obs/registry.h"                  // cross-layer metrics registry
 #include "obs/trace.h"                     // per-operator spans + counters

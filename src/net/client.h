@@ -83,6 +83,26 @@ class Client {
   };
   Result<RemoteTrace> Trace(const std::string& script) CCDB_EXCLUDES(mu_);
 
+  /// FETCH_TRACE: like Trace, but the span tree arrives structured (every
+  /// TraceNode field) instead of pre-rendered, stamped with the
+  /// client-assigned `trace_id` — so a shell's `\trace` over `\connect`
+  /// renders and aggregates the remote tree exactly like a local one.
+  struct RemoteTraceTree {
+    bool used_plan = false;
+    std::string plan_text;
+    uint64_t trace_id = 0;   ///< echoed back by the server
+    obs::TraceNode root;
+    service::QueryResponse response;
+  };
+  Result<RemoteTraceTree> FetchTrace(const std::string& script,
+                                     uint64_t trace_id) CCDB_EXCLUDES(mu_);
+
+  /// METRICS_SNAPSHOT: the server's merged service+net registry snapshot
+  /// (counter kinds and full histogram buckets) — the structured scrape
+  /// the shell's `\top` polls.
+  Result<obs::MetricsRegistry::Snapshot> MetricsSnapshot()
+      CCDB_EXCLUDES(mu_);
+
   // --- Catalog access ---
 
   Result<std::vector<std::string>> ListRelations() CCDB_EXCLUDES(mu_);

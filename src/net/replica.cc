@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metric_names.h"
 #include "storage/catalog.h"
 #include "storage/wal.h"
 
@@ -81,7 +82,27 @@ Status Replica::SyncOnce() {
   MutexLock lock(mu_);
   Status synced = SyncLocked();
   if (!synced.ok()) ++sync_failures_;
+  PublishGauges();
   return synced;
+}
+
+uint64_t Replica::LagBytesLocked() const {
+  const uint64_t lag_batches = leader_next_lsn_ > applied_lsn_ + 1
+                                   ? leader_next_lsn_ - applied_lsn_ - 1
+                                   : 0;
+  if (lag_batches == 0 || batches_applied_ == 0) return 0;
+  return lag_batches * (bytes_applied_ / batches_applied_);
+}
+
+void Replica::PublishGauges() {
+  if (options_.registry == nullptr) return;
+  const uint64_t lag_batches = leader_next_lsn_ > applied_lsn_ + 1
+                                   ? leader_next_lsn_ - applied_lsn_ - 1
+                                   : 0;
+  options_.registry->SetGauge(obs::names::kReplicaLagBatches, lag_batches);
+  options_.registry->SetGauge(obs::names::kReplicaLagBytes, LagBytesLocked());
+  options_.registry->SetGauge(obs::names::kReplicaLastApplyLsn, applied_lsn_);
+  options_.registry->SetGauge(obs::names::kReplicaResyncs, resyncs_);
 }
 
 Status Replica::SyncLocked() {
@@ -130,6 +151,14 @@ Status Replica::SyncLocked() {
         // bootstrap image.
         need_snapshot_ = true;
         ++resyncs_;
+        if (options_.event_log != nullptr) {
+          obs::Event event;
+          event.type = "replica_resync";
+          event.detail = "shipment rejected at lsn " +
+                         std::to_string(applied_lsn_ + 1) + ": " +
+                         applied.message();
+          options_.event_log->Emit(event);
+        }
         return applied;
       }
       changed = true;
@@ -175,6 +204,7 @@ Status Replica::ApplyRecord(const std::vector<uint8_t>& record) {
   catalog_root_ = batch.catalog_root;
   applied_lsn_ = batch.lsn;
   ++batches_applied_;
+  bytes_applied_ += record.size();
   return Status::OK();
 }
 
@@ -229,6 +259,8 @@ Replica::Stats Replica::stats() const {
   out.lag_batches = leader_next_lsn_ > applied_lsn_ + 1
                         ? leader_next_lsn_ - applied_lsn_ - 1
                         : 0;
+  out.lag_bytes = LagBytesLocked();
+  out.bytes_applied = bytes_applied_;
   out.batches_applied = batches_applied_;
   out.snapshots_installed = snapshots_installed_;
   out.resyncs = resyncs_;

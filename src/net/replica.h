@@ -42,6 +42,8 @@
 #include <thread>
 
 #include "net/client.h"
+#include "obs/event_log.h"
+#include "obs/registry.h"
 #include "service/query_service.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
@@ -60,6 +62,16 @@ struct ReplicaOptions {
   /// (tests and the lag bench).
   bool start_paused = false;
   std::string client_name = "ccdb-replica";
+  /// Optional registry receiving the replication-health gauges
+  /// (`replica.lag_batches`, `replica.lag_bytes`,
+  /// `replica.last_apply_lsn`, `replica.resyncs`), refreshed after every
+  /// sync round — typically the follower Server's registry, so the
+  /// gauges ride its scrape surfaces. Not owned; must outlive the
+  /// replica.
+  obs::MetricsRegistry* registry = nullptr;
+  /// Optional structured event log receiving `replica_resync` events.
+  /// Not owned; must outlive the replica.
+  obs::EventLog* event_log = nullptr;
 };
 
 /// A WAL-shipping follower. All public methods are thread-safe.
@@ -97,6 +109,11 @@ class Replica {
     uint64_t applied_lsn = 0;       ///< last batch applied locally
     uint64_t leader_next_lsn = 0;   ///< leader position at the last sync
     uint64_t lag_batches = 0;       ///< committed batches not yet applied
+    /// Estimated bytes behind: lag_batches x the mean applied record
+    /// size (the follower cannot see unshipped bytes, so this is an
+    /// honest estimate, 0 until a first record has been applied).
+    uint64_t lag_bytes = 0;
+    uint64_t bytes_applied = 0;     ///< raw record bytes applied so far
     uint64_t batches_applied = 0;
     uint64_t snapshots_installed = 0;  ///< bootstrap + re-sync loads
     uint64_t resyncs = 0;     ///< validation/apply failures forcing one
@@ -123,6 +140,10 @@ class Replica {
   /// Reloads the catalog from the local disk and publishes it into the
   /// follower service atomically (one staged transaction, one commit).
   Status PublishCatalog() CCDB_REQUIRES(mu_);
+  /// Refreshes the replica.* health gauges in `options_.registry`.
+  void PublishGauges() CCDB_REQUIRES(mu_);
+  /// The lag estimate in bytes (see Stats::lag_bytes).
+  uint64_t LagBytesLocked() const CCDB_REQUIRES(mu_);
 
   service::QueryService* service_;
   ReplicaOptions options_;
@@ -144,6 +165,7 @@ class Replica {
   bool need_reconnect_ CCDB_GUARDED_BY(mu_) = false;
   bool caught_up_ CCDB_GUARDED_BY(mu_) = false;
   uint64_t batches_applied_ CCDB_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_applied_ CCDB_GUARDED_BY(mu_) = 0;
   uint64_t snapshots_installed_ CCDB_GUARDED_BY(mu_) = 0;
   uint64_t resyncs_ CCDB_GUARDED_BY(mu_) = 0;
   uint64_t sync_failures_ CCDB_GUARDED_BY(mu_) = 0;

@@ -1,5 +1,7 @@
 #include "net/server.h"
 
+#include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "obs/metric_names.h"
@@ -68,6 +70,21 @@ size_t Server::open_connections() const {
 std::string Server::MetricsText() const {
   return service_->Metrics().ToString() + "\n--- net ---\n" +
          registry_.ToString();
+}
+
+obs::MetricsRegistry::Snapshot Server::MergedSnapshot() const {
+  obs::MetricsRegistry::Snapshot merged = service_->MetricsSnapshot();
+  obs::MetricsRegistry::Snapshot net = registry_.TakeSnapshot();
+  // The two registries declare disjoint name sets (service.* vs net.*),
+  // so a plain append + re-sort is a correct merge.
+  merged.values.insert(merged.values.end(), net.values.begin(),
+                       net.values.end());
+  std::sort(merged.values.begin(), merged.values.end());
+  merged.gauges.insert(net.gauges.begin(), net.gauges.end());
+  merged.histograms.insert(merged.histograms.end(),
+                           std::make_move_iterator(net.histograms.begin()),
+                           std::make_move_iterator(net.histograms.end()));
+  return merged;
 }
 
 void Server::AcceptLoop() {
@@ -142,6 +159,12 @@ void Server::ServeConnection(uint64_t conn_id, Socket sock) {
     live_.emplace(conn_id, &sock);
     registry_.SetGauge(obs::names::kNetConnectionsOpen, live_.size());
   }
+  if (options_.event_log != nullptr) {
+    obs::Event event;
+    event.type = "conn_open";
+    event.conn_id = conn_id;
+    options_.event_log->Emit(event);
+  }
 
   Conn conn;
   while (true) {
@@ -171,6 +194,13 @@ void Server::ServeConnection(uint64_t conn_id, Socket sock) {
       IgnoreError(service_->Cancel(conn.session, query_id));
     }
     IgnoreError(service_->CloseSession(conn.session));
+  }
+  if (options_.event_log != nullptr) {
+    obs::Event event;
+    event.type = "conn_close";
+    event.conn_id = conn_id;
+    event.session = conn.session;
+    options_.event_log->Emit(event);
   }
 
   MutexLock lock(mu_);
@@ -232,6 +262,14 @@ Status Server::Dispatch(Conn* conn, Socket* sock, const Frame& frame,
       if (!parsed.ok()) return bad_payload(parsed);
       if (version != kProtocolVersion) {
         *close_conn = true;
+        if (options_.event_log != nullptr) {
+          obs::Event event;
+          event.type = "hello_skew";
+          event.detail = "client '" + client_name + "' speaks version " +
+                         std::to_string(version) + ", server speaks " +
+                         std::to_string(kProtocolVersion);
+          options_.event_log->Emit(event);
+        }
         return SendError(
             sock, Status::Unsupported(
                       "protocol version " + std::to_string(version) +
@@ -337,6 +375,33 @@ Status Server::Dispatch(Conn* conn, Socket* sock, const Frame& frame,
       w.PutString(report->root.ToString());
       PutQueryResponse(&w, report->response);
       return reply(MsgType::kTraceResult, w.buffer());
+    }
+
+    case MsgType::kFetchTrace: {
+      std::string script;
+      uint64_t trace_id = 0;
+      Status parsed = [&]() -> Status {
+        CCDB_ASSIGN_OR_RETURN(script, r.GetString());
+        CCDB_ASSIGN_OR_RETURN(trace_id, r.GetU64());
+        return Status::OK();
+      }();
+      if (!parsed.ok()) return bad_payload(parsed);
+      Result<service::TraceReport> report =
+          service_->Trace(conn->session, script, trace_id);
+      if (!report.ok()) return SendError(sock, report.status());
+      Writer w;
+      w.PutU8(report->used_plan ? 1 : 0);
+      w.PutString(report->plan_text);
+      w.PutU64(report->trace_id);
+      PutTraceNode(&w, report->root);
+      PutQueryResponse(&w, report->response);
+      return reply(MsgType::kTraceTree, w.buffer());
+    }
+
+    case MsgType::kMetricsSnapshot: {
+      Writer w;
+      PutRegistrySnapshot(&w, MergedSnapshot());
+      return reply(MsgType::kMetricsSnapshotData, w.buffer());
     }
 
     case MsgType::kListRelations: {

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "net/wire.h"
+#include "obs/event_log.h"
 #include "obs/registry.h"
 #include "service/query_service.h"
 #include "storage/wal.h"
@@ -69,6 +70,9 @@ struct ServerOptions {
   DurableStore* store = nullptr;
   std::string server_name = "ccdb";
   ShipFaults ship_faults;     ///< replication fault injection (tests)
+  /// Optional structured event log receiving connection open/close and
+  /// HELLO version-skew events. Not owned; must outlive the server.
+  obs::EventLog* event_log = nullptr;
 };
 
 /// A TCP server exposing one QueryService over the binary wire protocol.
@@ -102,6 +106,12 @@ class Server {
 
   /// The server's network metrics (net.connections.*, net.bytes.*, ...).
   obs::MetricsRegistry& registry() { return registry_; }
+
+  /// The scrape surface: the service's registry snapshot (health gauges
+  /// included) merged with this server's `net.*` registry, values
+  /// re-sorted. Both the binary METRICS_SNAPSHOT response and the HTTP
+  /// `/metrics` endpoint render exactly this.
+  obs::MetricsRegistry::Snapshot MergedSnapshot() const;
 
  private:
   Server(service::QueryService* service, ServerOptions options);

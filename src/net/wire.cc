@@ -54,6 +54,8 @@ bool IsKnownMsgType(uint8_t type) {
     case MsgType::kGetRelation:
     case MsgType::kLoadRelation:
     case MsgType::kShipWal:
+    case MsgType::kFetchTrace:
+    case MsgType::kMetricsSnapshot:
     case MsgType::kOk:
     case MsgType::kError:
     case MsgType::kResult:
@@ -66,6 +68,8 @@ bool IsKnownMsgType(uint8_t type) {
     case MsgType::kSnapshot:
     case MsgType::kWalBatch:
     case MsgType::kShipEnd:
+    case MsgType::kTraceTree:
+    case MsgType::kMetricsSnapshotData:
       return true;
   }
   return false;
@@ -85,6 +89,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kGetRelation: return "GET_RELATION";
     case MsgType::kLoadRelation: return "LOAD_RELATION";
     case MsgType::kShipWal: return "SHIP_WAL";
+    case MsgType::kFetchTrace: return "FETCH_TRACE";
+    case MsgType::kMetricsSnapshot: return "METRICS_SNAPSHOT";
     case MsgType::kOk: return "OK";
     case MsgType::kError: return "ERROR";
     case MsgType::kResult: return "RESULT";
@@ -97,6 +103,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kSnapshot: return "SNAPSHOT";
     case MsgType::kWalBatch: return "WAL_BATCH";
     case MsgType::kShipEnd: return "SHIP_END";
+    case MsgType::kTraceTree: return "TRACE_TREE";
+    case MsgType::kMetricsSnapshotData: return "METRICS_SNAPSHOT_DATA";
   }
   return "?";
 }
@@ -170,6 +178,7 @@ void PutQueryOptions(Writer* w, const service::QueryOptions& opts) {
   w->PutU8(opts.allow_partial.has_value() ? (*opts.allow_partial ? 2 : 1)
                                           : 0);
   w->PutU64(opts.trip_at_check);
+  w->PutU64(opts.trace_id);
   // QueryOptions::cancel is a process-local token; remote cancellation
   // goes through the CANCEL request instead.
 }
@@ -186,6 +195,7 @@ Status GetQueryOptions(Reader* r, service::QueryOptions* out) {
   CCDB_ASSIGN_OR_RETURN(uint64_t max_memory, r->GetU64());
   CCDB_ASSIGN_OR_RETURN(uint8_t partial, r->GetU8());
   CCDB_ASSIGN_OR_RETURN(uint64_t trip_at_check, r->GetU64());
+  CCDB_ASSIGN_OR_RETURN(uint64_t trace_id, r->GetU64());
   for (uint8_t flag : {has_deadline, has_tuples, has_constraints, has_memory}) {
     if (flag > 1) {
       return Status::InvalidArgument("query options: presence flag > 1");
@@ -206,6 +216,7 @@ Status GetQueryOptions(Reader* r, service::QueryOptions* out) {
   if (has_memory != 0) opts.max_memory_bytes = max_memory;
   if (partial != 0) opts.allow_partial = (partial == 2);
   opts.trip_at_check = trip_at_check;
+  opts.trace_id = trace_id;
   *out = std::move(opts);
   return Status::OK();
 }
@@ -256,6 +267,122 @@ Status GetQueryResponse(Reader* r, service::QueryResponse* out) {
   response.latency_us = BitsToDouble(latency_bits);
   CCDB_RETURN_IF_ERROR(GetRelation(r, &response.relation));
   *out = std::move(response);
+  return Status::OK();
+}
+
+void PutTraceNode(Writer* w, const obs::TraceNode& node) {
+  w->PutString(node.label);
+  w->PutU64(DoubleBits(node.wall_us));
+  w->PutU64(DoubleBits(node.self_us));
+  w->PutU64(node.tuples_in);
+  w->PutU64(node.tuples_out);
+  w->PutU64(node.counters.conjunctions);
+  w->PutU64(node.counters.fm_eliminations);
+  w->PutU64(node.counters.redundancy_culls);
+  w->PutU64(node.counters.index_node_visits);
+  w->PutU64(node.counters.index_leaf_hits);
+  w->PutU64(node.counters.pages_read);
+  w->PutU64(node.counters.pool_hits);
+  w->PutU32(static_cast<uint32_t>(node.children.size()));
+  for (const obs::TraceNode& child : node.children) {
+    PutTraceNode(w, child);
+  }
+}
+
+Status GetTraceNode(Reader* r, obs::TraceNode* out, uint32_t depth) {
+  if (depth >= kMaxTraceDepth) {
+    return Status::InvalidArgument("trace tree nested deeper than " +
+                                   std::to_string(kMaxTraceDepth));
+  }
+  obs::TraceNode node;
+  CCDB_ASSIGN_OR_RETURN(node.label, r->GetString());
+  CCDB_ASSIGN_OR_RETURN(uint64_t wall_bits, r->GetU64());
+  CCDB_ASSIGN_OR_RETURN(uint64_t self_bits, r->GetU64());
+  node.wall_us = BitsToDouble(wall_bits);
+  node.self_us = BitsToDouble(self_bits);
+  CCDB_ASSIGN_OR_RETURN(node.tuples_in, r->GetU64());
+  CCDB_ASSIGN_OR_RETURN(node.tuples_out, r->GetU64());
+  CCDB_ASSIGN_OR_RETURN(node.counters.conjunctions, r->GetU64());
+  CCDB_ASSIGN_OR_RETURN(node.counters.fm_eliminations, r->GetU64());
+  CCDB_ASSIGN_OR_RETURN(node.counters.redundancy_culls, r->GetU64());
+  CCDB_ASSIGN_OR_RETURN(node.counters.index_node_visits, r->GetU64());
+  CCDB_ASSIGN_OR_RETURN(node.counters.index_leaf_hits, r->GetU64());
+  CCDB_ASSIGN_OR_RETURN(node.counters.pages_read, r->GetU64());
+  CCDB_ASSIGN_OR_RETURN(node.counters.pool_hits, r->GetU64());
+  CCDB_ASSIGN_OR_RETURN(uint32_t n_children, r->GetU32());
+  // Every child costs at least its label length prefix + the fixed
+  // fields, so a count beyond the frame bound is lying.
+  if (n_children > kMaxFramePayload / 16) {
+    return Status::InvalidArgument("trace tree child count implausible");
+  }
+  node.children.reserve(n_children);
+  for (uint32_t i = 0; i < n_children; ++i) {
+    obs::TraceNode child;
+    CCDB_RETURN_IF_ERROR(GetTraceNode(r, &child, depth + 1));
+    node.children.push_back(std::move(child));
+  }
+  *out = std::move(node);
+  return Status::OK();
+}
+
+void PutRegistrySnapshot(Writer* w,
+                         const obs::MetricsRegistry::Snapshot& snapshot) {
+  w->PutU32(static_cast<uint32_t>(snapshot.values.size()));
+  for (const auto& [name, value] : snapshot.values) {
+    w->PutString(name);
+    w->PutU64(value);
+    w->PutU8(snapshot.gauges.count(name) != 0 ? 1 : 0);
+  }
+  w->PutU32(static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const obs::Histogram::Snapshot& hist : snapshot.histograms) {
+    w->PutString(hist.name);
+    w->PutU64(hist.count);
+    w->PutU64(hist.sum);
+    w->PutU32(static_cast<uint32_t>(hist.buckets.size()));
+    for (uint64_t bucket : hist.buckets) w->PutU64(bucket);
+  }
+}
+
+Status GetRegistrySnapshot(Reader* r, obs::MetricsRegistry::Snapshot* out) {
+  obs::MetricsRegistry::Snapshot snapshot;
+  CCDB_ASSIGN_OR_RETURN(uint32_t n_values, r->GetU32());
+  if (n_values > kMaxFramePayload / 16) {
+    return Status::InvalidArgument("registry snapshot value count implausible");
+  }
+  snapshot.values.reserve(n_values);
+  for (uint32_t i = 0; i < n_values; ++i) {
+    std::pair<std::string, uint64_t> entry;
+    CCDB_ASSIGN_OR_RETURN(entry.first, r->GetString());
+    CCDB_ASSIGN_OR_RETURN(entry.second, r->GetU64());
+    CCDB_ASSIGN_OR_RETURN(uint8_t is_gauge, r->GetU8());
+    if (is_gauge > 1) {
+      return Status::InvalidArgument("registry snapshot: bad gauge flag");
+    }
+    if (is_gauge != 0) snapshot.gauges.insert(entry.first);
+    snapshot.values.push_back(std::move(entry));
+  }
+  CCDB_ASSIGN_OR_RETURN(uint32_t n_hists, r->GetU32());
+  if (n_hists > kMaxFramePayload / 16) {
+    return Status::InvalidArgument(
+        "registry snapshot histogram count implausible");
+  }
+  snapshot.histograms.reserve(n_hists);
+  for (uint32_t i = 0; i < n_hists; ++i) {
+    obs::Histogram::Snapshot hist;
+    CCDB_ASSIGN_OR_RETURN(hist.name, r->GetString());
+    CCDB_ASSIGN_OR_RETURN(hist.count, r->GetU64());
+    CCDB_ASSIGN_OR_RETURN(hist.sum, r->GetU64());
+    CCDB_ASSIGN_OR_RETURN(uint32_t n_buckets, r->GetU32());
+    if (n_buckets != hist.buckets.size()) {
+      return Status::InvalidArgument(
+          "registry snapshot: histogram bucket count mismatch");
+    }
+    for (size_t b = 0; b < hist.buckets.size(); ++b) {
+      CCDB_ASSIGN_OR_RETURN(hist.buckets[b], r->GetU64());
+    }
+    snapshot.histograms.push_back(std::move(hist));
+  }
+  *out = std::move(snapshot);
   return Status::OK();
 }
 

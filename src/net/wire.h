@@ -65,6 +65,10 @@ enum class MsgType : uint8_t {
   kGetRelation = 10,    ///< string name
   kLoadRelation = 11,   ///< string name, relation
   kShipWal = 12,        ///< u64 from_lsn (0 = request a full snapshot)
+  kFetchTrace = 13,     ///< string script, u64 trace_id — run traced,
+                        ///< return the structured span tree
+  kMetricsSnapshot = 14,  ///< (empty) — merged service+net registry
+                          ///< snapshot (the binary scrape surface)
 
   // --- Responses ---
   kOk = 64,          ///< (empty) — generic success
@@ -82,6 +86,9 @@ enum class MsgType : uint8_t {
                      ///< n_pages x kPageSize raw images
   kWalBatch = 74,    ///< raw committed WAL batch record bytes
   kShipEnd = 75,     ///< u64 leader next_lsn
+  kTraceTree = 76,   ///< u8 used_plan, string plan, u64 trace_id,
+                     ///< TraceNode tree, QueryResponse
+  kMetricsSnapshotData = 77,  ///< encoded MetricsRegistry::Snapshot
 };
 
 /// True for a type byte this protocol version knows.
@@ -124,6 +131,21 @@ Status GetRelation(Reader* r, Relation* out);
 
 void PutQueryResponse(Writer* w, const service::QueryResponse& response);
 Status GetQueryResponse(Reader* r, service::QueryResponse* out);
+
+/// Span-tree codec for FETCH_TRACE: every TraceNode field (label,
+/// timings, tuple counts, the seven layer counters) plus the children,
+/// recursively. The decoder bounds nesting at `kMaxTraceDepth` and fans
+/// out at most `kMaxFramePayload` worth of nodes — a hostile payload
+/// fails with kInvalidArgument instead of exhausting the stack.
+inline constexpr uint32_t kMaxTraceDepth = 100;
+void PutTraceNode(Writer* w, const obs::TraceNode& node);
+Status GetTraceNode(Reader* r, obs::TraceNode* out, uint32_t depth = 0);
+
+/// Registry-snapshot codec for the binary metrics scrape: counter/gauge
+/// values (with their kind), then histograms with full bucket arrays.
+void PutRegistrySnapshot(Writer* w,
+                         const obs::MetricsRegistry::Snapshot& snapshot);
+Status GetRegistrySnapshot(Reader* r, obs::MetricsRegistry::Snapshot* out);
 
 /// The kError payload: `EncodeStatus` bytes. DecodeErrorPayload fails
 /// with kInvalidArgument when the payload itself is malformed; otherwise

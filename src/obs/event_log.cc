@@ -1,0 +1,51 @@
+#include "obs/event_log.h"
+
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace ccdb::obs {
+
+EventLog::EventLog(std::ostream* out)
+    : out_(out), start_(std::chrono::steady_clock::now()) {}
+
+void EventLog::Emit(const Event& event) {
+  const auto ts = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start_);
+  std::string line = "{\"ts_us\":";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(ts.count()));
+  line += buf;
+  line += ",\"type\":\"" + JsonEscape(event.type) + "\"";
+  if (event.conn_id != 0) {
+    std::snprintf(buf, sizeof(buf), ",\"conn\":%llu",
+                  static_cast<unsigned long long>(event.conn_id));
+    line += buf;
+  }
+  if (event.session != 0) {
+    std::snprintf(buf, sizeof(buf), ",\"session\":%llu",
+                  static_cast<unsigned long long>(event.session));
+    line += buf;
+  }
+  if (event.trace_id != 0) {
+    std::snprintf(buf, sizeof(buf), ",\"trace_id\":%llu",
+                  static_cast<unsigned long long>(event.trace_id));
+    line += buf;
+  }
+  if (!event.detail.empty()) {
+    line += ",\"detail\":\"" + JsonEscape(event.detail) + "\"";
+  }
+  line += '}';
+  MutexLock lock(mu_);
+  *out_ << line << '\n';
+  out_->flush();
+  ++events_;
+}
+
+uint64_t EventLog::events() const {
+  MutexLock lock(mu_);
+  return events_;
+}
+
+}  // namespace ccdb::obs

@@ -1,0 +1,60 @@
+#ifndef CCDB_OBS_EVENT_LOG_H_
+#define CCDB_OBS_EVENT_LOG_H_
+
+/// \file event_log.h
+/// Structured fleet event export (JSONL).
+///
+/// An `EventLog` serializes operational events — one JSON object per
+/// line — to an `std::ostream`, following the `TraceSink` pattern:
+/// mutex-serialized writes, flushed per event, caller-owned stream. The
+/// network edge and the service layer record connection opens/closes,
+/// HELLO version skew, admission sheds, transaction conflicts, replica
+/// re-syncs, and checkpoints. Every line carries a monotonic timestamp
+/// (microseconds since the log was constructed) and, when known, the
+/// originating connection/session/trace ids, so lines join against the
+/// slow-query log on `trace_id`.
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/mutex.h"
+
+namespace ccdb::obs {
+
+/// One structured fleet event. `type` is a short stable tag — the set
+/// used by the engine: "conn_open", "conn_close", "hello_skew", "shed",
+/// "txn_conflict", "replica_resync", "checkpoint".
+struct Event {
+  std::string type;
+  uint64_t conn_id = 0;    ///< network connection id (0 = n/a)
+  uint64_t session = 0;    ///< service session id (0 = n/a)
+  uint64_t trace_id = 0;   ///< client-assigned trace id (0 = n/a)
+  std::string detail;      ///< free-form context, may be empty
+};
+
+/// Thread-safe JSONL writer over a caller-owned stream.
+class EventLog {
+ public:
+  /// Writes to `out` (not owned; must outlive the log).
+  explicit EventLog(std::ostream* out);
+
+  /// Serializes one event as a single line and flushes. Zero-valued ids
+  /// are omitted from the line; `detail` is omitted when empty.
+  void Emit(const Event& event);
+
+  /// Events written so far.
+  uint64_t events() const;
+
+ private:
+  mutable Mutex mu_;
+  std::ostream* const out_;  // pointer fixed at construction...
+  // ...but the stream itself is written only under mu_.
+  const std::chrono::steady_clock::time_point start_;
+  uint64_t events_ CCDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ccdb::obs
+
+#endif  // CCDB_OBS_EVENT_LOG_H_

@@ -1,0 +1,144 @@
+#include "obs/exposition.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metric_names.h"
+
+namespace ccdb::obs {
+
+namespace {
+
+/// Wall-clock epoch seconds and the monotonic instant they were captured
+/// at, fixed the first time any process gauge is published or rendered.
+struct ProcessStart {
+  std::chrono::steady_clock::time_point mono;
+  uint64_t epoch_seconds;
+};
+
+const ProcessStart& StartInstant() {
+  static const ProcessStart start = {
+      std::chrono::steady_clock::now(),
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+                                std::chrono::system_clock::now()
+                                    .time_since_epoch())
+                                .count()),
+  };
+  return start;
+}
+
+bool ValidNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void AppendSample(std::string* out, const std::string& family,
+                  uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %llu\n",
+                static_cast<unsigned long long>(value));
+  *out += family;
+  *out += buf;
+}
+
+void AppendHeaders(std::string* out, const std::string& family,
+                   const std::string& raw_name, const char* type) {
+  *out += "# HELP " + family + " ccdb metric " + raw_name + "\n";
+  *out += "# TYPE " + family + " ";
+  *out += type;
+  *out += '\n';
+}
+
+}  // namespace
+
+const char* BuildVersion() {
+#ifdef CCDB_GIT_DESCRIBE
+  return CCDB_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "ccdb_";
+  out.reserve(name.size() + out.size());
+  for (char c : name) {
+    out += ValidNameChar(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string PrometheusLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void PublishProcessGauges(MetricsRegistry* registry) {
+  const ProcessStart& start = StartInstant();
+  const auto up = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - start.mono);
+  registry->SetGauge(names::kProcessUptimeSeconds,
+                     static_cast<uint64_t>(up.count()));
+  registry->SetGauge(names::kProcessStartTime, start.epoch_seconds);
+}
+
+std::string RenderPrometheus(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.values) {
+    const std::string family = PrometheusName(name);
+    const bool gauge = snapshot.gauges.count(name) != 0;
+    AppendHeaders(&out, family, name, gauge ? "gauge" : "counter");
+    AppendSample(&out, family, value);
+  }
+  for (const Histogram::Snapshot& hist : snapshot.histograms) {
+    const std::string family = PrometheusName(hist.name);
+    AppendHeaders(&out, family, hist.name, "histogram");
+    // Emit buckets up to the last occupied one; the tail collapses into
+    // the mandatory +Inf bucket, which always carries the total count.
+    const std::array<uint64_t, Histogram::kBuckets> cumulative =
+        hist.CumulativeCounts();
+    size_t last = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (hist.buckets[i] != 0) last = i;
+    }
+    for (size_t i = 0; i <= last; ++i) {
+      const uint64_t bound = Histogram::Snapshot::BucketUpperBound(i);
+      if (bound == UINT64_MAX) break;  // folded into +Inf below
+      char le[48];
+      std::snprintf(le, sizeof(le), "_bucket{le=\"%llu\"}",
+                    static_cast<unsigned long long>(bound));
+      AppendSample(&out, family + le, cumulative[i]);
+    }
+    AppendSample(&out, family + "_bucket{le=\"+Inf\"}", hist.count);
+    AppendSample(&out, family + "_sum", hist.sum);
+    AppendSample(&out, family + "_count", hist.count);
+  }
+  return out;
+}
+
+std::string RenderBuildInfo() {
+  const std::string family = PrometheusName(names::kBuildInfo);
+  std::string out;
+  AppendHeaders(&out, family, names::kBuildInfo, "gauge");
+  out += family + "{version=\"" + PrometheusLabelEscape(BuildVersion()) +
+         "\"} 1\n";
+  return out;
+}
+
+}  // namespace ccdb::obs

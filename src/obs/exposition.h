@@ -1,0 +1,56 @@
+#ifndef CCDB_OBS_EXPOSITION_H_
+#define CCDB_OBS_EXPOSITION_H_
+
+/// \file exposition.h
+/// Prometheus text exposition over `MetricsRegistry::Snapshot`.
+///
+/// Renders the registry in the Prometheus text format (version 0.0.4):
+/// one `# HELP` / `# TYPE` header per family, `counter` or `gauge`
+/// samples as single lines, and histograms as cumulative `_bucket{le=...}`
+/// series plus `_sum` / `_count`. Dotted internal names (`query.latency_us`)
+/// are mangled to the exposition charset (`ccdb_query_latency_us`), so a
+/// stock scraper pointed at `GET /metrics` (see `net::StatusServer`) needs
+/// no configuration. The same renderer backs the binary-protocol
+/// `kMetricsSnapshot` surface — both endpoints agree by construction.
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace ccdb::obs {
+
+/// The build version stamped at configure time (CMake `git describe`),
+/// or "unknown" when the tree was built without version info.
+const char* BuildVersion();
+
+/// Mangles an internal metric name into the Prometheus exposition
+/// charset: prefixes `ccdb_`, maps '.' and every other character outside
+/// `[a-zA-Z0-9_:]` to '_'. "query.latency_us" -> "ccdb_query_latency_us".
+std::string PrometheusName(const std::string& name);
+
+/// Escapes a label value for exposition: backslash, double-quote, and
+/// newline become `\\`, `\"`, and `\n`.
+std::string PrometheusLabelEscape(const std::string& value);
+
+/// Publishes the process-identity gauges (`process.uptime_seconds`,
+/// `process.start_time`) into `registry`. Uptime is measured from the
+/// first call in this process (monotonic clock); start_time is the
+/// wall-clock epoch seconds captured at that same moment.
+void PublishProcessGauges(MetricsRegistry* registry);
+
+/// Renders one snapshot as Prometheus text. Counters and gauges use the
+/// snapshot's `gauges` set to pick `# TYPE`; histograms emit cumulative
+/// log2 buckets up to the last occupied one, then `+Inf`, `_sum`, and
+/// `_count`. Families are emitted in sorted-name order, so output is
+/// deterministic for a quiesced registry.
+std::string RenderPrometheus(const MetricsRegistry::Snapshot& snapshot);
+
+/// Renders the build-info pseudo-metric:
+/// `ccdb_build_info{version="<git describe>"} 1` with its headers. The
+/// value is always 1 — the information rides in the label, per the
+/// Prometheus build-info convention.
+std::string RenderBuildInfo();
+
+}  // namespace ccdb::obs
+
+#endif  // CCDB_OBS_EXPOSITION_H_

@@ -10,6 +10,8 @@
 /// missing from DESIGN.md or is never emitted anywhere in `src/`, so this
 /// header is the single source of truth the lint greps.
 
+#include <vector>
+
 namespace ccdb::obs::names {
 
 // --- Service lifecycle (counters) ---
@@ -42,6 +44,9 @@ inline constexpr char kTxnCommits[] = "txn.commits";
 inline constexpr char kTxnRollbacks[] = "txn.rollbacks";
 inline constexpr char kTxnConflicts[] = "txn.conflicts";
 inline constexpr char kCatalogEpoch[] = "catalog.epoch";  // gauge
+/// Conflicts per 1000 commit attempts (permille; gauge, computed at
+/// exposition time so scrapers get a rate without delta arithmetic).
+inline constexpr char kTxnConflictRate[] = "txn.conflict_rate";  // gauge
 
 // --- Service view (gauges, published at snapshot time) ---
 inline constexpr char kQueueDepth[] = "queue.depth";
@@ -54,6 +59,20 @@ inline constexpr char kWalBytes[] = "wal.bytes";
 inline constexpr char kWalBatches[] = "wal.batches";
 inline constexpr char kWalFsyncs[] = "wal.fsyncs";
 inline constexpr char kWalCheckpoints[] = "wal.checkpoints";
+inline constexpr char kWalLsn[] = "wal.lsn";  // gauge: next LSN to commit
+
+// --- Replication health (gauges published after every sync round) ---
+inline constexpr char kReplicaLagBatches[] = "replica.lag_batches";
+inline constexpr char kReplicaLagBytes[] = "replica.lag_bytes";
+inline constexpr char kReplicaLastApplyLsn[] = "replica.last_apply_lsn";
+inline constexpr char kReplicaResyncs[] = "replica.resyncs";
+
+// --- Process identity (gauges, published at exposition time) ---
+inline constexpr char kProcessUptimeSeconds[] = "process.uptime_seconds";
+inline constexpr char kProcessStartTime[] = "process.start_time";
+/// Rendered as `ccdb_build_info{version="..."} 1` — the Prometheus
+/// build-info convention (the version label carries git describe).
+inline constexpr char kBuildInfo[] = "build.info";
 
 // --- Network edge (net::Server registry; counters unless noted) ---
 inline constexpr char kNetConnectionsOpen[] = "net.connections.open";  // gauge
@@ -69,6 +88,38 @@ inline constexpr char kNetShipSnapshots[] = "net.ship.snapshots";
 inline constexpr char kQueryLatencyUs[] = "query.latency_us";
 inline constexpr char kQueryFmEliminations[] = "query.fm_eliminations";
 inline constexpr char kQueryTuplesOut[] = "query.tuples_out";
+
+/// Every name declared above, in declaration order. The exposition
+/// coverage test registers each one and asserts it renders; the lint
+/// cross-checks that no declared constant is missing from this list.
+inline std::vector<const char*> AllMetricNames() {
+  return {
+      kQueriesSubmitted,  kQueriesRejected,    kQueriesCompleted,
+      kQueriesFailed,     kQueriesSlow,        kQueriesTraced,
+      kCqaConjunctions,   kFmEliminations,     kFmRedundancyCulls,
+      kIndexNodeVisits,   kIndexLeafHits,      kStoragePagesRead,
+      kStoragePoolHits,   kGovDeadlineHits,    kGovBudgetTrips,
+      kGovCancels,        kGovSheds,           kGovTruncated,
+      kTxnBegins,         kTxnCommits,         kTxnRollbacks,
+      kTxnConflicts,      kCatalogEpoch,       kTxnConflictRate,
+      kQueueDepth,        kQueueHighWater,     kSessionsOpen,
+      kCacheHits,         kCacheMisses,        kCacheEntries,
+      kWalBytes,          kWalBatches,         kWalFsyncs,
+      kWalCheckpoints,    kWalLsn,             kReplicaLagBatches,
+      kReplicaLagBytes,   kReplicaLastApplyLsn, kReplicaResyncs,
+      kProcessUptimeSeconds, kProcessStartTime, kBuildInfo,
+      kNetConnectionsOpen, kNetConnectionsTotal, kNetBytesIn,
+      kNetBytesOut,       kNetFramesIn,        kNetProtocolErrors,
+      kNetShipBatches,    kNetShipSnapshots,   kQueryLatencyUs,
+      kQueryFmEliminations, kQueryTuplesOut,
+  };
+}
+
+/// Names in AllMetricNames() that are histograms (the rest are counters
+/// or gauges); the coverage test uses this to register the right kind.
+inline std::vector<const char*> HistogramMetricNames() {
+  return {kQueryLatencyUs, kQueryFmEliminations, kQueryTuplesOut};
+}
 
 }  // namespace ccdb::obs::names
 

@@ -68,6 +68,23 @@ uint64_t Histogram::Snapshot::PercentileUpperBound(double fraction) const {
   return UINT64_MAX;
 }
 
+uint64_t Histogram::Snapshot::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= kBuckets - 1 || i >= 64) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+std::array<uint64_t, Histogram::kBuckets> Histogram::Snapshot::CumulativeCounts()
+    const {
+  std::array<uint64_t, kBuckets> out{};
+  uint64_t running = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    running += buckets[i];
+    out[i] = running;
+  }
+  return out;
+}
+
 std::string Histogram::Snapshot::ToString() const {
   char buf[224];
   const double mean =
@@ -117,6 +134,7 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   }
   for (const auto& [name, value] : gauges_) {
     out.values.emplace_back(name, value);
+    out.gauges.insert(name);
   }
   // counters_ and gauges_ are each sorted; merge keeps the whole list
   // sorted only if names interleave — sort to be safe.

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,15 @@ class Histogram {
     /// is <= the returned value, within a factor of 2).
     uint64_t PercentileUpperBound(double fraction) const;
 
+    /// Largest sample value bucket `i` can hold: 0 for bucket 0,
+    /// 2^i - 1 for 1 <= i < kBuckets - 1, UINT64_MAX for the overflow
+    /// bucket (exposition renders it as +Inf).
+    static uint64_t BucketUpperBound(size_t i);
+
+    /// Cumulative counts: entry i is the number of samples <=
+    /// BucketUpperBound(i). Monotone; the last entry equals `count`.
+    std::array<uint64_t, kBuckets> CumulativeCounts() const;
+
     /// One line: "name: n=…, mean=…, p50<=…, p90<=…, p99<=…, max<=…".
     std::string ToString() const;
   };
@@ -101,6 +111,10 @@ class MetricsRegistry {
     /// Counter and gauge values, sorted by name.
     std::vector<std::pair<std::string, uint64_t>> values;
     std::vector<Histogram::Snapshot> histograms;
+    /// Names in `values` that are gauges (point-in-time, may go down);
+    /// everything else is a monotone counter. Exposition uses this to
+    /// emit the right `# TYPE`.
+    std::set<std::string> gauges;
 
     /// The value registered under `name`, or 0 when absent.
     uint64_t Value(const std::string& name) const;

@@ -10,6 +10,12 @@ void TraceSink::Emit(const TraceEvent& event) {
   std::snprintf(buf, sizeof(buf), ",\"latency_us\":%.3f", event.latency_us);
   line += buf;
   line += event.slow ? ",\"slow\":true" : ",\"slow\":false";
+  std::snprintf(buf, sizeof(buf),
+                ",\"query_id\":%llu,\"session\":%llu,\"trace_id\":%llu",
+                static_cast<unsigned long long>(event.query_id),
+                static_cast<unsigned long long>(event.session),
+                static_cast<unsigned long long>(event.trace_id));
+  line += buf;
   if (event.root != nullptr) {
     line += ",\"trace\":";
     line += event.root->ToJson();

@@ -20,11 +20,16 @@
 
 namespace ccdb::obs {
 
-/// One exportable per-query record.
+/// One exportable per-query record. The three ids are always emitted
+/// (zero means "not assigned") so lines join against the `EventLog`
+/// stream on `trace_id` and against `\jobs` output on `query_id`.
 struct TraceEvent {
   std::string query;          ///< canonical script text
   double latency_us = 0;      ///< end-to-end latency
   bool slow = false;          ///< crossed the slow-query threshold
+  uint64_t query_id = 0;      ///< service-assigned submission id
+  uint64_t session = 0;       ///< owning session id
+  uint64_t trace_id = 0;      ///< client-assigned trace id
   const TraceNode* root = nullptr;  ///< optional span tree
 };
 

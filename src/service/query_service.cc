@@ -10,6 +10,7 @@
 #include "core/plan.h"
 #include "lang/compile.h"
 #include "lang/query.h"
+#include "obs/exposition.h"
 #include "obs/metric_names.h"
 #include "storage/wal.h"
 
@@ -101,6 +102,8 @@ struct QueryService::Task {
   /// True when the submitter supplied its own cancellation flag (as
   /// opposed to the service-created one every task carries for Cancel()).
   bool externally_cancellable = false;
+  /// Client-assigned correlation id; stamps the slow-query log line.
+  uint64_t trace_id = 0;
 };
 
 QueryService::QueryService(Database* base, ServiceOptions options)
@@ -218,6 +221,7 @@ Result<Submission> QueryService::Submit(SessionId id, std::string script,
   task->externally_cancellable = opts.cancel != nullptr;
   task->cancel = opts.cancel ? opts.cancel
                              : std::make_shared<obs::CancelFlag>(false);
+  task->trace_id = opts.trace_id;
   Submission submission;
   submission.query_id = task->query_id;
   submission.future = task->promise.get_future();
@@ -251,6 +255,14 @@ Result<Submission> QueryService::Submit(SessionId id, std::string script,
               : Status::Unavailable(
                     "estimated in-flight work exceeds shed threshold");
       shed.WithRetryAfter(retry_ms);
+      if (options_.event_log != nullptr) {
+        obs::Event event;
+        event.type = "shed";
+        event.session = id;
+        event.trace_id = opts.trace_id;
+        event.detail = queue_full ? "queue full" : "over cost threshold";
+        options_.event_log->Emit(event);
+      }
       return shed;
     }
     queue_.push_back(std::move(task));
@@ -304,7 +316,8 @@ Status QueryService::Cancel(SessionId session, uint64_t query_id) {
 }
 
 Result<TraceReport> QueryService::Trace(SessionId id,
-                                        const std::string& script) {
+                                        const std::string& script,
+                                        uint64_t trace_id) {
   std::shared_ptr<Session> session = FindSession(id);
   if (!session) {
     return Status::NotFound("no session " + std::to_string(id));
@@ -349,6 +362,7 @@ Result<TraceReport> QueryService::Trace(SessionId id,
     counters = scope.counters();
   }
   report.response.latency_us = MicrosSince(start);
+  report.trace_id = trace_id;
 
   traced_->Increment();
   DrainCounters(counters);
@@ -360,6 +374,8 @@ Result<TraceReport> QueryService::Trace(SessionId id,
     event.latency_us = report.response.latency_us;
     event.slow = options_.slow_query_us > 0 &&
                  report.response.latency_us >= options_.slow_query_us;
+    event.session = id;
+    event.trace_id = trace_id;
     event.root = &report.root;
     options_.trace_sink->Emit(event);
   }
@@ -460,6 +476,9 @@ void QueryService::WorkerLoop() {
       event.query = task->script;
       event.latency_us = latency_us;
       event.slow = slow;
+      event.query_id = task->query_id;
+      event.session = task->owner;
+      event.trace_id = task->trace_id;
       event.root = trace.children.empty() ? nullptr : &trace;
       options_.trace_sink->Emit(event);
     }
@@ -717,6 +736,13 @@ Status QueryService::CommitTxn(Session* session) {
   for (const auto& [name, relation] : staged) {
     if (current->VersionCounter(name) != txn_snap->VersionCounter(name)) {
       txn_conflicts_->Increment();
+      if (options_.event_log != nullptr) {
+        obs::Event event;
+        event.type = "txn_conflict";
+        event.detail = "txn " + std::to_string(txn_id) + " conflicts on '" +
+                       name + "'";
+        options_.event_log->Emit(event);
+      }
       Status conflict = Status::Unavailable(
           "transaction " + std::to_string(txn_id) + " conflicts on '" + name +
           "': committed concurrently (first committer wins); rolled back");
@@ -843,7 +869,15 @@ Status QueryService::Checkpoint() {
   if (options_.store == nullptr) {
     return Status::Unavailable("service has no durable store attached");
   }
-  return options_.store->Checkpoint();
+  CCDB_RETURN_IF_ERROR(options_.store->Checkpoint());
+  if (options_.event_log != nullptr) {
+    obs::Event event;
+    event.type = "checkpoint";
+    event.detail =
+        "wal truncated at lsn " + std::to_string(options_.store->next_lsn());
+    options_.event_log->Emit(event);
+  }
+  return Status::OK();
 }
 
 Result<Relation> QueryService::GetRelation(SessionId id,
@@ -990,6 +1024,22 @@ ServiceMetrics QueryService::Metrics() const {
   registry_.SetGauge(obs::names::kCatalogEpoch, m.catalog_epoch);
   m.histograms = registry_.TakeSnapshot().histograms;
   return m;
+}
+
+obs::MetricsRegistry::Snapshot QueryService::MetricsSnapshot() const {
+  Metrics();  // publishes the component gauges into the registry
+  if (options_.store != nullptr) {
+    registry_.SetGauge(obs::names::kWalLsn, options_.store->next_lsn());
+  }
+  // Conflicts per 1000 commit attempts, so scrapers get a rate without
+  // delta arithmetic; 0 while no transaction has tried to commit.
+  const uint64_t commits = txn_commits_->Value();
+  const uint64_t conflicts = txn_conflicts_->Value();
+  const uint64_t attempts = commits + conflicts;
+  registry_.SetGauge(obs::names::kTxnConflictRate,
+                     attempts == 0 ? 0 : conflicts * 1000 / attempts);
+  obs::PublishProcessGauges(&registry_);
+  return registry_.TakeSnapshot();
 }
 
 }  // namespace ccdb::service

@@ -56,6 +56,7 @@
 
 #include "data/database.h"
 #include "data/snapshot.h"
+#include "obs/event_log.h"
 #include "obs/governance.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -94,6 +95,9 @@ struct ServiceOptions {
   /// Optional sink receiving slow-query traces and every explicit Trace()
   /// result. Not owned; must outlive the service.
   obs::TraceSink* trace_sink = nullptr;
+  /// Optional structured event log receiving admission sheds, transaction
+  /// conflicts, and checkpoints. Not owned; must outlive the service.
+  obs::EventLog* event_log = nullptr;
   /// Default resource governance for every query (deadline, tuple /
   /// constraint / memory budgets, partial-result policy). Per-query
   /// `QueryOptions` override individual fields. Zero fields = ungoverned.
@@ -132,6 +136,11 @@ struct QueryOptions {
   /// External cancellation token; the query also gets an internal one so
   /// Cancel(session, query_id) works without supplying this.
   std::shared_ptr<obs::CancelFlag> cancel;
+  /// Client-assigned trace id (0 = unassigned). Stamped onto slow-query
+  /// log lines and event-log entries for this query, and carried across
+  /// the wire by the network protocol, so one id follows a request
+  /// through every process it touches.
+  uint64_t trace_id = 0;
 };
 
 /// A successfully executed script.
@@ -158,6 +167,7 @@ struct TraceReport {
   bool used_plan = false;  ///< true: compiled + optimized plan was traced;
                            ///< false: statement-level fallback spans
   std::string plan_text;   ///< optimized plan rendering (when used_plan)
+  uint64_t trace_id = 0;   ///< the caller's trace id, echoed back
 };
 
 /// A concurrent, cached, metered, transactional executor of CQA
@@ -221,8 +231,11 @@ class QueryService {
   /// back to per-statement spans. Bypasses the result cache; only the
   /// final step is registered in the session (intermediate steps of a
   /// compiled script are inlined into the plan). The trace is also
-  /// emitted to `ServiceOptions::trace_sink` when one is attached.
-  Result<TraceReport> Trace(SessionId id, const std::string& script);
+  /// emitted to `ServiceOptions::trace_sink` when one is attached,
+  /// stamped with `trace_id` (a client-assigned correlation id; 0 =
+  /// unassigned — the wire server passes the id from the request frame).
+  Result<TraceReport> Trace(SessionId id, const std::string& script,
+                            uint64_t trace_id = 0);
 
   // --- Transactions ---
   //
@@ -312,6 +325,12 @@ class QueryService {
 
   /// Point-in-time metrics snapshot.
   ServiceMetrics Metrics() const;
+
+  /// Raw registry snapshot for exposition: everything `Metrics()` reads
+  /// plus the durability/health gauges (`wal.lsn`, `txn.conflict_rate`)
+  /// and the process-identity gauges. The network server merges this
+  /// with its own registry to build the scrape surfaces.
+  obs::MetricsRegistry::Snapshot MetricsSnapshot() const;
 
  private:
   struct Session;

@@ -312,6 +312,12 @@ class DurableStore {
     return catalog_root_;
   }
 
+  /// The LSN the next commit will receive (health surface: `wal.lsn`).
+  uint64_t next_lsn() const CCDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return wal_.next_lsn();
+  }
+
   WalStats stats() const CCDB_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     WalStats out = wal_.stats();

@@ -62,6 +62,18 @@ Status Socket::RecvAll(void* data, size_t len) {
   return Status::OK();
 }
 
+Result<size_t> Socket::RecvSome(void* data, size_t max_len) {
+  if (fd_ < 0) return Status::IoError("recv on a closed socket");
+  while (true) {
+    ssize_t n = ::recv(fd_, data, max_len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("recv"));
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
 void Socket::ShutdownSend() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }

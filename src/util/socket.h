@@ -51,6 +51,11 @@ class Socket {
   /// (a torn frame) or any socket error.
   Status RecvAll(void* data, size_t len);
 
+  /// Reads *up to* `max_len` bytes — whatever one recv returns. 0 on a
+  /// clean EOF; IoError on a socket error. The byte-capped read an
+  /// unframed text protocol (the HTTP status listener) needs.
+  Result<size_t> RecvSome(void* data, size_t max_len);
+
   /// Half-close: no more sends; the peer reads EOF.
   void ShutdownSend();
 

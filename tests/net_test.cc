@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,7 +19,11 @@
 #include "net/client.h"
 #include "net/replica.h"
 #include "net/server.h"
+#include "net/status_server.h"
 #include "net/wire.h"
+#include "obs/exposition.h"
+#include "obs/metric_names.h"
+#include "obs/registry.h"
 #include "service/query_service.h"
 #include "storage/serde.h"
 #include "storage/wal.h"
@@ -255,6 +260,7 @@ TEST(Wire, QueryOptionsRoundTrip) {
   opts.max_memory_bytes = 1 << 20;
   opts.allow_partial = true;
   opts.trip_at_check = 9;
+  opts.trace_id = 0xabcdef0123456789ull;
   Writer w;
   net::PutQueryOptions(&w, opts);
   Reader r(w.buffer());
@@ -266,6 +272,7 @@ TEST(Wire, QueryOptionsRoundTrip) {
   EXPECT_EQ(back.max_memory_bytes, opts.max_memory_bytes);
   EXPECT_EQ(back.allow_partial, opts.allow_partial);
   EXPECT_EQ(back.trip_at_check, opts.trip_at_check);
+  EXPECT_EQ(back.trace_id, opts.trace_id);
 
   // Defaults survive too.
   Writer w2;
@@ -274,6 +281,101 @@ TEST(Wire, QueryOptionsRoundTrip) {
   ASSERT_TRUE(net::GetQueryOptions(&r2, &back).ok());
   EXPECT_FALSE(back.deadline_us.has_value());
   EXPECT_FALSE(back.allow_partial.has_value());
+  EXPECT_EQ(back.trace_id, uint64_t{0});
+}
+
+TEST(Wire, TraceNodeRoundTrips) {
+  obs::TraceNode root;
+  root.label = "R2 = join R0 and R1";
+  root.wall_us = 1234.5;
+  root.self_us = 12.25;
+  root.tuples_in = 80;
+  root.tuples_out = 17;
+  root.counters.conjunctions = 99;
+  root.counters.fm_eliminations = 7;
+  root.counters.pages_read = 3;
+  obs::TraceNode child;
+  child.label = "R0 = select x >= 100 from Boxes";
+  child.wall_us = 600.0;
+  child.tuples_out = 40;
+  child.counters.index_node_visits = 5;
+  root.children.push_back(child);
+  root.children.push_back(child);
+  root.children[1].label = "R1 = select y >= 100 from Boxes";
+
+  Writer w;
+  net::PutTraceNode(&w, root);
+  Reader r(w.buffer());
+  obs::TraceNode back;
+  ASSERT_TRUE(net::GetTraceNode(&r, &back).ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back.label, root.label);
+  EXPECT_EQ(back.wall_us, root.wall_us);
+  EXPECT_EQ(back.self_us, root.self_us);
+  EXPECT_EQ(back.tuples_in, root.tuples_in);
+  EXPECT_EQ(back.tuples_out, root.tuples_out);
+  EXPECT_EQ(back.counters.conjunctions, root.counters.conjunctions);
+  EXPECT_EQ(back.counters.pages_read, root.counters.pages_read);
+  ASSERT_EQ(back.children.size(), size_t{2});
+  EXPECT_EQ(back.children[0].label, root.children[0].label);
+  EXPECT_EQ(back.children[0].counters.index_node_visits, uint64_t{5});
+  EXPECT_EQ(back.children[1].label, root.children[1].label);
+  // Rendering and totals survive the wire unchanged.
+  EXPECT_EQ(back.ToString(), root.ToString());
+  EXPECT_EQ(back.TotalCounters().conjunctions,
+            root.TotalCounters().conjunctions);
+}
+
+TEST(Wire, TraceNodeDeeperThanGuardIsRejected) {
+  // A pathological chain one past the depth limit must decode to a typed
+  // error, not a stack overflow.
+  obs::TraceNode chain;
+  obs::TraceNode* tip = &chain;
+  for (uint32_t d = 0; d < net::kMaxTraceDepth + 1; ++d) {
+    tip->children.emplace_back();
+    tip = &tip->children.back();
+  }
+  Writer w;
+  net::PutTraceNode(&w, chain);
+  Reader r(w.buffer());
+  obs::TraceNode back;
+  EXPECT_EQ(net::GetTraceNode(&r, &back).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Wire, RegistrySnapshotRoundTrips) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("queries.completed")->Add(41);
+  registry.SetGauge("queue.depth", 6);
+  obs::Histogram* hist = registry.GetHistogram("query.latency_us");
+  hist->Record(12);
+  hist->Record(90000);
+  const obs::MetricsRegistry::Snapshot snapshot = registry.TakeSnapshot();
+
+  Writer w;
+  net::PutRegistrySnapshot(&w, snapshot);
+  Reader r(w.buffer());
+  obs::MetricsRegistry::Snapshot back;
+  ASSERT_TRUE(net::GetRegistrySnapshot(&r, &back).ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back.values, snapshot.values);
+  EXPECT_EQ(back.gauges, snapshot.gauges);
+  ASSERT_EQ(back.histograms.size(), size_t{1});
+  EXPECT_EQ(back.histograms[0].name, "query.latency_us");
+  EXPECT_EQ(back.histograms[0].count, uint64_t{2});
+  EXPECT_EQ(back.histograms[0].sum, uint64_t{90012});
+  EXPECT_EQ(back.histograms[0].buckets, snapshot.histograms[0].buckets);
+  // The two exposition surfaces agree by construction: rendering the
+  // decoded snapshot is byte-identical to rendering the original.
+  EXPECT_EQ(obs::RenderPrometheus(back), obs::RenderPrometheus(snapshot));
+}
+
+TEST(Wire, RegistrySnapshotWithImplausibleCountIsRejected) {
+  Writer w;
+  w.PutU32(0xffffff);  // claims ~16M values in a tiny payload
+  Reader r(w.buffer());
+  obs::MetricsRegistry::Snapshot back;
+  EXPECT_FALSE(net::GetRegistrySnapshot(&r, &back).ok());
 }
 
 // ---------------------------------------------------------------------
@@ -681,6 +783,238 @@ TEST(NetServer, ConcurrentClientsExecuteCorrectly) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
   leader.WaitSessionsDrained();
+}
+
+// ---------------------------------------------------------------------
+// Trace propagation + metrics snapshot over the wire
+// ---------------------------------------------------------------------
+
+TEST(NetServer, FetchTraceReturnsRemoteSpanTreeWithCallerTraceId) {
+  Leader leader;
+  auto client = leader.Connect();
+  constexpr uint64_t kTraceId = 0xfeedbeef;
+  auto remote = client->FetchTrace(
+      "R0 = select x >= 100, x <= 600 from Boxes\n"
+      "R1 = select y >= 100, y <= 600 from Boxes\n"
+      "R2 = join R0 and R1",
+      kTraceId);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  // The server echoes the client-assigned id and ships the full tree —
+  // structure and per-layer counters, not pre-rendered text.
+  EXPECT_EQ(remote->trace_id, kTraceId);
+  EXPECT_TRUE(remote->used_plan);
+  EXPECT_FALSE(remote->plan_text.empty());
+  EXPECT_FALSE(remote->root.children.empty());
+  EXPECT_EQ(remote->root.tuples_out, remote->response.relation.size());
+  EXPECT_GT(remote->root.TotalCounters().conjunctions, uint64_t{0});
+  EXPECT_GT(remote->root.wall_us, 0.0);
+  client.reset();
+  leader.WaitSessionsDrained();
+}
+
+TEST(NetServer, MetricsSnapshotMergesServiceAndNetRegistries) {
+  Leader leader;
+  auto client = leader.Connect();
+  ASSERT_TRUE(client->Execute("R0 = select x >= 0 from Boxes").ok());
+  auto snapshot = client->MetricsSnapshot();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  // Service-side values and the server's own net.* registry arrive in
+  // one snapshot, sorted by name.
+  EXPECT_GE(snapshot->Value(obs::names::kQueriesCompleted), uint64_t{1});
+  EXPECT_GE(snapshot->Value(obs::names::kNetConnectionsTotal), uint64_t{1});
+  EXPECT_EQ(snapshot->gauges.count(obs::names::kWalLsn), size_t{1});
+  EXPECT_EQ(snapshot->gauges.count(obs::names::kProcessUptimeSeconds),
+            size_t{1});
+  EXPECT_TRUE(std::is_sorted(snapshot->values.begin(),
+                             snapshot->values.end()));
+  // The latency histogram crossed the wire with the query in it.
+  bool found_latency = false;
+  for (const auto& hist : snapshot->histograms) {
+    if (hist.name == obs::names::kQueryLatencyUs) {
+      found_latency = true;
+      EXPECT_GE(hist.count, uint64_t{1});
+    }
+  }
+  EXPECT_TRUE(found_latency);
+  client.reset();
+  leader.WaitSessionsDrained();
+}
+
+// ---------------------------------------------------------------------
+// The HTTP status listener
+// ---------------------------------------------------------------------
+
+/// Sends raw bytes as an HTTP request and reads the whole response.
+std::string HttpExchange(uint16_t port, const std::string& request) {
+  Socket sock = RawConnect(port);
+  EXPECT_TRUE(sock.SendAll(request.data(), request.size()).ok());
+  sock.ShutdownSend();
+  std::string response;
+  char buf[2048];
+  while (true) {
+    auto got = sock.RecvSome(buf, sizeof(buf));
+    if (!got.ok() || *got == 0) break;
+    response.append(buf, *got);
+  }
+  return response;
+}
+
+/// The response body (after the blank line), or "" when malformed.
+std::string HttpBody(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(StatusHttp, MetricsEndpointServesPrometheusExposition) {
+  Leader leader;
+  auto status = net::StatusServer::Start(leader.server());
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  auto client = leader.Connect();
+  ASSERT_TRUE(client->Execute("R0 = select x >= 0 from Boxes").ok());
+
+  const std::string response = HttpExchange(
+      (*status)->port(), "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), size_t{0});
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  const std::string body = HttpBody(response);
+  EXPECT_NE(body.find("# TYPE ccdb_queries_completed counter\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE ccdb_net_connections_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("ccdb_query_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("ccdb_build_info{version=\""), std::string::npos);
+  // Content-Length matches the body exactly.
+  const std::string marker = "Content-Length: ";
+  const size_t at = response.find(marker);
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_EQ(std::strtoull(response.c_str() + at + marker.size(), nullptr, 10),
+            body.size());
+  client.reset();
+  leader.WaitSessionsDrained();
+}
+
+TEST(StatusHttp, HealthzReportsLeaderRole) {
+  Leader leader;
+  auto status = net::StatusServer::Start(leader.server());
+  ASSERT_TRUE(status.ok());
+  const std::string response = HttpExchange(
+      (*status)->port(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), size_t{0});
+  const std::string body = HttpBody(response);
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"role\":\"leader\""), std::string::npos);
+  EXPECT_NE(body.find("\"catalog_epoch\":"), std::string::npos);
+  EXPECT_NE(body.find("\"wal_lsn\":"), std::string::npos);
+  EXPECT_EQ(body.find("\"replica\""), std::string::npos);
+}
+
+TEST(StatusHttp, MalformedOversizeAndUnknownRequestsGetTypedResponses) {
+  Leader leader;
+  auto status = net::StatusServer::Start(leader.server());
+  ASSERT_TRUE(status.ok());
+  const uint16_t port = (*status)->port();
+
+  // Unknown path -> 404.
+  EXPECT_EQ(HttpExchange(port, "GET /nope HTTP/1.0\r\n\r\n")
+                .rfind("HTTP/1.0 404 Not Found\r\n", 0),
+            size_t{0});
+  // Non-GET -> 405.
+  EXPECT_EQ(HttpExchange(port, "POST /metrics HTTP/1.0\r\n\r\n")
+                .rfind("HTTP/1.0 405 Method Not Allowed\r\n", 0),
+            size_t{0});
+  // Malformed request line -> 400.
+  EXPECT_EQ(HttpExchange(port, "NONSENSE\r\n\r\n")
+                .rfind("HTTP/1.0 400 Bad Request\r\n", 0),
+            size_t{0});
+  // Binary garbage -> 400 (or clean close), never a hang or crash.
+  const std::string garbage("\x01\x02\xff\xfe\x00\x07 garbage\r\n\r\n", 16);
+  const std::string garbage_response = HttpExchange(port, garbage);
+  if (!garbage_response.empty()) {
+    EXPECT_EQ(garbage_response.rfind("HTTP/1.0 4", 0), size_t{0});
+  }
+  // Oversize head (no terminating blank line within the cap) -> 400.
+  const std::string oversize =
+      "GET /metrics HTTP/1.0\r\nX-Junk: " +
+      std::string(net::StatusServer::kMaxRequestBytes + 100, 'j');
+  EXPECT_EQ(HttpExchange(port, oversize)
+                .rfind("HTTP/1.0 400 Bad Request\r\n", 0),
+            size_t{0});
+  // The status server survived it all.
+  EXPECT_EQ(HttpExchange(port, "GET /healthz HTTP/1.0\r\n\r\n")
+                .rfind("HTTP/1.0 200 OK\r\n", 0),
+            size_t{0});
+}
+
+TEST(StatusHttp, ConcurrentScrapesWhileQueriesRun) {
+  Leader leader;
+  auto status = net::StatusServer::Start(leader.server());
+  ASSERT_TRUE(status.ok());
+  const uint16_t http_port = (*status)->port();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&leader, &failures] {
+      auto client = net::Client::Connect("127.0.0.1", leader.port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int q = 0; q < 5; ++q) {
+        if (!(*client)->Execute("R0 = select x >= 0 from Boxes").ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int s = 0; s < 8; ++s) {
+    const std::string response =
+        HttpExchange(http_port, "GET /metrics HTTP/1.0\r\n\r\n");
+    if (response.rfind("HTTP/1.0 200 OK\r\n", 0) != 0) failures.fetch_add(1);
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  leader.WaitSessionsDrained();
+}
+
+TEST(StatusHttp, HealthzReportsReplicaRoleAndLag) {
+  Leader leader;
+  // A follower fronted by a read-only server; the replica publishes its
+  // lag gauges into that server's registry, so both scrape surfaces see
+  // them.
+  Database follower_db;
+  service::QueryService follower_service(&follower_db);
+  net::ServerOptions sopts;
+  sopts.read_only = true;
+  auto follower_server = net::Server::Start(&follower_service, sopts);
+  ASSERT_TRUE(follower_server.ok());
+  net::ReplicaOptions ropts;
+  ropts.start_paused = true;
+  ropts.registry = &(*follower_server)->registry();
+  auto replica = net::Replica::Start("127.0.0.1", leader.port(),
+                                     &follower_service, ropts);
+  ASSERT_TRUE(replica.ok()) << replica.status().ToString();
+  ASSERT_TRUE((*replica)->WaitCaughtUp(10000).ok());
+
+  net::StatusServerOptions stopts;
+  stopts.replica = replica->get();
+  auto status = net::StatusServer::Start(follower_server->get(), stopts);
+  ASSERT_TRUE(status.ok());
+  const uint16_t port = (*status)->port();
+
+  const std::string health =
+      HttpBody(HttpExchange(port, "GET /healthz HTTP/1.0\r\n\r\n"));
+  EXPECT_NE(health.find("\"role\":\"replica\""), std::string::npos);
+  EXPECT_NE(health.find("\"caught_up\":true"), std::string::npos);
+  EXPECT_NE(health.find("\"lag_batches\":0"), std::string::npos);
+  EXPECT_NE(health.find("\"applied_lsn\":"), std::string::npos);
+
+  const std::string metrics =
+      HttpBody(HttpExchange(port, "GET /metrics HTTP/1.0\r\n\r\n"));
+  EXPECT_NE(metrics.find("# TYPE ccdb_replica_lag_batches gauge\n"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("ccdb_replica_last_apply_lsn "), std::string::npos);
+  EXPECT_NE(metrics.find("ccdb_replica_resyncs "), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

@@ -14,8 +14,11 @@ Enforces the repo's documented contracts that the compiler cannot:
                   so they stay greppable. (`(void)identifier;` for unused
                   locals is fine.)
   metrics         every name in src/obs/metric_names.h is (a) emitted
-                  somewhere in src/ and (b) documented in DESIGN.md's
-                  Observability table. Subsumes the retired
+                  somewhere in src/, (b) documented in DESIGN.md's
+                  Observability table, and (c) listed in AllMetricNames()
+                  — the list the Prometheus-exposition coverage test
+                  iterates, so a name missing from it would silently
+                  escape the /metrics surface. Subsumes the retired
                   check_metrics_doc.sh, including its governance-family
                   canary.
   no-iostream     library code never writes to std::cout/std::cerr or
@@ -184,6 +187,19 @@ def check_metrics() -> None:
             "[metrics] no governance.* metrics in metric_names.h — "
             "family missing?")
     design_text = design.read_text()
+    # The AllMetricNames() body — the list the exposition coverage test
+    # registers and scrapes; a constant absent from it never reaches the
+    # rendered-output assertion.
+    header_text = names_header.read_text()
+    all_names_m = re.search(
+        r"AllMetricNames\(\)\s*\{\s*return\s*\{(.*?)\}\s*;\s*\}",
+        header_text, re.DOTALL)
+    all_names = set(re.findall(r"\bk[A-Za-z0-9]+\b", all_names_m.group(1))
+                    ) if all_names_m else set()
+    if not all_names:
+        violations.append(
+            "[metrics] could not parse AllMetricNames() from "
+            "metric_names.h — lint is broken or the header changed shape")
     # Every usage of names::kConstant anywhere in src/ except the header.
     usage = "\n".join(
         p.read_text() for p in src_files() if p != names_header)
@@ -196,6 +212,11 @@ def check_metrics() -> None:
             violations.append(
                 f"[metrics] undocumented metric: {name} — add it to "
                 "DESIGN.md's Observability table")
+        if all_names and constant not in all_names:
+            violations.append(
+                f"[metrics] {constant} (\"{name}\") is missing from "
+                "AllMetricNames() — it would never be covered by the "
+                "exposition test or scraped from /metrics")
 
 
 # --- Rule: no-iostream ------------------------------------------------------

@@ -4,9 +4,13 @@
 # Boots a real ccdb_serve leader and a WAL-shipping ccdb_serve replica as
 # separate daemons on ephemeral ports, populates the leader over the wire,
 # waits for the replica to serve the replicated relation, then hammers
-# BOTH daemons with concurrent bench_net --client processes. Fails on any
-# client error, a daemon that dies, or (via the hard KILL timeout) a hang
-# anywhere in the stack.
+# BOTH daemons with concurrent bench_net --client processes. When curl is
+# available the daemons also get --status-port listeners that are scraped
+# (/metrics + /healthz) continuously DURING the storm — an HTTP scrape
+# must never fail or block while the query path is saturated — and the
+# replica's /healthz must report converged lag once the storm ends. Fails
+# on any client error, a scrape error, non-converging lag, a daemon that
+# dies, or (via the hard KILL timeout) a hang anywhere in the stack.
 #
 # usage: stress_net.sh <ccdb_serve-binary> <bench_net-binary>
 
@@ -59,19 +63,39 @@ wait_port() {
   fail "daemon did not come up" "$log"
 }
 
+# Same, for the HTTP status listener's "status on port N" line.
+wait_status_port() {
+  local log=$1 port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*status on port \([0-9][0-9]*\).*/\1/p' "$log" |
+           head -n 1)
+    [[ -n "$port" ]] && { echo "$port"; return 0; }
+    sleep 0.1
+  done
+  fail "status listener did not come up" "$log"
+}
+
+# Status scrapes need an HTTP client; without one the storm still runs,
+# just unscraped.
+have_curl=0
+command -v curl >/dev/null 2>&1 && have_curl=1
+
 leader_log="$workdir/leader.log"
 replica_log="$workdir/replica.log"
 
-"$serve_bin" --port 0 </dev/null >"$leader_log" 2>&1 &
+"$serve_bin" --port 0 --status-port 0 </dev/null >"$leader_log" 2>&1 &
 daemon_pids+=($!)
 leader_port=$(wait_port "$leader_log")
-echo "stress_net: leader on port $leader_port"
+leader_status_port=$(wait_status_port "$leader_log")
+echo "stress_net: leader on port $leader_port (status $leader_status_port)"
 
-"$serve_bin" --port 0 --replica-of "127.0.0.1:$leader_port" \
+"$serve_bin" --port 0 --status-port 0 \
+  --replica-of "127.0.0.1:$leader_port" \
   </dev/null >"$replica_log" 2>&1 &
 daemon_pids+=($!)
 replica_port=$(wait_port "$replica_log")
-echo "stress_net: replica on port $replica_port"
+replica_status_port=$(wait_status_port "$replica_log")
+echo "stress_net: replica on port $replica_port (status $replica_status_port)"
 
 # Populate the leader over the wire (LoadRelation commits through the WAL,
 # so the write also ships to the replica).
@@ -92,6 +116,33 @@ done
   fail "replica never served the replicated relation" \
        "$leader_log" "$replica_log"
 
+# Continuous scrape loops: hit /metrics and /healthz on one daemon until
+# the storm ends, recording the first failure. A scrape body must carry
+# the exposition / health markers, not just return 200.
+scrape_loop() {
+  local port=$1 name=$2 body=""
+  while [[ ! -e "$workdir/storm_done" ]]; do
+    body=$(curl -sf --max-time 5 "http://127.0.0.1:$port/metrics") ||
+      { echo "$name /metrics scrape failed" >>"$workdir/scrape_fail"; return; }
+    grep -q '^# TYPE ccdb_queries_completed counter' <<<"$body" ||
+      { echo "$name /metrics body missing exposition families" \
+          >>"$workdir/scrape_fail"; return; }
+    body=$(curl -sf --max-time 5 "http://127.0.0.1:$port/healthz") ||
+      { echo "$name /healthz scrape failed" >>"$workdir/scrape_fail"; return; }
+    grep -q '"status":"ok"' <<<"$body" ||
+      { echo "$name /healthz not ok: $body" >>"$workdir/scrape_fail"; return; }
+    sleep 0.05
+  done
+}
+
+scrape_pids=()
+if [[ "$have_curl" == 1 ]]; then
+  scrape_loop "$leader_status_port" leader &
+  scrape_pids+=($!)
+  scrape_loop "$replica_status_port" replica &
+  scrape_pids+=($!)
+fi
+
 # The storm: 4 clients on the leader and 2 on the replica, concurrently,
 # 200 queries each over one connection apiece.
 client_pids=()
@@ -110,8 +161,35 @@ status=0
 for pid in "${client_pids[@]}"; do
   wait "$pid" || status=1
 done
+touch "$workdir/storm_done"
+for pid in "${scrape_pids[@]}"; do
+  wait "$pid" || true
+done
 if [[ "$status" != 0 ]]; then
   fail "a client run failed" "$workdir"/*.err "$leader_log" "$replica_log"
+fi
+if [[ -s "$workdir/scrape_fail" ]]; then
+  fail "a status scrape failed during the storm" "$workdir/scrape_fail" \
+       "$leader_log" "$replica_log"
+fi
+
+# After the storm the replica's lag must converge to zero (the workload
+# is read-only, so "converge" means the bootstrap shipment is applied and
+# /healthz agrees with the leader's WAL position).
+if [[ "$have_curl" == 1 ]]; then
+  lag_ok=0
+  for _ in $(seq 1 100); do
+    health=$(curl -sf --max-time 5 \
+               "http://127.0.0.1:$replica_status_port/healthz" || true)
+    if grep -q '"role":"replica"' <<<"$health" &&
+       grep -q '"caught_up":true' <<<"$health"; then
+      lag_ok=1
+      break
+    fi
+    sleep 0.1
+  done
+  [[ "$lag_ok" == 1 ]] ||
+    fail "replica lag never converged: $health" "$replica_log"
 fi
 
 # Both daemons must have survived the storm.
@@ -120,4 +198,10 @@ for pid in "${daemon_pids[@]}"; do
     fail "a daemon died during the storm" "$leader_log" "$replica_log"
 done
 
-echo "stress_net: ok (6 clients x 200 queries across leader + replica)"
+if [[ "$have_curl" == 1 ]]; then
+  echo "stress_net: ok (6 clients x 200 queries across leader + replica," \
+       "scraped throughout)"
+else
+  echo "stress_net: ok (6 clients x 200 queries across leader + replica;" \
+       "curl missing, status scrapes skipped)"
+fi
