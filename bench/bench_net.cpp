@@ -23,6 +23,8 @@
 //                                        latency (us) per line
 //   bench_net --load PORT COUNT SEED     load a COUNT-box "Boxes"
 //                                        relation into the server
+//   bench_net --promote PORT             ask the replica at PORT to
+//                                        promote; prints the new term
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -116,6 +118,25 @@ int RunLoad(uint16_t port, size_t count, uint64_t seed) {
     std::fprintf(stderr, "load: %s\n", loaded.ToString().c_str());
     return 1;
   }
+  return 0;
+}
+
+// --- Subcommand: --promote --------------------------------------------------
+
+int RunPromote(uint16_t port) {
+  auto client = net::Client::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "promote: connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  auto term = (*client)->Promote();
+  if (!term.ok()) {
+    std::fprintf(stderr, "promote: %s\n", term.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("promoted to term %llu\n",
+              static_cast<unsigned long long>(*term));
   return 0;
 }
 
@@ -293,6 +314,13 @@ int Main(int argc, char** argv) {
     return RunLoad(static_cast<uint16_t>(std::atoi(argv[2])),
                    static_cast<size_t>(std::atol(argv[3])),
                    static_cast<uint64_t>(std::atoll(argv[4])));
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--promote") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: bench_net --promote PORT\n");
+      return 2;
+    }
+    return RunPromote(static_cast<uint16_t>(std::atoi(argv[2])));
   }
   ParseBenchFlags(argc, argv);
 

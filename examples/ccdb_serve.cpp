@@ -72,7 +72,27 @@ void CommandLoop(net::Server* server, net::Replica* replica) {
   std::string line;
   while (!g_stop.load() && std::getline(std::cin, line)) {
     if (line == "quit" || line == "exit") return;
+    if (line == "promote") {
+      // Failover by hand (tools/stress_net.sh drives this): catch up,
+      // reopen writable, flip the front-end.
+      if (replica == nullptr || !server->read_only()) {
+        std::cout << "already leader (term " << server->term() << ")"
+                  << std::endl;
+        continue;
+      }
+      auto promoted = replica->Promote();
+      if (!promoted.ok()) {
+        std::cout << "promote failed: " << promoted.status().ToString()
+                  << std::endl;
+        continue;
+      }
+      server->Promote(promoted->term, promoted->store);
+      std::cout << "promoted to term " << promoted->term << std::endl;
+      continue;
+    }
     if (line == "stats") {
+      std::cout << "role=" << (server->read_only() ? "replica" : "leader")
+                << " term=" << server->term() << "\n";
       if (replica != nullptr) {
         const net::Replica::Stats s = replica->stats();
         std::cout << "replica: applied_lsn=" << s.applied_lsn
@@ -156,7 +176,24 @@ int main(int argc, char** argv) {
     sopts.port = port;
     sopts.read_only = true;
     sopts.server_name = "ccdb-replica";
+    sopts.term = 0;  // learns its real term at promotion
     sopts.event_log = event_log.get();
+    // The replica starts after the server (it publishes gauges into the
+    // server's registry); the handler reads it through an atomic so a
+    // PROMOTE racing startup sees either null or the live replica.
+    std::atomic<net::Replica*> replica_ptr{nullptr};
+    sopts.promote_handler = [&replica_ptr]() -> Result<net::Promotion> {
+      net::Replica* r = replica_ptr.load();
+      if (r == nullptr) {
+        return Status::Unavailable("replica still starting");
+      }
+      auto promoted = r->Promote();
+      if (!promoted.ok()) return promoted.status();
+      net::Promotion out;
+      out.term = promoted->term;
+      out.store = promoted->store;
+      return out;
+    };
     auto server = net::Server::Start(&service, sopts);
     if (!server.ok()) {
       std::cerr << "error starting server: " << server.status().ToString()
@@ -172,6 +209,7 @@ int main(int argc, char** argv) {
                 << replica.status().ToString() << "\n";
       return 1;
     }
+    replica_ptr.store(replica->get());
     std::cout << "listening on port " << (*server)->port() << " (replica of "
               << replica_of << ")" << std::endl;
     auto status = MaybeStartStatus(with_status, status_port, server->get(),

@@ -27,6 +27,8 @@
 //   \cancel <id>                cancel a queued or running query
 //   \connect <host:port>        route statements and commands to a ccdb_serve
 //   \disconnect                 back to the in-process service
+//   \promote                    fail over: connected replica becomes leader
+//   \retry on|off               reconnecting idempotent retry for statements
 //   help                        syntax summary
 //   quit
 //
@@ -84,6 +86,8 @@ Shell commands: show/schema/list/load/save/plan/\txn/\trace/\metrics/\top/
   \cancel <id>         cancel a queued or running query by id
   \connect host:port   route statements/commands to a ccdb_serve daemon
   \disconnect          back to the in-process service
+  \promote             fail over: make the connected replica the leader
+  \retry on|off        reconnect + idempotent-retry statements (failover)
 )";
 }
 
@@ -449,8 +453,14 @@ int main(int argc, char** argv) {
     return opts;
   };
   // Connected mode: when set, statements and commands route through the
-  // wire protocol instead of the in-process service.
+  // wire protocol instead of the in-process service. With `\retry on`, a
+  // parallel ResilientClient carries the *statements*, so a leader
+  // restart or failover mid-session reconnects and retries idempotently
+  // instead of surfacing a transport error.
   std::unique_ptr<net::Client> remote;
+  std::unique_ptr<net::ResilientClient> resilient;
+  std::string remote_host;
+  uint16_t remote_port = 0;
 
   std::string line;
   while (std::cout << "cqa> " << std::flush, std::getline(std::cin, line)) {
@@ -479,9 +489,12 @@ int main(int argc, char** argv) {
         continue;
       }
       remote = std::move(*client);
+      remote_host = host;
+      remote_port = port;
+      resilient.reset();  // re-arm \retry against the new target if asked
       std::cout << "connected to " << remote->server_name() << " at " << arg
                 << (remote->server_read_only() ? " (read-only replica)" : "")
-                << "\n";
+                << " (term " << remote->server_term() << ")\n";
       continue;
     }
     if (command == "\\disconnect") {
@@ -490,7 +503,49 @@ int main(int argc, char** argv) {
         continue;
       }
       remote.reset();
+      resilient.reset();
       std::cout << "local mode\n";
+      continue;
+    }
+    if (command == "\\promote") {
+      if (remote == nullptr) {
+        std::cout << "\\promote needs a connection (\\connect first)\n";
+        continue;
+      }
+      auto term = remote->Promote();
+      if (!term.ok()) {
+        std::cout << term.status().ToString() << "\n";
+      } else {
+        std::cout << "promoted: serving writes under term " << *term << "\n";
+      }
+      continue;
+    }
+    if (command == "\\retry") {
+      std::string arg;
+      words >> arg;
+      if (arg == "off") {
+        resilient.reset();
+        std::cout << "retry off\n";
+      } else if (arg == "on") {
+        if (remote == nullptr) {
+          std::cout << "\\retry needs a connection (\\connect first)\n";
+          continue;
+        }
+        net::ResilientClientOptions ropts;
+        ropts.client_name = "cqa_shell-retry";
+        ropts.seed = NewTraceId();  // distinct request-id stream per shell
+        auto rc = net::ResilientClient::Connect(remote_host, remote_port,
+                                                ropts);
+        if (!rc.ok()) {
+          std::cout << rc.status().ToString() << "\n";
+          continue;
+        }
+        resilient = std::move(*rc);
+        std::cout << "retry on: statements reconnect and retry "
+                     "idempotently\n";
+      } else {
+        std::cout << "\\retry needs 'on' or 'off'\n";
+      }
       continue;
     }
     if (command == "\\trace") {
@@ -693,7 +748,9 @@ int main(int argc, char** argv) {
     }
     // Otherwise: a CQA statement, executed by the service (or the
     // connected server) under the shell's current \deadline (if any).
-    if (remote != nullptr) {
+    if (resilient != nullptr) {
+      PrintResponse(resilient->Execute(line, query_options()));
+    } else if (remote != nullptr) {
       PrintResponse(remote->Execute(line, query_options()));
     } else {
       PrintResponse(service.Execute(session, line, query_options()));

@@ -37,6 +37,7 @@
 #include "lang/compile.h"                  // script -> logical plan
 #include "net/client.h"                    // blocking wire-protocol client
 #include "net/replica.h"                   // WAL-shipping read replicas
+#include "net/resilient_client.h"          // reconnecting/retrying client
 #include "net/server.h"                    // the TCP front door
 #include "net/status_server.h"             // HTTP /metrics + /healthz
 #include "net/wire.h"                      // binary frame + payload codecs

@@ -6,16 +6,36 @@
 
 namespace ccdb::net {
 
+namespace {
+
+/// The retry taxonomy at the transport boundary: a failure from the
+/// socket layer that is not already typed as a protocol error becomes
+/// the retryable kUnavailable (a fresh connection may succeed), keeping
+/// the original diagnosis in the message. Typed protocol errors
+/// (kInvalidArgument and friends) pass through — they are fatal.
+Status ClassifyTransport(Status status) {
+  if (status.code() == StatusCode::kIoError) {
+    Status out = Status::Unavailable(status.message());
+    return out;
+  }
+  return status;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
                                                 uint16_t port,
                                                 ClientOptions options) {
   auto client = std::unique_ptr<Client>(new Client());
   {
     MutexLock lock(client->mu_);
-    CCDB_ASSIGN_OR_RETURN(client->sock_, TcpConnect(host, port));
+    Result<Socket> sock = TcpConnect(host, port);
+    if (!sock.ok()) return ClassifyTransport(sock.status());
+    client->sock_ = std::move(sock).value();
     Writer w;
     w.PutU32(kProtocolVersion);
     w.PutString(options.client_name);
+    w.PutU64(options.known_term);
     CCDB_ASSIGN_OR_RETURN(
         Frame reply,
         client->Call(MsgType::kHello, w.buffer(), MsgType::kHelloOk));
@@ -24,10 +44,12 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
     CCDB_ASSIGN_OR_RETURN(uint8_t read_only, r.GetU8());
     CCDB_ASSIGN_OR_RETURN(client->session_id_, r.GetU64());
     CCDB_ASSIGN_OR_RETURN(client->server_name_, r.GetString());
+    CCDB_ASSIGN_OR_RETURN(uint64_t term, r.GetU64());
     if (version != kProtocolVersion || read_only > 1) {
       return Status::InvalidArgument("malformed HELLO_OK");
     }
     client->server_read_only_ = read_only != 0;
+    client->server_term_.store(term, std::memory_order_relaxed);
   }
   return client;
 }
@@ -56,29 +78,32 @@ Result<Frame> Client::Call(MsgType request,
   Status sent = WriteFrame(&sock_, request, payload);
   if (!sent.ok()) {
     poisoned_ = true;
-    return sent;
+    return ClassifyTransport(std::move(sent));
   }
   Frame reply;
   Status read = ReadFrame(&sock_, &reply);
   if (!read.ok()) {
     poisoned_ = true;
-    return read;
+    // Torn frame / peer closed / recv timeout → retryable kUnavailable;
+    // CRC mismatch and unknown-type stay kInvalidArgument — fatal.
+    return ClassifyTransport(std::move(read));
   }
   if (reply.type == MsgType::kError) {
     Status transported = Status::OK();
     Status decoded = DecodeErrorPayload(reply.payload, &transported);
     if (!decoded.ok() || transported.ok()) {
       poisoned_ = true;
-      return Status::Unavailable("malformed error frame from server");
+      return Status::InvalidArgument("malformed error frame from server");
     }
     return transported;
   }
   if (reply.type != expect) {
-    // The stream is out of phase; nothing later can be trusted.
+    // The stream is out of phase; nothing later can be trusted, and a
+    // blind retry would desynchronize again — fatal, not retryable.
     poisoned_ = true;
-    return Status::Unavailable(std::string("unexpected response frame ") +
-                               MsgTypeName(reply.type) + " (wanted " +
-                               MsgTypeName(expect) + ")");
+    return Status::InvalidArgument(std::string("unexpected response frame ") +
+                                   MsgTypeName(reply.type) + " (wanted " +
+                                   MsgTypeName(expect) + ")");
   }
   return reply;
 }
@@ -131,6 +156,27 @@ Status Client::Cancel(uint64_t query_id) {
 Status Client::Checkpoint() {
   MutexLock lock(mu_);
   return Call(MsgType::kCheckpoint, {}, MsgType::kOk).status();
+}
+
+Result<uint64_t> Client::Promote() {
+  MutexLock lock(mu_);
+  CCDB_ASSIGN_OR_RETURN(Frame reply,
+                        Call(MsgType::kPromote, {}, MsgType::kPromoted));
+  Reader r(reply.payload);
+  CCDB_ASSIGN_OR_RETURN(uint64_t term, r.GetU64());
+  server_term_.store(term, std::memory_order_relaxed);
+  server_read_only_ = false;
+  return term;
+}
+
+void Client::SetSocketFaults(const SocketFaults& faults) {
+  MutexLock lock(mu_);
+  sock_.SetFaults(faults);
+}
+
+Status Client::SetRecvTimeout(double ms) {
+  MutexLock lock(mu_);
+  return sock_.SetRecvTimeout(ms);
 }
 
 Result<std::string> Client::MetricsText() {
@@ -239,7 +285,7 @@ Result<Client::Shipment> Client::ShipWal(uint64_t from_lsn) {
   Status sent = WriteFrame(&sock_, MsgType::kShipWal, w.buffer());
   if (!sent.ok()) {
     poisoned_ = true;
-    return sent;
+    return ClassifyTransport(std::move(sent));
   }
 
   Shipment shipment;
@@ -248,7 +294,7 @@ Result<Client::Shipment> Client::ShipWal(uint64_t from_lsn) {
     Status read = ReadFrame(&sock_, &frame);
     if (!read.ok()) {
       poisoned_ = true;
-      return read;
+      return ClassifyTransport(std::move(read));
     }
     switch (frame.type) {
       case MsgType::kWalBatch:
@@ -258,20 +304,23 @@ Result<Client::Shipment> Client::ShipWal(uint64_t from_lsn) {
       case MsgType::kShipEnd: {
         Reader r(frame.payload);
         CCDB_ASSIGN_OR_RETURN(shipment.leader_next_lsn, r.GetU64());
+        CCDB_ASSIGN_OR_RETURN(shipment.leader_term, r.GetU64());
+        server_term_.store(shipment.leader_term, std::memory_order_relaxed);
         return shipment;
       }
 
       case MsgType::kSnapshot: {
         if (!shipment.records.empty()) {
           poisoned_ = true;
-          return Status::Unavailable("snapshot frame mid batch stream");
+          return Status::InvalidArgument("snapshot frame mid batch stream");
         }
         Reader r(frame.payload);
         DurableStore::ReplicationSnapshot snapshot;
         CCDB_ASSIGN_OR_RETURN(snapshot.next_lsn, r.GetU64());
         CCDB_ASSIGN_OR_RETURN(snapshot.catalog_root, r.GetU64());
         CCDB_ASSIGN_OR_RETURN(uint32_t n_pages, r.GetU32());
-        if (r.remaining() != static_cast<size_t>(n_pages) * kPageSize) {
+        // Page images plus the trailing u64 leader term.
+        if (r.remaining() != static_cast<size_t>(n_pages) * kPageSize + 8) {
           return Status::InvalidArgument("snapshot frame size mismatch");
         }
         snapshot.pages.resize(n_pages);
@@ -280,6 +329,8 @@ Result<Client::Shipment> Client::ShipWal(uint64_t from_lsn) {
             CCDB_ASSIGN_OR_RETURN(snapshot.pages[i].data[b], r.GetU8());
           }
         }
+        CCDB_ASSIGN_OR_RETURN(shipment.leader_term, r.GetU64());
+        server_term_.store(shipment.leader_term, std::memory_order_relaxed);
         shipment.is_snapshot = true;
         shipment.snapshot = std::move(snapshot);
         shipment.leader_next_lsn = shipment.snapshot.next_lsn;
@@ -291,14 +342,14 @@ Result<Client::Shipment> Client::ShipWal(uint64_t from_lsn) {
         Status decoded = DecodeErrorPayload(frame.payload, &transported);
         if (!decoded.ok() || transported.ok()) {
           poisoned_ = true;
-          return Status::Unavailable("malformed error frame from server");
+          return Status::InvalidArgument("malformed error frame from server");
         }
         return transported;
       }
 
       default:
         poisoned_ = true;
-        return Status::Unavailable(
+        return Status::InvalidArgument(
             std::string("unexpected response frame ") +
             MsgTypeName(frame.type) + " in a SHIP_WAL stream");
     }

@@ -15,9 +15,15 @@
 ///
 /// Calls are serialized on an internal mutex (the protocol is strict
 /// request/response per connection); use one Client per thread for
-/// parallelism. A protocol-level failure (torn frame, CRC mismatch,
-/// unexpected response type) poisons the connection: the socket is shut
-/// down and every later call fails fast with kUnavailable.
+/// parallelism. Any stream failure poisons the connection (every later
+/// call fails fast), but the status CODE tells the caller what a fresh
+/// connection would buy: transport failures — the peer vanished, a clean
+/// EOF, a recv timeout, a torn frame — surface as the *retryable*
+/// kUnavailable, while protocol failures — CRC mismatch, version skew,
+/// an out-of-phase response stream — surface as the *fatal*
+/// kInvalidArgument / kUnsupported (`Client::Retryable` encodes the
+/// taxonomy). `ResilientClient` builds reconnect-and-retry on exactly
+/// this split.
 
 #include <atomic>
 #include <cstdint>
@@ -37,6 +43,12 @@ namespace ccdb::net {
 /// Construction-time knobs of a Client.
 struct ClientOptions {
   std::string client_name = "ccdb-client";
+  /// Highest leader term this client has observed (0 = none). Carried in
+  /// HELLO; a *writable* server whose own term is older refuses the
+  /// handshake with kFailedPrecondition — the fencing that stops a
+  /// revived stale leader from accepting writes from clients that
+  /// already followed a promotion.
+  uint64_t known_term = 0;
 };
 
 /// A blocking wire-protocol client. Thread-safe; calls serialize.
@@ -73,6 +85,12 @@ class Client {
 
   Status Checkpoint() CCDB_EXCLUDES(mu_);
   Result<std::string> MetricsText() CCDB_EXCLUDES(mu_);
+
+  /// PROMOTE: asks a replica server to become the leader and returns the
+  /// new leader term. Idempotent against an already-writable server (it
+  /// echoes its current term). The client's own notion of the server's
+  /// term is updated on success.
+  Result<uint64_t> Promote() CCDB_EXCLUDES(mu_);
 
   /// The server-side EXPLAIN ANALYZE view of one script (TRACE).
   struct RemoteTrace {
@@ -120,6 +138,7 @@ class Client {
     DurableStore::ReplicationSnapshot snapshot;  ///< when is_snapshot
     std::vector<std::vector<uint8_t>> records;   ///< otherwise
     uint64_t leader_next_lsn = 0;
+    uint64_t leader_term = 0;  ///< the shipping server's leader term
   };
   Result<Shipment> ShipWal(uint64_t from_lsn) CCDB_EXCLUDES(mu_);
 
@@ -129,6 +148,37 @@ class Client {
   bool server_read_only() const { return server_read_only_; }
   const std::string& server_name() const { return server_name_; }
   uint64_t session_id() const { return session_id_; }
+
+  /// The server's leader term as of the last frame that carried one
+  /// (HELLO_OK, SHIP_END, SNAPSHOT, PROMOTED).
+  uint64_t server_term() const {
+    return server_term_.load(std::memory_order_relaxed);
+  }
+
+  /// True once a stream failure has poisoned this connection — every
+  /// later call fails fast; only a fresh Connect helps. (What
+  /// ResilientClient keys its reconnects on.)
+  bool poisoned() const { return poisoned_.load(std::memory_order_relaxed); }
+
+  /// The retry taxonomy: true when `status` is a transport-level failure
+  /// — kUnavailable (peer closed, recv timeout, a torn frame, shedding)
+  /// — where a reconnect (or plain backoff) plus retry may succeed.
+  /// Protocol-fatal failures (kInvalidArgument CRC mismatch / malformed
+  /// frames, kUnsupported version skew, kFailedPrecondition fencing)
+  /// return false: retrying them verbatim cannot help.
+  static bool Retryable(const Status& status) {
+    return status.code() == StatusCode::kUnavailable;
+  }
+
+  /// Test hook: arms a deterministic fault plan on the underlying socket
+  /// (the framing layer writes one contiguous buffer per frame, so send
+  /// index N is frame N).
+  void SetSocketFaults(const SocketFaults& faults) CCDB_EXCLUDES(mu_);
+
+  /// Bounds every reply wait on this connection: a swallowed reply frame
+  /// surfaces as the retryable kUnavailable ("recv timeout") instead of
+  /// blocking forever. 0 restores unbounded waits.
+  Status SetRecvTimeout(double ms) CCDB_EXCLUDES(mu_);
 
   /// Shuts the connection down; every later call fails with kUnavailable.
   /// Safe to call from any thread, including while another thread is
@@ -160,6 +210,9 @@ class Client {
   bool server_read_only_ = false;
   std::string server_name_;
   uint64_t session_id_ = 0;
+  /// Latest leader term seen on this connection (atomic: ShipWal updates
+  /// it under mu_ while server_term() reads it from other threads).
+  std::atomic<uint64_t> server_term_{0};
 };
 
 }  // namespace ccdb::net

@@ -8,17 +8,9 @@
 #include "obs/metric_names.h"
 #include "storage/catalog.h"
 #include "storage/wal.h"
+#include "util/backoff.h"
 
 namespace ccdb::net {
-
-namespace {
-
-void SleepMs(double ms) {
-  std::this_thread::sleep_for(
-      std::chrono::microseconds(static_cast<int64_t>(ms * 1000)));
-}
-
-}  // namespace
 
 Replica::Replica(service::QueryService* service, ReplicaOptions options)
     : service_(service),
@@ -40,6 +32,10 @@ Result<std::unique_ptr<Replica>> Replica::Start(
   copts.client_name = replica->options_.client_name;
   CCDB_ASSIGN_OR_RETURN(std::unique_ptr<Client> client,
                         Client::Connect(leader_host, leader_port, copts));
+  {
+    MutexLock lock(replica->mu_);
+    replica->leader_term_ = client->server_term();
+  }
   {
     MutexLock lock(replica->conn_mu_);
     replica->client_ = std::move(client);
@@ -68,13 +64,28 @@ void Replica::Stop() {
 }
 
 void Replica::SyncLoop() {
+  BackoffOptions bopts;
+  bopts.initial_ms = options_.poll_interval_ms < 1 ? 1
+                                                   : options_.poll_interval_ms;
+  bopts.max_ms = options_.max_backoff_ms;
+  Backoff backoff(bopts);
   while (!stop_.load()) {
-    IgnoreError(SyncOnce());
+    Status synced = SyncOnce();
+    // A healthy leader is polled at the configured interval; a failing
+    // one at jittered exponentially-growing delays up to the cap.
+    double delay_ms = options_.poll_interval_ms;
+    if (synced.ok()) {
+      backoff.Reset();
+    } else {
+      delay_ms = backoff.NextDelayMs();
+    }
+    if (options_.registry != nullptr) {
+      options_.registry->SetGauge(obs::names::kReplicaBackoffMs,
+                                  synced.ok() ? 0 : delay_ms);
+    }
     // 1 ms granularity so Stop() is prompt; CondVar has no timed wait.
-    const int ticks = options_.poll_interval_ms < 1
-                          ? 1
-                          : static_cast<int>(options_.poll_interval_ms);
-    for (int i = 0; i < ticks && !stop_.load(); ++i) SleepMs(1);
+    const int ticks = delay_ms < 1 ? 1 : static_cast<int>(delay_ms);
+    for (int i = 0; i < ticks && !stop_.load(); ++i) SleepForMs(1);
   }
 }
 
@@ -106,13 +117,20 @@ void Replica::PublishGauges() {
 }
 
 Status Replica::SyncLocked() {
+  if (promoted_) {
+    return Status::FailedPrecondition("replica was promoted to leader");
+  }
   if (stop_.load()) return Status::Unavailable("replica stopped");
   if (need_reconnect_) {
     ClientOptions copts;
     copts.client_name = options_.client_name;
+    // Carrying the highest seen term fences a revived stale leader at
+    // the handshake (kFailedPrecondition) instead of mid-shipment.
+    copts.known_term = leader_term_;
     Result<std::unique_ptr<Client>> fresh =
         Client::Connect(leader_host_, leader_port_, copts);
     if (!fresh.ok()) return fresh.status();
+    leader_term_ = std::max(leader_term_, (*fresh)->server_term());
     MutexLock conn_lock(conn_mu_);
     client_ = std::move(fresh).value();
     need_reconnect_ = false;
@@ -136,6 +154,24 @@ Status Replica::SyncLocked() {
     }
     return shipped.status();
   }
+
+  if (shipped->leader_term < leader_term_) {
+    // A revived stale leader answered: refuse its timeline entirely.
+    need_reconnect_ = true;
+    if (options_.event_log != nullptr) {
+      obs::Event event;
+      event.type = "stale_leader";
+      event.detail = "shipment under term " +
+                     std::to_string(shipped->leader_term) +
+                     " refused (replica has seen term " +
+                     std::to_string(leader_term_) + ")";
+      options_.event_log->Emit(event);
+    }
+    return Status::FailedPrecondition(
+        "shipment from stale leader term " +
+        std::to_string(shipped->leader_term));
+  }
+  leader_term_ = shipped->leader_term;
 
   bool changed = false;
   if (shipped->is_snapshot) {
@@ -205,6 +241,12 @@ Status Replica::ApplyRecord(const std::vector<uint8_t>& record) {
   applied_lsn_ = batch.lsn;
   ++batches_applied_;
   bytes_applied_ += record.size();
+  // Seed the follower's dedup table: a client that loses the leader's
+  // COMMIT ack and retries against this replica post-promotion gets the
+  // original OK instead of a double-apply.
+  if (batch.request_id != 0) {
+    service_->RecordCommittedRequest(batch.request_id);
+  }
   return Status::OK();
 }
 
@@ -251,6 +293,75 @@ Status Replica::PublishCatalog() {
   return Status::OK();
 }
 
+Result<Replica::Promoted> Replica::Promote() {
+  // Wind down continuous sync first: unblock an in-flight round parked
+  // in the client's recv, then join the thread.
+  stop_.store(true);
+  {
+    MutexLock lock(conn_mu_);
+    if (client_ != nullptr) client_->Close();
+  }
+  if (sync_thread_.joinable()) sync_thread_.join();
+
+  MutexLock lock(mu_);
+  if (promoted_) {
+    Promoted out;
+    out.term = promoted_term_;
+    out.store = promoted_store_.get();
+    return out;
+  }
+
+  // Final best-effort drain: a still-reachable old leader gets one last
+  // chance to hand over batches committed since the last poll; a dead
+  // one just fails the connect and we promote from what we have.
+  {
+    ClientOptions copts;
+    copts.client_name = options_.client_name;
+    copts.known_term = leader_term_;
+    Result<std::unique_ptr<Client>> fresh =
+        Client::Connect(leader_host_, leader_port_, copts);
+    if (fresh.ok()) {
+      leader_term_ = std::max(leader_term_, (*fresh)->server_term());
+      {
+        MutexLock conn_lock(conn_mu_);
+        client_ = std::move(fresh).value();
+      }
+      need_reconnect_ = false;
+      // The sync thread is joined, so re-arming the stop flag around the
+      // drain races with nothing.
+      stop_.store(false);
+      IgnoreError(SyncLocked());
+      stop_.store(true);
+    }
+  }
+
+  if (need_snapshot_ && catalog_root_ == kInvalidPageId &&
+      applied_lsn_ == 0 && snapshots_installed_ == 0) {
+    return Status::FailedPrecondition(
+        "replica never bootstrapped: nothing to promote");
+  }
+
+  CCDB_ASSIGN_OR_RETURN(promoted_store_,
+                        DurableStore::CreateAtRoot(&disk_, catalog_root_));
+  // Strictly above every term this replica has followed; the floor of 2
+  // out-terms a seed leader that never announced (default term 1).
+  const uint64_t term = std::max<uint64_t>(leader_term_ + 1, 2);
+  service_->AttachStore(promoted_store_.get());
+  promoted_ = true;
+  promoted_term_ = term;
+  if (options_.event_log != nullptr) {
+    obs::Event event;
+    event.type = "promoted";
+    event.detail = "follower promoted at lsn " + std::to_string(applied_lsn_) +
+                   ", serving writes under term " + std::to_string(term);
+    options_.event_log->Emit(event);
+  }
+  Promoted out;
+  out.term = term;
+  out.store = promoted_store_.get();
+  return out;
+}
+
 Replica::Stats Replica::stats() const {
   MutexLock lock(mu_);
   Stats out;
@@ -293,7 +404,7 @@ Status Replica::WaitCaughtUp(double timeout_ms) {
     if (options_.start_paused) {
       IgnoreError(SyncOnce());
     } else {
-      SleepMs(1);
+      SleepForMs(1);
     }
     if (std::chrono::steady_clock::now() >= deadline) {
       return Status::DeadlineExceeded("replica did not catch up in " +

@@ -33,6 +33,13 @@
 /// read-only queries — typically fronted by a `net::Server` with
 /// `read_only = true`. Replica lag is reported in batches
 /// (`leader_next_lsn - 1 - applied_lsn`) via `stats()`.
+///
+/// When the leader dies, `Promote()` turns the follower into the new
+/// leader: final best-effort drain, fresh WAL over the already-applied
+/// local pages (`DurableStore::CreateAtRoot`), store attached to the
+/// follower service, new term = highest seen + 1. Failed sync rounds
+/// back off exponentially (capped, jittered) instead of hammering a
+/// dead leader.
 
 #include <atomic>
 #include <cstdint>
@@ -56,6 +63,10 @@ namespace ccdb::net {
 struct ReplicaOptions {
   /// Delay between SHIP_WAL polls of the continuous sync thread.
   double poll_interval_ms = 20;
+  /// Cap on the jittered exponential backoff the sync thread applies
+  /// after failed rounds (a down leader is polled ever more slowly up to
+  /// this ceiling, published as `replica.backoff_ms`).
+  double max_backoff_ms = 1000;
   /// Buffer-pool capacity over the replica's local disk.
   size_t pool_pages = 64;
   /// Do not start the sync thread; the caller drives `SyncOnce()`
@@ -122,6 +133,23 @@ class Replica {
   };
   Stats stats() const CCDB_EXCLUDES(mu_);
 
+  /// What a successful Promote() yields: the new leader term and the
+  /// writable store (owned by the replica; valid until it is destroyed).
+  struct Promoted {
+    uint64_t term = 0;
+    DurableStore* store = nullptr;
+  };
+
+  /// Failover: turns this caught-up-as-possible follower into a leader.
+  /// Stops the sync thread, drains the old leader one last time (best
+  /// effort — a dead leader just fails the drain), reopens the local
+  /// disk writable via `DurableStore::CreateAtRoot`, attaches the store
+  /// to the follower service, and returns the new leader term
+  /// (`highest seen + 1`). Idempotent: a second call returns the same
+  /// term and store. The caller flips its front-end via
+  /// `Server::Promote(term, store)`.
+  Result<Promoted> Promote() CCDB_EXCLUDES(mu_);
+
   /// Stops the sync thread (idempotent; also run by the destructor).
   void Stop();
 
@@ -172,6 +200,16 @@ class Replica {
   /// Successful ship+apply rounds; WaitCaughtUp only trusts a
   /// `caught_up_` produced by a round that completed after it was called.
   uint64_t completed_syncs_ CCDB_GUARDED_BY(mu_) = 0;
+  /// Highest leader term observed (HELLO_OK / SHIP_END / SNAPSHOT); a
+  /// shipment under a lower term is refused (stale revived leader).
+  uint64_t leader_term_ CCDB_GUARDED_BY(mu_) = 0;
+  /// Set once Promote() succeeds; later syncs refuse, later Promotes
+  /// return the same outcome.
+  bool promoted_ CCDB_GUARDED_BY(mu_) = false;
+  uint64_t promoted_term_ CCDB_GUARDED_BY(mu_) = 0;
+  /// The writable store minted at promotion (lives until the replica
+  /// dies; the service and front-end server borrow it).
+  std::unique_ptr<DurableStore> promoted_store_ CCDB_GUARDED_BY(mu_);
   /// Base-relation names the replica has published into the service.
   std::set<std::string> published_ CCDB_GUARDED_BY(mu_);
 

@@ -1,0 +1,155 @@
+#include "net/resilient_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <type_traits>
+#include <utility>
+
+namespace ccdb::net {
+
+ResilientClient::ResilientClient(std::string host, uint16_t port,
+                                 ResilientClientOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      backoff_(BackoffOptions{options.initial_backoff_ms,
+                              options.max_backoff_ms, options.seed}),
+      request_ids_(options.seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+Result<std::unique_ptr<ResilientClient>> ResilientClient::Connect(
+    const std::string& host, uint16_t port, ResilientClientOptions options) {
+  auto client = std::unique_ptr<ResilientClient>(
+      new ResilientClient(host, port, std::move(options)));
+  MutexLock lock(client->mu_);
+  // The identity op: establishes the first connection under the same
+  // deadline/backoff policy every later call gets.
+  Result<Client*> live =
+      client->Retry([](Client* c) -> Result<Client*> { return c; });
+  if (!live.ok()) return live.status();
+  return client;
+}
+
+Result<Client*> ResilientClient::Ensure() {
+  if (client_ != nullptr && !client_->poisoned()) return client_.get();
+  client_.reset();
+  ClientOptions copts;
+  copts.client_name = options_.client_name;
+  copts.known_term = highest_term_;
+  CCDB_ASSIGN_OR_RETURN(client_, Client::Connect(host_, port_, copts));
+  if (options_.recv_timeout_ms > 0) {
+    CCDB_RETURN_IF_ERROR(client_->SetRecvTimeout(options_.recv_timeout_ms));
+  }
+  client_->SetSocketFaults(options_.socket_faults);
+  // Counts every successful dial; the accessor reports dials - 1 so the
+  // initial connect is not a "reconnect".
+  ++reconnects_;
+  ObserveTerm();
+  return client_.get();
+}
+
+void ResilientClient::ObserveTerm() {
+  if (client_ == nullptr) return;
+  highest_term_ = std::max(highest_term_, client_->server_term());
+}
+
+template <typename Op>
+auto ResilientClient::Retry(Op op)
+    -> decltype(op(static_cast<Client*>(nullptr))) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double, std::milli>(options_.deadline_ms);
+  bool counted = false;
+  backoff_.Reset();
+  for (;;) {
+    Status failure = Status::OK();
+    Result<Client*> live = Ensure();
+    if (live.ok()) {
+      auto result = op(*live);
+      ObserveTerm();
+      if (result.ok()) return result;
+      if constexpr (std::is_same_v<std::decay_t<decltype(result)>, Status>) {
+        failure = result;
+      } else {
+        failure = result.status();
+      }
+    } else {
+      failure = live.status();
+    }
+    if (!Client::Retryable(failure)) return failure;
+    if (!counted) {
+      counted = true;
+      ++retried_calls_;
+    }
+    double delay = backoff_.NextDelayMs();
+    if (failure.retry_after_ms() > 0) {
+      delay = std::max(delay, static_cast<double>(failure.retry_after_ms()));
+    }
+    if (std::chrono::steady_clock::now() +
+            std::chrono::duration<double, std::milli>(delay) >=
+        deadline) {
+      return failure;  // budget spent: the last failure, verbatim
+    }
+    SleepForMs(delay);
+  }
+}
+
+Result<service::QueryResponse> ResilientClient::Execute(
+    const std::string& script, service::QueryOptions opts) {
+  MutexLock lock(mu_);
+  if (opts.request_id == 0) {
+    // Mint an idempotency key so a retried COMMIT after a lost ack is
+    // deduplicated server-side instead of re-applied.
+    do {
+      opts.request_id = request_ids_.Next();
+    } while (opts.request_id == 0);
+  }
+  return Retry([&](Client* c) { return c->Execute(script, opts); });
+}
+
+Status ResilientClient::LoadRelation(const std::string& name,
+                                     const Relation& relation) {
+  MutexLock lock(mu_);
+  return Retry([&](Client* c) { return c->LoadRelation(name, relation); });
+}
+
+Status ResilientClient::Checkpoint() {
+  MutexLock lock(mu_);
+  return Retry([&](Client* c) { return c->Checkpoint(); });
+}
+
+Result<std::vector<std::string>> ResilientClient::ListRelations() {
+  MutexLock lock(mu_);
+  return Retry([&](Client* c) { return c->ListRelations(); });
+}
+
+Result<Relation> ResilientClient::GetRelation(const std::string& name) {
+  MutexLock lock(mu_);
+  return Retry([&](Client* c) { return c->GetRelation(name); });
+}
+
+Result<uint64_t> ResilientClient::Promote() {
+  MutexLock lock(mu_);
+  return Retry([&](Client* c) { return c->Promote(); });
+}
+
+uint64_t ResilientClient::highest_term() const {
+  MutexLock lock(mu_);
+  return highest_term_;
+}
+
+uint64_t ResilientClient::reconnects() const {
+  MutexLock lock(mu_);
+  return reconnects_ == 0 ? 0 : reconnects_ - 1;
+}
+
+uint64_t ResilientClient::retried_calls() const {
+  MutexLock lock(mu_);
+  return retried_calls_;
+}
+
+bool ResilientClient::server_read_only() const {
+  MutexLock lock(mu_);
+  return client_ != nullptr && client_->server_read_only();
+}
+
+}  // namespace ccdb::net

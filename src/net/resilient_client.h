@@ -1,0 +1,139 @@
+#ifndef CCDB_NET_RESILIENT_CLIENT_H_
+#define CCDB_NET_RESILIENT_CLIENT_H_
+
+/// \file resilient_client.h
+/// The retrying wrapper over `net::Client`: reconnects, idempotent
+/// retries, and leader-term tracking.
+///
+/// A `ResilientClient` owns one `Client` at a time and re-establishes it
+/// whenever a *retryable* failure (see `Client::Retryable`) poisons the
+/// connection, then retries the interrupted call under a capped,
+/// jittered exponential backoff (`util/backoff.h`) bounded by a per-call
+/// deadline. Three mechanisms make the retries safe and honest:
+///
+///  - *Idempotency keys*: every `Execute` whose options carry no
+///    `request_id` gets one minted from a seeded PRNG stream. The server
+///    registers each COMMIT's outcome under its id in a bounded dedup
+///    table, so a COMMIT retried after a lost acknowledgement returns
+///    the original outcome — never a double-apply, never a spurious
+///    "no transaction in progress".
+///  - *Term tracking*: the highest leader term observed on any response
+///    is replayed as `known_term` in every reconnect HELLO, so a revived
+///    stale leader is fenced (kFailedPrecondition) at the handshake
+///    instead of silently accepting writes on a dead timeline.
+///  - *Retry-after honoring*: a typed kUnavailable carrying
+///    `retry_after_ms()` (governance shed, replica write refusal) delays
+///    at least that long before the retry.
+///
+/// Fatal statuses — protocol corruption, version skew, fencing — are
+/// returned immediately; only transport-level kUnavailable is retried.
+///
+/// Thread-safe; calls serialize, exactly like the raw Client.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "util/backoff.h"
+#include "util/mutex.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ccdb::net {
+
+/// Construction-time knobs of a ResilientClient.
+struct ResilientClientOptions {
+  std::string client_name = "ccdb-resilient";
+  /// Per-call wall-clock budget across all reconnects and retries; once
+  /// spent, the last failure is returned as-is.
+  double deadline_ms = 2000;
+  double initial_backoff_ms = 1;  ///< first-retry delay (pre-jitter)
+  double max_backoff_ms = 200;    ///< retry-delay cap (pre-jitter)
+  /// Seeds both the jitter PRNG and the request-id stream (deterministic
+  /// retries for tests). Distinct concurrent clients should use distinct
+  /// seeds so their minted request ids cannot collide.
+  uint64_t seed = 42;
+  /// Chaos knobs (tests/benches): injected into every connection this
+  /// wrapper dials, including reconnects — e.g. `drop_every = 10` plus a
+  /// recv timeout measures recovered throughput under 10% frame loss.
+  SocketFaults socket_faults;
+  /// When > 0, each dialed connection gets a bounded recv wait so a
+  /// dropped reply surfaces as retryable kUnavailable instead of a hang.
+  double recv_timeout_ms = 0;
+};
+
+/// A reconnecting, retrying, term-tracking wire client.
+class ResilientClient {
+ public:
+  /// Resolves the target and performs the first connect (itself retried
+  /// under the deadline, so a server still binding its port is fine).
+  static Result<std::unique_ptr<ResilientClient>> Connect(
+      const std::string& host, uint16_t port,
+      ResilientClientOptions options = {});
+
+  ~ResilientClient() = default;
+  ResilientClient(const ResilientClient&) = delete;
+  ResilientClient& operator=(const ResilientClient&) = delete;
+
+  /// Executes a step-script, minting a request id when `opts` carries
+  /// none, reconnecting and retrying on transport failure. A retried
+  /// COMMIT is deduplicated server-side under the minted id.
+  Result<service::QueryResponse> Execute(const std::string& script,
+                                         service::QueryOptions opts = {})
+      CCDB_EXCLUDES(mu_);
+
+  /// Retrying counterparts of the raw client's calls.
+  Status LoadRelation(const std::string& name, const Relation& relation)
+      CCDB_EXCLUDES(mu_);
+  Status Checkpoint() CCDB_EXCLUDES(mu_);
+  Result<std::vector<std::string>> ListRelations() CCDB_EXCLUDES(mu_);
+  Result<Relation> GetRelation(const std::string& name) CCDB_EXCLUDES(mu_);
+
+  /// PROMOTE with retry: used to fail over to a replica that may still
+  /// be mid-catch-up. Returns the new leader term.
+  Result<uint64_t> Promote() CCDB_EXCLUDES(mu_);
+
+  // --- Introspection ---
+
+  /// The highest leader term observed on any connection so far.
+  uint64_t highest_term() const CCDB_EXCLUDES(mu_);
+  /// Fresh connections established after the first.
+  uint64_t reconnects() const CCDB_EXCLUDES(mu_);
+  /// Calls that were retried at least once.
+  uint64_t retried_calls() const CCDB_EXCLUDES(mu_);
+  /// True while the underlying connection reports a read-only server.
+  bool server_read_only() const CCDB_EXCLUDES(mu_);
+
+ private:
+  explicit ResilientClient(std::string host, uint16_t port,
+                           ResilientClientOptions options);
+
+  /// Ensures a live (non-poisoned) connection, dialing a fresh one if
+  /// needed, and returns it. Does not retry — the caller's loop does.
+  Result<Client*> Ensure() CCDB_REQUIRES(mu_);
+  /// Records the connection's latest term into highest_term_.
+  void ObserveTerm() CCDB_REQUIRES(mu_);
+  /// The shared retry loop: runs `op` against a live connection until it
+  /// succeeds, fails fatally, or the deadline is spent.
+  template <typename Op>
+  auto Retry(Op op) -> decltype(op(static_cast<Client*>(nullptr)))
+      CCDB_REQUIRES(mu_);
+
+  const std::string host_;
+  const uint16_t port_;
+  const ResilientClientOptions options_;
+
+  mutable Mutex mu_;
+  std::unique_ptr<Client> client_ CCDB_GUARDED_BY(mu_);
+  Backoff backoff_ CCDB_GUARDED_BY(mu_);
+  Rng request_ids_ CCDB_GUARDED_BY(mu_);
+  uint64_t highest_term_ CCDB_GUARDED_BY(mu_) = 0;
+  uint64_t reconnects_ CCDB_GUARDED_BY(mu_) = 0;
+  uint64_t retried_calls_ CCDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ccdb::net
+
+#endif  // CCDB_NET_RESILIENT_CLIENT_H_

@@ -6,12 +6,16 @@
 
 #include "obs/metric_names.h"
 #include "storage/serde.h"
+#include "util/backoff.h"
 
 namespace ccdb::net {
 
 
 Server::Server(service::QueryService* service, ServerOptions options)
     : service_(service), options_(std::move(options)) {
+  term_.store(options_.term, std::memory_order_release);
+  read_only_.store(options_.read_only, std::memory_order_release);
+  store_.store(options_.store, std::memory_order_release);
   conns_total_ = registry_.GetCounter(obs::names::kNetConnectionsTotal);
   bytes_in_ = registry_.GetCounter(obs::names::kNetBytesIn);
   bytes_out_ = registry_.GetCounter(obs::names::kNetBytesOut);
@@ -20,6 +24,21 @@ Server::Server(service::QueryService* service, ServerOptions options)
   ship_batches_ = registry_.GetCounter(obs::names::kNetShipBatches);
   ship_snapshots_ = registry_.GetCounter(obs::names::kNetShipSnapshots);
   registry_.SetGauge(obs::names::kNetConnectionsOpen, 0);
+  registry_.SetGauge(obs::names::kNetTerm, static_cast<double>(options_.term));
+}
+
+void Server::Promote(uint64_t term, DurableStore* store) {
+  if (!read_only_.load(std::memory_order_acquire)) return;
+  store_.store(store, std::memory_order_release);
+  term_.store(term, std::memory_order_release);
+  read_only_.store(false, std::memory_order_release);
+  registry_.SetGauge(obs::names::kNetTerm, static_cast<double>(term));
+  if (options_.event_log != nullptr) {
+    obs::Event event;
+    event.type = "promoted";
+    event.detail = "serving writes under term " + std::to_string(term);
+    options_.event_log->Emit(event);
+  }
 }
 
 Result<std::unique_ptr<Server>> Server::Start(service::QueryService* service,
@@ -254,9 +273,15 @@ Status Server::Dispatch(Conn* conn, Socket* sock, const Frame& frame,
       }
       uint32_t version = 0;
       std::string client_name;
+      uint64_t client_term = 0;
       Status parsed = [&]() -> Status {
         CCDB_ASSIGN_OR_RETURN(version, r.GetU32());
         CCDB_ASSIGN_OR_RETURN(client_name, r.GetString());
+        // Trailing term is optional (a bare v2 HELLO reads as term 0) so
+        // hand-built handshakes stay valid.
+        if (r.remaining() >= 8) {
+          CCDB_ASSIGN_OR_RETURN(client_term, r.GetU64());
+        }
         return Status::OK();
       }();
       if (!parsed.ok()) return bad_payload(parsed);
@@ -276,13 +301,34 @@ Status Server::Dispatch(Conn* conn, Socket* sock, const Frame& frame,
                       " (server speaks " + std::to_string(kProtocolVersion) +
                       ")"));
       }
+      const uint64_t term = term_.load(std::memory_order_acquire);
+      const bool read_only = read_only_.load(std::memory_order_acquire);
+      if (!read_only && client_term > term) {
+        // Fencing: the client has followed a newer leader; this writable
+        // server is a revived stale leader and must not accept its writes.
+        *close_conn = true;
+        if (options_.event_log != nullptr) {
+          obs::Event event;
+          event.type = "stale_leader";
+          event.detail = "client '" + client_name + "' knows term " +
+                         std::to_string(client_term) +
+                         ", this leader serves term " + std::to_string(term);
+          options_.event_log->Emit(event);
+        }
+        return SendError(
+            sock, Status::FailedPrecondition(
+                      "stale leader term " + std::to_string(term) +
+                      " (client has seen term " + std::to_string(client_term) +
+                      ")"));
+      }
       conn->session = service_->OpenSession();
       conn->helloed = true;
       Writer w;
       w.PutU32(kProtocolVersion);
-      w.PutU8(options_.read_only ? 1 : 0);
+      w.PutU8(read_only ? 1 : 0);
       w.PutU64(conn->session);
       w.PutString(options_.server_name);
+      w.PutU64(term);
       return reply(MsgType::kHelloOk, w.buffer());
     }
 
@@ -347,10 +393,11 @@ Status Server::Dispatch(Conn* conn, Socket* sock, const Frame& frame,
     }
 
     case MsgType::kCheckpoint: {
-      if (options_.read_only) {
+      if (read_only_.load(std::memory_order_acquire)) {
         return SendError(sock,
                          Status::Unavailable("read-only replica: CHECKPOINT "
-                                             "must run on the leader"));
+                                             "must run on the leader")
+                             .WithRetryAfter(50));
       }
       Status checkpointed = service_->Checkpoint();
       if (!checkpointed.ok()) return SendError(sock, checkpointed);
@@ -424,10 +471,11 @@ Status Server::Dispatch(Conn* conn, Socket* sock, const Frame& frame,
     }
 
     case MsgType::kLoadRelation: {
-      if (options_.read_only) {
+      if (read_only_.load(std::memory_order_acquire)) {
         return SendError(sock, Status::Unavailable(
                                    "read-only replica: writes must go to "
-                                   "the leader"));
+                                   "the leader")
+                                   .WithRetryAfter(50));
       }
       std::string name;
       Relation relation;
@@ -442,6 +490,27 @@ Status Server::Dispatch(Conn* conn, Socket* sock, const Frame& frame,
           service_->ReplaceRelation(conn->session, name, std::move(relation));
       if (!loaded.ok()) return SendError(sock, loaded);
       return reply(MsgType::kOk, {});
+    }
+
+    case MsgType::kPromote: {
+      if (!read_only_.load(std::memory_order_acquire)) {
+        // Already the leader: echo the current term (idempotent — the
+        // client that retried a PROMOTE after a lost ack sees success).
+        Writer w;
+        w.PutU64(term_.load(std::memory_order_acquire));
+        return reply(MsgType::kPromoted, w.buffer());
+      }
+      if (!options_.promote_handler) {
+        return SendError(sock, Status::Unavailable(
+                                   "this replica has no promotion handler "
+                                   "attached"));
+      }
+      Result<Promotion> promoted = options_.promote_handler();
+      if (!promoted.ok()) return SendError(sock, promoted.status());
+      Promote(promoted->term, promoted->store);
+      Writer w;
+      w.PutU64(promoted->term);
+      return reply(MsgType::kPromoted, w.buffer());
     }
 
     case MsgType::kShipWal: {
@@ -461,7 +530,7 @@ Status Server::Dispatch(Conn* conn, Socket* sock, const Frame& frame,
 
 Status Server::SendSnapshot(Socket* sock) {
   Result<DurableStore::ReplicationSnapshot> snapshot =
-      options_.store->SnapshotForReplica();
+      store_.load(std::memory_order_acquire)->SnapshotForReplica();
   if (!snapshot.ok()) return SendError(sock, snapshot.status());
   const size_t image_bytes = snapshot->pages.size() * kPageSize;
   if (image_bytes + 64 > kMaxFramePayload) {
@@ -477,6 +546,7 @@ Status Server::SendSnapshot(Socket* sock) {
   for (const Page& page : snapshot->pages) {
     w.PutBytes(page.data.data(), kPageSize);
   }
+  w.PutU64(term_.load(std::memory_order_acquire));
   ship_snapshots_->Increment();
   uint64_t sent = 0;
   Status out = WriteFrame(sock, MsgType::kSnapshot, w.buffer(), &sent);
@@ -485,7 +555,8 @@ Status Server::SendSnapshot(Socket* sock) {
 }
 
 Status Server::HandleShipWal(Socket* sock, uint64_t from_lsn) {
-  if (options_.store == nullptr) {
+  DurableStore* store = store_.load(std::memory_order_acquire);
+  if (store == nullptr) {
     return SendError(sock, Status::Unavailable(
                                "no durable store attached: this server "
                                "cannot ship its WAL"));
@@ -494,7 +565,7 @@ Status Server::HandleShipWal(Socket* sock, uint64_t from_lsn) {
 
   std::vector<std::vector<uint8_t>> records;
   uint64_t next_lsn = 0;
-  Status read = options_.store->ReadShipment(from_lsn, &records, &next_lsn);
+  Status read = store->ReadShipment(from_lsn, &records, &next_lsn);
   if (read.code() == StatusCode::kOutOfRange) {
     // The log no longer covers the follower's position (a checkpoint
     // truncated it, or the follower is from another timeline): the only
@@ -509,6 +580,7 @@ Status Server::HandleShipWal(Socket* sock, uint64_t from_lsn) {
   std::vector<std::vector<uint8_t>*> to_send;
   to_send.reserve(records.size());
   for (std::vector<uint8_t>& record : records) to_send.push_back(&record);
+  bool cut = false;
   for (size_t i = 0; i < to_send.size(); ++i) {
     const uint64_t seq = ship_seq_.fetch_add(1) + 1;
     if (faults.drop_at == seq) {
@@ -516,11 +588,21 @@ Status Server::HandleShipWal(Socket* sock, uint64_t from_lsn) {
       --i;
       continue;
     }
+    if (faults.cut_at == seq) {
+      // Leader "crash" mid-shipment: everything from this batch on is
+      // lost and the connection dies without a SHIP_END.
+      to_send.resize(i);
+      cut = true;
+      break;
+    }
     if (faults.truncate_at == seq) {
       to_send[i]->resize(to_send[i]->size() / 2);
     }
     if (faults.corrupt_at == seq && !to_send[i]->empty()) {
       (*to_send[i])[to_send[i]->size() / 2] ^= 0x5a;
+    }
+    if (faults.delay_at == seq && faults.delay_ms > 0) {
+      SleepForMs(faults.delay_ms);
     }
     if (faults.reorder_at == seq && i + 1 < to_send.size()) {
       std::swap(to_send[i], to_send[i + 1]);
@@ -534,8 +616,13 @@ Status Server::HandleShipWal(Socket* sock, uint64_t from_lsn) {
     bytes_out_->Add(sent);
     CCDB_RETURN_IF_ERROR(wrote);
   }
+  if (cut) {
+    sock->ShutdownBoth();
+    return Status::Unavailable("ship cut by fault injection");
+  }
   Writer w;
   w.PutU64(next_lsn);
+  w.PutU64(term_.load(std::memory_order_acquire));
   uint64_t sent = 0;
   Status out = WriteFrame(sock, MsgType::kShipEnd, w.buffer(), &sent);
   bytes_out_->Add(sent);

@@ -26,11 +26,22 @@
 /// injects dropped / truncated / corrupted / reordered shipments for
 /// re-sync testing.
 ///
+/// The server also carries the *leader term* — a monotone epoch number
+/// that fences a revived stale leader: every HELLO_OK / SHIP_END /
+/// SNAPSHOT frame announces the server's term, clients echo the highest
+/// term they have seen back in HELLO, and a *writable* server whose own
+/// term is older refuses the handshake with kFailedPrecondition. A
+/// `PROMOTE` request flips a read-only front-end into a writable leader
+/// under a new term via the attached `promote_handler` (usually
+/// `Replica::Promote`).
+///
 /// Shutdown() is a graceful drain: stop accepting, shut down every live
 /// connection's socket (unblocking its protocol loop), join all threads,
 /// close all sessions.
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,6 +67,18 @@ struct ShipFaults {
   uint64_t truncate_at = 0;  ///< ship only the first half of its bytes
   uint64_t corrupt_at = 0;   ///< flip one byte of its body
   uint64_t reorder_at = 0;   ///< swap it with the next batch (same shipment)
+  /// Cut the connection instead of shipping the Nth batch — the leader
+  /// "crashes" mid-shipment (the follower sees a torn stream).
+  uint64_t cut_at = 0;
+  uint64_t delay_at = 0;     ///< stall before shipping the Nth batch...
+  double delay_ms = 0;       ///< ...for this long
+};
+
+/// What a successful promotion hands the server: the new leader term and
+/// the (freshly writable) durable store to serve writes from.
+struct Promotion {
+  uint64_t term = 0;
+  DurableStore* store = nullptr;  ///< not owned; must outlive the server
 };
 
 /// Construction-time knobs of a Server.
@@ -69,6 +92,15 @@ struct ServerOptions {
   /// replication). Not owned; must outlive the server.
   DurableStore* store = nullptr;
   std::string server_name = "ccdb";
+  /// The leader term this server starts at. Leaders default to 1;
+  /// replica front-ends conventionally start at 0 and learn their real
+  /// term at promotion.
+  uint64_t term = 1;
+  /// Invoked by a PROMOTE request against a read-only server; performs
+  /// the actual catch-up + store reopen (usually `Replica::Promote`) and
+  /// returns the new term and writable store. Absent → PROMOTE answers
+  /// kUnavailable.
+  std::function<Result<Promotion>()> promote_handler;
   ShipFaults ship_faults;     ///< replication fault injection (tests)
   /// Optional structured event log receiving connection open/close and
   /// HELLO version-skew events. Not owned; must outlive the server.
@@ -92,6 +124,20 @@ class Server {
 
   /// The bound port (stable after Start).
   uint16_t port() const { return port_; }
+
+  /// The current leader term this server serves under.
+  uint64_t term() const { return term_.load(std::memory_order_acquire); }
+
+  /// True while this server refuses writes (replica front-end).
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
+  /// Flips this server into a writable leader serving under `term` from
+  /// `store` (not owned; must outlive the server). Normally reached via
+  /// the wire PROMOTE request, but callable directly (`\promote` against
+  /// an embedded server). Idempotent once writable.
+  void Promote(uint64_t term, DurableStore* store);
 
   /// Stops accepting, unblocks and joins every connection thread, closes
   /// their sessions. Idempotent.
@@ -143,6 +189,12 @@ class Server {
   ServerOptions options_;
   Listener listener_;
   uint16_t port_ = 0;
+
+  // Failover state: all three flip together at Promote(). Atomics (not
+  // options_ reads) so connection threads observe the flip without locks.
+  std::atomic<uint64_t> term_{1};
+  std::atomic<bool> read_only_{false};
+  std::atomic<DurableStore*> store_{nullptr};
 
   mutable Mutex mu_;
   bool stopping_ CCDB_GUARDED_BY(mu_) = false;

@@ -200,14 +200,17 @@ std::string StatusServer::MetricsBody() const {
 
 std::string StatusServer::HealthzBody() const {
   const obs::MetricsRegistry::Snapshot snapshot = server_->MergedSnapshot();
-  const bool is_replica = options_.replica != nullptr;
+  // Role is dynamic: a promoted replica front-end reports "leader" from
+  // the moment Server::Promote flips it.
+  const bool is_replica = server_->read_only();
   std::string out = "{\"status\":\"ok\",\"role\":\"";
   out += is_replica ? "replica" : "leader";
-  out += "\",\"version\":\"" + obs::JsonEscape(obs::BuildVersion()) + "\"";
+  out += "\",\"term\":" + std::to_string(server_->term());
+  out += ",\"version\":\"" + obs::JsonEscape(obs::BuildVersion()) + "\"";
   out += ",\"catalog_epoch\":" +
          std::to_string(snapshot.Value(obs::names::kCatalogEpoch));
   out += ",\"wal_lsn\":" + std::to_string(snapshot.Value(obs::names::kWalLsn));
-  if (is_replica) {
+  if (is_replica && options_.replica != nullptr) {
     const Replica::Stats stats = options_.replica->stats();
     out += ",\"replica\":{\"applied_lsn\":" + std::to_string(stats.applied_lsn);
     out += ",\"leader_next_lsn\":" + std::to_string(stats.leader_next_lsn);

@@ -56,6 +56,7 @@ bool IsKnownMsgType(uint8_t type) {
     case MsgType::kShipWal:
     case MsgType::kFetchTrace:
     case MsgType::kMetricsSnapshot:
+    case MsgType::kPromote:
     case MsgType::kOk:
     case MsgType::kError:
     case MsgType::kResult:
@@ -70,6 +71,7 @@ bool IsKnownMsgType(uint8_t type) {
     case MsgType::kShipEnd:
     case MsgType::kTraceTree:
     case MsgType::kMetricsSnapshotData:
+    case MsgType::kPromoted:
       return true;
   }
   return false;
@@ -91,6 +93,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kShipWal: return "SHIP_WAL";
     case MsgType::kFetchTrace: return "FETCH_TRACE";
     case MsgType::kMetricsSnapshot: return "METRICS_SNAPSHOT";
+    case MsgType::kPromote: return "PROMOTE";
     case MsgType::kOk: return "OK";
     case MsgType::kError: return "ERROR";
     case MsgType::kResult: return "RESULT";
@@ -105,6 +108,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kShipEnd: return "SHIP_END";
     case MsgType::kTraceTree: return "TRACE_TREE";
     case MsgType::kMetricsSnapshotData: return "METRICS_SNAPSHOT_DATA";
+    case MsgType::kPromoted: return "PROMOTED";
   }
   return "?";
 }
@@ -179,6 +183,7 @@ void PutQueryOptions(Writer* w, const service::QueryOptions& opts) {
                                           : 0);
   w->PutU64(opts.trip_at_check);
   w->PutU64(opts.trace_id);
+  w->PutU64(opts.request_id);
   // QueryOptions::cancel is a process-local token; remote cancellation
   // goes through the CANCEL request instead.
 }
@@ -196,6 +201,7 @@ Status GetQueryOptions(Reader* r, service::QueryOptions* out) {
   CCDB_ASSIGN_OR_RETURN(uint8_t partial, r->GetU8());
   CCDB_ASSIGN_OR_RETURN(uint64_t trip_at_check, r->GetU64());
   CCDB_ASSIGN_OR_RETURN(uint64_t trace_id, r->GetU64());
+  CCDB_ASSIGN_OR_RETURN(uint64_t request_id, r->GetU64());
   for (uint8_t flag : {has_deadline, has_tuples, has_constraints, has_memory}) {
     if (flag > 1) {
       return Status::InvalidArgument("query options: presence flag > 1");
@@ -217,6 +223,7 @@ Status GetQueryOptions(Reader* r, service::QueryOptions* out) {
   if (partial != 0) opts.allow_partial = (partial == 2);
   opts.trip_at_check = trip_at_check;
   opts.trace_id = trace_id;
+  opts.request_id = request_id;
   *out = std::move(opts);
   return Status::OK();
 }

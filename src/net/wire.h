@@ -40,7 +40,10 @@
 namespace ccdb::net {
 
 /// Bumped on any incompatible change; HELLO fails on mismatch.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2: leader-term fencing — HELLO carries the client's highest seen
+/// term, HELLO_OK / SHIP_END / SNAPSHOT carry the server's term, and the
+/// PROMOTE/PROMOTED pair exists.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Upper bound on a frame's payload. Large enough for a bootstrap
 /// snapshot of any disk the tests or benches build (16 Ki pages), small
@@ -53,7 +56,8 @@ inline constexpr size_t kFrameOverhead = 4 + 1 + 4;
 /// Frame types. Requests are < 64, responses >= 64.
 enum class MsgType : uint8_t {
   // --- Requests ---
-  kHello = 1,        ///< u32 version, string client name
+  kHello = 1,        ///< u32 version, string client name,
+                     ///< u64 highest term the client has seen (fencing)
   kQuery = 2,        ///< string script, QueryOptions
   kSubmit = 3,       ///< string script, QueryOptions
   kWait = 4,         ///< u64 query id
@@ -69,6 +73,7 @@ enum class MsgType : uint8_t {
                         ///< return the structured span tree
   kMetricsSnapshot = 14,  ///< (empty) — merged service+net registry
                           ///< snapshot (the binary scrape surface)
+  kPromote = 15,     ///< (empty) — promote this replica to leader
 
   // --- Responses ---
   kOk = 64,          ///< (empty) — generic success
@@ -81,14 +86,15 @@ enum class MsgType : uint8_t {
   kNameList = 70,    ///< u32 n, n strings
   kRelationData = 71,  ///< relation
   kHelloOk = 72,     ///< u32 version, u8 read_only, u64 session id,
-                     ///< string server name
+                     ///< string server name, u64 leader term
   kSnapshot = 73,    ///< u64 next_lsn, u64 catalog_root, u32 n_pages,
-                     ///< n_pages x kPageSize raw images
+                     ///< n_pages x kPageSize raw images, u64 leader term
   kWalBatch = 74,    ///< raw committed WAL batch record bytes
-  kShipEnd = 75,     ///< u64 leader next_lsn
+  kShipEnd = 75,     ///< u64 leader next_lsn, u64 leader term
   kTraceTree = 76,   ///< u8 used_plan, string plan, u64 trace_id,
                      ///< TraceNode tree, QueryResponse
   kMetricsSnapshotData = 77,  ///< encoded MetricsRegistry::Snapshot
+  kPromoted = 78,    ///< u64 new leader term
 };
 
 /// True for a type byte this protocol version knows.

@@ -25,7 +25,10 @@ namespace ccdb::obs {
 
 /// One structured fleet event. `type` is a short stable tag — the set
 /// used by the engine: "conn_open", "conn_close", "hello_skew", "shed",
-/// "txn_conflict", "replica_resync", "checkpoint".
+/// "txn_conflict", "replica_resync", "checkpoint",
+/// "txn_abort_on_disconnect" (open transaction rolled back with its
+/// session), "promoted" (replica became leader under a new term), and
+/// "stale_leader" (a write or ship under an outdated term was fenced).
 struct Event {
   std::string type;
   uint64_t conn_id = 0;    ///< network connection id (0 = n/a)

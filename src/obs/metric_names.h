@@ -47,6 +47,12 @@ inline constexpr char kCatalogEpoch[] = "catalog.epoch";  // gauge
 /// Conflicts per 1000 commit attempts (permille; gauge, computed at
 /// exposition time so scrapers get a rate without delta arithmetic).
 inline constexpr char kTxnConflictRate[] = "txn.conflict_rate";  // gauge
+/// Retried COMMITs answered from the bounded request-id dedup table
+/// (the retry re-read the original outcome; nothing re-applied).
+inline constexpr char kTxnDedupHits[] = "txn.dedup_hits";
+/// Open transactions rolled back because their session closed (client
+/// disconnected, or the session was closed with a transaction open).
+inline constexpr char kTxnAbortsOnDisconnect[] = "txn.aborts_on_disconnect";
 
 // --- Service view (gauges, published at snapshot time) ---
 inline constexpr char kQueueDepth[] = "queue.depth";
@@ -66,6 +72,9 @@ inline constexpr char kReplicaLagBatches[] = "replica.lag_batches";
 inline constexpr char kReplicaLagBytes[] = "replica.lag_bytes";
 inline constexpr char kReplicaLastApplyLsn[] = "replica.last_apply_lsn";
 inline constexpr char kReplicaResyncs[] = "replica.resyncs";
+/// Current sync-retry backoff in milliseconds (gauge; 0 while the leader
+/// is healthy, grows exponentially — capped — while it is unreachable).
+inline constexpr char kReplicaBackoffMs[] = "replica.backoff_ms";
 
 // --- Process identity (gauges, published at exposition time) ---
 inline constexpr char kProcessUptimeSeconds[] = "process.uptime_seconds";
@@ -83,6 +92,9 @@ inline constexpr char kNetFramesIn[] = "net.frames_in";
 inline constexpr char kNetProtocolErrors[] = "net.protocol_errors";
 inline constexpr char kNetShipBatches[] = "net.ship.batches";
 inline constexpr char kNetShipSnapshots[] = "net.ship.snapshots";
+/// Leader term this server is serving under (gauge; bumped by promotion,
+/// the fencing token carried in HELLO_OK / SHIP_END / SNAPSHOT).
+inline constexpr char kNetTerm[] = "net.term";
 
 // --- Per-query distributions (histograms) ---
 inline constexpr char kQueryLatencyUs[] = "query.latency_us";
@@ -102,15 +114,17 @@ inline std::vector<const char*> AllMetricNames() {
       kGovCancels,        kGovSheds,           kGovTruncated,
       kTxnBegins,         kTxnCommits,         kTxnRollbacks,
       kTxnConflicts,      kCatalogEpoch,       kTxnConflictRate,
+      kTxnDedupHits,      kTxnAbortsOnDisconnect,
       kQueueDepth,        kQueueHighWater,     kSessionsOpen,
       kCacheHits,         kCacheMisses,        kCacheEntries,
       kWalBytes,          kWalBatches,         kWalFsyncs,
       kWalCheckpoints,    kWalLsn,             kReplicaLagBatches,
       kReplicaLagBytes,   kReplicaLastApplyLsn, kReplicaResyncs,
-      kProcessUptimeSeconds, kProcessStartTime, kBuildInfo,
-      kNetConnectionsOpen, kNetConnectionsTotal, kNetBytesIn,
-      kNetBytesOut,       kNetFramesIn,        kNetProtocolErrors,
-      kNetShipBatches,    kNetShipSnapshots,   kQueryLatencyUs,
+      kReplicaBackoffMs,  kProcessUptimeSeconds, kProcessStartTime,
+      kBuildInfo,         kNetConnectionsOpen, kNetConnectionsTotal,
+      kNetBytesIn,        kNetBytesOut,        kNetFramesIn,
+      kNetProtocolErrors, kNetShipBatches,     kNetShipSnapshots,
+      kNetTerm,           kQueryLatencyUs,
       kQueryFmEliminations, kQueryTuplesOut,
   };
 }

@@ -104,10 +104,14 @@ struct QueryService::Task {
   bool externally_cancellable = false;
   /// Client-assigned correlation id; stamps the slow-query log line.
   uint64_t trace_id = 0;
+  /// Client-minted idempotency key; a COMMIT statement records/reads the
+  /// dedup table under it (0 = no idempotency).
+  uint64_t request_id = 0;
 };
 
 QueryService::QueryService(Database* base, ServiceOptions options)
     : options_(options),
+      store_(options.store),
       cache_(options.cache_capacity),
       paused_(options.start_paused),
       submitted_(registry_.GetCounter(obs::names::kQueriesSubmitted)),
@@ -127,6 +131,9 @@ QueryService::QueryService(Database* base, ServiceOptions options)
       txn_commits_(registry_.GetCounter(obs::names::kTxnCommits)),
       txn_rollbacks_(registry_.GetCounter(obs::names::kTxnRollbacks)),
       txn_conflicts_(registry_.GetCounter(obs::names::kTxnConflicts)),
+      txn_dedup_hits_(registry_.GetCounter(obs::names::kTxnDedupHits)),
+      txn_aborts_on_disconnect_(
+          registry_.GetCounter(obs::names::kTxnAbortsOnDisconnect)),
       gov_deadline_hits_(registry_.GetCounter(obs::names::kGovDeadlineHits)),
       gov_budget_trips_(registry_.GetCounter(obs::names::kGovBudgetTrips)),
       gov_cancels_(registry_.GetCounter(obs::names::kGovCancels)),
@@ -164,9 +171,22 @@ Status QueryService::CloseSession(SessionId id) {
     sessions_.erase(it);
   }
   // An open transaction dies with its session: the staged writes were
-  // never published, so dropping them IS the rollback — count it.
+  // never published, so dropping them IS the rollback — count it. The
+  // disconnect-abort counter and event let operators tell "client chose
+  // ROLLBACK" from "client vanished mid-transaction".
   MutexLock lock(session->mu);
-  if (session->in_txn) txn_rollbacks_->Increment();
+  if (session->in_txn) {
+    txn_rollbacks_->Increment();
+    txn_aborts_on_disconnect_->Increment();
+    if (options_.event_log != nullptr) {
+      obs::Event event;
+      event.type = "txn_abort_on_disconnect";
+      event.session = id;
+      event.detail = "txn " + std::to_string(session->txn_id) +
+                     " rolled back: session closed while open";
+      options_.event_log->Emit(event);
+    }
+  }
   return Status::OK();
 }
 
@@ -222,6 +242,7 @@ Result<Submission> QueryService::Submit(SessionId id, std::string script,
   task->cancel = opts.cancel ? opts.cancel
                              : std::make_shared<obs::CancelFlag>(false);
   task->trace_id = opts.trace_id;
+  task->request_id = opts.request_id;
   Submission submission;
   submission.query_id = task->query_id;
   submission.future = task->promise.get_future();
@@ -427,7 +448,7 @@ void QueryService::WorkerLoop() {
         exec.FullCheck();
         if (exec.aborting()) return exec.trip_status();
         auto r = RunScript(task->session.get(), task->script, task->snapshot,
-                           span_trace ? &trace : nullptr);
+                           task->request_id, span_trace ? &trace : nullptr);
         counters = scope.counters();
         // Backstop over RunScript's trailing check-point: once an abort
         // has latched, FM helpers bail early and return semantically
@@ -522,6 +543,7 @@ void QueryService::DrainCounters(const obs::LayerCounters& counters) {
 Result<QueryResponse> QueryService::RunScript(Session* session,
                                               const std::string& script,
                                               const SnapshotPtr& pinned,
+                                              uint64_t request_id,
                                               obs::TraceNode* trace) {
   // Transaction controls are whole-statement keywords, dispatched before
   // the step-statement parser ever sees them. Routing them through the
@@ -536,7 +558,7 @@ Result<QueryResponse> QueryService::RunScript(Session* session,
       return response;
     }
     case lang::TxnStatement::kCommit: {
-      CCDB_RETURN_IF_ERROR(CommitTxn(session));
+      CCDB_RETURN_IF_ERROR(CommitTxn(session, request_id));
       QueryResponse response;
       response.step = "COMMIT";
       return response;
@@ -707,7 +729,30 @@ Status QueryService::RollbackTxn(Session* session) {
   return Status::OK();
 }
 
-Status QueryService::CommitTxn(Session* session) {
+Status QueryService::CommitTxn(Session* session, uint64_t request_id) {
+  // Idempotent retry: a COMMIT whose acknowledgement was lost arrives
+  // again — usually on a fresh session after a reconnect, with no open
+  // transaction — and must observe the original outcome, not re-apply
+  // and not report a spurious "no transaction in progress".
+  if (request_id != 0) {
+    if (std::optional<Status> prior = LookupRequestOutcome(request_id)) {
+      txn_dedup_hits_->Increment();
+      return *prior;
+    }
+  }
+  Status outcome = CommitTxnImpl(session, request_id);
+  // Record every *decided* commit — success, conflict, or storage
+  // failure — so the retry replays the decision. "No transaction in
+  // progress" is not a decision about this request id (the transaction
+  // never reached COMMIT) and stays unrecorded.
+  if (request_id != 0 &&
+      outcome.code() != StatusCode::kInvalidArgument) {
+    RecordRequestOutcome(request_id, outcome);
+  }
+  return outcome;
+}
+
+Status QueryService::CommitTxnImpl(Session* session, uint64_t request_id) {
   MutexLock session_lock(session->mu);
   if (!session->in_txn) {
     return Status::InvalidArgument("no transaction in progress");
@@ -764,22 +809,57 @@ Status QueryService::CommitTxn(Session* session) {
     txn_commits_->Increment();
     return Status::OK();
   }
-  CCDB_RETURN_IF_ERROR(CommitEditLocked(std::move(edit), txn_id));
+  CCDB_RETURN_IF_ERROR(CommitEditLocked(std::move(edit), txn_id, request_id));
   txn_commits_->Increment();
   return Status::OK();
 }
 
-Status QueryService::CommitEditLocked(CatalogEdit&& edit, uint64_t txn_id) {
+Status QueryService::CommitEditLocked(CatalogEdit&& edit, uint64_t txn_id,
+                                      uint64_t request_id) {
   std::shared_ptr<CatalogSnapshot> candidate = edit.Build();
-  if (options_.store != nullptr) {
+  DurableStore* store = store_.load(std::memory_order_acquire);
+  if (store != nullptr) {
     // Durability before visibility: journal the candidate as one WAL
-    // batch tagged with the transaction id. Reading through the view
-    // serializes the snapshot without deep-copying a single relation.
+    // batch tagged with the transaction and request ids. Reading through
+    // the view serializes the snapshot without deep-copying a relation.
     SnapshotReadView view(candidate);
-    CCDB_RETURN_IF_ERROR(options_.store->CommitCatalog(view, txn_id));
+    CCDB_RETURN_IF_ERROR(store->CommitCatalog(view, txn_id, request_id));
   }
   catalog_.PublishSnapshot(std::move(candidate));
   return Status::OK();
+}
+
+void QueryService::AttachStore(DurableStore* store) {
+  MutexLock commit_lock(commit_mu_);
+  store_.store(store, std::memory_order_release);
+}
+
+void QueryService::RecordCommittedRequest(uint64_t request_id) {
+  RecordRequestOutcome(request_id, Status::OK());
+}
+
+void QueryService::RecordRequestOutcome(uint64_t request_id,
+                                        const Status& outcome) {
+  if (request_id == 0) return;
+  MutexLock lock(dedup_mu_);
+  auto [it, inserted] = dedup_results_.emplace(request_id, outcome);
+  if (!inserted) {
+    it->second = outcome;
+    return;
+  }
+  dedup_fifo_.push_back(request_id);
+  while (dedup_fifo_.size() > kDedupCapacity) {
+    dedup_results_.erase(dedup_fifo_.front());
+    dedup_fifo_.pop_front();
+  }
+}
+
+std::optional<Status> QueryService::LookupRequestOutcome(
+    uint64_t request_id) const {
+  MutexLock lock(dedup_mu_);
+  auto it = dedup_results_.find(request_id);
+  if (it == dedup_results_.end()) return std::nullopt;
+  return it->second;
 }
 
 Status QueryService::SessionWrite(SessionId id, WriteKind kind,
@@ -866,15 +946,16 @@ Status QueryService::DropRelation(const std::string& name) {
 
 Status QueryService::Checkpoint() {
   MutexLock commit_lock(commit_mu_);
-  if (options_.store == nullptr) {
+  DurableStore* store = store_.load(std::memory_order_acquire);
+  if (store == nullptr) {
     return Status::Unavailable("service has no durable store attached");
   }
-  CCDB_RETURN_IF_ERROR(options_.store->Checkpoint());
+  CCDB_RETURN_IF_ERROR(store->Checkpoint());
   if (options_.event_log != nullptr) {
     obs::Event event;
     event.type = "checkpoint";
     event.detail =
-        "wal truncated at lsn " + std::to_string(options_.store->next_lsn());
+        "wal truncated at lsn " + std::to_string(store->next_lsn());
     options_.event_log->Emit(event);
   }
   return Status::OK();
@@ -996,8 +1077,8 @@ ServiceMetrics QueryService::Metrics() const {
   m.cache_misses = cache.misses;
   m.cache_entries = cache.entries;
   if (options_.disk != nullptr) m.pages_read = options_.disk->stats().reads;
-  if (options_.store != nullptr) {
-    WalStats wal = options_.store->stats();
+  if (DurableStore* store = store_.load(std::memory_order_acquire)) {
+    WalStats wal = store->stats();
     m.wal_bytes = wal.bytes_appended;
     m.wal_batches = wal.batches_committed;
     m.wal_fsyncs = wal.fsyncs;
@@ -1028,8 +1109,8 @@ ServiceMetrics QueryService::Metrics() const {
 
 obs::MetricsRegistry::Snapshot QueryService::MetricsSnapshot() const {
   Metrics();  // publishes the component gauges into the registry
-  if (options_.store != nullptr) {
-    registry_.SetGauge(obs::names::kWalLsn, options_.store->next_lsn());
+  if (DurableStore* store = store_.load(std::memory_order_acquire)) {
+    registry_.SetGauge(obs::names::kWalLsn, store->next_lsn());
   }
   // Conflicts per 1000 commit attempts, so scrapers get a rate without
   // delta arithmetic; 0 while no transaction has tried to commit.

@@ -141,6 +141,14 @@ struct QueryOptions {
   /// the wire by the network protocol, so one id follows a request
   /// through every process it touches.
   uint64_t trace_id = 0;
+  /// Client-minted idempotency key (0 = none). A COMMIT carrying a
+  /// request id has its outcome registered in a bounded dedup table, so
+  /// a retry of the same COMMIT — after a lost acknowledgement — returns
+  /// the original outcome instead of re-applying or reporting a spurious
+  /// "no transaction in progress". The id is also journaled in the WAL
+  /// commit record, so a promoted replica can seed its own table from
+  /// the batches it applied.
+  uint64_t request_id = 0;
 };
 
 /// A successfully executed script.
@@ -296,6 +304,21 @@ class QueryService {
   /// `\checkpoint`). Fails with kUnavailable when no store is attached.
   Status Checkpoint();
 
+  /// Attaches (or replaces) the durable store every later commit
+  /// journals through. This is the promotion hook: a replica's service
+  /// runs storeless (reads only) until `Replica::Promote()` reopens the
+  /// disk writable and hands the new store here. Serializes against
+  /// in-flight commits on the commit mutex.
+  void AttachStore(DurableStore* store) CCDB_EXCLUDES(commit_mu_);
+
+  /// Records `request_id` (0 = ignored) as durably committed with an OK
+  /// outcome in the COMMIT dedup table. Promotion seeds the new leader's
+  /// table from the request ids journaled in every WAL batch it applied,
+  /// so a client whose COMMIT was acked by the old leader — or applied
+  /// but unacked — retries against the new leader and still gets
+  /// exactly-once semantics.
+  void RecordCommittedRequest(uint64_t request_id);
+
   // --- Reads for front-ends (shell `show`, `list`, ...) ---
 
   /// Copies a relation, resolving session steps before base relations.
@@ -346,21 +369,33 @@ class QueryService {
   /// slow-query log; cache hits leave the trace empty).
   Result<QueryResponse> RunScript(Session* session, const std::string& script,
                                   const SnapshotPtr& pinned,
+                                  uint64_t request_id = 0,
                                   obs::TraceNode* trace = nullptr);
   std::shared_ptr<Session> FindSession(SessionId id) const;
 
   // Transaction control on a resolved session (the public SessionId
   // overloads and the worker's statement dispatch both land here).
   Status BeginTxn(Session* session);
-  Status CommitTxn(Session* session);
+  Status CommitTxn(Session* session, uint64_t request_id = 0);
   Status RollbackTxn(Session* session);
+
+  /// CommitTxn minus the dedup wrapper: the actual conflict check,
+  /// journaling, and publication.
+  Status CommitTxnImpl(Session* session, uint64_t request_id);
 
   /// The one committed-write path: applies `edit` — conflict-checked
   /// staged transaction writes or a single autocommit mutation — as one
   /// WAL batch and one atomic snapshot publication. On any failure the
   /// candidate is discarded unpublished (version counters never move).
-  Status CommitEditLocked(CatalogEdit&& edit, uint64_t txn_id)
+  Status CommitEditLocked(CatalogEdit&& edit, uint64_t txn_id,
+                          uint64_t request_id = 0)
       CCDB_REQUIRES(commit_mu_);
+
+  /// Dedup-table internals (leaf mutex; never held across commits).
+  void RecordRequestOutcome(uint64_t request_id, const Status& outcome)
+      CCDB_EXCLUDES(dedup_mu_);
+  std::optional<Status> LookupRequestOutcome(uint64_t request_id) const
+      CCDB_EXCLUDES(dedup_mu_);
 
   /// A session-scoped write: stages into the open transaction, or
   /// autocommits when none is open.
@@ -395,7 +430,22 @@ class QueryService {
   /// Acquired after a session mutex, before the store's internal mutex.
   mutable Mutex commit_mu_;
   std::atomic<uint64_t> next_txn_id_{1};
+  /// The durable store commits journal through. Atomic because
+  /// AttachStore (promotion) may swap it while metric snapshots read it;
+  /// commit-path readers hold commit_mu_, so a commit never straddles a
+  /// swap.
+  std::atomic<DurableStore*> store_;
   ResultCache cache_;
+
+  /// COMMIT idempotency: the outcomes of the most recent request-id
+  /// carrying commits, FIFO-bounded at kDedupCapacity so a chatty client
+  /// cannot grow it without bound. Eviction is oldest-first — a retry
+  /// arriving after 4096 newer decided commits is outside the window and
+  /// sees normal (non-dedup) semantics.
+  static constexpr size_t kDedupCapacity = 4096;
+  mutable Mutex dedup_mu_;
+  std::map<uint64_t, Status> dedup_results_ CCDB_GUARDED_BY(dedup_mu_);
+  std::deque<uint64_t> dedup_fifo_ CCDB_GUARDED_BY(dedup_mu_);
 
   // Task queue. `running_` counts tasks popped but not yet finished (for
   // admission-control cost estimates); `running_cancels_` maps in-flight
@@ -439,6 +489,8 @@ class QueryService {
   obs::Counter* txn_commits_;
   obs::Counter* txn_rollbacks_;
   obs::Counter* txn_conflicts_;
+  obs::Counter* txn_dedup_hits_;
+  obs::Counter* txn_aborts_on_disconnect_;
   obs::Counter* gov_deadline_hits_;
   obs::Counter* gov_budget_trips_;
   obs::Counter* gov_cancels_;

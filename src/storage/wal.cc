@@ -12,7 +12,8 @@ namespace ccdb {
 namespace {
 
 // On-disk framing constants. A batch record is
-//   [u32 kBatchMagic][u64 lsn][u64 catalog_root][u64 txn_id][u32 n_frames]
+//   [u32 kBatchMagic][u64 lsn][u64 catalog_root][u64 txn_id]
+//   [u64 request_id][u32 n_frames]
 //   n_frames x ([u64 page_id][kPageSize image])
 //   [u32 crc over lsn..frames][u32 kCommitMagic]
 // streamed across log pages of layout [u64 next][payload]. `txn_id` is 0
@@ -20,11 +21,13 @@ namespace {
 // batch carrying its id, so batch atomicity (one CRC-framed record,
 // all-or-nothing replay) *is* transaction atomicity — recovery and the
 // shipping replica never see a partial transaction by construction.
+// `request_id` (0 = unkeyed) is the client's idempotency key, journaled
+// so a promoted replica can seed its commit dedup table from the log.
 constexpr uint32_t kHeaderMagic = 0x57414C48;  // "WALH"
 constexpr uint32_t kBatchMagic = 0x57414C42;   // "WALB"
 constexpr uint32_t kCommitMagic = 0x57414C43;  // "WALC"
 constexpr size_t kFrameSize = 8 + kPageSize;
-constexpr size_t kRecordHeader = 32;        // magic + lsn + root + txn + n
+constexpr size_t kRecordHeader = 40;  // magic + lsn + root + txn + req + n
 constexpr size_t kRecordOverhead = kRecordHeader + 8;  // + crc + commit
 constexpr uint32_t kMaxFrames = 1u << 20;   // sanity bound while parsing
 
@@ -71,7 +74,8 @@ enum class RecordProbe {
 struct RecordView {
   uint64_t lsn = 0;
   PageId catalog_root = kInvalidPageId;
-  uint64_t txn_id = 0;     ///< 0 = autocommit batch
+  uint64_t txn_id = 0;      ///< 0 = autocommit batch
+  uint64_t request_id = 0;  ///< 0 = unkeyed commit
   uint32_t n_frames = 0;
   size_t frames_at = 0;    ///< offset of the first frame, from record start
   size_t total_size = 0;   ///< whole record incl. CRC and commit marker
@@ -88,7 +92,8 @@ RecordProbe ProbeRecord(const uint8_t* data, size_t len, size_t pos,
   out->lsn = LoadU64(data + pos + 4);
   out->catalog_root = LoadU64(data + pos + 12);
   out->txn_id = LoadU64(data + pos + 20);
-  out->n_frames = LoadU32(data + pos + 28);
+  out->request_id = LoadU64(data + pos + 28);
+  out->n_frames = LoadU32(data + pos + 36);
   if (out->n_frames > kMaxFrames) return RecordProbe::kTorn;
   const size_t body =
       kRecordHeader + static_cast<size_t>(out->n_frames) * kFrameSize;
@@ -287,13 +292,15 @@ Status WriteAheadLog::AppendBytes(const std::vector<uint8_t>& bytes) {
 }
 
 Status WriteAheadLog::CommitBatch(const std::vector<WalFrame>& frames,
-                                  PageId catalog_root, uint64_t txn_id) {
+                                  PageId catalog_root, uint64_t txn_id,
+                                  uint64_t request_id) {
   std::vector<uint8_t> record;
   record.reserve(kRecordOverhead + frames.size() * kFrameSize);
   AppendU32(&record, kBatchMagic);
   AppendU64(&record, next_lsn_);
   AppendU64(&record, catalog_root);
   AppendU64(&record, txn_id);
+  AppendU64(&record, request_id);
   AppendU32(&record, static_cast<uint32_t>(frames.size()));
   for (const WalFrame& frame : frames) {
     AppendU64(&record, frame.page_id);
@@ -432,6 +439,7 @@ Status ParseShippedBatch(const std::vector<uint8_t>& record,
   out->lsn = view.lsn;
   out->catalog_root = view.catalog_root;
   out->txn_id = view.txn_id;
+  out->request_id = view.request_id;
   out->frames.clear();
   out->frames.reserve(view.n_frames);
   for (uint32_t f = 0; f < view.n_frames; ++f) {
@@ -482,7 +490,8 @@ Status WalPager::Write(PageId id, const Page& page) {
   return base_->Write(id, page);
 }
 
-Status WalPager::Commit(PageId catalog_root, uint64_t txn_id) {
+Status WalPager::Commit(PageId catalog_root, uint64_t txn_id,
+                        uint64_t request_id) {
   in_batch_ = false;
   if (batch_poisoned_) {
     staged_.clear();
@@ -493,7 +502,8 @@ Status WalPager::Commit(PageId catalog_root, uint64_t txn_id) {
   for (const auto& [id, image] : staged_) {
     frames.push_back(WalFrame{id, image});
   }
-  Status committed = wal_->CommitBatch(frames, catalog_root, txn_id);
+  Status committed =
+      wal_->CommitBatch(frames, catalog_root, txn_id, request_id);
   if (!committed.ok()) {
     staged_.clear();
     return committed;
@@ -550,7 +560,20 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
   return store;
 }
 
-Status DurableStore::CommitCatalog(const Database& db, uint64_t txn_id) {
+Result<std::unique_ptr<DurableStore>> DurableStore::CreateAtRoot(
+    PageManager* disk, PageId catalog_root, size_t cache_capacity) {
+  std::unique_ptr<DurableStore> store(new DurableStore(disk, cache_capacity));
+  MutexLock lock(store->mu_);
+  // A fresh log on the adopted disk; the existing pages (including the
+  // catalog at `catalog_root`) are untouched and become the new leader's
+  // base state.
+  CCDB_RETURN_IF_ERROR(store->wal_.Create());
+  store->catalog_root_ = catalog_root;
+  return store;
+}
+
+Status DurableStore::CommitCatalog(const Database& db, uint64_t txn_id,
+                                   uint64_t request_id) {
   MutexLock lock(mu_);
   wal_pager_.Begin();
   Result<PageId> root = SaveDatabase(&pool_, db);
@@ -559,7 +582,7 @@ Status DurableStore::CommitCatalog(const Database& db, uint64_t txn_id) {
     pool_.Clear();  // drop cached copies of the aborted pages
     return root.status();
   }
-  Status committed = wal_pager_.Commit(*root, txn_id);
+  Status committed = wal_pager_.Commit(*root, txn_id, request_id);
   if (!committed.ok()) {
     pool_.Clear();
     return committed;

@@ -88,6 +88,10 @@ struct ShippedBatch {
   /// batches. A multi-statement transaction is exactly one batch, so a
   /// parsed record is always a whole transaction.
   uint64_t txn_id = 0;
+  /// Client-minted idempotency key of the commit that produced this
+  /// batch; 0 for local/unkeyed commits. Replicas feed it to the service
+  /// dedup table so a retried COMMIT stays deduplicated across failover.
+  uint64_t request_id = 0;
   std::vector<WalFrame> frames;
 };
 
@@ -116,13 +120,14 @@ class WriteAheadLog {
   Status Open(PageId header_page);
 
   /// Journals one batch; `catalog_root` is the batch's commit metadata
-  /// (the catalog root the database has after this batch) and `txn_id`
-  /// tags the batch with the committing transaction (0 = autocommit).
+  /// (the catalog root the database has after this batch), `txn_id` tags
+  /// the batch with the committing transaction (0 = autocommit), and
+  /// `request_id` carries the client's idempotency key (0 = unkeyed).
   /// Returns OK iff the commit record is durable — the acknowledgment
   /// point. On failure the in-memory append position is rolled back so
   /// the next commit overwrites the torn record.
   Status CommitBatch(const std::vector<WalFrame>& frames, PageId catalog_root,
-                     uint64_t txn_id = 0);
+                     uint64_t txn_id = 0, uint64_t request_id = 0);
 
   /// Checkpoint: persists `catalog_root` and the LSN floor in the header,
   /// then zeroes the log chain so recovery replays nothing.
@@ -206,11 +211,13 @@ class WalPager : public PageManager {
   /// Starts staging a batch. Batches do not nest.
   void Begin();
 
-  /// Journals the staged pages with `catalog_root` (and the committing
-  /// transaction's id, 0 = autocommit) as commit metadata and applies
-  /// them. Returns OK iff the batch is durable in the log; on failure the
-  /// staged writes are discarded (the batch never happened).
-  Status Commit(PageId catalog_root, uint64_t txn_id = 0);
+  /// Journals the staged pages with `catalog_root` (plus the committing
+  /// transaction's id and the client's idempotency key, both 0 when
+  /// absent) as commit metadata and applies them. Returns OK iff the
+  /// batch is durable in the log; on failure the staged writes are
+  /// discarded (the batch never happened).
+  Status Commit(PageId catalog_root, uint64_t txn_id = 0,
+                uint64_t request_id = 0);
 
   /// Discards the staged writes.
   void Abort();
@@ -263,6 +270,15 @@ class DurableStore {
   static Result<std::unique_ptr<DurableStore>> Open(
       PageManager* disk, PageId wal_root, size_t cache_capacity = 64);
 
+  /// Promotion path: adopts an existing disk whose pages already hold a
+  /// consistent catalog at `catalog_root` (a caught-up replica's state)
+  /// and formats a *fresh* WAL on it, making the store writable. Unlike
+  /// `Open`, nothing is replayed — the replica applied every shipped
+  /// batch before calling this. The next commit starts at LSN 1 of the
+  /// new leader's log.
+  static Result<std::unique_ptr<DurableStore>> CreateAtRoot(
+      PageManager* disk, PageId catalog_root, size_t cache_capacity = 64);
+
   /// Saves `db` as one logged atomic batch (a snapshot read view works —
   /// `db` is only read through its virtual interface). `txn_id` tags the
   /// batch's commit record (0 = autocommit), making a multi-statement
@@ -270,8 +286,8 @@ class DurableStore {
   /// shipping replica. Returns OK iff the batch is durable — the write is
   /// acknowledged only after the WAL commit record is on disk. On failure
   /// the store's state is unchanged.
-  Status CommitCatalog(const Database& db, uint64_t txn_id = 0)
-      CCDB_EXCLUDES(mu_);
+  Status CommitCatalog(const Database& db, uint64_t txn_id = 0,
+                       uint64_t request_id = 0) CCDB_EXCLUDES(mu_);
 
   /// Loads the last committed catalog (empty when none was ever
   /// committed).

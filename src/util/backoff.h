@@ -1,0 +1,80 @@
+#ifndef CCDB_UTIL_BACKOFF_H_
+#define CCDB_UTIL_BACKOFF_H_
+
+/// \file backoff.h
+/// The shared retry-backoff policy: capped exponential delay with
+/// deterministic jitter.
+///
+/// Every retry loop in the tree — the replica's continuous-sync thread,
+/// `net::ResilientClient`'s reconnect path — goes through this helper
+/// instead of hand-rolling a delay (`tools/ccdb_lint.py` bans raw sleep
+/// calls in `src/net/` to enforce exactly that). The policy is the
+/// standard one: delay doubles per consecutive failure from `initial_ms`
+/// up to `max_ms`, and each delay is jittered to a uniform value in
+/// [delay/2, delay] so a fleet of retriers that failed together does not
+/// retry together. Jitter comes from the deterministic `ccdb::Rng`, so a
+/// seeded test observes a reproducible delay sequence.
+///
+/// The helper computes delays; it does not sleep. Callers that actually
+/// need to block use `SleepForMs`, the sanctioned sleep entry point.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "util/random.h"
+
+namespace ccdb {
+
+/// Tuning knobs of a `Backoff`.
+struct BackoffOptions {
+  double initial_ms = 1;  ///< first-failure delay (pre-jitter)
+  double max_ms = 1000;   ///< delay cap (pre-jitter)
+  uint64_t seed = 42;     ///< jitter PRNG seed (determinism for tests)
+};
+
+/// Capped exponential backoff with jitter. Not thread-safe; each retry
+/// loop owns one.
+class Backoff {
+ public:
+  explicit Backoff(BackoffOptions options = {})
+      : options_(options), rng_(options.seed) {}
+
+  /// The delay to wait before the next attempt, advancing the schedule:
+  /// jittered `min(initial * 2^failures, max)`. Call once per failure.
+  double NextDelayMs() {
+    const double base = std::min(
+        options_.max_ms,
+        options_.initial_ms * static_cast<double>(uint64_t{1} << std::min(
+                                  attempts_, uint64_t{40})));
+    ++attempts_;
+    // Jitter into [base/2, base]: never collapses to zero, never exceeds
+    // the cap.
+    return base * (0.5 + 0.5 * rng_.UniformDouble());
+  }
+
+  /// Forgets accumulated failures (call after a success).
+  void Reset() { attempts_ = 0; }
+
+  /// Consecutive failures recorded since the last Reset().
+  uint64_t attempts() const { return attempts_; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  uint64_t attempts_ = 0;
+};
+
+/// Blocks the calling thread for `ms` milliseconds. The one sanctioned
+/// sleep for retry/poll loops: `src/net/` code must call this (or a
+/// condition variable) rather than a raw sleep, so every delay is
+/// greppable and lintable.
+inline void SleepForMs(double ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_BACKOFF_H_

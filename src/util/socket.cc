@@ -2,13 +2,18 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <string>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
+
+#include "util/backoff.h"
 
 namespace ccdb {
 
@@ -28,6 +33,33 @@ void SetNoDelay(int fd) {
 
 Status Socket::SendAll(const void* data, size_t len) {
   if (fd_ < 0) return Status::IoError("send on a closed socket");
+  if (faults_.any()) {
+    const uint64_t n = ++sends_;
+    if (n == faults_.drop_at ||
+        (faults_.drop_every != 0 && n % faults_.drop_every == 0)) {
+      return Status::OK();  // swallowed in flight; the caller saw success
+    }
+    if (n == faults_.cut_at) {
+      ShutdownBoth();
+      return Status::IoError("fault: connection cut at send " +
+                             std::to_string(n));
+    }
+    if (n == faults_.cut_after_at) {
+      Status sent = SendRaw(data, len);
+      ShutdownBoth();  // the request landed; every reply is now lost
+      return sent;
+    }
+    if (n == faults_.corrupt_at && len > 0) {
+      std::string mangled(static_cast<const char*>(data), len);
+      mangled[len / 2] = static_cast<char>(mangled[len / 2] ^ 0x40);
+      return SendRaw(mangled.data(), len);
+    }
+    if (n == faults_.delay_at) SleepForMs(faults_.delay_ms);
+  }
+  return SendRaw(data, len);
+}
+
+Status Socket::SendRaw(const void* data, size_t len) {
   const char* p = static_cast<const char*>(data);
   size_t sent = 0;
   while (sent < len) {
@@ -50,6 +82,10 @@ Status Socket::RecvAll(void* data, size_t len) {
     ssize_t n = ::recv(fd_, p + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: a retryable stall, not a dead link.
+        return Status::Unavailable("recv timeout");
+      }
       return Status::IoError(Errno("recv"));
     }
     if (n == 0) {
@@ -68,10 +104,26 @@ Result<size_t> Socket::RecvSome(void* data, size_t max_len) {
     ssize_t n = ::recv(fd_, data, max_len, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Unavailable("recv timeout");
+      }
       return Status::IoError(Errno("recv"));
     }
     return static_cast<size_t>(n);
   }
+}
+
+Status Socket::SetRecvTimeout(double ms) {
+  if (fd_ < 0) return Status::IoError("timeout on a closed socket");
+  if (ms < 0) return Status::InvalidArgument("negative recv timeout");
+  struct timeval tv = {};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>(
+      std::fmod(ms, 1000.0) * 1000.0);
+  if (setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IoError(Errno("setsockopt SO_RCVTIMEO"));
+  }
+  return Status::OK();
 }
 
 void Socket::ShutdownSend() {

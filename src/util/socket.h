@@ -22,6 +22,26 @@
 
 namespace ccdb {
 
+/// A deterministic fault plan over a socket's send path — the network
+/// sibling of `FaultInjectingPager`. Counters are 1-based over SendAll
+/// calls; the framing layer writes exactly one contiguous buffer per
+/// frame, so "the Nth send" is "the Nth frame" on a protocol socket.
+/// Zero means "never". At most one fault fires per send; precedence when
+/// indexes collide: drop, cut, cut_after, corrupt, delay.
+struct SocketFaults {
+  uint64_t drop_at = 0;       ///< swallow the Nth send (pretend success)
+  uint64_t cut_at = 0;        ///< cut the connection *instead of* send N
+  uint64_t cut_after_at = 0;  ///< deliver send N, then cut (a lost reply)
+  uint64_t corrupt_at = 0;    ///< flip one byte of the Nth send
+  uint64_t delay_at = 0;      ///< stall the Nth send by `delay_ms`
+  double delay_ms = 0;        ///< stall length for delay_at
+  uint64_t drop_every = 0;    ///< recurring: swallow every Kth send
+  bool any() const {
+    return drop_at || cut_at || cut_after_at || corrupt_at || delay_at ||
+           drop_every;
+  }
+};
+
 /// A connected TCP stream. Move-only; the destructor closes the fd.
 class Socket {
  public:
@@ -29,11 +49,16 @@ class Socket {
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { Close(); }
 
-  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket(Socket&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)),
+        faults_(std::exchange(other.faults_, {})),
+        sends_(std::exchange(other.sends_, 0)) {}
   Socket& operator=(Socket&& other) noexcept {
     if (this != &other) {
       Close();
       fd_ = std::exchange(other.fd_, -1);
+      faults_ = std::exchange(other.faults_, {});
+      sends_ = std::exchange(other.sends_, 0);
     }
     return *this;
   }
@@ -67,8 +92,26 @@ class Socket {
   /// Closes the fd (idempotent).
   void Close();
 
+  /// Arms (or clears, with `{}`) the deterministic send-path fault plan.
+  /// The send counter restarts from zero.
+  void SetFaults(const SocketFaults& faults) {
+    faults_ = faults;
+    sends_ = 0;
+  }
+
+  /// Bounds every blocking receive on this socket: after `ms` with no
+  /// bytes, RecvAll/RecvSome return kUnavailable ("recv timeout") instead
+  /// of blocking forever — how a swallowed reply frame surfaces as a
+  /// retryable error. 0 restores unbounded blocking.
+  Status SetRecvTimeout(double ms);
+
  private:
+  /// The unfaulted exact-size send loop.
+  Status SendRaw(const void* data, size_t len);
+
   int fd_ = -1;
+  SocketFaults faults_;
+  uint64_t sends_ = 0;  ///< SendAll calls since SetFaults (fault clock)
 };
 
 /// Connects to `host:port` (numeric or resolvable host). Sets TCP_NODELAY

@@ -7,7 +7,8 @@ namespace ccdb {
 
 namespace {
 
-constexpr uint32_t kMaxCode = static_cast<uint32_t>(StatusCode::kResourceExhausted);
+constexpr uint32_t kMaxCode =
+    static_cast<uint32_t>(StatusCode::kFailedPrecondition);
 
 void AppendU32(std::string* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -67,6 +68,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }

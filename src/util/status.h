@@ -38,6 +38,7 @@ enum class StatusCode {
   kCancelled,          ///< caller (or shutdown) cancelled the operation
   kDeadlineExceeded,   ///< wall-clock deadline expired before completion
   kResourceExhausted,  ///< a tuple/constraint/memory budget was exceeded
+  kFailedPrecondition,  ///< system state rejects the call (stale leader term)
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
@@ -96,6 +97,9 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -57,6 +57,8 @@ std::vector<CodeCase> AllErrorCodes() {
       {StatusCode::kCancelled, Status::Cancelled("stop")},
       {StatusCode::kDeadlineExceeded, Status::DeadlineExceeded("late")},
       {StatusCode::kResourceExhausted, Status::ResourceExhausted("budget")},
+      {StatusCode::kFailedPrecondition,
+       Status::FailedPrecondition("stale term")},
   };
 }
 

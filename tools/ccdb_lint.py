@@ -41,6 +41,14 @@ Enforces the repo's documented contracts that the compiler cannot:
                   snapshots or writes through the service's transactional
                   API, so conflict detection and WAL-before-visibility
                   cannot be bypassed.
+  net-retries     src/net/ never calls a raw sleep primitive
+                  (std::this_thread::sleep_for, usleep, nanosleep, ...) —
+                  waiting goes through ccdb::SleepForMs under a Backoff
+                  schedule (util/backoff.h) — and never spins an
+                  unbounded retry loop: a `while (true)` / `for (;;)`
+                  that sleeps-and-retries must be bounded by a deadline,
+                  a stop flag, or a Backoff, so a dead peer produces a
+                  typed kUnavailable instead of a hang.
 
 Run from anywhere:  tools/ccdb_lint.py  (exit 0 = clean).
 """
@@ -288,6 +296,57 @@ def check_mvcc_publish(path: Path, clean: str) -> None:
                    "transactional write API")
 
 
+# --- Rule: net-retries ------------------------------------------------------
+
+# Raw sleep primitives: the network layer waits via ccdb::SleepForMs,
+# normally under a Backoff schedule, so stress/chaos tests stay
+# deterministic and every wait has one greppable implementation.
+# (Lowercase match: ccdb::SleepForMs itself never triggers.)
+RAW_SLEEP_RE = re.compile(
+    r"\bstd::this_thread::sleep_(?:for|until)\b|"
+    r"(?:^|[^\w.:>])(?:usleep|nanosleep|sleep)\s*\(")
+INFINITE_LOOP_RE = re.compile(r"\bwhile\s*\(\s*true\s*\)|\bfor\s*\(\s*;\s*;\s*\)")
+# Tokens that bound a retry/poll loop: a wall-clock deadline, the owner's
+# stop flag, or a capped Backoff schedule.
+LOOP_BOUND_TOKENS = ("deadline", "stop_", "backoff", "Backoff")
+NET_DIR = SRC / "net"
+
+
+def check_net_retries(path: Path, clean: str) -> None:
+    if NET_DIR not in path.parents:
+        return
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        if RAW_SLEEP_RE.search(line):
+            report("net-retries", path, lineno,
+                   "raw sleep in src/net/ — wait via ccdb::SleepForMs "
+                   "under a Backoff schedule (util/backoff.h)")
+    for m in INFINITE_LOOP_RE.finditer(clean):
+        brace = clean.find("{", m.end())
+        if brace == -1:
+            continue
+        depth = 0
+        k = brace
+        while k < len(clean):
+            if clean[k] == "{":
+                depth += 1
+            elif clean[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        body = clean[brace : k + 1]
+        # An event loop blocks in I/O and exits on failure; a RETRY loop
+        # waits (sleeps) and goes around again. Only the latter must be
+        # bounded — an unbounded one hangs forever against a dead peer.
+        if "SleepForMs" not in body:
+            continue
+        if not any(tok in body for tok in LOOP_BOUND_TOKENS):
+            lineno = clean.count("\n", 0, m.start()) + 1
+            report("net-retries", path, lineno,
+                   "unbounded retry loop in src/net/ — bound it with a "
+                   "deadline, a stop flag, or a Backoff schedule")
+
+
 # --- Rule: governance check-points ------------------------------------------
 
 # Files whose tuple-materializing operator loops must poll governance.
@@ -377,6 +436,7 @@ def main() -> int:
         check_no_iostream(path, clean)
         check_net_socket(path, clean)
         check_mvcc_publish(path, clean)
+        check_net_retries(path, clean)
     check_metrics()
     check_governance()
 
@@ -385,7 +445,7 @@ def main() -> int:
             print(v, file=sys.stderr)
         print(f"ccdb_lint: {len(violations)} violation(s)", file=sys.stderr)
         return 1
-    print(f"ccdb_lint: ok ({len(files)} files, 8 rules)")
+    print(f"ccdb_lint: ok ({len(files)} files, 9 rules)")
     return 0
 
 

@@ -8,7 +8,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-benches=(service wal trace governance net mvcc obs)
+benches=(service wal trace governance net mvcc obs failover)
 
 # Preflight every binary before running any, so a missing one fails the
 # whole recording instead of leaving a partial set of BENCH_*.json files.

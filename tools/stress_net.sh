@@ -8,8 +8,11 @@
 # available the daemons also get --status-port listeners that are scraped
 # (/metrics + /healthz) continuously DURING the storm — an HTTP scrape
 # must never fail or block while the query path is saturated — and the
-# replica's /healthz must report converged lag once the storm ends. Fails
-# on any client error, a scrape error, non-converging lag, a daemon that
+# replica's /healthz must report converged lag once the storm ends. Then
+# the failover phase: the leader is killed, the replica is promoted over
+# the wire (bench_net --promote), and the promoted daemon must accept
+# writes and serve queries under its new term. Fails on any client error,
+# a scrape error, non-converging lag, a failed promotion, a daemon that
 # dies, or (via the hard KILL timeout) a hang anywhere in the stack.
 #
 # usage: stress_net.sh <ccdb_serve-binary> <bench_net-binary>
@@ -198,10 +201,50 @@ for pid in "${daemon_pids[@]}"; do
     fail "a daemon died during the storm" "$leader_log" "$replica_log"
 done
 
+# --- Failover phase: kill the leader, promote the replica, verify writes ---
+
+leader_pid=${daemon_pids[0]}
+replica_pid=${daemon_pids[1]}
+kill "$leader_pid" 2>/dev/null || true
+wait "$leader_pid" 2>/dev/null || true
+echo "stress_net: leader killed, promoting replica"
+
+"$bench_bin" --promote "$replica_port" ||
+  fail "promotion of the replica failed" "$replica_log"
+
+# The promoted daemon now owns the timeline: writes must land (LoadRelation
+# refreshes "Boxes") and reads must keep working on the same port.
+"$bench_bin" --load "$replica_port" 120 11 ||
+  fail "--load against the promoted replica failed" "$replica_log"
+"$bench_bin" --client "$replica_port" 7 50 >/dev/null ||
+  fail "queries against the promoted replica failed" "$replica_log"
+
+# /healthz must have flipped the advertised role to leader.
+if [[ "$have_curl" == 1 ]]; then
+  role_ok=0
+  for _ in $(seq 1 50); do
+    health=$(curl -sf --max-time 5 \
+               "http://127.0.0.1:$replica_status_port/healthz" || true)
+    if grep -q '"role":"leader"' <<<"$health"; then
+      role_ok=1
+      break
+    fi
+    sleep 0.1
+  done
+  [[ "$role_ok" == 1 ]] ||
+    fail "promoted replica still advertises the replica role: $health" \
+         "$replica_log"
+fi
+
+# The promoted daemon must have survived its promotion and the writes.
+kill -0 "$replica_pid" 2>/dev/null ||
+  fail "the promoted replica died" "$replica_log"
+
 if [[ "$have_curl" == 1 ]]; then
   echo "stress_net: ok (6 clients x 200 queries across leader + replica," \
-       "scraped throughout)"
+       "scraped throughout; leader killed, replica promoted + wrote)"
 else
   echo "stress_net: ok (6 clients x 200 queries across leader + replica;" \
-       "curl missing, status scrapes skipped)"
+       "curl missing, status scrapes skipped; leader killed, replica" \
+       "promoted + wrote)"
 fi
