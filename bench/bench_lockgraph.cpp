@@ -1,0 +1,122 @@
+// Cost of the runtime lock-order deadlock detector (util/lock_graph.*).
+//
+// Two claims to pin down:
+//   1. Detector OFF (the default build): zero cost by construction — the
+//      hooks compile away and ccdb::Mutex is a bare std::mutex wrapper.
+//      This binary, built without -DCCDB_DEADLOCK_DETECT=ON, measures
+//      that baseline (detector_compiled=0 in the params); the ≤1% bar on
+//      BENCH_service.json across the detector PR is the end-to-end proof.
+//   2. Detector ON: the per-acquisition hook cost. Measured both with
+//      the detector enabled (thread-local held-stack push/pop + per-edge
+//      seen-cache lookup on nesting) and with the runtime toggle off
+//      (lock_graph::SetEnabled(false): one relaxed atomic load per hook)
+//      in the same binary, so the enabled-vs-disabled delta isolates the
+//      bookkeeping from the toggle check.
+//
+// Scenarios, single-threaded tight loops (contention would swamp the
+// hook cost with futex waits):
+//   lock_unlock     one named mutex, lock+unlock — the leaf-lock path,
+//                   no edges recorded after the first iteration;
+//   nested_pair     outer→inner named pair — exercises the edge-record
+//                   path (per-thread seen-cache hit after warmup);
+//   anonymous       one unnamed mutex — held-set only, never the graph.
+//
+// With --json each result is one machine-readable line (bench_common.h),
+// recorded as BENCH_lockgraph.json from the detector-ON build.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/lock_graph.h"
+#include "util/mutex.h"
+
+namespace ccdb::bench {
+namespace {
+
+constexpr const char* kBench = "bench_lockgraph";
+constexpr int kIters = 2'000'000;
+constexpr int kRounds = 5;
+
+#if defined(CCDB_DEADLOCK_DETECT)
+constexpr double kDetectorCompiled = 1;
+#else
+constexpr double kDetectorCompiled = 0;
+#endif
+
+double NowS() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-rounds ns per op for `op` run kIters times.
+template <typename Op>
+double MeasureNs(Op op) {
+  double best = 1e100;
+  for (int round = 0; round < kRounds; ++round) {
+    const double start = NowS();
+    for (int i = 0; i < kIters; ++i) op();
+    const double s = NowS() - start;
+    if (s < best) best = s;
+  }
+  return best * 1e9 / kIters;
+}
+
+void RunSuite(double enabled_flag, double* lock_unlock_ns) {
+  Mutex leaf{"bench.lockgraph_leaf"};
+  Mutex outer{"bench.lockgraph_outer"};
+  Mutex inner{"bench.lockgraph_inner"};
+  Mutex anon;
+
+  const std::vector<BenchParam> params = {
+      {"detector", kDetectorCompiled}, {"enabled", enabled_flag}};
+
+  const double leaf_ns = MeasureNs([&] {
+    MutexLock lock(leaf);
+  });
+  EmitResult(kBench, "lock_unlock", leaf_ns, "ns/op", params);
+  *lock_unlock_ns = leaf_ns;
+
+  EmitResult(kBench, "nested_pair", MeasureNs([&] {
+               MutexLock a(outer);
+               MutexLock b(inner);
+             }),
+             "ns/2locks", params);
+
+  EmitResult(kBench, "anonymous", MeasureNs([&] {
+               MutexLock lock(anon);
+             }),
+             "ns/op", params);
+}
+
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  if (!JsonOutputEnabled()) {
+    std::printf("bench_lockgraph: detector %s\n",
+                kDetectorCompiled != 0 ? "compiled in" : "compiled OUT");
+  }
+
+  double enabled_ns = 0;
+  double disabled_ns = 0;
+  RunSuite(lock_graph::Enabled() ? 1 : 0, &enabled_ns);
+#if defined(CCDB_DEADLOCK_DETECT)
+  lock_graph::SetEnabled(false);
+  RunSuite(0, &disabled_ns);
+  lock_graph::SetEnabled(true);
+  EmitResult(kBench, "hook_overhead", enabled_ns - disabled_ns, "ns/op",
+             {{"detector", kDetectorCompiled},
+              {"overhead_pct",
+               disabled_ns > 0
+                   ? (enabled_ns - disabled_ns) * 100.0 / disabled_ns
+                   : 0}});
+#else
+  (void)disabled_ns;
+#endif
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccdb::bench
+
+int main(int argc, char** argv) { return ccdb::bench::Main(argc, argv); }

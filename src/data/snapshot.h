@@ -184,7 +184,7 @@ class MvccCatalog {
   uint64_t epoch() const CCDB_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"catalog.cell"};
   SnapshotPtr current_ CCDB_GUARDED_BY(mu_);
   uint64_t next_epoch_ CCDB_GUARDED_BY(mu_) = 2;
 };

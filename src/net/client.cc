@@ -65,6 +65,7 @@ void Client::Close() {
 }
 
 Status Client::CheckLive() {
+  mu_.AssertHeld();
   if (poisoned_ || !sock_.valid()) {
     return Status::Unavailable("connection is closed");
   }
@@ -74,6 +75,7 @@ Status Client::CheckLive() {
 Result<Frame> Client::Call(MsgType request,
                            const std::vector<uint8_t>& payload,
                            MsgType expect) {
+  mu_.AssertHeld();
   CCDB_RETURN_IF_ERROR(CheckLive());
   Status sent = WriteFrame(&sock_, request, payload);
   if (!sent.ok()) {

@@ -197,7 +197,10 @@ class Client {
                      MsgType expect) CCDB_REQUIRES(mu_);
   Status CheckLive() CCDB_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  // protocol-lock: serializes whole RPCs — one request/response exchange
+  // per holder — rather than guarding fields (sock_'s discipline is
+  // documented below).
+  mutable Mutex mu_{"net.client"};
   // Written once at Connect (before the client is shared), then used by
   // RPCs under mu_. Close() touches it WITHOUT mu_: Socket::ShutdownBoth
   // is the one operation that is safe against a concurrent blocked

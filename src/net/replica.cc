@@ -98,6 +98,7 @@ Status Replica::SyncOnce() {
 }
 
 uint64_t Replica::LagBytesLocked() const {
+  mu_.AssertHeld();
   const uint64_t lag_batches = leader_next_lsn_ > applied_lsn_ + 1
                                    ? leader_next_lsn_ - applied_lsn_ - 1
                                    : 0;
@@ -106,6 +107,7 @@ uint64_t Replica::LagBytesLocked() const {
 }
 
 void Replica::PublishGauges() {
+  mu_.AssertHeld();
   if (options_.registry == nullptr) return;
   const uint64_t lag_batches = leader_next_lsn_ > applied_lsn_ + 1
                                    ? leader_next_lsn_ - applied_lsn_ - 1
@@ -117,6 +119,7 @@ void Replica::PublishGauges() {
 }
 
 Status Replica::SyncLocked() {
+  mu_.AssertHeld();
   if (promoted_) {
     return Status::FailedPrecondition("replica was promoted to leader");
   }
@@ -209,6 +212,7 @@ Status Replica::SyncLocked() {
 }
 
 Status Replica::EnsurePage(PageId page_id) {
+  mu_.AssertHeld();
   while (disk_.num_pages() <= page_id) {
     if (disk_.Allocate() == kInvalidPageId) {
       return Status::IoError("replica disk allocation failed");
@@ -219,6 +223,7 @@ Status Replica::EnsurePage(PageId page_id) {
 
 Status Replica::InstallSnapshot(
     const DurableStore::ReplicationSnapshot& snapshot) {
+  mu_.AssertHeld();
   for (size_t i = 0; i < snapshot.pages.size(); ++i) {
     CCDB_RETURN_IF_ERROR(EnsurePage(i));
     CCDB_RETURN_IF_ERROR(disk_.Write(i, snapshot.pages[i]));
@@ -231,6 +236,7 @@ Status Replica::InstallSnapshot(
 }
 
 Status Replica::ApplyRecord(const std::vector<uint8_t>& record) {
+  mu_.AssertHeld();
   ShippedBatch batch;
   CCDB_RETURN_IF_ERROR(ParseShippedBatch(record, applied_lsn_ + 1, &batch));
   for (const WalFrame& frame : batch.frames) {
@@ -251,6 +257,7 @@ Status Replica::ApplyRecord(const std::vector<uint8_t>& record) {
 }
 
 Status Replica::PublishCatalog() {
+  mu_.AssertHeld();
   // The disk changed under the pool: drop every cached page first.
   pool_.Clear();
   Database db;

@@ -183,7 +183,11 @@ class Replica {
   service::SessionId publish_session_ = 0;
 
   /// Serializes sync rounds and guards all replication state.
-  mutable Mutex mu_;
+  mutable Mutex mu_ CCDB_LOCK_ORDER(
+      "service.session", "service.sessions", "service.dedup",
+      "service.commit", "catalog.cell", "net.client", "obs.registry",
+      "storage.store", "storage.pager", "storage.pool_shard")
+      {"net.replica"};
   PageManager disk_ CCDB_GUARDED_BY(mu_);
   BufferPool pool_ CCDB_GUARDED_BY(mu_);
   PageId catalog_root_ CCDB_GUARDED_BY(mu_) = kInvalidPageId;
@@ -215,7 +219,7 @@ class Replica {
 
   /// Guards the client pointer only (leaf lock): Stop() must reach
   /// Close() while a sync round is blocked inside the client.
-  mutable Mutex conn_mu_ CCDB_ACQUIRED_AFTER(mu_);
+  mutable Mutex conn_mu_ CCDB_ACQUIRED_AFTER(mu_) CCDB_LOCK_ORDER("net.client"){"net.replica_conn"};
   std::unique_ptr<Client> client_ CCDB_GUARDED_BY(conn_mu_);
 
   std::atomic<bool> stop_{false};

@@ -30,6 +30,7 @@ Result<std::unique_ptr<ResilientClient>> ResilientClient::Connect(
 }
 
 Result<Client*> ResilientClient::Ensure() {
+  mu_.AssertHeld();
   if (client_ != nullptr && !client_->poisoned()) return client_.get();
   client_.reset();
   ClientOptions copts;
@@ -48,6 +49,7 @@ Result<Client*> ResilientClient::Ensure() {
 }
 
 void ResilientClient::ObserveTerm() {
+  mu_.AssertHeld();
   if (client_ == nullptr) return;
   highest_term_ = std::max(highest_term_, client_->server_term());
 }
@@ -55,6 +57,7 @@ void ResilientClient::ObserveTerm() {
 template <typename Op>
 auto ResilientClient::Retry(Op op)
     -> decltype(op(static_cast<Client*>(nullptr))) {
+  mu_.AssertHeld();
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration<double, std::milli>(options_.deadline_ms);

@@ -125,7 +125,7 @@ class ResilientClient {
   const uint16_t port_;
   const ResilientClientOptions options_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ CCDB_LOCK_ORDER("net.client"){"net.resilient_client"};
   std::unique_ptr<Client> client_ CCDB_GUARDED_BY(mu_);
   Backoff backoff_ CCDB_GUARDED_BY(mu_);
   Rng request_ids_ CCDB_GUARDED_BY(mu_);

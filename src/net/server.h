@@ -196,7 +196,7 @@ class Server {
   std::atomic<bool> read_only_{false};
   std::atomic<DurableStore*> store_{nullptr};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ CCDB_LOCK_ORDER("obs.registry"){"net.server"};
   bool stopping_ CCDB_GUARDED_BY(mu_) = false;
   uint64_t next_conn_id_ CCDB_GUARDED_BY(mu_) = 1;
   /// Sockets of live connections (owned by their threads' stacks; entries

@@ -95,7 +95,7 @@ class StatusServer {
   Listener listener_;
   uint16_t port_ = 0;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"net.status_server"};
   bool stopping_ CCDB_GUARDED_BY(mu_) = false;
   uint64_t next_conn_id_ CCDB_GUARDED_BY(mu_) = 1;
   /// Sockets of live connections (owned by their threads' stacks; same

@@ -51,7 +51,7 @@ class EventLog {
   uint64_t events() const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.event_log"};
   std::ostream* const out_;  // pointer fixed at construction...
   // ...but the stream itself is written only under mu_.
   const std::chrono::steady_clock::time_point start_;

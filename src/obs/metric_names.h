@@ -96,6 +96,11 @@ inline constexpr char kNetShipSnapshots[] = "net.ship.snapshots";
 /// the fencing token carried in HELLO_OK / SHIP_END / SNAPSHOT).
 inline constexpr char kNetTerm[] = "net.term";
 
+/// Times a thread entered a blocking call (WAL fsync, socket syscall)
+/// while holding a ccdb lock (gauge; 0 unless built with
+/// CCDB_DEADLOCK_DETECT — see util/lock_graph.h).
+inline constexpr char kLockHeldOverBlock[] = "lock.held_over_block";
+
 // --- Per-query distributions (histograms) ---
 inline constexpr char kQueryLatencyUs[] = "query.latency_us";
 inline constexpr char kQueryFmEliminations[] = "query.fm_eliminations";
@@ -124,7 +129,7 @@ inline std::vector<const char*> AllMetricNames() {
       kBuildInfo,         kNetConnectionsOpen, kNetConnectionsTotal,
       kNetBytesIn,        kNetBytesOut,        kNetFramesIn,
       kNetProtocolErrors, kNetShipBatches,     kNetShipSnapshots,
-      kNetTerm,           kQueryLatencyUs,
+      kNetTerm,           kLockHeldOverBlock,  kQueryLatencyUs,
       kQueryFmEliminations, kQueryTuplesOut,
   };
 }

@@ -127,7 +127,7 @@ class MetricsRegistry {
  private:
   // The maps are guarded; the Counter/Histogram objects they own are
   // internally atomic, so handles returned by Get* are written lock-free.
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.registry"};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       CCDB_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_

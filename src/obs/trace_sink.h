@@ -46,7 +46,7 @@ class TraceSink {
   uint64_t events() const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.trace_sink"};
   std::ostream* const out_;  // pointer fixed at construction...
   // ...but the stream itself is written only under mu_.
   uint64_t events_ CCDB_GUARDED_BY(mu_) = 0;

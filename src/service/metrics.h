@@ -107,7 +107,7 @@ class LatencyRecorder {
   Summary Summarize() const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"service.latency"};
   std::vector<double> window_ CCDB_GUARDED_BY(mu_);
   uint64_t count_ CCDB_GUARDED_BY(mu_) = 0;
   double sum_ CCDB_GUARDED_BY(mu_) = 0;

@@ -69,7 +69,7 @@ class ResultCache {
  private:
   using Entry = std::pair<std::string, std::shared_ptr<const CachedResult>>;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"service.result_cache"};
   const size_t capacity_;  // immutable after construction; read off-lock
   // LRU list: front = most recent. Map gives O(1) lookup into the list.
   std::list<Entry> lru_ CCDB_GUARDED_BY(mu_);

@@ -13,6 +13,7 @@
 #include "obs/exposition.h"
 #include "obs/metric_names.h"
 #include "storage/wal.h"
+#include "util/lock_graph.h"
 
 namespace ccdb::service {
 
@@ -78,7 +79,12 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
 /// session's transaction state — a snapshot pinned at BEGIN plus the
 /// staged catalog writes that commit as one batch.
 struct QueryService::Session {
-  Mutex mu;
+  /// Serializes the session's queries; held across execution, so it sits
+  /// above the whole commit path in the lock order.
+  Mutex mu CCDB_LOCK_ORDER(
+      "service.commit", "catalog.cell", "service.result_cache",
+      "obs.event_log", "obs.trace_sink")
+      {"service.session"};
   Database steps CCDB_GUARDED_BY(mu);
   bool in_txn CCDB_GUARDED_BY(mu) = false;
   uint64_t txn_id CCDB_GUARDED_BY(mu) = 0;
@@ -213,6 +219,7 @@ obs::GovernanceLimits QueryService::ResolveLimits(
 }
 
 double QueryService::EstimateInflightUsLocked() const {
+  queue_mu_.AssertHeld();
   // 1 ms prior until real latencies exist: shedding the very first query
   // because we know nothing about it would be strictly worse than a guess.
   double p50 = latency_.Summarize().p50_us;
@@ -816,6 +823,7 @@ Status QueryService::CommitTxnImpl(Session* session, uint64_t request_id) {
 
 Status QueryService::CommitEditLocked(CatalogEdit&& edit, uint64_t txn_id,
                                       uint64_t request_id) {
+  commit_mu_.AssertHeld();
   std::shared_ptr<CatalogSnapshot> candidate = edit.Build();
   DurableStore* store = store_.load(std::memory_order_acquire);
   if (store != nullptr) {
@@ -1120,6 +1128,11 @@ obs::MetricsRegistry::Snapshot QueryService::MetricsSnapshot() const {
   registry_.SetGauge(obs::names::kTxnConflictRate,
                      attempts == 0 ? 0 : conflicts * 1000 / attempts);
   obs::PublishProcessGauges(&registry_);
+  // 0 unless built with CCDB_DEADLOCK_DETECT; a nonzero value names a
+  // lock held across a blocking call (fsync, socket I/O) — see the
+  // held_over_block section of the lock-graph JSON dump for the site.
+  registry_.SetGauge(obs::names::kLockHeldOverBlock,
+                     lock_graph::HeldOverBlockCount());
   return registry_.TakeSnapshot();
 }
 

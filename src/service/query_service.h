@@ -428,7 +428,10 @@ class QueryService {
   /// Serializes committers (autocommit writes, transaction commits,
   /// checkpoints) against each other only — never against readers.
   /// Acquired after a session mutex, before the store's internal mutex.
-  mutable Mutex commit_mu_;
+  /// (protocol-lock: guards the commit *ordering* protocol, not fields —
+  /// WAL durability precedes snapshot publication.)
+  mutable Mutex commit_mu_ CCDB_LOCK_ORDER("storage.store", "catalog.cell")
+      {"service.commit"};
   std::atomic<uint64_t> next_txn_id_{1};
   /// The durable store commits journal through. Atomic because
   /// AttachStore (promotion) may swap it while metric snapshots read it;
@@ -443,14 +446,15 @@ class QueryService {
   /// arriving after 4096 newer decided commits is outside the window and
   /// sees normal (non-dedup) semantics.
   static constexpr size_t kDedupCapacity = 4096;
-  mutable Mutex dedup_mu_;
+  mutable Mutex dedup_mu_{"service.dedup"};
   std::map<uint64_t, Status> dedup_results_ CCDB_GUARDED_BY(dedup_mu_);
   std::deque<uint64_t> dedup_fifo_ CCDB_GUARDED_BY(dedup_mu_);
 
   // Task queue. `running_` counts tasks popped but not yet finished (for
   // admission-control cost estimates); `running_cancels_` maps in-flight
   // query ids to their cancellation flags so Cancel() can reach them.
-  mutable Mutex queue_mu_;
+  mutable Mutex queue_mu_ CCDB_LOCK_ORDER("service.latency")
+      {"service.queue"};
   CondVar queue_cv_;
   std::deque<std::unique_ptr<Task>> queue_ CCDB_GUARDED_BY(queue_mu_);
   bool stopping_ CCDB_GUARDED_BY(queue_mu_) = false;
@@ -464,7 +468,8 @@ class QueryService {
   std::once_flag shutdown_once_;
 
   // Sessions.
-  mutable Mutex sessions_mu_ CCDB_ACQUIRED_BEFORE(queue_mu_);
+  mutable Mutex sessions_mu_ CCDB_ACQUIRED_BEFORE(queue_mu_)
+      {"service.sessions"};
   std::map<SessionId, std::shared_ptr<Session>> sessions_
       CCDB_GUARDED_BY(sessions_mu_);
   SessionId next_session_ CCDB_GUARDED_BY(sessions_mu_) = 1;

@@ -72,12 +72,14 @@ void BufferPool::Clear() {
 }
 
 void BufferPool::Shard::Touch(PageId id) {
+  mu.AssertHeld();
   auto it = index.find(id);
   lru.splice(lru.begin(), lru, it->second);
   it->second = lru.begin();
 }
 
 void BufferPool::Shard::InsertCached(PageId id, const Page& page) {
+  mu.AssertHeld();
   lru.emplace_front(id, page);
   index[id] = lru.begin();
   if (lru.size() > capacity) {

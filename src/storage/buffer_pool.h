@@ -75,7 +75,8 @@ class BufferPool {
  private:
   /// One independently locked LRU cache over a slice of the page-id space.
   struct Shard {
-    Mutex mu;
+    Mutex mu CCDB_LOCK_ORDER("storage.pager", "storage.fault")
+        {"storage.pool_shard"};
     size_t capacity = 0;  // set once at pool construction, then read-only
     // LRU list: front = most recent. Map gives O(1) lookup into the list.
     std::list<std::pair<PageId, Page>> lru CCDB_GUARDED_BY(mu);

@@ -63,7 +63,7 @@ class FaultInjectingPager : public PageManager {
   /// Counts one operation and decides its fate.
   Decision Account(bool is_write) CCDB_EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"storage.fault"};
   Fault armed_ CCDB_GUARDED_BY(mu_) = Fault::kNone;
   uint64_t remaining_ CCDB_GUARDED_BY(mu_) = 0;
   bool fired_ CCDB_GUARDED_BY(mu_) = false;

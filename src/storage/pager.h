@@ -66,7 +66,7 @@ class PageManager {
   }
 
  private:
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{"storage.pager"};
   std::vector<std::unique_ptr<Page>> pages_ CCDB_GUARDED_BY(mu_);
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "storage/catalog.h"
+#include "util/lock_graph.h"
 
 namespace ccdb {
 
@@ -324,6 +325,7 @@ Status WriteAheadLog::CommitBatch(const std::vector<WalFrame>& frames,
   ++next_lsn_;
   bytes_appended_.fetch_add(record.size(), std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
+  CCDB_NOTE_BLOCKING_CALL("wal.fsync");
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -414,6 +416,7 @@ Status WriteAheadLog::WriteHeader(PageId catalog_root, uint64_t next_lsn) {
   StoreU64(header.bytes() + 12, catalog_root);
   StoreU64(header.bytes() + 20, next_lsn);
   CCDB_RETURN_IF_ERROR(disk_->Write(header_page_, header));
+  CCDB_NOTE_BLOCKING_CALL("wal.fsync");
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }

@@ -351,7 +351,9 @@ class DurableStore {
   PageManager* disk_;
   /// Serializes commits, checkpoints, and loads against each other: the
   /// whole WAL/staging stack below is single-writer by construction.
-  mutable Mutex mu_;
+  mutable Mutex mu_ CCDB_LOCK_ORDER(
+      "storage.pager", "storage.pool_shard", "storage.fault")
+      {"storage.store"};
   WriteAheadLog wal_ CCDB_GUARDED_BY(mu_);
   WalPager wal_pager_ CCDB_GUARDED_BY(mu_);
   /// Internally synchronized; reads through it are additionally serialized

@@ -1,0 +1,413 @@
+/// \file lock_graph.cc
+/// Runtime lock-order deadlock detector internals. Compiled to an empty
+/// translation unit unless CCDB_DEADLOCK_DETECT is defined.
+///
+/// lint exemptions (this file is allow-listed in tools/ccdb_lint.py):
+/// the instrumentation layer cannot instrument itself, so its internal
+/// lock is a raw std::mutex (a leaf held only inside hooks, never while
+/// calling user code); and a detected cycle is reported on stderr and
+/// aborts the process — a deadlock diagnosis has no Status channel to
+/// unwind through, and continuing would eventually hang for real.
+
+#include "util/lock_graph.h"
+
+#if defined(CCDB_DEADLOCK_DETECT)
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+namespace ccdb::lock_graph {
+namespace {
+
+struct Edge {
+  uint64_t count = 0;
+  bool try_only = true;  ///< every recording so far came from TryLock
+  /// First witness: the hold-stack (lock names, outermost first, the
+  /// acquired lock last) and thread index that first recorded the edge.
+  std::vector<std::string> witness_stack;
+  int witness_thread = 0;
+};
+
+struct HeldOverBlock {
+  uint64_t count = 0;
+  std::vector<std::string> held;  ///< named locks held at the first hit
+};
+
+struct Graph {
+  std::mutex mu;
+  std::map<std::string, LockNode*> nodes;
+  /// Adjacency + witness info, keyed (from, to) by node pointer order.
+  std::map<std::pair<const LockNode*, const LockNode*>, Edge> edges;
+  std::map<const LockNode*, std::set<const LockNode*>> adj;
+  std::map<std::string, HeldOverBlock> blocked_sites;
+  int next_thread_index = 1;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph();  // intentionally leaked: alive at exit
+  return *g;
+}
+
+std::atomic<bool> g_enabled{true};
+std::atomic<uint64_t> g_edge_count{0};
+std::atomic<uint64_t> g_held_over_block{0};
+
+struct Held {
+  const void* instance;
+  const LockNode* node;  ///< null for anonymous locks
+  Mode mode;
+};
+
+struct ThreadState {
+  std::vector<Held> held;
+  /// Edge pairs this thread has already pushed into the global graph —
+  /// the fast path that keeps repeat acquisitions off the graph mutex.
+  std::set<std::pair<const LockNode*, const LockNode*>> seen;
+  int index = 0;
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+int ThreadIndex() {
+  ThreadState& t = thread_state();
+  if (t.index == 0) {
+    std::lock_guard<std::mutex> lock(graph().mu);
+    t.index = graph().next_thread_index++;
+  }
+  return t.index;
+}
+
+std::vector<std::string> StackNames(const ThreadState& t,
+                                    const LockNode* acquiring);
+
+}  // namespace
+
+struct LockNode {
+  std::string name;
+};
+
+namespace {
+
+/// Depth-first path search from `from` to `to` over the recorded
+/// (non-try) edges. Fills `path` with the nodes along the way.
+bool FindPath(const Graph& g, const LockNode* from, const LockNode* to,
+              std::set<const LockNode*>* visited,
+              std::vector<const LockNode*>* path) {
+  if (!visited->insert(from).second) return false;
+  path->push_back(from);
+  if (from == to) return true;
+  auto it = g.adj.find(from);
+  if (it != g.adj.end()) {
+    for (const LockNode* next : it->second) {
+      auto edge = g.edges.find({from, next});
+      if (edge != g.edges.end() && edge->second.try_only) continue;
+      if (FindPath(g, next, to, visited, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += " -> ";
+    out += n;
+  }
+  return out;
+}
+
+/// Prints the ABBA report — the current thread's hold-stack and the
+/// recorded witness stack of every edge on the opposing path — and dies.
+[[noreturn]] void ReportCycleAndAbort(const Graph& g, const ThreadState& t,
+                                      const LockNode* holding,
+                                      const LockNode* acquiring,
+                                      const std::vector<const LockNode*>& path) {
+  std::fprintf(stderr,
+               "\n=== ccdb lock-order violation (deadlock detector) ===\n"
+               "acquiring \"%s\" while holding \"%s\" closes a cycle in the "
+               "acquisition-order graph.\n\n"
+               "this thread (t%d) holds: [%s], acquiring \"%s\"\n\n"
+               "conflicting acquisition order previously observed:\n",
+               acquiring->name.c_str(), holding->name.c_str(),
+               t.index == 0 ? -1 : t.index,
+               JoinNames(StackNames(t, nullptr)).c_str(),
+               acquiring->name.c_str());
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    auto it = g.edges.find({path[i], path[i + 1]});
+    if (it == g.edges.end()) continue;
+    const Edge& e = it->second;
+    std::fprintf(stderr,
+                 "  edge \"%s\" -> \"%s\" first recorded by thread t%d with "
+                 "hold-stack [%s] (seen %llu time%s)\n",
+                 path[i]->name.c_str(), path[i + 1]->name.c_str(),
+                 e.witness_thread, JoinNames(e.witness_stack).c_str(),
+                 static_cast<unsigned long long>(e.count),
+                 e.count == 1 ? "" : "s");
+  }
+  std::fprintf(stderr,
+               "\nfix: make every code path agree on one order for these "
+               "locks, then declare it (CCDB_ACQUIRED_BEFORE / "
+               "CCDB_LOCK_ORDER) so tools/lock_order_lint.py pins it.\n"
+               "=====================================================\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::vector<std::string> StackNames(const ThreadState& t,
+                                    const LockNode* acquiring) {
+  std::vector<std::string> out;
+  for (const Held& h : t.held) {
+    out.push_back(h.node ? h.node->name : "<anon>");
+  }
+  if (acquiring) out.push_back(acquiring->name);
+  return out;
+}
+
+/// Records edges from every held named lock to `node`; `check_cycles`
+/// distinguishes blocking acquisitions (abort on cycle) from try-locks.
+void RecordEdges(const LockNode* node, bool check_cycles) {
+  ThreadState& t = thread_state();
+  // Collect the distinct held named nodes whose edge to `node` this
+  // thread has not pushed yet.
+  std::vector<const LockNode*> missing;
+  for (const Held& h : t.held) {
+    if (h.node == nullptr) continue;
+    if (h.node == node) {
+      if (!check_cycles) return;  // try-lock of a held rank: not a deadlock
+      // Same-rank nesting: either a recursive acquisition or two
+      // instances of the same lock class held at once — both are
+      // rank-ambiguous and can deadlock against a sibling thread.
+      std::lock_guard<std::mutex> lock(graph().mu);
+      std::vector<const LockNode*> path = {node, node};
+      ReportCycleAndAbort(graph(), t, h.node, node, path);
+    }
+    if (!t.seen.count({h.node, node}) &&
+        std::find(missing.begin(), missing.end(), h.node) == missing.end()) {
+      missing.push_back(h.node);
+    }
+  }
+  if (missing.empty()) return;  // fast path: all edges already recorded
+
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (t.index == 0) t.index = g.next_thread_index++;
+  for (const LockNode* from : missing) {
+    // Cycle check first: does `node` already reach `from`? Then the new
+    // from -> node edge closes a loop.
+    if (check_cycles) {
+      std::set<const LockNode*> visited;
+      std::vector<const LockNode*> path;
+      if (FindPath(g, node, from, &visited, &path)) {
+        ReportCycleAndAbort(g, t, from, node, path);
+      }
+    }
+    Edge& e = g.edges[{from, node}];
+    if (e.count == 0) {
+      e.witness_stack = StackNames(t, node);
+      e.witness_thread = t.index;
+      g_edge_count.fetch_add(1, std::memory_order_relaxed);
+    }
+    e.count++;
+    if (check_cycles) e.try_only = false;
+    g.adj[from].insert(node);
+    t.seen.insert({from, node});
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void AppendStringArray(std::string* out, const std::vector<std::string>& v) {
+  *out += '[';
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) *out += ',';
+    *out += '"' + JsonEscape(v[i]) + '"';
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+LockNode* Register(const char* name) {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  auto it = g.nodes.find(name);
+  if (it != g.nodes.end()) return it->second;
+  LockNode* node = new LockNode{name};  // interned for process lifetime
+  g.nodes.emplace(name, node);
+  // First registration arms the at-exit JSON dump when the environment
+  // asks for one (CCDB_LOCK_GRAPH_DUMP_DIR=<dir>).
+  static bool armed = [] {
+    const char* dir = std::getenv("CCDB_LOCK_GRAPH_DUMP_DIR");
+    if (dir == nullptr || *dir == '\0') return false;
+    static std::string dump_dir;
+    dump_dir = dir;
+    std::atexit([] { WriteDump(dump_dir); });
+    return true;
+  }();
+  (void)armed;
+  return node;
+}
+
+void OnLockAttempt(const LockNode* node) {
+  if (node == nullptr || !g_enabled.load(std::memory_order_relaxed)) return;
+  RecordEdges(node, /*check_cycles=*/true);
+}
+
+void OnLocked(const LockNode* node, const void* instance, Mode mode) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  thread_state().held.push_back(Held{instance, node, mode});
+}
+
+void OnTryLocked(const LockNode* node, const void* instance, Mode mode) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  if (node != nullptr) RecordEdges(node, /*check_cycles=*/false);
+  thread_state().held.push_back(Held{instance, node, mode});
+}
+
+void OnReleased(const void* instance) {
+  std::vector<Held>& held = thread_state().held;
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->instance == instance) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // No matching entry: the lock was acquired while the detector was
+  // disabled (benchmark toggling). Ignore.
+}
+
+bool HoldsLock(const void* instance) {
+  for (const Held& h : thread_state().held) {
+    if (h.instance == instance) return true;
+  }
+  return false;
+}
+
+bool HoldsLockExclusive(const void* instance) {
+  for (const Held& h : thread_state().held) {
+    if (h.instance == instance && h.mode == Mode::kExclusive) return true;
+  }
+  return false;
+}
+
+void AssertHeldFailure(const LockNode* node, const char* what) {
+  const char* lock_name = node ? node->name.c_str() : "<anon>";
+  ThreadState& t = thread_state();
+  std::fprintf(stderr,
+               "\n=== ccdb lock assertion failure ===\n"
+               "%s(\"%s\") failed: the calling thread does not hold the "
+               "lock.\nthread holds: [%s]\n"
+               "(a CCDB_REQUIRES contract was violated — under clang this "
+               "is a compile error; the deadlock detector enforces it at "
+               "runtime everywhere else.)\n"
+               "===================================\n",
+               what, lock_name, JoinNames(StackNames(t, nullptr)).c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void NoteBlockingCall(const char* site) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  ThreadState& t = thread_state();
+  std::vector<std::string> named;
+  for (const Held& h : t.held) {
+    if (h.node != nullptr) named.push_back(h.node->name);
+  }
+  if (named.empty()) return;
+  g_held_over_block.fetch_add(1, std::memory_order_relaxed);
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  HeldOverBlock& rec = g.blocked_sites[site];
+  if (rec.count == 0) rec.held = named;
+  rec.count++;
+}
+
+uint64_t HeldOverBlockCount() {
+  return g_held_over_block.load(std::memory_order_relaxed);
+}
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+uint64_t EdgeCount() { return g_edge_count.load(std::memory_order_relaxed); }
+
+std::string DumpJson() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  std::string out = "{\"pid\":" + std::to_string(::getpid());
+  out += ",\"nodes\":[";
+  bool first = true;
+  for (const auto& [name, node] : g.nodes) {
+    (void)node;
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + '"';
+  }
+  out += "],\"edges\":[";
+  first = true;
+  for (const auto& [key, edge] : g.edges) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"from\":\"" + JsonEscape(key.first->name) + "\",\"to\":\"" +
+           JsonEscape(key.second->name) +
+           "\",\"count\":" + std::to_string(edge.count) +
+           ",\"try_only\":" + (edge.try_only ? "true" : "false") +
+           ",\"witness_thread\":" + std::to_string(edge.witness_thread) +
+           ",\"witness_stack\":";
+    AppendStringArray(&out, edge.witness_stack);
+    out += '}';
+  }
+  out += "],\"held_over_block\":[";
+  first = true;
+  for (const auto& [site, rec] : g.blocked_sites) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"site\":\"" + JsonEscape(site) +
+           "\",\"count\":" + std::to_string(rec.count) + ",\"held\":";
+    AppendStringArray(&out, rec.held);
+    out += '}';
+  }
+  out += "],\"held_over_block_total\":" +
+         std::to_string(g_held_over_block.load(std::memory_order_relaxed));
+  out += '}';
+  return out;
+}
+
+bool WriteDump(const std::string& dir) {
+  static std::atomic<uint64_t> seq{0};
+  const std::string path = dir + "/lockgraph." + std::to_string(::getpid()) +
+                           "." + std::to_string(seq.fetch_add(1)) + ".json";
+  const std::string json = DumpJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace ccdb::lock_graph
+
+#endif  // CCDB_DEADLOCK_DETECT

@@ -1,0 +1,136 @@
+#ifndef CCDB_UTIL_LOCK_GRAPH_H_
+#define CCDB_UTIL_LOCK_GRAPH_H_
+
+/// \file lock_graph.h
+/// Runtime lock-order deadlock detector (the dynamic half of the
+/// lock-order analysis; `tools/lock_order_lint.py` is the static half).
+///
+/// Compiled in only under the `CCDB_DEADLOCK_DETECT` CMake option — in a
+/// normal build every hook below is an empty inline and `ccdb::Mutex`
+/// carries no extra state, so the detector is zero-cost when off.
+///
+/// Model: every *named* `ccdb::Mutex` / `ccdb::SharedMutex` (constructed
+/// with a string-literal name, e.g. `Mutex mu_{"service.queue"}`) is a
+/// node keyed by that name — instances of the same class share one node,
+/// which is what makes the graph a lock *ranking* rather than a per-object
+/// trace. Each acquisition:
+///
+///   1. records a directed edge from every lock the thread currently
+///      holds to the lock being acquired (with the first witness
+///      hold-stack kept per edge), and
+///   2. checks — before blocking — whether the new edge closes a cycle in
+///      the global acquisition-order graph. A cycle is an ABBA inversion:
+///      the detector prints both conflicting hold-stacks (the current
+///      thread's, and the recorded witness of the opposing edge) to
+///      stderr and aborts, so the inversion is caught at the first
+///      acquisition that could ever deadlock, not on the unlucky
+///      interleaving.
+///
+/// Anonymous (default-constructed) locks — test locals, short-lived
+/// helpers — participate only in the per-thread held-set that backs
+/// `Mutex::AssertHeld()`; they are excluded from the graph because
+/// distinct anonymous locks cannot be told apart by rank.
+///
+/// Extras:
+///   - `NoteBlockingCall(site)` (placed at the WAL fsync point and the
+///     socket syscalls) counts acquisitions held across blocking calls —
+///     latency hazards surfaced via the `lock.held_over_block` gauge.
+///   - `DumpJson()` serializes the observed graph; when the
+///     `CCDB_LOCK_GRAPH_DUMP_DIR` environment variable is set, every
+///     process writes `<dir>/lockgraph.<pid>.<seq>.json` at exit, and
+///     `tools/lock_order_lint.py --runtime-dir` cross-checks each
+///     observed edge against the DAG declared in the source annotations.
+///
+/// The detector's own bookkeeping uses raw std::mutex internals
+/// (lock_graph.cc is allow-listed in `tools/ccdb_lint.py`): the
+/// instrumentation layer cannot instrument itself, and its one internal
+/// lock is a leaf acquired only inside acquisition hooks.
+
+#include <cstdint>
+#include <string>
+
+namespace ccdb::lock_graph {
+
+/// Acquisition mode of a held-lock entry (reporting only; ordering edges
+/// ignore mode — a shared/exclusive inversion still deadlocks writers).
+enum class Mode { kExclusive, kShared };
+
+#if defined(CCDB_DEADLOCK_DETECT)
+
+/// Opaque per-name graph node. Returned by Register; never freed.
+struct LockNode;
+
+/// Interns `name` (which must have static storage duration — pass a
+/// string literal) and returns its graph node. Thread-safe.
+LockNode* Register(const char* name);
+
+/// Pre-acquisition hook: records held→`node` edges and aborts with both
+/// hold-stacks if one of them closes a cycle. Call *before* blocking on
+/// the underlying lock. `node` may be null (anonymous lock: no-op).
+void OnLockAttempt(const LockNode* node);
+
+/// Post-acquisition hook: pushes the lock onto the thread's held stack.
+/// Named or anonymous. Call after the underlying lock is held.
+void OnLocked(const LockNode* node, const void* instance, Mode mode);
+
+/// Post-TryLock-success hook: pushes the held entry and records edges,
+/// but never aborts — a try-acquisition cannot block, so a cycle through
+/// it cannot deadlock (the edge still lands in the dump for the lint).
+void OnTryLocked(const LockNode* node, const void* instance, Mode mode);
+
+/// Release hook: pops the most recent held entry for `instance`.
+void OnReleased(const void* instance);
+
+/// True when the calling thread holds `instance` (any mode / exclusive).
+bool HoldsLock(const void* instance);
+bool HoldsLockExclusive(const void* instance);
+
+/// Prints the failed assertion (lock name, the thread's held stack) and
+/// aborts. `node` may be null (anonymous lock).
+[[noreturn]] void AssertHeldFailure(const LockNode* node, const char* what);
+
+/// Marks a blocking call site (fsync, socket syscall): when the calling
+/// thread holds any named lock, counts it and records (site, held-stack)
+/// into the dump. Cheap when nothing is held.
+void NoteBlockingCall(const char* site);
+
+/// Total acquisitions observed held across a blocking call.
+uint64_t HeldOverBlockCount();
+
+/// Runtime toggle (default on in detector builds). Benchmarks use it to
+/// measure hook overhead; disabling does not clear recorded state.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/// Edges recorded so far (cheap counter, tests/benchmarks).
+uint64_t EdgeCount();
+
+/// The observed graph as JSON: nodes, edges (with witness stacks and
+/// counts), and held-over-blocking-call records.
+std::string DumpJson();
+
+/// Writes DumpJson() to `<dir>/lockgraph.<pid>.<seq>.json`; returns false
+/// on I/O failure. The atexit dump (armed by CCDB_LOCK_GRAPH_DUMP_DIR)
+/// goes through this too.
+bool WriteDump(const std::string& dir);
+
+#define CCDB_NOTE_BLOCKING_CALL(site) ::ccdb::lock_graph::NoteBlockingCall(site)
+
+#else  // !CCDB_DEADLOCK_DETECT — every hook compiles to nothing.
+
+inline uint64_t HeldOverBlockCount() { return 0; }
+inline void SetEnabled(bool) {}
+inline bool Enabled() { return false; }
+inline uint64_t EdgeCount() { return 0; }
+inline std::string DumpJson() { return "{}"; }
+inline bool WriteDump(const std::string&) { return false; }
+
+#define CCDB_NOTE_BLOCKING_CALL(site) \
+  do {                                \
+  } while (false)
+
+#endif  // CCDB_DEADLOCK_DETECT
+
+}  // namespace ccdb::lock_graph
+
+#endif  // CCDB_UTIL_LOCK_GRAPH_H_

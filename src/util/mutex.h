@@ -12,8 +12,25 @@
 /// Clang (`-Werror=thread-safety`), and compiles identically (as plain
 /// `std::mutex` / `std::shared_mutex`) everywhere else.
 ///
+/// Lock-order analysis: a mutex constructed with a name —
+/// `Mutex mu_{"service.queue"}`, string literal required — is a node in
+/// the lock-order graph. Under the `CCDB_DEADLOCK_DETECT` build option
+/// (see util/lock_graph.h) every acquisition records acquisition-order
+/// edges and aborts, with both conflicting hold-stacks, on the first
+/// acquisition that closes a cycle; `tools/lock_order_lint.py` is the
+/// static half, cross-checking the observed edges against the DAG
+/// declared with `CCDB_ACQUIRED_BEFORE` / `CCDB_LOCK_ORDER`. In a normal
+/// build the name is discarded and every hook compiles to nothing.
+///
+/// `AssertHeld()` / `AssertReaderHeld()` make `CCDB_REQUIRES` contracts
+/// real off-Clang: under the detector they verify the calling thread
+/// actually holds the lock (abort with the held stack otherwise); in a
+/// normal build they are empty inlines that still carry the
+/// `CCDB_ASSERT_CAPABILITY` annotation for the Clang analysis.
+///
 /// `tools/ccdb_lint.py` bans raw `std::mutex` / `std::lock_guard` /
-/// `std::condition_variable` in `src/` outside this header, and
+/// `std::condition_variable` in `src/` outside this header (and the
+/// detector's own internals in util/lock_graph.cc), and
 /// `tools/check_thread_safety.sh` asserts that an off-lock access to an
 /// annotated field really is a build break.
 
@@ -21,6 +38,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "util/lock_graph.h"
 #include "util/thread_annotations.h"
 
 namespace ccdb {
@@ -31,33 +49,137 @@ class CondVar;
 class CCDB_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Registers the mutex in the lock-order graph under `name` (string
+  /// literal / static storage required). Instances sharing a name share a
+  /// rank: the detector treats them as one node.
+  explicit Mutex(const char* name);
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() CCDB_ACQUIRE() { mu_.lock(); }
-  void Unlock() CCDB_RELEASE() { mu_.unlock(); }
-  bool TryLock() CCDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() CCDB_ACQUIRE();
+  void Unlock() CCDB_RELEASE();
+  bool TryLock() CCDB_TRY_ACQUIRE(true);
+
+  /// Runtime REQUIRES enforcement: aborts (with the thread's held stack)
+  /// when the calling thread does not hold this mutex. No-op without the
+  /// detector; under Clang it doubles as an analysis assertion.
+  void AssertHeld() const CCDB_ASSERT_CAPABILITY(this);
 
  private:
   friend class CondVar;  // CondVar::Wait needs the native handle
   std::mutex mu_;
+#if defined(CCDB_DEADLOCK_DETECT)
+  lock_graph::LockNode* node_ = nullptr;
+#endif
 };
 
 /// A reader-writer mutex carrying a thread-safety capability.
 class CCDB_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  /// See Mutex(const char*).
+  explicit SharedMutex(const char* name);
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() CCDB_ACQUIRE() { mu_.lock(); }
-  void Unlock() CCDB_RELEASE() { mu_.unlock(); }
-  void ReaderLock() CCDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void ReaderUnlock() CCDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() CCDB_ACQUIRE();
+  void Unlock() CCDB_RELEASE();
+  void ReaderLock() CCDB_ACQUIRE_SHARED();
+  void ReaderUnlock() CCDB_RELEASE_SHARED();
+
+  /// Aborts unless the calling thread holds the lock exclusively.
+  void AssertHeld() const CCDB_ASSERT_CAPABILITY(this);
+  /// Aborts unless the calling thread holds the lock (either mode).
+  void AssertReaderHeld() const CCDB_ASSERT_SHARED_CAPABILITY(this);
 
  private:
   std::shared_mutex mu_;
+#if defined(CCDB_DEADLOCK_DETECT)
+  lock_graph::LockNode* node_ = nullptr;
+#endif
 };
+
+#if defined(CCDB_DEADLOCK_DETECT)
+
+inline Mutex::Mutex(const char* name) : node_(lock_graph::Register(name)) {}
+
+inline void Mutex::Lock() {
+  lock_graph::OnLockAttempt(node_);
+  mu_.lock();
+  lock_graph::OnLocked(node_, this, lock_graph::Mode::kExclusive);
+}
+
+inline void Mutex::Unlock() {
+  lock_graph::OnReleased(this);
+  mu_.unlock();
+}
+
+inline bool Mutex::TryLock() {
+  if (!mu_.try_lock()) return false;
+  lock_graph::OnTryLocked(node_, this, lock_graph::Mode::kExclusive);
+  return true;
+}
+
+inline void Mutex::AssertHeld() const {
+  if (lock_graph::Enabled() && !lock_graph::HoldsLockExclusive(this)) {
+    lock_graph::AssertHeldFailure(node_, "Mutex::AssertHeld");
+  }
+}
+
+inline SharedMutex::SharedMutex(const char* name)
+    : node_(lock_graph::Register(name)) {}
+
+inline void SharedMutex::Lock() {
+  lock_graph::OnLockAttempt(node_);
+  mu_.lock();
+  lock_graph::OnLocked(node_, this, lock_graph::Mode::kExclusive);
+}
+
+inline void SharedMutex::Unlock() {
+  lock_graph::OnReleased(this);
+  mu_.unlock();
+}
+
+inline void SharedMutex::ReaderLock() {
+  lock_graph::OnLockAttempt(node_);
+  mu_.lock_shared();
+  lock_graph::OnLocked(node_, this, lock_graph::Mode::kShared);
+}
+
+inline void SharedMutex::ReaderUnlock() {
+  lock_graph::OnReleased(this);
+  mu_.unlock_shared();
+}
+
+inline void SharedMutex::AssertHeld() const {
+  if (lock_graph::Enabled() && !lock_graph::HoldsLockExclusive(this)) {
+    lock_graph::AssertHeldFailure(node_, "SharedMutex::AssertHeld");
+  }
+}
+
+inline void SharedMutex::AssertReaderHeld() const {
+  if (lock_graph::Enabled() && !lock_graph::HoldsLock(this)) {
+    lock_graph::AssertHeldFailure(node_, "SharedMutex::AssertReaderHeld");
+  }
+}
+
+#else  // !CCDB_DEADLOCK_DETECT — plain std wrappers, names discarded.
+
+inline Mutex::Mutex(const char* /*name*/) {}
+inline void Mutex::Lock() { mu_.lock(); }
+inline void Mutex::Unlock() { mu_.unlock(); }
+inline bool Mutex::TryLock() { return mu_.try_lock(); }
+inline void Mutex::AssertHeld() const {}
+
+inline SharedMutex::SharedMutex(const char* /*name*/) {}
+inline void SharedMutex::Lock() { mu_.lock(); }
+inline void SharedMutex::Unlock() { mu_.unlock(); }
+inline void SharedMutex::ReaderLock() { mu_.lock_shared(); }
+inline void SharedMutex::ReaderUnlock() { mu_.unlock_shared(); }
+inline void SharedMutex::AssertHeld() const {}
+inline void SharedMutex::AssertReaderHeld() const {}
+
+#endif  // CCDB_DEADLOCK_DETECT
 
 /// RAII exclusive guard over a `Mutex`.
 class CCDB_SCOPED_CAPABILITY MutexLock {
@@ -119,9 +241,21 @@ class CondVar {
   /// Atomically releases `mu`, blocks, and reacquires `mu` before
   /// returning. Spurious wakeups happen: always wait in a predicate loop.
   void Wait(Mutex& mu) CCDB_REQUIRES(mu) {
+#if defined(CCDB_DEADLOCK_DETECT)
+    // The wait releases the lock for its duration: keep the held stack
+    // truthful, and treat the wakeup reacquisition as a fresh
+    // acquisition so its ordering edges are recorded (reacquiring after
+    // the wait cannot cycle-abort — the lock is already re-held by the
+    // time the hook runs, and its rank was validated on first acquire).
+    mu.AssertHeld();
+    lock_graph::OnReleased(&mu);
+#endif
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();  // the caller's guard still owns the lock
+#if defined(CCDB_DEADLOCK_DETECT)
+    lock_graph::OnTryLocked(mu.node_, &mu, lock_graph::Mode::kExclusive);
+#endif
   }
 
   void NotifyOne() { cv_.notify_one(); }

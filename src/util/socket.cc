@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "util/backoff.h"
+#include "util/lock_graph.h"
 
 namespace ccdb {
 
@@ -41,12 +42,18 @@ Status Socket::SendAll(const void* data, size_t len) {
     }
     if (n == faults_.cut_at) {
       ShutdownBoth();
+      cut_ = true;
       return Status::IoError("fault: connection cut at send " +
                              std::to_string(n));
     }
     if (n == faults_.cut_after_at) {
       Status sent = SendRaw(data, len);
-      ShutdownBoth();  // the request landed; every reply is now lost
+      // The request landed; every reply is now lost. shutdown(SHUT_RD)
+      // alone is not enough: the peer's reply may already sit in the
+      // kernel receive buffer, which recv still drains after shutdown —
+      // cut_ makes the loss unconditional instead of a scheduling race.
+      ShutdownBoth();
+      cut_ = true;
       return sent;
     }
     if (n == faults_.corrupt_at && len > 0) {
@@ -60,6 +67,7 @@ Status Socket::SendAll(const void* data, size_t len) {
 }
 
 Status Socket::SendRaw(const void* data, size_t len) {
+  CCDB_NOTE_BLOCKING_CALL("net.send");
   const char* p = static_cast<const char*>(data);
   size_t sent = 0;
   while (sent < len) {
@@ -76,6 +84,8 @@ Status Socket::SendRaw(const void* data, size_t len) {
 
 Status Socket::RecvAll(void* data, size_t len) {
   if (fd_ < 0) return Status::IoError("recv on a closed socket");
+  if (cut_) return Status::Unavailable("peer closed");
+  CCDB_NOTE_BLOCKING_CALL("net.recv");
   char* p = static_cast<char*>(data);
   size_t got = 0;
   while (got < len) {
@@ -100,6 +110,8 @@ Status Socket::RecvAll(void* data, size_t len) {
 
 Result<size_t> Socket::RecvSome(void* data, size_t max_len) {
   if (fd_ < 0) return Status::IoError("recv on a closed socket");
+  if (cut_) return size_t{0};  // clean EOF: the connection was cut
+  CCDB_NOTE_BLOCKING_CALL("net.recv");
   while (true) {
     ssize_t n = ::recv(fd_, data, max_len, 0);
     if (n < 0) {
@@ -158,6 +170,7 @@ Result<Socket> TcpConnect(const std::string& host, uint16_t port) {
       last = Status::IoError(Errno("socket"));
       continue;
     }
+    CCDB_NOTE_BLOCKING_CALL("net.connect");
     if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
       last = Status::IoError("connect " + host + ":" + service + ": " +
                              std::strerror(errno));
@@ -211,6 +224,7 @@ Result<Socket> Listener::Accept() {
   const int fd = fd_;
   if (fd < 0) return Status::Unavailable("listener closed");
   while (true) {
+    CCDB_NOTE_BLOCKING_CALL("net.accept");
     int conn = ::accept(fd, nullptr, nullptr);
     if (conn >= 0) {
       SetNoDelay(conn);

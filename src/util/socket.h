@@ -52,13 +52,15 @@ class Socket {
   Socket(Socket&& other) noexcept
       : fd_(std::exchange(other.fd_, -1)),
         faults_(std::exchange(other.faults_, {})),
-        sends_(std::exchange(other.sends_, 0)) {}
+        sends_(std::exchange(other.sends_, 0)),
+        cut_(std::exchange(other.cut_, false)) {}
   Socket& operator=(Socket&& other) noexcept {
     if (this != &other) {
       Close();
       fd_ = std::exchange(other.fd_, -1);
       faults_ = std::exchange(other.faults_, {});
       sends_ = std::exchange(other.sends_, 0);
+      cut_ = std::exchange(other.cut_, false);
     }
     return *this;
   }
@@ -97,6 +99,7 @@ class Socket {
   void SetFaults(const SocketFaults& faults) {
     faults_ = faults;
     sends_ = 0;
+    cut_ = false;
   }
 
   /// Bounds every blocking receive on this socket: after `ms` with no
@@ -112,6 +115,10 @@ class Socket {
   int fd_ = -1;
   SocketFaults faults_;
   uint64_t sends_ = 0;  ///< SendAll calls since SetFaults (fault clock)
+  /// Set by a cut_at/cut_after_at fault: receives return EOF even for
+  /// bytes the kernel buffered before the shutdown, so an injected
+  /// "reply lost" cut cannot be undone by a scheduling race.
+  bool cut_ = false;
 };
 
 /// Connects to `host:port` (numeric or resolvable host). Sets TCP_NODELAY

@@ -37,11 +37,25 @@
 /// The data *pointed to* by the declared field is guarded by `x`.
 #define CCDB_PT_GUARDED_BY(x) CCDB_THREAD_ANNOTATION_(pt_guarded_by(x))
 
-/// Lock-ordering declarations (deadlock detection).
+/// Lock-ordering declarations (deadlock detection). The arguments name
+/// mutex members of the *same* class; together with CCDB_LOCK_ORDER they
+/// declare the project lock DAG that `tools/lock_order_lint.py` parses,
+/// cycle-checks, and cross-checks against the runtime-observed graph
+/// (util/lock_graph.h).
 #define CCDB_ACQUIRED_BEFORE(...) \
   CCDB_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
 #define CCDB_ACQUIRED_AFTER(...) \
   CCDB_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Cross-class lock-ordering declaration, by *registered* lock-graph
+/// names (the string a mutex is constructed with): this lock is acquired
+/// before each listed name. Clang's attributes cannot reference another
+/// class's private member, so these edges are declared in a form only
+/// the lint reads — the macro expands to nothing on every compiler:
+///
+///   mutable Mutex commit_mu_ CCDB_LOCK_ORDER("storage.store")
+///       {"service.commit"};
+#define CCDB_LOCK_ORDER(...)
 
 /// The function may only be called while holding the capabilities
 /// (exclusively / shared); it does not acquire or release them.

@@ -1,0 +1,245 @@
+// Tests for the runtime lock-order deadlock detector
+// (src/util/lock_graph.*). Substantive only in -DCCDB_DEADLOCK_DETECT=ON
+// builds; in a normal build every hook compiles away and the suite
+// degenerates to checking the no-op stubs, with the detector cases
+// GTEST_SKIPped so the skip is visible rather than silently green.
+
+#include "util/lock_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace ccdb {
+namespace {
+
+#if defined(CCDB_DEADLOCK_DETECT)
+
+TEST(LockGraphTest, NamedAcquisitionRecordsEdge) {
+  const uint64_t before = lock_graph::EdgeCount();
+  Mutex outer{"test.edge_outer"};
+  Mutex inner{"test.edge_inner"};
+  {
+    MutexLock a(outer);
+    MutexLock b(inner);
+  }
+  EXPECT_GT(lock_graph::EdgeCount(), before);
+  const std::string json = lock_graph::DumpJson();
+  EXPECT_NE(json.find("\"test.edge_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"from\":\"test.edge_outer\",\"to\":\"test.edge_inner\""),
+            std::string::npos)
+      << json;
+}
+
+// The ABBA inversion: thread 1 takes A then B (recording A→B), the same
+// or another thread then takes B and attempts A. The attempt must abort
+// *before blocking* — no actual deadlock is needed to catch it — and the
+// report must carry both conflicting hold-stacks.
+TEST(LockGraphDeathTest, AbbaInversionAbortsWithBothStacks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a{"test.abba_a"};
+        Mutex b{"test.abba_b"};
+        std::thread t([&] {
+          MutexLock la(a);
+          MutexLock lb(b);  // records test.abba_a -> test.abba_b
+        });
+        t.join();
+        MutexLock lb(b);
+        MutexLock la(a);  // closes the cycle: must abort here
+      },
+      // Both stacks in one report: the acquiring thread's (holding
+      // abba_b, wanting abba_a) and the recorded witness of the opposing
+      // edge (held abba_a while taking abba_b).
+      "lock-order violation(.|\n)*"
+      "holds: \\[test\\.abba_b\\], acquiring \"test\\.abba_a\"(.|\n)*"
+      "edge \"test\\.abba_a\" -> \"test\\.abba_b\"(.|\n)*"
+      "hold-stack \\[test\\.abba_a -> test\\.abba_b\\]");
+}
+
+// Same-rank recursion (two instances sharing a name, or re-entry on one
+// instance) is an order violation by definition.
+TEST(LockGraphDeathTest, SameRankNestingAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex first{"test.same_rank"};
+        Mutex second{"test.same_rank"};
+        MutexLock l1(first);
+        MutexLock l2(second);
+      },
+      "lock-order violation(.|\n)*test\\.same_rank");
+}
+
+// The portable REQUIRES contract: AssertHeld with the lock not held must
+// abort and name the lock (this is what every CCDB_REQUIRES entry point
+// calls, so the contract fails loudly under GCC too).
+TEST(LockGraphDeathTest, AssertHeldViolationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex mu{"test.assert_held"};
+        mu.AssertHeld();  // not held: contract violation
+      },
+      "lock assertion failure(.|\n)*test\\.assert_held");
+}
+
+TEST(LockGraphTest, AssertHeldPassesWhileHeld) {
+  Mutex mu{"test.assert_ok"};
+  MutexLock lock(mu);
+  mu.AssertHeld();  // must not abort
+}
+
+TEST(LockGraphTest, SharedMutexReaderAssertions) {
+  SharedMutex mu{"test.shared_assert"};
+  {
+    ReaderLock lock(mu);
+    mu.AssertReaderHeld();
+  }
+  {
+    WriterLock lock(mu);
+    mu.AssertHeld();
+    mu.AssertReaderHeld();  // exclusive implies reader access
+  }
+}
+
+// An anonymous lock joins the held-set (AssertHeld works) but not the
+// graph (no rank to order against).
+TEST(LockGraphTest, AnonymousLocksStayOutOfGraph) {
+  const uint64_t before = lock_graph::EdgeCount();
+  Mutex anon_a;
+  Mutex anon_b;
+  MutexLock a(anon_a);
+  MutexLock b(anon_b);
+  anon_a.AssertHeld();
+  anon_b.AssertHeld();
+  EXPECT_EQ(lock_graph::EdgeCount(), before);
+}
+
+// TryLock acquisitions record advisory (try_only) edges but must never
+// abort: a try-acquisition cannot block, so it cannot deadlock.
+TEST(LockGraphTest, TryLockCycleDoesNotAbort) {
+  Mutex a{"test.try_a"};
+  Mutex b{"test.try_b"};
+  {
+    MutexLock la(a);
+    ASSERT_TRUE(b.TryLock());
+    b.Unlock();
+  }
+  {
+    MutexLock lb(b);
+    ASSERT_TRUE(a.TryLock());  // would close a cycle if it could block
+    a.Unlock();
+  }
+  const std::string json = lock_graph::DumpJson();
+  EXPECT_NE(json.find("\"from\":\"test.try_b\",\"to\":\"test.try_a\","),
+            std::string::npos)
+      << json;
+}
+
+// CondVar::Wait releases the mutex: the held-set must reflect that (a
+// concurrent AssertHeld contract can't be satisfied by a waiter), and
+// the reacquisition must not record bogus edges from locks the waiter
+// never held across the wait.
+TEST(LockGraphTest, CondVarWaitMaintainsHeldSet) {
+  Mutex mu{"test.cv_mu"};
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    mu.AssertHeld();  // reacquired: held again
+  }
+  waker.join();
+}
+
+TEST(LockGraphTest, NoteBlockingCallCountsHeldLocks) {
+  const uint64_t before = lock_graph::HeldOverBlockCount();
+  lock_graph::NoteBlockingCall("test.block_site.unheld");
+  EXPECT_EQ(lock_graph::HeldOverBlockCount(), before);  // nothing held
+  Mutex mu{"test.block_mu"};
+  {
+    MutexLock lock(mu);
+    lock_graph::NoteBlockingCall("test.block_site.held");
+  }
+  EXPECT_EQ(lock_graph::HeldOverBlockCount(), before + 1);
+  const std::string json = lock_graph::DumpJson();
+  EXPECT_NE(json.find("test.block_site.held"), std::string::npos);
+  EXPECT_EQ(json.find("test.block_site.unheld"), std::string::npos) << json;
+}
+
+TEST(LockGraphTest, SetEnabledSuppressesRecording) {
+  Mutex outer{"test.toggle_outer"};
+  Mutex inner{"test.toggle_inner"};
+  lock_graph::SetEnabled(false);
+  const uint64_t before = lock_graph::EdgeCount();
+  {
+    MutexLock a(outer);
+    MutexLock b(inner);
+  }
+  lock_graph::SetEnabled(true);
+  EXPECT_EQ(lock_graph::EdgeCount(), before);
+  {
+    MutexLock a(outer);
+    MutexLock b(inner);
+  }
+  EXPECT_GT(lock_graph::EdgeCount(), before);
+}
+
+TEST(LockGraphTest, WriteDumpProducesReadableFile) {
+  EXPECT_FALSE(lock_graph::WriteDump("/nonexistent-dir/definitely"));
+  EXPECT_TRUE(lock_graph::WriteDump(::testing::TempDir()));
+}
+
+// Concurrent hammering must be race-free (the suite runs under TSan via
+// tools/run_sanitizers.sh) and deterministic in edge content.
+TEST(LockGraphTest, ConcurrentAcquisitionsAreConsistent) {
+  Mutex outer{"test.mt_outer"};
+  Mutex inner{"test.mt_inner"};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        MutexLock a(outer);
+        MutexLock b(inner);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::string json = lock_graph::DumpJson();
+  EXPECT_NE(json.find("\"from\":\"test.mt_outer\",\"to\":\"test.mt_inner\""),
+            std::string::npos);
+}
+
+#else  // !CCDB_DEADLOCK_DETECT
+
+TEST(LockGraphTest, StubsCompileToNothing) {
+  // The off-build stubs: callable, inert, and Mutex carries no hooks.
+  EXPECT_EQ(lock_graph::HeldOverBlockCount(), 0u);
+  EXPECT_EQ(lock_graph::EdgeCount(), 0u);
+  EXPECT_FALSE(lock_graph::Enabled());
+  EXPECT_EQ(lock_graph::DumpJson(), "{}");
+  CCDB_NOTE_BLOCKING_CALL("test.noop");
+  Mutex mu{"test.named_off"};
+  MutexLock lock(mu);
+  mu.AssertHeld();  // no-op without the detector
+}
+
+TEST(LockGraphTest, DetectorCasesRequireDetectorBuild) {
+  GTEST_SKIP() << "built without -DCCDB_DEADLOCK_DETECT=ON; the deadlock "
+                  "detector and its death tests are compiled out";
+}
+
+#endif  // CCDB_DEADLOCK_DETECT
+
+}  // namespace
+}  // namespace ccdb

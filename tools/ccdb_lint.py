@@ -49,6 +49,14 @@ Enforces the repo's documented contracts that the compiler cannot:
                   that sleeps-and-retries must be bounded by a deadline,
                   a stop flag, or a Backoff, so a dead peer produces a
                   typed kUnavailable instead of a hang.
+  lock-discipline every `ccdb::Mutex` / `SharedMutex` member either
+                  guards at least one `CCDB_GUARDED_BY` field in its
+                  file or carries a `protocol-lock:` comment saying what
+                  non-field invariant it serializes — an unexplained
+                  mutex is either dead weight or an undeclared contract.
+                  Also: no bare TryLock spin loops — a loop that retries
+                  TryLock must be bounded by a deadline, stop flag, or
+                  Backoff (spinning on a held lock is a latent livelock).
 
 Run from anywhere:  tools/ccdb_lint.py  (exit 0 = clean).
 """
@@ -114,6 +122,14 @@ def src_files() -> list[Path]:
     )
 
 
+# The deadlock detector's own implementation (see its file header): it
+# cannot lock through the wrappers it instruments (raw std::mutex), and a
+# detected cycle is by definition unreportable through Status — the whole
+# point is to abort with both hold-stacks on stderr before the process
+# deadlocks. Exempt from no-throw, raw-mutex, and no-iostream only.
+LOCK_GRAPH_IMPL = SRC / "util" / "lock_graph.cc"
+
+
 # --- Rule: no-throw ---------------------------------------------------------
 
 THROW_RE = re.compile(r"\bthrow\b")
@@ -121,6 +137,8 @@ ABORT_RE = re.compile(r"\b(?:std::)?abort\s*\(|\bstd::terminate\s*\(|\bexit\s*\(
 
 
 def check_no_throw(path: Path, clean: str) -> None:
+    if path == LOCK_GRAPH_IMPL:
+        return
     for lineno, line in enumerate(clean.splitlines(), 1):
         if THROW_RE.search(line):
             report("no-throw", path, lineno,
@@ -143,7 +161,7 @@ MUTEX_WRAPPER = SRC / "util" / "mutex.h"
 
 
 def check_raw_mutex(path: Path, clean: str) -> None:
-    if path == MUTEX_WRAPPER:
+    if path in (MUTEX_WRAPPER, LOCK_GRAPH_IMPL):
         return
     for lineno, line in enumerate(clean.splitlines(), 1):
         m = RAW_MUTEX_RE.search(line)
@@ -235,6 +253,8 @@ IOSTREAM_RE = re.compile(
 
 
 def check_no_iostream(path: Path, clean: str) -> None:
+    if path == LOCK_GRAPH_IMPL:
+        return
     for lineno, line in enumerate(clean.splitlines(), 1):
         if IOSTREAM_RE.search(line):
             report("no-iostream", path, lineno,
@@ -347,6 +367,86 @@ def check_net_retries(path: Path, clean: str) -> None:
                    "deadline, a stop flag, or a Backoff schedule")
 
 
+# --- Rule: lock-discipline --------------------------------------------------
+
+# A Mutex/SharedMutex member declaration (annotation macros and the
+# registered-name initializer may follow the identifier).
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:ccdb::)?(?:Mutex|SharedMutex)\s+(\w+)\s*[;{C\n]",
+    re.MULTILINE)
+# The justification marker for a mutex that guards a protocol rather than
+# fields (e.g. commit ordering, whole-RPC serialization). Greppable.
+PROTOCOL_LOCK_MARKER = "protocol-lock"
+TRYLOCK_RE = re.compile(r"\bTryLock\s*\(")
+LOOP_HEAD_RE = re.compile(r"\b(?:while|for)\s*\(")
+
+
+def check_lock_discipline(path: Path, clean: str, raw: str) -> None:
+    if path in (MUTEX_WRAPPER, LOCK_GRAPH_IMPL):
+        return
+    raw_lines = raw.splitlines()
+    for m in MUTEX_MEMBER_RE.finditer(clean):
+        name = m.group(1)
+        # Anchor on the identifier, not the match start: `^\s*` swallows
+        # preceding blank lines under MULTILINE.
+        lineno = clean.count("\n", 0, m.start(1)) + 1
+        if re.search(rf"GUARDED_BY\(\s*{re.escape(name)}\s*\)", clean):
+            continue
+        # No guarded field: the contiguous comment block directly above
+        # the declaration must say what the lock serializes.
+        justified = False
+        i = lineno - 2  # 0-based index of the line above the declaration
+        while i >= 0 and re.match(r"\s*(?://|///)", raw_lines[i]):
+            if PROTOCOL_LOCK_MARKER in raw_lines[i]:
+                justified = True
+            i -= 1
+        if not justified:
+            report("lock-discipline", path, lineno,
+                   f"mutex `{name}` guards no CCDB_GUARDED_BY field and "
+                   "has no `protocol-lock:` comment above it — declare "
+                   "what it protects or justify the protocol it "
+                   "serializes")
+    # Bare TryLock spin loops: a loop that goes around again on TryLock
+    # failure must be bounded, or a held lock becomes a livelock.
+    for m in LOOP_HEAD_RE.finditer(clean):
+        # Brace-match the loop body (condition first, then body).
+        depth = 0
+        i = m.end() - 1
+        while i < len(clean):
+            if clean[i] == "(":
+                depth += 1
+            elif clean[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        cond = clean[m.end() - 1 : i + 1]
+        j = i + 1
+        while j < len(clean) and clean[j] not in "{;":
+            j += 1
+        body = ""
+        if j < len(clean) and clean[j] == "{":
+            depth = 0
+            k = j
+            while k < len(clean):
+                if clean[k] == "{":
+                    depth += 1
+                elif clean[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            body = clean[j : k + 1]
+        if not TRYLOCK_RE.search(cond + body):
+            continue
+        if not any(tok in body or tok in cond for tok in LOOP_BOUND_TOKENS):
+            lineno = clean.count("\n", 0, m.start()) + 1
+            report("lock-discipline", path, lineno,
+                   "bare TryLock spin loop — bound it with a deadline, "
+                   "stop flag, or Backoff schedule (or just Lock(): the "
+                   "deadlock detector orders blocking acquisitions)")
+
+
 # --- Rule: governance check-points ------------------------------------------
 
 # Files whose tuple-materializing operator loops must poll governance.
@@ -429,7 +529,8 @@ def main() -> int:
               file=sys.stderr)
         return 1
     for path in files:
-        clean = strip_comments_and_strings(path.read_text())
+        raw = path.read_text()
+        clean = strip_comments_and_strings(raw)
         check_no_throw(path, clean)
         check_raw_mutex(path, clean)
         check_void_discard(path, clean)
@@ -437,6 +538,7 @@ def main() -> int:
         check_net_socket(path, clean)
         check_mvcc_publish(path, clean)
         check_net_retries(path, clean)
+        check_lock_discipline(path, clean, raw)
     check_metrics()
     check_governance()
 
@@ -445,7 +547,7 @@ def main() -> int:
             print(v, file=sys.stderr)
         print(f"ccdb_lint: {len(violations)} violation(s)", file=sys.stderr)
         return 1
-    print(f"ccdb_lint: ok ({len(files)} files, 9 rules)")
+    print(f"ccdb_lint: ok ({len(files)} files, 10 rules)")
     return 0
 
 

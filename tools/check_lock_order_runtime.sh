@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runtime half of the lock-order cross-check (ctest: `lock_order_runtime`,
+# registered only in -DCCDB_DEADLOCK_DETECT=ON builds as a FIXTURES_CLEANUP
+# test, so it runs after the instrumented suite has written its
+# lockgraph.*.json dumps into $1).
+#
+# Every acquisition-order edge the detector observed must lie within the
+# transitive closure of the DAG declared in the source annotations —
+# tools/lock_order_lint.py --runtime-dir does the comparison. On success
+# the dumps are cleared so the next ctest run starts fresh; on failure
+# they are kept for inspection (each undeclared edge is reported with its
+# first witness hold-stack).
+#
+# Usage: check_lock_order_runtime.sh <dump-dir>
+set -u
+
+here="$(cd "$(dirname "$0")" && pwd)"
+dir="${1:?usage: check_lock_order_runtime.sh <dump-dir>}"
+
+if ! compgen -G "$dir/lockgraph.*.json" > /dev/null; then
+  echo "check_lock_order_runtime: no dumps in $dir — run the suite via" >&2
+  echo "ctest (the dump dir is armed per-test) before the cross-check." >&2
+  exit 1
+fi
+
+if python3 "$here/lock_order_lint.py" --runtime-dir "$dir"; then
+  rm -f "$dir"/lockgraph.*.json
+  exit 0
+fi
+echo "check_lock_order_runtime: dumps kept in $dir for inspection" >&2
+exit 1

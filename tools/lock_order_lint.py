@@ -1,0 +1,310 @@
+#!/usr/bin/env python3
+"""Lock-order DAG linter (ctest: `lock_order_lint`).
+
+The declared half of the deadlock story (the dynamic half is the runtime
+detector in src/util/lock_graph.*): every named `ccdb::Mutex` /
+`SharedMutex` carries its lock-graph name as a constructor argument, and
+its declaration may carry ordering annotations —
+
+  CCDB_ACQUIRED_BEFORE(member_) / CCDB_ACQUIRED_AFTER(member_)
+      same-class edges, by member name (real Clang attributes);
+  CCDB_LOCK_ORDER("name", ...)
+      cross-class edges, by registered name (a no-op macro only this
+      lint reads — Clang attributes cannot reference another class's
+      private member).
+
+This lint parses those declarations out of src/, builds the declared
+acquisition-order DAG, and fails on:
+
+  * a cycle in the declared DAG (the declarations themselves promise a
+    deadlock);
+  * a CCDB_LOCK_ORDER target that no mutex registers (typo or a rename
+    that forgot its edges);
+  * with --runtime-dir DIR: an edge observed by the runtime detector
+    (lockgraph.*.json dumps, written by CCDB_DEADLOCK_DETECT builds when
+    CCDB_LOCK_GRAPH_DUMP_DIR is set) that is not within the transitive
+    closure of the declared DAG — an undeclared ordering the code
+    actually exercises.  The `test.` and `bench.` name prefixes are
+    reserved for synthetic fixtures (the detector's own unit tests and
+    microbenches); edges touching them are ignored here, and src/ must
+    not register locks under them;
+  * with --check-doc: a declared edge missing from DESIGN.md's
+    *Lock order* table (kept in sync like the metrics table; regenerate
+    rows with --print-doc).
+
+Run from anywhere:  tools/lock_order_lint.py [--runtime-dir DIR]
+                    [--check-doc | --print-doc]      (exit 0 = clean).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DESIGN = REPO / "DESIGN.md"
+
+# Files that define the detector/wrappers themselves, not lock users.
+EXCLUDED = (SRC / "util" / "mutex.h", SRC / "util" / "lock_graph.cc",
+            SRC / "util" / "lock_graph.h")
+
+# Name prefixes reserved for synthetic fixtures (the detector's own unit
+# tests and microbenches). src/ must not register locks under them, and
+# runtime edges touching them are outside the declared-DAG cross-check.
+SYNTHETIC_PREFIXES = ("test.", "bench.")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks // and /* */ comments, preserving line structure and string
+    literals (registered names live in strings)."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    in_str: str | None = None
+    while i < n:
+        c = text[i]
+        if in_str:
+            out.append(c)
+            if c == "\\" and i + 1 < n:
+                out.append(text[i + 1])
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+            i += 1
+        elif text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.extend(ch if ch == "\n" else " " for ch in text[i:j + 2])
+            i = j + 2
+        elif c in "\"'":
+            in_str = c
+            out.append(c)
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# A named-mutex member declaration: identifier, optional annotation
+# macros (possibly spanning lines), then the registered-name initializer.
+DECL_RE = re.compile(
+    r"(?:mutable\s+)?(?:ccdb::)?(?:Mutex|SharedMutex)\s+(\w+)\s*"
+    r"((?:CCDB_\w+\s*\([^)]*\)\s*)*)"
+    r"\{\s*\"([^\"]+)\"\s*\}\s*;",
+    re.DOTALL)
+ANNOT_RE = re.compile(r"CCDB_(\w+)\s*\(([^)]*)\)", re.DOTALL)
+
+
+def parse_declarations(files):
+    """Returns (names, edges): the set of registered lock names and the
+    declared direct edges {(from_name, to_name): where}."""
+    names: dict[str, str] = {}   # registered name -> file:line of one decl
+    edges: dict[tuple[str, str], str] = {}
+    problems: list[str] = []
+    for path in files:
+        clean = strip_comments(path.read_text())
+        rel = path.relative_to(REPO)
+        # member name -> registered name, for resolving same-class edges.
+        members = {m.group(1): m.group(3) for m in DECL_RE.finditer(clean)}
+        for m in DECL_RE.finditer(clean):
+            member, annots, reg = m.group(1), m.group(2), m.group(3)
+            lineno = clean.count("\n", 0, m.start()) + 1
+            where = f"{rel}:{lineno}"
+            if reg.startswith(SYNTHETIC_PREFIXES):
+                problems.append(
+                    f"{where}: registered lock name \"{reg}\" uses a "
+                    "prefix reserved for synthetic test/bench fixtures")
+                continue
+            names.setdefault(reg, where)
+            for a in ANNOT_RE.finditer(annots):
+                kind, body = a.group(1), a.group(2)
+                if kind == "LOCK_ORDER":
+                    for target in re.findall(r"\"([^\"]+)\"", body):
+                        edges[(reg, target)] = where
+                elif kind in ("ACQUIRED_BEFORE", "ACQUIRED_AFTER"):
+                    for target_member in re.findall(r"\w+", body):
+                        target = members.get(target_member)
+                        if target is None:
+                            problems.append(
+                                f"{where}: CCDB_{kind}({target_member}) "
+                                "names a member with no registered "
+                                "lock-graph name in this file")
+                            continue
+                        if kind == "ACQUIRED_BEFORE":
+                            edges[(reg, target)] = where
+                        else:
+                            edges[(target, reg)] = where
+    return names, edges, problems
+
+
+def find_cycle(edges):
+    """Returns a cycle as a list of names, or None."""
+    adj: dict[str, list[str]] = {}
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[str, int] = {}
+    stack: list[str] = []
+
+    def dfs(u: str):
+        color[u] = GRAY
+        stack.append(u)
+        for v in adj.get(u, []):
+            if color.get(v, WHITE) == GRAY:
+                return stack[stack.index(v):] + [v]
+            if color.get(v, WHITE) == WHITE:
+                found = dfs(v)
+                if found:
+                    return found
+        stack.pop()
+        color[u] = BLACK
+        return None
+
+    for u in list(adj):
+        if color.get(u, WHITE) == WHITE:
+            found = dfs(u)
+            if found:
+                return found
+    return None
+
+
+def transitive_closure(edges):
+    reach: dict[str, set[str]] = {}
+    adj: dict[str, set[str]] = {}
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+
+    def expand(u: str) -> set[str]:
+        if u in reach:
+            return reach[u]
+        reach[u] = set()  # cycle guard; find_cycle runs first anyway
+        out: set[str] = set()
+        for v in adj.get(u, ()):
+            out.add(v)
+            out |= expand(v)
+        reach[u] = out
+        return out
+
+    for u in list(adj):
+        expand(u)
+    return reach
+
+
+def load_runtime_edges(dump_dir: Path):
+    """Aggregates non-try-only observed edges across all dumps, keeping
+    one witness stack per edge."""
+    observed: dict[tuple[str, str], dict] = {}
+    dumps = sorted(dump_dir.glob("lockgraph.*.json"))
+    for f in dumps:
+        try:
+            d = json.loads(f.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"lock_order_lint: unreadable dump {f}: {err}",
+                  file=sys.stderr)
+            continue
+        for e in d.get("edges", []):
+            if e.get("try_only"):
+                continue  # TryLock never blocks; ordering is advisory
+            if (e["from"].startswith(SYNTHETIC_PREFIXES)
+                    or e["to"].startswith(SYNTHETIC_PREFIXES)):
+                continue  # synthetic fixture locks, not src/ locks
+            key = (e["from"], e["to"])
+            if key not in observed:
+                observed[key] = e
+    return observed, len(dumps)
+
+
+def doc_edge(a: str, b: str) -> str:
+    return f"`{a}` → `{b}`"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--runtime-dir", type=Path, default=None,
+                    help="directory of lockgraph.*.json runtime dumps to "
+                         "cross-check against the declared DAG")
+    ap.add_argument("--check-doc", action="store_true",
+                    help="verify every declared edge appears in DESIGN.md")
+    ap.add_argument("--print-doc", action="store_true",
+                    help="print the DESIGN.md Lock-order table rows")
+    args = ap.parse_args()
+
+    files = sorted(p for p in SRC.rglob("*")
+                   if p.suffix in (".h", ".cc") and p.is_file()
+                   and p not in EXCLUDED)
+    names, edges, problems = parse_declarations(files)
+    errors: list[str] = list(problems)
+
+    if not names:
+        errors.append("no registered lock names parsed from src/ — lint "
+                      "is broken or the naming convention changed")
+    for (a, b), where in sorted(edges.items()):
+        if b not in names:
+            errors.append(f"{where}: lock-order edge {a} -> {b} targets "
+                          "an unregistered lock name (typo, or a rename "
+                          "left stale edges)")
+        if a == b:
+            errors.append(f"{where}: self-edge {a} -> {a} — a lock rank "
+                          "can never be acquired while already held")
+
+    cycle = find_cycle(edges)
+    if cycle:
+        errors.append("declared lock-order cycle: " + " -> ".join(cycle))
+
+    if args.print_doc:
+        for (a, b) in sorted(edges):
+            print(f"| {doc_edge(a, b)} |")
+        return 0
+
+    if args.check_doc:
+        design_text = DESIGN.read_text() if DESIGN.is_file() else ""
+        for (a, b), where in sorted(edges.items()):
+            if doc_edge(a, b) not in design_text:
+                errors.append(
+                    f"{where}: declared edge {doc_edge(a, b)} missing from "
+                    "DESIGN.md's Lock order table — regenerate with "
+                    "tools/lock_order_lint.py --print-doc")
+
+    if args.runtime_dir is not None and not cycle:
+        observed, ndumps = load_runtime_edges(args.runtime_dir)
+        if ndumps == 0:
+            errors.append(f"--runtime-dir {args.runtime_dir}: no "
+                          "lockgraph.*.json dumps found — was the suite "
+                          "run with CCDB_LOCK_GRAPH_DUMP_DIR set?")
+        closure = transitive_closure(edges)
+        for (a, b), e in sorted(observed.items()):
+            if b in closure.get(a, ()):
+                continue
+            stack = " ; ".join(e.get("witness_stack", []))
+            errors.append(
+                f"observed-but-undeclared edge {a} -> {b} "
+                f"(count={e.get('count')}; first witness hold-stack: "
+                f"[{stack}]) — declare it with CCDB_LOCK_ORDER / "
+                "CCDB_ACQUIRED_BEFORE, or fix the acquisition order")
+        if not errors:
+            print(f"lock_order_lint: runtime cross-check ok "
+                  f"({ndumps} dumps, {len(observed)} observed edges, "
+                  f"all within the declared closure)")
+
+    if errors:
+        for e in errors:
+            print(f"[lock-order] {e}", file=sys.stderr)
+        print(f"lock_order_lint: {len(errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lock_order_lint: ok ({len(names)} named locks, "
+          f"{len(edges)} declared edges, acyclic)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

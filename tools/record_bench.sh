@@ -2,11 +2,18 @@
 # Records the per-PR benchmark trajectory: runs the JSON-emitting benches
 # and writes one BENCH_<name>.json (one JSON object per line) at the repo
 # root. Run from anywhere after a build:
-#   tools/record_bench.sh [build-dir]
+#   tools/record_bench.sh [build-dir] [lockgraph-build-dir]
+#
+# BENCH_lockgraph.json is special: the per-acquisition hook costs only
+# exist in a -DCCDB_DEADLOCK_DETECT=ON build, so it is recorded from the
+# second build dir (default build-lockgraph/) when one exists, and
+# skipped with a notice otherwise. Everything else comes from the default
+# build, where the detector is compiled out.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
+lockgraph_build_dir="${2:-$repo_root/build-lockgraph}"
 
 benches=(service wal trace governance net mvcc obs failover)
 
@@ -25,3 +32,12 @@ for bench in "${benches[@]}"; do
   "$bin" --json > "$repo_root/BENCH_$bench.json"
   echo "wrote BENCH_$bench.json ($(wc -l < "$repo_root/BENCH_$bench.json") results)"
 done
+
+lockgraph_bin="$lockgraph_build_dir/bench/bench_lockgraph"
+if [[ -x "$lockgraph_bin" ]]; then
+  "$lockgraph_bin" --json > "$repo_root/BENCH_lockgraph.json"
+  echo "wrote BENCH_lockgraph.json ($(wc -l < "$repo_root/BENCH_lockgraph.json") results)"
+else
+  echo "skipped BENCH_lockgraph.json — no $lockgraph_bin" >&2
+  echo "(configure with: cmake -B build-lockgraph -S . -DCCDB_DEADLOCK_DETECT=ON)" >&2
+fi

@@ -22,6 +22,7 @@ read -ra sanitizers <<< "${sanitizers[*]}"
 
 jobs="$(nproc 2> /dev/null || echo 1)"
 failed=()
+skipped=()
 
 for san in "${sanitizers[@]}"; do
   case "$san" in
@@ -41,16 +42,30 @@ for san in "${sanitizers[@]}"; do
   cmake -S "$repo_root" -B "$build_dir" -DCCDB_SANITIZE="$san" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "$build_dir" -j "$jobs"
-  if (cd "$build_dir" && ctest --output-on-failure -j "$jobs"); then
+  ctest_log="$build_dir/ctest-sanitizer.log"
+  if (cd "$build_dir" && ctest --output-on-failure -j "$jobs") \
+      | tee "$ctest_log"; then
     echo "=== $san: PASS ==="
   else
     echo "=== $san: FAIL ===" >&2
     failed+=("$san")
+  fi
+  # A skipped test is a gate that did not run — surface it, don't let a
+  # green summary imply it did (e.g. check_thread_safety without clang).
+  skips="$(grep -E '\*\*\*Skipped' "$ctest_log" | sed -E 's/^ *[0-9/]+ +Test +#[0-9]+: +([^ ]+).*/\1/' || true)"
+  if [[ -n "$skips" ]]; then
+    echo "=== $san: SKIPPED gates (DID NOT RUN): " $skips "===" >&2
+    skipped+=("$san:" $skips)
   fi
 done
 
 if ((${#failed[@]})); then
   echo "run_sanitizers: failed: ${failed[*]}" >&2
   exit 1
+fi
+if ((${#skipped[@]})); then
+  echo "run_sanitizers: all ran clean, but some gates SKIPPED:" \
+       "${skipped[*]}" >&2
+  echo "run_sanitizers: see the banners above for what did not run." >&2
 fi
 echo "run_sanitizers: all clean (${sanitizers[*]})"
